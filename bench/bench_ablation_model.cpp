@@ -1,0 +1,73 @@
+// Ablation of the timing-model terms (DESIGN.md section 6): which
+// micro-architectural mechanism produces which paper phenomenon?  Each
+// ablation disables one mechanism by altering the device description and
+// re-runs the order-2/order-12 full-slice-vs-nvstencil comparison.
+//
+//   A. coalescing granularity  — set 4-byte segments (every access "perfectly
+//      coalesced"): the full-slice advantage should mostly vanish.
+//   B. per-warp MLP cap        — set it very high: the Kepler (GTX680) gap
+//      between scalar and vectorised loading narrows.
+//   C. store sectoring         — 128-byte store segments instead of 32: the
+//      full-slice alignment trade-off is overcharged and its win shrinks.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+using namespace inplane::autotune;
+
+double speedup(const gpusim::DeviceSpec& dev, int order) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const auto nv =
+      make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+  const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+  const TuneResult t =
+      exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+  return t.best.timing.mpoints_per_s / base;
+}
+
+}  // namespace
+
+int main() {
+  report::Table table(
+      {"Device", "Ablation", "Speedup o2", "Speedup o12"});
+  for (auto base_dev :
+       {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::geforce_gtx680()}) {
+    {
+      table.add_row({base_dev.name, "none (full model)",
+                     report::fmt(speedup(base_dev, 2), 2) + "x",
+                     report::fmt(speedup(base_dev, 12), 2) + "x"});
+    }
+    {
+      auto dev = base_dev;
+      dev.coalesce_bytes = 4;
+      dev.store_segment_bytes = 4;
+      table.add_row({base_dev.name, "A: no coalescing granularity",
+                     report::fmt(speedup(dev, 2), 2) + "x",
+                     report::fmt(speedup(dev, 12), 2) + "x"});
+    }
+    {
+      auto dev = base_dev;
+      dev.max_outstanding_loads_per_warp = 1e9;
+      table.add_row({base_dev.name, "B: unlimited per-warp MLP",
+                     report::fmt(speedup(dev, 2), 2) + "x",
+                     report::fmt(speedup(dev, 12), 2) + "x"});
+    }
+    {
+      auto dev = base_dev;
+      dev.store_segment_bytes = 128;
+      table.add_row({base_dev.name, "C: 128-byte store sectors",
+                     report::fmt(speedup(dev, 2), 2) + "x",
+                     report::fmt(speedup(dev, 12), 2) + "x"});
+    }
+  }
+  inplane::bench::emit(table, "Timing-model ablation (tuned full-slice vs nvstencil)",
+                       "ablation_model");
+  return 0;
+}

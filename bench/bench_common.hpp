@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared setup for the reproduction bench binaries: the evaluation grid and
+// device list of section IV-A, plus small formatting helpers.
+
+#include <string>
+#include <vector>
+
+#include "core/extent.hpp"
+#include "core/stencil_spec.hpp"
+#include "gpusim/device.hpp"
+#include "report/table.hpp"
+
+namespace inplane::bench {
+
+/// The evaluation lattice used throughout sections IV-VI: 512 x 512 x 256.
+inline constexpr Extent3 kGrid{512, 512, 256};
+
+/// Where bench binaries drop machine-readable copies of their tables.
+inline const char* kResultsDir = "results";
+
+template <typename T>
+[[nodiscard]] const char* precision_name() {
+  return sizeof(T) == 8 ? "DP" : "SP";
+}
+
+/// Writes a rendered table to stdout and its CSV twin to results/<stem>.csv.
+inline void emit(const report::Table& table, const std::string& title,
+                 const std::string& stem) {
+  std::fputs(table.render(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+  report::write_file(std::string(kResultsDir) + "/" + stem + ".csv", table.to_csv());
+}
+
+}  // namespace inplane::bench

@@ -1,0 +1,57 @@
+// Extension bench: the two additional application stencils beyond Table V —
+// the leapfrog acoustic wave equation and the 8th-order seismic RTM kernel
+// with a varying-velocity grid — under the same Fig. 11 methodology.
+
+#include <cstdio>
+
+#include "apps/app_kernel.hpp"
+#include "autotune/search_space.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::apps;
+
+template <typename T>
+void rows(report::Table& table, const gpusim::DeviceSpec& dev) {
+  autotune::SearchSpace space;
+  for (const AppFormula& f : {wave(), seismic_rtm()}) {
+    const AppKernel<T> nv(f, AppMethod::ForwardPlane,
+                          kernels::LaunchConfig::nvstencil_default());
+    const double base = time_app_kernel(nv, dev, bench::kGrid).mpoints_per_s;
+    double best = 0.0;
+    kernels::LaunchConfig best_cfg;
+    for (const auto& cfg :
+         space.enumerate(dev, bench::kGrid, kernels::Method::InPlaneFullSlice,
+                         std::max(f.radius(), 1), sizeof(T),
+                         autotune::default_vec(kernels::Method::InPlaneFullSlice,
+                                               sizeof(T)))) {
+      const AppKernel<T> k(f, AppMethod::InPlaneFullSlice, cfg);
+      const auto t = time_app_kernel(k, dev, bench::kGrid);
+      if (t.valid && t.mpoints_per_s > best) {
+        best = t.mpoints_per_s;
+        best_cfg = cfg;
+      }
+    }
+    table.add_row({bench::precision_name<T>(), f.name(), std::to_string(f.n_inputs()),
+                   std::to_string(f.n_outputs()), report::fmt(base, 0),
+                   report::fmt(best, 0), best_cfg.to_string(),
+                   report::fmt(best / base, 2) + "x"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto dev = inplane::gpusim::DeviceSpec::geforce_gtx580();
+  inplane::report::Table table({"Prec", "Stencil", "In", "Out", "nvstencil MPt/s",
+                                "in-plane MPt/s", "Optimal Param.", "Speedup"});
+  rows<float>(table, dev);
+  rows<double>(table, dev);
+  inplane::bench::emit(table,
+                       "Extension: wave / seismic-RTM application stencils on "
+                       "GeForce GTX580",
+                       "extra_apps");
+  return 0;
+}

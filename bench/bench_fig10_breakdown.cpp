@@ -1,0 +1,67 @@
+// Fig. 10: breakdown of the contributions to the performance gain over the
+// nvstencil baseline, single precision:
+//   (i)   nvstencil with register blocking (tuned),
+//   (ii)  full-slice without register blocking (tuned over TX, TY),
+//   (iii) full-slice with register blocking (fully tuned).
+//
+// Expected shape: (iii) best everywhere; (i) the smallest gain (~10%); the
+// full-slice loading itself contributes roughly twice what register
+// blocking adds on top of it (section IV-D).
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  SearchSpace full;
+  SearchSpace thread_only;
+  thread_only.rx_values = {1};
+  thread_only.ry_values = {1};
+
+  report::Table table({"GPU", "Order", "nvstencil MPt/s", "nvstencil+RB",
+                       "full-slice", "full-slice+RB"});
+  struct Avg {
+    double nv_rb = 0, fs = 0, fs_rb = 0;
+    int n = 0;
+  };
+  for (const auto& dev : gpusim::paper_devices()) {
+    Avg avg;
+    for (int order : paper_stencil_orders()) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const auto nv =
+          make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      const double nv_rb =
+          exhaustive_tune<float>(Method::ForwardPlane, cs, dev, bench::kGrid, full)
+              .best.timing.mpoints_per_s;
+      const double fs = exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                               bench::kGrid, thread_only)
+                            .best.timing.mpoints_per_s;
+      const double fs_rb =
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid, full)
+              .best.timing.mpoints_per_s;
+      table.add_row({dev.name, std::to_string(order), report::fmt(base, 0),
+                     report::fmt(nv_rb / base, 2) + "x", report::fmt(fs / base, 2) + "x",
+                     report::fmt(fs_rb / base, 2) + "x"});
+      avg.nv_rb += nv_rb / base;
+      avg.fs += fs / base;
+      avg.fs_rb += fs_rb / base;
+      avg.n += 1;
+    }
+    std::printf(
+        "%s averages: nvstencil+RB %.0f%%, full-slice %.0f%%, full-slice+RB %.0f%% "
+        "above baseline (RB on full-slice adds %.0f%%)\n\n",
+        dev.name.c_str(), (avg.nv_rb / avg.n - 1.0) * 100.0,
+        (avg.fs / avg.n - 1.0) * 100.0, (avg.fs_rb / avg.n - 1.0) * 100.0,
+        (avg.fs_rb / avg.fs - 1.0) * 100.0);
+  }
+  bench::emit(table, "Fig. 10: Breakdown of contributions to performance gain (SP)",
+              "fig10_breakdown");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table V + Fig. 11: the six application stencils — grid counts, and the
+// performance/speedup of the tuned in-plane full-slice method against the
+// nvstencil baseline, SP and DP, on the GeForce GTX580.
+//
+// Expected shape: Laplacian the largest speedup (~1.8x, one input and one
+// output grid); Hyperthermia the smallest (~1x — 9 of its 11 grids carry
+// spatially varying coefficients whose traffic the in-plane method cannot
+// reduce); everything else in between; DP compressed towards 1.
+
+#include <cstdio>
+
+#include "apps/app_kernel.hpp"
+#include "autotune/search_space.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::apps;
+
+template <typename T>
+void app_rows(report::Table& table, const gpusim::DeviceSpec& dev) {
+  autotune::SearchSpace space;
+  for (const AppFormula& f : paper_apps()) {
+    const AppKernel<T> nv(f, AppMethod::ForwardPlane,
+                          kernels::LaunchConfig::nvstencil_default());
+    const double base = time_app_kernel(nv, dev, bench::kGrid).mpoints_per_s;
+    double best = 0.0;
+    kernels::LaunchConfig best_cfg;
+    for (const auto& cfg :
+         space.enumerate(dev, bench::kGrid, kernels::Method::InPlaneFullSlice,
+                         std::max(f.radius(), 1), sizeof(T),
+                         autotune::default_vec(kernels::Method::InPlaneFullSlice,
+                                               sizeof(T)))) {
+      const AppKernel<T> k(f, AppMethod::InPlaneFullSlice, cfg);
+      const auto t = time_app_kernel(k, dev, bench::kGrid);
+      if (t.valid && t.mpoints_per_s > best) {
+        best = t.mpoints_per_s;
+        best_cfg = cfg;
+      }
+    }
+    table.add_row({bench::precision_name<T>(), f.name(),
+                   std::to_string(f.n_inputs()), std::to_string(f.n_outputs()),
+                   report::fmt(base, 0), report::fmt(best, 0),
+                   best_cfg.to_string(), report::fmt(best / base, 2) + "x"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto dev = inplane::gpusim::DeviceSpec::geforce_gtx580();
+  inplane::report::Table table({"Prec", "Stencil", "In", "Out", "nvstencil MPt/s",
+                                "in-plane MPt/s", "Optimal Param.", "Speedup"});
+  app_rows<float>(table, dev);
+  app_rows<double>(table, dev);
+  inplane::bench::emit(table,
+                       "Table V + Fig. 11: Application stencils, in-plane vs "
+                       "nvstencil on GeForce GTX580",
+                       "fig11_applications");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 12: model-based auto-tuning (section VI) vs exhaustive search, with
+// the cutoff beta = 5% of the global parameter space, for all stencil
+// orders (SP) on GTX580, GTX680 and Tesla C2050.
+//
+// Expected shape: the model-guided result within a few percent of the
+// exhaustive optimum on average, while executing only a small fraction of
+// the candidate configurations.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  const double beta = 0.05;
+  const std::vector devices = {gpusim::DeviceSpec::geforce_gtx580(),
+                               gpusim::DeviceSpec::geforce_gtx680(),
+                               gpusim::DeviceSpec::tesla_c2050()};
+
+  report::Table table({"GPU", "Order", "Exhaustive MPt/s", "Model-based MPt/s",
+                       "Gap (%)", "Configs run (exh)", "Configs run (model)"});
+  double worst_gap = 0.0;
+  double sum_gap = 0.0;
+  int n = 0;
+  for (const auto& dev : devices) {
+    for (int order : paper_stencil_orders()) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const TuneResult exh =
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      const TuneResult mod = model_guided_tune<float>(Method::InPlaneFullSlice, cs,
+                                                      dev, bench::kGrid, beta);
+      const double gap = (1.0 - mod.best.timing.mpoints_per_s /
+                                    exh.best.timing.mpoints_per_s) *
+                         100.0;
+      worst_gap = std::max(worst_gap, gap);
+      sum_gap += gap;
+      n += 1;
+      table.add_row({dev.name, std::to_string(order),
+                     report::fmt(exh.best.timing.mpoints_per_s, 1),
+                     report::fmt(mod.best.timing.mpoints_per_s, 1),
+                     report::fmt(gap, 2), std::to_string(exh.executed),
+                     std::to_string(mod.executed)});
+    }
+  }
+  bench::emit(table,
+              "Fig. 12: Model-based auto-tuning vs exhaustive search (beta = 5%, SP)",
+              "fig12_model_tuning");
+  std::printf("average gap %.2f%%, worst gap %.2f%% (paper: ~2%% avg, ~6%% worst)\n",
+              sum_gap / n, worst_gap);
+  return 0;
+}

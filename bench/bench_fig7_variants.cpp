@@ -1,0 +1,59 @@
+// Fig. 7: speedup of the in-plane loading variants (vertical, horizontal,
+// full-slice) over nvstencil, with thread blocking only (RX = RY = 1), on
+// all three GPUs and stencil orders 2-12, single precision, 512x512x256.
+//
+// Expected shape (section IV-B): full-slice consistently best (~1.2-1.6x,
+// peaking at low order); horizontal close behind; vertical competitive at
+// low order but collapsing below 1.0x for the 10th/12th order stencils.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  SearchSpace thread_blocking_only;
+  thread_blocking_only.rx_values = {1};
+  thread_blocking_only.ry_values = {1};
+
+  report::Table table({"GPU", "Order", "nvstencil MPt/s", "vertical", "horizontal",
+                       "full-slice"});
+  for (const auto& dev : gpusim::paper_devices()) {
+    std::vector<report::Bar> bars;
+    for (int order : paper_stencil_orders()) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const auto nv =
+          make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      std::vector<std::string> row{dev.name, std::to_string(order),
+                                   report::fmt(base, 0)};
+      for (Method m : {Method::InPlaneVertical, Method::InPlaneHorizontal,
+                       Method::InPlaneFullSlice}) {
+        const TuneResult t =
+            exhaustive_tune<float>(m, cs, dev, bench::kGrid, thread_blocking_only);
+        const double speedup = t.best.timing.mpoints_per_s / base;
+        row.push_back(report::fmt(speedup, 2) + "x");
+        if (m == Method::InPlaneFullSlice) {
+          bars.push_back({"o" + std::to_string(order), speedup});
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(
+        report::bar_chart("full-slice speedup over nvstencil on " + dev.name, bars, 40,
+                          "x")
+            .c_str(),
+        stdout);
+    std::fputs("\n", stdout);
+  }
+  bench::emit(table,
+              "Fig. 7: Speedup of in-plane variants over nvstencil (thread "
+              "blocking only, SP)",
+              "fig7_variants");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 8: auto-tuning performance surfaces over the register-blocking
+// factors (RX, RY) for the 2nd and 8th order SP stencils on the GeForce
+// GTX580, with (TX, TY) fixed at the tuned optimum.  Points violating the
+// search constraints (or unable to launch) are zero, as in the paper.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const std::vector<int> rx_values = {1, 2, 4};
+  const std::vector<int> ry_values = {1, 2, 4, 8};
+
+  for (int order : {2, 8}) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    // Find the overall optimum first; its (TX, TY) anchors the surface.
+    const TuneResult best =
+        exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+    const LaunchConfig opt = best.best.config;
+
+    std::vector<std::string> x_labels;
+    for (int rx : rx_values) x_labels.push_back("RX=" + std::to_string(rx));
+    std::vector<std::string> y_labels;
+    std::vector<std::vector<double>> z;
+    report::Table csv({"order", "tx", "ty", "rx", "ry", "mpoints"});
+    for (int ry : ry_values) {
+      y_labels.push_back("RY=" + std::to_string(ry));
+      std::vector<double> zrow;
+      for (int rx : rx_values) {
+        LaunchConfig cfg = opt;
+        cfg.rx = rx;
+        cfg.ry = ry;
+        const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, cs, cfg);
+        const auto t = time_kernel(*kernel, dev, bench::kGrid);
+        const double v = t.valid ? t.mpoints_per_s : 0.0;
+        zrow.push_back(v);
+        csv.add_row({std::to_string(order), std::to_string(cfg.tx),
+                     std::to_string(cfg.ty), std::to_string(rx), std::to_string(ry),
+                     report::fmt(v, 1)});
+      }
+      z.push_back(std::move(zrow));
+    }
+    std::fputs(report::surface("Fig. 8: MPoint/s surface, order " +
+                                   std::to_string(order) + " SP on GTX580, TX=" +
+                                   std::to_string(opt.tx) + " TY=" +
+                                   std::to_string(opt.ty),
+                               x_labels, y_labels, z)
+                   .c_str(),
+               stdout);
+    std::printf("best: %s at %.1f MPoint/s\n\n", best.best.config.to_string().c_str(),
+                best.best.timing.mpoints_per_s);
+    report::write_file(std::string(bench::kResultsDir) + "/fig8_surface_o" +
+                           std::to_string(order) + ".csv",
+                       csv.to_csv());
+  }
+  return 0;
+}

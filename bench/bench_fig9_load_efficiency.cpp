@@ -1,0 +1,43 @@
+// Fig. 9: global memory load efficiency (bytes requested / bytes moved) of
+// the tuned full-slice kernel vs nvstencil, for all stencil orders on the
+// three GPUs.  Expected shape: full-slice above nvstencil for every order
+// and device — the better halo coalescing is the whole point of the
+// method.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  report::Table table({"GPU", "Order", "nvstencil eff (%)", "full-slice eff (%)"});
+  for (const auto& dev : gpusim::paper_devices()) {
+    std::vector<report::Bar> bars;
+    for (int order : paper_stencil_orders()) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const auto nv =
+          make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+      const double nv_eff =
+          time_kernel(*nv, dev, bench::kGrid).load_efficiency * 100.0;
+      const TuneResult t =
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      const double fs_eff = t.best.timing.load_efficiency * 100.0;
+      table.add_row({dev.name, std::to_string(order), report::fmt(nv_eff, 1),
+                     report::fmt(fs_eff, 1)});
+      bars.push_back({"o" + std::to_string(order) + " nv", nv_eff});
+      bars.push_back({"o" + std::to_string(order) + " fs", fs_eff});
+    }
+    std::fputs(report::bar_chart("load efficiency (%) on " + dev.name, bars, 40, "%")
+                   .c_str(),
+               stdout);
+    std::fputs("\n", stdout);
+  }
+  bench::emit(table, "Fig. 9: Global memory load efficiency (SP)",
+              "fig9_load_efficiency");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Section IV-C's high-order claim: on the Tesla C2070 the full-slice
+// method keeps a speedup over nvstencil "for up to 32nd order for SP
+// stencils, and up to 16th order for DP stencils".  This bench sweeps the
+// orders beyond Table IV and reports where the speedup crosses 1.0.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+using namespace inplane::autotune;
+
+template <typename T>
+int sweep(report::Table& table, const gpusim::DeviceSpec& dev,
+          const std::vector<int>& orders) {
+  int last_winning_order = 0;
+  for (int order : orders) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    const auto nv =
+        make_kernel<T>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+    const auto base = time_kernel(*nv, dev, bench::kGrid);
+    const TuneResult t =
+        exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+    if (!base.valid || !t.found()) continue;
+    const double speedup = t.best.timing.mpoints_per_s / base.mpoints_per_s;
+    if (speedup > 1.0) last_winning_order = order;
+    table.add_row({inplane::bench::precision_name<T>(), std::to_string(order),
+                   report::fmt(base.mpoints_per_s, 0),
+                   report::fmt(t.best.timing.mpoints_per_s, 0),
+                   report::fmt(speedup, 2) + "x"});
+  }
+  return last_winning_order;
+}
+
+}  // namespace
+
+int main() {
+  const auto dev = inplane::gpusim::DeviceSpec::tesla_c2070();
+  inplane::report::Table table(
+      {"Prec", "Order", "nvstencil MPt/s", "full-slice MPt/s", "Speedup"});
+  const std::vector<int> sp_orders = {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
+  const std::vector<int> dp_orders = {2, 4, 8, 12, 16, 20, 24};
+  const int sp_last = sweep<float>(table, dev, sp_orders);
+  const int dp_last = sweep<double>(table, dev, dp_orders);
+  inplane::bench::emit(table,
+                       "High-order extension on Tesla C2070 (section IV-C claim: "
+                       "SP wins to order 32, DP to order 16)",
+                       "highorder_extension");
+  std::printf("full-slice still ahead at order %d (SP) and %d (DP)\n", sp_last,
+              dp_last);
+  return 0;
+}

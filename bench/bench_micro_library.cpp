@@ -1,0 +1,105 @@
+// Google-benchmark micro-benchmarks of THIS library itself (real
+// wall-clock, not simulated time): the CPU reference kernels, the warp
+// coalescer, the shared-memory bank analysis, a full functional kernel
+// sweep, and one timing-model evaluation — the costs that bound how fast
+// the auto-tuner and the verification tests can run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/reference.hpp"
+#include "gpusim/coalescer.hpp"
+#include "kernels/runner.hpp"
+#include "perfmodel/model.hpp"
+
+namespace {
+
+using namespace inplane;
+
+void BM_CpuReferenceNaive(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  Grid3<float> in = Grid3<float>::random({64, 64, 32}, cs.radius(), 1);
+  Grid3<float> out({64, 64, 32}, cs.radius());
+  for (auto _ : state) {
+    apply_reference(in, out, cs);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.extent().volume()));
+}
+BENCHMARK(BM_CpuReferenceNaive)->Arg(2)->Arg(8);
+
+void BM_CpuReferenceBlocked(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  Grid3<float> in = Grid3<float>::random({64, 64, 32}, cs.radius(), 1);
+  Grid3<float> out({64, 64, 32}, cs.radius());
+  for (auto _ : state) {
+    apply_reference_blocked(in, out, cs, 8, 8);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.extent().volume()));
+}
+BENCHMARK(BM_CpuReferenceBlocked)->Arg(2)->Arg(8);
+
+void BM_Coalescer(benchmark::State& state) {
+  gpusim::LaneAccess lanes[32];
+  for (int i = 0; i < 32; ++i) {
+    lanes[i] = {static_cast<std::uint64_t>(1000 + i * 4), 4, true};
+  }
+  for (auto _ : state) {
+    auto r = gpusim::coalesce(lanes, 128);
+    benchmark::DoNotOptimize(r.transactions);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coalescer);
+
+void BM_TracePlane(benchmark::State& state) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(
+      kernels::Method::InPlaneFullSlice, cs, kernels::LaunchConfig{64, 4, 2, 2, 4});
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  for (auto _ : state) {
+    auto t = kernel->trace_plane(dev, {512, 512, 256});
+    benchmark::DoNotOptimize(t.load_instrs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracePlane);
+
+void BM_FunctionalSweep(benchmark::State& state) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const auto kernel = kernels::make_kernel<float>(
+      kernels::Method::InPlaneFullSlice, cs, kernels::LaunchConfig{16, 4, 1, 1, 4});
+  Grid3<float> in = kernels::make_grid_for(*kernel, {32, 32, 8});
+  Grid3<float> out = kernels::make_grid_for(*kernel, {32, 32, 8});
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  for (auto _ : state) {
+    auto t = kernels::run_kernel(*kernel, in, out, dev);
+    benchmark::DoNotOptimize(t.flops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.extent().volume()));
+}
+BENCHMARK(BM_FunctionalSweep);
+
+void BM_PerfModelEvaluate(benchmark::State& state) {
+  perfmodel::ModelInput input;
+  input.grid = {512, 512, 256};
+  input.radius = 2;
+  input.method = kernels::Method::InPlaneFullSlice;
+  input.config = kernels::LaunchConfig{64, 4, 2, 2, 4};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  for (auto _ : state) {
+    auto r = perfmodel::evaluate(dev, input);
+    benchmark::DoNotOptimize(r.mpoints_per_s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerfModelEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Extension bench: z-slab multi-GPU scaling of the tuned in-plane
+// full-slice kernel (the Physis [26] / multi-GPU-solver direction of the
+// paper's introduction), with a PCIe-era halo-exchange model.
+//
+// Expected shape: near-linear scaling while slabs stay deep (the r-plane
+// exchange hides under compute), efficiency falling as slabs thin out or
+// the order (exchange volume) grows.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+
+  report::Table table({"GPU", "Order", "Devices", "MPt/s", "Exchange ms/sweep",
+                       "Speedup", "Efficiency"});
+  for (const auto& dev :
+       {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::tesla_c2070()}) {
+    for (int order : {2, 8}) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const autotune::TuneResult tuned = autotune::exhaustive_tune<float>(
+          Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      for (int n : {1, 2, 4, 8}) {
+        multigpu::MultiGpuOptions opt;
+        opt.n_devices = n;
+        const multigpu::MultiGpuStencil<float> mg(Method::InPlaneFullSlice, cs,
+                                                  tuned.best.config, opt);
+        const auto t = mg.estimate(dev, bench::kGrid);
+        if (!t.valid) {
+          table.add_row({dev.name, std::to_string(order), std::to_string(n),
+                         "invalid: " + t.invalid_reason, "-", "-", "-"});
+          continue;
+        }
+        table.add_row({dev.name, std::to_string(order), std::to_string(n),
+                       report::fmt(t.mpoints_per_s, 0),
+                       report::fmt(t.exchange_seconds * 1e3, 3),
+                       report::fmt(t.scaling_speedup, 2) + "x",
+                       report::fmt(t.parallel_efficiency * 100.0, 0) + "%"});
+      }
+    }
+  }
+  inplane::bench::emit(table,
+                       "Extension: multi-GPU z-slab scaling, tuned full-slice (SP)",
+                       "multigpu_scaling");
+  return 0;
+}

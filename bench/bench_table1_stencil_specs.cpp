@@ -1,0 +1,21 @@
+// Table I: stencil kernel specifications — extent, memory accesses per
+// element (6r+2) and flops per element (7r+1) for orders 2-12.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace inplane;
+  report::Table table({"Stencil Order", "Extent", "Memory Accesses/Elem.",
+                       "Flops/Elem."});
+  for (int order : paper_stencil_orders()) {
+    const StencilSpec spec{order};
+    table.add_row({std::to_string(order), spec.extent_string(),
+                   std::to_string(spec.memory_refs()),
+                   std::to_string(spec.flops_forward())});
+  }
+  bench::emit(table, "Table I: List of stencil kernels and their specifications",
+              "table1_stencil_specs");
+  return 0;
+}

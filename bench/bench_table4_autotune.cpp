@@ -1,0 +1,54 @@
+// Table IV: full auto-tuning of the in-plane full-slice method with both
+// thread and register blocking — optimal (TX, TY, RX, RY), MPoint/s and
+// speedup over nvstencil, for SP and DP, orders 2-12, on all three GPUs.
+//
+// Expected shape: SP speedups ~1.3-1.9 decreasing with stencil order; DP
+// speedups markedly smaller (down to ~1.05 at order 12 where the kernels
+// go compute-bound); optimal blocking factors shrinking as the order (and
+// with it register pressure) grows.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+using namespace inplane::autotune;
+
+template <typename T>
+void precision_rows(report::Table& table) {
+  for (const auto& dev : gpusim::paper_devices()) {
+    for (int order : paper_stencil_orders()) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const auto nv =
+          make_kernel<T>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      const TuneResult t =
+          exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      table.add_row({bench::precision_name<T>(), std::to_string(order), dev.name,
+                     t.best.config.to_string(),
+                     report::fmt(t.best.timing.mpoints_per_s, 1),
+                     report::fmt(t.best.timing.mpoints_per_s / base, 2),
+                     t.best.timing.bottleneck,
+                     std::to_string(t.best.timing.occupancy.active_blocks)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  report::Table table({"Prec", "Order", "GPU", "Optimal Param.", "MPoint/s",
+                       "Speedup", "Bottleneck", "ActBlks"});
+  precision_rows<float>(table);
+  precision_rows<double>(table);
+  inplane::bench::emit(table,
+                       "Table IV: Auto-tuning results, in-plane full-slice with "
+                       "thread + register blocking",
+                       "table4_autotune");
+  return 0;
+}

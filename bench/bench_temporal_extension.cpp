@@ -1,0 +1,66 @@
+// Extension bench (not a paper figure): 2-step temporal blocking on top of
+// the in-plane method, the "3.5-D" direction of Nguyen et al. [14] cited
+// in the paper's related work.  Compares point-UPDATES per second (grid
+// points x timesteps) of the tuned temporal kernel against the tuned
+// single-step full-slice kernel, across orders and devices.
+//
+// Expected shape: the temporal kernel wins where the single-step kernel is
+// bandwidth-bound and the (2r+1)-plane shared ring still allows reasonable
+// tiles (low orders); the advantage shrinks or inverts as the ring eats
+// shared memory and the redundant ghost-zone compute grows with r.
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+#include "temporal/temporal_kernel.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+/// Tunes the temporal kernel over the paper's search space; returns
+/// point-updates per second (2x grid points per sweep).
+double tune_temporal(const gpusim::DeviceSpec& dev, const StencilCoeffs& cs) {
+  autotune::SearchSpace space;
+  double best = 0.0;
+  for (const auto& cfg : space.enumerate(dev, bench::kGrid,
+                                         Method::InPlaneFullSlice, cs.radius(),
+                                         sizeof(float), 4)) {
+    const temporal::TemporalInPlaneKernel<float> k(cs, cfg);
+    const auto t = temporal::time_temporal_kernel(k, dev, bench::kGrid);
+    if (t.valid) best = std::max(best, t.mpoints_per_s * 2.0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  report::Table table({"GPU", "Order", "single-step MUpdates/s",
+                       "temporal (t=2) MUpdates/s", "temporal gain"});
+  for (const auto& dev : gpusim::paper_devices()) {
+    for (int order : {2, 4, 6, 8}) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const autotune::TuneResult single = autotune::exhaustive_tune<float>(
+          Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      const double single_updates = single.best.timing.mpoints_per_s;
+      const double temporal_updates = tune_temporal(dev, cs);
+      if (temporal_updates == 0.0) {
+        table.add_row({dev.name, std::to_string(order),
+                       report::fmt(single_updates, 0), "no valid config", "-"});
+        continue;
+      }
+      table.add_row({dev.name, std::to_string(order), report::fmt(single_updates, 0),
+                     report::fmt(temporal_updates, 0),
+                     report::fmt(temporal_updates / single_updates, 2) + "x"});
+    }
+  }
+  inplane::bench::emit(table,
+                       "Extension: 2-step temporal blocking vs single-step "
+                       "in-plane full-slice (SP)",
+                       "temporal_extension");
+  return 0;
+}

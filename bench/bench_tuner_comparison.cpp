@@ -1,0 +1,47 @@
+// Extension bench: the three tuning strategies side by side — exhaustive
+// (section IV-C), model-guided with beta = 5% (section VI), and stochastic
+// random-restart hill climbing (the alternative the related work mentions
+// for larger spaces) — comparing result quality against configurations
+// executed.
+
+#include <cstdio>
+
+#include "autotune/stochastic.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace inplane;
+  using namespace inplane::kernels;
+  using namespace inplane::autotune;
+
+  report::Table table({"GPU", "Order", "Strategy", "Configs run", "Best MPt/s",
+                       "vs exhaustive"});
+  for (const auto& dev :
+       {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::geforce_gtx680()}) {
+    for (int order : {2, 6, 12}) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const TuneResult exh =
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      const TuneResult mod = model_guided_tune<float>(Method::InPlaneFullSlice, cs,
+                                                      dev, bench::kGrid, 0.05);
+      StochasticOptions opt;
+      opt.max_evaluations = static_cast<int>(mod.executed);  // equal budget
+      const TuneResult sto = stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                                    bench::kGrid, opt);
+      const double best = exh.best.timing.mpoints_per_s;
+      auto row = [&](const char* name, const TuneResult& t) {
+        table.add_row({dev.name, std::to_string(order), name,
+                       std::to_string(t.executed),
+                       report::fmt(t.best.timing.mpoints_per_s, 1),
+                       report::fmt(t.best.timing.mpoints_per_s / best * 100.0, 1) +
+                           "%"});
+      };
+      row("exhaustive", exh);
+      row("model-guided (5%)", mod);
+      row("stochastic", sto);
+    }
+  }
+  inplane::bench::emit(table, "Extension: tuning-strategy comparison (SP, full-slice)",
+                       "tuner_comparison");
+  return 0;
+}

@@ -1,0 +1,575 @@
+#include "apps/app_kernel.hpp"
+
+#include <stdexcept>
+
+#include "kernels/kernel_common.hpp"
+
+namespace inplane::apps {
+
+using kernels::GridAccess;
+using kernels::LaunchConfig;
+using kernels::detail::kWarp;
+using kernels::detail::load_columns_to_state;
+using kernels::detail::load_rows_to_tile;
+using kernels::detail::SmemTile;
+using kernels::detail::smem_read_columns;
+using kernels::detail::smem_write_columns;
+using kernels::detail::store_columns;
+using kernels::detail::ThreadState;
+
+const char* to_string(AppMethod method) {
+  return method == AppMethod::ForwardPlane ? "nvstencil" : "in-plane";
+}
+
+template <typename T>
+struct AppKernel<T>::Work {
+  ThreadState<T> state;
+  std::vector<T> cur;   ///< [grid][tid * cols + col] centre values
+  std::vector<T> part;  ///< [out][tid * cols + col] partials
+  std::vector<T> emit;  ///< [out][tid * cols + col] completed outputs
+  std::vector<T> nval;  ///< per-term neighbour scratch
+
+  Work(int threads, int cols, int slots, int n_in, int n_out)
+      : state(threads, cols, std::max(slots, 1)),
+        cur(static_cast<std::size_t>(n_in) * static_cast<std::size_t>(threads) *
+            static_cast<std::size_t>(cols)),
+        part(static_cast<std::size_t>(n_out) * static_cast<std::size_t>(threads) *
+             static_cast<std::size_t>(cols)),
+        emit(part.size()),
+        nval(static_cast<std::size_t>(threads) * static_cast<std::size_t>(cols)) {}
+};
+
+namespace {
+
+/// Index of (tid, col) in a per-point scratch array.
+std::size_t pidx(const LaunchConfig& cfg, int tid, int col) {
+  return static_cast<std::size_t>(tid) *
+             static_cast<std::size_t>(cfg.columns_per_thread()) +
+         static_cast<std::size_t>(col);
+}
+
+/// Index into a [grid-or-output][point] scratch array.
+std::size_t gidx(const LaunchConfig& cfg, int g, int tid, int col) {
+  const auto n = static_cast<std::size_t>(cfg.threads()) *
+                 static_cast<std::size_t>(cfg.columns_per_thread());
+  return static_cast<std::size_t>(g) * n + pidx(cfg, tid, col);
+}
+
+}  // namespace
+
+template <typename T>
+AppKernel<T>::AppKernel(AppFormula formula, AppMethod method, LaunchConfig config)
+    : formula_(std::move(formula)), method_(method), cfg_(config) {
+  formula_.validate();
+  if (cfg_.tx <= 0 || cfg_.ty <= 0 || cfg_.rx <= 0 || cfg_.ry <= 0) {
+    throw std::invalid_argument("AppKernel: blocking factors must be positive");
+  }
+  if (cfg_.vec != 1 && cfg_.vec != 2 && cfg_.vec != 4) {
+    throw std::invalid_argument("AppKernel: vec must be 1, 2 or 4");
+  }
+  if (static_cast<std::size_t>(cfg_.vec) * sizeof(T) > 16) {
+    throw std::invalid_argument("AppKernel: vector load wider than 16 bytes");
+  }
+  zr_ = formula_.z_radius();
+  qd_ = formula_.queue_depth();
+
+  grids_.resize(static_cast<std::size_t>(formula_.n_inputs()));
+  int slot = 0;
+  std::uint32_t tile_base = 0;
+  for (int g = 0; g < formula_.n_inputs(); ++g) {
+    GridInfo& info = grids_[static_cast<std::size_t>(g)];
+    info.rxy = formula_.xy_radius(g);
+    info.staged = info.rxy > 0;
+    info.centre = formula_.centre_read(g);
+    info.back = formula_.back_depth(g);
+    for (const Term& t : formula_.terms()) {
+      if (t.grid == g && t.dk != 0) info.pipelined = true;
+    }
+    if (info.staged) {
+      info.tile_base = tile_base;
+      const SmemTile tile{cfg_.tile_w(), cfg_.tile_h(), info.rxy, sizeof(T), 0};
+      tile_base += static_cast<std::uint32_t>(tile.bytes());
+    }
+    info.slot = slot;
+    if (method_ == AppMethod::ForwardPlane) {
+      if (info.pipelined) slot += 2 * zr_ + 1;
+    } else {
+      slot += info.back;
+    }
+  }
+  smem_bytes_ = tile_base;
+  queue_slot_ = slot;
+  if (method_ == AppMethod::InPlaneFullSlice) slot += qd_ * formula_.n_outputs();
+  state_slots_ = slot;
+}
+
+template <typename T>
+int AppKernel<T>::input_align_offset(int g) const {
+  const GridInfo& info = grids_[static_cast<std::size_t>(g)];
+  return method_ == AppMethod::InPlaneFullSlice && info.staged ? info.rxy : 0;
+}
+
+template <typename T>
+int AppKernel<T>::output_align_offset() const {
+  for (int g = 0; g < formula_.n_inputs(); ++g) {
+    const int off = input_align_offset(g);
+    if (off > 0) return off;
+  }
+  return 0;
+}
+
+template <typename T>
+gpusim::KernelResources AppKernel<T>::resources() const {
+  gpusim::KernelResources res;
+  res.threads = cfg_.threads();
+  res.smem_bytes = smem_bytes_;
+  const int regs_per_value = sizeof(T) == 8 ? 2 : 1;
+  constexpr int kBaseRegs = 12;
+  constexpr int kScratchValues = 4;
+  res.regs_per_thread =
+      kBaseRegs + regs_per_value * (state_slots_ * cfg_.columns_per_thread() +
+                                    formula_.n_inputs() + kScratchValues);
+  return res;
+}
+
+template <typename T>
+std::optional<std::string> AppKernel<T>::validate(const gpusim::DeviceSpec& device,
+                                                  const Extent3& extent) const {
+  extent.validate();
+  if (cfg_.threads() > device.max_threads_per_block) {
+    return "threads per block over device limit";
+  }
+  if (smem_bytes_ > static_cast<std::size_t>(device.smem_per_sm)) {
+    return "staged tiles over per-SM shared memory";
+  }
+  if (extent.nx % cfg_.tile_w() != 0) return "TX*RX does not divide grid x extent";
+  if (extent.ny % cfg_.tile_h() != 0) return "TY*RY does not divide grid y extent";
+  return std::nullopt;
+}
+
+template <typename T>
+void AppKernel<T>::prime(gpusim::BlockCtx& ctx,
+                         std::span<const GridAccess> inputs, int bx, int by,
+                         Work& work) const {
+  const int x0 = bx * cfg_.tile_w();
+  const int y0 = by * cfg_.tile_h();
+  work.state.reset();
+  for (int g = 0; g < formula_.n_inputs(); ++g) {
+    const GridInfo& info = grids_[static_cast<std::size_t>(g)];
+    const GridAccess& in = inputs[static_cast<std::size_t>(g)];
+    if (method_ == AppMethod::ForwardPlane && info.pipelined) {
+      // Slots 1..2zr preloaded with planes -zr .. zr-1 (first sweep step's
+      // shift-and-load completes the pipeline).
+      for (int i = 1; i <= 2 * zr_; ++i) {
+        const int z = -zr_ + (i - 1);
+        load_columns_to_state<T>(ctx, in, cfg_, x0, y0, z,
+                                 [&](int tid, int col) -> T& {
+                                   return work.state.at(tid, col, info.slot + i);
+                                 });
+      }
+    } else if (method_ == AppMethod::InPlaneFullSlice && info.back > 0) {
+      for (int m = 1; m <= info.back; ++m) {
+        load_columns_to_state<T>(ctx, in, cfg_, x0, y0, -m,
+                                 [&](int tid, int col) -> T& {
+                                   return work.state.at(tid, col, info.slot + m - 1);
+                                 });
+      }
+    }
+  }
+}
+
+template <typename T>
+void AppKernel<T>::plane(gpusim::BlockCtx& ctx, std::span<const GridAccess> inputs,
+                         std::span<GridAccess> outputs, int bx, int by, int k,
+                         Work& work) const {
+  const int w = cfg_.tile_w();
+  const int h = cfg_.tile_h();
+  const int x0 = bx * w;
+  const int y0 = by * h;
+  const int threads = cfg_.threads();
+  const int cols = cfg_.columns_per_thread();
+  const bool fn = ctx.functional();
+  const bool inplane = method_ == AppMethod::InPlaneFullSlice;
+
+  auto tile_of = [&](const GridInfo& info) {
+    return SmemTile{w, h, info.rxy, sizeof(T), info.tile_base};
+  };
+
+  // ---- Load phase ---------------------------------------------------------
+  for (int g = 0; g < formula_.n_inputs(); ++g) {
+    const GridInfo& info = grids_[static_cast<std::size_t>(g)];
+    const GridAccess& in = inputs[static_cast<std::size_t>(g)];
+    if (inplane) {
+      if (info.staged) {
+        const SmemTile t = tile_of(info);
+        const int r = info.rxy;
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0 + w + r, y0 - r,
+                             y0 + h + r, k, cfg_.vec);
+      } else if (info.centre) {
+        load_columns_to_state<T>(ctx, in, cfg_, x0, y0, k, [&](int tid, int col) -> T& {
+          return work.cur[gidx(cfg_, g, tid, col)];
+        });
+      }
+    } else {
+      if (info.pipelined) {
+        // Advance the pipeline and stream in plane k + zr.
+        if (fn) {
+          for (int tid = 0; tid < threads; ++tid) {
+            for (int col = 0; col < cols; ++col) {
+              for (int i = 0; i < 2 * zr_; ++i) {
+                work.state.at(tid, col, info.slot + i) =
+                    work.state.at(tid, col, info.slot + i + 1);
+              }
+            }
+          }
+        }
+        load_columns_to_state<T>(ctx, in, cfg_, x0, y0, k + zr_,
+                                 [&](int tid, int col) -> T& {
+                                   return work.state.at(tid, col,
+                                                        info.slot + 2 * zr_);
+                                 });
+      }
+      if (info.staged) {
+        const SmemTile t = tile_of(info);
+        const int r = info.rxy;
+        if (info.pipelined) {
+          // Interior from the pipeline's centre register (nvstencil style).
+          smem_write_columns<T>(ctx, t, cfg_, [&](int tid, int col) {
+            return work.state.at(tid, col, info.slot + zr_);
+          });
+        } else {
+          load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0, y0 + h, k, 1);
+        }
+        // Halo strips and corners re-loaded from global plane k (Fig. 4).
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 + h, y0 + h + r, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0, y0 + h, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0, y0 + h, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 + h, y0 + h + r, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 + h,
+                             y0 + h + r, k, 1);
+      } else if (info.centre && !info.pipelined) {
+        load_columns_to_state<T>(ctx, in, cfg_, x0, y0, k, [&](int tid, int col) -> T& {
+          return work.cur[gidx(cfg_, g, tid, col)];
+        });
+      }
+    }
+  }
+  ctx.sync();
+
+  // ---- Centre values -------------------------------------------------------
+  // Staged grids read their centre once from the tile; forward-method
+  // pipelined grids (staged or not) take it from the pipeline register;
+  // plain centre-only grids were already loaded in the load phase.
+  for (int g = 0; g < formula_.n_inputs(); ++g) {
+    const GridInfo& info = grids_[static_cast<std::size_t>(g)];
+    if (!info.centre) continue;
+    if (!inplane && info.pipelined) {
+      if (fn) {
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            work.cur[gidx(cfg_, g, tid, col)] =
+                work.state.at(tid, col, info.slot + zr_);
+          }
+        }
+      }
+      continue;
+    }
+    if (!info.staged) continue;
+    const SmemTile t = tile_of(info);
+    smem_read_columns<T>(ctx, t, cfg_, 0, 0, [&](int tid, int col, T v) {
+      work.cur[gidx(cfg_, g, tid, col)] = v;
+    });
+  }
+
+  // ---- Per-term accumulation ----------------------------------------------
+  if (fn) std::fill(work.part.begin(), work.part.end(), T{});
+  auto centre_of = [&](int g, int tid, int col) -> T {
+    return work.cur[gidx(cfg_, g, tid, col)];
+  };
+  for (const Term& t : formula_.terms()) {
+    const GridInfo& info = grids_[static_cast<std::size_t>(t.grid)];
+    const T coeff = static_cast<T>(t.coeff);
+    if (t.dk == 0 && (t.di != 0 || t.dj != 0)) {
+      const SmemTile tile = tile_of(info);
+      smem_read_columns<T>(ctx, tile, cfg_, t.di, t.dj, [&](int tid, int col, T v) {
+        work.nval[pidx(cfg_, tid, col)] = v;
+      });
+      if (fn) {
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            T v = coeff * work.nval[pidx(cfg_, tid, col)];
+            if (t.coeff_grid >= 0) v *= centre_of(t.coeff_grid, tid, col);
+            work.part[gidx(cfg_, t.out, tid, col)] += v;
+          }
+        }
+      }
+    } else if (t.dk == 0) {
+      if (fn) {
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            T v = coeff * centre_of(t.grid, tid, col);
+            if (t.coeff_grid >= 0) v *= centre_of(t.coeff_grid, tid, col);
+            work.part[gidx(cfg_, t.out, tid, col)] += v;
+          }
+        }
+      }
+    } else if (t.dk < 0) {
+      if (fn) {
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            const T back =
+                inplane ? work.state.at(tid, col, info.slot + (-t.dk) - 1)
+                        : work.state.at(tid, col, info.slot + zr_ + t.dk);
+            T v = coeff * back;
+            if (t.coeff_grid >= 0) v *= centre_of(t.coeff_grid, tid, col);
+            work.part[gidx(cfg_, t.out, tid, col)] += v;
+          }
+        }
+      }
+    } else {
+      // dk > 0: forward method reads the pipeline; in-plane defers to the
+      // queue update below.
+      if (!inplane && fn) {
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            work.part[gidx(cfg_, t.out, tid, col)] +=
+                coeff * work.state.at(tid, col, info.slot + zr_ + t.dk);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- In-plane queue updates, emission and shifts (Eqns. (3)-(5)) --------
+  if (inplane && fn) {
+    for (int tid = 0; tid < threads; ++tid) {
+      for (int col = 0; col < cols; ++col) {
+        // Queue updates: each forward term feeds the output plane k - dk.
+        for (const Term& t : formula_.terms()) {
+          if (t.dk <= 0) continue;
+          work.state.at(tid, col, queue_slot_ + t.out * qd_ + (t.dk - 1)) +=
+              static_cast<T>(t.coeff) * centre_of(t.grid, tid, col);
+        }
+        for (int o = 0; o < formula_.n_outputs(); ++o) {
+          const std::size_t e = gidx(cfg_, o, tid, col);
+          if (qd_ == 0) {
+            work.emit[e] = work.part[e];
+            continue;
+          }
+          const int base = queue_slot_ + o * qd_;
+          work.emit[e] = work.state.at(tid, col, base + qd_ - 1);
+          for (int d = qd_ - 1; d >= 1; --d) {
+            work.state.at(tid, col, base + d) = work.state.at(tid, col, base + d - 1);
+          }
+          work.state.at(tid, col, base) = work.part[e];
+        }
+        // Back-history shifts.
+        for (int g = 0; g < formula_.n_inputs(); ++g) {
+          const GridInfo& info = grids_[static_cast<std::size_t>(g)];
+          if (info.back == 0) continue;
+          for (int m = info.back - 1; m >= 1; --m) {
+            work.state.at(tid, col, info.slot + m) =
+                work.state.at(tid, col, info.slot + m - 1);
+          }
+          work.state.at(tid, col, info.slot) = centre_of(g, tid, col);
+        }
+      }
+    }
+  } else if (!inplane && fn) {
+    for (std::size_t i = 0; i < work.part.size(); ++i) work.emit[i] = work.part[i];
+  }
+
+  // ---- Store ---------------------------------------------------------------
+  const int store_k = inplane ? k - qd_ : k;
+  if (store_k >= 0 && store_k < inputs[0].layout->nz()) {
+    for (int o = 0; o < formula_.n_outputs(); ++o) {
+      store_columns<T>(ctx, outputs[static_cast<std::size_t>(o)], cfg_, x0, y0,
+                       store_k, [&](int tid, int col) {
+                         return work.emit[gidx(cfg_, o, tid, col)];
+                       });
+    }
+  }
+  ctx.sync();
+
+  // ---- Compute accounting ---------------------------------------------------
+  std::uint64_t instrs_pp = 0;
+  for (const Term& t : formula_.terms()) instrs_pp += t.coeff_grid >= 0 ? 2u : 1u;
+  const auto warps = static_cast<std::uint64_t>(cfg_.warps(ctx.device()));
+  const auto colsu = static_cast<std::uint64_t>(cols);
+  const auto threadsu = static_cast<std::uint64_t>(threads);
+  ctx.record_compute(warps * colsu * instrs_pp,
+                     threadsu * colsu *
+                         static_cast<std::uint64_t>(formula_.flops_per_point()));
+}
+
+template <typename T>
+void AppKernel<T>::run_block(gpusim::BlockCtx& ctx,
+                             std::span<const GridAccess> inputs,
+                             std::span<GridAccess> outputs, int bx, int by) const {
+  if (static_cast<int>(inputs.size()) != formula_.n_inputs() ||
+      static_cast<int>(outputs.size()) != formula_.n_outputs()) {
+    throw std::invalid_argument("AppKernel::run_block: grid count mismatch");
+  }
+  Work work(cfg_.threads(), cfg_.columns_per_thread(), state_slots_,
+            formula_.n_inputs(), formula_.n_outputs());
+  prime(ctx, inputs, bx, by, work);
+  const int nz = inputs[0].layout->nz();
+  const int sweep = method_ == AppMethod::InPlaneFullSlice ? nz + qd_ : nz;
+  for (int k = 0; k < sweep; ++k) {
+    plane(ctx, inputs, outputs, bx, by, k, work);
+  }
+}
+
+template <typename T>
+gpusim::TraceStats AppKernel<T>::trace_plane(const gpusim::DeviceSpec& device,
+                                             const Extent3& extent) const {
+  // Two layouts: one aligned for the staged/vectorised grids, one with
+  // interior alignment for centre-only grids.
+  const GridLayout aligned(extent, formula_.radius(), sizeof(T), 32,
+                           output_align_offset());
+  const GridLayout plain(extent, formula_.radius(), sizeof(T), 32, 0);
+  gpusim::GlobalMemory gmem;  // never dereferenced in trace mode
+  gpusim::BlockCtx ctx(device, gmem, smem_bytes_, gpusim::ExecMode::Trace);
+  std::vector<GridAccess> inputs;
+  std::vector<GridAccess> outputs;
+  std::uint64_t base = 0x10000;
+  const std::uint64_t stride = round_up(aligned.allocated_bytes(), 512) + 512;
+  for (int g = 0; g < formula_.n_inputs(); ++g, base += stride) {
+    inputs.push_back({input_align_offset(g) > 0 ? &aligned : &plain, base});
+  }
+  for (int o = 0; o < formula_.n_outputs(); ++o, base += stride) {
+    outputs.push_back({&aligned, base});
+  }
+  Work work(cfg_.threads(), cfg_.columns_per_thread(), state_slots_,
+            formula_.n_inputs(), formula_.n_outputs());
+  const int k = std::min(extent.nz - 1, qd_ + 1);
+  plane(ctx, inputs, outputs, 0, 0, k, work);
+  return ctx.stats();
+}
+
+template <typename T>
+std::vector<Grid3<T>> make_input_grids_for(const AppKernel<T>& kernel, Extent3 extent) {
+  std::vector<Grid3<T>> grids;
+  const int n = kernel.formula().n_inputs();
+  grids.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    grids.emplace_back(extent, kernel.formula().radius(), 32,
+                       kernel.input_align_offset(g));
+  }
+  return grids;
+}
+
+template <typename T>
+std::vector<Grid3<T>> make_output_grids_for(const AppKernel<T>& kernel,
+                                            Extent3 extent) {
+  std::vector<Grid3<T>> grids;
+  const int n = kernel.formula().n_outputs();
+  grids.reserve(static_cast<std::size_t>(n));
+  for (int o = 0; o < n; ++o) {
+    grids.emplace_back(extent, kernel.formula().radius(), 32,
+                       kernel.output_align_offset());
+  }
+  return grids;
+}
+
+namespace {
+
+template <typename T>
+std::span<const std::byte> const_bytes(const Grid3<T>& g) {
+  return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
+}
+
+}  // namespace
+
+template <typename T>
+gpusim::TraceStats run_app_kernel(const AppKernel<T>& kernel,
+                                  std::span<const Grid3<T>* const> inputs,
+                                  std::span<Grid3<T>* const> outputs,
+                                  const gpusim::DeviceSpec& device,
+                                  gpusim::ExecMode mode) {
+  if (static_cast<int>(inputs.size()) != kernel.formula().n_inputs() ||
+      static_cast<int>(outputs.size()) != kernel.formula().n_outputs()) {
+    throw std::invalid_argument("run_app_kernel: grid count mismatch");
+  }
+  const Extent3 extent = inputs[0]->extent();
+  if (auto err = kernel.validate(device, extent)) {
+    throw std::invalid_argument("run_app_kernel: invalid configuration: " + *err);
+  }
+  for (const auto* g : inputs) {
+    if (g->extent() != extent || g->halo() < kernel.formula().radius()) {
+      throw std::invalid_argument("run_app_kernel: incompatible input grid");
+    }
+  }
+  gpusim::GlobalMemory gmem;
+  std::vector<GridAccess> in_access;
+  std::vector<GridAccess> out_access;
+  for (const auto* g : inputs) {
+    in_access.push_back({&g->layout(), gmem.base(gmem.map_readonly(const_bytes(*g)))});
+  }
+  for (auto* g : outputs) {
+    out_access.push_back({&g->layout(), gmem.base(gmem.map(g->bytes()))});
+  }
+  const LaunchConfig& cfg = kernel.config();
+  const int nbx = extent.nx / cfg.tile_w();
+  const int nby = extent.ny / cfg.tile_h();
+  gpusim::TraceStats total;
+  for (int by = 0; by < nby; ++by) {
+    for (int bx = 0; bx < nbx; ++bx) {
+      gpusim::BlockCtx ctx(device, gmem, kernel.resources().smem_bytes, mode);
+      kernel.run_block(ctx, in_access, out_access, bx, by);
+      total += ctx.stats();
+    }
+  }
+  return total;
+}
+
+template <typename T>
+gpusim::KernelTiming time_app_kernel(const AppKernel<T>& kernel,
+                                     const gpusim::DeviceSpec& device,
+                                     const Extent3& extent) {
+  gpusim::KernelTiming timing;
+  if (auto err = kernel.validate(device, extent)) {
+    timing.invalid_reason = *err;
+    return timing;
+  }
+  gpusim::TimingInput input;
+  input.grid = extent;
+  input.radius = kernel.formula().z_radius();
+  input.tile_w = kernel.config().tile_w();
+  input.tile_h = kernel.config().tile_h();
+  input.resources = kernel.resources();
+  input.per_plane = kernel.trace_plane(device, extent);
+  input.is_double = sizeof(T) == 8;
+  input.ilp = kernel.config().columns_per_thread();
+  return gpusim::estimate_timing(device, input);
+}
+
+template class AppKernel<float>;
+template class AppKernel<double>;
+template std::vector<Grid3<float>> make_input_grids_for<float>(const AppKernel<float>&,
+                                                                Extent3);
+template std::vector<Grid3<double>> make_input_grids_for<double>(
+    const AppKernel<double>&, Extent3);
+template std::vector<Grid3<float>> make_output_grids_for<float>(
+    const AppKernel<float>&, Extent3);
+template std::vector<Grid3<double>> make_output_grids_for<double>(
+    const AppKernel<double>&, Extent3);
+template gpusim::TraceStats run_app_kernel<float>(const AppKernel<float>&,
+                                                  std::span<const Grid3<float>* const>,
+                                                  std::span<Grid3<float>* const>,
+                                                  const gpusim::DeviceSpec&,
+                                                  gpusim::ExecMode);
+template gpusim::TraceStats run_app_kernel<double>(
+    const AppKernel<double>&, std::span<const Grid3<double>* const>,
+    std::span<Grid3<double>* const>, const gpusim::DeviceSpec&, gpusim::ExecMode);
+template gpusim::KernelTiming time_app_kernel<float>(const AppKernel<float>&,
+                                                     const gpusim::DeviceSpec&,
+                                                     const Extent3&);
+template gpusim::KernelTiming time_app_kernel<double>(const AppKernel<double>&,
+                                                      const gpusim::DeviceSpec&,
+                                                      const Extent3&);
+
+}  // namespace inplane::apps

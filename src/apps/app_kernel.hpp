@@ -1,0 +1,143 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/formula.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::apps {
+
+/// Loading method for an application kernel: the nvstencil-style
+/// forward-plane baseline or the paper's in-plane full-slice method — the
+/// two bars of Fig. 11.
+enum class AppMethod { ForwardPlane, InPlaneFullSlice };
+
+[[nodiscard]] const char* to_string(AppMethod method);
+
+/// A simulated multi-grid application stencil kernel (section V).
+///
+/// The kernel generalises the scalar stencil machinery to any AppFormula:
+/// input grids touched at xy offsets are staged plane-by-plane in shared
+/// memory (one stacked tile per grid), centre-only grids are read with one
+/// coalesced load per point, z offsets run through the forward method's
+/// register pipeline or the in-plane method's partial-output queue
+/// (Eqns. (3)-(5) applied per term), and spatially varying coefficients
+/// are read at the output point.
+template <typename T>
+class AppKernel {
+ public:
+  AppKernel(AppFormula formula, AppMethod method, kernels::LaunchConfig config);
+
+  [[nodiscard]] const AppFormula& formula() const { return formula_; }
+  [[nodiscard]] AppMethod method() const { return method_; }
+  [[nodiscard]] const kernels::LaunchConfig& config() const { return cfg_; }
+
+  /// Grid align_offset the loading pattern wants for input grid @p g: the
+  /// in-plane full-slice method vectorises rows starting at x = -rxy for
+  /// grids staged in shared memory; centre-only grids (coefficients) keep
+  /// interior alignment so their coalesced column loads stay on one line.
+  [[nodiscard]] int input_align_offset(int g) const;
+
+  /// Align offset for output grids: outputs ping-pong with the staged
+  /// input field under Jacobi iteration, so they share its alignment.
+  [[nodiscard]] int output_align_offset() const;
+
+  /// Estimated per-block resources: K_S sums one tile per staged grid.
+  [[nodiscard]] gpusim::KernelResources resources() const;
+
+  [[nodiscard]] std::optional<std::string> validate(const gpusim::DeviceSpec& device,
+                                                    const Extent3& extent) const;
+
+  /// Executes one block's full z sweep over all input/output grids.
+  void run_block(gpusim::BlockCtx& ctx, std::span<const kernels::GridAccess> inputs,
+                 std::span<kernels::GridAccess> outputs, int bx, int by) const;
+
+  /// Steady-state one-plane trace of one block (timing-model input).
+  [[nodiscard]] gpusim::TraceStats trace_plane(const gpusim::DeviceSpec& device,
+                                               const Extent3& extent) const;
+
+ private:
+  struct Work;
+  void prime(gpusim::BlockCtx& ctx, std::span<const kernels::GridAccess> inputs,
+             int bx, int by, Work& work) const;
+  void plane(gpusim::BlockCtx& ctx, std::span<const kernels::GridAccess> inputs,
+             std::span<kernels::GridAccess> outputs, int bx, int by, int k,
+             Work& work) const;
+
+  AppFormula formula_;
+  AppMethod method_;
+  kernels::LaunchConfig cfg_;
+
+  // Precomputed per-grid layout.
+  struct GridInfo {
+    bool staged = false;   ///< plane staged in shared memory
+    int rxy = 0;           ///< xy halo of the staged tile
+    bool centre = false;   ///< centre column value needed in registers
+    bool pipelined = false;///< forward method: z register pipeline
+    int back = 0;          ///< in-plane method: back-history depth
+    std::uint32_t tile_base = 0;  ///< byte offset of this grid's tile
+    int slot = 0;          ///< first ThreadState slot (pipeline / back)
+  };
+  std::vector<GridInfo> grids_;
+  std::size_t smem_bytes_ = 0;
+  int state_slots_ = 0;  ///< ThreadState slots per (tid, column)
+  int queue_slot_ = 0;   ///< first slot of the output queues (in-plane)
+  int qd_ = 0;           ///< in-plane queue depth (max forward z offset)
+  int zr_ = 0;           ///< forward pipeline half-depth (max |dk|)
+};
+
+/// Builds the kernel's input grids (halo = formula radius, per-grid
+/// alignment per input_align_offset).
+template <typename T>
+[[nodiscard]] std::vector<Grid3<T>> make_input_grids_for(const AppKernel<T>& kernel,
+                                                         Extent3 extent);
+
+/// Builds the kernel's output grids.
+template <typename T>
+[[nodiscard]] std::vector<Grid3<T>> make_output_grids_for(const AppKernel<T>& kernel,
+                                                          Extent3 extent);
+
+/// Functionally executes the kernel over whole grids; returns the trace.
+template <typename T>
+gpusim::TraceStats run_app_kernel(const AppKernel<T>& kernel,
+                                  std::span<const Grid3<T>* const> inputs,
+                                  std::span<Grid3<T>* const> outputs,
+                                  const gpusim::DeviceSpec& device,
+                                  gpusim::ExecMode mode = gpusim::ExecMode::Functional);
+
+/// Timing estimate via the shared staging/occupancy/bandwidth model.
+template <typename T>
+[[nodiscard]] gpusim::KernelTiming time_app_kernel(const AppKernel<T>& kernel,
+                                                   const gpusim::DeviceSpec& device,
+                                                   const Extent3& extent);
+
+extern template class AppKernel<float>;
+extern template class AppKernel<double>;
+extern template std::vector<Grid3<float>> make_input_grids_for<float>(
+    const AppKernel<float>&, Extent3);
+extern template std::vector<Grid3<double>> make_input_grids_for<double>(
+    const AppKernel<double>&, Extent3);
+extern template std::vector<Grid3<float>> make_output_grids_for<float>(
+    const AppKernel<float>&, Extent3);
+extern template std::vector<Grid3<double>> make_output_grids_for<double>(
+    const AppKernel<double>&, Extent3);
+extern template gpusim::TraceStats run_app_kernel<float>(
+    const AppKernel<float>&, std::span<const Grid3<float>* const>,
+    std::span<Grid3<float>* const>, const gpusim::DeviceSpec&, gpusim::ExecMode);
+extern template gpusim::TraceStats run_app_kernel<double>(
+    const AppKernel<double>&, std::span<const Grid3<double>* const>,
+    std::span<Grid3<double>* const>, const gpusim::DeviceSpec&, gpusim::ExecMode);
+extern template gpusim::KernelTiming time_app_kernel<float>(const AppKernel<float>&,
+                                                            const gpusim::DeviceSpec&,
+                                                            const Extent3&);
+extern template gpusim::KernelTiming time_app_kernel<double>(const AppKernel<double>&,
+                                                             const gpusim::DeviceSpec&,
+                                                             const Extent3&);
+
+}  // namespace inplane::apps

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/grid3.hpp"
+
+namespace inplane::apps {
+
+/// One additive term of a multi-grid linear stencil:
+///
+///   outputs[out] += coeff * inputs[grid](i+di, j+dj, k+dk)
+///                         * (coeff_grid >= 0 ? inputs[coeff_grid](i, j, k) : 1)
+///
+/// Restrictions (validated by AppFormula::validate):
+///  * dk != 0 implies di == dj == 0 — z-offset accesses must sit on the
+///    centre column, so both the forward-plane register pipeline and the
+///    in-plane queue (Eqns. (3)-(5)) apply;
+///  * coeff_grid >= 0 implies dk <= 0 — a spatially varying coefficient is
+///    read at the output point, which the in-plane method visits when the
+///    partial is created, so it never needs to be retained in the queue.
+struct Term {
+  int out = 0;         ///< output grid index
+  int grid = 0;        ///< input grid index the stencil value is read from
+  int di = 0;          ///< x offset
+  int dj = 0;          ///< y offset
+  int dk = 0;          ///< z offset
+  double coeff = 1.0;  ///< constant coefficient
+  int coeff_grid = -1; ///< optional input grid whose centre value multiplies
+};
+
+/// A named application stencil: how many input and output grids it uses
+/// (the In/Out rows of Table V) and its list of linear terms.
+class AppFormula {
+ public:
+  AppFormula(std::string name, int n_inputs, int n_outputs, std::vector<Term> terms);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int n_inputs() const { return n_inputs_; }
+  [[nodiscard]] int n_outputs() const { return n_outputs_; }
+  [[nodiscard]] std::span<const Term> terms() const { return terms_; }
+
+  /// Halo width the grids need: max over |di|, |dj|, |dk|.
+  [[nodiscard]] int radius() const;
+  /// Max |dk| over terms (register pipeline depth for the forward method).
+  [[nodiscard]] int z_radius() const;
+  /// Max positive dk (in-plane output queue depth; 0 if no forward terms).
+  [[nodiscard]] int queue_depth() const;
+  /// Max -dk over terms reading @p grid (in-plane back-history depth).
+  [[nodiscard]] int back_depth(int grid) const;
+  /// Max xy offset used on @p grid — > 0 means the grid's plane must be
+  /// staged in shared memory.
+  [[nodiscard]] int xy_radius(int grid) const;
+  /// True if any term reads @p grid at its centre column (directly, via a
+  /// z offset, or as a spatially varying coefficient).
+  [[nodiscard]] bool centre_read(int grid) const;
+
+  /// Distinct memory references per output point (loads + one store per
+  /// output grid) — the apps' analogue of Table I's "Memory Accesses".
+  [[nodiscard]] int memory_refs_per_point() const;
+  /// Flops per point (each term costs a multiply-add; a varying
+  /// coefficient adds one more multiply).
+  [[nodiscard]] int flops_per_point() const;
+
+  /// Throws std::invalid_argument on violated Term restrictions or
+  /// out-of-range grid indices.
+  void validate() const;
+
+ private:
+  std::string name_;
+  int n_inputs_;
+  int n_outputs_;
+  std::vector<Term> terms_;
+};
+
+/// --- The six application stencils of Table V -----------------------------
+/// Hyperthermia's exact PDE coefficients are not public; the factory below
+/// builds the structural equivalent described in [17]: a 3-D temperature
+/// stencil with 9 spatially varying coefficient grids (10 inputs, 1
+/// output), which reproduces the property Fig. 11 turns on — coefficient
+/// traffic dwarfing the halo savings.  Upstream is modelled as a
+/// second-order one-sided upwind advection operator (1 input, 1 output,
+/// radius 2), matching the weather-code stencil's shape in [17].
+
+/// Div: 3-D discrete divergence, (u, v, w) vector field -> scalar.
+[[nodiscard]] AppFormula divergence(double h = 1.0);
+/// Grad: 3-D discrete gradient, scalar -> (gx, gy, gz).
+[[nodiscard]] AppFormula gradient(double h = 1.0);
+/// Hyperthermia: temperature update with 9 varying-coefficient grids.
+[[nodiscard]] AppFormula hyperthermia();
+/// Upstream: second-order upwind advection (weather-code stencil).
+[[nodiscard]] AppFormula upstream(double vx = 0.5, double vy = 0.25, double vz = 0.125);
+/// Laplacian: 3-D discrete 7-point Laplacian.
+[[nodiscard]] AppFormula laplacian(double h = 1.0);
+/// Poisson: one weighted-Jacobi sweep of the 3-D Poisson equation (u, f).
+[[nodiscard]] AppFormula poisson(double h = 1.0);
+
+/// All six, in Table V order.
+[[nodiscard]] std::vector<AppFormula> paper_apps();
+
+/// --- Additional application stencils (beyond Table V) ----------------------
+
+/// Second-order acoustic wave equation with the leapfrog scheme:
+///   u_next = 2 u - u_prev + (c dt/h)^2 lap(u).
+/// Two input grids (u, u_prev), one output — the time-stepping pattern of
+/// seismic and electromagnetic solvers.
+[[nodiscard]] AppFormula wave(double courant = 0.4);
+
+/// High-order seismic reverse-time-migration kernel: an 8th-order (radius
+/// 4) star Laplacian with a spatially varying squared-velocity grid,
+///   out = 2 u - u_prev + v2(p) * lap8(u).
+/// Three input grids (u, u_prev, v2), one output — the stencil shape of
+/// the RTM codes in [7].
+[[nodiscard]] AppFormula seismic_rtm();
+
+/// CPU gold reference: evaluates the formula at every interior point.
+/// Output interiors are overwritten; inputs need halo >= formula.radius().
+template <typename T>
+void apply_formula(const AppFormula& formula,
+                   std::span<const Grid3<T>* const> inputs,
+                   std::span<Grid3<T>* const> outputs);
+
+extern template void apply_formula<float>(const AppFormula&,
+                                          std::span<const Grid3<float>* const>,
+                                          std::span<Grid3<float>* const>);
+extern template void apply_formula<double>(const AppFormula&,
+                                           std::span<const Grid3<double>* const>,
+                                           std::span<Grid3<double>* const>);
+
+}  // namespace inplane::apps

@@ -1,0 +1,52 @@
+#include "autotune/search_space.hpp"
+
+namespace inplane::autotune {
+
+std::vector<kernels::LaunchConfig> SearchSpace::enumerate(
+    const gpusim::DeviceSpec& device, const Extent3& extent, kernels::Method method,
+    int radius, std::size_t elem_size, int vec) const {
+  std::vector<kernels::LaunchConfig> configs;
+  for (int tx : tx_values) {
+    if (tx % 16 != 0) continue;  // constraint (i)
+    // The SDK FDTD3d kernel hard-codes its block width, and its entire
+    // x-axis logic (warp-aligned interior loads, tix<r halo conditionals,
+    // the tile row stride) is built around it.  The paper's
+    // register-blocked nvstencil variant (Fig. 10 case (i)) keeps the SDK
+    // loading structure, so only TY and RY are tunable for it — register
+    // blocking along x would be the rewrite that the in-plane method *is*.
+    if (method == kernels::Method::ForwardPlane && tx != 32) continue;
+    for (int ty : ty_values) {
+      if (tx * ty > device.max_threads_per_block) continue;  // constraint (ii)
+      for (int rx : rx_values) {
+        if (method == kernels::Method::ForwardPlane && rx != 1) continue;
+        if (extent.nx % (tx * rx) != 0) continue;  // constraint (iv), x
+        for (int ry : ry_values) {
+          if (extent.ny % (ty * ry) != 0) continue;  // constraint (iv), y
+          const kernels::LaunchConfig cfg{tx, ty, rx, ry, vec};
+          const gpusim::KernelResources res =
+              kernels::estimate_resources(method, cfg, radius, elem_size);
+          if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+            continue;  // constraint (iii)
+          }
+          configs.push_back(cfg);
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+int default_vec(kernels::Method method, std::size_t elem_size) {
+  switch (method) {
+    case kernels::Method::ForwardPlane:
+    case kernels::Method::InPlaneClassical:
+      return 1;
+    case kernels::Method::InPlaneVertical:
+    case kernels::Method::InPlaneHorizontal:
+    case kernels::Method::InPlaneFullSlice:
+      return elem_size == 8 ? 2 : 4;
+  }
+  return 1;
+}
+
+}  // namespace inplane::autotune

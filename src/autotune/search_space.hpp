@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/extent.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/resources.hpp"
+
+namespace inplane::autotune {
+
+/// The global (TX, TY, RX, RY) parameter space the auto-tuner of section
+/// IV-C searches, together with the paper's pruning constraints:
+///  (i)   TX is a multiple of a half-warp (16) for memory coalescing;
+///  (ii)  TX*TY is within the device thread-per-block limit;
+///  (iii) the shared tile fits the device's shared memory;
+///  (iv)  TY*RY divides the vertical grid size (we also require TX*RX to
+///        divide the horizontal size, which the paper's grids satisfy by
+///        construction).
+struct SearchSpace {
+  // Value ranges match the optima reported in Table IV (TX up to 256, TY
+  // up to 16, RX up to 2 there but we keep 4, RY up to 8).
+  std::vector<int> tx_values = {16, 32, 64, 128, 256};
+  std::vector<int> ty_values = {1, 2, 4, 8, 16};
+  std::vector<int> rx_values = {1, 2, 4};
+  std::vector<int> ry_values = {1, 2, 4, 8};
+
+  /// Number of raw points before constraint pruning (M in section VI).
+  [[nodiscard]] std::size_t raw_size() const {
+    return tx_values.size() * ty_values.size() * rx_values.size() * ry_values.size();
+  }
+
+  /// Enumerates the configurations satisfying constraints (i)-(iv) for the
+  /// given kernel family.  @p vec is the vector load width stamped on
+  /// every returned configuration (the paper fixes it per method and
+  /// precision rather than searching it; see default_vec()).
+  [[nodiscard]] std::vector<kernels::LaunchConfig> enumerate(
+      const gpusim::DeviceSpec& device, const Extent3& extent, kernels::Method method,
+      int radius, std::size_t elem_size, int vec) const;
+};
+
+/// The vector width each method uses (section III-C2): the forward-plane
+/// baseline and the classical pattern load scalars; the merged-row
+/// patterns use the widest load that fits 16 bytes (4 floats / 2 doubles).
+[[nodiscard]] int default_vec(kernels::Method method, std::size_t elem_size);
+
+}  // namespace inplane::autotune

@@ -1,0 +1,155 @@
+#include "autotune/stochastic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "kernels/runner.hpp"
+
+namespace inplane::autotune {
+
+namespace {
+
+/// A configuration as indices into the search-space value lists, so
+/// "neighbour" means one index moved by one.
+struct Point {
+  std::size_t tx = 0, ty = 0, rx = 0, ry = 0;
+  [[nodiscard]] bool operator<(const Point& o) const {
+    return std::tie(tx, ty, rx, ry) < std::tie(o.tx, o.ty, o.rx, o.ry);
+  }
+};
+
+struct Space {
+  const SearchSpace& lists;
+  kernels::Method method;
+  int radius;
+  std::size_t elem_size;
+  int vec;
+  const gpusim::DeviceSpec& device;
+  const Extent3& extent;
+
+  [[nodiscard]] kernels::LaunchConfig config(const Point& p) const {
+    return kernels::LaunchConfig{lists.tx_values[p.tx], lists.ty_values[p.ty],
+                                 lists.rx_values[p.rx], lists.ry_values[p.ry], vec};
+  }
+
+  /// The same feasibility rules as SearchSpace::enumerate.
+  [[nodiscard]] bool feasible(const Point& p) const {
+    const kernels::LaunchConfig cfg = config(p);
+    if (cfg.tx % 16 != 0) return false;
+    if (method == kernels::Method::ForwardPlane && (cfg.tx != 32 || cfg.rx != 1)) {
+      return false;
+    }
+    if (cfg.threads() > device.max_threads_per_block) return false;
+    if (extent.nx % cfg.tile_w() != 0 || extent.ny % cfg.tile_h() != 0) return false;
+    const auto res = kernels::estimate_resources(method, cfg, radius, elem_size);
+    return res.smem_bytes <= static_cast<std::size_t>(device.smem_per_sm);
+  }
+
+  [[nodiscard]] std::vector<Point> neighbours(const Point& p) const {
+    std::vector<Point> out;
+    auto push = [&](Point q) {
+      if (feasible(q)) out.push_back(q);
+    };
+    if (p.tx > 0) push({p.tx - 1, p.ty, p.rx, p.ry});
+    if (p.tx + 1 < lists.tx_values.size()) push({p.tx + 1, p.ty, p.rx, p.ry});
+    if (p.ty > 0) push({p.tx, p.ty - 1, p.rx, p.ry});
+    if (p.ty + 1 < lists.ty_values.size()) push({p.tx, p.ty + 1, p.rx, p.ry});
+    if (p.rx > 0) push({p.tx, p.ty, p.rx - 1, p.ry});
+    if (p.rx + 1 < lists.rx_values.size()) push({p.tx, p.ty, p.rx + 1, p.ry});
+    if (p.ry > 0) push({p.tx, p.ty, p.rx, p.ry - 1});
+    if (p.ry + 1 < lists.ry_values.size()) push({p.tx, p.ty, p.rx, p.ry + 1});
+    return out;
+  }
+};
+
+}  // namespace
+
+template <typename T>
+TuneResult stochastic_tune(kernels::Method method, const StencilCoeffs& coeffs,
+                           const gpusim::DeviceSpec& device, const Extent3& extent,
+                           const StochasticOptions& options, const SearchSpace& lists) {
+  const Space space{lists, method, coeffs.radius(), sizeof(T),
+                    default_vec(method, sizeof(T)), device, extent};
+  std::mt19937_64 rng(options.seed);
+
+  // Memoised evaluation: each distinct configuration is executed once and
+  // counts once against the budget.
+  std::map<Point, double> cache;
+  std::vector<TuneEntry> entries;
+  int evaluations = 0;
+  auto evaluate = [&](const Point& p) -> double {
+    if (const auto it = cache.find(p); it != cache.end()) return it->second;
+    if (evaluations >= options.max_evaluations) return -1.0;
+    ++evaluations;
+    TuneEntry entry;
+    entry.config = space.config(p);
+    const auto kernel = kernels::make_kernel<T>(method, coeffs, entry.config);
+    entry.timing = kernels::time_kernel(*kernel, device, extent);
+    entry.executed = true;
+    const double score = entry.timing.valid ? entry.timing.mpoints_per_s : 0.0;
+    entries.push_back(std::move(entry));
+    cache[p] = score;
+    return score;
+  };
+
+  // Collect the feasible points once so restarts can sample uniformly.
+  std::vector<Point> feasible;
+  for (std::size_t a = 0; a < lists.tx_values.size(); ++a) {
+    for (std::size_t b = 0; b < lists.ty_values.size(); ++b) {
+      for (std::size_t c = 0; c < lists.rx_values.size(); ++c) {
+        for (std::size_t d = 0; d < lists.ry_values.size(); ++d) {
+          const Point p{a, b, c, d};
+          if (space.feasible(p)) feasible.push_back(p);
+        }
+      }
+    }
+  }
+
+  TuneResult result;
+  result.candidates = feasible.size();
+  if (feasible.empty()) return result;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    if (evaluations >= options.max_evaluations) break;
+    std::uniform_int_distribution<std::size_t> pick(0, feasible.size() - 1);
+    Point current = feasible[pick(rng)];
+    double current_score = evaluate(current);
+    bool improved = true;
+    while (improved && evaluations < options.max_evaluations) {
+      improved = false;
+      Point best_neighbour = current;
+      double best_score = current_score;
+      for (const Point& n : space.neighbours(current)) {
+        const double s = evaluate(n);
+        if (s > best_score) {
+          best_score = s;
+          best_neighbour = n;
+        }
+      }
+      if (best_score > current_score) {
+        current = best_neighbour;
+        current_score = best_score;
+        improved = true;
+      }
+    }
+  }
+
+  result.executed = entries.size();
+  std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
+    return a.timing.mpoints_per_s > b.timing.mpoints_per_s;
+  });
+  if (!entries.empty() && entries.front().timing.valid) result.best = entries.front();
+  result.entries = std::move(entries);
+  return result;
+}
+
+template TuneResult stochastic_tune<float>(kernels::Method, const StencilCoeffs&,
+                                           const gpusim::DeviceSpec&, const Extent3&,
+                                           const StochasticOptions&, const SearchSpace&);
+template TuneResult stochastic_tune<double>(kernels::Method, const StencilCoeffs&,
+                                            const gpusim::DeviceSpec&, const Extent3&,
+                                            const StochasticOptions&,
+                                            const SearchSpace&);
+
+}  // namespace inplane::autotune

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "autotune/tuner.hpp"
+
+namespace inplane::autotune {
+
+/// Options for the stochastic tuner.
+struct StochasticOptions {
+  int max_evaluations = 24;    ///< execution budget (compare: beta * M)
+  int restarts = 3;            ///< independent hill-climbing starts
+  std::uint64_t seed = 1;      ///< deterministic PRNG seed
+};
+
+/// Stochastic (random-restart hill-climbing) auto-tuner — the alternative
+/// the paper's related work mentions for search spaces too large to
+/// exhaust ("methods like dynamic programming or stochastic search can be
+/// used [17]", section II).
+///
+/// Each restart draws a random constraint-satisfying configuration, then
+/// repeatedly evaluates all single-step neighbours (one blocking factor
+/// moved one notch up or down in the value lists) and moves to the best
+/// improving one until a local optimum or the evaluation budget is hit.
+/// Because the space is small and well-behaved (performance is mostly
+/// monotone until a resource cliff), a handful of restarts typically finds
+/// the global optimum with far fewer executions than the exhaustive
+/// search, without needing the section-VI model at all.
+template <typename T>
+[[nodiscard]] TuneResult stochastic_tune(kernels::Method method,
+                                         const StencilCoeffs& coeffs,
+                                         const gpusim::DeviceSpec& device,
+                                         const Extent3& extent,
+                                         const StochasticOptions& options = {},
+                                         const SearchSpace& space = {});
+
+extern template TuneResult stochastic_tune<float>(kernels::Method,
+                                                  const StencilCoeffs&,
+                                                  const gpusim::DeviceSpec&,
+                                                  const Extent3&,
+                                                  const StochasticOptions&,
+                                                  const SearchSpace&);
+extern template TuneResult stochastic_tune<double>(kernels::Method,
+                                                   const StencilCoeffs&,
+                                                   const gpusim::DeviceSpec&,
+                                                   const Extent3&,
+                                                   const StochasticOptions&,
+                                                   const SearchSpace&);
+
+}  // namespace inplane::autotune

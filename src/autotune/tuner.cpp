@@ -1,0 +1,126 @@
+#include "autotune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/runner.hpp"
+#include "perfmodel/model.hpp"
+
+namespace inplane::autotune {
+
+namespace {
+
+/// Sorts executed entries first (by measured MPoint/s descending), then
+/// un-executed ones (by model prediction descending).
+void sort_entries(std::vector<TuneEntry>& entries) {
+  std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
+    if (a.executed != b.executed) return a.executed;
+    if (a.executed) return a.timing.mpoints_per_s > b.timing.mpoints_per_s;
+    return a.model_mpoints > b.model_mpoints;
+  });
+}
+
+template <typename T>
+TuneEntry execute(kernels::Method method, const StencilCoeffs& coeffs,
+                  const gpusim::DeviceSpec& device, const Extent3& extent,
+                  const kernels::LaunchConfig& cfg) {
+  TuneEntry entry;
+  entry.config = cfg;
+  const auto kernel = kernels::make_kernel<T>(method, coeffs, cfg);
+  entry.timing = kernels::time_kernel(*kernel, device, extent);
+  entry.executed = true;
+  return entry;
+}
+
+template <typename T>
+double model_predict(kernels::Method method, int radius,
+                     const gpusim::DeviceSpec& device, const Extent3& extent,
+                     const kernels::LaunchConfig& cfg) {
+  perfmodel::ModelInput in;
+  in.grid = extent;
+  in.radius = radius;
+  in.method = method;
+  in.config = cfg;
+  in.is_double = sizeof(T) == 8;
+  const perfmodel::ModelResult r = perfmodel::evaluate(device, in);
+  return r.valid ? r.mpoints_per_s : 0.0;
+}
+
+TuneResult finalize(std::vector<TuneEntry> entries) {
+  TuneResult result;
+  result.candidates = entries.size();
+  sort_entries(entries);
+  for (const TuneEntry& e : entries) {
+    if (e.executed) result.executed += 1;
+  }
+  for (const TuneEntry& e : entries) {
+    if (e.executed && e.timing.valid) {
+      result.best = e;
+      break;
+    }
+  }
+  result.entries = std::move(entries);
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
+                           const gpusim::DeviceSpec& device, const Extent3& extent,
+                           const SearchSpace& space) {
+  const int vec = default_vec(method, sizeof(T));
+  std::vector<TuneEntry> entries;
+  for (const kernels::LaunchConfig& cfg :
+       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec)) {
+    TuneEntry entry = execute<T>(method, coeffs, device, extent, cfg);
+    entry.model_mpoints = model_predict<T>(method, coeffs.radius(), device, extent, cfg);
+    entries.push_back(std::move(entry));
+  }
+  return finalize(std::move(entries));
+}
+
+template <typename T>
+TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs,
+                             const gpusim::DeviceSpec& device, const Extent3& extent,
+                             double beta, const SearchSpace& space) {
+  const int vec = default_vec(method, sizeof(T));
+  std::vector<TuneEntry> entries;
+  for (const kernels::LaunchConfig& cfg :
+       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec)) {
+    TuneEntry entry;
+    entry.config = cfg;
+    entry.model_mpoints =
+        model_predict<T>(method, coeffs.radius(), device, extent, cfg);
+    entries.push_back(entry);
+  }
+  // Rank by predicted performance and execute the top beta% of the global
+  // parameter space (section VI).
+  std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
+    return a.model_mpoints > b.model_mpoints;
+  });
+  const auto n_select = static_cast<std::size_t>(
+      std::ceil(beta * static_cast<double>(space.raw_size())));
+  for (std::size_t i = 0; i < entries.size() && i < n_select; ++i) {
+    const kernels::LaunchConfig cfg = entries[i].config;
+    const double predicted = entries[i].model_mpoints;
+    entries[i] = execute<T>(method, coeffs, device, extent, cfg);
+    entries[i].model_mpoints = predicted;
+  }
+  return finalize(std::move(entries));
+}
+
+template TuneResult exhaustive_tune<float>(kernels::Method, const StencilCoeffs&,
+                                           const gpusim::DeviceSpec&, const Extent3&,
+                                           const SearchSpace&);
+template TuneResult exhaustive_tune<double>(kernels::Method, const StencilCoeffs&,
+                                            const gpusim::DeviceSpec&, const Extent3&,
+                                            const SearchSpace&);
+template TuneResult model_guided_tune<float>(kernels::Method, const StencilCoeffs&,
+                                             const gpusim::DeviceSpec&, const Extent3&,
+                                             double, const SearchSpace&);
+template TuneResult model_guided_tune<double>(kernels::Method, const StencilCoeffs&,
+                                              const gpusim::DeviceSpec&, const Extent3&,
+                                              double, const SearchSpace&);
+
+}  // namespace inplane::autotune

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "autotune/search_space.hpp"
+#include "core/coefficients.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::autotune {
+
+/// One evaluated point of the search space.
+struct TuneEntry {
+  kernels::LaunchConfig config;
+  gpusim::KernelTiming timing;        ///< "measured" (simulator) result
+  double model_mpoints = 0.0;         ///< section-VI model prediction
+  bool executed = false;              ///< false => pruned before execution
+};
+
+/// Outcome of a tuning run.
+struct TuneResult {
+  TuneEntry best;                     ///< highest measured MPoint/s
+  std::vector<TuneEntry> entries;     ///< all constraint-satisfying configs,
+                                      ///< sorted by measured MPoint/s desc
+                                      ///< (un-executed entries at the end)
+  std::size_t candidates = 0;         ///< configs satisfying constraints
+  std::size_t executed = 0;           ///< configs actually run
+
+  [[nodiscard]] bool found() const { return best.timing.valid; }
+};
+
+/// Exhaustively executes every constraint-satisfying configuration on the
+/// simulated device and returns the best (section IV-C).
+template <typename T>
+[[nodiscard]] TuneResult exhaustive_tune(kernels::Method method,
+                                         const StencilCoeffs& coeffs,
+                                         const gpusim::DeviceSpec& device,
+                                         const Extent3& extent,
+                                         const SearchSpace& space = {});
+
+/// The model-based tuning procedure of section VI: ranks every candidate
+/// by the Eqns. (6)-(14) prediction, executes only the top
+/// ceil(beta * M) of the *global* space (M = space.raw_size(), matching
+/// the paper's definition of the cutoff), and returns the best of those by
+/// measured performance.
+template <typename T>
+[[nodiscard]] TuneResult model_guided_tune(kernels::Method method,
+                                           const StencilCoeffs& coeffs,
+                                           const gpusim::DeviceSpec& device,
+                                           const Extent3& extent, double beta = 0.05,
+                                           const SearchSpace& space = {});
+
+extern template TuneResult exhaustive_tune<float>(kernels::Method,
+                                                  const StencilCoeffs&,
+                                                  const gpusim::DeviceSpec&,
+                                                  const Extent3&, const SearchSpace&);
+extern template TuneResult exhaustive_tune<double>(kernels::Method,
+                                                   const StencilCoeffs&,
+                                                   const gpusim::DeviceSpec&,
+                                                   const Extent3&, const SearchSpace&);
+extern template TuneResult model_guided_tune<float>(kernels::Method,
+                                                    const StencilCoeffs&,
+                                                    const gpusim::DeviceSpec&,
+                                                    const Extent3&, double,
+                                                    const SearchSpace&);
+extern template TuneResult model_guided_tune<double>(kernels::Method,
+                                                     const StencilCoeffs&,
+                                                     const gpusim::DeviceSpec&,
+                                                     const Extent3&, double,
+                                                     const SearchSpace&);
+
+}  // namespace inplane::autotune

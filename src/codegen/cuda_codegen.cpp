@@ -1,0 +1,457 @@
+#include "codegen/cuda_codegen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace inplane::codegen {
+
+namespace {
+
+/// Tiny indentation-aware line emitter.
+class Code {
+ public:
+  Code& line(const std::string& text = "") {
+    if (!text.empty()) out_ += std::string(static_cast<std::size_t>(indent_) * 2, ' ');
+    out_ += text;
+    out_ += "\n";
+    return *this;
+  }
+  Code& open(const std::string& text) {
+    line(text + " {");
+    ++indent_;
+    return *this;
+  }
+  Code& close(const std::string& suffix = "") {
+    --indent_;
+    line("}" + suffix);
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return out_; }
+
+ private:
+  std::string out_;
+  int indent_ = 0;
+};
+
+std::string itos(long v) { return std::to_string(v); }
+
+/// Emits a cooperative load of the region x in [xa, xb), y in [ya, yb) of
+/// plane `k` (grid coordinates relative to the tile origin x0/y0) into the
+/// shared tile, flattened over all block threads, vectorised by `vec`
+/// where a full vector fits the row and falling back to scalars at the row
+/// tail.  Mirrors kernels::detail::load_rows_to_tile.
+void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& tag,
+                      const std::string& xa, const std::string& xb,
+                      const std::string& ya, const std::string& yb, int vec) {
+  const std::string s = spec.scalar();
+  const std::string vt = spec.vector_type();
+  c.line("// " + tag);
+  c.open("");
+  c.line("const int rxa = " + xa + ", rxb = " + xb + ", rya = " + ya +
+         ", ryb = " + yb + ";");
+  c.line("const int row_w = rxb - rxa;");
+  c.line("const int vecs_per_row = (row_w + " + itos(vec) + " - 1) / " + itos(vec) +
+         ";");
+  c.open("for (int e = tid; e < (ryb - rya) * vecs_per_row; e += kThreads)");
+  c.line("const int row = e / vecs_per_row;");
+  c.line("const int col = (e % vecs_per_row) * " + itos(vec) + ";");
+  c.line("const int gx = x0 + rxa + col;");
+  c.line("const int gy = y0 + rya + row;");
+  c.line("const long src = idx3(gx, gy, k);");
+  c.line("const int toff = (rya + row + R) * kTileRow + (rxa + col + R);");
+  if (vec > 1) {
+    c.open("if (col + " + itos(vec) + " <= row_w)");
+    c.line("*reinterpret_cast<" + vt + "*>(&tile[toff]) =");
+    c.line("    *reinterpret_cast<const " + vt + "*>(&in[src]);");
+    c.close();
+    c.open("else");
+    c.line("for (int t = col; t < row_w; ++t) tile[toff + t - col] = in[src + t - col];");
+    c.close();
+  } else {
+    c.line("if (col < row_w) tile[toff] = in[src];");
+    (void)s;
+  }
+  c.close();  // for
+  c.close();  // scope
+}
+
+/// Emits the column-major side-strip load the vertical pattern uses (one
+/// global element per (column, row) pair, lanes walking y — mirrors
+/// kernels::detail::load_columns_to_tile).
+void emit_column_load(Code& c, const std::string& tag, const std::string& xa,
+                      const std::string& xb, const std::string& ya,
+                      const std::string& yb) {
+  c.line("// " + tag + " (column-major, poorly coalesced by construction)");
+  c.open("");
+  c.line("const int cxa = " + xa + ", cxb = " + xb + ", cya = " + ya +
+         ", cyb = " + yb + ";");
+  c.line("const int rows = cyb - cya;");
+  c.open("for (int e = tid; e < (cxb - cxa) * rows; e += kThreads)");
+  c.line("const int x = cxa + e / rows;");
+  c.line("const int y = cya + e % rows;");
+  c.line("tile[(y + R) * kTileRow + (x + R)] = in[idx3(x0 + x, y0 + y, k)];");
+  c.close();
+  c.close();
+}
+
+/// Emits the Fig. 6 loading pattern for the spec's method.
+void emit_load_pattern(Code& c, const CudaKernelSpec& spec) {
+  const int vec = spec.config.vec;
+  switch (spec.method) {
+    case kernels::Method::InPlaneClassical:
+      emit_region_load(c, spec, "interior", "0", "kTileW", "0", "kTileH", 1);
+      emit_region_load(c, spec, "top strip", "0", "kTileW", "-R", "0", 1);
+      emit_region_load(c, spec, "bottom strip", "0", "kTileW", "kTileH",
+                       "kTileH + R", 1);
+      emit_region_load(c, spec, "left strip", "-R", "0", "0", "kTileH", 1);
+      emit_region_load(c, spec, "right strip", "kTileW", "kTileW + R", "0", "kTileH",
+                       1);
+      emit_region_load(c, spec, "corners", "-R", "0", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "kTileW", "kTileW + R", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "-R", "0", "kTileH", "kTileH + R", 1);
+      emit_region_load(c, spec, "corners", "kTileW", "kTileW + R", "kTileH",
+                       "kTileH + R", 1);
+      break;
+    case kernels::Method::InPlaneVertical:
+      emit_region_load(c, spec, "merged top/bottom + interior", "0", "kTileW", "-R",
+                       "kTileH + R", vec);
+      emit_column_load(c, "left halo", "-R", "0", "0", "kTileH");
+      emit_column_load(c, "right halo", "kTileW", "kTileW + R", "0", "kTileH");
+      break;
+    case kernels::Method::InPlaneHorizontal:
+      emit_region_load(c, spec, "merged left/right + interior", "-R", "kTileW + R",
+                       "0", "kTileH", vec);
+      emit_region_load(c, spec, "top strip", "0", "kTileW", "-R", "0", vec);
+      emit_region_load(c, spec, "bottom strip", "0", "kTileW", "kTileH", "kTileH + R",
+                       vec);
+      break;
+    case kernels::Method::InPlaneFullSlice:
+      emit_region_load(c, spec, "full slice", "-R", "kTileW + R", "-R", "kTileH + R",
+                       vec);
+      break;
+    case kernels::Method::ForwardPlane:
+      // Interior comes from the register pipeline; only the halo strips
+      // and corners are (re)loaded from global memory (Fig. 4).
+      emit_region_load(c, spec, "top strip", "0", "kTileW", "-R", "0", 1);
+      emit_region_load(c, spec, "bottom strip", "0", "kTileW", "kTileH", "kTileH + R",
+                       1);
+      emit_region_load(c, spec, "left strip", "-R", "0", "0", "kTileH", 1);
+      emit_region_load(c, spec, "right strip", "kTileW", "kTileW + R", "0", "kTileH",
+                       1);
+      emit_region_load(c, spec, "corners", "-R", "0", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "kTileW", "kTileW + R", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "-R", "0", "kTileH", "kTileH + R", 1);
+      emit_region_load(c, spec, "corners", "kTileW", "kTileW + R", "kTileH",
+                       "kTileH + R", 1);
+      break;
+  }
+}
+
+void emit_prelude(Code& c, const CudaKernelSpec& spec) {
+  const kernels::LaunchConfig& cfg = spec.config;
+  c.line("constexpr int R = " + itos(spec.radius) + ";");
+  c.line("constexpr int kTx = " + itos(cfg.tx) + ", kTy = " + itos(cfg.ty) + ";");
+  c.line("constexpr int kRx = " + itos(cfg.rx) + ", kRy = " + itos(cfg.ry) + ";");
+  c.line("constexpr int kTileW = kTx * kRx, kTileH = kTy * kRy;");
+  c.line("constexpr int kThreads = kTx * kTy;");
+  c.line("constexpr int kTileRow = kTileW + 2 * R;");
+  c.line("constexpr int kCols = kRx * kRy;");
+  c.line("__shared__ " + spec.scalar() + " tile[(kTileH + 2 * R) * kTileRow];");
+  c.line("const int tx = static_cast<int>(threadIdx.x);");
+  c.line("const int ty = static_cast<int>(threadIdx.y);");
+  c.line("const int tid = ty * kTx + tx;");
+  c.line("const int x0 = static_cast<int>(blockIdx.x) * kTileW;");
+  c.line("const int y0 = static_cast<int>(blockIdx.y) * kTileH;");
+  c.line("const auto idx3 = [&](int x, int y, int z) -> long {");
+  c.line("  return static_cast<long>(x) + static_cast<long>(y) * pitch +");
+  c.line("         static_cast<long>(z) * plane;");
+  c.line("};");
+}
+
+void emit_inplane_body(Code& c, const CudaKernelSpec& spec) {
+  const std::string s = spec.scalar();
+  c.line(s + " back[kCols][R];");
+  c.line(s + " q[kCols][R];");
+  c.line("// Prime the back history with the z < 0 halo planes (Eqn. 3 needs");
+  c.line("// in[i, j, k-m] from the first sweep step onward).");
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int col = u * kRx + sx;");
+  c.line("const int x = x0 + tx + sx * kTx;");
+  c.line("const int y = y0 + ty + u * kTy;");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("back[col][m - 1] = in[idx3(x, y, -m)];");
+  c.line("q[col][m - 1] = " + s + "(0);");
+  c.close();
+  c.close();
+  c.close();
+  c.line();
+  c.open("for (int k = 0; k < nz + R; ++k)");
+  emit_load_pattern(c, spec);
+  c.line("__syncthreads();");
+  c.line();
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int col = u * kRx + sx;");
+  c.line("const int lx = tx + sx * kTx + R;");
+  c.line("const int ly = ty + u * kTy + R;");
+  c.line("const " + s + " cur = tile[ly * kTileRow + lx];");
+  c.line("// Eqn. (3): partial output from the in-plane neighbours and the");
+  c.line("// back history.");
+  c.line(s + " part = c[0] * cur;");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("part += c[m] * (tile[ly * kTileRow + lx - m] + tile[ly * kTileRow + lx + m] +");
+  c.line("                tile[(ly - m) * kTileRow + lx] + tile[(ly + m) * kTileRow + lx] +");
+  c.line("                back[col][m - 1]);");
+  c.close();
+  c.line("// Eqn. (5): update the r queued partials with the current plane.");
+  c.line("#pragma unroll");
+  c.line("for (int d = 0; d < R; ++d) q[col][d] += c[d + 1] * cur;");
+  c.line("const " + s + " emit = q[col][R - 1];");
+  c.line("#pragma unroll");
+  c.line("for (int d = R - 1; d >= 1; --d) q[col][d] = q[col][d - 1];");
+  c.line("q[col][0] = part;");
+  c.line("#pragma unroll");
+  c.line("for (int m = R - 1; m >= 1; --m) back[col][m] = back[col][m - 1];");
+  c.line("back[col][0] = cur;");
+  c.line("// The output for plane k - R is complete exactly now (sec. III-C).");
+  c.open("if (k >= R)");
+  c.line("const int x = x0 + tx + sx * kTx;");
+  c.line("const int y = y0 + ty + u * kTy;");
+  c.line("out[idx3(x, y, k - R)] = emit;");
+  c.close();
+  c.close();
+  c.close();
+  c.line("__syncthreads();");
+  c.close();  // k loop
+}
+
+void emit_forward_body(Code& c, const CudaKernelSpec& spec) {
+  const std::string s = spec.scalar();
+  c.line(s + " pipe[kCols][2 * R + 1];");
+  c.line("// Prime pipeline slots 1..2R with planes -R .. R-1; the first sweep");
+  c.line("// step's shift-and-load completes it (FDTD3d structure).");
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int col = u * kRx + sx;");
+  c.line("const int x = x0 + tx + sx * kTx;");
+  c.line("const int y = y0 + ty + u * kTy;");
+  c.line("#pragma unroll");
+  c.line("for (int i = 1; i <= 2 * R; ++i) pipe[col][i] = in[idx3(x, y, -R + i - 1)];");
+  c.close();
+  c.close();
+  c.line();
+  c.open("for (int k = 0; k < nz; ++k)");
+  c.line("// Advance the register pipeline and stream in plane k + R (Fig. 5a),");
+  c.line("// then stage plane k's interior from registers.");
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int col = u * kRx + sx;");
+  c.line("const int x = x0 + tx + sx * kTx;");
+  c.line("const int y = y0 + ty + u * kTy;");
+  c.line("#pragma unroll");
+  c.line("for (int i = 0; i < 2 * R; ++i) pipe[col][i] = pipe[col][i + 1];");
+  c.line("pipe[col][2 * R] = in[idx3(x, y, k + R)];");
+  c.line("tile[(ty + u * kTy + R) * kTileRow + (tx + sx * kTx + R)] = pipe[col][R];");
+  c.close();
+  c.close();
+  emit_load_pattern(c, spec);
+  c.line("__syncthreads();");
+  c.line();
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int col = u * kRx + sx;");
+  c.line("const int lx = tx + sx * kTx + R;");
+  c.line("const int ly = ty + u * kTy + R;");
+  c.line("// Eqn. (2): the full stencil at once.");
+  c.line(s + " acc = c[0] * pipe[col][R];");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("acc += c[m] * (tile[ly * kTileRow + lx - m] + tile[ly * kTileRow + lx + m] +");
+  c.line("               tile[(ly - m) * kTileRow + lx] + tile[(ly + m) * kTileRow + lx] +");
+  c.line("               pipe[col][R - m] + pipe[col][R + m]);");
+  c.close();
+  c.line("const int x = x0 + tx + sx * kTx;");
+  c.line("const int y = y0 + ty + u * kTy;");
+  c.line("out[idx3(x, y, k)] = acc;");
+  c.close();
+  c.close();
+  c.line("__syncthreads();");
+  c.close();  // k loop
+}
+
+}  // namespace
+
+std::string CudaKernelSpec::name() const {
+  if (!kernel_name.empty()) return kernel_name;
+  std::string m;
+  switch (method) {
+    case kernels::Method::ForwardPlane: m = "nvstencil"; break;
+    case kernels::Method::InPlaneClassical: m = "inplane_classical"; break;
+    case kernels::Method::InPlaneVertical: m = "inplane_vertical"; break;
+    case kernels::Method::InPlaneHorizontal: m = "inplane_horizontal"; break;
+    case kernels::Method::InPlaneFullSlice: m = "inplane_fullslice"; break;
+  }
+  return m + "_r" + itos(radius) + "_t" + itos(config.tx) + "x" + itos(config.ty) +
+         "_r" + itos(config.rx) + "x" + itos(config.ry) + "_v" + itos(config.vec) +
+         (is_double ? "_dp" : "_sp");
+}
+
+std::string CudaKernelSpec::vector_type() const {
+  if (config.vec == 1) return scalar();
+  return scalar() + itos(config.vec);
+}
+
+void CudaKernelSpec::validate() const {
+  if (radius < 1) throw std::invalid_argument("CudaKernelSpec: radius must be >= 1");
+  if (config.tx <= 0 || config.ty <= 0 || config.rx <= 0 || config.ry <= 0) {
+    throw std::invalid_argument("CudaKernelSpec: blocking factors must be positive");
+  }
+  if (config.vec != 1 && config.vec != 2 && config.vec != 4) {
+    throw std::invalid_argument("CudaKernelSpec: vec must be 1, 2 or 4");
+  }
+  const std::size_t elem = is_double ? 8 : 4;
+  if (static_cast<std::size_t>(config.vec) * elem > 16) {
+    throw std::invalid_argument("CudaKernelSpec: vector load wider than 16 bytes");
+  }
+}
+
+std::string generate_kernel(const CudaKernelSpec& spec) {
+  spec.validate();
+  const std::string s = spec.scalar();
+  Code c;
+  c.line("// Auto-generated " + std::string(kernels::to_string(spec.method)) +
+         " stencil kernel, radius " + itos(spec.radius) + ", config " +
+         spec.config.to_string() + ", " + (spec.is_double ? "DP" : "SP") + ".");
+  c.line("// `in`/`out` point at the interior origin of grids padded with a");
+  c.line("// halo of at least `R` cells on every face; `pitch` and `plane` are");
+  c.line("// the row and plane strides in elements.");
+  c.line("extern \"C\" __global__ void " + spec.name() + "(");
+  c.line("    const " + s + "* __restrict__ in, " + s + "* __restrict__ out,");
+  c.open("    const " + s + "* __restrict__ c, int nz, long pitch, long plane)");
+  emit_prelude(c, spec);
+  c.line();
+  if (spec.method == kernels::Method::ForwardPlane) {
+    emit_forward_body(c, spec);
+  } else {
+    emit_inplane_body(c, spec);
+  }
+  c.close();
+  return c.str();
+}
+
+std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& extent) {
+  spec.validate();
+  extent.validate();
+  const std::string s = spec.scalar();
+  std::ostringstream o;
+  o << R"(// Host harness: allocates halo-padded grids, runs the generated kernel,
+// verifies against a CPU reference (the section IV-B methodology), and
+// reports MPoint/s from CUDA-event timing.
+#include <cmath>
+#include <cstdio>
+#include <cuda_runtime.h>
+#include <vector>
+
+#define CUDA_CHECK(x)                                                     \
+  do {                                                                    \
+    cudaError_t err__ = (x);                                              \
+    if (err__ != cudaSuccess) {                                           \
+      std::fprintf(stderr, "%s:%d: %s\n", __FILE__, __LINE__,             \
+                   cudaGetErrorString(err__));                            \
+      std::exit(1);                                                       \
+    }                                                                     \
+  } while (0)
+
+)";
+  o << "int run_" << spec.name() << "() {\n";
+  o << "  using scalar_t = " << s << ";\n";
+  o << "  constexpr int R = " << spec.radius << ";\n";
+  o << "  constexpr int NX = " << extent.nx << ", NY = " << extent.ny
+    << ", NZ = " << extent.nz << ";\n";
+  o << R"(  // Halo-padded, 128-byte-aligned layout (array padding, ref. [11]).
+  const long pitch = ((NX + 2 * R + 31) / 32) * 32;
+  const long plane = pitch * (NY + 2 * R);
+  const long total = plane * (NZ + 2 * R);
+  std::vector<scalar_t> h_in(static_cast<size_t>(total));
+  for (long i = 0; i < total; ++i) {
+    h_in[static_cast<size_t>(i)] = static_cast<scalar_t>(std::sin(0.001 * i));
+  }
+  std::vector<scalar_t> coeff(R + 1);
+  coeff[0] = scalar_t(0.5);
+  for (int m = 1; m <= R; ++m) coeff[static_cast<size_t>(m)] = scalar_t(0.5 / (6.0 * m * R));
+
+  scalar_t *d_in = nullptr, *d_out = nullptr, *d_c = nullptr;
+  CUDA_CHECK(cudaMalloc(&d_in, total * sizeof(scalar_t)));
+  CUDA_CHECK(cudaMalloc(&d_out, total * sizeof(scalar_t)));
+  CUDA_CHECK(cudaMalloc(&d_c, (R + 1) * sizeof(scalar_t)));
+  CUDA_CHECK(cudaMemcpy(d_in, h_in.data(), total * sizeof(scalar_t),
+                        cudaMemcpyHostToDevice));
+  CUDA_CHECK(cudaMemcpy(d_c, coeff.data(), (R + 1) * sizeof(scalar_t),
+                        cudaMemcpyHostToDevice));
+
+  // Interior-origin views: (0, 0, 0) is the first non-halo element.
+  const long origin = R + R * pitch + R * plane;
+)";
+  o << "  const dim3 block(" << spec.config.tx << ", " << spec.config.ty << ");\n";
+  o << "  const dim3 grid(NX / " << spec.config.tile_w() << ", NY / "
+    << spec.config.tile_h() << ");\n";
+  o << R"(
+  cudaEvent_t t0, t1;
+  CUDA_CHECK(cudaEventCreate(&t0));
+  CUDA_CHECK(cudaEventCreate(&t1));
+  CUDA_CHECK(cudaEventRecord(t0));
+)";
+  o << "  " << spec.name()
+    << "<<<grid, block>>>(d_in + origin, d_out + origin, d_c, NZ, pitch, plane);\n";
+  o << R"(  CUDA_CHECK(cudaEventRecord(t1));
+  CUDA_CHECK(cudaEventSynchronize(t1));
+  float ms = 0.0f;
+  CUDA_CHECK(cudaEventElapsedTime(&ms, t0, t1));
+
+  // CPU verification (section IV-B).
+  std::vector<scalar_t> h_out(static_cast<size_t>(total));
+  CUDA_CHECK(cudaMemcpy(h_out.data(), d_out, total * sizeof(scalar_t),
+                        cudaMemcpyDeviceToHost));
+  auto at = [&](const std::vector<scalar_t>& g, int x, int y, int z) {
+    return g[static_cast<size_t>(origin + x + y * pitch + z * plane)];
+  };
+  double max_err = 0.0;
+  for (int z = 0; z < NZ; ++z) {
+    for (int y = 0; y < NY; ++y) {
+      for (int x = 0; x < NX; ++x) {
+        double ref = coeff[0] * at(h_in, x, y, z);
+        for (int m = 1; m <= R; ++m) {
+          ref += coeff[static_cast<size_t>(m)] *
+                 (at(h_in, x - m, y, z) + at(h_in, x + m, y, z) +
+                  at(h_in, x, y - m, z) + at(h_in, x, y + m, z) +
+                  at(h_in, x, y, z - m) + at(h_in, x, y, z + m));
+        }
+        const double err = std::abs(ref - static_cast<double>(at(h_out, x, y, z)));
+        if (err > max_err) max_err = err;
+      }
+    }
+  }
+  const double mpoints = double(NX) * NY * NZ / (ms * 1e-3) / 1e6;
+  std::printf("%-48s %8.1f MPoint/s  max_err %.3g\n", ")"
+    << spec.name() << R"(", mpoints, max_err);
+  CUDA_CHECK(cudaFree(d_in));
+  CUDA_CHECK(cudaFree(d_out));
+  CUDA_CHECK(cudaFree(d_c));
+  return max_err < 1e-2 ? 0 : 1;
+}
+)";
+  return o.str();
+}
+
+std::string generate_file(const CudaKernelSpec& spec, const Extent3& extent) {
+  std::string out = generate_kernel(spec);
+  out += "\n";
+  out += generate_host_harness(spec, extent);
+  out += "\nint main() { return run_" + spec.name() + "(); }\n";
+  return out;
+}
+
+}  // namespace inplane::codegen

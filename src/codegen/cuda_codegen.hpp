@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "core/extent.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/resources.hpp"
+
+namespace inplane::codegen {
+
+/// What to generate CUDA source for: one loading method, one stencil
+/// radius, one launch configuration, one precision.
+///
+/// The generated kernels mirror the simulated kernels statement for
+/// statement — same shared-tile shapes, same merged-row / strip / column
+/// loading patterns (Fig. 6), same register queue recurrence (Eqns. 3-5),
+/// same strided register tiling (section III-C3) — so a configuration
+/// tuned on the simulator can be carried to real hardware unchanged.
+struct CudaKernelSpec {
+  kernels::Method method = kernels::Method::InPlaneFullSlice;
+  int radius = 1;
+  kernels::LaunchConfig config;
+  bool is_double = false;
+  std::string kernel_name;  ///< empty: derived from method/radius/config
+
+  /// "inplane_fullslice_r2_t64x4_r2x2_v4_sp"-style derived name.
+  [[nodiscard]] std::string name() const;
+  /// C scalar type ("float" / "double").
+  [[nodiscard]] std::string scalar() const { return is_double ? "double" : "float"; }
+  /// CUDA vector type for the configured load width ("float4", "double2",
+  /// or the scalar itself for vec == 1).
+  [[nodiscard]] std::string vector_type() const;
+
+  /// Throws std::invalid_argument for unsupported parameter combinations
+  /// (radius < 1, vec * sizeof(scalar) > 16, non-positive blocking).
+  void validate() const;
+};
+
+/// Generates the __global__ kernel definition (plus the device-side
+/// constants it needs).  The coefficient array is passed as a kernel
+/// argument c[radius + 1] with c[0] the centre weight.
+[[nodiscard]] std::string generate_kernel(const CudaKernelSpec& spec);
+
+/// Generates a self-contained host harness: allocation, initialisation,
+/// kernel launch over a grid of @p extent, CPU verification of the result,
+/// and MPoint/s timing with CUDA events — the section IV-B methodology.
+[[nodiscard]] std::string generate_host_harness(const CudaKernelSpec& spec,
+                                                const Extent3& extent);
+
+/// A complete compilable .cu translation unit (kernel + harness + main).
+[[nodiscard]] std::string generate_file(const CudaKernelSpec& spec,
+                                        const Extent3& extent);
+
+}  // namespace inplane::codegen

@@ -1,0 +1,251 @@
+#include "codegen/opencl_codegen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace inplane::codegen {
+
+namespace {
+
+/// Line emitter (kept local to each backend; the emitted dialects differ
+/// enough that sharing statement builders would obscure both).
+class Code {
+ public:
+  Code& line(const std::string& text = "") {
+    if (!text.empty()) out_ += std::string(static_cast<std::size_t>(indent_) * 2, ' ');
+    out_ += text;
+    out_ += "\n";
+    return *this;
+  }
+  Code& open(const std::string& text) {
+    line(text + " {");
+    ++indent_;
+    return *this;
+  }
+  Code& close() {
+    --indent_;
+    line("}");
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return out_; }
+
+ private:
+  std::string out_;
+  int indent_ = 0;
+};
+
+std::string itos(long v) { return std::to_string(v); }
+
+/// Cooperative region load in OpenCL C: vloadN from __global, vstoreN into
+/// the __local tile (OpenCL vector loads are alignment-tolerant, so no
+/// scalar tail split is needed — vloadN requires only element alignment).
+void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& tag,
+                      const std::string& xa, const std::string& xb,
+                      const std::string& ya, const std::string& yb, int vec) {
+  const std::string s = spec.scalar();
+  c.line("// " + tag);
+  c.open("");
+  c.line("const int rxa = " + xa + ", rxb = " + xb + ", rya = " + ya +
+         ", ryb = " + yb + ";");
+  c.line("const int row_w = rxb - rxa;");
+  c.line("const int vecs_per_row = (row_w + " + itos(vec) + " - 1) / " + itos(vec) +
+         ";");
+  c.open("for (int e = tid; e < (ryb - rya) * vecs_per_row; e += K_THREADS)");
+  c.line("const int row = e / vecs_per_row;");
+  c.line("const int col = (e % vecs_per_row) * " + itos(vec) + ";");
+  c.line("const long src = idx3(x0 + rxa + col, y0 + rya + row, k);");
+  c.line("const int toff = (rya + row + R) * K_TILE_ROW + (rxa + col + R);");
+  if (vec > 1) {
+    c.open("if (col + " + itos(vec) + " <= row_w)");
+    c.line("vstore" + itos(vec) + "(vload" + itos(vec) + "(0, in + src), 0, tile + toff);");
+    c.close();
+    c.open("else");
+    c.line("for (int t = col; t < row_w; ++t) tile[toff + t - col] = in[src + t - col];");
+    c.close();
+  } else {
+    c.line("if (col < row_w) tile[toff] = in[src];");
+    (void)s;
+  }
+  c.close();
+  c.close();
+}
+
+void emit_column_load(Code& c, const std::string& tag, const std::string& xa,
+                      const std::string& xb, const std::string& ya,
+                      const std::string& yb) {
+  c.line("// " + tag + " (column-major, poorly coalesced by construction)");
+  c.open("");
+  c.line("const int cxa = " + xa + ", cxb = " + xb + ", cya = " + ya +
+         ", cyb = " + yb + ";");
+  c.line("const int rows = cyb - cya;");
+  c.open("for (int e = tid; e < (cxb - cxa) * rows; e += K_THREADS)");
+  c.line("const int x = cxa + e / rows;");
+  c.line("const int y = cya + e % rows;");
+  c.line("tile[(y + R) * K_TILE_ROW + (x + R)] = in[idx3(x0 + x, y0 + y, k)];");
+  c.close();
+  c.close();
+}
+
+void emit_load_pattern(Code& c, const CudaKernelSpec& spec) {
+  const int vec = spec.config.vec;
+  using kernels::Method;
+  switch (spec.method) {
+    case Method::InPlaneClassical:
+    case Method::ForwardPlane:
+      if (spec.method == Method::InPlaneClassical) {
+        emit_region_load(c, spec, "interior", "0", "K_TILE_W", "0", "K_TILE_H", 1);
+      }
+      emit_region_load(c, spec, "top strip", "0", "K_TILE_W", "-R", "0", 1);
+      emit_region_load(c, spec, "bottom strip", "0", "K_TILE_W", "K_TILE_H",
+                       "K_TILE_H + R", 1);
+      emit_region_load(c, spec, "left strip", "-R", "0", "0", "K_TILE_H", 1);
+      emit_region_load(c, spec, "right strip", "K_TILE_W", "K_TILE_W + R", "0",
+                       "K_TILE_H", 1);
+      emit_region_load(c, spec, "corners", "-R", "0", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "K_TILE_W", "K_TILE_W + R", "-R", "0", 1);
+      emit_region_load(c, spec, "corners", "-R", "0", "K_TILE_H", "K_TILE_H + R", 1);
+      emit_region_load(c, spec, "corners", "K_TILE_W", "K_TILE_W + R", "K_TILE_H",
+                       "K_TILE_H + R", 1);
+      break;
+    case Method::InPlaneVertical:
+      emit_region_load(c, spec, "merged top/bottom + interior", "0", "K_TILE_W", "-R",
+                       "K_TILE_H + R", vec);
+      emit_column_load(c, "left halo", "-R", "0", "0", "K_TILE_H");
+      emit_column_load(c, "right halo", "K_TILE_W", "K_TILE_W + R", "0", "K_TILE_H");
+      break;
+    case Method::InPlaneHorizontal:
+      emit_region_load(c, spec, "merged left/right + interior", "-R", "K_TILE_W + R",
+                       "0", "K_TILE_H", vec);
+      emit_region_load(c, spec, "top strip", "0", "K_TILE_W", "-R", "0", vec);
+      emit_region_load(c, spec, "bottom strip", "0", "K_TILE_W", "K_TILE_H",
+                       "K_TILE_H + R", vec);
+      break;
+    case Method::InPlaneFullSlice:
+      emit_region_load(c, spec, "full slice", "-R", "K_TILE_W + R", "-R",
+                       "K_TILE_H + R", vec);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string generate_opencl_kernel(const CudaKernelSpec& spec) {
+  spec.validate();
+  const std::string s = spec.scalar();
+  const kernels::LaunchConfig& cfg = spec.config;
+  Code c;
+  c.line("// Auto-generated OpenCL " + std::string(kernels::to_string(spec.method)) +
+         " stencil kernel, radius " + itos(spec.radius) + ", config " +
+         cfg.to_string() + ", " + (spec.is_double ? "DP" : "SP") + ".");
+  if (spec.is_double) c.line("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
+  c.line("#define R " + itos(spec.radius));
+  c.line("#define K_TX " + itos(cfg.tx));
+  c.line("#define K_TY " + itos(cfg.ty));
+  c.line("#define K_RX " + itos(cfg.rx));
+  c.line("#define K_RY " + itos(cfg.ry));
+  c.line("#define K_TILE_W (K_TX * K_RX)");
+  c.line("#define K_TILE_H (K_TY * K_RY)");
+  c.line("#define K_THREADS (K_TX * K_TY)");
+  c.line("#define K_TILE_ROW (K_TILE_W + 2 * R)");
+  c.line("#define K_COLS (K_RX * K_RY)");
+  c.line();
+  c.line("__kernel __attribute__((reqd_work_group_size(K_TX, K_TY, 1)))");
+  c.line("void " + spec.name() + "(__global const " + s + "* restrict in,");
+  c.line("                         __global " + s + "* restrict out,");
+  c.line("                         __constant " + s + "* c_w,");
+  c.open("                         int nz, long pitch, long plane)");
+  c.line("__local " + s + " tile[(K_TILE_H + 2 * R) * K_TILE_ROW];");
+  c.line("const int tx = (int)get_local_id(0);");
+  c.line("const int ty = (int)get_local_id(1);");
+  c.line("const int tid = ty * K_TX + tx;");
+  c.line("const int x0 = (int)get_group_id(0) * K_TILE_W;");
+  c.line("const int y0 = (int)get_group_id(1) * K_TILE_H;");
+  c.line("#define idx3(x, y, z) ((long)(x) + (long)(y) * pitch + (long)(z) * plane)");
+  c.line();
+  if (spec.method == kernels::Method::ForwardPlane) {
+    c.line(s + " pipe[K_COLS][2 * R + 1];");
+    c.open("for (int u = 0; u < K_RY; ++u)");
+    c.open("for (int sx = 0; sx < K_RX; ++sx)");
+    c.line("const int col = u * K_RX + sx;");
+    c.line("const int x = x0 + tx + sx * K_TX;");
+    c.line("const int y = y0 + ty + u * K_TY;");
+    c.line("for (int i = 1; i <= 2 * R; ++i) pipe[col][i] = in[idx3(x, y, -R + i - 1)];");
+    c.close();
+    c.close();
+    c.open("for (int k = 0; k < nz; ++k)");
+    c.open("for (int u = 0; u < K_RY; ++u)");
+    c.open("for (int sx = 0; sx < K_RX; ++sx)");
+    c.line("const int col = u * K_RX + sx;");
+    c.line("const int x = x0 + tx + sx * K_TX;");
+    c.line("const int y = y0 + ty + u * K_TY;");
+    c.line("for (int i = 0; i < 2 * R; ++i) pipe[col][i] = pipe[col][i + 1];");
+    c.line("pipe[col][2 * R] = in[idx3(x, y, k + R)];");
+    c.line("tile[(ty + u * K_TY + R) * K_TILE_ROW + (tx + sx * K_TX + R)] = pipe[col][R];");
+    c.close();
+    c.close();
+    emit_load_pattern(c, spec);
+    c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+    c.open("for (int u = 0; u < K_RY; ++u)");
+    c.open("for (int sx = 0; sx < K_RX; ++sx)");
+    c.line("const int col = u * K_RX + sx;");
+    c.line("const int lx = tx + sx * K_TX + R;");
+    c.line("const int ly = ty + u * K_TY + R;");
+    c.line(s + " acc = c_w[0] * pipe[col][R];");
+    c.open("for (int m = 1; m <= R; ++m)");
+    c.line("acc += c_w[m] * (tile[ly * K_TILE_ROW + lx - m] + tile[ly * K_TILE_ROW + lx + m] +");
+    c.line("                 tile[(ly - m) * K_TILE_ROW + lx] + tile[(ly + m) * K_TILE_ROW + lx] +");
+    c.line("                 pipe[col][R - m] + pipe[col][R + m]);");
+    c.close();
+    c.line("out[idx3(x0 + tx + sx * K_TX, y0 + ty + u * K_TY, k)] = acc;");
+    c.close();
+    c.close();
+    c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+    c.close();
+  } else {
+    c.line(s + " back[K_COLS][R];");
+    c.line(s + " q[K_COLS][R];");
+    c.open("for (int u = 0; u < K_RY; ++u)");
+    c.open("for (int sx = 0; sx < K_RX; ++sx)");
+    c.line("const int col = u * K_RX + sx;");
+    c.line("const int x = x0 + tx + sx * K_TX;");
+    c.line("const int y = y0 + ty + u * K_TY;");
+    c.open("for (int m = 1; m <= R; ++m)");
+    c.line("back[col][m - 1] = in[idx3(x, y, -m)];");
+    c.line("q[col][m - 1] = (" + s + ")(0);");
+    c.close();
+    c.close();
+    c.close();
+    c.open("for (int k = 0; k < nz + R; ++k)");
+    emit_load_pattern(c, spec);
+    c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+    c.open("for (int u = 0; u < K_RY; ++u)");
+    c.open("for (int sx = 0; sx < K_RX; ++sx)");
+    c.line("const int col = u * K_RX + sx;");
+    c.line("const int lx = tx + sx * K_TX + R;");
+    c.line("const int ly = ty + u * K_TY + R;");
+    c.line("const " + s + " cur = tile[ly * K_TILE_ROW + lx];");
+    c.line(s + " part = c_w[0] * cur;");
+    c.open("for (int m = 1; m <= R; ++m)");
+    c.line("part += c_w[m] * (tile[ly * K_TILE_ROW + lx - m] + tile[ly * K_TILE_ROW + lx + m] +");
+    c.line("                  tile[(ly - m) * K_TILE_ROW + lx] + tile[(ly + m) * K_TILE_ROW + lx] +");
+    c.line("                  back[col][m - 1]);");
+    c.close();
+    c.line("for (int d = 0; d < R; ++d) q[col][d] += c_w[d + 1] * cur;");
+    c.line("const " + s + " emit = q[col][R - 1];");
+    c.line("for (int d = R - 1; d >= 1; --d) q[col][d] = q[col][d - 1];");
+    c.line("q[col][0] = part;");
+    c.line("for (int m = R - 1; m >= 1; --m) back[col][m] = back[col][m - 1];");
+    c.line("back[col][0] = cur;");
+    c.open("if (k >= R)");
+    c.line("out[idx3(x0 + tx + sx * K_TX, y0 + ty + u * K_TY, k - R)] = emit;");
+    c.close();
+    c.close();
+    c.close();
+    c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+    c.close();
+  }
+  c.close();
+  return c.str();
+}
+
+}  // namespace inplane::codegen

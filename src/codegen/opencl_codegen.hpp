@@ -1,0 +1,14 @@
+#pragma once
+
+#include "codegen/cuda_codegen.hpp"
+
+namespace inplane::codegen {
+
+/// OpenCL C backend for the same kernel specifications (the paper names
+/// both programming models in its introduction [1], [2]).  The generated
+/// __kernel mirrors the CUDA output: same shared ("__local") tile shapes,
+/// same Fig. 6 loading patterns, same Eqn. (3)-(5) register queue, with
+/// vloadN/vstoreN for the vectorised merged-row loads.
+[[nodiscard]] std::string generate_opencl_kernel(const CudaKernelSpec& spec);
+
+}  // namespace inplane::codegen

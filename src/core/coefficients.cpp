@@ -1,0 +1,35 @@
+#include "core/coefficients.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace inplane {
+
+StencilCoeffs::StencilCoeffs(double centre, std::vector<double> ring)
+    : c0_(centre), ring_(std::move(ring)) {}
+
+StencilCoeffs StencilCoeffs::diffusion(int radius) {
+  if (radius < 0) throw std::invalid_argument("StencilCoeffs: radius must be >= 0");
+  // Weights proportional to 1/m for distance m; normalised so that
+  // c0 + 6 * sum(cm) == 1, with c0 taking half of the total mass.
+  std::vector<double> ring(static_cast<std::size_t>(radius));
+  double mass = 0.0;
+  for (int m = 1; m <= radius; ++m) mass += 1.0 / m;
+  for (int m = 1; m <= radius; ++m) {
+    ring[static_cast<std::size_t>(m - 1)] = (mass > 0.0) ? 0.5 / (6.0 * mass * m) : 0.0;
+  }
+  const double centre = (radius == 0) ? 1.0 : 0.5;
+  return StencilCoeffs(centre, std::move(ring));
+}
+
+StencilCoeffs StencilCoeffs::random(int radius, std::uint64_t seed) {
+  if (radius < 0) throw std::invalid_argument("StencilCoeffs: radius must be >= 0");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const double centre = dist(rng);
+  std::vector<double> ring(static_cast<std::size_t>(radius));
+  for (auto& c : ring) c = dist(rng);
+  return StencilCoeffs(centre, std::move(ring));
+}
+
+}  // namespace inplane

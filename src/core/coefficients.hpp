@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inplane {
+
+/// Coefficients of an axis-symmetric star ("Jacobi") stencil of radius r:
+///
+///   out[i,j,k] = c0 * in[i,j,k]
+///              + sum_{m=1..r} cm * (in[i+-m,j,k] + in[i,j+-m,k] + in[i,j,k+-m])
+///
+/// (Eqn. (1) of the paper).  The stencil *order* is 2r.
+class StencilCoeffs {
+ public:
+  /// Builds a stencil from a centre weight and per-distance weights.
+  /// @param centre  c0
+  /// @param ring    c1..cr (size determines the radius; may be empty for r=0)
+  StencilCoeffs(double centre, std::vector<double> ring);
+
+  /// Radius r of the stencil.
+  [[nodiscard]] int radius() const { return static_cast<int>(ring_.size()); }
+  /// Order 2r of the stencil.
+  [[nodiscard]] int order() const { return 2 * radius(); }
+
+  [[nodiscard]] double c0() const { return c0_; }
+  /// Weight c_m for neighbour distance m in [1, r].
+  [[nodiscard]] double c(int m) const { return ring_[static_cast<std::size_t>(m - 1)]; }
+  [[nodiscard]] std::span<const double> ring() const { return ring_; }
+
+  /// A normalised diffusion-like stencil of radius r: all 6r+1 weights sum
+  /// to 1, ring weights decay with distance.  Numerically stable under
+  /// repeated Jacobi iteration, so long multi-timestep tests do not blow up.
+  static StencilCoeffs diffusion(int radius);
+
+  /// Deterministic pseudo-random coefficients in [-1, 1]; useful for
+  /// property tests (no accidental symmetry-induced cancellation).
+  static StencilCoeffs random(int radius, std::uint64_t seed);
+
+ private:
+  double c0_;
+  std::vector<double> ring_;
+};
+
+}  // namespace inplane

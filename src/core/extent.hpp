@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace inplane {
+
+/// Logical size of a 3-D grid (interior points only, halos excluded).
+///
+/// The paper uses LX x LY x LZ for the lattice size; x is the
+/// fastest-varying (contiguous) dimension throughout this code base,
+/// matching the CUDA memory layout the paper assumes.
+struct Extent3 {
+  int nx = 0;  ///< points along x (contiguous dimension)
+  int ny = 0;  ///< points along y
+  int nz = 0;  ///< points along z (sweep dimension)
+
+  [[nodiscard]] constexpr std::size_t volume() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Extent3&) const = default;
+
+  /// Throws std::invalid_argument unless all dimensions are positive.
+  void validate() const {
+    if (nx <= 0 || ny <= 0 || nz <= 0) {
+      throw std::invalid_argument("Extent3: all dimensions must be positive, got " +
+                                  std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+                                  std::to_string(nz));
+    }
+  }
+};
+
+}  // namespace inplane

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/grid_layout.hpp"
+
+namespace inplane {
+
+/// A 3-D scalar field with halo cells and alignment padding, laid out the
+/// way a CUDA grid would be: x fastest, then y, then z.
+///
+/// Grid3 = GridLayout (geometry) + owned storage.  Logical coordinates
+/// (i, j, k) address interior points for 0 <= i < nx (and likewise y, z);
+/// negative indices down to -halo and indices up to nx-1+halo address halo
+/// cells.  See GridLayout for the alignment guarantees the simulated
+/// kernels rely on; the padding mirrors the "array padding" optimisation
+/// standard for GPU stencils (Datta et al. [11]).
+template <typename T>
+class Grid3 {
+ public:
+  /// Creates a zero-initialised grid.  See GridLayout for parameter
+  /// semantics; kernels of radius r require halo >= r.
+  Grid3(Extent3 extent, int halo, std::size_t align_elems = 32, int align_offset = 0)
+      : layout_(extent, halo, sizeof(T), align_elems, align_offset),
+        data_(layout_.allocated(), T{}) {}
+
+  explicit Grid3(const GridLayout& layout)
+      : layout_(layout), data_(layout.allocated(), T{}) {
+    if (layout.elem_size() != sizeof(T)) {
+      throw std::invalid_argument("Grid3: layout elem_size does not match T");
+    }
+  }
+
+  [[nodiscard]] const GridLayout& layout() const { return layout_; }
+  [[nodiscard]] const Extent3& extent() const { return layout_.extent(); }
+  [[nodiscard]] int nx() const { return layout_.nx(); }
+  [[nodiscard]] int ny() const { return layout_.ny(); }
+  [[nodiscard]] int nz() const { return layout_.nz(); }
+  [[nodiscard]] int halo() const { return layout_.halo(); }
+  [[nodiscard]] std::size_t alignment() const { return layout_.alignment(); }
+  [[nodiscard]] int align_offset() const { return layout_.align_offset(); }
+  [[nodiscard]] std::size_t pitch_x() const { return layout_.pitch_x(); }
+  [[nodiscard]] std::size_t plane_stride() const { return layout_.plane_stride(); }
+  [[nodiscard]] std::size_t allocated() const { return data_.size(); }
+
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    return layout_.index(i, j, k);
+  }
+  [[nodiscard]] std::uint64_t byte_offset(int i, int j, int k) const {
+    return layout_.byte_offset(i, j, k);
+  }
+  [[nodiscard]] bool is_interior(int i, int j, int k) const {
+    return layout_.is_interior(i, j, k);
+  }
+
+  [[nodiscard]] T& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  [[nodiscard]] const T& at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  [[nodiscard]] std::span<T> data() { return data_; }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+  [[nodiscard]] T* raw() { return data_.data(); }
+  [[nodiscard]] const T* raw() const { return data_.data(); }
+
+  /// Storage viewed as raw bytes (for mapping into simulated global memory).
+  [[nodiscard]] std::span<std::byte> bytes() {
+    return {reinterpret_cast<std::byte*>(data_.data()), data_.size() * sizeof(T)};
+  }
+
+  /// Sets every allocated element (interior, halo, and padding) to @p value.
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Sets interior elements from a function of the logical coordinates.
+  template <typename Fn>
+  void fill_interior(Fn&& fn) {
+    for (int k = 0; k < nz(); ++k)
+      for (int j = 0; j < ny(); ++j)
+        for (int i = 0; i < nx(); ++i) at(i, j, k) = fn(i, j, k);
+  }
+
+  /// Sets every cell — interior *and* halo — from a function of the
+  /// logical coordinates (halo coordinates are negative / beyond extent).
+  template <typename Fn>
+  void fill_with_halo(Fn&& fn) {
+    const int h = halo();
+    for (int k = -h; k < nz() + h; ++k)
+      for (int j = -h; j < ny() + h; ++j)
+        for (int i = -h; i < nx() + h; ++i) at(i, j, k) = fn(i, j, k);
+  }
+
+  /// Deterministic pseudo-random interior values in [lo, hi]; halos get 0.
+  static Grid3 random(Extent3 extent, int halo, std::uint64_t seed, T lo = T{0},
+                      T hi = T{1}) {
+    Grid3 g(extent, halo);
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(static_cast<double>(lo),
+                                                static_cast<double>(hi));
+    g.fill_interior([&](int, int, int) { return static_cast<T>(dist(rng)); });
+    return g;
+  }
+
+ private:
+  GridLayout layout_;
+  std::vector<T> data_;
+};
+
+}  // namespace inplane

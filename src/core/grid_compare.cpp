@@ -1,0 +1,49 @@
+#include "core/grid_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace inplane {
+
+template <typename T>
+GridDiff compare_grids(const Grid3<T>& a, const Grid3<T>& b) {
+  if (a.extent() != b.extent()) {
+    throw std::invalid_argument("compare_grids: grids must share extent");
+  }
+  GridDiff diff;
+  for (int k = 0; k < a.nz(); ++k) {
+    for (int j = 0; j < a.ny(); ++j) {
+      for (int i = 0; i < a.nx(); ++i) {
+        const double va = static_cast<double>(a.at(i, j, k));
+        const double vb = static_cast<double>(b.at(i, j, k));
+        const double abs_d = std::abs(va - vb);
+        const double rel_d = abs_d / std::max({std::abs(va), std::abs(vb), 1.0});
+        if (abs_d > diff.max_abs) {
+          diff.max_abs = abs_d;
+          diff.worst_i = i;
+          diff.worst_j = j;
+          diff.worst_k = k;
+        }
+        diff.max_rel = std::max(diff.max_rel, rel_d);
+      }
+    }
+  }
+  return diff;
+}
+
+template <typename T>
+bool grids_allclose(const Grid3<T>& a, const Grid3<T>& b, double abs_tol,
+                    double rel_tol) {
+  const GridDiff diff = compare_grids(a, b);
+  return diff.max_abs <= abs_tol || diff.max_rel <= rel_tol;
+}
+
+template GridDiff compare_grids<float>(const Grid3<float>&, const Grid3<float>&);
+template GridDiff compare_grids<double>(const Grid3<double>&, const Grid3<double>&);
+template bool grids_allclose<float>(const Grid3<float>&, const Grid3<float>&, double,
+                                    double);
+template bool grids_allclose<double>(const Grid3<double>&, const Grid3<double>&, double,
+                                     double);
+
+}  // namespace inplane

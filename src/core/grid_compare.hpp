@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/grid3.hpp"
+
+namespace inplane {
+
+/// Summary of the pointwise difference between two grids' interiors.
+struct GridDiff {
+  double max_abs = 0.0;  ///< max |a - b|
+  double max_rel = 0.0;  ///< max |a - b| / max(|a|, |b|, 1)
+  int worst_i = -1;      ///< coordinates of the largest absolute difference
+  int worst_j = -1;
+  int worst_k = -1;
+};
+
+/// Compares the interiors of two grids of identical extent.
+template <typename T>
+[[nodiscard]] GridDiff compare_grids(const Grid3<T>& a, const Grid3<T>& b);
+
+/// True if interiors match to within @p abs_tol or @p rel_tol pointwise.
+template <typename T>
+[[nodiscard]] bool grids_allclose(const Grid3<T>& a, const Grid3<T>& b,
+                                  double abs_tol, double rel_tol);
+
+extern template GridDiff compare_grids<float>(const Grid3<float>&, const Grid3<float>&);
+extern template GridDiff compare_grids<double>(const Grid3<double>&,
+                                               const Grid3<double>&);
+extern template bool grids_allclose<float>(const Grid3<float>&, const Grid3<float>&,
+                                           double, double);
+extern template bool grids_allclose<double>(const Grid3<double>&, const Grid3<double>&,
+                                            double, double);
+
+}  // namespace inplane

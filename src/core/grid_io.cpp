@@ -1,0 +1,97 @@
+#include "core/grid_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace inplane {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'I', 'P', 'G', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("grid_io: truncated file");
+  return v;
+}
+
+}  // namespace
+
+template <typename T>
+void save_grid(const Grid3<T>& grid, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  if (!out) throw std::runtime_error("save_grid: cannot open " + path);
+  out.write(kMagic.data(), kMagic.size());
+  write_u64(out, sizeof(T));
+  write_u64(out, static_cast<std::uint64_t>(grid.nx()));
+  write_u64(out, static_cast<std::uint64_t>(grid.ny()));
+  write_u64(out, static_cast<std::uint64_t>(grid.nz()));
+  write_u64(out, static_cast<std::uint64_t>(grid.halo()));
+  write_u64(out, grid.alignment());
+  write_u64(out, static_cast<std::uint64_t>(grid.align_offset()));
+  out.write(reinterpret_cast<const char*>(grid.raw()),
+            static_cast<std::streamsize>(grid.allocated() * sizeof(T)));
+  if (!out) throw std::runtime_error("save_grid: write failed for " + path);
+}
+
+template <typename T>
+Grid3<T> load_grid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_grid: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_grid: not an IPG1 grid file: " + path);
+  }
+  const std::uint64_t elem = read_u64(in);
+  if (elem != sizeof(T)) {
+    throw std::runtime_error("load_grid: element size mismatch in " + path);
+  }
+  const auto nx = static_cast<int>(read_u64(in));
+  const auto ny = static_cast<int>(read_u64(in));
+  const auto nz = static_cast<int>(read_u64(in));
+  const auto halo = static_cast<int>(read_u64(in));
+  const auto align = read_u64(in);
+  const auto align_offset = static_cast<int>(read_u64(in));
+  Grid3<T> grid({nx, ny, nz}, halo, align, align_offset);
+  in.read(reinterpret_cast<char*>(grid.raw()),
+          static_cast<std::streamsize>(grid.allocated() * sizeof(T)));
+  if (!in) throw std::runtime_error("load_grid: truncated data in " + path);
+  return grid;
+}
+
+template <typename T>
+void export_plane_csv(const Grid3<T>& grid, int k, const std::string& path) {
+  if (k < 0 || k >= grid.nz()) {
+    throw std::invalid_argument("export_plane_csv: plane index out of range");
+  }
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("export_plane_csv: cannot open " + path);
+  for (int j = 0; j < grid.ny(); ++j) {
+    for (int i = 0; i < grid.nx(); ++i) {
+      if (i != 0) out << ',';
+      out << grid.at(i, j, k);
+    }
+    out << '\n';
+  }
+}
+
+template void save_grid<float>(const Grid3<float>&, const std::string&);
+template void save_grid<double>(const Grid3<double>&, const std::string&);
+template Grid3<float> load_grid<float>(const std::string&);
+template Grid3<double> load_grid<double>(const std::string&);
+template void export_plane_csv<float>(const Grid3<float>&, int, const std::string&);
+template void export_plane_csv<double>(const Grid3<double>&, int, const std::string&);
+
+}  // namespace inplane

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "core/grid3.hpp"
+
+namespace inplane {
+
+/// Binary grid persistence: a small self-describing format (magic, element
+/// size, extent, halo, alignment parameters, then the raw padded storage).
+/// Round-trips bit-exactly, so simulation checkpoints and test fixtures
+/// survive on disk.
+///
+/// Format (little-endian, 64-bit fields after the magic):
+///   "IPG1" | elem_size | nx ny nz | halo | align | align_offset | data...
+template <typename T>
+void save_grid(const Grid3<T>& grid, const std::string& path);
+
+/// Loads a grid saved by save_grid.  Throws std::runtime_error on I/O
+/// failure, format mismatch, or element-size mismatch with T.
+template <typename T>
+[[nodiscard]] Grid3<T> load_grid(const std::string& path);
+
+/// Writes the interior of one z-plane as CSV (rows = y, columns = x) —
+/// handy for inspecting simulation output with external tools.
+template <typename T>
+void export_plane_csv(const Grid3<T>& grid, int k, const std::string& path);
+
+extern template void save_grid<float>(const Grid3<float>&, const std::string&);
+extern template void save_grid<double>(const Grid3<double>&, const std::string&);
+extern template Grid3<float> load_grid<float>(const std::string&);
+extern template Grid3<double> load_grid<double>(const std::string&);
+extern template void export_plane_csv<float>(const Grid3<float>&, int,
+                                             const std::string&);
+extern template void export_plane_csv<double>(const Grid3<double>&, int,
+                                              const std::string&);
+
+}  // namespace inplane

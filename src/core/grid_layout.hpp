@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/extent.hpp"
+
+namespace inplane {
+
+/// Rounds @p value up to the next multiple of @p mult (mult > 0).
+[[nodiscard]] constexpr std::size_t round_up(std::size_t value, std::size_t mult) {
+  return ((value + mult - 1) / mult) * mult;
+}
+
+/// Geometry of a padded, aligned 3-D grid — everything needed to turn a
+/// logical coordinate (i, j, k) into a linear index or byte offset, with no
+/// storage attached.  Grid3 owns one of these plus the data; the simulated
+/// kernels consume layouts directly so that timing traces can be produced
+/// without allocating full-size grids.
+///
+/// Layout: x fastest, then y, then z (CUDA convention).  Guarantees:
+///  * index(-align_offset, j, k) is a multiple of align_elems for all j, k;
+///  * pitch_x() is a multiple of align_elems.
+/// align_offset = 0 aligns the interior row start; align_offset = r aligns
+/// the halo-inclusive row start that the horizontal and full-slice loading
+/// patterns vectorise over (section III-C2 of the paper).
+class GridLayout {
+ public:
+  GridLayout(Extent3 extent, int halo, std::size_t elem_size,
+             std::size_t align_elems = 32, int align_offset = 0)
+      : extent_(extent), halo_(halo), elem_size_(elem_size), align_(align_elems),
+        align_offset_(align_offset) {
+    extent.validate();
+    if (halo < 0) throw std::invalid_argument("GridLayout: halo must be >= 0");
+    if (align_offset < 0 || align_offset > halo) {
+      throw std::invalid_argument("GridLayout: align_offset must be in [0, halo]");
+    }
+    if (align_elems == 0 || (align_elems & (align_elems - 1)) != 0) {
+      throw std::invalid_argument("GridLayout: alignment must be a nonzero power of two");
+    }
+    if (elem_size == 0) throw std::invalid_argument("GridLayout: elem_size must be > 0");
+    const auto h = static_cast<std::size_t>(halo);
+    origin_x_ = round_up(h, align_) + static_cast<std::size_t>(align_offset) % align_;
+    pitch_x_ = round_up(origin_x_ + static_cast<std::size_t>(extent_.nx) + h, align_);
+    padded_ny_ = static_cast<std::size_t>(extent_.ny) + 2 * h;
+    padded_nz_ = static_cast<std::size_t>(extent_.nz) + 2 * h;
+  }
+
+  [[nodiscard]] const Extent3& extent() const { return extent_; }
+  [[nodiscard]] int nx() const { return extent_.nx; }
+  [[nodiscard]] int ny() const { return extent_.ny; }
+  [[nodiscard]] int nz() const { return extent_.nz; }
+  [[nodiscard]] int halo() const { return halo_; }
+  [[nodiscard]] std::size_t elem_size() const { return elem_size_; }
+  [[nodiscard]] std::size_t alignment() const { return align_; }
+  [[nodiscard]] int align_offset() const { return align_offset_; }
+
+  /// Stride between consecutive y rows, in elements.
+  [[nodiscard]] std::size_t pitch_x() const { return pitch_x_; }
+  /// Stride between consecutive z planes, in elements.
+  [[nodiscard]] std::size_t plane_stride() const { return pitch_x_ * padded_ny_; }
+  /// Total elements including halo and padding.
+  [[nodiscard]] std::size_t allocated() const { return plane_stride() * padded_nz_; }
+  /// Total bytes including halo and padding.
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated() * elem_size_; }
+
+  /// Linear element index of (i, j, k); valid for -halo <= i < nx+halo etc.
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    const auto x = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(origin_x_) + i);
+    const auto jj = static_cast<std::size_t>(j + halo_);
+    const auto kk = static_cast<std::size_t>(k + halo_);
+    return x + pitch_x_ * jj + plane_stride() * kk;
+  }
+
+  /// Byte offset of (i, j, k) from the buffer base — what the simulated
+  /// coalescer sees, so it reflects padding and alignment faithfully.
+  [[nodiscard]] std::uint64_t byte_offset(int i, int j, int k) const {
+    return static_cast<std::uint64_t>(index(i, j, k)) * elem_size_;
+  }
+
+  [[nodiscard]] bool is_interior(int i, int j, int k) const {
+    return i >= 0 && i < nx() && j >= 0 && j < ny() && k >= 0 && k < nz();
+  }
+
+ private:
+  Extent3 extent_;
+  int halo_;
+  std::size_t elem_size_;
+  std::size_t align_;
+  int align_offset_;
+  std::size_t origin_x_ = 0;
+  std::size_t pitch_x_ = 0;
+  std::size_t padded_ny_ = 0;
+  std::size_t padded_nz_ = 0;
+};
+
+}  // namespace inplane

@@ -1,0 +1,80 @@
+#include "core/iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/reference.hpp"
+
+namespace inplane {
+
+namespace {
+
+template <typename T>
+double max_interior_delta(const Grid3<T>& a, const Grid3<T>& b) {
+  double delta = 0.0;
+  for (int k = 0; k < a.nz(); ++k)
+    for (int j = 0; j < a.ny(); ++j)
+      for (int i = 0; i < a.nx(); ++i)
+        delta = std::max(delta,
+                         std::abs(static_cast<double>(a.at(i, j, k)) -
+                                  static_cast<double>(b.at(i, j, k))));
+  return delta;
+}
+
+}  // namespace
+
+template <typename T>
+IterationOutcome<T> run_iterative_stencil(Grid3<T>& a, Grid3<T>& b,
+                                          const ComputeKernelFn<T>& kernel,
+                                          const StopCriteria& stop) {
+  if (!kernel) throw std::invalid_argument("run_iterative_stencil: null kernel");
+  if (stop.max_steps < 0) {
+    throw std::invalid_argument("run_iterative_stencil: max_steps must be >= 0");
+  }
+  Grid3<T>* in = &a;
+  Grid3<T>* out = &b;
+  IterationOutcome<T> outcome;
+  outcome.result = in;
+  for (int t = 0; t < stop.max_steps; ++t) {
+    kernel(*in, *out);
+    outcome.stats.steps_taken = t + 1;
+    if (stop.tolerance >= 0.0) {
+      outcome.stats.last_delta = max_interior_delta(*in, *out);
+      if (outcome.stats.last_delta <= stop.tolerance) {
+        outcome.stats.converged = true;
+        outcome.result = out;
+        return outcome;
+      }
+    }
+    std::swap(in, out);
+    outcome.result = in;
+  }
+  return outcome;
+}
+
+template <typename T>
+IterationOutcome<T> run_reference_loop(Grid3<T>& a, Grid3<T>& b,
+                                       const StencilCoeffs& coeffs,
+                                       const StopCriteria& stop) {
+  ComputeKernelFn<T> kernel = [&coeffs](const Grid3<T>& in, Grid3<T>& out) {
+    apply_reference(in, out, coeffs);
+  };
+  return run_iterative_stencil(a, b, kernel, stop);
+}
+
+template IterationOutcome<float> run_iterative_stencil<float>(Grid3<float>&,
+                                                              Grid3<float>&,
+                                                              const ComputeKernelFn<float>&,
+                                                              const StopCriteria&);
+template IterationOutcome<double> run_iterative_stencil<double>(
+    Grid3<double>&, Grid3<double>&, const ComputeKernelFn<double>&, const StopCriteria&);
+template IterationOutcome<float> run_reference_loop<float>(Grid3<float>&, Grid3<float>&,
+                                                           const StencilCoeffs&,
+                                                           const StopCriteria&);
+template IterationOutcome<double> run_reference_loop<double>(Grid3<double>&,
+                                                             Grid3<double>&,
+                                                             const StencilCoeffs&,
+                                                             const StopCriteria&);
+
+}  // namespace inplane

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+
+#include "core/coefficients.hpp"
+#include "core/grid3.hpp"
+
+namespace inplane {
+
+/// Outcome of an iterative stencil loop (Fig. 1 of the paper).
+struct IterationResult {
+  int steps_taken = 0;      ///< number of ComputeKernel invocations
+  double last_delta = 0.0;  ///< max |out - in| over the final sweep
+  bool converged = false;   ///< true if a tolerance criterion stopped the loop
+};
+
+/// Stop criteria for run_iterative_stencil.  The loop stops after
+/// max_steps sweeps, or earlier once the max pointwise change of a sweep
+/// drops to or below tolerance (if tolerance >= 0).
+struct StopCriteria {
+  int max_steps = 1;
+  double tolerance = -1.0;  ///< negative disables the convergence check
+};
+
+/// The ITERSTENCILLOOP procedure of Fig. 1: repeatedly calls @p kernel on
+/// (in, out) and swaps the roles of the two grids between sweeps, exactly
+/// as the paper's pseudo-code does with pointer swapping.
+///
+/// @param kernel ComputeKernel(in, out): any callable applying one Jacobi
+///               sweep — a CPU reference or a simulated GPU kernel.
+/// @returns a pointer to whichever of the two buffers holds the final
+///          state, plus iteration statistics.
+template <typename T>
+struct IterationOutcome {
+  Grid3<T>* result = nullptr;
+  IterationResult stats;
+};
+
+template <typename T>
+using ComputeKernelFn = std::function<void(const Grid3<T>&, Grid3<T>&)>;
+
+template <typename T>
+IterationOutcome<T> run_iterative_stencil(Grid3<T>& a, Grid3<T>& b,
+                                          const ComputeKernelFn<T>& kernel,
+                                          const StopCriteria& stop);
+
+/// Convenience wrapper using the CPU reference kernel.
+template <typename T>
+IterationOutcome<T> run_reference_loop(Grid3<T>& a, Grid3<T>& b,
+                                       const StencilCoeffs& coeffs,
+                                       const StopCriteria& stop);
+
+extern template IterationOutcome<float> run_iterative_stencil<float>(
+    Grid3<float>&, Grid3<float>&, const ComputeKernelFn<float>&, const StopCriteria&);
+extern template IterationOutcome<double> run_iterative_stencil<double>(
+    Grid3<double>&, Grid3<double>&, const ComputeKernelFn<double>&, const StopCriteria&);
+extern template IterationOutcome<float> run_reference_loop<float>(Grid3<float>&,
+                                                                  Grid3<float>&,
+                                                                  const StencilCoeffs&,
+                                                                  const StopCriteria&);
+extern template IterationOutcome<double> run_reference_loop<double>(Grid3<double>&,
+                                                                    Grid3<double>&,
+                                                                    const StencilCoeffs&,
+                                                                    const StopCriteria&);
+
+}  // namespace inplane

@@ -1,0 +1,78 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace inplane {
+
+namespace {
+
+template <typename T>
+void check_compatible(const Grid3<T>& in, Grid3<T>& out, const StencilCoeffs& coeffs) {
+  if (in.extent() != out.extent()) {
+    throw std::invalid_argument("apply_reference: grids must share extent");
+  }
+  if (in.halo() < coeffs.radius() || out.halo() < coeffs.radius()) {
+    throw std::invalid_argument("apply_reference: halo narrower than stencil radius");
+  }
+}
+
+template <typename T>
+inline T stencil_point(const Grid3<T>& in, const StencilCoeffs& coeffs, int i, int j,
+                       int k) {
+  const int r = coeffs.radius();
+  T acc = static_cast<T>(coeffs.c0()) * in.at(i, j, k);
+  for (int m = 1; m <= r; ++m) {
+    const T cm = static_cast<T>(coeffs.c(m));
+    acc += cm * (in.at(i - m, j, k) + in.at(i + m, j, k) + in.at(i, j - m, k) +
+                 in.at(i, j + m, k) + in.at(i, j, k - m) + in.at(i, j, k + m));
+  }
+  return acc;
+}
+
+}  // namespace
+
+template <typename T>
+void apply_reference(const Grid3<T>& in, Grid3<T>& out, const StencilCoeffs& coeffs) {
+  check_compatible(in, out, coeffs);
+  for (int k = 0; k < in.nz(); ++k) {
+    for (int j = 0; j < in.ny(); ++j) {
+      for (int i = 0; i < in.nx(); ++i) {
+        out.at(i, j, k) = stencil_point(in, coeffs, i, j, k);
+      }
+    }
+  }
+}
+
+template <typename T>
+void apply_reference_blocked(const Grid3<T>& in, Grid3<T>& out,
+                             const StencilCoeffs& coeffs, int block_y, int block_z) {
+  check_compatible(in, out, coeffs);
+  if (block_y <= 0 || block_z <= 0) {
+    throw std::invalid_argument("apply_reference_blocked: block sizes must be positive");
+  }
+  for (int k0 = 0; k0 < in.nz(); k0 += block_z) {
+    const int k1 = std::min(k0 + block_z, in.nz());
+    for (int j0 = 0; j0 < in.ny(); j0 += block_y) {
+      const int j1 = std::min(j0 + block_y, in.ny());
+      for (int k = k0; k < k1; ++k) {
+        for (int j = j0; j < j1; ++j) {
+          for (int i = 0; i < in.nx(); ++i) {
+            out.at(i, j, k) = stencil_point(in, coeffs, i, j, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+template void apply_reference<float>(const Grid3<float>&, Grid3<float>&,
+                                     const StencilCoeffs&);
+template void apply_reference<double>(const Grid3<double>&, Grid3<double>&,
+                                      const StencilCoeffs&);
+template void apply_reference_blocked<float>(const Grid3<float>&, Grid3<float>&,
+                                             const StencilCoeffs&, int, int);
+template void apply_reference_blocked<double>(const Grid3<double>&, Grid3<double>&,
+                                              const StencilCoeffs&, int, int);
+
+}  // namespace inplane

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/coefficients.hpp"
+#include "core/grid3.hpp"
+
+namespace inplane {
+
+/// Applies one Jacobi sweep of the star stencil (Eqn. (1)) to every
+/// interior point of @p in, writing @p out.  This is the "gold" CPU
+/// reference all simulated GPU kernels are verified against (the paper
+/// verifies every kernel variant "with the result from the CPU-computed
+/// stencil output", section IV-B).
+///
+/// Requirements: both grids share extent; halo width >= stencil radius.
+/// Halo cells of @p out are left untouched.
+template <typename T>
+void apply_reference(const Grid3<T>& in, Grid3<T>& out, const StencilCoeffs& coeffs);
+
+/// Cache-blocked variant of apply_reference: identical results, tiled over
+/// (block_y x block_z) pencils so the working set fits in cache.  Used by
+/// the CPU micro-benchmarks and the quickstart example.
+template <typename T>
+void apply_reference_blocked(const Grid3<T>& in, Grid3<T>& out,
+                             const StencilCoeffs& coeffs, int block_y = 8,
+                             int block_z = 8);
+
+extern template void apply_reference<float>(const Grid3<float>&, Grid3<float>&,
+                                            const StencilCoeffs&);
+extern template void apply_reference<double>(const Grid3<double>&, Grid3<double>&,
+                                             const StencilCoeffs&);
+extern template void apply_reference_blocked<float>(const Grid3<float>&, Grid3<float>&,
+                                                    const StencilCoeffs&, int, int);
+extern template void apply_reference_blocked<double>(const Grid3<double>&,
+                                                     Grid3<double>&,
+                                                     const StencilCoeffs&, int, int);
+
+}  // namespace inplane

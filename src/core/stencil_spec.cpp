@@ -1,0 +1,12 @@
+#include "core/stencil_spec.hpp"
+
+namespace inplane {
+
+std::string StencilSpec::extent_string() const {
+  const std::string e = std::to_string(extent_edge());
+  return e + "x" + e + "x" + e;
+}
+
+std::vector<int> paper_stencil_orders() { return {2, 4, 6, 8, 10, 12}; }
+
+}  // namespace inplane

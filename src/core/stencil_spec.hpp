@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace inplane {
+
+/// Analytic per-element operation counts for a star stencil of a given
+/// order, as tabulated in Tables I and II of the paper.
+struct StencilSpec {
+  int order = 2;  ///< 2r
+
+  [[nodiscard]] int radius() const { return order / 2; }
+
+  /// Edge length of the (2r+1)^3 computation cell ("extent" column).
+  [[nodiscard]] int extent_edge() const { return 2 * radius() + 1; }
+
+  /// Memory references per element: 6r+1 neighbour loads + 1 store = 6r+2.
+  [[nodiscard]] int memory_refs() const { return 6 * radius() + 2; }
+
+  /// Flops per element for the forward-plane method: 7r+1 (Table I /
+  /// Table II "Flops (nvstencil)" column).
+  [[nodiscard]] int flops_forward() const { return 7 * radius() + 1; }
+
+  /// Flops per element for the in-plane method: 8r+1 (Table II).  The
+  /// incremental update of Eqn. (5) adds one extra multiply-add per
+  /// pipeline stage.
+  [[nodiscard]] int flops_inplane() const { return 8 * radius() + 1; }
+
+  /// Redundant corner elements loaded per plane per block by the
+  /// full-slice variant: 4r^2 (section III-C1).  Independent of block size.
+  [[nodiscard]] int fullslice_corner_elems() const { return 4 * radius() * radius(); }
+
+  /// "3x3x3"-style extent string used in Table I.
+  [[nodiscard]] std::string extent_string() const;
+};
+
+/// The stencil orders evaluated throughout the paper (Tables I, II, IV;
+/// Figs. 7, 9, 10, 12).
+[[nodiscard]] std::vector<int> paper_stencil_orders();
+
+}  // namespace inplane

@@ -1,0 +1,128 @@
+#include "gpusim/block_ctx.hpp"
+
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+BlockCtx::BlockCtx(const DeviceSpec& device, GlobalMemory& gmem, std::size_t smem_bytes,
+                   ExecMode mode)
+    : device_(device), gmem_(gmem), smem_(smem_bytes, device.shared_banks), mode_(mode) {
+  if (smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+    throw std::invalid_argument("BlockCtx: shared memory request exceeds per-SM limit");
+  }
+}
+
+void BlockCtx::warp_load(std::span<const GlobalLoadLane> lanes) {
+  if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
+    throw std::invalid_argument("warp_load: lane count must equal warp size");
+  }
+  if (tracing()) {
+    // Reuse the coalescer's lane representation.
+    LaneAccess acc[32];
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      acc[i] = LaneAccess{lanes[i].vaddr, lanes[i].bytes, lanes[i].active};
+    }
+    const CoalesceResult r = coalesce(std::span<const LaneAccess>(acc, lanes.size()),
+                                      static_cast<std::uint32_t>(device_.coalesce_bytes));
+    if (!r.any_active) return;
+    stats_.load_instrs += 1;
+    stats_.load_transactions += r.transactions;
+    stats_.bytes_requested_ld += r.bytes_requested;
+    stats_.bytes_transferred_ld += r.bytes_transferred;
+  }
+  if (functional()) {
+    for (const GlobalLoadLane& lane : lanes) {
+      if (lane.active && lane.bytes != 0 && lane.dst != nullptr) {
+        gmem_.read(lane.vaddr, lane.dst, lane.bytes);
+      }
+    }
+  }
+}
+
+void BlockCtx::warp_store(std::span<const GlobalStoreLane> lanes) {
+  if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
+    throw std::invalid_argument("warp_store: lane count must equal warp size");
+  }
+  if (tracing()) {
+    LaneAccess acc[32];
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      acc[i] = LaneAccess{lanes[i].vaddr, lanes[i].bytes, lanes[i].active};
+    }
+    const CoalesceResult r =
+        coalesce(std::span<const LaneAccess>(acc, lanes.size()),
+                 static_cast<std::uint32_t>(device_.store_segment_bytes));
+    if (!r.any_active) return;
+    stats_.store_instrs += 1;
+    stats_.store_transactions += r.transactions;
+    stats_.bytes_requested_st += r.bytes_requested;
+    stats_.bytes_transferred_st += r.bytes_transferred;
+  }
+  if (functional()) {
+    for (const GlobalStoreLane& lane : lanes) {
+      if (lane.active && lane.bytes != 0 && lane.src != nullptr) {
+        gmem_.write(lane.vaddr, lane.src, lane.bytes);
+      }
+    }
+  }
+}
+
+void BlockCtx::warp_smem_read(std::span<const SmemReadLane> lanes) {
+  if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
+    throw std::invalid_argument("warp_smem_read: lane count must equal warp size");
+  }
+  if (tracing()) {
+    SmemLaneAccess acc[32];
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      acc[i] = SmemLaneAccess{lanes[i].offset, lanes[i].bytes, lanes[i].active};
+    }
+    const SmemAccessResult r =
+        smem_.analyze(std::span<const SmemLaneAccess>(acc, lanes.size()));
+    if (!r.any_active) return;
+    stats_.smem_instrs += 1;
+    stats_.smem_replays += r.replays;
+  }
+  if (functional()) {
+    for (const SmemReadLane& lane : lanes) {
+      if (lane.active && lane.bytes != 0 && lane.dst != nullptr) {
+        smem_.read(lane.offset, lane.dst, lane.bytes);
+      }
+    }
+  }
+}
+
+void BlockCtx::warp_smem_write(std::span<const SmemWriteLane> lanes) {
+  if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
+    throw std::invalid_argument("warp_smem_write: lane count must equal warp size");
+  }
+  if (tracing()) {
+    SmemLaneAccess acc[32];
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      acc[i] = SmemLaneAccess{lanes[i].offset, lanes[i].bytes, lanes[i].active};
+    }
+    const SmemAccessResult r =
+        smem_.analyze(std::span<const SmemLaneAccess>(acc, lanes.size()));
+    if (!r.any_active) return;
+    stats_.smem_instrs += 1;
+    stats_.smem_replays += r.replays;
+  }
+  if (functional()) {
+    for (const SmemWriteLane& lane : lanes) {
+      if (lane.active && lane.bytes != 0 && lane.src != nullptr) {
+        smem_.write(lane.offset, lane.src, lane.bytes);
+      }
+    }
+  }
+}
+
+void BlockCtx::record_compute(std::uint64_t warp_instrs, std::uint64_t flops) {
+  if (tracing()) {
+    stats_.compute_instrs += warp_instrs;
+    stats_.flops += flops;
+  }
+}
+
+void BlockCtx::sync() {
+  if (tracing()) stats_.syncs += 1;
+}
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/coalescer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/global_memory.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/trace.hpp"
+
+namespace inplane::gpusim {
+
+/// How a simulated block executes.
+enum class ExecMode {
+  Functional,  ///< move real data, skip event counting (fast verification)
+  Trace,       ///< count events only, no data movement (fast timing)
+  Both,        ///< move data *and* count events (used by equivalence tests)
+};
+
+/// Execution context handed to a kernel for one thread block.
+///
+/// This is the "CUDA" surface the stencil kernels are written against.
+/// All global/shared memory operations are *warp-wide*: the kernel
+/// presents one request per lane (32 per call) and the context
+/// simultaneously performs the data movement (functional modes) and the
+/// micro-architectural accounting — coalescing into transactions, shared
+/// bank-conflict replays, warp-level instruction counts (trace modes).
+/// Writing kernels warp-by-warp is deliberate: it is exactly the
+/// "warp-based assignment method for memory loads" of section III-C2.
+class BlockCtx {
+ public:
+  /// One lane of a warp-wide global load.
+  struct GlobalLoadLane {
+    std::uint64_t vaddr = 0;
+    void* dst = nullptr;  ///< may be null when only tracing
+    std::uint32_t bytes = 0;
+    bool active = false;
+  };
+  /// One lane of a warp-wide global store.
+  struct GlobalStoreLane {
+    std::uint64_t vaddr = 0;
+    const void* src = nullptr;
+    std::uint32_t bytes = 0;
+    bool active = false;
+  };
+  /// One lane of a warp-wide shared-memory read.
+  struct SmemReadLane {
+    std::uint32_t offset = 0;
+    void* dst = nullptr;
+    std::uint32_t bytes = 0;
+    bool active = false;
+  };
+  /// One lane of a warp-wide shared-memory write.
+  struct SmemWriteLane {
+    std::uint32_t offset = 0;
+    const void* src = nullptr;
+    std::uint32_t bytes = 0;
+    bool active = false;
+  };
+
+  BlockCtx(const DeviceSpec& device, GlobalMemory& gmem, std::size_t smem_bytes,
+           ExecMode mode);
+
+  [[nodiscard]] const DeviceSpec& device() const { return device_; }
+  [[nodiscard]] ExecMode mode() const { return mode_; }
+  [[nodiscard]] bool functional() const { return mode_ != ExecMode::Trace; }
+  [[nodiscard]] bool tracing() const { return mode_ != ExecMode::Functional; }
+
+  [[nodiscard]] GlobalMemory& gmem() { return gmem_; }
+  [[nodiscard]] SharedMemory& smem() { return smem_; }
+
+  /// Issues one warp-wide global load instruction.  Lanes must have
+  /// exactly device().warp_size entries.  If no lane is active the
+  /// instruction is skipped entirely (SIMT branch elision).
+  void warp_load(std::span<const GlobalLoadLane> lanes);
+
+  /// Issues one warp-wide global store instruction.
+  void warp_store(std::span<const GlobalStoreLane> lanes);
+
+  /// Issues one warp-wide shared-memory read.
+  void warp_smem_read(std::span<const SmemReadLane> lanes);
+
+  /// Issues one warp-wide shared-memory write.
+  void warp_smem_write(std::span<const SmemWriteLane> lanes);
+
+  /// Records compute work: @p warp_instrs warp-level FMA/ADD/MUL issues and
+  /// @p flops per-lane floating point operations (FMA = 2 flops).  The
+  /// arithmetic itself is performed by the kernel in plain C++; this call
+  /// only feeds the timing model.
+  void record_compute(std::uint64_t warp_instrs, std::uint64_t flops);
+
+  /// Records a block-wide barrier (__syncthreads()).
+  void sync();
+
+  [[nodiscard]] const TraceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TraceStats{}; }
+
+ private:
+  const DeviceSpec& device_;
+  GlobalMemory& gmem_;
+  SharedMemory smem_;
+  ExecMode mode_;
+  TraceStats stats_;
+};
+
+}  // namespace inplane::gpusim

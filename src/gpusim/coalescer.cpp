@@ -1,0 +1,39 @@
+#include "gpusim/coalescer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+CoalesceResult coalesce(std::span<const LaneAccess> lanes, std::uint32_t segment_bytes) {
+  if (segment_bytes == 0 || (segment_bytes & (segment_bytes - 1)) != 0) {
+    throw std::invalid_argument("coalesce: segment size must be a power of two");
+  }
+  CoalesceResult result;
+  // Worst case: 32 lanes x 16-byte vector accesses against 4-byte segments
+  // (the degenerate granularity the model ablation uses) touches 5 segments
+  // per lane -> 160; 256 leaves headroom.
+  std::uint64_t segs[256];
+  std::size_t nsegs = 0;
+  for (const LaneAccess& lane : lanes) {
+    if (!lane.active || lane.bytes == 0) continue;
+    result.any_active = true;
+    result.bytes_requested += lane.bytes;
+    const std::uint64_t first = lane.addr / segment_bytes;
+    const std::uint64_t last = (lane.addr + lane.bytes - 1) / segment_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      if (nsegs == std::size(segs)) {
+        throw std::invalid_argument("coalesce: access too wide for one warp instruction");
+      }
+      segs[nsegs++] = s;
+    }
+  }
+  if (!result.any_active) return result;
+  std::sort(segs, segs + nsegs);
+  result.transactions =
+      static_cast<std::uint64_t>(std::unique(segs, segs + nsegs) - segs);
+  result.bytes_transferred = result.transactions * segment_bytes;
+  return result;
+}
+
+}  // namespace inplane::gpusim

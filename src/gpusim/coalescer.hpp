@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace inplane::gpusim {
+
+/// One lane's slice of a warp-wide global memory access.
+struct LaneAccess {
+  std::uint64_t addr = 0;  ///< starting byte address (virtual)
+  std::uint32_t bytes = 0; ///< access width (elem size * vector width)
+  bool active = true;      ///< false for predicated-off lanes
+};
+
+/// Result of coalescing one warp-wide access.
+struct CoalesceResult {
+  std::uint64_t transactions = 0;      ///< aligned segments touched
+  std::uint64_t bytes_requested = 0;   ///< sum of active lanes' widths
+  std::uint64_t bytes_transferred = 0; ///< transactions * segment size
+  bool any_active = false;             ///< false => instruction not issued
+};
+
+/// Coalesces the active lanes of a warp access into aligned memory
+/// segments of @p segment_bytes (128 for Fermi L1 lines, 32 for Kepler L2
+/// segments).  A transaction is counted for every distinct segment that
+/// any active lane's [addr, addr+bytes) range overlaps — the hardware rule
+/// both architectures implement for naturally-aligned segments.
+[[nodiscard]] CoalesceResult coalesce(std::span<const LaneAccess> lanes,
+                                      std::uint32_t segment_bytes);
+
+}  // namespace inplane::gpusim

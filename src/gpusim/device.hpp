@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace inplane::gpusim {
+
+/// GPU micro-architecture family.  Governs coalescing granularity and
+/// per-SM issue resources.
+enum class Arch {
+  Fermi,   ///< GF100/GF110: global loads cached in L1, 128-byte lines
+  Kepler,  ///< GK104: global loads bypass L1, 32-byte L2 segments
+};
+
+/// Static description of a simulated GPU.
+///
+/// The numbers for the three evaluation cards come from Table III of the
+/// paper plus the measured-throughput figures quoted in section IV-A
+/// (161 / 150 / 117.5 GB/s).  Everything the timing model consumes is
+/// recorded here so a new device can be described without code changes.
+struct DeviceSpec {
+  std::string name;
+  Arch arch = Arch::Fermi;
+
+  // --- Geometry -----------------------------------------------------------
+  int sm_count = 16;            ///< streaming multiprocessors (SM / SMX)
+  int cores_per_sm = 32;        ///< CUDA cores per SM
+  double clock_ghz = 1.544;     ///< shader (core) clock the cores run at
+
+  // --- Memory system ------------------------------------------------------
+  double peak_bw_gbs = 192.4;      ///< pin bandwidth (Table III)
+  double achieved_bw_gbs = 161.0;  ///< measured streaming throughput (sec. IV-A)
+  int coalesce_bytes = 128;        ///< load transaction segment size
+  /// Store transaction segment size.  Global stores bypass L1 on both
+  /// Fermi and Kepler and are written as 32-byte L2 sectors, so a store
+  /// misaligned by a few elements costs one extra sector per warp, not a
+  /// whole extra cache line.
+  int store_segment_bytes = 32;
+  double mem_latency_cycles = 600; ///< global memory round-trip latency
+
+  // --- Per-SM limits (Eqn. (7) inputs) -------------------------------------
+  int regs_per_sm = 32768;        ///< 32-bit registers per SM
+  int smem_per_sm = 48 * 1024;    ///< shared memory bytes per SM
+  int max_warps_per_sm = 48;      ///< resident warp limit (Warp_SM)
+  int max_blocks_per_sm = 8;      ///< resident block limit (Blk_SM)
+  int max_threads_per_block = 1024;
+  int max_regs_per_thread = 63;   ///< per-thread register file limit
+  int warp_size = 32;
+
+  // --- Issue resources ------------------------------------------------------
+  int ldst_units_per_sm = 16;       ///< load/store units (warp LD/ST rate)
+  int shared_banks = 32;            ///< shared-memory banks
+  double dp_throughput_ratio = 0.125;  ///< DP instr rate / SP instr rate
+  /// Resident warps needed for full memory-latency hiding; below this the
+  /// timing model exposes a fraction of mem_latency_cycles per phase.
+  double latency_hiding_warps = 24.0;
+  /// Maximum global load instructions one warp keeps in flight (per-warp
+  /// memory-level parallelism).  Together with resident warps and the
+  /// average bytes each load instruction transfers this caps achievable
+  /// bandwidth by Little's law — the mechanism section III-C2 appeals to
+  /// when motivating 2-/4-wide vector loads.  GK104 (Kepler) is markedly
+  /// weaker here than Fermi, which is what makes scalar halo loading so
+  /// expensive on the GTX680.
+  double max_outstanding_loads_per_warp = 6.0;
+
+  // --- Derived quantities ----------------------------------------------------
+  /// Peak single-precision GFlop/s (cores * 2 flops/FMA * clock).
+  [[nodiscard]] double peak_sp_gflops() const {
+    return static_cast<double>(sm_count) * cores_per_sm * 2.0 * clock_ghz;
+  }
+  /// Peak double-precision GFlop/s.
+  [[nodiscard]] double peak_dp_gflops() const {
+    return peak_sp_gflops() * dp_throughput_ratio;
+  }
+  /// Achieved global-memory bytes per core-clock cycle, per SM (BW_SM).
+  [[nodiscard]] double bw_bytes_per_cycle_per_sm() const {
+    return achieved_bw_gbs / sm_count / clock_ghz;
+  }
+  /// Warp compute-instruction throughput per cycle per SM (FMA-class).
+  [[nodiscard]] double warp_instr_per_cycle() const {
+    return static_cast<double>(cores_per_sm) / warp_size;
+  }
+  /// Warp LD/ST-instruction throughput per cycle per SM.
+  [[nodiscard]] double ldst_instr_per_cycle() const {
+    return static_cast<double>(ldst_units_per_sm) / warp_size;
+  }
+
+  // --- The paper's evaluation devices ---------------------------------------
+  static DeviceSpec geforce_gtx580();
+  static DeviceSpec geforce_gtx680();
+  static DeviceSpec tesla_c2070();
+  /// Same silicon as the C2070 apart from DRAM capacity (section V-B);
+  /// used by Fig. 12.
+  static DeviceSpec tesla_c2050();
+};
+
+/// The three devices of Table III, in paper order.
+[[nodiscard]] std::vector<DeviceSpec> paper_devices();
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,143 @@
+#include "gpusim/device_file.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string device_to_text(const DeviceSpec& d) {
+  std::ostringstream o;
+  o.precision(17);  // round-trip doubles exactly
+  o << "name = " << d.name << "\n";
+  o << "arch = " << (d.arch == Arch::Fermi ? "fermi" : "kepler") << "\n";
+  o << "sm_count = " << d.sm_count << "\n";
+  o << "cores_per_sm = " << d.cores_per_sm << "\n";
+  o << "clock_ghz = " << d.clock_ghz << "\n";
+  o << "peak_bw_gbs = " << d.peak_bw_gbs << "\n";
+  o << "achieved_bw_gbs = " << d.achieved_bw_gbs << "\n";
+  o << "coalesce_bytes = " << d.coalesce_bytes << "\n";
+  o << "store_segment_bytes = " << d.store_segment_bytes << "\n";
+  o << "mem_latency_cycles = " << d.mem_latency_cycles << "\n";
+  o << "regs_per_sm = " << d.regs_per_sm << "\n";
+  o << "smem_per_sm = " << d.smem_per_sm << "\n";
+  o << "max_warps_per_sm = " << d.max_warps_per_sm << "\n";
+  o << "max_blocks_per_sm = " << d.max_blocks_per_sm << "\n";
+  o << "max_threads_per_block = " << d.max_threads_per_block << "\n";
+  o << "max_regs_per_thread = " << d.max_regs_per_thread << "\n";
+  o << "warp_size = " << d.warp_size << "\n";
+  o << "ldst_units_per_sm = " << d.ldst_units_per_sm << "\n";
+  o << "shared_banks = " << d.shared_banks << "\n";
+  o << "dp_throughput_ratio = " << d.dp_throughput_ratio << "\n";
+  o << "latency_hiding_warps = " << d.latency_hiding_warps << "\n";
+  o << "max_outstanding_loads_per_warp = " << d.max_outstanding_loads_per_warp << "\n";
+  return o.str();
+}
+
+DeviceSpec device_from_text(const std::string& text) {
+  DeviceSpec d;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("device_from_text: line " + std::to_string(line_no) +
+                               ": expected 'key = value'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto as_int = [&] { return std::stoi(value); };
+    const auto as_double = [&] { return std::stod(value); };
+    if (key == "name") {
+      d.name = value;
+    } else if (key == "arch") {
+      if (value == "fermi") {
+        d.arch = Arch::Fermi;
+      } else if (value == "kepler") {
+        d.arch = Arch::Kepler;
+      } else {
+        throw std::runtime_error("device_from_text: unknown arch '" + value + "'");
+      }
+    } else if (key == "sm_count") {
+      d.sm_count = as_int();
+    } else if (key == "cores_per_sm") {
+      d.cores_per_sm = as_int();
+    } else if (key == "clock_ghz") {
+      d.clock_ghz = as_double();
+    } else if (key == "peak_bw_gbs") {
+      d.peak_bw_gbs = as_double();
+    } else if (key == "achieved_bw_gbs") {
+      d.achieved_bw_gbs = as_double();
+    } else if (key == "coalesce_bytes") {
+      d.coalesce_bytes = as_int();
+    } else if (key == "store_segment_bytes") {
+      d.store_segment_bytes = as_int();
+    } else if (key == "mem_latency_cycles") {
+      d.mem_latency_cycles = as_double();
+    } else if (key == "regs_per_sm") {
+      d.regs_per_sm = as_int();
+    } else if (key == "smem_per_sm") {
+      d.smem_per_sm = as_int();
+    } else if (key == "max_warps_per_sm") {
+      d.max_warps_per_sm = as_int();
+    } else if (key == "max_blocks_per_sm") {
+      d.max_blocks_per_sm = as_int();
+    } else if (key == "max_threads_per_block") {
+      d.max_threads_per_block = as_int();
+    } else if (key == "max_regs_per_thread") {
+      d.max_regs_per_thread = as_int();
+    } else if (key == "warp_size") {
+      d.warp_size = as_int();
+    } else if (key == "ldst_units_per_sm") {
+      d.ldst_units_per_sm = as_int();
+    } else if (key == "shared_banks") {
+      d.shared_banks = as_int();
+    } else if (key == "dp_throughput_ratio") {
+      d.dp_throughput_ratio = as_double();
+    } else if (key == "latency_hiding_warps") {
+      d.latency_hiding_warps = as_double();
+    } else if (key == "max_outstanding_loads_per_warp") {
+      d.max_outstanding_loads_per_warp = as_double();
+    } else {
+      throw std::runtime_error("device_from_text: unknown key '" + key + "'");
+    }
+  }
+  return d;
+}
+
+void save_device(const DeviceSpec& device, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("save_device: cannot open " + path);
+  out << device_to_text(device);
+}
+
+DeviceSpec load_device(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_device: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return device_from_text(text.str());
+}
+
+}  // namespace inplane::gpusim

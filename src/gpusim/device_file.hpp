@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace inplane::gpusim {
+
+/// Serialises a device description to a simple `key = value` text format,
+/// so new GPUs can be modelled without recompiling (e.g., for the CLI's
+/// `--device-file` flag).  Unknown keys are rejected to catch typos.
+///
+///   name = GeForce GTX580
+///   arch = fermi            # fermi | kepler
+///   sm_count = 16
+///   clock_ghz = 1.544
+///   ...
+[[nodiscard]] std::string device_to_text(const DeviceSpec& device);
+
+/// Parses the device_to_text format; missing keys keep DeviceSpec
+/// defaults.  Throws std::runtime_error on malformed lines or unknown
+/// keys.
+[[nodiscard]] DeviceSpec device_from_text(const std::string& text);
+
+/// Convenience file wrappers.
+void save_device(const DeviceSpec& device, const std::string& path);
+[[nodiscard]] DeviceSpec load_device(const std::string& path);
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,65 @@
+#include "gpusim/global_memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+namespace {
+constexpr std::uint64_t kBaseAlign = 512;
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) { return ((v + a - 1) / a) * a; }
+}  // namespace
+
+BufferId GlobalMemory::map(std::span<std::byte> host_bytes) {
+  Mapping m;
+  m.base = align_up(next_base_, kBaseAlign);
+  m.size = host_bytes.size();
+  m.host = host_bytes.data();
+  m.host_ro = host_bytes.data();
+  next_base_ = m.base + m.size + kBaseAlign;
+  buffers_.push_back(m);
+  return BufferId{buffers_.size() - 1};
+}
+
+BufferId GlobalMemory::map_readonly(std::span<const std::byte> host_bytes) {
+  Mapping m;
+  m.base = align_up(next_base_, kBaseAlign);
+  m.size = host_bytes.size();
+  m.host = nullptr;
+  m.host_ro = host_bytes.data();
+  next_base_ = m.base + m.size + kBaseAlign;
+  buffers_.push_back(m);
+  return BufferId{buffers_.size() - 1};
+}
+
+std::uint64_t GlobalMemory::base(BufferId id) const {
+  if (!id.valid() || id.value >= buffers_.size()) {
+    throw std::out_of_range("GlobalMemory::base: invalid buffer id");
+  }
+  return buffers_[id.value].base;
+}
+
+const GlobalMemory::Mapping& GlobalMemory::locate(std::uint64_t vaddr,
+                                                  std::size_t n) const {
+  for (const Mapping& m : buffers_) {
+    if (vaddr >= m.base && vaddr + n <= m.base + m.size) return m;
+  }
+  throw std::out_of_range("GlobalMemory: access to unmapped address " +
+                          std::to_string(vaddr) + " (+" + std::to_string(n) + ")");
+}
+
+void GlobalMemory::read(std::uint64_t vaddr, void* dst, std::size_t n) const {
+  const Mapping& m = locate(vaddr, n);
+  std::memcpy(dst, m.host_ro + (vaddr - m.base), n);
+}
+
+void GlobalMemory::write(std::uint64_t vaddr, const void* src, std::size_t n) {
+  const Mapping& m = locate(vaddr, n);
+  if (m.host == nullptr) {
+    throw std::logic_error("GlobalMemory::write: buffer is mapped read-only");
+  }
+  std::memcpy(m.host + (vaddr - m.base), src, n);
+}
+
+}  // namespace inplane::gpusim

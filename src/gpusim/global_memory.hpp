@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inplane::gpusim {
+
+/// Handle to a buffer registered with GlobalMemory.
+struct BufferId {
+  std::size_t value = static_cast<std::size_t>(-1);
+  [[nodiscard]] bool valid() const { return value != static_cast<std::size_t>(-1); }
+};
+
+/// The simulated GPU's global address space.
+///
+/// Host-side buffers (the flat storage of Grid3 instances) are mapped at
+/// disjoint, 512-byte-aligned virtual base addresses.  Kernels compute
+/// *virtual* byte addresses (base + Grid3::byte_offset) so that the
+/// coalescer sees the same alignment the real card would; functional reads
+/// and writes are translated back to host pointers here.
+class GlobalMemory {
+ public:
+  /// Maps @p bytes of host storage into the simulated address space.
+  /// The span must outlive all kernel executions that use the id.
+  BufferId map(std::span<std::byte> host_bytes);
+
+  /// Read-only mapping (functional writes through this id will throw).
+  BufferId map_readonly(std::span<const std::byte> host_bytes);
+
+  /// Virtual base address of a mapped buffer.
+  [[nodiscard]] std::uint64_t base(BufferId id) const;
+
+  /// Functional read of @p n bytes at virtual address @p vaddr into @p dst.
+  /// Throws std::out_of_range if the range is unmapped or crosses a buffer
+  /// boundary (a wild address — in a real kernel this is the bug the CPU
+  /// verification of section IV-B exists to catch).
+  void read(std::uint64_t vaddr, void* dst, std::size_t n) const;
+
+  /// Functional write of @p n bytes from @p src to virtual address @p vaddr.
+  void write(std::uint64_t vaddr, const void* src, std::size_t n);
+
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+
+ private:
+  struct Mapping {
+    std::uint64_t base = 0;
+    std::size_t size = 0;
+    std::byte* host = nullptr;        // null for read-only mappings
+    const std::byte* host_ro = nullptr;
+  };
+
+  const Mapping& locate(std::uint64_t vaddr, std::size_t n) const;
+
+  std::vector<Mapping> buffers_;
+  std::uint64_t next_base_ = 0x1000;  // never map address 0
+};
+
+}  // namespace inplane::gpusim

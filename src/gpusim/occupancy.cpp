@@ -1,0 +1,70 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace inplane::gpusim {
+
+Occupancy Occupancy::compute(const DeviceSpec& device, const KernelResources& res) {
+  Occupancy occ;
+  if (res.threads <= 0) {
+    occ.invalid_reason = "no threads";
+    return occ;
+  }
+  if (res.threads > device.max_threads_per_block) {
+    occ.invalid_reason = "threads per block over device limit";
+    return occ;
+  }
+  if (res.regs_per_thread > device.max_regs_per_thread) {
+    occ.invalid_reason = "register usage over per-thread limit";
+    return occ;
+  }
+  if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+    occ.invalid_reason = "shared memory over per-SM limit";
+    return occ;
+  }
+  occ.warps_per_block = (res.threads + device.warp_size - 1) / device.warp_size;
+
+  const long regs_per_block =
+      static_cast<long>(res.regs_per_thread) * static_cast<long>(res.threads);
+  const int by_regs = regs_per_block > 0
+                          ? static_cast<int>(device.regs_per_sm / regs_per_block)
+                          : device.max_blocks_per_sm;
+  const int by_smem =
+      res.smem_bytes > 0
+          ? static_cast<int>(static_cast<std::size_t>(device.smem_per_sm) /
+                             res.smem_bytes)
+          : device.max_blocks_per_sm;
+  const int by_warps = device.max_warps_per_sm / occ.warps_per_block;
+  const int by_blocks = device.max_blocks_per_sm;
+
+  occ.active_blocks = std::min({by_regs, by_smem, by_warps, by_blocks});
+  if (occ.active_blocks <= 0) {
+    occ.active_blocks = 0;
+    occ.limiter = OccupancyLimiter::Invalid;
+    occ.invalid_reason = "a single block exceeds SM resources";
+    return occ;
+  }
+  if (occ.active_blocks == by_regs) {
+    occ.limiter = OccupancyLimiter::Registers;
+  } else if (occ.active_blocks == by_smem) {
+    occ.limiter = OccupancyLimiter::SharedMem;
+  } else if (occ.active_blocks == by_warps) {
+    occ.limiter = OccupancyLimiter::Warps;
+  } else {
+    occ.limiter = OccupancyLimiter::Blocks;
+  }
+  return occ;
+}
+
+std::string to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::Registers: return "registers";
+    case OccupancyLimiter::SharedMem: return "shared memory";
+    case OccupancyLimiter::Warps: return "warps";
+    case OccupancyLimiter::Blocks: return "blocks";
+    case OccupancyLimiter::Invalid: return "invalid";
+  }
+  return "unknown";
+}
+
+}  // namespace inplane::gpusim

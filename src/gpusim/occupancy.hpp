@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace inplane::gpusim {
+
+/// Per-block resource usage of a kernel, the inputs of Eqn. (7).
+struct KernelResources {
+  int regs_per_thread = 0;     ///< K_R / threads (estimated, see kernels/resources)
+  std::size_t smem_bytes = 0;  ///< K_S: shared memory per block
+  int threads = 0;             ///< TX * TY
+};
+
+/// What limited the number of resident blocks.
+enum class OccupancyLimiter { Registers, SharedMem, Warps, Blocks, Invalid };
+
+/// Result of the Eqn. (7) occupancy calculation:
+///   ActBlks = min( floor(Reg / K_R), floor(Smem / K_S),
+///                  floor(Warp_SM / Warp_Blk), Blk_SM ).
+struct Occupancy {
+  int active_blocks = 0;  ///< blocks resident per SM (0 => config invalid)
+  int warps_per_block = 0;
+  OccupancyLimiter limiter = OccupancyLimiter::Invalid;
+  std::string invalid_reason;
+
+  [[nodiscard]] int active_warps() const { return active_blocks * warps_per_block; }
+
+  /// Computes occupancy, flagging configurations that cannot launch at all
+  /// (over per-thread register limit, over block thread limit, over shared
+  /// memory) with active_blocks == 0 — these are the zeroed points of the
+  /// Fig. 8 performance surfaces.
+  static Occupancy compute(const DeviceSpec& device, const KernelResources& res);
+};
+
+[[nodiscard]] std::string to_string(OccupancyLimiter limiter);
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,63 @@
+#include "gpusim/shared_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+SharedMemory::SharedMemory(std::size_t bytes, int banks)
+    : data_(bytes), banks_(banks) {
+  if (banks <= 0) throw std::invalid_argument("SharedMemory: banks must be positive");
+}
+
+void SharedMemory::read(std::uint32_t offset, void* dst, std::size_t n) const {
+  if (offset + n > data_.size()) {
+    throw std::out_of_range("SharedMemory::read: out of bounds");
+  }
+  std::memcpy(dst, data_.data() + offset, n);
+}
+
+void SharedMemory::write(std::uint32_t offset, const void* src, std::size_t n) {
+  if (offset + n > data_.size()) {
+    throw std::out_of_range("SharedMemory::write: out of bounds");
+  }
+  std::memcpy(data_.data() + offset, src, n);
+}
+
+SmemAccessResult SharedMemory::analyze(std::span<const SmemLaneAccess> lanes) const {
+  SmemAccessResult result;
+  // words_per_bank[b] holds the distinct 4-byte word indices touched in
+  // bank b this access; the access replays max_b(count) - 1 extra times.
+  constexpr int kMaxBanks = 64;
+  std::uint32_t words[kMaxBanks][32];
+  int counts[kMaxBanks] = {};
+  const int banks = std::min(banks_, kMaxBanks);
+  for (const SmemLaneAccess& lane : lanes) {
+    if (!lane.active || lane.bytes == 0) continue;
+    result.any_active = true;
+    // A lane access may span several words (vector smem access).
+    const std::uint32_t first_word = lane.offset / 4;
+    const std::uint32_t last_word = (lane.offset + lane.bytes - 1) / 4;
+    for (std::uint32_t w = first_word; w <= last_word; ++w) {
+      const int bank = static_cast<int>(w % static_cast<std::uint32_t>(banks));
+      bool seen = false;
+      for (int i = 0; i < counts[bank]; ++i) {
+        if (words[bank][i] == w) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && counts[bank] < 32) words[bank][counts[bank]++] = w;
+    }
+  }
+  if (!result.any_active) return result;
+  int max_count = 1;
+  for (int b = 0; b < banks; ++b) max_count = std::max(max_count, counts[b]);
+  result.replays = static_cast<std::uint64_t>(max_count - 1);
+  return result;
+}
+
+void SharedMemory::clear() { std::fill(data_.begin(), data_.end(), std::byte{0}); }
+
+}  // namespace inplane::gpusim

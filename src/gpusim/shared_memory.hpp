@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inplane::gpusim {
+
+/// One lane's slice of a warp-wide shared-memory access.
+struct SmemLaneAccess {
+  std::uint32_t offset = 0;  ///< byte offset into the block's shared memory
+  std::uint32_t bytes = 0;
+  bool active = true;
+};
+
+/// Result of banking analysis for one warp-wide shared access.
+struct SmemAccessResult {
+  std::uint64_t replays = 0;  ///< extra serialised passes beyond the first
+  bool any_active = false;
+};
+
+/// A block's shared memory: backing storage plus 32-bank conflict analysis.
+///
+/// Banks are 4 bytes wide and interleaved (Fermi/Kepler default mode).
+/// Lanes that read the *same* 4-byte word in one bank broadcast without
+/// conflict; distinct words in the same bank serialise.  The replay count
+/// feeds the timing model's LD/ST pipe pressure.
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t bytes, int banks = 32);
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::byte* raw() { return data_.data(); }
+  [[nodiscard]] const std::byte* raw() const { return data_.data(); }
+
+  /// Functional typed access helpers (bounds-checked).
+  void read(std::uint32_t offset, void* dst, std::size_t n) const;
+  void write(std::uint32_t offset, const void* src, std::size_t n);
+
+  /// Banking analysis of a warp-wide access (no data movement).
+  [[nodiscard]] SmemAccessResult analyze(std::span<const SmemLaneAccess> lanes) const;
+
+  /// Clears storage to zero (fresh block launch).
+  void clear();
+
+ private:
+  std::vector<std::byte> data_;
+  int banks_;
+};
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,144 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+namespace {
+
+constexpr double kSyncCycles = 16.0;   // barrier cost per __syncthreads()
+constexpr double kLatencyPhases = 2.0; // dependent memory phases per plane
+constexpr int kIlpCap = 4;             // diminishing returns of register tiling
+
+/// Cycles one stage of @p blocks concurrent blocks takes on one SM.
+double stage_cycles(const DeviceSpec& dev, const TimingInput& in, int blocks,
+                    CycleBreakdown* breakdown) {
+  const TraceStats& t = in.per_plane;
+  const double b = static_cast<double>(blocks);
+  const int warps_per_block =
+      (in.resources.threads + dev.warp_size - 1) / dev.warp_size;
+  const double resident_warps = b * warps_per_block;
+
+  // --- DRAM bandwidth, capped by memory-level parallelism (Little's law).
+  const double bytes = static_cast<double>(t.bytes_transferred());
+  const double loads_per_warp =
+      t.load_instrs == 0
+          ? 0.0
+          : static_cast<double>(t.load_instrs) / warps_per_block;
+  const double avg_bytes_per_load =
+      t.load_instrs == 0
+          ? 0.0
+          : static_cast<double>(t.bytes_transferred_ld) /
+                static_cast<double>(t.load_instrs);
+  const double in_flight_bytes =
+      resident_warps * std::min(loads_per_warp, dev.max_outstanding_loads_per_warp) *
+      avg_bytes_per_load;
+  const double bw_demand_per_latency =
+      dev.bw_bytes_per_cycle_per_sm() * dev.mem_latency_cycles;
+  const double utilisation =
+      bw_demand_per_latency > 0.0
+          ? std::clamp(in_flight_bytes / bw_demand_per_latency, 0.05, 1.0)
+          : 1.0;
+  const double c_mem = b * bytes / (dev.bw_bytes_per_cycle_per_sm() * utilisation);
+
+  // --- LD/ST pipe: global instructions plus shared accesses and replays.
+  const double ldst_instrs = static_cast<double>(t.load_instrs + t.store_instrs +
+                                                 t.smem_instrs + t.smem_replays);
+  const double c_ldst = b * ldst_instrs / dev.ldst_instr_per_cycle();
+
+  // --- Compute pipe (FMA-class issue; DP runs at the device's DP ratio).
+  const double compute_rate =
+      dev.warp_instr_per_cycle() * (in.is_double ? dev.dp_throughput_ratio : 1.0);
+  const double c_comp = b * static_cast<double>(t.compute_instrs) / compute_rate;
+
+  // --- Exposed memory latency: occupancy x register-tiling ILP must cover
+  //     latency_hiding_warps for the SM to stay busy across load->use gaps.
+  const double effective_warps =
+      resident_warps * std::min(in.ilp, kIlpCap);
+  const double hide = std::min(1.0, effective_warps / dev.latency_hiding_warps);
+  const double c_lat = kLatencyPhases * dev.mem_latency_cycles * (1.0 - hide);
+
+  // --- Barriers.
+  const double c_sync = static_cast<double>(t.syncs) * kSyncCycles;
+
+  if (breakdown != nullptr) {
+    breakdown->mem = c_mem;
+    breakdown->ldst = c_ldst;
+    breakdown->compute = c_comp;
+    breakdown->latency = c_lat;
+    breakdown->sync = c_sync;
+  }
+  return std::max({c_mem, c_ldst, c_comp}) + c_lat + c_sync;
+}
+
+}  // namespace
+
+KernelTiming estimate_timing(const DeviceSpec& device, const TimingInput& input) {
+  KernelTiming timing;
+  input.grid.validate();
+  if (input.tile_w <= 0 || input.tile_h <= 0) {
+    timing.invalid_reason = "non-positive tile size";
+    return timing;
+  }
+  if (input.grid.nx % input.tile_w != 0 || input.grid.ny % input.tile_h != 0) {
+    timing.invalid_reason = "tile does not divide grid";
+    return timing;
+  }
+
+  timing.occupancy = Occupancy::compute(device, input.resources);
+  if (timing.occupancy.active_blocks == 0) {
+    timing.invalid_reason = timing.occupancy.invalid_reason;
+    return timing;
+  }
+
+  // Eqn. (6): blocks needed to cover one plane.
+  const long blks = static_cast<long>(input.grid.nx / input.tile_w) *
+                    static_cast<long>(input.grid.ny / input.tile_h);
+  const int act = timing.occupancy.active_blocks;
+  const long per_round = static_cast<long>(act) * device.sm_count;
+  // Eqn. (8): stages per plane.
+  const long stages = (blks + per_round - 1) / per_round;
+  // Eqn. (9): remaining blocks per SM in the last stage.
+  const long rem_total = blks - (stages - 1) * per_round;
+  const int rem_blocks =
+      static_cast<int>((rem_total + device.sm_count - 1) / device.sm_count);
+
+  const double t_full = stage_cycles(device, input, act, &timing.per_plane_sm);
+  const double t_rem = stage_cycles(device, input, rem_blocks, nullptr);
+  const double plane_cycles = static_cast<double>(stages - 1) * t_full + t_rem;
+
+  // r extra sweep steps fill/drain the in-plane register pipeline.
+  const double planes = static_cast<double>(input.grid.nz) + input.radius;
+  const double total_cycles = plane_cycles * planes;
+  const double seconds = total_cycles / (device.clock_ghz * 1e9);
+
+  timing.valid = true;
+  timing.stages = static_cast<int>(stages);
+  timing.rem_blocks = rem_blocks;
+  timing.seconds = seconds;
+  timing.mpoints_per_s = static_cast<double>(input.grid.volume()) / seconds / 1e6;
+  const double flops_per_plane_block = static_cast<double>(input.per_plane.flops);
+  const double total_flops = flops_per_plane_block * static_cast<double>(blks) *
+                             static_cast<double>(input.grid.nz);
+  timing.gflops = total_flops / seconds / 1e9;
+  timing.load_efficiency = input.per_plane.load_efficiency();
+
+  const CycleBreakdown& c = timing.per_plane_sm;
+  const double busy = std::max({c.mem, c.ldst, c.compute});
+  timing.bw_utilisation =
+      c.mem / (busy + c.latency + c.sync);
+  if (c.latency > busy) {
+    timing.bottleneck = "latency";
+  } else if (busy == c.mem) {
+    timing.bottleneck = "bandwidth";
+  } else if (busy == c.ldst) {
+    timing.bottleneck = "ldst";
+  } else {
+    timing.bottleneck = "compute";
+  }
+  return timing;
+}
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "core/extent.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/trace.hpp"
+
+namespace inplane::gpusim {
+
+/// Everything the timing model needs about one kernel configuration.
+struct TimingInput {
+  Extent3 grid;              ///< full lattice LX x LY x LZ
+  int radius = 1;            ///< stencil radius r (pipeline fill depth)
+  int tile_w = 0;            ///< output tile width  per block (TX * RX)
+  int tile_h = 0;            ///< output tile height per block (TY * RY)
+  KernelResources resources; ///< per-block K_R, K_S, threads
+  TraceStats per_plane;      ///< steady-state trace of ONE block for ONE plane
+  bool is_double = false;    ///< double precision (scales compute throughput)
+  int ilp = 1;               ///< independent chains per thread (RX * RY)
+};
+
+/// Per-SM cycle budget for one z-plane (steady state), before staging.
+struct CycleBreakdown {
+  double mem = 0.0;      ///< DRAM bandwidth (after the MLP utilisation cap)
+  double ldst = 0.0;     ///< LD/ST pipe: global + shared instrs + replays
+  double compute = 0.0;  ///< FMA/ALU pipe
+  double latency = 0.0;  ///< exposed (unhidden) memory latency
+  double sync = 0.0;     ///< barrier overhead
+};
+
+/// Timing estimate for one kernel launch configuration on one device.
+struct KernelTiming {
+  bool valid = false;
+  std::string invalid_reason;
+
+  double seconds = 0.0;
+  double mpoints_per_s = 0.0;  ///< the paper's MPoint/s metric
+  double gflops = 0.0;         ///< paper-style flop counting (FMA = 2)
+  double load_efficiency = 0.0;
+  double bw_utilisation = 0.0; ///< fraction of achieved_bw actually sustained
+
+  Occupancy occupancy;
+  CycleBreakdown per_plane_sm; ///< cycles per plane per SM at full residency
+  std::string bottleneck;      ///< "bandwidth" | "ldst" | "compute" | "latency"
+
+  int stages = 0;              ///< Eqn. (8)
+  int rem_blocks = 0;          ///< Eqn. (9)
+};
+
+/// Estimates run time for a traced kernel configuration.
+///
+/// The per-plane trace of a single block is expanded to the full grid with
+/// the paper's own staging scheme (Eqns. (6), (8), (9)): each SM runs
+/// ActBlks blocks concurrently, Stages times per plane, with a remainder
+/// stage.  Within a stage the SM is limited by the slowest of three pipes
+/// (DRAM bandwidth, LD/ST issue, compute issue); bandwidth is additionally
+/// capped by memory-level parallelism (resident warps x per-warp
+/// outstanding loads x bytes per load / latency — Little's law), and any
+/// unhidden memory latency is exposed per dependent phase.
+[[nodiscard]] KernelTiming estimate_timing(const DeviceSpec& device,
+                                           const TimingInput& input);
+
+}  // namespace inplane::gpusim

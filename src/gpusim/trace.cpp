@@ -1,0 +1,30 @@
+#include "gpusim/trace.hpp"
+
+#include <stdexcept>
+
+namespace inplane::gpusim {
+
+namespace {
+std::uint64_t div_round(std::uint64_t v, std::uint64_t n) { return (v + n / 2) / n; }
+}  // namespace
+
+TraceStats TraceStats::scaled_down(std::uint64_t n) const {
+  if (n == 0) throw std::invalid_argument("TraceStats::scaled_down: n must be > 0");
+  TraceStats s;
+  s.load_instrs = div_round(load_instrs, n);
+  s.store_instrs = div_round(store_instrs, n);
+  s.load_transactions = div_round(load_transactions, n);
+  s.store_transactions = div_round(store_transactions, n);
+  s.bytes_requested_ld = div_round(bytes_requested_ld, n);
+  s.bytes_transferred_ld = div_round(bytes_transferred_ld, n);
+  s.bytes_requested_st = div_round(bytes_requested_st, n);
+  s.bytes_transferred_st = div_round(bytes_transferred_st, n);
+  s.smem_instrs = div_round(smem_instrs, n);
+  s.smem_replays = div_round(smem_replays, n);
+  s.compute_instrs = div_round(compute_instrs, n);
+  s.flops = div_round(flops, n);
+  s.syncs = div_round(syncs, n);
+  return s;
+}
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+namespace inplane::gpusim {
+
+/// Event counters accumulated while a simulated block executes.
+///
+/// All instruction counters are *warp-level*: one warp-wide load counts
+/// once regardless of how many lanes are active (SIMT issue semantics).
+/// Byte counters distinguish bytes *requested* by active lanes from bytes
+/// *transferred* over the bus after coalescing into aligned segments —
+/// their ratio is exactly the `gld_efficiency` profiler counter the paper
+/// plots in Fig. 9.
+struct TraceStats {
+  // Global memory.
+  std::uint64_t load_instrs = 0;        ///< warp-level global load instructions
+  std::uint64_t store_instrs = 0;       ///< warp-level global store instructions
+  std::uint64_t load_transactions = 0;  ///< coalesced memory transactions (loads)
+  std::uint64_t store_transactions = 0; ///< coalesced memory transactions (stores)
+  std::uint64_t bytes_requested_ld = 0;
+  std::uint64_t bytes_transferred_ld = 0;
+  std::uint64_t bytes_requested_st = 0;
+  std::uint64_t bytes_transferred_st = 0;
+
+  // Shared memory.
+  std::uint64_t smem_instrs = 0;    ///< warp-level shared ld/st instructions
+  std::uint64_t smem_replays = 0;   ///< extra cycles from bank conflicts
+
+  // Compute.
+  std::uint64_t compute_instrs = 0; ///< warp-level FMA/ADD/MUL instructions
+  std::uint64_t flops = 0;          ///< per-lane flops (FMA = 2), paper-style
+
+  // Control.
+  std::uint64_t syncs = 0;          ///< __syncthreads()-equivalent barriers
+
+  TraceStats& operator+=(const TraceStats& o) {
+    load_instrs += o.load_instrs;
+    store_instrs += o.store_instrs;
+    load_transactions += o.load_transactions;
+    store_transactions += o.store_transactions;
+    bytes_requested_ld += o.bytes_requested_ld;
+    bytes_transferred_ld += o.bytes_transferred_ld;
+    bytes_requested_st += o.bytes_requested_st;
+    bytes_transferred_st += o.bytes_transferred_st;
+    smem_instrs += o.smem_instrs;
+    smem_replays += o.smem_replays;
+    compute_instrs += o.compute_instrs;
+    flops += o.flops;
+    syncs += o.syncs;
+    return *this;
+  }
+
+  [[nodiscard]] friend TraceStats operator+(TraceStats a, const TraceStats& b) {
+    a += b;
+    return a;
+  }
+
+  /// Total bytes moved over the bus (loads + stores, post-coalescing).
+  [[nodiscard]] std::uint64_t bytes_transferred() const {
+    return bytes_transferred_ld + bytes_transferred_st;
+  }
+
+  /// Global-load efficiency: requested / transferred (1.0 = perfectly
+  /// coalesced).  Matches the definition used by Fig. 9.
+  [[nodiscard]] double load_efficiency() const {
+    return bytes_transferred_ld == 0
+               ? 1.0
+               : static_cast<double>(bytes_requested_ld) /
+                     static_cast<double>(bytes_transferred_ld);
+  }
+
+  /// Divides every counter by @p n (for converting a multi-plane trace to
+  /// per-plane averages).  Counters are rounded to nearest.
+  [[nodiscard]] TraceStats scaled_down(std::uint64_t n) const;
+};
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,22 @@
+#include "kernels/kernel_base.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::kernels {
+
+template <typename T>
+std::unique_ptr<IStencilKernel<T>> make_kernel(Method method, StencilCoeffs coeffs,
+                                               LaunchConfig config) {
+  if (method == Method::ForwardPlane) {
+    return detail::make_forward_plane<T>(std::move(coeffs), config);
+  }
+  return detail::make_inplane<T>(method, std::move(coeffs), config);
+}
+
+template std::unique_ptr<IStencilKernel<float>> make_kernel<float>(Method,
+                                                                   StencilCoeffs,
+                                                                   LaunchConfig);
+template std::unique_ptr<IStencilKernel<double>> make_kernel<double>(Method,
+                                                                     StencilCoeffs,
+                                                                     LaunchConfig);
+
+}  // namespace inplane::kernels

@@ -1,0 +1,185 @@
+// The forward-plane ("nvstencil") kernel — a faithful re-implementation of
+// the 2.5-D blocking scheme of the NVIDIA SDK FDTD3d sample [25], the
+// baseline of every experiment in the paper.
+//
+// Each thread keeps a 2r+1 deep register pipeline of its centre column
+// (behind[r], current, infront[r]) and sweeps down z.  Per plane it loads
+// exactly one new interior element (plane k+r, Fig. 5a) into the pipeline,
+// writes `current` into the shared tile, and *separately* loads the four
+// halo strips (and corners) of plane k from global memory — the Fig. 4
+// pattern whose poorly coalesced left/right columns and extra per-thread
+// load instructions motivate the in-plane method.
+
+#include "kernels/kernel_base.hpp"
+
+namespace inplane::kernels::detail {
+
+namespace {
+
+template <typename T>
+class ForwardPlaneKernel final : public KernelBase<T> {
+ public:
+  ForwardPlaneKernel(StencilCoeffs coeffs, LaunchConfig config)
+      : KernelBase<T>(std::move(coeffs), config) {}
+
+  [[nodiscard]] Method method() const override { return Method::ForwardPlane; }
+
+  [[nodiscard]] int preferred_align_offset() const override { return 0; }
+
+  void run_block(gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+                 int by) const override {
+    Work work = make_work();
+    prime(ctx, in, bx, by, work);
+    const int nz = in.layout->nz();
+    for (int k = 0; k < nz; ++k) {
+      plane(ctx, in, out, bx, by, k, work);
+    }
+  }
+
+  [[nodiscard]] gpusim::TraceStats trace_plane(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const override {
+    Work work = make_work();
+    return this->trace_one_plane(
+        device, extent,
+        [&](gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+            int by, int k) { plane(ctx, in, out, bx, by, k, work); });
+  }
+
+ private:
+  /// Pipeline slot i holds in[i, j, k - r + i]; slot r is the centre.
+  struct Work {
+    ThreadState<T> state;
+    std::vector<T> nsum;  ///< per-m x/y neighbour sum per (tid, column)
+    std::vector<T> acc;   ///< output accumulator per (tid, column)
+  };
+
+  [[nodiscard]] Work make_work() const {
+    const auto n = static_cast<std::size_t>(this->cfg_.threads()) *
+                   static_cast<std::size_t>(this->cfg_.columns_per_thread());
+    return Work{ThreadState<T>(this->cfg_.threads(), this->cfg_.columns_per_thread(),
+                               2 * this->r_ + 1),
+                std::vector<T>(n), std::vector<T>(n)};
+  }
+
+  [[nodiscard]] std::size_t idx(int tid, int col) const {
+    return static_cast<std::size_t>(tid) *
+               static_cast<std::size_t>(this->cfg_.columns_per_thread()) +
+           static_cast<std::size_t>(col);
+  }
+
+  /// Pre-loads pipeline slots 1..2r with planes -r .. r-1, so the first
+  /// sweep step's shift-and-load leaves slot i = in[k - r + i] for k = 0.
+  void prime(gpusim::BlockCtx& ctx, const GridAccess& in, int bx, int by,
+             Work& work) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const int x0 = bx * cfg.tile_w();
+    const int y0 = by * cfg.tile_h();
+    work.state.reset();
+    for (int i = 1; i <= 2 * this->r_; ++i) {
+      const int z = -this->r_ + (i - 1);
+      load_columns_to_state<T>(ctx, in, cfg, x0, y0, z, [&](int tid, int col) -> T& {
+        return work.state.at(tid, col, i);
+      });
+    }
+  }
+
+  void plane(gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+             int by, int k, Work& work) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const SmemTile t = this->tile();
+    const int r = this->r_;
+    const int w = cfg.tile_w();
+    const int h = cfg.tile_h();
+    const int x0 = bx * cfg.tile_w();
+    const int y0 = by * cfg.tile_h();
+    const int cols = cfg.columns_per_thread();
+    const int threads = cfg.threads();
+    const bool fn = ctx.functional();
+
+    // Advance the register pipeline and stream in plane k + r (Fig. 5a).
+    if (fn) {
+      for (int tid = 0; tid < threads; ++tid) {
+        for (int col = 0; col < cols; ++col) {
+          for (int i = 0; i < 2 * r; ++i) {
+            work.state.at(tid, col, i) = work.state.at(tid, col, i + 1);
+          }
+        }
+      }
+    }
+    load_columns_to_state<T>(ctx, in, cfg, x0, y0, k + r, [&](int tid, int col) -> T& {
+      return work.state.at(tid, col, 2 * r);
+    });
+
+    // Stage plane k: interior from the pipeline's centre register, halo
+    // strips and corners re-loaded from global memory (the Fig. 4 pattern).
+    smem_write_columns<T>(ctx, t, cfg, [&](int tid, int col) {
+      return work.state.at(tid, col, r);
+    });
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 - r, y0, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 + h, y0 + h + r, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0, y0 + h, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0, y0 + h, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 - r, y0, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 - r, y0, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 + h, y0 + h + r, k, 1);
+    load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 + h, y0 + h + r, k,
+                         1);
+    ctx.sync();
+
+    // Full stencil (Eqn. (2)): x/y neighbours from the tile, z neighbours
+    // from the register pipeline.
+    if (fn) {
+      for (std::size_t i = 0; i < work.acc.size(); ++i) work.acc[i] = T{};
+      for (int tid = 0; tid < threads; ++tid) {
+        for (int col = 0; col < cols; ++col) {
+          work.acc[idx(tid, col)] = this->c_[0] * work.state.at(tid, col, r);
+        }
+      }
+    }
+    for (int m = 1; m <= r; ++m) {
+      if (fn) std::fill(work.nsum.begin(), work.nsum.end(), T{});
+      auto add = [&](int tid, int col, T v) { work.nsum[idx(tid, col)] += v; };
+      smem_read_columns<T>(ctx, t, cfg, -m, 0, add);
+      smem_read_columns<T>(ctx, t, cfg, m, 0, add);
+      smem_read_columns<T>(ctx, t, cfg, 0, -m, add);
+      smem_read_columns<T>(ctx, t, cfg, 0, m, add);
+      if (fn) {
+        const T cm = this->c_[static_cast<std::size_t>(m)];
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            const std::size_t i = idx(tid, col);
+            work.acc[i] += cm * (work.nsum[i] + work.state.at(tid, col, r - m) +
+                                 work.state.at(tid, col, r + m));
+          }
+        }
+      }
+    }
+    store_columns<T>(ctx, out, cfg, x0, y0, k, [&](int tid, int col) {
+      return work.acc[idx(tid, col)];
+    });
+    ctx.sync();
+
+    // Per element: 1 MUL + r x (5 ADD + 1 FMA) = 6r+1 warp instructions;
+    // 7r+1 flops (Table I).
+    const auto warps = static_cast<std::uint64_t>(cfg.warps(ctx.device()));
+    const auto colsu = static_cast<std::uint64_t>(cols);
+    const auto threadsu = static_cast<std::uint64_t>(threads);
+    const auto ru = static_cast<std::uint64_t>(r);
+    ctx.record_compute(warps * colsu * (6 * ru + 1), threadsu * colsu * (7 * ru + 1));
+  }
+};
+
+}  // namespace
+
+template <typename T>
+std::unique_ptr<IStencilKernel<T>> make_forward_plane(StencilCoeffs coeffs,
+                                                      LaunchConfig config) {
+  return std::make_unique<ForwardPlaneKernel<T>>(std::move(coeffs), config);
+}
+
+template std::unique_ptr<IStencilKernel<float>> make_forward_plane<float>(StencilCoeffs,
+                                                                          LaunchConfig);
+template std::unique_ptr<IStencilKernel<double>> make_forward_plane<double>(
+    StencilCoeffs, LaunchConfig);
+
+}  // namespace inplane::kernels::detail

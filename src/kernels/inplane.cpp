@@ -1,0 +1,269 @@
+// The in-plane stencil kernel (section III-C of the paper).
+//
+// Instead of fetching all 6r+1 neighbours when an output plane is reached
+// (forward-plane), the in-plane method streams one xy-plane at a time and
+// accumulates *partial* outputs in a per-thread register queue:
+//
+//   partial(k)   = c0*in[k] + sum_m c_m*(xy-neighbours(k) + in[k-m])   (Eqn. 3)
+//   queue update: out_partial(k-p) += c_p * in[k]   for p = 1..r        (Eqn. 5)
+//
+// so the output for plane k-r completes exactly when plane k has been
+// loaded, and the store is delayed r planes behind the sweep.  Because the
+// loaded plane *is* the plane whose x/y halos are needed, the halo loads
+// can be merged with the interior loads — the four variants of Fig. 6
+// differ only in which halo strips are merged.
+
+#include "kernels/kernel_base.hpp"
+
+namespace inplane::kernels::detail {
+
+namespace {
+
+template <typename T>
+class InPlaneKernel final : public KernelBase<T> {
+ public:
+  InPlaneKernel(Method method, StencilCoeffs coeffs, LaunchConfig config)
+      : KernelBase<T>(std::move(coeffs), config), method_(method) {
+    if (!is_in_plane(method)) {
+      throw std::invalid_argument("InPlaneKernel: method must be an in-plane variant");
+    }
+  }
+
+  [[nodiscard]] Method method() const override { return method_; }
+
+  [[nodiscard]] int preferred_align_offset() const override {
+    // Horizontal and full-slice vectorise rows that start at x = -r
+    // (section III-C2); the other patterns load interior-aligned rows.
+    return (method_ == Method::InPlaneHorizontal ||
+            method_ == Method::InPlaneFullSlice)
+               ? this->r_
+               : 0;
+  }
+
+  void run_block(gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+                 int by) const override {
+    const int r = this->r_;
+    Work work = make_work();
+    prime(ctx, in, bx, by, work);
+    const int nz = in.layout->nz();
+    for (int k = 0; k < nz + r; ++k) {
+      plane(ctx, in, out, bx, by, k, work);
+    }
+  }
+
+  [[nodiscard]] gpusim::TraceStats trace_plane(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const override {
+    Work work = make_work();
+    return this->trace_one_plane(
+        device, extent,
+        [&](gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+            int by, int k) { plane(ctx, in, out, bx, by, k, work); });
+  }
+
+ private:
+  /// Register-file state plus per-plane scratch for one block.
+  /// Slots: back history in[k-1..k-r] at 0..r-1, output queue at r..2r-1
+  /// (queue slot r+d holds the partial for output plane k-1-d).
+  struct Work {
+    ThreadState<T> state;
+    std::vector<T> cur;    ///< centre value per (tid, column)
+    std::vector<T> nsum;   ///< per-m neighbour sum per (tid, column)
+    std::vector<T> part;   ///< Eqn. (3) partial per (tid, column)
+    std::vector<T> emit;   ///< completed output per (tid, column)
+  };
+
+  [[nodiscard]] Work make_work() const {
+    const auto n = static_cast<std::size_t>(this->cfg_.threads()) *
+                   static_cast<std::size_t>(this->cfg_.columns_per_thread());
+    return Work{ThreadState<T>(this->cfg_.threads(), this->cfg_.columns_per_thread(),
+                               2 * this->r_),
+                std::vector<T>(n), std::vector<T>(n), std::vector<T>(n),
+                std::vector<T>(n)};
+  }
+
+  [[nodiscard]] std::size_t idx(int tid, int col) const {
+    return static_cast<std::size_t>(tid) *
+               static_cast<std::size_t>(this->cfg_.columns_per_thread()) +
+           static_cast<std::size_t>(col);
+  }
+
+  /// Fills the back-history registers with the z < 0 halo planes so that
+  /// the partials of the first r sweep steps see in[i, j, k-m] (Eqn. (3)).
+  void prime(gpusim::BlockCtx& ctx, const GridAccess& in, int bx, int by,
+             Work& work) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const int x0 = bx * cfg.tile_w();
+    const int y0 = by * cfg.tile_h();
+    work.state.reset();
+    for (int m = 1; m <= this->r_; ++m) {
+      load_columns_to_state<T>(ctx, in, cfg, x0, y0, -m,
+                               [&](int tid, int col) -> T& {
+                                 return work.state.at(tid, col, m - 1);
+                               });
+    }
+  }
+
+  /// One z-sweep step: load plane k per the variant's pattern, compute the
+  /// Eqn. (3) partial, apply the Eqn. (5) queue updates, and store the now
+  /// complete output plane k - r.
+  void plane(gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out, int bx,
+             int by, int k, Work& work) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const int r = this->r_;
+    const int x0 = bx * cfg.tile_w();
+    const int y0 = by * cfg.tile_h();
+
+    load_pattern(ctx, in, x0, y0, k);
+    ctx.sync();
+    compute(ctx, work);
+    if (k >= r) {
+      store_columns<T>(ctx, out, cfg, x0, y0, k - r, [&](int tid, int col) {
+        return work.emit[idx(tid, col)];
+      });
+    }
+    ctx.sync();
+
+    // Per element: 1 MUL (c0 term) + r x (4 ADD + 1 FMA) for the partial
+    // + r FMA queue updates = 6r+1 warp instructions; 8r+1 flops (Table II).
+    const auto warps = static_cast<std::uint64_t>(cfg.warps(ctx.device()));
+    const auto cols = static_cast<std::uint64_t>(cfg.columns_per_thread());
+    const auto threads = static_cast<std::uint64_t>(cfg.threads());
+    const auto ru = static_cast<std::uint64_t>(r);
+    ctx.record_compute(warps * cols * (6 * ru + 1), threads * cols * (8 * ru + 1));
+  }
+
+  /// Issues the loads of plane k into the shared tile, per Fig. 6.
+  void load_pattern(gpusim::BlockCtx& ctx, const GridAccess& in, int x0, int y0,
+                    int k) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const SmemTile t = this->tile();
+    const int r = this->r_;
+    const int w = cfg.tile_w();
+    const int h = cfg.tile_h();
+    const int vec = cfg.vec;
+    switch (method_) {
+      case Method::InPlaneClassical:
+        // Fig. 6a — scalar interior plus four separate strips and corners,
+        // mirroring nvstencil's pattern (the paper omits this variant from
+        // evaluation for exactly this reason).
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0, y0 + h, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 + h, y0 + h + r, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0, y0 + h, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0, y0 + h, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 - r, y0, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0 + h, y0 + h + r, k, 1);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0 + h,
+                             y0 + h + r, k, 1);
+        break;
+      case Method::InPlaneVertical:
+        // Fig. 6b — top/bottom halos merged with the interior rows; left
+        // and right halo columns loaded separately, column-major (one
+        // transaction per touched row — the poorly coalesced access the
+        // paper blames for vertical's high-order slowdowns).
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 - r, y0 + h + r, k,
+                             vec);
+        load_columns_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0, y0, y0 + h, k);
+        load_columns_to_tile<T>(ctx, in, t, x0, y0, x0 + w, x0 + w + r, y0, y0 + h, k);
+        break;
+      case Method::InPlaneHorizontal:
+        // Fig. 6c — left/right halos merged into full-width rows; top and
+        // bottom strips loaded separately (vectorised, section III-C2).
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0 + w + r, y0, y0 + h, k,
+                             vec);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 - r, y0, k, vec);
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0, x0 + w, y0 + h, y0 + h + r, k,
+                             vec);
+        break;
+      case Method::InPlaneFullSlice:
+        // Fig. 6d — the whole (W+2r) x (H+2r) slice as contiguous rows;
+        // the 4r^2 corner elements are loaded redundantly.
+        load_rows_to_tile<T>(ctx, in, t, x0, y0, x0 - r, x0 + w + r, y0 - r,
+                             y0 + h + r, k, vec);
+        break;
+      case Method::ForwardPlane:
+        break;  // unreachable (constructor rejects)
+    }
+  }
+
+  /// The compute phase: Eqn. (3) partial from the shared tile plus the
+  /// back-history registers, then the Eqn. (5) queue updates and shifts.
+  void compute(gpusim::BlockCtx& ctx, Work& work) const {
+    const LaunchConfig& cfg = this->cfg_;
+    const SmemTile t = this->tile();
+    const int r = this->r_;
+    const int cols = cfg.columns_per_thread();
+    const int threads = cfg.threads();
+    const bool fn = ctx.functional();
+
+    // Centre value in[i, j, k].
+    smem_read_columns<T>(ctx, t, cfg, 0, 0, [&](int tid, int col, T v) {
+      work.cur[idx(tid, col)] = v;
+    });
+    if (fn) {
+      for (std::size_t i = 0; i < work.part.size(); ++i) {
+        work.part[i] = this->c_[0] * work.cur[i];
+      }
+    }
+    // In-plane neighbours at each distance m, plus the in[k-m] back term.
+    for (int m = 1; m <= r; ++m) {
+      if (fn) std::fill(work.nsum.begin(), work.nsum.end(), T{});
+      auto add = [&](int tid, int col, T v) { work.nsum[idx(tid, col)] += v; };
+      smem_read_columns<T>(ctx, t, cfg, -m, 0, add);
+      smem_read_columns<T>(ctx, t, cfg, m, 0, add);
+      smem_read_columns<T>(ctx, t, cfg, 0, -m, add);
+      smem_read_columns<T>(ctx, t, cfg, 0, m, add);
+      if (fn) {
+        const T cm = this->c_[static_cast<std::size_t>(m)];
+        for (int tid = 0; tid < threads; ++tid) {
+          for (int col = 0; col < cols; ++col) {
+            const std::size_t i = idx(tid, col);
+            work.part[i] += cm * (work.nsum[i] + work.state.at(tid, col, m - 1));
+          }
+        }
+      }
+    }
+    if (!fn) return;
+    // Queue updates (Eqn. (5)), emission, and the register shifts of the
+    // step 1-5 procedure in section III-C.
+    for (int tid = 0; tid < threads; ++tid) {
+      for (int col = 0; col < cols; ++col) {
+        const std::size_t i = idx(tid, col);
+        const T cur = work.cur[i];
+        for (int d = 0; d < r; ++d) {
+          work.state.at(tid, col, r + d) +=
+              this->c_[static_cast<std::size_t>(d + 1)] * cur;
+        }
+        work.emit[i] = work.state.at(tid, col, 2 * r - 1);
+        for (int d = r - 1; d >= 1; --d) {
+          work.state.at(tid, col, r + d) = work.state.at(tid, col, r + d - 1);
+        }
+        work.state.at(tid, col, r) = work.part[i];
+        for (int m = r - 1; m >= 1; --m) {
+          work.state.at(tid, col, m) = work.state.at(tid, col, m - 1);
+        }
+        work.state.at(tid, col, 0) = cur;
+      }
+    }
+  }
+
+  Method method_;
+};
+
+}  // namespace
+
+template <typename T>
+std::unique_ptr<IStencilKernel<T>> make_inplane(Method method, StencilCoeffs coeffs,
+                                                LaunchConfig config) {
+  return std::make_unique<InPlaneKernel<T>>(method, std::move(coeffs), config);
+}
+
+template std::unique_ptr<IStencilKernel<float>> make_inplane<float>(Method,
+                                                                    StencilCoeffs,
+                                                                    LaunchConfig);
+template std::unique_ptr<IStencilKernel<double>> make_inplane<double>(Method,
+                                                                      StencilCoeffs,
+                                                                      LaunchConfig);
+
+}  // namespace inplane::kernels::detail

@@ -1,0 +1,106 @@
+#pragma once
+
+// Internal: common state shared by the forward-plane and in-plane kernel
+// implementations.  Not part of the public API surface.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_common.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::kernels::detail {
+
+/// Validation and bookkeeping shared by both kernel families.
+template <typename T>
+class KernelBase : public IStencilKernel<T> {
+ public:
+  KernelBase(StencilCoeffs coeffs, LaunchConfig config)
+      : cs_(std::move(coeffs)), cfg_(config), r_(cs_.radius()) {
+    if (r_ < 1) throw std::invalid_argument("stencil kernel: radius must be >= 1");
+    if (cfg_.tx <= 0 || cfg_.ty <= 0 || cfg_.rx <= 0 || cfg_.ry <= 0) {
+      throw std::invalid_argument("stencil kernel: blocking factors must be positive");
+    }
+    if (cfg_.vec != 1 && cfg_.vec != 2 && cfg_.vec != 4) {
+      throw std::invalid_argument("stencil kernel: vec must be 1, 2 or 4");
+    }
+    if (static_cast<std::size_t>(cfg_.vec) * sizeof(T) > 16) {
+      throw std::invalid_argument("stencil kernel: vector load wider than 16 bytes");
+    }
+    c_.resize(static_cast<std::size_t>(r_) + 1);
+    c_[0] = static_cast<T>(cs_.c0());
+    for (int m = 1; m <= r_; ++m) c_[static_cast<std::size_t>(m)] = static_cast<T>(cs_.c(m));
+  }
+
+  [[nodiscard]] const LaunchConfig& config() const final { return cfg_; }
+  [[nodiscard]] const StencilCoeffs& coeffs() const final { return cs_; }
+  [[nodiscard]] int radius() const final { return r_; }
+
+  [[nodiscard]] gpusim::KernelResources resources() const final {
+    return estimate_resources(this->method(), cfg_, r_, sizeof(T));
+  }
+
+  [[nodiscard]] std::optional<std::string> validate(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const final {
+    extent.validate();
+    if (cfg_.threads() > device.max_threads_per_block) {
+      return "threads per block (" + std::to_string(cfg_.threads()) +
+             ") over device limit";
+    }
+    const gpusim::KernelResources res = resources();
+    if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+      return "shared tile (" + std::to_string(res.smem_bytes) +
+             " B) over per-SM shared memory";
+    }
+    // Note: the per-thread register estimate is deliberately NOT checked
+    // here — exceeding it costs occupancy (Occupancy::compute returns 0
+    // and the timing model marks the configuration invalid, zeroing it in
+    // the Fig. 8 surfaces) but a real kernel would still run, spilling to
+    // local memory, so functional execution is allowed.
+    if (extent.nx % cfg_.tile_w() != 0) {
+      return "TX*RX does not divide grid x extent";
+    }
+    if (extent.ny % cfg_.tile_h() != 0) {
+      return "TY*RY does not divide grid y extent";
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  [[nodiscard]] SmemTile tile() const {
+    return SmemTile{cfg_.tile_w(), cfg_.tile_h(), r_, sizeof(T)};
+  }
+
+  /// Builds the trace context + synthetic grid accesses and runs
+  /// @p plane_fn once for a steady-state interior plane.
+  template <typename PlaneFn>
+  [[nodiscard]] gpusim::TraceStats trace_one_plane(const gpusim::DeviceSpec& device,
+                                                   const Extent3& extent,
+                                                   PlaneFn&& plane_fn) const {
+    const GridLayout layout(extent, r_, sizeof(T), 32, this->preferred_align_offset());
+    gpusim::GlobalMemory gmem;  // never dereferenced in trace mode
+    gpusim::BlockCtx ctx(device, gmem, tile().bytes(), gpusim::ExecMode::Trace);
+    GridAccess in{&layout, 0x10000};
+    GridAccess out{&layout,
+                   0x10000 + round_up(layout.allocated_bytes(), 512) + 512};
+    const int k = std::min(extent.nz - 1, r_ + 1);
+    plane_fn(ctx, in, out, /*bx=*/0, /*by=*/0, k);
+    return ctx.stats();
+  }
+
+  StencilCoeffs cs_;
+  LaunchConfig cfg_;
+  int r_;
+  std::vector<T> c_;  ///< coefficients cast to the kernel precision
+};
+
+/// Internal factories implemented in forward_plane.cpp / inplane.cpp.
+template <typename T>
+std::unique_ptr<IStencilKernel<T>> make_forward_plane(StencilCoeffs coeffs,
+                                                      LaunchConfig config);
+template <typename T>
+std::unique_ptr<IStencilKernel<T>> make_inplane(Method method, StencilCoeffs coeffs,
+                                                LaunchConfig config);
+
+}  // namespace inplane::kernels::detail

@@ -1,0 +1,292 @@
+#pragma once
+
+// Shared SIMT building blocks for the simulated stencil kernels.  These
+// helpers issue *warp-level* instructions through BlockCtx, so every
+// loading pattern in section III is expressed as a sequence of the same
+// primitives the hardware would execute: warp-wide (vector) global loads
+// paired with shared stores, warp-wide shared reads, warp-wide stores.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/grid_layout.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::kernels::detail {
+
+inline constexpr int kWarp = 32;
+
+/// Geometry of the shared-memory plane buffer: (w + 2r) x (h + 2r)
+/// elements, row-contiguous, indexed by tile coordinates with
+/// lx in [-r, w+r) and ly in [-r, h+r).
+struct SmemTile {
+  int w = 0;
+  int h = 0;
+  int r = 0;
+  std::size_t elem = 4;
+  std::uint32_t base = 0;  ///< byte offset of this tile within the block's
+                           ///< shared memory (multi-grid kernels stack one
+                           ///< tile per staged input grid)
+
+  [[nodiscard]] int row_elems() const { return w + 2 * r; }
+  [[nodiscard]] int rows() const { return h + 2 * r; }
+  [[nodiscard]] std::size_t bytes() const {
+    return static_cast<std::size_t>(row_elems()) * static_cast<std::size_t>(rows()) *
+           elem;
+  }
+  [[nodiscard]] std::uint32_t off(int lx, int ly) const {
+    return base + static_cast<std::uint32_t>(
+                      (static_cast<std::size_t>(ly + r) *
+                           static_cast<std::size_t>(row_elems()) +
+                       static_cast<std::size_t>(lx + r)) *
+                      elem);
+  }
+};
+
+/// Per-thread register state for all threads of a block:
+/// a [threads][columns][slots] array of values.
+template <typename T>
+struct ThreadState {
+  int columns = 1;
+  int slots = 1;
+  std::vector<T> vals;
+
+  ThreadState(int threads, int columns_, int slots_)
+      : columns(columns_), slots(slots_),
+        vals(static_cast<std::size_t>(threads) * static_cast<std::size_t>(columns_) *
+                 static_cast<std::size_t>(slots_),
+             T{}) {}
+
+  [[nodiscard]] T& at(int tid, int col, int slot) {
+    return vals[(static_cast<std::size_t>(tid) * static_cast<std::size_t>(columns) +
+                 static_cast<std::size_t>(col)) *
+                    static_cast<std::size_t>(slots) +
+                static_cast<std::size_t>(slot)];
+  }
+
+  void reset() { std::fill(vals.begin(), vals.end(), T{}); }
+};
+
+/// Loads the rectangular region x in [xa, xb), y in [ya, yb) of plane k
+/// into the shared tile, row by row, with vector width @p vec: each region
+/// row is covered by chunks of kWarp * vec elements; each active lane loads
+/// vec consecutive elements and a paired shared store deposits them.
+///
+/// With vec = 1 and a narrow region this degenerates to exactly the
+/// nvstencil halo-strip pattern (one instruction per row, few active
+/// lanes); with vec = 4 and the full slice it is the paper's warp-assigned
+/// vectorised loading (section III-C2).
+template <typename T>
+void load_rows_to_tile(gpusim::BlockCtx& ctx, const GridAccess& g, const SmemTile& tile,
+                       int x0, int y0, int xa, int xb, int ya, int yb, int k, int vec) {
+  const auto elem = static_cast<std::uint32_t>(sizeof(T));
+  for (int y = ya; y < yb; ++y) {
+    for (int x = xa; x < xb; x += kWarp * vec) {
+      gpusim::BlockCtx::GlobalLoadLane ld[kWarp];
+      gpusim::BlockCtx::SmemWriteLane sw[kWarp];
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int xx = x + lane * vec;
+        const bool active = xx < xb;
+        const int n = active ? std::min(vec, xb - xx) : 0;
+        const std::uint32_t soff = active ? tile.off(xx - x0, y - y0) : 0;
+        void* dst = active && ctx.functional() ? ctx.smem().raw() + soff : nullptr;
+        ld[lane] = {active ? g.vaddr(xx, y, k) : 0, dst,
+                    static_cast<std::uint32_t>(n) * elem, active};
+        sw[lane] = {soff, dst, static_cast<std::uint32_t>(n) * elem, active};
+      }
+      ctx.warp_load({ld, kWarp});
+      ctx.warp_smem_write({sw, kWarp});
+    }
+  }
+}
+
+/// Loads the region x in [xa, xb), y in [ya, yb) of plane k into the
+/// shared tile *column by column*: one warp instruction per column chunk,
+/// lanes walking consecutive y rows (stride = the grid pitch, so every
+/// active lane lands in its own memory segment).  This is how the vertical
+/// pattern's left/right halo strips are issued — its load loop is organised
+/// around vertical traversal — and it is the mechanical reason Fig. 7 shows
+/// the vertical variant collapsing for high stencil orders: the cost grows
+/// with r at one transaction per (column, row) pair.
+template <typename T>
+void load_columns_to_tile(gpusim::BlockCtx& ctx, const GridAccess& g,
+                          const SmemTile& tile, int x0, int y0, int xa, int xb, int ya,
+                          int yb, int k) {
+  const auto elem = static_cast<std::uint32_t>(sizeof(T));
+  for (int x = xa; x < xb; ++x) {
+    for (int y = ya; y < yb; y += kWarp) {
+      gpusim::BlockCtx::GlobalLoadLane ld[kWarp];
+      gpusim::BlockCtx::SmemWriteLane sw[kWarp];
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int yy = y + lane;
+        const bool active = yy < yb;
+        const std::uint32_t soff = active ? tile.off(x - x0, yy - y0) : 0;
+        void* dst = active && ctx.functional() ? ctx.smem().raw() + soff : nullptr;
+        ld[lane] = {active ? g.vaddr(x, yy, k) : 0, dst, active ? elem : 0, active};
+        sw[lane] = {soff, dst, active ? elem : 0, active};
+      }
+      ctx.warp_load({ld, kWarp});
+      ctx.warp_smem_write({sw, kWarp});
+    }
+  }
+}
+
+/// Maps the flat thread id to its (t_x, t_y) position in the block.
+struct ThreadPos {
+  int t_x = 0;
+  int t_y = 0;
+};
+[[nodiscard]] inline ThreadPos thread_pos(const LaunchConfig& cfg, int tid) {
+  return {tid % cfg.tx, tid / cfg.tx};
+}
+
+/// Grid x coordinate of thread @p t_x's register-tile column @p s (strided
+/// register tiling, section III-C3), and likewise for y.
+[[nodiscard]] inline int column_x(const LaunchConfig& cfg, int x0, int t_x, int s) {
+  return x0 + t_x + s * cfg.tx;
+}
+[[nodiscard]] inline int column_y(const LaunchConfig& cfg, int y0, int t_y, int u) {
+  return y0 + t_y + u * cfg.ty;
+}
+
+/// Per-warp, per-column global load of one value per thread from plane k
+/// into per-thread state (used for pipeline priming and the forward-plane
+/// in[k + r] load).  @p dst_fn(tid, col) returns the destination slot.
+template <typename T, typename DstFn>
+void load_columns_to_state(gpusim::BlockCtx& ctx, const GridAccess& g,
+                           const LaunchConfig& cfg, int x0, int y0, int k,
+                           DstFn&& dst_fn) {
+  const int nthreads = cfg.threads();
+  const int cols = cfg.columns_per_thread();
+  for (int warp0 = 0; warp0 < nthreads; warp0 += kWarp) {
+    for (int col = 0; col < cols; ++col) {
+      const int s = col % cfg.rx;
+      const int u = col / cfg.rx;
+      gpusim::BlockCtx::GlobalLoadLane ld[kWarp];
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int tid = warp0 + lane;
+        const bool active = tid < nthreads;
+        if (active) {
+          const ThreadPos pos = thread_pos(cfg, tid);
+          const int x = column_x(cfg, x0, pos.t_x, s);
+          const int y = column_y(cfg, y0, pos.t_y, u);
+          ld[lane] = {g.vaddr(x, y, k),
+                      ctx.functional() ? &dst_fn(tid, col) : nullptr,
+                      static_cast<std::uint32_t>(sizeof(T)), true};
+        } else {
+          ld[lane] = {};
+        }
+      }
+      ctx.warp_load({ld, kWarp});
+    }
+  }
+}
+
+/// Per-warp, per-column coalesced store of one value per thread to plane k.
+/// @p src_fn(tid, col) returns the value to store.
+template <typename T, typename SrcFn>
+void store_columns(gpusim::BlockCtx& ctx, GridAccess& out, const LaunchConfig& cfg,
+                   int x0, int y0, int k, SrcFn&& src_fn) {
+  const int nthreads = cfg.threads();
+  const int cols = cfg.columns_per_thread();
+  for (int warp0 = 0; warp0 < nthreads; warp0 += kWarp) {
+    for (int col = 0; col < cols; ++col) {
+      const int s = col % cfg.rx;
+      const int u = col / cfg.rx;
+      gpusim::BlockCtx::GlobalStoreLane st[kWarp];
+      T vals[kWarp] = {};
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int tid = warp0 + lane;
+        const bool active = tid < nthreads;
+        if (active) {
+          const ThreadPos pos = thread_pos(cfg, tid);
+          const int x = column_x(cfg, x0, pos.t_x, s);
+          const int y = column_y(cfg, y0, pos.t_y, u);
+          if (ctx.functional()) vals[lane] = src_fn(tid, col);
+          st[lane] = {out.vaddr(x, y, k), &vals[lane],
+                      static_cast<std::uint32_t>(sizeof(T)), true};
+        } else {
+          st[lane] = {};
+        }
+      }
+      ctx.warp_store({st, kWarp});
+    }
+  }
+}
+
+/// Per-warp, per-column shared-memory read of one value per thread at tile
+/// offset (dx, dy) relative to each column's own position.  Returns values
+/// through @p out_fn(tid, col, value) in functional modes.
+template <typename T, typename OutFn>
+void smem_read_columns(gpusim::BlockCtx& ctx, const SmemTile& tile,
+                       const LaunchConfig& cfg, int dx, int dy, OutFn&& out_fn) {
+  const int nthreads = cfg.threads();
+  const int cols = cfg.columns_per_thread();
+  for (int warp0 = 0; warp0 < nthreads; warp0 += kWarp) {
+    for (int col = 0; col < cols; ++col) {
+      const int s = col % cfg.rx;
+      const int u = col / cfg.rx;
+      gpusim::BlockCtx::SmemReadLane rd[kWarp];
+      T vals[kWarp] = {};
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int tid = warp0 + lane;
+        const bool active = tid < nthreads;
+        if (active) {
+          const ThreadPos pos = thread_pos(cfg, tid);
+          const int lx = pos.t_x + s * cfg.tx + dx;
+          const int ly = pos.t_y + u * cfg.ty + dy;
+          rd[lane] = {tile.off(lx, ly), ctx.functional() ? &vals[lane] : nullptr,
+                      static_cast<std::uint32_t>(sizeof(T)), true};
+        } else {
+          rd[lane] = {};
+        }
+      }
+      ctx.warp_smem_read({rd, kWarp});
+      if (ctx.functional()) {
+        for (int lane = 0; lane < kWarp; ++lane) {
+          const int tid = warp0 + lane;
+          if (tid < nthreads) out_fn(tid, col, vals[lane]);
+        }
+      }
+    }
+  }
+}
+
+/// Per-warp, per-column shared-memory write of one value per thread at the
+/// column's own tile position (dx = dy = 0) — how the forward-plane kernel
+/// deposits its register-pipelined centre plane into the tile.
+/// @p src_fn(tid, col) returns the value to write.
+template <typename T, typename SrcFn>
+void smem_write_columns(gpusim::BlockCtx& ctx, const SmemTile& tile,
+                        const LaunchConfig& cfg, SrcFn&& src_fn) {
+  const int nthreads = cfg.threads();
+  const int cols = cfg.columns_per_thread();
+  for (int warp0 = 0; warp0 < nthreads; warp0 += kWarp) {
+    for (int col = 0; col < cols; ++col) {
+      const int s = col % cfg.rx;
+      const int u = col / cfg.rx;
+      gpusim::BlockCtx::SmemWriteLane wr[kWarp];
+      T vals[kWarp] = {};
+      for (int lane = 0; lane < kWarp; ++lane) {
+        const int tid = warp0 + lane;
+        const bool active = tid < nthreads;
+        if (active) {
+          const ThreadPos pos = thread_pos(cfg, tid);
+          const int lx = pos.t_x + s * cfg.tx;
+          const int ly = pos.t_y + u * cfg.ty;
+          if (ctx.functional()) vals[lane] = src_fn(tid, col);
+          wr[lane] = {tile.off(lx, ly), &vals[lane],
+                      static_cast<std::uint32_t>(sizeof(T)), true};
+        } else {
+          wr[lane] = {};
+        }
+      }
+      ctx.warp_smem_write({wr, kWarp});
+    }
+  }
+}
+
+}  // namespace inplane::kernels::detail

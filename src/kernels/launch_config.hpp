@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace inplane::kernels {
+
+/// The four-dimensional blocking configuration the auto-tuner searches:
+/// (TX, TY) is the thread block shape, (RX, RY) the register-tiling factor
+/// (section III-C3).  A block of TX x TY threads computes a tile of
+/// (TX*RX) x (TY*RY) output points per z-plane, each thread owning RX*RY
+/// strided output columns.
+struct LaunchConfig {
+  int tx = 32;  ///< threads along x (paper constrains to multiples of 16)
+  int ty = 16;  ///< threads along y
+  int rx = 1;   ///< register-tile factor along x
+  int ry = 1;   ///< register-tile factor along y
+  int vec = 1;  ///< vector load width in elements (1, 2 or 4; sec. III-C2)
+
+  [[nodiscard]] int threads() const { return tx * ty; }
+  [[nodiscard]] int tile_w() const { return tx * rx; }
+  [[nodiscard]] int tile_h() const { return ty * ry; }
+  [[nodiscard]] int columns_per_thread() const { return rx * ry; }
+  [[nodiscard]] int warps(const gpusim::DeviceSpec& dev) const {
+    return (threads() + dev.warp_size - 1) / dev.warp_size;
+  }
+
+  /// "(TX, TY, RX, RY)" in the notation of Table IV.
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(tx) + ", " + std::to_string(ty) + ", " +
+           std::to_string(rx) + ", " + std::to_string(ry) + ")";
+  }
+
+  [[nodiscard]] bool operator==(const LaunchConfig&) const = default;
+
+  /// The CUDA SDK FDTD3d sample's hard-coded block shape, used as the
+  /// nvstencil baseline configuration throughout the evaluation.
+  static LaunchConfig nvstencil_default() { return LaunchConfig{32, 16, 1, 1, 1}; }
+};
+
+}  // namespace inplane::kernels

@@ -1,0 +1,47 @@
+#include "kernels/resources.hpp"
+
+#include <stdexcept>
+
+namespace inplane::kernels {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::ForwardPlane: return "nvstencil";
+    case Method::InPlaneClassical: return "classical";
+    case Method::InPlaneVertical: return "vertical";
+    case Method::InPlaneHorizontal: return "horizontal";
+    case Method::InPlaneFullSlice: return "full-slice";
+  }
+  return "unknown";
+}
+
+bool is_in_plane(Method method) { return method != Method::ForwardPlane; }
+
+gpusim::KernelResources estimate_resources(Method method, const LaunchConfig& config,
+                                           int radius, std::size_t elem_size) {
+  if (radius <= 0) throw std::invalid_argument("estimate_resources: radius must be > 0");
+  if (elem_size != 4 && elem_size != 8) {
+    throw std::invalid_argument("estimate_resources: elem_size must be 4 or 8");
+  }
+  gpusim::KernelResources res;
+  res.threads = config.threads();
+
+  const int w = config.tile_w() + 2 * radius;
+  const int h = config.tile_h() + 2 * radius;
+  res.smem_bytes = static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * elem_size;
+
+  // Per-column live values: forward-plane keeps the 2r+1 z-pipeline
+  // (behind[r], current, infront[r]); in-plane keeps the r-deep partial
+  // output queue plus the r-deep centre-column history (Eqns. (3)-(5)).
+  const int values_per_column = method == Method::ForwardPlane ? 2 * radius + 1
+                                                               : 2 * radius;
+  const int regs_per_value = elem_size == 8 ? 2 : 1;
+  constexpr int kBaseRegs = 12;     // indices, pointers, loop counters
+  constexpr int kScratchValues = 4; // accumulator + load temporaries
+  res.regs_per_thread =
+      kBaseRegs +
+      regs_per_value * (values_per_column * config.columns_per_thread() + kScratchValues);
+  return res;
+}
+
+}  // namespace inplane::kernels

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "gpusim/occupancy.hpp"
+#include "kernels/launch_config.hpp"
+
+namespace inplane::kernels {
+
+/// Loading strategy of the kernel (section III).
+enum class Method {
+  ForwardPlane,       ///< nvstencil: 2.5-D forward-plane loading (Fig. 5a)
+  InPlaneClassical,   ///< Fig. 6a: separate interior + 4 halo strip loads
+  InPlaneVertical,    ///< Fig. 6b: top/bottom halos merged with interior
+  InPlaneHorizontal,  ///< Fig. 6c: left/right halos merged with interior
+  InPlaneFullSlice,   ///< Fig. 6d: whole (W+2r) x (H+2r) slice in one sweep
+};
+
+[[nodiscard]] const char* to_string(Method method);
+[[nodiscard]] bool is_in_plane(Method method);
+
+/// Estimates per-block resource usage (K_R and K_S in the paper's model).
+///
+/// K_S is exact: all variants stage one (W+2r) x (H+2r) plane in shared
+/// memory.  K_R is an analytic proxy for nvcc's allocator: a fixed base of
+/// address/index temporaries plus the per-column value state — the
+/// (2r+1)-deep register pipeline for the forward-plane method, the r-deep
+/// output queue plus r-deep back history for the in-plane method (section
+/// III-C) — with 64-bit values costing two registers each.  The estimate's
+/// purpose is the occupancy trade-off of section IV-C, for which
+/// monotonicity in r * RX * RY is what matters.
+[[nodiscard]] gpusim::KernelResources estimate_resources(Method method,
+                                                         const LaunchConfig& config,
+                                                         int radius,
+                                                         std::size_t elem_size);
+
+}  // namespace inplane::kernels

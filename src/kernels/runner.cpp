@@ -1,0 +1,88 @@
+#include "kernels/runner.hpp"
+
+#include <stdexcept>
+
+namespace inplane::kernels {
+
+namespace {
+
+template <typename T>
+std::span<const std::byte> const_bytes(const Grid3<T>& g) {
+  return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
+}
+
+}  // namespace
+
+template <typename T>
+gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                              Grid3<T>& out, const gpusim::DeviceSpec& device,
+                              gpusim::ExecMode mode) {
+  if (in.extent() != out.extent()) {
+    throw std::invalid_argument("run_kernel: grids must share extent");
+  }
+  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
+    throw std::invalid_argument("run_kernel: halo narrower than stencil radius");
+  }
+  if (auto err = kernel.validate(device, in.extent())) {
+    throw std::invalid_argument("run_kernel: invalid configuration: " + *err);
+  }
+
+  gpusim::GlobalMemory gmem;
+  const gpusim::BufferId in_id = gmem.map_readonly(const_bytes(in));
+  const gpusim::BufferId out_id = gmem.map(out.bytes());
+  const GridAccess in_access{&in.layout(), gmem.base(in_id)};
+  GridAccess out_access{&out.layout(), gmem.base(out_id)};
+
+  const LaunchConfig& cfg = kernel.config();
+  const int nbx = in.nx() / cfg.tile_w();
+  const int nby = in.ny() / cfg.tile_h();
+  const std::size_t smem_bytes = kernel.resources().smem_bytes;
+
+  gpusim::TraceStats total;
+  for (int by = 0; by < nby; ++by) {
+    for (int bx = 0; bx < nbx; ++bx) {
+      gpusim::BlockCtx ctx(device, gmem, smem_bytes, mode);
+      kernel.run_block(ctx, in_access, out_access, bx, by);
+      total += ctx.stats();
+    }
+  }
+  return total;
+}
+
+template <typename T>
+gpusim::KernelTiming time_kernel(const IStencilKernel<T>& kernel,
+                                 const gpusim::DeviceSpec& device,
+                                 const Extent3& extent) {
+  gpusim::KernelTiming timing;
+  if (auto err = kernel.validate(device, extent)) {
+    timing.invalid_reason = *err;
+    return timing;
+  }
+  gpusim::TimingInput input;
+  input.grid = extent;
+  input.radius = kernel.radius();
+  input.tile_w = kernel.config().tile_w();
+  input.tile_h = kernel.config().tile_h();
+  input.resources = kernel.resources();
+  input.per_plane = kernel.trace_plane(device, extent);
+  input.is_double = sizeof(T) == 8;
+  input.ilp = kernel.config().columns_per_thread();
+  return gpusim::estimate_timing(device, input);
+}
+
+template gpusim::TraceStats run_kernel<float>(const IStencilKernel<float>&,
+                                              const Grid3<float>&, Grid3<float>&,
+                                              const gpusim::DeviceSpec&,
+                                              gpusim::ExecMode);
+template gpusim::TraceStats run_kernel<double>(const IStencilKernel<double>&,
+                                               const Grid3<double>&, Grid3<double>&,
+                                               const gpusim::DeviceSpec&,
+                                               gpusim::ExecMode);
+template gpusim::KernelTiming time_kernel<float>(const IStencilKernel<float>&,
+                                                 const gpusim::DeviceSpec&,
+                                                 const Extent3&);
+template gpusim::KernelTiming time_kernel<double>(const IStencilKernel<double>&,
+                                                  const gpusim::DeviceSpec&,
+                                                  const Extent3&);
+
+}  // namespace inplane::kernels

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "core/grid3.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::kernels {
+
+/// Builds a grid whose layout matches what @p kernel's loading pattern
+/// wants (halo = radius, alignment offset per section III-C2).
+template <typename T>
+[[nodiscard]] Grid3<T> make_grid_for(const IStencilKernel<T>& kernel, Extent3 extent) {
+  return Grid3<T>(extent, kernel.radius(), 32, kernel.preferred_align_offset());
+}
+
+/// Functionally executes @p kernel over the whole grid on the simulated
+/// device: maps both grids into a fresh global address space and sweeps
+/// every thread block.  Returns the aggregated trace (empty counters in
+/// pure Functional mode).
+///
+/// Throws std::invalid_argument if the configuration is invalid for the
+/// device/extent or the grids are incompatible (mismatched extents, halo
+/// narrower than the stencil radius).
+template <typename T>
+gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                              Grid3<T>& out, const gpusim::DeviceSpec& device,
+                              gpusim::ExecMode mode = gpusim::ExecMode::Functional);
+
+/// Produces a timing estimate for @p kernel on @p device over a grid of
+/// @p extent: traces one steady-state plane of one block and expands it
+/// through the staging/occupancy/bandwidth model (see gpusim/timing.hpp).
+/// Invalid configurations come back with .valid == false and a reason,
+/// like the zeroed points of the Fig. 8 surfaces.
+template <typename T>
+[[nodiscard]] gpusim::KernelTiming time_kernel(const IStencilKernel<T>& kernel,
+                                               const gpusim::DeviceSpec& device,
+                                               const Extent3& extent);
+
+extern template gpusim::TraceStats run_kernel<float>(const IStencilKernel<float>&,
+                                                     const Grid3<float>&, Grid3<float>&,
+                                                     const gpusim::DeviceSpec&,
+                                                     gpusim::ExecMode);
+extern template gpusim::TraceStats run_kernel<double>(const IStencilKernel<double>&,
+                                                      const Grid3<double>&,
+                                                      Grid3<double>&,
+                                                      const gpusim::DeviceSpec&,
+                                                      gpusim::ExecMode);
+extern template gpusim::KernelTiming time_kernel<float>(const IStencilKernel<float>&,
+                                                        const gpusim::DeviceSpec&,
+                                                        const Extent3&);
+extern template gpusim::KernelTiming time_kernel<double>(const IStencilKernel<double>&,
+                                                         const gpusim::DeviceSpec&,
+                                                         const Extent3&);
+
+}  // namespace inplane::kernels

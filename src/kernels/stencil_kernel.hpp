@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/coefficients.hpp"
+#include "core/grid_layout.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/trace.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/resources.hpp"
+
+namespace inplane::kernels {
+
+/// A grid as a simulated kernel sees it: geometry plus a virtual base
+/// address in GlobalMemory.  The kernel computes byte addresses from the
+/// layout — identically in functional and trace modes, which is what makes
+/// the traced coalescing trustworthy.
+struct GridAccess {
+  const GridLayout* layout = nullptr;
+  std::uint64_t base = 0;
+
+  [[nodiscard]] std::uint64_t vaddr(int i, int j, int k) const {
+    return base + layout->byte_offset(i, j, k);
+  }
+};
+
+/// Abstract simulated stencil kernel (one loading method, one coefficient
+/// set, one launch configuration), precision T in {float, double}.
+template <typename T>
+class IStencilKernel {
+ public:
+  virtual ~IStencilKernel() = default;
+
+  [[nodiscard]] virtual Method method() const = 0;
+  [[nodiscard]] virtual const LaunchConfig& config() const = 0;
+  [[nodiscard]] virtual const StencilCoeffs& coeffs() const = 0;
+  [[nodiscard]] virtual int radius() const = 0;
+
+  [[nodiscard]] std::string name() const { return to_string(method()); }
+
+  /// Grid align_offset this kernel's loading pattern wants (section
+  /// III-C2): r for horizontal / full-slice (vectorised rows start at
+  /// x = -r), 0 otherwise.
+  [[nodiscard]] virtual int preferred_align_offset() const = 0;
+
+  /// Estimated per-block K_R / K_S / threads.
+  [[nodiscard]] virtual gpusim::KernelResources resources() const = 0;
+
+  /// Checks the configuration against a device and grid extent; returns an
+  /// explanation if the kernel cannot run (tile does not divide the grid,
+  /// block over device limits, ...).
+  [[nodiscard]] virtual std::optional<std::string> validate(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const = 0;
+
+  /// Executes one thread block's full z-sweep.  @p bx, @p by index the
+  /// block in the plane decomposition.  In functional modes this moves
+  /// real data via ctx/gmem; in trace mode it only records events.
+  virtual void run_block(gpusim::BlockCtx& ctx, const GridAccess& in, GridAccess& out,
+                         int bx, int by) const = 0;
+
+  /// Executes one *steady-state z-plane* of one interior block, in trace
+  /// mode, and returns its event counts.  This is the per-plane trace the
+  /// timing model consumes; it must issue exactly the same instruction
+  /// pattern as one plane iteration of run_block.
+  [[nodiscard]] virtual gpusim::TraceStats trace_plane(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const = 0;
+};
+
+/// Creates a kernel of the given method.  Throws std::invalid_argument for
+/// nonsensical parameters (radius < 1, non-positive blocking factors, vec
+/// not in {1,2,4}, vec * sizeof(T) > 16).
+template <typename T>
+[[nodiscard]] std::unique_ptr<IStencilKernel<T>> make_kernel(Method method,
+                                                             StencilCoeffs coeffs,
+                                                             LaunchConfig config);
+
+extern template std::unique_ptr<IStencilKernel<float>> make_kernel<float>(
+    Method, StencilCoeffs, LaunchConfig);
+extern template std::unique_ptr<IStencilKernel<double>> make_kernel<double>(
+    Method, StencilCoeffs, LaunchConfig);
+
+}  // namespace inplane::kernels

@@ -1,0 +1,148 @@
+#include "multigpu/multi_gpu.hpp"
+
+#include <stdexcept>
+
+#include "kernels/runner.hpp"
+
+namespace inplane::multigpu {
+
+template <typename T>
+MultiGpuStencil<T>::MultiGpuStencil(kernels::Method method, StencilCoeffs coeffs,
+                                    kernels::LaunchConfig config,
+                                    MultiGpuOptions options)
+    : kernel_(kernels::make_kernel<T>(method, std::move(coeffs), config)),
+      options_(options) {
+  if (options_.n_devices < 1) {
+    throw std::invalid_argument("MultiGpuStencil: need at least one device");
+  }
+  if (options_.pcie_bw_gbs <= 0.0) {
+    throw std::invalid_argument("MultiGpuStencil: interconnect bandwidth must be > 0");
+  }
+}
+
+template <typename T>
+int MultiGpuStencil<T>::radius() const {
+  return kernel_->radius();
+}
+
+template <typename T>
+std::optional<std::string> MultiGpuStencil<T>::validate(
+    const gpusim::DeviceSpec& device, const Extent3& extent) const {
+  extent.validate();
+  if (extent.nz % options_.n_devices != 0) {
+    return "nz not divisible by the device count";
+  }
+  const int slab = extent.nz / options_.n_devices;
+  if (slab < kernel_->radius()) {
+    return "slabs shallower than the stencil radius";
+  }
+  return kernel_->validate(device, {extent.nx, extent.ny, slab});
+}
+
+template <typename T>
+void MultiGpuStencil<T>::run(Grid3<T>& a, Grid3<T>& b,
+                             const gpusim::DeviceSpec& device, int steps) const {
+  if (a.extent() != b.extent()) {
+    throw std::invalid_argument("MultiGpuStencil::run: grids must share extent");
+  }
+  if (auto err = validate(device, a.extent())) {
+    throw std::invalid_argument("MultiGpuStencil::run: " + *err);
+  }
+  if (a.halo() < kernel_->radius() || b.halo() < kernel_->radius()) {
+    throw std::invalid_argument("MultiGpuStencil::run: halo narrower than radius");
+  }
+  const int r = kernel_->radius();
+  const int n = options_.n_devices;
+  const int slab_nz = a.nz() / n;
+  const Extent3 slab_extent{a.nx(), a.ny(), slab_nz};
+
+  Grid3<T>* cur = &a;
+  Grid3<T>* nxt = &b;
+  // Per-device slab buffers, laid out the way the kernel wants.
+  std::vector<Grid3<T>> slab_in;
+  std::vector<Grid3<T>> slab_out;
+  for (int d = 0; d < n; ++d) {
+    slab_in.emplace_back(slab_extent, r, 32, kernel_->preferred_align_offset());
+    slab_out.emplace_back(slab_extent, r, 32, kernel_->preferred_align_offset());
+  }
+
+  for (int step = 0; step < steps; ++step) {
+    // Scatter: each device receives its slab plus r halo planes from the
+    // neighbouring slabs (or the global frozen halo at the ends) — the
+    // host-mediated halo exchange.
+    for (int d = 0; d < n; ++d) {
+      const int z0 = d * slab_nz;
+      slab_in[static_cast<std::size_t>(d)].fill_with_halo(
+          [&](int i, int j, int k) { return cur->at(i, j, z0 + k); });
+    }
+    // Compute: every device sweeps its slab independently.
+    for (int d = 0; d < n; ++d) {
+      kernels::run_kernel(*kernel_, slab_in[static_cast<std::size_t>(d)],
+                          slab_out[static_cast<std::size_t>(d)], device);
+    }
+    // Gather: slab interiors back into the global "next" grid.
+    for (int d = 0; d < n; ++d) {
+      const int z0 = d * slab_nz;
+      const Grid3<T>& s = slab_out[static_cast<std::size_t>(d)];
+      for (int k = 0; k < slab_nz; ++k) {
+        for (int j = 0; j < a.ny(); ++j) {
+          for (int i = 0; i < a.nx(); ++i) {
+            nxt->at(i, j, z0 + k) = s.at(i, j, k);
+          }
+        }
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &a) {
+    // An odd number of steps left the result in b; copy back so the
+    // caller's `a` always holds the final state.
+    a.fill_with_halo([&](int i, int j, int k) { return cur->at(i, j, k); });
+  }
+}
+
+template <typename T>
+MultiGpuTiming MultiGpuStencil<T>::estimate(const gpusim::DeviceSpec& device,
+                                            const Extent3& extent) const {
+  MultiGpuTiming t;
+  if (auto err = validate(device, extent)) {
+    t.invalid_reason = *err;
+    return t;
+  }
+  const int n = options_.n_devices;
+  const Extent3 slab{extent.nx, extent.ny, extent.nz / n};
+  const gpusim::KernelTiming slab_t = kernels::time_kernel(*kernel_, device, slab);
+  if (!slab_t.valid) {
+    t.invalid_reason = slab_t.invalid_reason;
+    return t;
+  }
+  t.compute_seconds = slab_t.seconds;
+
+  // Halo exchange per sweep: r planes up and r planes down, each a
+  // device-to-host plus host-to-device transfer.
+  if (n > 1) {
+    const double plane_bytes =
+        static_cast<double>(extent.nx) * extent.ny * sizeof(T);
+    const double dir_bytes = static_cast<double>(radius()) * plane_bytes;
+    const double per_transfer =
+        options_.pcie_latency_us * 1e-6 + dir_bytes / (options_.pcie_bw_gbs * 1e9);
+    t.exchange_seconds = 2.0 /*directions*/ * 2.0 /*D2H + H2D*/ * per_transfer;
+  }
+  t.total_seconds = options_.overlap_exchange
+                        ? std::max(t.compute_seconds, t.exchange_seconds)
+                        : t.compute_seconds + t.exchange_seconds;
+  t.mpoints_per_s = static_cast<double>(extent.volume()) / t.total_seconds / 1e6;
+
+  const gpusim::KernelTiming single = kernels::time_kernel(*kernel_, device, extent);
+  if (single.valid) {
+    t.scaling_speedup = single.seconds / t.total_seconds;
+    t.parallel_efficiency = t.scaling_speedup / n;
+  }
+  t.valid = true;
+  return t;
+}
+
+template class MultiGpuStencil<float>;
+template class MultiGpuStencil<double>;
+
+}  // namespace inplane::multigpu

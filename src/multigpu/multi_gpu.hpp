@@ -1,0 +1,79 @@
+#pragma once
+
+#include <vector>
+
+#include "core/coefficients.hpp"
+#include "core/grid3.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::multigpu {
+
+/// Interconnect / decomposition parameters for a multi-GPU run.
+struct MultiGpuOptions {
+  int n_devices = 2;
+  /// Effective per-direction host-mediated transfer bandwidth (PCIe 2.0
+  /// x16 era, matching the paper's cards): ~6 GB/s.
+  double pcie_bw_gbs = 6.0;
+  /// Per-transfer setup latency (driver + DMA start).
+  double pcie_latency_us = 10.0;
+  /// Overlap halo exchange with interior compute (streams) — the standard
+  /// optimisation; without it exchange time adds serially.
+  bool overlap_exchange = true;
+};
+
+/// Per-sweep timing breakdown of a decomposed run.
+struct MultiGpuTiming {
+  bool valid = false;
+  std::string invalid_reason;
+  double compute_seconds = 0.0;   ///< slowest device's kernel sweep
+  double exchange_seconds = 0.0;  ///< halo exchange per sweep
+  double total_seconds = 0.0;     ///< per sweep, after overlap policy
+  double mpoints_per_s = 0.0;     ///< whole-grid points per second
+  /// Speedup over the same kernel on one device of the same type.
+  double scaling_speedup = 0.0;
+  /// scaling_speedup / n_devices.
+  double parallel_efficiency = 0.0;
+};
+
+/// Z-slab domain decomposition of an iterative stencil over multiple
+/// simulated GPUs of the same type — the direction Physis [26] and the
+/// multi-GPU solvers in the paper's introduction take.  The grid is split
+/// into nz / n slabs; every Jacobi sweep each device runs the configured
+/// kernel over its slab, then neighbours exchange r boundary planes
+/// through host memory before the next sweep.
+template <typename T>
+class MultiGpuStencil {
+ public:
+  /// @param kernel the per-device stencil kernel (shared configuration)
+  MultiGpuStencil(kernels::Method method, StencilCoeffs coeffs,
+                  kernels::LaunchConfig config, MultiGpuOptions options);
+
+  [[nodiscard]] const MultiGpuOptions& options() const { return options_; }
+  [[nodiscard]] int radius() const;
+
+  /// Checks the decomposition (nz divisible by n_devices, slabs at least
+  /// r deep, per-device kernel valid on the slab extent).
+  [[nodiscard]] std::optional<std::string> validate(const gpusim::DeviceSpec& device,
+                                                    const Extent3& extent) const;
+
+  /// Functionally executes @p steps Jacobi sweeps of the decomposed grid,
+  /// with halo exchange between sweeps.  Equivalent to @p steps reference
+  /// sweeps of the whole grid (same frozen outer halo semantics).
+  /// On return @p a holds the final state.
+  void run(Grid3<T>& a, Grid3<T>& b, const gpusim::DeviceSpec& device,
+           int steps) const;
+
+  /// Per-sweep timing with the interconnect model.
+  [[nodiscard]] MultiGpuTiming estimate(const gpusim::DeviceSpec& device,
+                                        const Extent3& extent) const;
+
+ private:
+  std::unique_ptr<kernels::IStencilKernel<T>> kernel_;
+  MultiGpuOptions options_;
+};
+
+extern template class MultiGpuStencil<float>;
+extern template class MultiGpuStencil<double>;
+
+}  // namespace inplane::multigpu

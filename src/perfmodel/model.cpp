@@ -1,0 +1,125 @@
+#include "perfmodel/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inplane::perfmodel {
+
+namespace {
+
+/// The latency-hiding function f(arg) of Eqns. (12)/(13): returns a value
+/// between 1 and arg, linear in occupancy.  At full occupancy (resident
+/// warps == Warp_SM) memory phases of concurrent blocks overlap perfectly
+/// (f = 1); with a single warp they serialise completely (f = arg).
+double latency_hiding_f(double arg, double resident_warps, double warp_sm) {
+  if (arg <= 1.0) return std::max(arg, 0.0);
+  const double occ = std::clamp(resident_warps / warp_sm, 0.0, 1.0);
+  return arg + (1.0 - arg) * occ;  // = arg at occ 0 ... 1 at occ 1
+}
+
+}  // namespace
+
+double bytes_per_plane_block(const ModelInput& input) {
+  const int r = input.radius;
+  const int w = input.config.tile_w();
+  const int h = input.config.tile_h();
+  const double elem = input.is_double ? 8.0 : 4.0;
+  // Reads: interior + the halo strips the method touches per plane.
+  double read_elems = static_cast<double>(w) * h;
+  switch (input.method) {
+    case kernels::Method::ForwardPlane:
+    case kernels::Method::InPlaneClassical:
+      // interior + four strips + corners (Fig. 4).
+      read_elems += 2.0 * r * w + 2.0 * r * h + 4.0 * r * r;
+      break;
+    case kernels::Method::InPlaneVertical:
+    case kernels::Method::InPlaneHorizontal:
+      // merged strips, no corners (Fig. 6b/6c).
+      read_elems += 2.0 * r * w + 2.0 * r * h;
+      break;
+    case kernels::Method::InPlaneFullSlice:
+      // whole slice, 4r^2 redundant corner elements (Fig. 6d).
+      read_elems += 2.0 * r * w + 2.0 * r * h + 4.0 * r * r;
+      break;
+  }
+  const double write_elems = static_cast<double>(w) * h;
+  return (read_elems + write_elems) * elem;
+}
+
+ModelResult evaluate(const gpusim::DeviceSpec& device, const ModelInput& input) {
+  ModelResult res;
+  input.grid.validate();
+  const kernels::LaunchConfig& cfg = input.config;
+  if (input.grid.nx % cfg.tile_w() != 0 || input.grid.ny % cfg.tile_h() != 0) {
+    res.invalid_reason = "tile does not divide grid";
+    return res;
+  }
+
+  // Eqn. (7) via the shared occupancy calculator.
+  const gpusim::KernelResources kres = kernels::estimate_resources(
+      input.method, cfg, input.radius, input.is_double ? 8 : 4);
+  const gpusim::Occupancy occ = gpusim::Occupancy::compute(device, kres);
+  if (occ.active_blocks == 0) {
+    res.invalid_reason = occ.invalid_reason.empty() ? "zero active blocks"
+                                                    : occ.invalid_reason;
+    return res;
+  }
+  res.act_blks = occ.active_blocks;
+
+  // Eqn. (6).
+  res.blks = static_cast<long>(input.grid.nx / cfg.tile_w()) *
+             static_cast<long>(input.grid.ny / cfg.tile_h());
+
+  // Eqns. (8), (9).
+  const long per_round = static_cast<long>(res.act_blks) * device.sm_count;
+  res.stages = static_cast<int>((res.blks + per_round - 1) / per_round);
+  const long rem = res.blks - static_cast<long>(res.stages - 1) * per_round;
+  res.rem_blks = static_cast<int>((rem + device.sm_count - 1) / device.sm_count);
+
+  // Eqn. (10): T_m = Lat/Clock + Bytes_Blk / BW_SM   (seconds).
+  const double clock_hz = device.clock_ghz * 1e9;
+  const double bw_sm = device.achieved_bw_gbs * 1e9 / device.sm_count;
+  const double t_m = device.mem_latency_cycles / clock_hz +
+                     bytes_per_plane_block(input) / bw_sm;
+  res.t_m_cycles = t_m * clock_hz;
+
+  // Eqn. (11): the compute time of one block's plane — Ops flops for each
+  // of the TX*RX x TY*RY elements through the SM's cores (DP at the
+  // device's DP issue ratio).
+  const int ops = input.method == kernels::Method::ForwardPlane
+                      ? 7 * input.radius + 1
+                      : 8 * input.radius + 1;
+  const double dp_scale = input.is_double ? 1.0 / device.dp_throughput_ratio : 1.0;
+  const double t_c_one_block = static_cast<double>(ops) * cfg.tx * cfg.ty * cfg.rx *
+                               cfg.ry * dp_scale /
+                               (device.cores_per_sm * 2.0) / clock_hz;
+  res.t_c_cycles = t_c_one_block * clock_hz;
+
+  // Eqns. (12), (13) with the linear f(.).  f models "latency hiding
+  // during memory accesses" (section VI): at full occupancy the access
+  // latencies of concurrent blocks overlap (counted once), with a single
+  // warp they serialise (counted per block).  The bandwidth component of
+  // T_m always serialises — concurrent blocks share the SM's share of the
+  // memory bus — so f scales the latency term only.
+  const double t_lat = device.mem_latency_cycles / clock_hz;
+  const double t_bw = t_m - t_lat;
+  const double warps_full = static_cast<double>(res.act_blks) * occ.warps_per_block;
+  const double warps_rem = static_cast<double>(res.rem_blks) * occ.warps_per_block;
+  const double t_s =
+      latency_hiding_f(res.act_blks, warps_full, device.max_warps_per_sm) * t_lat +
+      res.act_blks * (t_bw + t_c_one_block);
+  const double t_l =
+      latency_hiding_f(res.rem_blks, warps_rem, device.max_warps_per_sm) * t_lat +
+      res.rem_blks * (t_bw + t_c_one_block);
+  res.t_s_cycles = t_s * clock_hz;
+  res.t_l_cycles = t_l * clock_hz;
+
+  // Eqn. (14), scaled over all LZ planes.
+  const double per_plane_seconds = t_s * (res.stages - 1) + t_l;
+  const double total_seconds = per_plane_seconds * input.grid.nz;
+  res.mpoints_per_s = static_cast<double>(input.grid.volume()) / total_seconds / 1e6;
+  res.valid = true;
+  return res;
+}
+
+}  // namespace inplane::perfmodel

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "core/extent.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+#include "kernels/launch_config.hpp"
+#include "kernels/resources.hpp"
+
+namespace inplane::perfmodel {
+
+/// Inputs of the paper's analytic performance model (section VI).
+struct ModelInput {
+  Extent3 grid;                     ///< LX x LY x LZ
+  int radius = 1;                   ///< stencil radius r
+  kernels::Method method = kernels::Method::InPlaneFullSlice;
+  kernels::LaunchConfig config;
+  bool is_double = false;
+};
+
+/// Output of the Eqns. (6)-(14) evaluation.
+struct ModelResult {
+  bool valid = false;       ///< false when ActBlks == 0 (zeroed in Fig. 8)
+  std::string invalid_reason;
+
+  long blks = 0;            ///< Eqn. (6)
+  int act_blks = 0;         ///< Eqn. (7)
+  int stages = 0;           ///< Eqn. (8)
+  int rem_blks = 0;         ///< Eqn. (9)
+  double t_m_cycles = 0.0;  ///< Eqn. (10)
+  double t_c_cycles = 0.0;  ///< Eqn. (11)
+  double t_s_cycles = 0.0;  ///< Eqn. (12)
+  double t_l_cycles = 0.0;  ///< Eqn. (13)
+  double mpoints_per_s = 0.0;  ///< Eqn. (14), converted to MPoint/s
+};
+
+/// Evaluates the paper's performance model, Eqns. (6)-(14), verbatim:
+///
+///   Blks     = LX*LY / ((TX*RX)(TY*RY))                             (6)
+///   ActBlks  = min(Reg/K_R, Smem/K_S, Warp_SM/Warp_Blk, Blk_SM)     (7)
+///   Stages   = ceil(Blks / (SM * ActBlks))                          (8)
+///   RemBlks  = ceil((Blks - (Stages-1)*ActBlks*SM) / SM)            (9)
+///   T_m      = Lat/Clock + Bytes_Blk / BW_SM                        (10)
+///   T_c      = ActBlks * Ops * RX * RY * Warp_Blk / Clock           (11)
+///   T_s      = f(ActBlks) * T_m + ActBlks * T_c                     (12)
+///   T_l      = f(RemBlks) * T_m + RemBlks * T_c                     (13)
+///   Perf     = LX*LY / (T_s * (Stages-1) + T_l)                     (14)
+///
+/// where f(arg) interpolates linearly between perfect latency hiding
+/// (returns 1 at full occupancy) and full serialisation (returns arg for a
+/// single resident warp), exactly as described in section VI.  Bytes_Blk
+/// counts the bytes read and written per stencil plane per block for the
+/// given loading method (including the full-slice corner redundancy);
+/// Ops is the per-element flop count (7r+1 forward-plane, 8r+1 in-plane).
+///
+/// Perf from Eqn. (14) is per-plane; the returned MPoint/s scales it by the
+/// plane count.  All model limitations the paper lists (no bank conflicts,
+/// no scheduling overhead, no cache effects) apply here too — this module
+/// exists to *rank* configurations for the model-guided tuner of Fig. 12,
+/// not to predict absolute performance.
+[[nodiscard]] ModelResult evaluate(const gpusim::DeviceSpec& device,
+                                   const ModelInput& input);
+
+/// Bytes_Blk: bytes read + written per z-plane per block under @p method
+/// (used by Eqn. (10); exposed for tests and the ablation bench).
+[[nodiscard]] double bytes_per_plane_block(const ModelInput& input);
+
+}  // namespace inplane::perfmodel

@@ -1,0 +1,129 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace inplane::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| " + row[c] + std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|" + std::string(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (char ch : cell) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ",";
+      out += quote(row[c]);
+    }
+    out += "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string bar_chart(const std::string& title, const std::vector<Bar>& bars, int width,
+                      const std::string& value_suffix) {
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  double max_value = 0.0;
+  std::size_t label_w = 0;
+  for (const Bar& b : bars) {
+    max_value = std::max(max_value, b.value);
+    label_w = std::max(label_w, b.label.size());
+  }
+  for (const Bar& b : bars) {
+    const int n = max_value > 0.0
+                      ? static_cast<int>(std::lround(b.value / max_value * width))
+                      : 0;
+    out += b.label + std::string(label_w - b.label.size(), ' ') + " |" +
+           std::string(static_cast<std::size_t>(n), '#') +
+           std::string(static_cast<std::size_t>(width - n), ' ') + "| " +
+           fmt(b.value, 2) + value_suffix + "\n";
+  }
+  return out;
+}
+
+std::string surface(const std::string& title, const std::vector<std::string>& x_labels,
+                    const std::vector<std::string>& y_labels,
+                    const std::vector<std::vector<double>>& z, int decimals) {
+  if (z.size() != y_labels.size()) {
+    throw std::invalid_argument("surface: z row count must match y labels");
+  }
+  Table table([&] {
+    std::vector<std::string> header{""};
+    header.insert(header.end(), x_labels.begin(), x_labels.end());
+    return header;
+  }());
+  for (std::size_t y = 0; y < y_labels.size(); ++y) {
+    if (z[y].size() != x_labels.size()) {
+      throw std::invalid_argument("surface: z column count must match x labels");
+    }
+    std::vector<std::string> row{y_labels[y]};
+    for (double v : z[y]) {
+      row.push_back(v > 0.0 ? fmt(v, decimals) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render(title);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out << content;
+}
+
+}  // namespace inplane::report

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace inplane::report {
+
+/// A simple fixed-width ascii table builder used by the bench binaries to
+/// print paper-style tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column-aligned cells, a header rule, and optional title.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the same content as CSV (RFC-4180-style quoting for cells
+  /// containing commas or quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with @p decimals digits after the point.
+[[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+/// Horizontal ascii bar chart: one labelled bar per entry, scaled to
+/// @p width characters at the maximum value.  Used for the figure benches.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+[[nodiscard]] std::string bar_chart(const std::string& title,
+                                    const std::vector<Bar>& bars, int width = 50,
+                                    const std::string& value_suffix = "");
+
+/// Renders a z = f(x, y) performance surface (Fig. 8) as a value grid with
+/// row/column labels; invalid points render as "-".
+[[nodiscard]] std::string surface(const std::string& title,
+                                  const std::vector<std::string>& x_labels,
+                                  const std::vector<std::string>& y_labels,
+                                  const std::vector<std::vector<double>>& z,
+                                  int decimals = 0);
+
+/// Writes @p content to @p path, creating parent directories if needed.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace inplane::report

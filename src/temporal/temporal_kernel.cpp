@@ -1,0 +1,440 @@
+#include "temporal/temporal_kernel.hpp"
+
+#include <stdexcept>
+
+#include "kernels/kernel_common.hpp"
+
+namespace inplane::temporal {
+
+using kernels::GridAccess;
+using kernels::LaunchConfig;
+using kernels::detail::kWarp;
+using kernels::detail::load_rows_to_tile;
+using kernels::detail::SmemTile;
+using kernels::detail::store_columns;
+using kernels::detail::thread_pos;
+using kernels::detail::ThreadPos;
+
+namespace {
+
+/// Cooperative warp-wide shared read over @p n flat points: chunk c's lane
+/// l handles point c*32+l.  @p off(p) gives the byte offset, @p out(p, v)
+/// receives the value in functional modes.
+template <typename T, typename OffFn, typename OutFn>
+void smem_read_points(gpusim::BlockCtx& ctx, int n, OffFn&& off, OutFn&& out) {
+  for (int base = 0; base < n; base += kWarp) {
+    gpusim::BlockCtx::SmemReadLane rd[kWarp];
+    T vals[kWarp] = {};
+    for (int lane = 0; lane < kWarp; ++lane) {
+      const int p = base + lane;
+      const bool active = p < n;
+      rd[lane] = {active ? off(p) : 0,
+                  active && ctx.functional() ? &vals[lane] : nullptr,
+                  active ? static_cast<std::uint32_t>(sizeof(T)) : 0, active};
+    }
+    ctx.warp_smem_read({rd, kWarp});
+    if (ctx.functional()) {
+      for (int lane = 0; lane < kWarp && base + lane < n; ++lane) {
+        out(base + lane, vals[lane]);
+      }
+    }
+  }
+}
+
+/// Cooperative warp-wide shared write over @p n flat points.
+template <typename T, typename OffFn, typename SrcFn>
+void smem_write_points(gpusim::BlockCtx& ctx, int n, OffFn&& off, SrcFn&& src) {
+  for (int base = 0; base < n; base += kWarp) {
+    gpusim::BlockCtx::SmemWriteLane wr[kWarp];
+    T vals[kWarp] = {};
+    for (int lane = 0; lane < kWarp; ++lane) {
+      const int p = base + lane;
+      const bool active = p < n;
+      if (active && ctx.functional()) vals[lane] = src(p);
+      wr[lane] = {active ? off(p) : 0, active ? &vals[lane] : nullptr,
+                  active ? static_cast<std::uint32_t>(sizeof(T)) : 0, active};
+    }
+    ctx.warp_smem_write({wr, kWarp});
+  }
+}
+
+/// Cooperative warp-wide global load over @p n flat points.
+template <typename T, typename AddrFn, typename DstFn>
+void load_points(gpusim::BlockCtx& ctx, int n, AddrFn&& addr, DstFn&& dst) {
+  for (int base = 0; base < n; base += kWarp) {
+    gpusim::BlockCtx::GlobalLoadLane ld[kWarp];
+    for (int lane = 0; lane < kWarp; ++lane) {
+      const int p = base + lane;
+      const bool active = p < n;
+      ld[lane] = {active ? addr(p) : 0,
+                  active && ctx.functional() ? static_cast<void*>(&dst(p)) : nullptr,
+                  active ? static_cast<std::uint32_t>(sizeof(T)) : 0, active};
+    }
+    ctx.warp_load({ld, kWarp});
+  }
+}
+
+}  // namespace
+
+template <typename T>
+struct TemporalInPlaneKernel<T>::Work {
+  // Per extended-point stage-1 register state: back[0..r-1] then q[0..r-1].
+  std::vector<T> state;
+  std::vector<T> cur;
+  std::vector<T> nsum;
+  std::vector<T> part;
+
+  Work(int n_points, int r)
+      : state(static_cast<std::size_t>(n_points) * 2 * static_cast<std::size_t>(r)),
+        cur(static_cast<std::size_t>(n_points)),
+        nsum(static_cast<std::size_t>(n_points)),
+        part(static_cast<std::size_t>(n_points)) {}
+
+  [[nodiscard]] T& back(int p, int m, int r) {  // m in [1, r]
+    return state[static_cast<std::size_t>(p) * 2 * static_cast<std::size_t>(r) +
+                 static_cast<std::size_t>(m - 1)];
+  }
+  [[nodiscard]] T& q(int p, int d, int r) {  // d in [0, r)
+    return state[static_cast<std::size_t>(p) * 2 * static_cast<std::size_t>(r) +
+                 static_cast<std::size_t>(r + d)];
+  }
+};
+
+template <typename T>
+TemporalInPlaneKernel<T>::TemporalInPlaneKernel(StencilCoeffs coeffs,
+                                                LaunchConfig config)
+    : cs_(std::move(coeffs)), cfg_(config), r_(cs_.radius()) {
+  if (r_ < 1) throw std::invalid_argument("TemporalInPlaneKernel: radius must be >= 1");
+  if (cfg_.tx <= 0 || cfg_.ty <= 0 || cfg_.rx <= 0 || cfg_.ry <= 0) {
+    throw std::invalid_argument(
+        "TemporalInPlaneKernel: blocking factors must be positive");
+  }
+  if (cfg_.vec != 1 && cfg_.vec != 2 && cfg_.vec != 4) {
+    throw std::invalid_argument("TemporalInPlaneKernel: vec must be 1, 2 or 4");
+  }
+  if (static_cast<std::size_t>(cfg_.vec) * sizeof(T) > 16) {
+    throw std::invalid_argument(
+        "TemporalInPlaneKernel: vector load wider than 16 bytes");
+  }
+  c_.resize(static_cast<std::size_t>(r_) + 1);
+  c_[0] = static_cast<T>(cs_.c0());
+  for (int m = 1; m <= r_; ++m) c_[static_cast<std::size_t>(m)] = static_cast<T>(cs_.c(m));
+}
+
+template <typename T>
+gpusim::KernelResources TemporalInPlaneKernel<T>::resources() const {
+  const int r = r_;
+  const int w = cfg_.tile_w();
+  const int h = cfg_.tile_h();
+  const std::size_t slice =
+      static_cast<std::size_t>(w + 4 * r) * static_cast<std::size_t>(h + 4 * r);
+  const std::size_t ring = static_cast<std::size_t>(2 * r + 1) *
+                           static_cast<std::size_t>(w + 2 * r) *
+                           static_cast<std::size_t>(h + 2 * r);
+  gpusim::KernelResources res;
+  res.threads = cfg_.threads();
+  res.smem_bytes = (slice + ring) * sizeof(T);
+  const int n_points = (w + 2 * r) * (h + 2 * r);
+  const int per_thread = (n_points + cfg_.threads() - 1) / cfg_.threads();
+  const int regs_per_value = sizeof(T) == 8 ? 2 : 1;
+  res.regs_per_thread = 12 + regs_per_value * (2 * r * per_thread + 4);
+  return res;
+}
+
+template <typename T>
+std::optional<std::string> TemporalInPlaneKernel<T>::validate(
+    const gpusim::DeviceSpec& device, const Extent3& extent) const {
+  extent.validate();
+  if (cfg_.threads() > device.max_threads_per_block) {
+    return "threads per block over device limit";
+  }
+  if (resources().smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+    return "slice + t1 ring over per-SM shared memory";
+  }
+  if (extent.nx % cfg_.tile_w() != 0) return "TX*RX does not divide grid x extent";
+  if (extent.ny % cfg_.tile_h() != 0) return "TY*RY does not divide grid y extent";
+  if (extent.nz <= 2 * r_) return "grid too shallow for the double-step pipeline";
+  return std::nullopt;
+}
+
+template <typename T>
+void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in,
+                                     GridAccess& out, int bx, int by, int k,
+                                     Work& work) const {
+  const int r = r_;
+  const int w = cfg_.tile_w();
+  const int h = cfg_.tile_h();
+  const int x0 = bx * w;
+  const int y0 = by * h;
+  const int ew = w + 2 * r;   // extended (stage-1) tile width
+  const int eh = h + 2 * r;
+  const int n = ew * eh;      // extended points, flattened p = (ey+r)*ew + (ex+r)
+  const bool fn = ctx.functional();
+  const auto elem = static_cast<std::uint32_t>(sizeof(T));
+
+  // Shared layout: t=0 slice (w+4r) x (h+4r), then the (2r+1)-plane t=1 ring.
+  const int slice_row = w + 4 * r;
+  const std::uint32_t ring_base =
+      static_cast<std::uint32_t>(slice_row) * static_cast<std::uint32_t>(h + 4 * r) *
+      elem;
+  const auto slice_off = [&](int gx, int gy) {  // gx in [-2r, w+2r)
+    return static_cast<std::uint32_t>((gy + 2 * r) * slice_row + (gx + 2 * r)) * elem;
+  };
+  const auto ring_off = [&](int z, int gx, int gy) {  // gx in [-r, w+r)
+    const int slot = ((z % (2 * r + 1)) + (2 * r + 1)) % (2 * r + 1);
+    return ring_base +
+           static_cast<std::uint32_t>((slot * eh + gy + r) * ew + (gx + r)) * elem;
+  };
+  const auto ex_of = [&](int p) { return p % ew - r; };
+  const auto ey_of = [&](int p) { return p / ew - r; };
+
+  // ---- Stage 1 load: stream the t=0 plane k into the slice --------------
+  // (merged full-slice rows; the tile "origin" for the loader is the
+  // extended region's origin, so its own halo of width r covers 2r total).
+  {
+    const SmemTile slice{ew, eh, r, sizeof(T), 0};
+    load_rows_to_tile<T>(ctx, in, slice, x0 - r, y0 - r, x0 - 2 * r, x0 + w + 2 * r,
+                         y0 - 2 * r, y0 + h + 2 * r, k, cfg_.vec);
+  }
+  ctx.sync();
+
+  // ---- Stage 1 compute: in-plane partials over the extended tile ---------
+  smem_read_points<T>(
+      ctx, n, [&](int p) { return slice_off(ex_of(p), ey_of(p)); },
+      [&](int p, T v) { work.cur[static_cast<std::size_t>(p)] = v; });
+  if (fn) {
+    for (int p = 0; p < n; ++p) {
+      work.part[static_cast<std::size_t>(p)] =
+          c_[0] * work.cur[static_cast<std::size_t>(p)];
+    }
+  }
+  for (int m = 1; m <= r; ++m) {
+    if (fn) std::fill(work.nsum.begin(), work.nsum.end(), T{});
+    auto add = [&](int p, T v) { work.nsum[static_cast<std::size_t>(p)] += v; };
+    smem_read_points<T>(ctx, n, [&](int p) { return slice_off(ex_of(p) - m, ey_of(p)); },
+                        add);
+    smem_read_points<T>(ctx, n, [&](int p) { return slice_off(ex_of(p) + m, ey_of(p)); },
+                        add);
+    smem_read_points<T>(ctx, n, [&](int p) { return slice_off(ex_of(p), ey_of(p) - m); },
+                        add);
+    smem_read_points<T>(ctx, n, [&](int p) { return slice_off(ex_of(p), ey_of(p) + m); },
+                        add);
+    if (fn) {
+      const T cm = c_[static_cast<std::size_t>(m)];
+      for (int p = 0; p < n; ++p) {
+        work.part[static_cast<std::size_t>(p)] +=
+            cm * (work.nsum[static_cast<std::size_t>(p)] + work.back(p, m, r));
+      }
+    }
+  }
+  // Queue updates (Eqn. 5), emission of the t=1 plane k-r into the ring,
+  // and the register shifts.  Non-interior points freeze at their t=0
+  // value (back[r] holds t0(k-r)) so boundaries match the CPU reference.
+  if (fn) {
+    for (int p = 0; p < n; ++p) {
+      const T cur = work.cur[static_cast<std::size_t>(p)];
+      for (int d = 0; d < r; ++d) {
+        work.q(p, d, r) += c_[static_cast<std::size_t>(d + 1)] * cur;
+      }
+      const bool interior = in.layout->is_interior(x0 + ex_of(p), y0 + ey_of(p), k - r);
+      const T emit = interior ? work.q(p, r - 1, r) : work.back(p, r, r);
+      for (int d = r - 1; d >= 1; --d) work.q(p, d, r) = work.q(p, d - 1, r);
+      work.q(p, 0, r) = work.part[static_cast<std::size_t>(p)];
+      for (int m = r; m >= 2; --m) work.back(p, m, r) = work.back(p, m - 1, r);
+      work.back(p, 1, r) = cur;
+      work.part[static_cast<std::size_t>(p)] = emit;  // reuse as emit buffer
+    }
+  }
+  smem_write_points<T>(
+      ctx, n, [&](int p) { return ring_off(k - r, ex_of(p), ey_of(p)); },
+      [&](int p) { return work.part[static_cast<std::size_t>(p)]; });
+  ctx.sync();
+
+  // ---- Stage 2: stencil over the t=1 ring, store the t=2 plane k-2r ------
+  const int j = k - 2 * r;
+  if (j >= 0) {
+    const int threads = cfg_.threads();
+    const int cols = cfg_.columns_per_thread();
+    std::vector<T> acc(static_cast<std::size_t>(threads) *
+                       static_cast<std::size_t>(cols));
+    auto column_site = [&](int dx, int dy, int dz, auto&& consume) {
+      for (int warp0 = 0; warp0 < threads; warp0 += kWarp) {
+        for (int col = 0; col < cols; ++col) {
+          const int s = col % cfg_.rx;
+          const int u = col / cfg_.rx;
+          gpusim::BlockCtx::SmemReadLane rd[kWarp];
+          T vals[kWarp] = {};
+          for (int lane = 0; lane < kWarp; ++lane) {
+            const int tid = warp0 + lane;
+            const bool active = tid < threads;
+            if (active) {
+              const ThreadPos pos = thread_pos(cfg_, tid);
+              const int cx = pos.t_x + s * cfg_.tx + dx;
+              const int cy = pos.t_y + u * cfg_.ty + dy;
+              rd[lane] = {ring_off(j + dz, cx, cy), fn ? &vals[lane] : nullptr, elem,
+                          true};
+            } else {
+              rd[lane] = {};
+            }
+          }
+          ctx.warp_smem_read({rd, kWarp});
+          if (fn) {
+            for (int lane = 0; lane < kWarp && warp0 + lane < threads; ++lane) {
+              consume(warp0 + lane, col, vals[lane]);
+            }
+          }
+        }
+      }
+    };
+    const auto aidx = [&](int tid, int col) {
+      return static_cast<std::size_t>(tid) * static_cast<std::size_t>(cols) +
+             static_cast<std::size_t>(col);
+    };
+    column_site(0, 0, 0, [&](int tid, int col, T v) { acc[aidx(tid, col)] = c_[0] * v; });
+    for (int m = 1; m <= r; ++m) {
+      const T cm = c_[static_cast<std::size_t>(m)];
+      auto add = [&](int tid, int col, T v) { acc[aidx(tid, col)] += cm * v; };
+      column_site(-m, 0, 0, add);
+      column_site(m, 0, 0, add);
+      column_site(0, -m, 0, add);
+      column_site(0, m, 0, add);
+      column_site(0, 0, -m, add);
+      column_site(0, 0, m, add);
+    }
+    store_columns<T>(ctx, out, cfg_, x0, y0, j,
+                     [&](int tid, int col) { return acc[aidx(tid, col)]; });
+  }
+  ctx.sync();
+
+  // Compute accounting: stage 1 does (6r+1) FMA-class ops per extended
+  // point (in-plane counting, Table II); stage 2 does (6r+1) per output
+  // point (forward counting over the ring).
+  const auto warps = static_cast<std::uint64_t>(cfg_.warps(ctx.device()));
+  const auto ru = static_cast<std::uint64_t>(r);
+  const auto ext_chunks = static_cast<std::uint64_t>((n + kWarp - 1) / kWarp);
+  const auto colsu = static_cast<std::uint64_t>(cfg_.columns_per_thread());
+  const auto threadsu = static_cast<std::uint64_t>(cfg_.threads());
+  ctx.record_compute(
+      ext_chunks * (6 * ru + 1) + warps * colsu * (6 * ru + 1),
+      static_cast<std::uint64_t>(n) * (8 * ru + 1) +
+          threadsu * colsu * (7 * ru + 1));
+}
+
+template <typename T>
+void TemporalInPlaneKernel<T>::run_block(gpusim::BlockCtx& ctx, const GridAccess& in,
+                                         GridAccess& out, int bx, int by) const {
+  const int r = r_;
+  const int w = cfg_.tile_w();
+  const int h = cfg_.tile_h();
+  const int ew = w + 2 * r;
+  const int eh = h + 2 * r;
+  const int n = ew * eh;
+  Work work(n, r);
+  // Prime the stage-1 back history from the z < 0 halo planes.
+  const int x0 = bx * w;
+  const int y0 = by * h;
+  for (int m = 1; m <= r; ++m) {
+    load_points<T>(
+        ctx, n,
+        [&](int p) {
+          return in.vaddr(x0 + p % ew - r, y0 + p / ew - r, -m);
+        },
+        [&](int p) -> T& { return work.back(p, m, r); });
+  }
+  const int nz = in.layout->nz();
+  for (int k = 0; k < nz + 2 * r; ++k) {
+    plane(ctx, in, out, bx, by, k, work);
+  }
+}
+
+template <typename T>
+gpusim::TraceStats TemporalInPlaneKernel<T>::trace_plane(
+    const gpusim::DeviceSpec& device, const Extent3& extent) const {
+  const GridLayout layout(extent, 2 * r_, sizeof(T), 32, preferred_align_offset());
+  gpusim::GlobalMemory gmem;
+  gpusim::BlockCtx ctx(device, gmem, resources().smem_bytes, gpusim::ExecMode::Trace);
+  GridAccess in{&layout, 0x10000};
+  GridAccess out{&layout, 0x10000 + round_up(layout.allocated_bytes(), 512) + 512};
+  const int ew = cfg_.tile_w() + 2 * r_;
+  const int eh = cfg_.tile_h() + 2 * r_;
+  Work work(ew * eh, r_);
+  const int k = std::min(extent.nz - 1, 2 * r_ + 1);
+  plane(ctx, in, out, 0, 0, k, work);
+  return ctx.stats();
+}
+
+namespace {
+
+template <typename T>
+std::span<const std::byte> const_bytes(const Grid3<T>& g) {
+  return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
+}
+
+}  // namespace
+
+template <typename T>
+gpusim::TraceStats run_temporal_kernel(const TemporalInPlaneKernel<T>& kernel,
+                                       const Grid3<T>& in, Grid3<T>& out,
+                                       const gpusim::DeviceSpec& device,
+                                       gpusim::ExecMode mode) {
+  if (in.extent() != out.extent()) {
+    throw std::invalid_argument("run_temporal_kernel: grids must share extent");
+  }
+  if (in.halo() < 2 * kernel.radius() || out.halo() < 2 * kernel.radius()) {
+    throw std::invalid_argument("run_temporal_kernel: halo narrower than 2r");
+  }
+  if (auto err = kernel.validate(device, in.extent())) {
+    throw std::invalid_argument("run_temporal_kernel: invalid configuration: " + *err);
+  }
+  gpusim::GlobalMemory gmem;
+  const auto in_id = gmem.map_readonly(const_bytes(in));
+  const auto out_id = gmem.map(out.bytes());
+  const GridAccess in_access{&in.layout(), gmem.base(in_id)};
+  GridAccess out_access{&out.layout(), gmem.base(out_id)};
+  const LaunchConfig& cfg = kernel.config();
+  gpusim::TraceStats total;
+  for (int by = 0; by < in.ny() / cfg.tile_h(); ++by) {
+    for (int bx = 0; bx < in.nx() / cfg.tile_w(); ++bx) {
+      gpusim::BlockCtx ctx(device, gmem, kernel.resources().smem_bytes, mode);
+      kernel.run_block(ctx, in_access, out_access, bx, by);
+      total += ctx.stats();
+    }
+  }
+  return total;
+}
+
+template <typename T>
+gpusim::KernelTiming time_temporal_kernel(const TemporalInPlaneKernel<T>& kernel,
+                                          const gpusim::DeviceSpec& device,
+                                          const Extent3& extent) {
+  gpusim::KernelTiming timing;
+  if (auto err = kernel.validate(device, extent)) {
+    timing.invalid_reason = *err;
+    return timing;
+  }
+  gpusim::TimingInput input;
+  input.grid = extent;
+  input.radius = 2 * kernel.radius();  // double-deep pipeline fill
+  input.tile_w = kernel.config().tile_w();
+  input.tile_h = kernel.config().tile_h();
+  input.resources = kernel.resources();
+  input.per_plane = kernel.trace_plane(device, extent);
+  input.is_double = sizeof(T) == 8;
+  input.ilp = kernel.config().columns_per_thread();
+  return gpusim::estimate_timing(device, input);
+}
+
+template class TemporalInPlaneKernel<float>;
+template class TemporalInPlaneKernel<double>;
+template gpusim::TraceStats run_temporal_kernel<float>(
+    const TemporalInPlaneKernel<float>&, const Grid3<float>&, Grid3<float>&,
+    const gpusim::DeviceSpec&, gpusim::ExecMode);
+template gpusim::TraceStats run_temporal_kernel<double>(
+    const TemporalInPlaneKernel<double>&, const Grid3<double>&, Grid3<double>&,
+    const gpusim::DeviceSpec&, gpusim::ExecMode);
+template gpusim::KernelTiming time_temporal_kernel<float>(
+    const TemporalInPlaneKernel<float>&, const gpusim::DeviceSpec&, const Extent3&);
+template gpusim::KernelTiming time_temporal_kernel<double>(
+    const TemporalInPlaneKernel<double>&, const gpusim::DeviceSpec&, const Extent3&);
+
+}  // namespace inplane::temporal

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/coefficients.hpp"
+#include "core/grid3.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::temporal {
+
+/// Two-timestep temporal blocking on top of the in-plane method — the
+/// "3.5-D" extension the paper's related-work section points at (Nguyen et
+/// al. [14], Meng & Skadron [16]).
+///
+/// One sweep down z advances the whole tile by TWO Jacobi steps while
+/// loading every input element once and storing every output element once:
+///
+///  * stage 1 applies the stencil to the streamed t=0 planes with the
+///    in-plane full-slice machinery (merged vectorised loads, r-deep
+///    partial queue, Eqns. 3-5) — but over the *extended* tile
+///    (W+2r) x (H+2r), because stage 2 needs a ghost zone of t=1 values;
+///  * completed t=1 planes go to a (2r+1)-deep shared-memory ring instead
+///    of global memory;
+///  * stage 2 applies the stencil to the ring (pure shared-memory reads,
+///    forward-plane style) and stores the t=2 plane k-2r.
+///
+/// Boundary semantics match two applications of the CPU reference with a
+/// frozen halo: t=1 values at non-interior points are the t=0 values.
+///
+/// The trade-off this extension explores (and bench_temporal_extension
+/// measures): global traffic per point per timestep drops towards half,
+/// in exchange for (1+2r/W)(1+2r/H) redundant stage-1 compute and a
+/// (2r+1)-plane shared-memory ring that crushes occupancy for large tiles
+/// or high orders.
+template <typename T>
+class TemporalInPlaneKernel {
+ public:
+  TemporalInPlaneKernel(StencilCoeffs coeffs, kernels::LaunchConfig config);
+
+  [[nodiscard]] const StencilCoeffs& coeffs() const { return cs_; }
+  [[nodiscard]] const kernels::LaunchConfig& config() const { return cfg_; }
+  [[nodiscard]] int radius() const { return r_; }
+  /// Timesteps advanced per sweep (fixed at 2 for this kernel).
+  [[nodiscard]] static constexpr int time_steps() { return 2; }
+
+  [[nodiscard]] int preferred_align_offset() const { return 2 * r_; }
+  [[nodiscard]] gpusim::KernelResources resources() const;
+  [[nodiscard]] std::optional<std::string> validate(const gpusim::DeviceSpec& device,
+                                                    const Extent3& extent) const;
+
+  /// One block's full double-timestep z sweep.  Grids need halo >= 2r.
+  void run_block(gpusim::BlockCtx& ctx, const kernels::GridAccess& in,
+                 kernels::GridAccess& out, int bx, int by) const;
+
+  /// Steady-state one-plane trace (timing-model input).
+  [[nodiscard]] gpusim::TraceStats trace_plane(const gpusim::DeviceSpec& device,
+                                               const Extent3& extent) const;
+
+ private:
+  struct Work;
+  void plane(gpusim::BlockCtx& ctx, const kernels::GridAccess& in,
+             kernels::GridAccess& out, int bx, int by, int k, Work& work) const;
+
+  StencilCoeffs cs_;
+  kernels::LaunchConfig cfg_;
+  int r_;
+  std::vector<T> c_;
+};
+
+/// Functional execution over whole grids (halo >= 2 * radius required).
+/// The result equals TWO applications of the reference stencil with the
+/// halo frozen between steps.
+template <typename T>
+gpusim::TraceStats run_temporal_kernel(
+    const TemporalInPlaneKernel<T>& kernel, const Grid3<T>& in, Grid3<T>& out,
+    const gpusim::DeviceSpec& device,
+    gpusim::ExecMode mode = gpusim::ExecMode::Functional);
+
+/// Timing estimate.  Note: mpoints_per_s counts *grid points per sweep*;
+/// multiply by time_steps() for point-updates per second when comparing
+/// against single-step kernels.
+template <typename T>
+[[nodiscard]] gpusim::KernelTiming time_temporal_kernel(
+    const TemporalInPlaneKernel<T>& kernel, const gpusim::DeviceSpec& device,
+    const Extent3& extent);
+
+extern template class TemporalInPlaneKernel<float>;
+extern template class TemporalInPlaneKernel<double>;
+extern template gpusim::TraceStats run_temporal_kernel<float>(
+    const TemporalInPlaneKernel<float>&, const Grid3<float>&, Grid3<float>&,
+    const gpusim::DeviceSpec&, gpusim::ExecMode);
+extern template gpusim::TraceStats run_temporal_kernel<double>(
+    const TemporalInPlaneKernel<double>&, const Grid3<double>&, Grid3<double>&,
+    const gpusim::DeviceSpec&, gpusim::ExecMode);
+extern template gpusim::KernelTiming time_temporal_kernel<float>(
+    const TemporalInPlaneKernel<float>&, const gpusim::DeviceSpec&, const Extent3&);
+extern template gpusim::KernelTiming time_temporal_kernel<double>(
+    const TemporalInPlaneKernel<double>&, const gpusim::DeviceSpec&, const Extent3&);
+
+}  // namespace inplane::temporal

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Syntax- and type-checks the generated CUDA sources with a host C++
+# compiler and the cuda_runtime.h shim: the strongest validation of the
+# code generator available without nvcc.
+#
+# usage: compile_generated_cuda.sh <generate_cuda binary> <shim dir>
+set -e
+GEN="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+SHIM="$(cd "$2" && pwd)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$WORK"
+"$GEN" 2 8 > /dev/null
+
+status=0
+for f in cuda_out/*.cu; do
+  # Rewrite the triple-chevron launch into a plain call (host compilers
+  # cannot parse <<<...>>>).
+  sed 's/<<<[^>]*>>>//' "$f" > "$f.cpp"
+  if g++ -std=c++17 -fsyntax-only -I"$SHIM" -include cuda_runtime.h -x c++ "$f.cpp"; then
+    echo "OK   $f"
+  else
+    echo "FAIL $f"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,195 @@
+// Application-stencil correctness and structure (section V / Table V):
+// every formula's simulated kernel — both loading methods — must agree with
+// the generic CPU reference, and the formulas must expose the In/Out grid
+// counts Table V reports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_kernel.hpp"
+#include "core/grid_compare.hpp"
+
+namespace inplane::apps {
+namespace {
+
+constexpr Extent3 kExtent{64, 32, 9};
+
+template <typename T>
+std::vector<Grid3<T>> make_inputs(const AppKernel<T>& kernel, std::uint64_t seed) {
+  std::vector<Grid3<T>> grids = make_input_grids_for(kernel, kExtent);
+  std::uint64_t salt = seed;
+  for (auto& g : grids) {
+    const double phase = 0.1 * static_cast<double>(salt++);
+    g.fill_with_halo([&](int i, int j, int k) {
+      return static_cast<T>(std::sin(0.07 * i + phase) + 0.03 * j - 0.01 * k +
+                            0.002 * i * k);
+    });
+  }
+  return grids;
+}
+
+template <typename T>
+void expect_app_matches(const AppFormula& formula, AppMethod method,
+                        kernels::LaunchConfig cfg, double tol) {
+  AppKernel<T> kernel(formula, method, cfg);
+  std::vector<Grid3<T>> inputs = make_inputs(kernel, 7);
+  std::vector<Grid3<T>> outputs = make_output_grids_for(kernel, kExtent);
+  for (auto& g : outputs) g.fill(static_cast<T>(-999));
+
+  std::vector<const Grid3<T>*> in_ptrs;
+  std::vector<Grid3<T>*> out_ptrs;
+  for (auto& g : inputs) in_ptrs.push_back(&g);
+  for (auto& g : outputs) out_ptrs.push_back(&g);
+  run_app_kernel<T>(kernel, in_ptrs, out_ptrs, gpusim::DeviceSpec::geforce_gtx580(),
+                    gpusim::ExecMode::Functional);
+
+  // Gold: same logical values on plain (offset-0) grids.
+  std::vector<Grid3<T>> gold_in;
+  std::vector<Grid3<T>> gold_out;
+  for (auto& g : inputs) {
+    gold_in.emplace_back(kExtent, formula.radius());
+    gold_in.back().fill_with_halo([&](int i, int j, int k) { return g.at(i, j, k); });
+  }
+  for (int o = 0; o < formula.n_outputs(); ++o) {
+    gold_out.emplace_back(kExtent, formula.radius());
+  }
+  std::vector<const Grid3<T>*> gin;
+  std::vector<Grid3<T>*> gout;
+  for (auto& g : gold_in) gin.push_back(&g);
+  for (auto& g : gold_out) gout.push_back(&g);
+  apply_formula<T>(formula, gin, gout);
+
+  for (int o = 0; o < formula.n_outputs(); ++o) {
+    const GridDiff diff =
+        compare_grids(outputs[static_cast<std::size_t>(o)],
+                      gold_out[static_cast<std::size_t>(o)]);
+    EXPECT_LE(diff.max_abs, tol)
+        << formula.name() << " [" << to_string(method) << "] output " << o
+        << " worst at (" << diff.worst_i << "," << diff.worst_j << ","
+        << diff.worst_k << ")";
+  }
+}
+
+struct AppCase {
+  std::string app;
+  AppMethod method;
+  kernels::LaunchConfig cfg;
+};
+
+AppFormula formula_by_name(const std::string& name) {
+  for (AppFormula& f : paper_apps()) {
+    if (f.name() == name) return f;
+  }
+  throw std::runtime_error("unknown app " + name);
+}
+
+std::string app_case_name(const testing::TestParamInfo<AppCase>& info) {
+  const AppCase& c = info.param;
+  return c.app + (c.method == AppMethod::ForwardPlane ? "_fwd" : "_inp") + "_t" +
+         std::to_string(c.cfg.tx) + "x" + std::to_string(c.cfg.ty) + "_r" +
+         std::to_string(c.cfg.rx) + "x" + std::to_string(c.cfg.ry);
+}
+
+class AppVsReference : public testing::TestWithParam<AppCase> {};
+
+TEST_P(AppVsReference, FloatMatches) {
+  const AppCase& c = GetParam();
+  expect_app_matches<float>(formula_by_name(c.app), c.method, c.cfg, 5e-4);
+}
+
+TEST_P(AppVsReference, DoubleMatches) {
+  const AppCase& c = GetParam();
+  kernels::LaunchConfig cfg = c.cfg;
+  if (cfg.vec == 4) cfg.vec = 2;
+  expect_app_matches<double>(formula_by_name(c.app), c.method, cfg, 1e-12);
+}
+
+std::vector<AppCase> app_cases() {
+  std::vector<AppCase> cases;
+  const std::vector<kernels::LaunchConfig> configs = {
+      kernels::LaunchConfig{16, 4, 1, 1, 1},
+      kernels::LaunchConfig{32, 4, 2, 2, 4},
+      kernels::LaunchConfig{16, 2, 1, 4, 2},
+  };
+  for (const AppFormula& f : paper_apps()) {
+    for (AppMethod m : {AppMethod::ForwardPlane, AppMethod::InPlaneFullSlice}) {
+      for (const auto& cfg : configs) {
+        cases.push_back({f.name(), m, cfg});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppVsReference, testing::ValuesIn(app_cases()),
+                         app_case_name);
+
+// --- Table V structure ------------------------------------------------------
+
+TEST(TableV, GridCounts) {
+  const auto apps = paper_apps();
+  ASSERT_EQ(apps.size(), 6u);
+  const int expect_in[] = {3, 1, 10, 1, 1, 2};
+  const int expect_out[] = {1, 3, 1, 1, 1, 1};
+  const char* names[] = {"Div", "Grad", "Hyperthermia", "Upstream", "Laplacian",
+                         "Poisson"};
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(apps[i].name(), names[i]);
+    EXPECT_EQ(apps[i].n_inputs(), expect_in[i]) << names[i];
+    EXPECT_EQ(apps[i].n_outputs(), expect_out[i]) << names[i];
+  }
+}
+
+TEST(FormulaAnalysis, DivergenceAccessPatterns) {
+  const AppFormula f = divergence();
+  EXPECT_EQ(f.radius(), 1);
+  EXPECT_EQ(f.z_radius(), 1);
+  EXPECT_EQ(f.queue_depth(), 1);
+  EXPECT_EQ(f.xy_radius(0), 1);   // u: x neighbours
+  EXPECT_EQ(f.xy_radius(1), 1);   // v: y neighbours
+  EXPECT_EQ(f.xy_radius(2), 0);   // w: z-only, centre column
+  EXPECT_EQ(f.back_depth(2), 1);  // w(k-1)
+  EXPECT_TRUE(f.centre_read(2));
+  EXPECT_FALSE(f.centre_read(0));
+}
+
+TEST(FormulaAnalysis, UpstreamIsOneSided) {
+  const AppFormula f = upstream();
+  EXPECT_EQ(f.queue_depth(), 0);  // no forward z terms: no output delay
+  EXPECT_EQ(f.back_depth(0), 1);
+  EXPECT_EQ(f.radius(), 1);
+}
+
+TEST(FormulaAnalysis, HyperthermiaCoefficientLoad) {
+  const AppFormula f = hyperthermia();
+  // 10 distinct input grids referenced; most of the traffic is centre-only
+  // coefficient reads, which is why Fig. 11 shows almost no speedup.
+  EXPECT_EQ(f.n_inputs(), 10);
+  EXPECT_GE(f.memory_refs_per_point(), 14);
+  int staged = 0;
+  for (int g = 0; g < f.n_inputs(); ++g) {
+    if (f.xy_radius(g) > 0) ++staged;
+  }
+  EXPECT_EQ(staged, 1);  // only the temperature grid needs halo staging
+}
+
+TEST(FormulaValidation, RejectsOffCentreZTerms) {
+  EXPECT_THROW(AppFormula("bad", 1, 1, {{0, 0, 1, 0, 1, 1.0, -1}}),
+               std::invalid_argument);
+}
+
+TEST(FormulaValidation, RejectsCoeffOnForwardTerms) {
+  EXPECT_THROW(AppFormula("bad", 2, 1, {{0, 0, 0, 0, 1, 1.0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(FormulaValidation, RejectsBadIndices) {
+  EXPECT_THROW(AppFormula("bad", 1, 1, {{0, 3, 0, 0, 0, 1.0, -1}}),
+               std::invalid_argument);
+  EXPECT_THROW(AppFormula("bad", 1, 1, {{2, 0, 0, 0, 0, 1.0, -1}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace inplane::apps

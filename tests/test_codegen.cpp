@@ -1,0 +1,167 @@
+// CUDA code generator: structural validation of the emitted kernels — the
+// generated source must contain exactly the constructs the corresponding
+// simulated kernel executes (queue recurrence, pipeline, loading pattern,
+// vector types, blocking constants), and the harness must implement the
+// section IV-B verify-against-CPU methodology.
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_codegen.hpp"
+
+namespace inplane::codegen {
+namespace {
+
+using kernels::LaunchConfig;
+using kernels::Method;
+
+int count(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+CudaKernelSpec spec(Method m, int r, LaunchConfig cfg, bool dp = false) {
+  CudaKernelSpec s;
+  s.method = m;
+  s.radius = r;
+  s.config = cfg;
+  s.is_double = dp;
+  return s;
+}
+
+TEST(CudaCodegen, NameEncodesEverything) {
+  const auto s = spec(Method::InPlaneFullSlice, 2, {64, 4, 2, 2, 4});
+  EXPECT_EQ(s.name(), "inplane_fullslice_r2_t64x4_r2x2_v4_sp");
+  auto d = spec(Method::ForwardPlane, 1, {32, 16, 1, 1, 1}, true);
+  EXPECT_EQ(d.name(), "nvstencil_r1_t32x16_r1x1_v1_dp");
+  d.kernel_name = "custom";
+  EXPECT_EQ(d.name(), "custom");
+}
+
+TEST(CudaCodegen, VectorTypes) {
+  EXPECT_EQ(spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 4}).vector_type(),
+            "float4");
+  EXPECT_EQ(spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 2}, true).vector_type(),
+            "double2");
+  EXPECT_EQ(spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 1}).vector_type(),
+            "float");
+}
+
+TEST(CudaCodegen, ValidationRejectsBadSpecs) {
+  EXPECT_THROW(spec(Method::InPlaneFullSlice, 0, {32, 4, 1, 1, 1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 3}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 4}, true).validate(),
+               std::invalid_argument);  // double4 = 32 bytes
+  EXPECT_THROW(generate_kernel(spec(Method::InPlaneFullSlice, -1, {32, 4, 1, 1, 1})),
+               std::invalid_argument);
+}
+
+TEST(CudaCodegen, InPlaneKernelHasQueueRecurrence) {
+  const std::string src =
+      generate_kernel(spec(Method::InPlaneFullSlice, 3, {64, 4, 2, 2, 4}));
+  EXPECT_NE(src.find("__global__ void inplane_fullslice_r3_t64x4_r2x2_v4_sp"),
+            std::string::npos);
+  EXPECT_NE(src.find("q[col][d] += c[d + 1] * cur;"), std::string::npos);  // Eqn. 5
+  EXPECT_NE(src.find("back[col][m - 1]"), std::string::npos);              // Eqn. 3
+  EXPECT_NE(src.find("if (k >= R)"), std::string::npos);  // delayed store
+  EXPECT_NE(src.find("for (int k = 0; k < nz + R; ++k)"), std::string::npos);
+  EXPECT_NE(src.find("constexpr int R = 3;"), std::string::npos);
+  EXPECT_NE(src.find("float4"), std::string::npos);        // vectorised loads
+  EXPECT_EQ(src.find("pipe"), std::string::npos);          // no forward pipeline
+}
+
+TEST(CudaCodegen, ForwardKernelHasPipeline) {
+  const std::string src =
+      generate_kernel(spec(Method::ForwardPlane, 2, {32, 16, 1, 1, 1}));
+  EXPECT_NE(src.find("pipe[kCols][2 * R + 1]"), std::string::npos);
+  EXPECT_NE(src.find("pipe[col][i] = pipe[col][i + 1];"), std::string::npos);
+  EXPECT_NE(src.find("pipe[col][2 * R] = in[idx3(x, y, k + R)];"), std::string::npos);
+  EXPECT_NE(src.find("pipe[col][R - m] + pipe[col][R + m]"), std::string::npos);
+  EXPECT_EQ(src.find("q[col]"), std::string::npos);  // no in-plane queue
+  // Fig. 4: four strips + four corner loads, all scalar.
+  EXPECT_EQ(count(src, "// top strip"), 1);
+  EXPECT_EQ(count(src, "// corners"), 4);
+  EXPECT_EQ(src.find("float4"), std::string::npos);
+}
+
+TEST(CudaCodegen, LoadingPatternsMatchFigSix) {
+  const LaunchConfig cfg{32, 8, 1, 1, 4};
+  const std::string full =
+      generate_kernel(spec(Method::InPlaneFullSlice, 2, cfg));
+  EXPECT_EQ(count(full, "// full slice"), 1);
+  EXPECT_EQ(count(full, "reinterpret_cast"), 2);  // one vectorised region
+
+  const std::string horizontal =
+      generate_kernel(spec(Method::InPlaneHorizontal, 2, cfg));
+  EXPECT_NE(horizontal.find("// merged left/right + interior"), std::string::npos);
+  EXPECT_EQ(count(horizontal, "// top strip"), 1);
+  EXPECT_EQ(count(horizontal, "// corners"), 0);  // no corner loads
+
+  const std::string vertical =
+      generate_kernel(spec(Method::InPlaneVertical, 2, cfg));
+  EXPECT_NE(vertical.find("// merged top/bottom + interior"), std::string::npos);
+  EXPECT_EQ(count(vertical, "column-major"), 2);  // left + right halos
+
+  const std::string classical =
+      generate_kernel(spec(Method::InPlaneClassical, 2, cfg));
+  EXPECT_EQ(count(classical, "// corners"), 4);
+  EXPECT_EQ(classical.find("reinterpret_cast"), std::string::npos);  // scalar only
+}
+
+TEST(CudaCodegen, BlockingConstantsAreInlined) {
+  const std::string src =
+      generate_kernel(spec(Method::InPlaneFullSlice, 1, {128, 2, 2, 8, 2}));
+  EXPECT_NE(src.find("constexpr int kTx = 128, kTy = 2;"), std::string::npos);
+  EXPECT_NE(src.find("constexpr int kRx = 2, kRy = 8;"), std::string::npos);
+  EXPECT_NE(src.find("float2"), std::string::npos);
+}
+
+TEST(CudaCodegen, DoublePrecisionUsesDoubleEverywhere) {
+  const std::string src =
+      generate_kernel(spec(Method::InPlaneFullSlice, 2, {32, 4, 1, 1, 2}, true));
+  EXPECT_NE(src.find("__shared__ double tile"), std::string::npos);
+  EXPECT_NE(src.find("double2"), std::string::npos);
+  EXPECT_EQ(src.find("float"), std::string::npos);
+}
+
+TEST(CudaCodegen, HarnessImplementsSectionIVBVerification) {
+  const auto s = spec(Method::InPlaneFullSlice, 2, {64, 4, 1, 2, 4});
+  const std::string harness = generate_host_harness(s, {256, 256, 64});
+  EXPECT_NE(harness.find("cudaMalloc"), std::string::npos);
+  EXPECT_NE(harness.find("cudaEventElapsedTime"), std::string::npos);
+  EXPECT_NE(harness.find("max_err"), std::string::npos);  // CPU verification
+  EXPECT_NE(harness.find("MPoint/s"), std::string::npos);
+  EXPECT_NE(harness.find("const dim3 block(64, 4);"), std::string::npos);
+  // grid covers the extent with the (TX*RX, TY*RY) tiles.
+  EXPECT_NE(harness.find("const dim3 grid(NX / 64, NY / 8);"), std::string::npos);
+}
+
+TEST(CudaCodegen, FullFileIsSelfContained) {
+  const auto s = spec(Method::ForwardPlane, 1, {32, 16, 1, 1, 1});
+  const std::string file = generate_file(s, {128, 128, 32});
+  EXPECT_NE(file.find("#include <cuda_runtime.h>"), std::string::npos);
+  EXPECT_NE(file.find("int main()"), std::string::npos);
+  EXPECT_NE(file.find("run_" + s.name()), std::string::npos);
+  // Braces balance (a cheap structural sanity check on the emitter).
+  EXPECT_EQ(count(file, "{"), count(file, "}"));
+}
+
+TEST(CudaCodegen, BracesBalanceAcrossAllMethods) {
+  for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
+                   Method::InPlaneVertical, Method::InPlaneHorizontal,
+                   Method::InPlaneFullSlice}) {
+    for (int r : {1, 4}) {
+      const std::string src = generate_kernel(spec(m, r, {32, 4, 2, 2, 1}));
+      EXPECT_EQ(count(src, "{"), count(src, "}"))
+          << kernels::to_string(m) << " r" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inplane::codegen

@@ -1,0 +1,131 @@
+// OpenCL code generator and device-description files.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "codegen/opencl_codegen.hpp"
+#include "gpusim/device_file.hpp"
+
+namespace inplane {
+namespace {
+
+using codegen::CudaKernelSpec;
+using kernels::LaunchConfig;
+using kernels::Method;
+
+int count(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+CudaKernelSpec spec(Method m, int r, LaunchConfig cfg, bool dp = false) {
+  CudaKernelSpec s;
+  s.method = m;
+  s.radius = r;
+  s.config = cfg;
+  s.is_double = dp;
+  return s;
+}
+
+// --- OpenCL backend -----------------------------------------------------------
+
+TEST(OpenClCodegen, InPlaneKernelStructure) {
+  const std::string src = codegen::generate_opencl_kernel(
+      spec(Method::InPlaneFullSlice, 2, {64, 4, 2, 2, 4}));
+  EXPECT_NE(src.find("__kernel"), std::string::npos);
+  EXPECT_NE(src.find("__local float tile"), std::string::npos);
+  EXPECT_NE(src.find("barrier(CLK_LOCAL_MEM_FENCE);"), std::string::npos);
+  EXPECT_NE(src.find("vload4"), std::string::npos);
+  EXPECT_NE(src.find("vstore4"), std::string::npos);
+  EXPECT_NE(src.find("q[col][d] += c_w[d + 1] * cur;"), std::string::npos);  // Eqn. 5
+  EXPECT_NE(src.find("get_local_id(0)"), std::string::npos);
+  EXPECT_NE(src.find("reqd_work_group_size(K_TX, K_TY, 1)"), std::string::npos);
+  EXPECT_EQ(src.find("__global__"), std::string::npos);  // no CUDA leakage
+  EXPECT_EQ(src.find("threadIdx"), std::string::npos);
+  EXPECT_EQ(count(src, "{"), count(src, "}"));
+}
+
+TEST(OpenClCodegen, ForwardKernelStructure) {
+  const std::string src =
+      codegen::generate_opencl_kernel(spec(Method::ForwardPlane, 3, {32, 16, 1, 1, 1}));
+  EXPECT_NE(src.find("pipe[K_COLS][2 * R + 1]"), std::string::npos);
+  EXPECT_EQ(count(src, "// corners"), 4);
+  EXPECT_EQ(src.find("vload"), std::string::npos);  // scalar baseline
+  EXPECT_EQ(count(src, "{"), count(src, "}"));
+}
+
+TEST(OpenClCodegen, DoubleEnablesFp64Extension) {
+  const std::string src = codegen::generate_opencl_kernel(
+      spec(Method::InPlaneHorizontal, 1, {32, 8, 1, 1, 2}, true));
+  EXPECT_NE(src.find("cl_khr_fp64"), std::string::npos);
+  EXPECT_NE(src.find("vload2"), std::string::npos);
+  EXPECT_NE(src.find("__local double tile"), std::string::npos);
+}
+
+TEST(OpenClCodegen, AllMethodsBalanced) {
+  for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
+                   Method::InPlaneVertical, Method::InPlaneHorizontal,
+                   Method::InPlaneFullSlice}) {
+    const std::string src =
+        codegen::generate_opencl_kernel(spec(m, 2, {32, 4, 2, 2, 1}));
+    EXPECT_EQ(count(src, "{"), count(src, "}")) << kernels::to_string(m);
+  }
+}
+
+// --- Device files ---------------------------------------------------------------
+
+TEST(DeviceFile, RoundTripsEveryField) {
+  const gpusim::DeviceSpec original = gpusim::DeviceSpec::geforce_gtx680();
+  const gpusim::DeviceSpec back =
+      gpusim::device_from_text(gpusim::device_to_text(original));
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_EQ(back.arch, original.arch);
+  EXPECT_EQ(back.sm_count, original.sm_count);
+  EXPECT_EQ(back.cores_per_sm, original.cores_per_sm);
+  EXPECT_DOUBLE_EQ(back.clock_ghz, original.clock_ghz);
+  EXPECT_DOUBLE_EQ(back.achieved_bw_gbs, original.achieved_bw_gbs);
+  EXPECT_EQ(back.coalesce_bytes, original.coalesce_bytes);
+  EXPECT_EQ(back.store_segment_bytes, original.store_segment_bytes);
+  EXPECT_DOUBLE_EQ(back.dp_throughput_ratio, original.dp_throughput_ratio);
+  EXPECT_DOUBLE_EQ(back.max_outstanding_loads_per_warp,
+                   original.max_outstanding_loads_per_warp);
+  EXPECT_DOUBLE_EQ(back.peak_sp_gflops(), original.peak_sp_gflops());
+}
+
+TEST(DeviceFile, CommentsAndDefaults) {
+  const gpusim::DeviceSpec d = gpusim::device_from_text(
+      "# a hypothetical card\n"
+      "name = TestCard\n"
+      "arch = kepler\n"
+      "sm_count = 4   # small\n"
+      "\n");
+  EXPECT_EQ(d.name, "TestCard");
+  EXPECT_EQ(d.arch, gpusim::Arch::Kepler);
+  EXPECT_EQ(d.sm_count, 4);
+  EXPECT_EQ(d.warp_size, 32);  // default preserved
+}
+
+TEST(DeviceFile, RejectsMalformedInput) {
+  EXPECT_THROW((void)gpusim::device_from_text("sm_count 16"), std::runtime_error);
+  EXPECT_THROW((void)gpusim::device_from_text("bogus_key = 3"), std::runtime_error);
+  EXPECT_THROW((void)gpusim::device_from_text("arch = vega"), std::runtime_error);
+}
+
+TEST(DeviceFile, FileRoundTrip) {
+  const auto original = gpusim::DeviceSpec::tesla_c2070();
+  gpusim::save_device(original, "test_dev_tmp/c2070.device");
+  const auto back = gpusim::load_device("test_dev_tmp/c2070.device");
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_DOUBLE_EQ(back.achieved_bw_gbs, original.achieved_bw_gbs);
+  EXPECT_THROW((void)gpusim::load_device("test_dev_tmp/missing.device"),
+               std::runtime_error);
+  std::filesystem::remove_all("test_dev_tmp");
+}
+
+}  // namespace
+}  // namespace inplane

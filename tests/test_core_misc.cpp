@@ -1,0 +1,233 @@
+// Core units: coefficients, Table I/II analytics, the CPU reference
+// kernels, the Fig. 1 iteration driver, and grid comparison.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/coefficients.hpp"
+#include "core/grid_compare.hpp"
+#include "core/iteration.hpp"
+#include "core/reference.hpp"
+#include "core/stencil_spec.hpp"
+
+namespace inplane {
+namespace {
+
+// --- Coefficients -------------------------------------------------------------
+
+TEST(Coefficients, DiffusionIsNormalised) {
+  for (int r : {1, 2, 4, 6}) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(r);
+    EXPECT_EQ(cs.radius(), r);
+    EXPECT_EQ(cs.order(), 2 * r);
+    double sum = cs.c0();
+    for (int m = 1; m <= r; ++m) sum += 6.0 * cs.c(m);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "radius " << r;
+  }
+}
+
+TEST(Coefficients, DiffusionWeightsDecay) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(4);
+  for (int m = 2; m <= 4; ++m) EXPECT_LT(cs.c(m), cs.c(m - 1));
+}
+
+TEST(Coefficients, RandomIsDeterministicPerSeed) {
+  const StencilCoeffs a = StencilCoeffs::random(3, 7);
+  const StencilCoeffs b = StencilCoeffs::random(3, 7);
+  const StencilCoeffs c = StencilCoeffs::random(3, 8);
+  EXPECT_EQ(a.c0(), b.c0());
+  EXPECT_EQ(a.c(2), b.c(2));
+  EXPECT_NE(a.c0(), c.c0());
+}
+
+TEST(Coefficients, NegativeRadiusRejected) {
+  EXPECT_THROW(StencilCoeffs::diffusion(-1), std::invalid_argument);
+  EXPECT_THROW(StencilCoeffs::random(-2, 1), std::invalid_argument);
+}
+
+// --- Table I / II analytics ----------------------------------------------------
+
+TEST(StencilSpec, TableOneRows) {
+  const int orders[] = {2, 4, 6, 8, 10, 12};
+  const int refs[] = {8, 14, 20, 26, 32, 38};
+  const int flops[] = {8, 15, 22, 29, 36, 43};
+  const char* extents[] = {"3x3x3", "5x5x5", "7x7x7", "9x9x9", "11x11x11", "13x13x13"};
+  for (int i = 0; i < 6; ++i) {
+    const StencilSpec spec{orders[i]};
+    EXPECT_EQ(spec.memory_refs(), refs[i]);
+    EXPECT_EQ(spec.flops_forward(), flops[i]);
+    EXPECT_EQ(spec.extent_string(), extents[i]);
+  }
+}
+
+TEST(StencilSpec, TableTwoInPlaneFlops) {
+  const int orders[] = {2, 4, 6, 8, 10, 12};
+  const int flops[] = {9, 17, 25, 33, 41, 49};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(StencilSpec{orders[i]}.flops_inplane(), flops[i]);
+  }
+}
+
+TEST(StencilSpec, CornerElements) {
+  EXPECT_EQ(StencilSpec{2}.fullslice_corner_elems(), 4);
+  EXPECT_EQ(StencilSpec{8}.fullslice_corner_elems(), 64);
+  EXPECT_EQ(StencilSpec{12}.fullslice_corner_elems(), 144);
+}
+
+TEST(StencilSpec, PaperOrders) {
+  EXPECT_EQ(paper_stencil_orders(), (std::vector<int>{2, 4, 6, 8, 10, 12}));
+}
+
+// --- CPU reference ---------------------------------------------------------------
+
+TEST(Reference, ConstantFieldIsFixedPointOfNormalisedStencil) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  Grid3<double> in({16, 16, 8}, 2);
+  in.fill(3.0);
+  Grid3<double> out({16, 16, 8}, 2);
+  apply_reference(in, out, cs);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 16; ++i) EXPECT_NEAR(out.at(i, j, k), 3.0, 1e-12);
+}
+
+TEST(Reference, LinearFieldIsPreserved) {
+  // A symmetric stencil with normalised weights reproduces affine fields
+  // exactly: neighbours at +-m cancel.
+  const StencilCoeffs cs = StencilCoeffs::diffusion(3);
+  Grid3<double> in({16, 12, 10}, 3);
+  in.fill_with_halo([](int i, int j, int k) { return 2.0 * i - j + 0.5 * k + 4.0; });
+  Grid3<double> out({16, 12, 10}, 3);
+  apply_reference(in, out, cs);
+  for (int k = 0; k < 10; ++k)
+    for (int j = 0; j < 12; ++j)
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_NEAR(out.at(i, j, k), 2.0 * i - j + 0.5 * k + 4.0, 1e-10);
+      }
+}
+
+TEST(Reference, SinglePointSpreadsExactlyTheStencil) {
+  const StencilCoeffs cs = StencilCoeffs::random(2, 11);
+  Grid3<double> in({11, 11, 11}, 2);
+  in.fill(0.0);
+  in.at(5, 5, 5) = 1.0;
+  Grid3<double> out({11, 11, 11}, 2);
+  apply_reference(in, out, cs);
+  EXPECT_NEAR(out.at(5, 5, 5), cs.c0(), 1e-14);
+  EXPECT_NEAR(out.at(3, 5, 5), cs.c(2), 1e-14);
+  EXPECT_NEAR(out.at(5, 6, 5), cs.c(1), 1e-14);
+  EXPECT_NEAR(out.at(5, 5, 7), cs.c(2), 1e-14);
+  EXPECT_NEAR(out.at(4, 6, 5), 0.0, 1e-14);  // star stencil: no diagonals
+}
+
+TEST(Reference, BlockedMatchesNaive) {
+  const StencilCoeffs cs = StencilCoeffs::random(3, 5);
+  const Grid3<double> in = Grid3<double>::random({20, 14, 9}, 3, 99);
+  Grid3<double> a({20, 14, 9}, 3);
+  Grid3<double> b({20, 14, 9}, 3);
+  apply_reference(in, a, cs);
+  for (int by : {1, 4, 7}) {
+    for (int bz : {2, 16}) {
+      apply_reference_blocked(in, b, cs, by, bz);
+      EXPECT_EQ(compare_grids(a, b).max_abs, 0.0) << by << "x" << bz;
+    }
+  }
+}
+
+TEST(Reference, RejectsBadInputs) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  Grid3<float> small({8, 8, 8}, 1);  // halo < radius
+  Grid3<float> out({8, 8, 8}, 2);
+  EXPECT_THROW(apply_reference(small, out, cs), std::invalid_argument);
+  Grid3<float> mismatched({10, 8, 8}, 2);
+  EXPECT_THROW(apply_reference(mismatched, out, cs), std::invalid_argument);
+  Grid3<float> in({8, 8, 8}, 2);
+  EXPECT_THROW(apply_reference_blocked(in, out, cs, 0, 4), std::invalid_argument);
+}
+
+// --- Iteration driver (Fig. 1) ----------------------------------------------------
+
+TEST(Iteration, RunsRequestedSteps) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  Grid3<double> a = Grid3<double>::random({8, 8, 8}, 1, 3);
+  Grid3<double> b({8, 8, 8}, 1);
+  const auto outcome = run_reference_loop(a, b, cs, StopCriteria{5, -1.0});
+  EXPECT_EQ(outcome.stats.steps_taken, 5);
+  EXPECT_FALSE(outcome.stats.converged);
+  ASSERT_NE(outcome.result, nullptr);
+}
+
+TEST(Iteration, SwapSemanticsMatchManualPingPong) {
+  const StencilCoeffs cs = StencilCoeffs::random(1, 21);
+  Grid3<double> a = Grid3<double>::random({10, 10, 6}, 1, 4);
+  Grid3<double> b({10, 10, 6}, 1);
+  Grid3<double> x(a);
+  Grid3<double> y({10, 10, 6}, 1);
+  const auto outcome = run_reference_loop(a, b, cs, StopCriteria{3, -1.0});
+  apply_reference(x, y, cs);   // step 1
+  apply_reference(y, x, cs);   // step 2
+  apply_reference(x, y, cs);   // step 3
+  EXPECT_EQ(compare_grids(*outcome.result, y).max_abs, 0.0);
+}
+
+TEST(Iteration, ConvergesOnConstantField) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  Grid3<double> a({8, 8, 8}, 2);
+  a.fill(1.0);
+  Grid3<double> b({8, 8, 8}, 2);
+  b.fill(1.0);
+  const auto outcome = run_reference_loop(a, b, cs, StopCriteria{100, 1e-12});
+  EXPECT_TRUE(outcome.stats.converged);
+  EXPECT_EQ(outcome.stats.steps_taken, 1);
+}
+
+TEST(Iteration, DiffusionDecaysTowardsMean) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  Grid3<double> a({12, 12, 12}, 1);
+  a.fill(0.0);
+  a.at(6, 6, 6) = 100.0;
+  Grid3<double> b({12, 12, 12}, 1);
+  const auto outcome = run_reference_loop(a, b, cs, StopCriteria{20, -1.0});
+  EXPECT_LT(outcome.result->at(6, 6, 6), 100.0);
+  EXPECT_GT(outcome.result->at(5, 6, 6), 0.0);
+}
+
+TEST(Iteration, NullKernelRejected) {
+  Grid3<float> a({4, 4, 4}, 1), b({4, 4, 4}, 1);
+  EXPECT_THROW(run_iterative_stencil<float>(a, b, nullptr, StopCriteria{1, -1.0}),
+               std::invalid_argument);
+}
+
+// --- Grid comparison ----------------------------------------------------------------
+
+TEST(GridCompare, FindsWorstPoint) {
+  Grid3<float> a({8, 8, 8}, 0);
+  Grid3<float> b({8, 8, 8}, 0);
+  b.at(3, 4, 5) = 2.0f;
+  const GridDiff diff = compare_grids(a, b);
+  EXPECT_EQ(diff.max_abs, 2.0);
+  EXPECT_EQ(diff.worst_i, 3);
+  EXPECT_EQ(diff.worst_j, 4);
+  EXPECT_EQ(diff.worst_k, 5);
+}
+
+TEST(GridCompare, AllCloseTolerances) {
+  Grid3<double> a({4, 4, 4}, 0);
+  Grid3<double> b({4, 4, 4}, 0);
+  a.fill(1000.0);
+  b.fill(1000.1);
+  EXPECT_FALSE(grids_allclose(a, b, 1e-3, 1e-6));
+  EXPECT_TRUE(grids_allclose(a, b, 0.2, 1e-6));
+  EXPECT_TRUE(grids_allclose(a, b, 1e-9, 1e-3));  // relative passes
+}
+
+TEST(GridCompare, ExtentMismatchThrows) {
+  Grid3<float> a({4, 4, 4}, 0);
+  Grid3<float> b({4, 4, 5}, 0);
+  EXPECT_THROW((void)compare_grids(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace inplane

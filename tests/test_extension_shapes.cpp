@@ -1,0 +1,118 @@
+// Shape-regression tests for the extension benches, mirroring
+// test_paper_shapes.cpp: if these break, an extension no longer shows the
+// physics its bench documents.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_kernel.hpp"
+#include "autotune/stochastic.hpp"
+#include "autotune/tuner.hpp"
+#include "multigpu/multi_gpu.hpp"
+#include "temporal/temporal_kernel.hpp"
+
+namespace inplane {
+namespace {
+
+using kernels::LaunchConfig;
+using kernels::Method;
+
+const Extent3 kGrid{512, 512, 256};
+
+double tuned_single(const gpusim::DeviceSpec& dev, int order) {
+  return autotune::exhaustive_tune<float>(Method::InPlaneFullSlice,
+                                          StencilCoeffs::diffusion(order / 2), dev,
+                                          kGrid)
+      .best.timing.mpoints_per_s;
+}
+
+double tuned_temporal_updates(const gpusim::DeviceSpec& dev, int order) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  autotune::SearchSpace space;
+  double best = 0.0;
+  for (const auto& cfg : space.enumerate(dev, kGrid, Method::InPlaneFullSlice,
+                                         cs.radius(), sizeof(float), 4)) {
+    const temporal::TemporalInPlaneKernel<float> k(cs, cfg);
+    const auto t = temporal::time_temporal_kernel(k, dev, kGrid);
+    if (t.valid) best = std::max(best, t.mpoints_per_s * 2.0);
+  }
+  return best;
+}
+
+// Temporal blocking wins clearly at order 2 and loses by order 8 — the
+// shared-ring/ghost-zone crossover of bench_temporal_extension.
+TEST(ExtensionShapes, TemporalCrossover) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const double gain_o2 = tuned_temporal_updates(dev, 2) / tuned_single(dev, 2);
+  const double gain_o8 = tuned_temporal_updates(dev, 8) / tuned_single(dev, 8);
+  EXPECT_GT(gain_o2, 1.3);
+  EXPECT_LT(gain_o8, 1.0);
+  EXPECT_GT(gain_o2, gain_o8);
+}
+
+// Multi-GPU scaling: near-linear at order 2 with 4 devices; exchange-bound
+// saturation at order 8 (the PCIe wall of bench_multigpu_scaling).
+TEST(ExtensionShapes, MultiGpuScalingAndSaturation) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const auto estimate = [&](int order, int n) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    const auto cfg = autotune::exhaustive_tune<float>(Method::InPlaneFullSlice, cs,
+                                                      dev, kGrid)
+                         .best.config;
+    multigpu::MultiGpuOptions opt;
+    opt.n_devices = n;
+    return multigpu::MultiGpuStencil<float>(Method::InPlaneFullSlice, cs, cfg, opt)
+        .estimate(dev, kGrid);
+  };
+  const auto o2 = estimate(2, 4);
+  ASSERT_TRUE(o2.valid);
+  EXPECT_GT(o2.parallel_efficiency, 0.9);
+  const auto o8_2 = estimate(8, 2);
+  const auto o8_8 = estimate(8, 8);
+  ASSERT_TRUE(o8_2.valid && o8_8.valid);
+  // Exchange-bound: adding devices beyond the wall buys (almost) nothing.
+  EXPECT_LT(o8_8.mpoints_per_s, o8_2.mpoints_per_s * 2.5);
+  EXPECT_LT(o8_8.parallel_efficiency, 0.5);
+}
+
+// Stochastic tuning never beats exhaustive but must find a usable point.
+TEST(ExtensionShapes, StochasticBounded) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx680();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const double exh = tuned_single(dev, 2);
+  autotune::StochasticOptions opt;
+  opt.max_evaluations = 20;
+  const auto sto =
+      autotune::stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, opt);
+  ASSERT_TRUE(sto.found());
+  EXPECT_LE(sto.best.timing.mpoints_per_s, exh * 1.0001);
+  EXPECT_GE(sto.best.timing.mpoints_per_s, exh * 0.5);
+}
+
+// The extra application stencils keep the Fig. 11 ordering logic: the
+// coefficient-heavy seismic kernel gains less than the pure wave kernel.
+TEST(ExtensionShapes, ExtraAppsOrdering) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  autotune::SearchSpace space;
+  const auto tuned_app = [&](const apps::AppFormula& f) {
+    const apps::AppKernel<float> nv(f, apps::AppMethod::ForwardPlane,
+                                    LaunchConfig::nvstencil_default());
+    const double base = apps::time_app_kernel(nv, dev, kGrid).mpoints_per_s;
+    double best = 0.0;
+    for (const auto& cfg : space.enumerate(dev, kGrid, Method::InPlaneFullSlice,
+                                           std::max(f.radius(), 1), sizeof(float),
+                                           4)) {
+      const apps::AppKernel<float> k(f, apps::AppMethod::InPlaneFullSlice, cfg);
+      const auto t = apps::time_app_kernel(k, dev, kGrid);
+      if (t.valid) best = std::max(best, t.mpoints_per_s);
+    }
+    return best / base;
+  };
+  const double wave_gain = tuned_app(apps::wave());
+  const double rtm_gain = tuned_app(apps::seismic_rtm());
+  EXPECT_GT(wave_gain, rtm_gain);
+  EXPECT_GT(wave_gain, 1.3);
+  EXPECT_GT(rtm_gain, 1.0);
+}
+
+}  // namespace
+}  // namespace inplane

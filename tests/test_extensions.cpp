@@ -1,0 +1,270 @@
+// Extension modules: the stochastic tuner, the extra application stencils
+// (wave, seismic RTM), binary grid I/O, and the multi-GPU decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "apps/app_kernel.hpp"
+#include "autotune/stochastic.hpp"
+#include "core/grid_compare.hpp"
+#include "core/grid_io.hpp"
+#include "core/reference.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace inplane {
+namespace {
+
+using kernels::LaunchConfig;
+using kernels::Method;
+
+// --- Stochastic tuner ---------------------------------------------------------
+
+TEST(StochasticTune, FindsNearOptimalWithSmallBudget) {
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  for (int order : {2, 8}) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    const autotune::TuneResult exh =
+        autotune::exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, grid);
+    autotune::StochasticOptions opt;
+    opt.max_evaluations = 40;
+    opt.restarts = 4;
+    const autotune::TuneResult sto = autotune::stochastic_tune<float>(
+        Method::InPlaneFullSlice, cs, dev, grid, opt);
+    ASSERT_TRUE(sto.found());
+    EXPECT_LE(sto.executed, 40u);
+    EXPECT_LT(sto.executed, exh.executed);
+    EXPECT_GE(sto.best.timing.mpoints_per_s, exh.best.timing.mpoints_per_s * 0.9)
+        << "order " << order;
+  }
+}
+
+TEST(StochasticTune, DeterministicPerSeed) {
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::tesla_c2070();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  autotune::StochasticOptions opt;
+  opt.seed = 99;
+  const auto a = autotune::stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                                  grid, opt);
+  const auto b = autotune::stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                                  grid, opt);
+  EXPECT_EQ(a.best.config, b.best.config);
+  EXPECT_EQ(a.executed, b.executed);
+}
+
+TEST(StochasticTune, RespectsBudget) {
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx680();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  autotune::StochasticOptions opt;
+  opt.max_evaluations = 5;
+  opt.restarts = 10;
+  const auto t = autotune::stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                                  grid, opt);
+  EXPECT_LE(t.executed, 5u);
+}
+
+// --- Extra application stencils ---------------------------------------------------
+
+template <typename T>
+void expect_extra_app_matches(const apps::AppFormula& formula) {
+  const Extent3 extent{64, 32, 12};
+  const apps::AppKernel<T> kernel(formula, apps::AppMethod::InPlaneFullSlice,
+                                  LaunchConfig{16, 4, 2, 2, 2});
+  std::vector<Grid3<T>> inputs = apps::make_input_grids_for(kernel, extent);
+  std::uint64_t salt = 3;
+  for (auto& g : inputs) {
+    const double phase = 0.13 * static_cast<double>(salt++);
+    g.fill_with_halo([&](int i, int j, int k) {
+      return static_cast<T>(1.0 + 0.5 * std::sin(0.09 * i + phase) + 0.02 * j -
+                            0.01 * k);
+    });
+  }
+  std::vector<Grid3<T>> outputs = apps::make_output_grids_for(kernel, extent);
+  std::vector<const Grid3<T>*> in_ptrs;
+  std::vector<Grid3<T>*> out_ptrs;
+  for (auto& g : inputs) in_ptrs.push_back(&g);
+  for (auto& g : outputs) out_ptrs.push_back(&g);
+  apps::run_app_kernel<T>(kernel, in_ptrs, out_ptrs,
+                          gpusim::DeviceSpec::geforce_gtx580());
+
+  std::vector<Grid3<T>> gold_in;
+  for (auto& g : inputs) {
+    gold_in.emplace_back(extent, formula.radius());
+    gold_in.back().fill_with_halo([&](int i, int j, int k) { return g.at(i, j, k); });
+  }
+  std::vector<Grid3<T>> gold_out;
+  for (int o = 0; o < formula.n_outputs(); ++o) gold_out.emplace_back(extent, formula.radius());
+  std::vector<const Grid3<T>*> gin;
+  std::vector<Grid3<T>*> gout;
+  for (auto& g : gold_in) gin.push_back(&g);
+  for (auto& g : gold_out) gout.push_back(&g);
+  apps::apply_formula<T>(formula, gin, gout);
+  EXPECT_LE(compare_grids(outputs[0], gold_out[0]).max_abs,
+            sizeof(T) == 8 ? 1e-11 : 1e-3)
+      << formula.name();
+}
+
+TEST(ExtraApps, WaveMatchesReference) {
+  expect_extra_app_matches<double>(apps::wave());
+  expect_extra_app_matches<float>(apps::wave());
+}
+
+TEST(ExtraApps, SeismicRtmMatchesReference) {
+  expect_extra_app_matches<double>(apps::seismic_rtm());
+}
+
+TEST(ExtraApps, Structure) {
+  const apps::AppFormula w = apps::wave();
+  EXPECT_EQ(w.n_inputs(), 2);
+  EXPECT_EQ(w.radius(), 1);
+  const apps::AppFormula s = apps::seismic_rtm();
+  EXPECT_EQ(s.n_inputs(), 3);
+  EXPECT_EQ(s.radius(), 4);
+  EXPECT_EQ(s.queue_depth(), 4);
+  EXPECT_TRUE(s.centre_read(2));  // the velocity grid
+}
+
+// --- Grid I/O -----------------------------------------------------------------------
+
+TEST(GridIo, RoundTripsBitExactly) {
+  Grid3<double> g = Grid3<double>::random({20, 12, 8}, 3, 7);
+  g.at(-3, -3, -3) = 42.0;  // halo content must survive too
+  save_grid(g, "test_io_tmp/grid.ipg");
+  const Grid3<double> back = load_grid<double>("test_io_tmp/grid.ipg");
+  EXPECT_EQ(back.extent(), g.extent());
+  EXPECT_EQ(back.halo(), g.halo());
+  EXPECT_EQ(back.at(-3, -3, -3), 42.0);
+  EXPECT_EQ(compare_grids(g, back).max_abs, 0.0);
+  std::filesystem::remove_all("test_io_tmp");
+}
+
+TEST(GridIo, PreservesLayoutParameters) {
+  Grid3<float> g({16, 8, 4}, 2, 64, 2);
+  g.fill_interior([](int i, int, int) { return float(i); });
+  save_grid(g, "test_io_tmp/layout.ipg");
+  const Grid3<float> back = load_grid<float>("test_io_tmp/layout.ipg");
+  EXPECT_EQ(back.alignment(), 64u);
+  EXPECT_EQ(back.align_offset(), 2);
+  EXPECT_EQ(back.pitch_x(), g.pitch_x());
+  std::filesystem::remove_all("test_io_tmp");
+}
+
+TEST(GridIo, RejectsWrongTypeAndGarbage) {
+  Grid3<float> g({4, 4, 4}, 1);
+  save_grid(g, "test_io_tmp/f.ipg");
+  EXPECT_THROW((void)load_grid<double>("test_io_tmp/f.ipg"), std::runtime_error);
+  EXPECT_THROW((void)load_grid<float>("test_io_tmp/missing.ipg"), std::runtime_error);
+  std::filesystem::remove_all("test_io_tmp");
+}
+
+TEST(GridIo, CsvExport) {
+  Grid3<float> g({3, 2, 2}, 0);
+  g.fill_interior([](int i, int j, int k) { return float(i + 10 * j + 100 * k); });
+  export_plane_csv(g, 1, "test_io_tmp/plane.csv");
+  std::ifstream in("test_io_tmp/plane.csv");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "100,101,102");
+  std::getline(in, line);
+  EXPECT_EQ(line, "110,111,112");
+  EXPECT_THROW(export_plane_csv(g, 5, "x.csv"), std::invalid_argument);
+  std::filesystem::remove_all("test_io_tmp");
+}
+
+// --- Multi-GPU decomposition ----------------------------------------------------------
+
+TEST(MultiGpu, MultiStepMatchesReference) {
+  const Extent3 extent{32, 16, 12};
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  for (int n : {1, 2, 3}) {
+    multigpu::MultiGpuOptions opt;
+    opt.n_devices = n;
+    const multigpu::MultiGpuStencil<double> mg(Method::InPlaneFullSlice, cs,
+                                               LaunchConfig{16, 4, 1, 1, 2}, opt);
+    Grid3<double> a(extent, 1, 32, 1);
+    a.fill_with_halo([](int i, int j, int k) {
+      return std::sin(0.2 * i) + 0.1 * j - 0.05 * k;
+    });
+    Grid3<double> b(extent, 1, 32, 1);
+    b.fill_with_halo([&](int i, int j, int k) { return a.at(i, j, k); });
+    mg.run(a, b, gpusim::DeviceSpec::geforce_gtx580(), 3);
+
+    // Gold: three whole-grid reference sweeps (frozen halo) from the same
+    // initial condition.
+    Grid3<double> init(extent, 1);
+    init.fill_with_halo([](int i, int j, int k) {
+      return std::sin(0.2 * i) + 0.1 * j - 0.05 * k;
+    });
+    Grid3<double> y(extent, 1);
+    y.fill_with_halo([&](int i, int j, int k) { return init.at(i, j, k); });
+    apply_reference(init, y, cs);
+    Grid3<double> z(extent, 1);
+    z.fill_with_halo([&](int i, int j, int k) { return init.at(i, j, k); });
+    apply_reference(y, z, cs);
+    apply_reference(z, y, cs);
+    EXPECT_LE(compare_grids(a, y).max_abs, 1e-12) << n << " devices";
+  }
+}
+
+TEST(MultiGpu, ValidationErrors) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  multigpu::MultiGpuOptions opt;
+  opt.n_devices = 3;
+  const multigpu::MultiGpuStencil<float> mg(Method::InPlaneFullSlice, cs,
+                                            LaunchConfig{16, 4, 1, 1, 4}, opt);
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  EXPECT_TRUE(mg.validate(dev, {32, 16, 16}).has_value());   // 16 % 3 != 0
+  EXPECT_TRUE(mg.validate(dev, {32, 16, 3}).has_value());    // slabs too thin
+  EXPECT_FALSE(mg.validate(dev, {32, 16, 12}).has_value());
+  EXPECT_THROW(multigpu::MultiGpuStencil<float>(Method::InPlaneFullSlice, cs,
+                                                LaunchConfig{16, 4, 1, 1, 4},
+                                                multigpu::MultiGpuOptions{0}),
+               std::invalid_argument);
+}
+
+TEST(MultiGpu, ScalingTiming) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  double prev_mpts = 0.0;
+  for (int n : {1, 2, 4}) {
+    multigpu::MultiGpuOptions opt;
+    opt.n_devices = n;
+    const multigpu::MultiGpuStencil<float> mg(Method::InPlaneFullSlice, cs,
+                                              LaunchConfig{64, 8, 1, 2, 4}, opt);
+    const auto t = mg.estimate(dev, grid);
+    ASSERT_TRUE(t.valid) << t.invalid_reason;
+    EXPECT_GT(t.mpoints_per_s, prev_mpts) << n;  // more devices, more throughput
+    EXPECT_LE(t.parallel_efficiency, 1.05) << n;
+    if (n > 1) {
+      EXPECT_GT(t.exchange_seconds, 0.0);
+      EXPECT_GT(t.parallel_efficiency, 0.5) << n;  // slabs still deep enough
+    }
+    prev_mpts = t.mpoints_per_s;
+  }
+}
+
+TEST(MultiGpu, ExchangeGrowsWithRadiusAndSerialisesWithoutOverlap) {
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  multigpu::MultiGpuOptions opt;
+  opt.n_devices = 2;
+  const auto exchange = [&](int r, bool overlap) {
+    multigpu::MultiGpuOptions o = opt;
+    o.overlap_exchange = overlap;
+    const multigpu::MultiGpuStencil<float> mg(Method::InPlaneFullSlice,
+                                              StencilCoeffs::diffusion(r),
+                                              LaunchConfig{64, 8, 1, 1, 4}, o);
+    return mg.estimate(dev, grid);
+  };
+  EXPECT_GT(exchange(4, true).exchange_seconds, exchange(1, true).exchange_seconds);
+  EXPECT_GT(exchange(2, false).total_seconds, exchange(2, true).total_seconds);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -1,0 +1,312 @@
+// gpusim substrate units: the warp coalescer, shared-memory banking,
+// global memory mapping, trace accounting, and the BlockCtx SIMT facade.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/coalescer.hpp"
+#include "gpusim/global_memory.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/trace.hpp"
+
+namespace inplane::gpusim {
+namespace {
+
+std::array<LaneAccess, 32> lanes_contiguous(std::uint64_t base, std::uint32_t bytes) {
+  std::array<LaneAccess, 32> lanes;
+  for (int i = 0; i < 32; ++i) {
+    lanes[static_cast<std::size_t>(i)] = {base + static_cast<std::uint64_t>(i) * bytes,
+                                          bytes, true};
+  }
+  return lanes;
+}
+
+// --- Coalescer ---------------------------------------------------------------
+
+TEST(Coalescer, AlignedContiguousFloatsAreOneFermiLine) {
+  const auto lanes = lanes_contiguous(0, 4);
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes_requested, 128u);
+  EXPECT_EQ(r.bytes_transferred, 128u);
+}
+
+TEST(Coalescer, MisalignedContiguousFloatsCostOneExtraLine) {
+  const auto lanes = lanes_contiguous(4, 4);  // shifted by one element
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.transactions, 2u);
+  EXPECT_EQ(r.bytes_transferred, 256u);
+}
+
+TEST(Coalescer, KeplerSegmentsAreFiner) {
+  const auto lanes = lanes_contiguous(4, 4);
+  const CoalesceResult r = coalesce(lanes, 32);
+  EXPECT_EQ(r.transactions, 5u);  // 128 B span misaligned over 32 B sectors
+  EXPECT_EQ(r.bytes_transferred, 160u);
+}
+
+TEST(Coalescer, StridedColumnAccessIsOneTransactionPerLane) {
+  std::array<LaneAccess, 32> lanes;
+  for (int i = 0; i < 32; ++i) {
+    lanes[static_cast<std::size_t>(i)] = {static_cast<std::uint64_t>(i) * 2048, 4,
+                                          true};
+  }
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.transactions, 32u);
+  EXPECT_EQ(r.bytes_requested, 128u);
+  EXPECT_EQ(r.bytes_transferred, 32u * 128u);
+}
+
+TEST(Coalescer, BroadcastIsOneTransaction) {
+  std::array<LaneAccess, 32> lanes;
+  for (auto& l : lanes) l = {1000, 4, true};
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.transactions, 1u);
+}
+
+TEST(Coalescer, InactiveLanesDoNotCount) {
+  auto lanes = lanes_contiguous(0, 4);
+  for (std::size_t i = 1; i < 32; ++i) lanes[i].active = false;
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes_requested, 4u);
+}
+
+TEST(Coalescer, AllInactiveMeansNoInstruction) {
+  auto lanes = lanes_contiguous(0, 4);
+  for (auto& l : lanes) l.active = false;
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_FALSE(r.any_active);
+  EXPECT_EQ(r.transactions, 0u);
+}
+
+TEST(Coalescer, VectorLoadsReduceNothingInBytesButSpanSegments) {
+  const auto lanes = lanes_contiguous(0, 16);  // float4 per lane
+  const CoalesceResult r = coalesce(lanes, 128);
+  EXPECT_EQ(r.bytes_requested, 512u);
+  EXPECT_EQ(r.transactions, 4u);
+  EXPECT_EQ(r.bytes_transferred, 512u);
+}
+
+TEST(Coalescer, EfficiencyNeverAboveOne) {
+  for (std::uint64_t stride : {4u, 8u, 20u, 132u}) {
+    std::array<LaneAccess, 32> lanes;
+    for (int i = 0; i < 32; ++i) {
+      lanes[static_cast<std::size_t>(i)] = {7 + static_cast<std::uint64_t>(i) * stride,
+                                            4, true};
+    }
+    const CoalesceResult r = coalesce(lanes, 128);
+    EXPECT_LE(r.bytes_requested, r.bytes_transferred) << "stride " << stride;
+  }
+}
+
+TEST(Coalescer, RejectsBadSegmentSize) {
+  const auto lanes = lanes_contiguous(0, 4);
+  EXPECT_THROW((void)coalesce(lanes, 0), std::invalid_argument);
+  EXPECT_THROW((void)coalesce(lanes, 96), std::invalid_argument);
+}
+
+// --- Shared memory ------------------------------------------------------------
+
+std::array<SmemLaneAccess, 32> smem_lanes(std::uint32_t base, std::uint32_t stride) {
+  std::array<SmemLaneAccess, 32> lanes;
+  for (int i = 0; i < 32; ++i) {
+    lanes[static_cast<std::size_t>(i)] = {base + static_cast<std::uint32_t>(i) * stride,
+                                          4, true};
+  }
+  return lanes;
+}
+
+TEST(SharedMemory, ContiguousWordsAreConflictFree) {
+  const SharedMemory smem(4096);
+  EXPECT_EQ(smem.analyze(smem_lanes(0, 4)).replays, 0u);
+}
+
+TEST(SharedMemory, SameWordBroadcastsWithoutConflict) {
+  const SharedMemory smem(4096);
+  EXPECT_EQ(smem.analyze(smem_lanes(64, 0)).replays, 0u);
+}
+
+TEST(SharedMemory, PowerOfTwoStrideConflicts) {
+  const SharedMemory smem(32768);
+  // Stride of 32 words = every lane in the same bank: 31 replays.
+  EXPECT_EQ(smem.analyze(smem_lanes(0, 128)).replays, 31u);
+  // Stride of 2 words: 2-way conflict.
+  EXPECT_EQ(smem.analyze(smem_lanes(0, 8)).replays, 1u);
+}
+
+TEST(SharedMemory, FunctionalReadWriteRoundTrip) {
+  SharedMemory smem(256);
+  const float v = 3.5f;
+  smem.write(12, &v, sizeof v);
+  float out = 0.0f;
+  smem.read(12, &out, sizeof out);
+  EXPECT_EQ(out, v);
+}
+
+TEST(SharedMemory, BoundsChecked) {
+  SharedMemory smem(16);
+  float v = 0.0f;
+  EXPECT_THROW(smem.read(13, &v, sizeof v), std::out_of_range);
+  EXPECT_THROW(smem.write(16, &v, sizeof v), std::out_of_range);
+}
+
+// --- Global memory -------------------------------------------------------------
+
+TEST(GlobalMemory, MapsBuffersAtDisjointAlignedBases) {
+  GlobalMemory gmem;
+  std::vector<std::byte> a(100), b(200);
+  const BufferId ia = gmem.map(a);
+  const BufferId ib = gmem.map(b);
+  EXPECT_EQ(gmem.base(ia) % 512, 0u);
+  EXPECT_EQ(gmem.base(ib) % 512, 0u);
+  EXPECT_GE(gmem.base(ib), gmem.base(ia) + 100);
+}
+
+TEST(GlobalMemory, FunctionalRoundTrip) {
+  GlobalMemory gmem;
+  std::vector<std::byte> buf(64);
+  const BufferId id = gmem.map(buf);
+  const double v = 2.25;
+  gmem.write(gmem.base(id) + 16, &v, sizeof v);
+  double out = 0.0;
+  gmem.read(gmem.base(id) + 16, &out, sizeof out);
+  EXPECT_EQ(out, v);
+  EXPECT_EQ(*reinterpret_cast<double*>(buf.data() + 16), v);
+}
+
+TEST(GlobalMemory, WildAddressesThrow) {
+  GlobalMemory gmem;
+  std::vector<std::byte> buf(64);
+  const BufferId id = gmem.map(buf);
+  double v = 0.0;
+  EXPECT_THROW(gmem.read(gmem.base(id) + 60, &v, sizeof v), std::out_of_range);
+  EXPECT_THROW(gmem.read(0, &v, sizeof v), std::out_of_range);
+}
+
+TEST(GlobalMemory, ReadOnlyMappingRejectsWrites) {
+  GlobalMemory gmem;
+  const std::vector<std::byte> buf(64);
+  const BufferId id = gmem.map_readonly(buf);
+  double v = 1.0;
+  EXPECT_NO_THROW(gmem.read(gmem.base(id), &v, sizeof v));
+  EXPECT_THROW(gmem.write(gmem.base(id), &v, sizeof v), std::logic_error);
+}
+
+// --- TraceStats -----------------------------------------------------------------
+
+TEST(TraceStats, AdditionAndScaling) {
+  TraceStats a;
+  a.load_instrs = 10;
+  a.bytes_requested_ld = 100;
+  a.bytes_transferred_ld = 200;
+  a.flops = 7;
+  TraceStats b = a;
+  const TraceStats sum = a + b;
+  EXPECT_EQ(sum.load_instrs, 20u);
+  EXPECT_EQ(sum.flops, 14u);
+  const TraceStats half = sum.scaled_down(2);
+  EXPECT_EQ(half.load_instrs, 10u);
+  EXPECT_THROW((void)sum.scaled_down(0), std::invalid_argument);
+}
+
+TEST(TraceStats, LoadEfficiencyDefinition) {
+  TraceStats t;
+  EXPECT_EQ(t.load_efficiency(), 1.0);  // no loads: vacuously perfect
+  t.bytes_requested_ld = 50;
+  t.bytes_transferred_ld = 200;
+  EXPECT_DOUBLE_EQ(t.load_efficiency(), 0.25);
+}
+
+// --- BlockCtx ---------------------------------------------------------------------
+
+TEST(BlockCtx, TraceModeCountsWithoutTouchingMemory) {
+  GlobalMemory gmem;  // nothing mapped: any functional access would throw
+  const DeviceSpec dev = DeviceSpec::geforce_gtx580();
+  BlockCtx ctx(dev, gmem, 1024, ExecMode::Trace);
+  BlockCtx::GlobalLoadLane lanes[32];
+  for (int i = 0; i < 32; ++i) {
+    lanes[static_cast<std::size_t>(i)] = {static_cast<std::uint64_t>(4096 + 4 * i),
+                                          nullptr, 4, true};
+  }
+  EXPECT_NO_THROW(ctx.warp_load({lanes, 32}));
+  EXPECT_EQ(ctx.stats().load_instrs, 1u);
+  EXPECT_EQ(ctx.stats().load_transactions, 1u);
+}
+
+TEST(BlockCtx, BothModeMovesDataAndCounts) {
+  GlobalMemory gmem;
+  std::vector<std::byte> buf(4096);
+  const BufferId id = gmem.map(buf);
+  const DeviceSpec dev = DeviceSpec::geforce_gtx580();
+  BlockCtx ctx(dev, gmem, 1024, ExecMode::Both);
+
+  float src[32];
+  for (int i = 0; i < 32; ++i) src[static_cast<std::size_t>(i)] = float(i);
+  BlockCtx::GlobalStoreLane st[32];
+  for (int i = 0; i < 32; ++i) {
+    st[static_cast<std::size_t>(i)] = {gmem.base(id) + 4u * static_cast<unsigned>(i),
+                                       &src[static_cast<std::size_t>(i)], 4, true};
+  }
+  ctx.warp_store({st, 32});
+  EXPECT_EQ(ctx.stats().store_instrs, 1u);
+  EXPECT_EQ(*reinterpret_cast<float*>(buf.data() + 4 * 7), 7.0f);
+
+  float dst[32] = {};
+  BlockCtx::GlobalLoadLane ld[32];
+  for (int i = 0; i < 32; ++i) {
+    ld[static_cast<std::size_t>(i)] = {gmem.base(id) + 4u * static_cast<unsigned>(i),
+                                       &dst[static_cast<std::size_t>(i)], 4, true};
+  }
+  ctx.warp_load({ld, 32});
+  EXPECT_EQ(dst[13], 13.0f);
+}
+
+TEST(BlockCtx, EmptyWarpIsElided) {
+  GlobalMemory gmem;
+  const DeviceSpec dev = DeviceSpec::geforce_gtx680();
+  BlockCtx ctx(dev, gmem, 0, ExecMode::Trace);
+  BlockCtx::GlobalLoadLane lanes[32] = {};
+  ctx.warp_load({lanes, 32});
+  EXPECT_EQ(ctx.stats().load_instrs, 0u);
+}
+
+TEST(BlockCtx, RejectsOversizedSmem) {
+  GlobalMemory gmem;
+  const DeviceSpec dev = DeviceSpec::geforce_gtx580();
+  EXPECT_THROW(BlockCtx(dev, gmem, 49 * 1024, ExecMode::Trace), std::invalid_argument);
+}
+
+TEST(BlockCtx, WrongLaneCountThrows) {
+  GlobalMemory gmem;
+  const DeviceSpec dev = DeviceSpec::geforce_gtx580();
+  BlockCtx ctx(dev, gmem, 0, ExecMode::Trace);
+  BlockCtx::GlobalLoadLane lanes[16] = {};
+  EXPECT_THROW(ctx.warp_load({lanes, 16}), std::invalid_argument);
+}
+
+// --- DeviceSpec --------------------------------------------------------------------
+
+TEST(DeviceSpec, PeakNumbersMatchTableIII) {
+  const DeviceSpec gtx580 = DeviceSpec::geforce_gtx580();
+  EXPECT_NEAR(gtx580.peak_sp_gflops(), 1581.0, 2.0);
+  EXPECT_NEAR(gtx580.peak_dp_gflops(), 198.0, 1.0);
+  const DeviceSpec gtx680 = DeviceSpec::geforce_gtx680();
+  EXPECT_NEAR(gtx680.peak_sp_gflops(), 3090.0, 5.0);
+  EXPECT_NEAR(gtx680.peak_dp_gflops(), 129.0, 1.0);
+  const DeviceSpec c2070 = DeviceSpec::tesla_c2070();
+  EXPECT_NEAR(c2070.peak_sp_gflops(), 1030.0, 2.0);
+  EXPECT_NEAR(c2070.peak_dp_gflops(), 515.0, 1.0);
+}
+
+TEST(DeviceSpec, PaperDevicesInOrder) {
+  const auto devices = paper_devices();
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0].name, "GeForce GTX580");
+  EXPECT_EQ(devices[1].name, "GeForce GTX680");
+  EXPECT_EQ(devices[2].name, "Tesla C2070");
+  EXPECT_EQ(devices[1].coalesce_bytes, 32);  // Kepler L2 sectors
+}
+
+}  // namespace
+}  // namespace inplane::gpusim

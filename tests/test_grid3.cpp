@@ -1,0 +1,133 @@
+// GridLayout / Grid3: indexing, padding, halo addressing, and the
+// alignment guarantees the vectorised loading patterns depend on
+// (section III-C2).
+
+#include <gtest/gtest.h>
+
+#include "core/grid3.hpp"
+
+namespace inplane {
+namespace {
+
+TEST(GridLayout, InteriorRowStartIsAligned) {
+  for (int halo : {0, 1, 3, 6}) {
+    const GridLayout layout({40, 10, 5}, halo, sizeof(float), 32, 0);
+    for (int k = -halo; k < 5 + halo; ++k) {
+      for (int j = -halo; j < 10 + halo; ++j) {
+        EXPECT_EQ(layout.index(0, j, k) % 32, 0u) << "halo " << halo;
+      }
+    }
+  }
+}
+
+TEST(GridLayout, AlignOffsetShiftsTheAlignedColumn) {
+  for (int off : {1, 2, 4, 6}) {
+    const GridLayout layout({64, 8, 4}, 6, sizeof(float), 32, off);
+    EXPECT_EQ(layout.index(-off, 0, 0) % 32, 0u) << "offset " << off;
+    EXPECT_EQ(layout.index(-off, 3, 2) % 32, 0u) << "offset " << off;
+  }
+}
+
+TEST(GridLayout, PitchIsAlignedAndCoversRow) {
+  const GridLayout layout({100, 7, 3}, 2, sizeof(double), 32, 0);
+  EXPECT_EQ(layout.pitch_x() % 32, 0u);
+  EXPECT_GE(layout.pitch_x(), 100u + 2u * 2u);
+}
+
+TEST(GridLayout, IndexIsXFastestAndContiguous) {
+  const GridLayout layout({16, 4, 3}, 1, sizeof(float));
+  EXPECT_EQ(layout.index(5, 2, 1) + 1, layout.index(6, 2, 1));
+  EXPECT_EQ(layout.index(0, 2, 1) + layout.pitch_x(), layout.index(0, 3, 1));
+  EXPECT_EQ(layout.index(0, 2, 1) + layout.plane_stride(), layout.index(0, 2, 2));
+}
+
+TEST(GridLayout, ByteOffsetScalesWithElemSize) {
+  const GridLayout f({16, 4, 3}, 1, 4);
+  const GridLayout d({16, 4, 3}, 1, 8);
+  EXPECT_EQ(f.byte_offset(3, 1, 2) * 2, d.byte_offset(3, 1, 2));
+}
+
+TEST(GridLayout, DistinctCellsHaveDistinctIndices) {
+  const GridLayout layout({8, 6, 4}, 2, 4, 32, 1);
+  std::set<std::size_t> seen;
+  for (int k = -2; k < 6; ++k)
+    for (int j = -2; j < 8; ++j)
+      for (int i = -2; i < 10; ++i) {
+        EXPECT_TRUE(seen.insert(layout.index(i, j, k)).second);
+        EXPECT_LT(layout.index(i, j, k), layout.allocated());
+      }
+}
+
+TEST(GridLayout, RejectsBadParameters) {
+  EXPECT_THROW(GridLayout({0, 4, 4}, 1, 4), std::invalid_argument);
+  EXPECT_THROW(GridLayout({4, 4, 4}, -1, 4), std::invalid_argument);
+  EXPECT_THROW(GridLayout({4, 4, 4}, 1, 4, 24), std::invalid_argument);  // not pow2
+  EXPECT_THROW(GridLayout({4, 4, 4}, 1, 4, 32, 2), std::invalid_argument);  // > halo
+  EXPECT_THROW(GridLayout({4, 4, 4}, 1, 0), std::invalid_argument);  // elem size
+}
+
+TEST(Grid3, HaloAndInteriorAreIndependentlyAddressable) {
+  Grid3<float> g({8, 8, 8}, 2);
+  g.fill(0.0f);
+  g.at(-2, 0, 0) = 1.0f;
+  g.at(7, 9, 9) = 2.0f;
+  EXPECT_EQ(g.at(-2, 0, 0), 1.0f);
+  EXPECT_EQ(g.at(7, 9, 9), 2.0f);
+  EXPECT_EQ(g.at(0, 0, 0), 0.0f);
+}
+
+TEST(Grid3, FillInteriorLeavesHaloAlone) {
+  Grid3<double> g({4, 4, 4}, 1);
+  g.fill(-1.0);
+  g.fill_interior([](int i, int j, int k) { return double(i + j + k); });
+  EXPECT_EQ(g.at(-1, 0, 0), -1.0);
+  EXPECT_EQ(g.at(1, 2, 3), 6.0);
+  EXPECT_EQ(g.at(4, 0, 0), -1.0);
+}
+
+TEST(Grid3, FillWithHaloCoversEverything) {
+  Grid3<float> g({4, 4, 4}, 2);
+  g.fill_with_halo([](int i, int, int) { return static_cast<float>(i); });
+  EXPECT_EQ(g.at(-2, -2, -2), -2.0f);
+  EXPECT_EQ(g.at(5, 5, 5), 5.0f);
+}
+
+TEST(Grid3, RandomIsDeterministic) {
+  const auto a = Grid3<float>::random({8, 8, 4}, 1, 42);
+  const auto b = Grid3<float>::random({8, 8, 4}, 1, 42);
+  const auto c = Grid3<float>::random({8, 8, 4}, 1, 43);
+  EXPECT_EQ(a.at(3, 3, 3), b.at(3, 3, 3));
+  EXPECT_NE(a.at(3, 3, 3), c.at(3, 3, 3));
+}
+
+TEST(Grid3, LayoutConstructorChecksElemSize) {
+  const GridLayout layout({4, 4, 4}, 1, 8);
+  EXPECT_NO_THROW(Grid3<double>{layout});
+  EXPECT_THROW(Grid3<float>{layout}, std::invalid_argument);
+}
+
+TEST(Grid3, IsInterior) {
+  Grid3<float> g({4, 5, 6}, 2);
+  EXPECT_TRUE(g.is_interior(0, 0, 0));
+  EXPECT_TRUE(g.is_interior(3, 4, 5));
+  EXPECT_FALSE(g.is_interior(-1, 0, 0));
+  EXPECT_FALSE(g.is_interior(0, 5, 0));
+  EXPECT_FALSE(g.is_interior(0, 0, 6));
+}
+
+TEST(Extent3, VolumeAndValidation) {
+  EXPECT_EQ((Extent3{4, 5, 6}).volume(), 120u);
+  EXPECT_NO_THROW((Extent3{1, 1, 1}).validate());
+  EXPECT_THROW((Extent3{0, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((Extent3{1, -2, 1}).validate(), std::invalid_argument);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(0, 32), 0u);
+  EXPECT_EQ(round_up(1, 32), 32u);
+  EXPECT_EQ(round_up(32, 32), 32u);
+  EXPECT_EQ(round_up(33, 32), 64u);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -1,0 +1,151 @@
+// Correctness of every simulated kernel variant against the CPU reference —
+// the verification step of section IV-B ("The output of each kernel is
+// verified to be consistent with the result from the CPU-computed stencil
+// output"), run as a parameterised sweep over methods, stencil orders,
+// launch configurations, and precisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/grid_compare.hpp"
+#include "core/reference.hpp"
+#include "kernels/runner.hpp"
+
+namespace inplane::kernels {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::ExecMode;
+
+constexpr Extent3 kExtent{64, 32, 9};
+
+template <typename T>
+Grid3<T> make_input(const IStencilKernel<T>& kernel) {
+  Grid3<T> in = make_grid_for(kernel, kExtent);
+  // Fill interior AND halo with a smooth deterministic field so that halo
+  // handling errors (x, y, and the z pipeline fill/drain) change the
+  // answer.
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(std::sin(0.1 * i) + 0.05 * j + 0.02 * k * k -
+                          0.001 * i * j);
+  });
+  return in;
+}
+
+template <typename T>
+void expect_matches_reference(Method method, int order, LaunchConfig cfg,
+                              double tol) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  auto kernel = make_kernel<T>(method, cs, cfg);
+  const Grid3<T> in = make_input(*kernel);
+  Grid3<T> out = make_grid_for(*kernel, kExtent);
+  out.fill(static_cast<T>(-999));  // poison: unwritten interior points show up
+
+  run_kernel(*kernel, in, out, DeviceSpec::geforce_gtx580(), ExecMode::Functional);
+
+  Grid3<T> gold(kExtent, cs.radius());
+  gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  Grid3<T> gold_out(kExtent, cs.radius());
+  apply_reference(gold, gold_out, cs);
+
+  const GridDiff diff = compare_grids(out, gold_out);
+  EXPECT_LE(diff.max_abs, tol) << to_string(method) << " order " << order << " cfg "
+                               << cfg.to_string() << " worst at (" << diff.worst_i
+                               << "," << diff.worst_j << "," << diff.worst_k << ")";
+}
+
+struct Case {
+  Method method;
+  int order;
+  LaunchConfig cfg;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string method = to_string(c.method);
+  for (char& ch : method) {
+    if (ch == '-') ch = '_';
+  }
+  return method + "_o" + std::to_string(c.order) + "_t" +
+         std::to_string(c.cfg.tx) + "x" + std::to_string(c.cfg.ty) + "_r" +
+         std::to_string(c.cfg.rx) + "x" + std::to_string(c.cfg.ry) + "_v" +
+         std::to_string(c.cfg.vec);
+}
+
+class KernelVsReference : public testing::TestWithParam<Case> {};
+
+TEST_P(KernelVsReference, FloatMatches) {
+  const Case& c = GetParam();
+  // float: the in-plane accumulation reorders sums; allow a loose ULP band.
+  expect_matches_reference<float>(c.method, c.order, c.cfg, 2e-4);
+}
+
+TEST_P(KernelVsReference, DoubleMatches) {
+  const Case& c = GetParam();
+  LaunchConfig cfg = c.cfg;
+  if (cfg.vec == 4) cfg.vec = 2;  // double4 loads exceed 16 bytes
+  expect_matches_reference<double>(c.method, c.order, cfg, 1e-12);
+}
+
+std::vector<Case> all_cases() {
+  const std::vector<Method> methods = {
+      Method::ForwardPlane, Method::InPlaneClassical, Method::InPlaneVertical,
+      Method::InPlaneHorizontal, Method::InPlaneFullSlice};
+  const std::vector<LaunchConfig> configs = {
+      LaunchConfig{16, 4, 1, 1, 1},  LaunchConfig{32, 4, 1, 1, 4},
+      LaunchConfig{16, 2, 2, 2, 2},  LaunchConfig{32, 2, 2, 4, 4},
+      LaunchConfig{64, 8, 1, 1, 2},  LaunchConfig{16, 1, 4, 8, 4},
+      LaunchConfig{32, 16, 1, 2, 1},
+  };
+  std::vector<Case> cases;
+  for (Method m : methods) {
+    for (int order : {2, 4, 6}) {
+      for (const LaunchConfig& cfg : configs) {
+        cases.push_back({m, order, cfg});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, KernelVsReference, testing::ValuesIn(all_cases()),
+                         case_name);
+
+// Random (asymmetric) coefficients catch sign/offset bugs that symmetric
+// diffusion weights can mask.
+TEST(KernelVsReferenceRandomCoeffs, FullSliceOrder8Double) {
+  const StencilCoeffs cs = StencilCoeffs::random(4, /*seed=*/42);
+  auto kernel = make_kernel<double>(Method::InPlaneFullSlice, cs,
+                                    LaunchConfig{16, 4, 2, 2, 2});
+  const Grid3<double> in = make_input(*kernel);
+  Grid3<double> out = make_grid_for(*kernel, kExtent);
+  run_kernel(*kernel, in, out, gpusim::DeviceSpec::tesla_c2070(),
+             ExecMode::Functional);
+
+  Grid3<double> gold(kExtent, cs.radius());
+  gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  Grid3<double> gold_out(kExtent, cs.radius());
+  apply_reference(gold, gold_out, cs);
+  EXPECT_LE(compare_grids(out, gold_out).max_abs, 1e-11);
+}
+
+TEST(KernelVsReferenceRandomCoeffs, ForwardPlaneOrder8Double) {
+  const StencilCoeffs cs = StencilCoeffs::random(4, /*seed=*/43);
+  auto kernel =
+      make_kernel<double>(Method::ForwardPlane, cs, LaunchConfig{32, 8, 1, 1, 1});
+  const Grid3<double> in = make_input(*kernel);
+  Grid3<double> out = make_grid_for(*kernel, kExtent);
+  run_kernel(*kernel, in, out, gpusim::DeviceSpec::geforce_gtx680(),
+             ExecMode::Functional);
+
+  Grid3<double> gold(kExtent, cs.radius());
+  gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  Grid3<double> gold_out(kExtent, cs.radius());
+  apply_reference(gold, gold_out, cs);
+  EXPECT_LE(compare_grids(out, gold_out).max_abs, 1e-11);
+}
+
+}  // namespace
+}  // namespace inplane::kernels

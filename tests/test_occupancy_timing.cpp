@@ -1,0 +1,190 @@
+// Occupancy (Eqn. (7)) and the timing model: limits, limiter attribution,
+// the staging equations (6), (8), (9), and monotonicity properties the
+// auto-tuner relies on.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/occupancy.hpp"
+#include "gpusim/timing.hpp"
+#include "kernels/runner.hpp"
+
+namespace inplane::gpusim {
+namespace {
+
+const DeviceSpec kFermi = DeviceSpec::geforce_gtx580();
+
+TEST(Occupancy, RegisterLimited) {
+  // 32 regs x 1024 threads = the whole register file: exactly one block.
+  const Occupancy occ = Occupancy::compute(kFermi, {32, 1024, 1024});
+  EXPECT_EQ(occ.active_blocks, 1);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Registers);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const Occupancy occ = Occupancy::compute(kFermi, {8, 20 * 1024, 64});
+  EXPECT_EQ(occ.active_blocks, 2);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::SharedMem);
+}
+
+TEST(Occupancy, WarpLimited) {
+  // 512 threads = 16 warps; 48 warps max -> 3 blocks.
+  const Occupancy occ = Occupancy::compute(kFermi, {10, 64, 512});
+  EXPECT_EQ(occ.active_blocks, 3);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Warps);
+}
+
+TEST(Occupancy, BlockLimited) {
+  const Occupancy occ = Occupancy::compute(kFermi, {8, 16, 32});
+  EXPECT_EQ(occ.active_blocks, kFermi.max_blocks_per_sm);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Blocks);
+}
+
+TEST(Occupancy, InvalidConfigurations) {
+  EXPECT_EQ(Occupancy::compute(kFermi, {8, 16, 2048}).active_blocks, 0);   // threads
+  EXPECT_EQ(Occupancy::compute(kFermi, {80, 16, 64}).active_blocks, 0);    // regs/thread
+  EXPECT_EQ(Occupancy::compute(kFermi, {8, 64 * 1024, 64}).active_blocks, 0);  // smem
+  EXPECT_EQ(Occupancy::compute(kFermi, {8, 16, 0}).active_blocks, 0);      // no threads
+}
+
+TEST(Occupancy, ActiveWarps) {
+  const Occupancy occ = Occupancy::compute(kFermi, {16, 1024, 96});
+  EXPECT_EQ(occ.warps_per_block, 3);
+  EXPECT_EQ(occ.active_warps(), occ.active_blocks * 3);
+}
+
+TEST(Occupancy, KeplerHasMoreRoom) {
+  const DeviceSpec kepler = DeviceSpec::geforce_gtx680();
+  const KernelResources res{32, 2048, 256};
+  EXPECT_GT(Occupancy::compute(kepler, res).active_blocks,
+            Occupancy::compute(kFermi, res).active_blocks);
+}
+
+// --- Timing model -------------------------------------------------------------
+
+TimingInput base_input() {
+  TimingInput in;
+  in.grid = {512, 512, 256};
+  in.radius = 1;
+  in.tile_w = 64;
+  in.tile_h = 16;
+  in.resources = {24, 4096, 256};
+  in.per_plane.load_instrs = 40;
+  in.per_plane.store_instrs = 32;
+  in.per_plane.bytes_requested_ld = 18000;
+  in.per_plane.bytes_transferred_ld = 20000;
+  in.per_plane.bytes_requested_st = 4096;
+  in.per_plane.bytes_transferred_st = 4096;
+  in.per_plane.smem_instrs = 200;
+  in.per_plane.compute_instrs = 224;
+  in.per_plane.flops = 9 * 1024;
+  in.per_plane.syncs = 2;
+  in.ilp = 1;
+  return in;
+}
+
+TEST(TimingModel, ValidAndPositive) {
+  const KernelTiming t = estimate_timing(kFermi, base_input());
+  ASSERT_TRUE(t.valid);
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_GT(t.mpoints_per_s, 0.0);
+  EXPECT_GT(t.gflops, 0.0);
+}
+
+TEST(TimingModel, MoreBytesNeverFaster) {
+  TimingInput in = base_input();
+  const double base = estimate_timing(kFermi, in).seconds;
+  in.per_plane.bytes_transferred_ld *= 2;
+  EXPECT_GE(estimate_timing(kFermi, in).seconds, base);
+}
+
+TEST(TimingModel, MoreInstructionsNeverFaster) {
+  TimingInput in = base_input();
+  const double base = estimate_timing(kFermi, in).seconds;
+  in.per_plane.smem_instrs += 5000;
+  EXPECT_GE(estimate_timing(kFermi, in).seconds, base);
+}
+
+TEST(TimingModel, DoublePrecisionComputeIsSlower) {
+  TimingInput in = base_input();
+  in.per_plane.compute_instrs = 100000;  // force compute-bound
+  const double sp = estimate_timing(kFermi, in).seconds;
+  in.is_double = true;
+  const double dp = estimate_timing(kFermi, in).seconds;
+  EXPECT_GT(dp, sp);
+  EXPECT_NEAR(dp / sp, 1.0 / kFermi.dp_throughput_ratio, 0.5);
+}
+
+TEST(TimingModel, InvalidTileRejected) {
+  TimingInput in = base_input();
+  in.tile_w = 60;  // does not divide 512
+  const KernelTiming t = estimate_timing(kFermi, in);
+  EXPECT_FALSE(t.valid);
+  EXPECT_FALSE(t.invalid_reason.empty());
+}
+
+TEST(TimingModel, ZeroOccupancyRejected) {
+  TimingInput in = base_input();
+  in.resources.regs_per_thread = 200;
+  EXPECT_FALSE(estimate_timing(kFermi, in).valid);
+}
+
+TEST(TimingModel, StagingMathMatchesEquations) {
+  TimingInput in = base_input();
+  const KernelTiming t = estimate_timing(kFermi, in);
+  ASSERT_TRUE(t.valid);
+  // Eqn. (6): 512/64 * 512/16 = 256 blocks per plane.
+  const long blks = 256;
+  const int act = t.occupancy.active_blocks;
+  const long per_round = static_cast<long>(act) * kFermi.sm_count;
+  EXPECT_EQ(t.stages, static_cast<int>((blks + per_round - 1) / per_round));
+  EXPECT_GE(t.rem_blocks, 1);
+  EXPECT_LE(t.rem_blocks, act);
+}
+
+TEST(TimingModel, LowOccupancyExposesLatency) {
+  TimingInput in = base_input();
+  in.resources.regs_per_thread = 63;   // crush occupancy
+  in.resources.threads = 32;           // one warp per block
+  in.tile_w = 32;
+  in.tile_h = 1;
+  const KernelTiming t = estimate_timing(kFermi, in);
+  ASSERT_TRUE(t.valid);
+  EXPECT_GT(t.per_plane_sm.latency, 0.0);
+}
+
+TEST(TimingModel, RegisterTilingIlpHidesLatency) {
+  TimingInput in = base_input();
+  in.resources.threads = 32;
+  in.tile_w = 32;
+  in.tile_h = 1;
+  in.resources.regs_per_thread = 63;
+  const double no_ilp = estimate_timing(kFermi, in).per_plane_sm.latency;
+  in.ilp = 4;
+  const double with_ilp = estimate_timing(kFermi, in).per_plane_sm.latency;
+  EXPECT_LT(with_ilp, no_ilp);
+}
+
+TEST(TimingModel, BandwidthBoundPerfTracksAchievedBandwidth) {
+  // A perfectly coalesced, memory-only kernel should land close to the
+  // achieved-bandwidth roofline.
+  TimingInput in = base_input();
+  in.tile_w = 64;
+  in.tile_h = 16;
+  const double elems = 64.0 * 16.0;
+  in.per_plane = {};
+  in.per_plane.load_instrs = 32;
+  in.per_plane.bytes_requested_ld = static_cast<std::uint64_t>(elems * 4);
+  in.per_plane.bytes_transferred_ld = in.per_plane.bytes_requested_ld;
+  in.per_plane.bytes_requested_st = in.per_plane.bytes_requested_ld;
+  in.per_plane.bytes_transferred_st = in.per_plane.bytes_requested_ld;
+  in.per_plane.store_instrs = 32;
+  in.resources = {20, 2048, 256};
+  const KernelTiming t = estimate_timing(kFermi, in);
+  ASSERT_TRUE(t.valid);
+  const double roofline_mpts =
+      kFermi.achieved_bw_gbs * 1e9 / 8.0 / 1e6;  // 8 bytes per point
+  EXPECT_NEAR(t.mpoints_per_s, roofline_mpts, roofline_mpts * 0.15);
+}
+
+}  // namespace
+}  // namespace inplane::gpusim

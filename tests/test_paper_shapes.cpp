@@ -1,0 +1,195 @@
+// The paper's headline results as regression tests: if a change to the
+// simulator or kernels breaks one of these, the reproduction no longer
+// matches the published shapes.  Each assertion names the figure/table it
+// guards.  Bounds are deliberately loose — they pin the *shape* (who wins,
+// roughly by how much), not exact numbers.
+
+#include <gtest/gtest.h>
+
+#include "autotune/tuner.hpp"
+#include "core/stencil_spec.hpp"
+#include "kernels/runner.hpp"
+
+namespace inplane {
+namespace {
+
+using namespace inplane::kernels;
+using namespace inplane::autotune;
+
+const Extent3 kGrid{512, 512, 256};
+
+double nv_baseline(const gpusim::DeviceSpec& dev, int order, bool dp = false) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  if (dp) {
+    const auto k =
+        make_kernel<double>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+    return time_kernel(*k, dev, kGrid).mpoints_per_s;
+  }
+  const auto k =
+      make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+  return time_kernel(*k, dev, kGrid).mpoints_per_s;
+}
+
+template <typename T>
+TuneResult tuned(Method m, const gpusim::DeviceSpec& dev, int order,
+                 const SearchSpace& space = {}) {
+  return exhaustive_tune<T>(m, StencilCoeffs::diffusion(order / 2), dev, kGrid, space);
+}
+
+class PerDevice : public testing::TestWithParam<int> {
+ protected:
+  gpusim::DeviceSpec dev() const {
+    return gpusim::paper_devices()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+// Table IV: tuned full-slice beats nvstencil for every order, SP and DP.
+TEST_P(PerDevice, TableIV_FullSliceWinsAllOrdersSP) {
+  for (int order : paper_stencil_orders()) {
+    const double speedup =
+        tuned<float>(Method::InPlaneFullSlice, dev(), order).best.timing.mpoints_per_s /
+        nv_baseline(dev(), order);
+    EXPECT_GT(speedup, 1.1) << "order " << order;
+    EXPECT_LT(speedup, 2.2) << "order " << order;  // paper max ~1.96
+  }
+}
+
+TEST_P(PerDevice, TableIV_DPSpeedupCompressed) {
+  for (int order : {2, 8, 12}) {
+    const double sp =
+        tuned<float>(Method::InPlaneFullSlice, dev(), order).best.timing.mpoints_per_s /
+        nv_baseline(dev(), order);
+    const double dp =
+        tuned<double>(Method::InPlaneFullSlice, dev(), order).best.timing.mpoints_per_s /
+        nv_baseline(dev(), order, true);
+    EXPECT_GT(dp, 0.95) << "order " << order;
+    EXPECT_LT(dp, sp + 0.05) << "order " << order;  // DP never beats SP speedup
+  }
+}
+
+// Fig. 7: with thread blocking only, vertical collapses at high order
+// while horizontal/full-slice do not.
+TEST_P(PerDevice, Fig7_VerticalCollapsesAtHighOrder) {
+  SearchSpace tb;
+  tb.rx_values = {1};
+  tb.ry_values = {1};
+  const double base = nv_baseline(dev(), 12);
+  const double vertical =
+      tuned<float>(Method::InPlaneVertical, dev(), 12, tb).best.timing.mpoints_per_s /
+      base;
+  const double horizontal =
+      tuned<float>(Method::InPlaneHorizontal, dev(), 12, tb).best.timing.mpoints_per_s /
+      base;
+  EXPECT_LT(vertical, horizontal);
+  EXPECT_LT(vertical, 1.25);
+  EXPECT_GT(horizontal, 1.1);
+}
+
+TEST_P(PerDevice, Fig7_VerticalCompetitiveAtLowOrder) {
+  SearchSpace tb;
+  tb.rx_values = {1};
+  tb.ry_values = {1};
+  const double vertical =
+      tuned<float>(Method::InPlaneVertical, dev(), 2, tb).best.timing.mpoints_per_s /
+      nv_baseline(dev(), 2);
+  EXPECT_GT(vertical, 1.2);  // "gave a benefit over nvstencil for some cases"
+}
+
+// Fig. 9: full-slice load efficiency above nvstencil for every order.
+TEST_P(PerDevice, Fig9_FullSliceCoalescesBetter) {
+  for (int order : paper_stencil_orders()) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    const auto nv =
+        make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
+    const double nv_eff = time_kernel(*nv, dev(), kGrid).load_efficiency;
+    const double fs_eff =
+        tuned<float>(Method::InPlaneFullSlice, dev(), order).best.timing.load_efficiency;
+    EXPECT_GT(fs_eff, nv_eff) << "order " << order;
+    EXPECT_GT(fs_eff, 0.7) << "order " << order;
+  }
+}
+
+// Fig. 10: nvstencil+RB is the smallest of the three gains; full-slice+RB
+// the largest.
+TEST_P(PerDevice, Fig10_BreakdownOrdering) {
+  SearchSpace tb;
+  tb.rx_values = {1};
+  tb.ry_values = {1};
+  for (int order : {2, 8}) {
+    const double base = nv_baseline(dev(), order);
+    const double nv_rb =
+        tuned<float>(Method::ForwardPlane, dev(), order).best.timing.mpoints_per_s /
+        base;
+    const double fs =
+        tuned<float>(Method::InPlaneFullSlice, dev(), order, tb).best.timing.mpoints_per_s /
+        base;
+    const double fs_rb =
+        tuned<float>(Method::InPlaneFullSlice, dev(), order).best.timing.mpoints_per_s /
+        base;
+    EXPECT_LT(nv_rb, fs_rb) << "order " << order;
+    EXPECT_LE(fs, fs_rb) << "order " << order;
+    EXPECT_GE(nv_rb, 1.0) << "order " << order;
+    EXPECT_LT(nv_rb, 1.45) << "order " << order;  // paper: ~+11%
+  }
+}
+
+std::string device_name(const testing::TestParamInfo<int>& info) {
+  const char* names[] = {"GTX580", "GTX680", "C2070"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, PerDevice, testing::Values(0, 1, 2), device_name);
+
+// Table IV headline absolute numbers: order-2 SP within 25% of the paper.
+TEST(PaperShapes, TableIV_AbsolutePerformanceBallpark) {
+  const double gtx580 =
+      tuned<float>(Method::InPlaneFullSlice, gpusim::DeviceSpec::geforce_gtx580(), 2)
+          .best.timing.mpoints_per_s;
+  EXPECT_NEAR(gtx580, 17294.0, 17294.0 * 0.25);
+  const double c2070 =
+      tuned<float>(Method::InPlaneFullSlice, gpusim::DeviceSpec::tesla_c2070(), 2)
+          .best.timing.mpoints_per_s;
+  EXPECT_NEAR(c2070, 10761.2, 10761.2 * 0.25);
+}
+
+// Section IV-C: speedup decreases from low to high order (GTX580 SP).
+TEST(PaperShapes, TableIV_SpeedupDecaysWithOrder) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const double low =
+      tuned<float>(Method::InPlaneFullSlice, dev, 2).best.timing.mpoints_per_s /
+      nv_baseline(dev, 2);
+  const double high =
+      tuned<float>(Method::InPlaneFullSlice, dev, 12).best.timing.mpoints_per_s /
+      nv_baseline(dev, 12);
+  EXPECT_GT(low, high);
+}
+
+// Section IV-C: the C2070 keeps winning at order 32 SP / 16 DP.
+TEST(PaperShapes, HighOrderClaimC2070) {
+  const auto dev = gpusim::DeviceSpec::tesla_c2070();
+  EXPECT_GT(tuned<float>(Method::InPlaneFullSlice, dev, 32).best.timing.mpoints_per_s /
+                nv_baseline(dev, 32),
+            1.0);
+  EXPECT_GT(tuned<double>(Method::InPlaneFullSlice, dev, 16).best.timing.mpoints_per_s /
+                nv_baseline(dev, 16, true),
+            1.0);
+}
+
+// Fig. 12: model-guided tuning within 10% of exhaustive everywhere.
+TEST(PaperShapes, Fig12_ModelGuidedNearOptimal) {
+  for (const auto& dev : gpusim::paper_devices()) {
+    for (int order : {2, 8}) {
+      const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+      const double exh =
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid)
+              .best.timing.mpoints_per_s;
+      const double mod =
+          model_guided_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, 0.05)
+              .best.timing.mpoints_per_s;
+      EXPECT_GE(mod, exh * 0.9) << dev.name << " order " << order;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inplane

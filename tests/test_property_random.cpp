@@ -1,0 +1,223 @@
+// Randomised property tests: the heavy-duty correctness net.
+//  * random linear multi-grid formulas through the AppKernel framework vs
+//    the generic CPU reference (both loading methods);
+//  * the warp coalescer against a brute-force segment-set model;
+//  * shared-memory bank conflicts against a brute-force bank histogram;
+//  * the iterative driver with simulated kernels over multiple timesteps.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "apps/app_kernel.hpp"
+#include "core/grid_compare.hpp"
+#include "core/iteration.hpp"
+#include "core/reference.hpp"
+#include "gpusim/coalescer.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "kernels/runner.hpp"
+
+namespace inplane {
+namespace {
+
+using kernels::LaunchConfig;
+using kernels::Method;
+
+// --- Random formulas -----------------------------------------------------------
+
+apps::AppFormula random_formula(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> n_in_dist(1, 4);
+  std::uniform_int_distribution<int> n_out_dist(1, 2);
+  std::uniform_int_distribution<int> n_terms_dist(2, 10);
+  std::uniform_int_distribution<int> off_dist(-2, 2);
+  std::uniform_real_distribution<double> coeff_dist(-1.0, 1.0);
+  const int n_in = n_in_dist(rng);
+  const int n_out = n_out_dist(rng);
+  std::uniform_int_distribution<int> grid_dist(0, n_in - 1);
+  std::uniform_int_distribution<int> out_dist(0, n_out - 1);
+  std::uniform_int_distribution<int> kind_dist(0, 3);
+
+  std::vector<apps::Term> terms;
+  const int n_terms = n_terms_dist(rng);
+  for (int t = 0; t < n_terms; ++t) {
+    apps::Term term;
+    term.out = out_dist(rng);
+    term.grid = grid_dist(rng);
+    term.coeff = coeff_dist(rng);
+    switch (kind_dist(rng)) {
+      case 0:  // xy term
+        term.di = off_dist(rng);
+        term.dj = off_dist(rng);
+        break;
+      case 1:  // z term (centre column by construction)
+        term.dk = off_dist(rng);
+        break;
+      case 2:  // centre term with a varying coefficient
+        term.coeff_grid = grid_dist(rng);
+        break;
+      default:  // backward z term with varying coefficient (dk <= 0 rule)
+        term.dk = -std::abs(off_dist(rng));
+        term.coeff_grid = grid_dist(rng);
+        break;
+    }
+    terms.push_back(term);
+  }
+  return apps::AppFormula("random", n_in, n_out, std::move(terms));
+}
+
+class RandomFormula : public testing::TestWithParam<int> {};
+
+TEST_P(RandomFormula, BothMethodsMatchReference) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const apps::AppFormula formula = random_formula(rng);
+  const Extent3 extent{32, 16, 10};
+  const int halo = std::max(formula.radius(), 1);
+
+  for (apps::AppMethod method :
+       {apps::AppMethod::ForwardPlane, apps::AppMethod::InPlaneFullSlice}) {
+    const apps::AppKernel<double> kernel(formula, method, LaunchConfig{16, 2, 1, 2, 2});
+    std::vector<Grid3<double>> inputs = apps::make_input_grids_for(kernel, extent);
+    std::uniform_real_distribution<double> val(-1.0, 1.0);
+    for (auto& g : inputs) {
+      std::mt19937_64 grng(rng());
+      g.fill_with_halo([&](int, int, int) { return val(grng); });
+    }
+    std::vector<Grid3<double>> outputs = apps::make_output_grids_for(kernel, extent);
+    std::vector<const Grid3<double>*> in_ptrs;
+    std::vector<Grid3<double>*> out_ptrs;
+    for (auto& g : inputs) in_ptrs.push_back(&g);
+    for (auto& g : outputs) out_ptrs.push_back(&g);
+    apps::run_app_kernel<double>(kernel, in_ptrs, out_ptrs,
+                                 gpusim::DeviceSpec::geforce_gtx580());
+
+    std::vector<Grid3<double>> gold_in;
+    for (auto& g : inputs) {
+      gold_in.emplace_back(extent, halo);
+      gold_in.back().fill_with_halo(
+          [&](int i, int j, int k) { return g.at(i, j, k); });
+    }
+    std::vector<Grid3<double>> gold_out;
+    for (int o = 0; o < formula.n_outputs(); ++o) gold_out.emplace_back(extent, halo);
+    std::vector<const Grid3<double>*> gin;
+    std::vector<Grid3<double>*> gout;
+    for (auto& g : gold_in) gin.push_back(&g);
+    for (auto& g : gold_out) gout.push_back(&g);
+    apps::apply_formula<double>(formula, gin, gout);
+
+    for (int o = 0; o < formula.n_outputs(); ++o) {
+      EXPECT_LE(compare_grids(outputs[static_cast<std::size_t>(o)],
+                              gold_out[static_cast<std::size_t>(o)])
+                    .max_abs,
+                1e-11)
+          << "seed " << GetParam() << " method " << apps::to_string(method)
+          << " output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormula, testing::Range(1, 21));
+
+// --- Coalescer vs brute force ------------------------------------------------------
+
+class RandomCoalesce : public testing::TestWithParam<int> {};
+
+TEST_P(RandomCoalesce, MatchesBruteForceSegmentSet) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 4096);
+  std::uniform_int_distribution<int> size_pick(0, 2);
+  std::uniform_int_distribution<int> active(0, 3);
+  const std::uint32_t sizes[] = {4, 8, 16};
+  for (std::uint32_t seg : {32u, 128u}) {
+    std::array<gpusim::LaneAccess, 32> lanes;
+    for (auto& l : lanes) {
+      l = {addr(rng) * 4, sizes[size_pick(rng)], active(rng) != 0};
+    }
+    const gpusim::CoalesceResult r = gpusim::coalesce(lanes, seg);
+    std::set<std::uint64_t> segments;
+    std::uint64_t requested = 0;
+    for (const auto& l : lanes) {
+      if (!l.active) continue;
+      requested += l.bytes;
+      for (std::uint64_t b = l.addr / seg; b <= (l.addr + l.bytes - 1) / seg; ++b) {
+        segments.insert(b);
+      }
+    }
+    EXPECT_EQ(r.transactions, segments.size()) << "seg " << seg;
+    EXPECT_EQ(r.bytes_requested, requested);
+    EXPECT_EQ(r.bytes_transferred, segments.size() * seg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCoalesce, testing::Range(1, 26));
+
+// --- Bank conflicts vs brute force ---------------------------------------------------
+
+class RandomBanking : public testing::TestWithParam<int> {};
+
+TEST_P(RandomBanking, MatchesBruteForceHistogram) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  std::uniform_int_distribution<std::uint32_t> off(0, 8188);
+  std::uniform_int_distribution<int> active(0, 4);
+  gpusim::SharedMemory smem(32768);
+  std::array<gpusim::SmemLaneAccess, 32> lanes;
+  for (auto& l : lanes) l = {off(rng) & ~3u, 4, active(rng) != 0};
+  const auto r = smem.analyze(lanes);
+
+  // Brute force: per bank, count distinct words; replays = max - 1.
+  std::map<std::uint32_t, std::set<std::uint32_t>> banks;
+  bool any = false;
+  for (const auto& l : lanes) {
+    if (!l.active) continue;
+    any = true;
+    const std::uint32_t word = l.offset / 4;
+    banks[word % 32].insert(word);
+  }
+  std::size_t max_words = any ? 1 : 0;
+  for (const auto& [bank, words] : banks) max_words = std::max(max_words, words.size());
+  EXPECT_EQ(r.any_active, any);
+  EXPECT_EQ(r.replays, any ? max_words - 1 : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBanking, testing::Range(1, 26));
+
+// --- Multi-timestep integration -------------------------------------------------------
+
+class MultiStep : public testing::TestWithParam<int> {};
+
+TEST_P(MultiStep, SimulatedKernelLoopMatchesReferenceLoop) {
+  const int order = GetParam();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const Extent3 extent{32, 16, 8};
+  const auto kernel = kernels::make_kernel<double>(Method::InPlaneFullSlice, cs,
+                                                   LaunchConfig{16, 4, 2, 2, 2});
+  const auto dev = gpusim::DeviceSpec::tesla_c2070();
+
+  Grid3<double> a = kernels::make_grid_for(*kernel, extent);
+  a.fill_with_halo([](int i, int j, int k) {
+    return 0.1 * i - 0.05 * j + 0.01 * k + ((i + j + k) % 3);
+  });
+  Grid3<double> b = kernels::make_grid_for(*kernel, extent);
+  b.fill_with_halo([&](int i, int j, int k) { return a.at(i, j, k); });
+
+  ComputeKernelFn<double> sim = [&](const Grid3<double>& in, Grid3<double>& out) {
+    kernels::run_kernel(*kernel, in, out, dev);
+  };
+  const auto outcome = run_iterative_stencil(a, b, sim, StopCriteria{4, -1.0});
+
+  Grid3<double> x(extent, cs.radius());
+  x.fill_with_halo([](int i, int j, int k) {
+    return 0.1 * i - 0.05 * j + 0.01 * k + ((i + j + k) % 3);
+  });
+  Grid3<double> y(extent, cs.radius());
+  y.fill_with_halo([&](int i, int j, int k) { return x.at(i, j, k); });
+  const auto gold = run_reference_loop(x, y, cs, StopCriteria{4, -1.0});
+
+  EXPECT_LE(compare_grids(*outcome.result, *gold.result).max_abs, 1e-11)
+      << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MultiStep, testing::Values(2, 4, 6));
+
+}  // namespace
+}  // namespace inplane

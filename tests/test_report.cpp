@@ -1,0 +1,77 @@
+// Report helpers: table rendering, CSV quoting, bar charts, surfaces.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "report/table.hpp"
+
+namespace inplane::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  const std::string out = t.render("title");
+  EXPECT_NE(out.find("title\n"), std::string::npos);
+  EXPECT_NE(out.find("| a  | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy          |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::string out =
+      bar_chart("t", {{"a", 1.0}, {"b", 2.0}}, 10);
+  EXPECT_NE(out.find("a |#####     | 1.00"), std::string::npos);
+  EXPECT_NE(out.find("b |##########| 2.00"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZero) {
+  const std::string out = bar_chart("", {{"a", 0.0}}, 10);
+  EXPECT_NE(out.find("a |          | 0.00"), std::string::npos);
+}
+
+TEST(Surface, RendersInvalidAsDash) {
+  const std::string out =
+      surface("s", {"x1", "x2"}, {"y1"}, {{5.0, 0.0}});
+  EXPECT_NE(out.find("| 5"), std::string::npos);
+  EXPECT_NE(out.find("| -"), std::string::npos);
+}
+
+TEST(Surface, ValidatesShape) {
+  EXPECT_THROW(surface("s", {"x"}, {"y1", "y2"}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(surface("s", {"x1", "x2"}, {"y"}, {{1.0}}), std::invalid_argument);
+}
+
+TEST(WriteFile, CreatesDirectoriesAndWrites) {
+  const std::string path = "test_report_tmp/dir/file.txt";
+  write_file(path, "hello");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all("test_report_tmp");
+}
+
+}  // namespace
+}  // namespace inplane::report

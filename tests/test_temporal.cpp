@@ -1,0 +1,164 @@
+// Temporal-blocking extension: the double-timestep kernel must equal two
+// applications of the CPU reference (with the halo frozen between steps),
+// and its traffic/resource trade-offs must have the expected shape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid_compare.hpp"
+#include "core/reference.hpp"
+#include "temporal/temporal_kernel.hpp"
+
+namespace inplane::temporal {
+namespace {
+
+using kernels::LaunchConfig;
+
+constexpr Extent3 kExtent{64, 32, 12};
+
+template <typename T>
+void expect_two_steps(int radius, LaunchConfig cfg, double tol) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(radius);
+  const TemporalInPlaneKernel<T> kernel(cs, cfg);
+
+  Grid3<T> in(kExtent, 2 * radius, 32, kernel.preferred_align_offset());
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(std::sin(0.11 * i) + 0.04 * j - 0.03 * k + 0.001 * j * k);
+  });
+  Grid3<T> out(kExtent, 2 * radius, 32, kernel.preferred_align_offset());
+  out.fill(static_cast<T>(-777));
+  run_temporal_kernel(kernel, in, out, gpusim::DeviceSpec::geforce_gtx580());
+
+  // Gold: two reference sweeps; the halo stays at its t=0 values between
+  // steps (apply_reference never writes halo cells).
+  Grid3<T> t0(kExtent, 2 * radius);
+  t0.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  Grid3<T> t1(kExtent, 2 * radius);
+  t1.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  apply_reference(t0, t1, cs);
+  Grid3<T> t2(kExtent, 2 * radius);
+  apply_reference(t1, t2, cs);
+
+  const GridDiff diff = compare_grids(out, t2);
+  EXPECT_LE(diff.max_abs, tol) << "radius " << radius << " cfg " << cfg.to_string()
+                               << " worst (" << diff.worst_i << "," << diff.worst_j
+                               << "," << diff.worst_k << ")";
+}
+
+struct TCase {
+  int radius;
+  LaunchConfig cfg;
+};
+
+std::string tcase_name(const testing::TestParamInfo<TCase>& info) {
+  const TCase& c = info.param;
+  return "r" + std::to_string(c.radius) + "_t" + std::to_string(c.cfg.tx) + "x" +
+         std::to_string(c.cfg.ty) + "_r" + std::to_string(c.cfg.rx) + "x" +
+         std::to_string(c.cfg.ry) + "_v" + std::to_string(c.cfg.vec);
+}
+
+class TemporalVsTwoSteps : public testing::TestWithParam<TCase> {};
+
+TEST_P(TemporalVsTwoSteps, FloatMatches) {
+  expect_two_steps<float>(GetParam().radius, GetParam().cfg, 5e-4);
+}
+
+TEST_P(TemporalVsTwoSteps, DoubleMatches) {
+  LaunchConfig cfg = GetParam().cfg;
+  if (cfg.vec == 4) cfg.vec = 2;
+  expect_two_steps<double>(GetParam().radius, cfg, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TemporalVsTwoSteps,
+                         testing::ValuesIn(std::vector<TCase>{
+                             {1, {16, 4, 1, 1, 1}},
+                             {1, {32, 4, 1, 2, 4}},
+                             {1, {16, 2, 2, 4, 2}},
+                             {2, {16, 4, 1, 1, 1}},
+                             {2, {32, 2, 2, 2, 4}},
+                             {3, {16, 4, 2, 2, 2}},
+                         }),
+                         tcase_name);
+
+TEST(Temporal, RandomCoefficients) {
+  const StencilCoeffs cs = StencilCoeffs::random(2, 77);
+  const TemporalInPlaneKernel<double> kernel(cs, LaunchConfig{16, 4, 2, 2, 2});
+  Grid3<double> in(kExtent, 4, 32, kernel.preferred_align_offset());
+  in.fill_with_halo([](int i, int j, int k) {
+    return std::cos(0.2 * i - 0.1 * j) + 0.01 * k * k;
+  });
+  Grid3<double> out(kExtent, 4, 32, kernel.preferred_align_offset());
+  run_temporal_kernel(kernel, in, out, gpusim::DeviceSpec::geforce_gtx680());
+
+  Grid3<double> t0(kExtent, 4);
+  t0.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  Grid3<double> t1(kExtent, 4);
+  t1.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+  apply_reference(t0, t1, cs);
+  Grid3<double> t2(kExtent, 4);
+  apply_reference(t1, t2, cs);
+  EXPECT_LE(compare_grids(out, t2).max_abs, 1e-11);
+}
+
+TEST(Temporal, HalvesGlobalTrafficPerTimestep) {
+  // The whole point: per point per TIMESTEP the temporal kernel moves
+  // roughly half the single-step kernel's bytes (it loads once and stores
+  // once for two updates).
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const LaunchConfig cfg{64, 8, 1, 2, 4};
+  const Extent3 grid{512, 512, 256};
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+
+  const TemporalInPlaneKernel<float> temporal(cs, cfg);
+  const auto t_trace = temporal.trace_plane(dev, grid);
+  const auto single = kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice,
+                                                  cs, cfg);
+  const auto s_trace = single->trace_plane(dev, grid);
+
+  const double temporal_bytes_per_step =
+      static_cast<double>(t_trace.bytes_transferred()) / 2.0;
+  const double single_bytes = static_cast<double>(s_trace.bytes_transferred());
+  EXPECT_LT(temporal_bytes_per_step, single_bytes * 0.75);
+}
+
+TEST(Temporal, RingCrushesSharedMemoryAtHighOrder) {
+  const LaunchConfig cfg{64, 8, 1, 2, 4};
+  const auto smem = [&](int r) {
+    return TemporalInPlaneKernel<float>(StencilCoeffs::diffusion(r), cfg)
+        .resources()
+        .smem_bytes;
+  };
+  EXPECT_LT(smem(1), smem(2));
+  EXPECT_LT(smem(2), smem(4));
+  // At radius 6 this tile no longer fits a 48 KB SM.
+  const TemporalInPlaneKernel<float> k6(StencilCoeffs::diffusion(6), cfg);
+  const auto err = k6.validate(gpusim::DeviceSpec::geforce_gtx580(), {512, 512, 256});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("shared memory"), std::string::npos);
+}
+
+TEST(Temporal, ValidationErrors) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{32, 4, 1, 1, 4});
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  EXPECT_TRUE(k.validate(dev, {500, 512, 256}).has_value());  // 500 % 32 != 0
+  EXPECT_TRUE(k.validate(dev, {512, 512, 2}).has_value());    // too shallow
+  EXPECT_FALSE(k.validate(dev, {512, 512, 256}).has_value());
+
+  Grid3<float> narrow({64, 32, 12}, 1);  // halo 1 < 2r
+  Grid3<float> out({64, 32, 12}, 2);
+  EXPECT_THROW(run_temporal_kernel(k, narrow, out, dev), std::invalid_argument);
+}
+
+TEST(Temporal, TimingValidAndBandwidthBound) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{64, 8, 1, 2, 4});
+  const auto t = time_temporal_kernel(k, gpusim::DeviceSpec::geforce_gtx580(),
+                                      {512, 512, 256});
+  ASSERT_TRUE(t.valid) << t.invalid_reason;
+  EXPECT_GT(t.mpoints_per_s, 0.0);
+}
+
+}  // namespace
+}  // namespace inplane::temporal

@@ -1,0 +1,111 @@
+// Cross-validation of the timing path: the steady-state single-block
+// trace that estimate_timing consumes must be consistent with a full
+// whole-grid execution's aggregate trace — per-plane counters times blocks
+// times planes, within the pipeline fill/drain slack.  This is the check
+// that the "sample one block, extrapolate" timing shortcut is sound.
+
+#include <gtest/gtest.h>
+
+#include "kernels/runner.hpp"
+
+namespace inplane::kernels {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::ExecMode;
+using gpusim::TraceStats;
+
+struct ConsistencyCase {
+  Method method;
+  int order;
+  LaunchConfig cfg;
+};
+
+std::string cc_name(const testing::TestParamInfo<ConsistencyCase>& info) {
+  std::string m = to_string(info.param.method);
+  for (char& ch : m) {
+    if (ch == '-') ch = '_';
+  }
+  return m + "_o" + std::to_string(info.param.order) + "_t" +
+         std::to_string(info.param.cfg.tx) + "x" + std::to_string(info.param.cfg.ty);
+}
+
+class TraceConsistency : public testing::TestWithParam<ConsistencyCase> {};
+
+TEST_P(TraceConsistency, SampledPlaneExtrapolatesToFullRun) {
+  const auto [method, order, cfg] = GetParam();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const auto kernel = make_kernel<float>(method, cs, cfg);
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const Extent3 extent{64, 32, 16};
+  const int r = order / 2;
+
+  Grid3<float> in = make_grid_for(*kernel, extent);
+  Grid3<float> out = make_grid_for(*kernel, extent);
+  in.fill_with_halo([](int i, int j, int k) { return float(i - j + k); });
+  const TraceStats full = run_kernel(*kernel, in, out, dev, ExecMode::Both);
+  const TraceStats plane = kernel->trace_plane(dev, extent);
+
+  const double blocks = double(extent.nx / cfg.tile_w()) * (extent.ny / cfg.tile_h());
+  // Sweep steps per block: nz for forward-plane, nz + r for in-plane.
+  const double sweep = method == Method::ForwardPlane ? extent.nz : extent.nz + r;
+  // Slack: priming differs from steady state — the forward pipeline
+  // preloads 2r centre planes, the in-plane back history r — so allow up
+  // to (2r+1) extra tile-planes of traffic per block on top of a small
+  // relative band.
+  const double slack = 0.05;
+  const double priming = blocks * double(cfg.tile_w()) * cfg.tile_h() *
+                         (2.0 * r + 1.0) * 8.0;
+
+  const auto close = [&](std::uint64_t whole, std::uint64_t per_plane) {
+    const double predicted = static_cast<double>(per_plane) * blocks * sweep;
+    EXPECT_NEAR(static_cast<double>(whole), predicted, predicted * slack + priming)
+        << "per-plane " << per_plane << " blocks " << blocks << " sweep " << sweep;
+  };
+  close(full.bytes_transferred_ld, plane.bytes_transferred_ld);
+  close(full.bytes_requested_ld, plane.bytes_requested_ld);
+  close(full.smem_instrs, plane.smem_instrs);
+  close(full.compute_instrs, plane.compute_instrs);
+  close(full.flops, plane.flops);
+  // Stores are exact: every interior point exactly once.
+  EXPECT_EQ(full.bytes_requested_st, extent.volume() * 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceConsistency,
+    testing::ValuesIn(std::vector<ConsistencyCase>{
+        {Method::ForwardPlane, 2, {32, 4, 1, 1, 1}},
+        {Method::ForwardPlane, 6, {32, 8, 1, 2, 1}},
+        {Method::InPlaneFullSlice, 2, {32, 4, 1, 1, 4}},
+        {Method::InPlaneFullSlice, 6, {16, 4, 2, 2, 2}},
+        {Method::InPlaneHorizontal, 4, {32, 4, 1, 2, 4}},
+        {Method::InPlaneVertical, 4, {32, 8, 1, 1, 4}},
+        {Method::InPlaneClassical, 2, {16, 8, 2, 1, 1}},
+    }),
+    cc_name);
+
+// Boundary blocks must trace identically to interior blocks (the timing
+// sampler picks block (0,0); if edges differed the extrapolation would be
+// biased).  We verify by comparing aggregate whole-grid traffic across two
+// grids whose block counts differ only in boundary share.
+TEST(TraceConsistency, UniformAcrossBlocks) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const LaunchConfig cfg{16, 4, 1, 1, 2};
+  const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, cs, cfg);
+  const auto dev = DeviceSpec::tesla_c2070();
+
+  const auto per_block_bytes = [&](Extent3 extent) {
+    Grid3<float> in = make_grid_for(*kernel, extent);
+    Grid3<float> out = make_grid_for(*kernel, extent);
+    const TraceStats t = run_kernel(*kernel, in, out, dev, ExecMode::Both);
+    const double blocks =
+        double(extent.nx / cfg.tile_w()) * (extent.ny / cfg.tile_h());
+    return static_cast<double>(t.bytes_transferred_ld) / blocks;
+  };
+  // 2x2 blocks (all boundary) vs 4x4 blocks (mixed): identical per-block
+  // traffic if boundary handling is uniform.
+  EXPECT_DOUBLE_EQ(per_block_bytes({32, 8, 12}), per_block_bytes({64, 16, 12}));
+}
+
+}  // namespace
+}  // namespace inplane::kernels

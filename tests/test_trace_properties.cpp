@@ -1,0 +1,213 @@
+// Trace-level properties tying the simulated kernels to the paper's
+// analytic claims: flop counts per element (Tables I/II), store counts,
+// load efficiency ordering, resource estimates, and the equivalence of
+// trace-only and functional executions.
+
+#include <gtest/gtest.h>
+
+#include "kernels/runner.hpp"
+
+namespace inplane::kernels {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::ExecMode;
+using gpusim::TraceStats;
+
+const Extent3 kBig{512, 512, 256};
+
+struct OrderMethod {
+  Method method;
+  int order;
+};
+
+std::string om_name(const testing::TestParamInfo<OrderMethod>& info) {
+  std::string m = to_string(info.param.method);
+  for (char& ch : m) {
+    if (ch == '-') ch = '_';
+  }
+  return m + "_o" + std::to_string(info.param.order);
+}
+
+class TracePerOrder : public testing::TestWithParam<OrderMethod> {};
+
+TEST_P(TracePerOrder, FlopsPerElementMatchTables) {
+  const auto [method, order] = GetParam();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const auto kernel = make_kernel<float>(method, cs, cfg);
+  const TraceStats t = kernel->trace_plane(DeviceSpec::geforce_gtx580(), kBig);
+  const double elems = cfg.tile_w() * cfg.tile_h();
+  const int expected = method == Method::ForwardPlane ? 7 * (order / 2) + 1
+                                                      : 8 * (order / 2) + 1;
+  EXPECT_DOUBLE_EQ(static_cast<double>(t.flops) / elems, expected);
+}
+
+TEST_P(TracePerOrder, OneStorePerPointPerPlane) {
+  const auto [method, order] = GetParam();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const LaunchConfig cfg{32, 4, 2, 2, 1};
+  const auto kernel = make_kernel<float>(method, cs, cfg);
+  const TraceStats t = kernel->trace_plane(DeviceSpec::geforce_gtx580(), kBig);
+  EXPECT_EQ(t.bytes_requested_st,
+            static_cast<std::uint64_t>(cfg.tile_w()) *
+                static_cast<std::uint64_t>(cfg.tile_h()) * 4u);
+}
+
+TEST_P(TracePerOrder, LoadsCoverTheNeededRegionExactlyOnce) {
+  const auto [method, order] = GetParam();
+  const int r = order / 2;
+  const StencilCoeffs cs = StencilCoeffs::diffusion(r);
+  const LaunchConfig cfg{32, 4, 1, 1, 1};
+  const auto kernel = make_kernel<float>(method, cs, cfg);
+  const TraceStats t = kernel->trace_plane(DeviceSpec::geforce_gtx580(), kBig);
+  const std::uint64_t w = static_cast<std::uint64_t>(cfg.tile_w());
+  const std::uint64_t h = static_cast<std::uint64_t>(cfg.tile_h());
+  const std::uint64_t ru = static_cast<std::uint64_t>(r);
+  // Star region: interior + four strips; full-slice and the strip-loading
+  // patterns with corners additionally fetch the 4r^2 corner elements.
+  const std::uint64_t star = w * h + 2 * ru * w + 2 * ru * h;
+  const std::uint64_t full = star + 4 * ru * ru;
+  const std::uint64_t requested_elems = t.bytes_requested_ld / 4u;
+  if (method == Method::InPlaneVertical || method == Method::InPlaneHorizontal) {
+    EXPECT_EQ(requested_elems, star);
+  } else {
+    EXPECT_EQ(requested_elems, full);  // classical/nvstencil corners + full-slice
+  }
+}
+
+TEST_P(TracePerOrder, LoadEfficiencyAtMostOne) {
+  const auto [method, order] = GetParam();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const auto kernel = make_kernel<float>(method, cs, LaunchConfig{64, 4, 1, 1, 4});
+  for (const auto& dev : gpusim::paper_devices()) {
+    const TraceStats t = kernel->trace_plane(dev, kBig);
+    EXPECT_LE(t.load_efficiency(), 1.0);
+    EXPECT_GT(t.load_efficiency(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, TracePerOrder,
+    testing::ValuesIn([] {
+      std::vector<OrderMethod> cases;
+      for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
+                       Method::InPlaneVertical, Method::InPlaneHorizontal,
+                       Method::InPlaneFullSlice}) {
+        for (int order : {2, 4, 6, 8, 10, 12}) cases.push_back({m, order});
+      }
+      return cases;
+    }()),
+    om_name);
+
+TEST(TraceProperties, FullSliceIssuesFewestLoadInstructions) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const LaunchConfig cfg{32, 8, 1, 1, 4};
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const auto instrs = [&](Method m, int vec) {
+    LaunchConfig c = cfg;
+    c.vec = vec;
+    return make_kernel<float>(m, cs, c)->trace_plane(dev, kBig).load_instrs;
+  };
+  const auto fs = instrs(Method::InPlaneFullSlice, 4);
+  EXPECT_LT(fs, instrs(Method::InPlaneClassical, 1));
+  EXPECT_LE(fs, instrs(Method::InPlaneHorizontal, 4));
+  EXPECT_LE(fs, instrs(Method::InPlaneVertical, 4));
+}
+
+TEST(TraceProperties, VectorLoadsCutInstructionCount) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const auto dev = DeviceSpec::geforce_gtx580();
+  std::uint64_t prev = ~0ull;
+  for (int vec : {1, 2, 4}) {
+    const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, cs,
+                                           LaunchConfig{64, 4, 1, 1, vec});
+    const std::uint64_t n = kernel->trace_plane(dev, kBig).load_instrs;
+    EXPECT_LT(n, prev) << "vec " << vec;
+    prev = n;
+  }
+}
+
+TEST(TraceProperties, TraceModeEqualsBothModeCounts) {
+  // The same kernel run over a real grid in Both mode must produce, per
+  // plane, the counts the steady-state trace predicts.
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const LaunchConfig cfg{16, 4, 1, 1, 2};
+  const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, cs, cfg);
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const Extent3 small{32, 16, 8};
+
+  Grid3<float> in = make_grid_for(*kernel, small);
+  Grid3<float> out = make_grid_for(*kernel, small);
+  in.fill_with_halo([](int i, int j, int k) { return float(i + j - k); });
+  const TraceStats full = run_kernel(*kernel, in, out, dev, ExecMode::Both);
+  const TraceStats plane = kernel->trace_plane(dev, small);
+
+  // Stores: every interior point exactly once.
+  EXPECT_EQ(full.bytes_requested_st, small.volume() * 4u);
+  // Flops: (8r+1) per point per plane sweep, plus the r tail planes'
+  // queue-update work — bound between the exact interior work and the
+  // interior work plus r extra full planes.
+  const std::uint64_t per_plane_flops = plane.flops;
+  const std::uint64_t blocks = static_cast<std::uint64_t>(
+      (small.nx / cfg.tile_w()) * (small.ny / cfg.tile_h()));
+  EXPECT_GE(full.flops, per_plane_flops * blocks * 8u);
+  EXPECT_LE(full.flops, per_plane_flops * blocks * (8u + 1u));
+  // Sync count: 2 per plane per block over nz + r sweep steps.
+  EXPECT_EQ(full.syncs, blocks * (8u + 1u) * 2u);
+}
+
+TEST(TraceProperties, FunctionalModeRecordsNothing) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const auto kernel =
+      make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig{16, 4, 1, 1, 1});
+  Grid3<float> in = make_grid_for(*kernel, {16, 8, 4});
+  Grid3<float> out = make_grid_for(*kernel, {16, 8, 4});
+  const TraceStats t =
+      run_kernel(*kernel, in, out, DeviceSpec::tesla_c2070(), ExecMode::Functional);
+  EXPECT_EQ(t.load_instrs, 0u);
+  EXPECT_EQ(t.flops, 0u);
+}
+
+// --- Resource estimates -----------------------------------------------------------
+
+TEST(Resources, SharedTileIsExact) {
+  const LaunchConfig cfg{32, 8, 2, 2, 4};
+  const auto res = estimate_resources(Method::InPlaneFullSlice, cfg, 3, 4);
+  EXPECT_EQ(res.smem_bytes, static_cast<std::size_t>((64 + 6) * (16 + 6) * 4));
+  EXPECT_EQ(res.threads, 256);
+}
+
+TEST(Resources, MonotoneInRadiusAndColumns) {
+  int prev = 0;
+  for (int r : {1, 2, 3, 4, 5, 6}) {
+    const auto res =
+        estimate_resources(Method::InPlaneFullSlice, LaunchConfig{32, 4, 2, 2, 4}, r, 4);
+    EXPECT_GT(res.regs_per_thread, prev);
+    prev = res.regs_per_thread;
+  }
+  prev = 0;
+  for (int ry : {1, 2, 4, 8}) {
+    const auto res = estimate_resources(Method::InPlaneFullSlice,
+                                        LaunchConfig{32, 4, 1, ry, 4}, 2, 4);
+    EXPECT_GT(res.regs_per_thread, prev);
+    prev = res.regs_per_thread;
+  }
+}
+
+TEST(Resources, ForwardPipelineCostsMoreRegistersThanInPlane) {
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const auto fwd = estimate_resources(Method::ForwardPlane, cfg, 4, 4);
+  const auto inp = estimate_resources(Method::InPlaneFullSlice, cfg, 4, 4);
+  EXPECT_GT(fwd.regs_per_thread, inp.regs_per_thread);  // 2r+1 vs 2r values
+}
+
+TEST(Resources, DoublePrecisionDoublesValueRegisters) {
+  const LaunchConfig cfg{32, 4, 1, 1, 1};
+  const auto sp = estimate_resources(Method::InPlaneFullSlice, cfg, 2, 4);
+  const auto dp = estimate_resources(Method::InPlaneFullSlice, cfg, 2, 8);
+  EXPECT_GT(dp.regs_per_thread, sp.regs_per_thread);
+}
+
+}  // namespace
+}  // namespace inplane::kernels

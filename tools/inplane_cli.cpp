@@ -1,0 +1,244 @@
+// The `inplane` command-line tool: run, tune, model, and generate CUDA for
+// the paper's kernels from the shell.
+//
+//   inplane devices
+//   inplane run    --method fullslice --order 8 --device gtx580
+//                  --tx 64 --ty 4 --rx 2 --ry 2 [--dp]
+//   inplane tune   --method fullslice --order 8 --device gtx680 [--dp] [--beta 0.05]
+//   inplane model  --method fullslice --order 8 --device c2070 --tx 64 --ty 4
+//   inplane codegen --method fullslice --order 8 --tx 64 --ty 4 -o kernel.cu
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "autotune/tuner.hpp"
+#include "codegen/cuda_codegen.hpp"
+#include "gpusim/device_file.hpp"
+#include "kernels/runner.hpp"
+#include "perfmodel/model.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  [[nodiscard]] int geti(const std::string& key, int dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return kv.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.kv[key] = argv[++i];
+    } else {
+      args.kv[key] = "1";  // flag
+    }
+  }
+  return args;
+}
+
+gpusim::DeviceSpec device_by_name(const std::string& name) {
+  // A path (contains '/' or ends in ".device") loads a custom description.
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 7 && name.substr(name.size() - 7) == ".device")) {
+    return gpusim::load_device(name);
+  }
+  if (name == "gtx580") return gpusim::DeviceSpec::geforce_gtx580();
+  if (name == "gtx680") return gpusim::DeviceSpec::geforce_gtx680();
+  if (name == "c2070") return gpusim::DeviceSpec::tesla_c2070();
+  if (name == "c2050") return gpusim::DeviceSpec::tesla_c2050();
+  throw std::invalid_argument("unknown device '" + name +
+                              "' (gtx580 | gtx680 | c2070 | c2050 | path to a .device file)");
+}
+
+Method method_by_name(const std::string& name) {
+  if (name == "nvstencil" || name == "forward") return Method::ForwardPlane;
+  if (name == "classical") return Method::InPlaneClassical;
+  if (name == "vertical") return Method::InPlaneVertical;
+  if (name == "horizontal") return Method::InPlaneHorizontal;
+  if (name == "fullslice" || name == "full-slice") return Method::InPlaneFullSlice;
+  throw std::invalid_argument(
+      "unknown method '" + name +
+      "' (nvstencil | classical | vertical | horizontal | fullslice)");
+}
+
+Extent3 grid_from(const Args& args) {
+  return {args.geti("nx", 512), args.geti("ny", 512), args.geti("nz", 256)};
+}
+
+LaunchConfig config_from(const Args& args, Method method, bool dp) {
+  LaunchConfig cfg;
+  cfg.tx = args.geti("tx", 32);
+  cfg.ty = args.geti("ty", 16);
+  cfg.rx = args.geti("rx", 1);
+  cfg.ry = args.geti("ry", 1);
+  cfg.vec = args.geti("vec", autotune::default_vec(method, dp ? 8 : 4));
+  return cfg;
+}
+
+void print_timing(const std::string& label, const gpusim::KernelTiming& t) {
+  if (!t.valid) {
+    std::printf("%s: invalid configuration (%s)\n", label.c_str(),
+                t.invalid_reason.c_str());
+    return;
+  }
+  std::printf("%s:\n", label.c_str());
+  std::printf("  %.1f MPoint/s  (%.1f GFlop/s, %.3f ms per sweep)\n", t.mpoints_per_s,
+              t.gflops, t.seconds * 1e3);
+  std::printf("  load efficiency %.1f%%, bottleneck %s\n", t.load_efficiency * 100.0,
+              t.bottleneck.c_str());
+  std::printf("  occupancy: %d blocks/SM (%d warps, limited by %s), %d stage(s)\n",
+              t.occupancy.active_blocks, t.occupancy.active_warps(),
+              gpusim::to_string(t.occupancy.limiter).c_str(), t.stages);
+}
+
+template <typename T>
+int cmd_run(const Args& args) {
+  const Method method = method_by_name(args.get("method", "fullslice"));
+  const gpusim::DeviceSpec dev = device_by_name(args.get("device", "gtx580"));
+  const int order = args.geti("order", 2);
+  const LaunchConfig cfg = config_from(args, method, sizeof(T) == 8);
+  const auto kernel =
+      make_kernel<T>(method, StencilCoeffs::diffusion(order / 2), cfg);
+  const auto t = time_kernel(*kernel, dev, grid_from(args));
+  print_timing(kernel->name() + " " + cfg.to_string() + " order " +
+                   std::to_string(order) + " on " + dev.name,
+               t);
+  return t.valid ? 0 : 1;
+}
+
+template <typename T>
+int cmd_tune(const Args& args) {
+  const Method method = method_by_name(args.get("method", "fullslice"));
+  const gpusim::DeviceSpec dev = device_by_name(args.get("device", "gtx580"));
+  const int order = args.geti("order", 2);
+  const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+  const Extent3 grid = grid_from(args);
+
+  autotune::TuneResult result;
+  if (args.has("beta")) {
+    const double beta = std::atof(args.get("beta", "0.05").c_str());
+    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta);
+    std::printf("model-guided tuning (beta = %.0f%%): executed %zu of %zu candidates\n",
+                beta * 100.0, result.executed, result.candidates);
+  } else {
+    result = autotune::exhaustive_tune<T>(method, cs, dev, grid);
+    std::printf("exhaustive tuning: executed %zu configurations\n", result.executed);
+  }
+  if (!result.found()) {
+    std::printf("no valid configuration found\n");
+    return 1;
+  }
+  print_timing("best " + std::string(to_string(method)) + " " +
+                   result.best.config.to_string(),
+               result.best.timing);
+  return 0;
+}
+
+template <typename T>
+int cmd_model(const Args& args) {
+  const Method method = method_by_name(args.get("method", "fullslice"));
+  const gpusim::DeviceSpec dev = device_by_name(args.get("device", "gtx580"));
+  perfmodel::ModelInput input;
+  input.method = method;
+  input.grid = grid_from(args);
+  input.radius = args.geti("order", 2) / 2;
+  input.config = config_from(args, method, sizeof(T) == 8);
+  input.is_double = sizeof(T) == 8;
+  const perfmodel::ModelResult r = perfmodel::evaluate(dev, input);
+  if (!r.valid) {
+    std::printf("model: invalid configuration (%s)\n", r.invalid_reason.c_str());
+    return 1;
+  }
+  std::printf("section-VI model prediction for %s %s on %s:\n", to_string(method),
+              input.config.to_string().c_str(), dev.name.c_str());
+  std::printf("  %.1f MPoint/s  (Blks %ld, ActBlks %d, Stages %d, RemBlks %d)\n",
+              r.mpoints_per_s, r.blks, r.act_blks, r.stages, r.rem_blks);
+  std::printf("  T_m %.0f cycles, T_c %.0f cycles, T_s %.0f, T_l %.0f\n", r.t_m_cycles,
+              r.t_c_cycles, r.t_s_cycles, r.t_l_cycles);
+  return 0;
+}
+
+template <typename T>
+int cmd_codegen(const Args& args) {
+  codegen::CudaKernelSpec spec;
+  spec.method = method_by_name(args.get("method", "fullslice"));
+  spec.radius = args.geti("order", 2) / 2;
+  spec.is_double = sizeof(T) == 8;
+  spec.config = config_from(args, spec.method, spec.is_double);
+  const std::string out = args.get("o", spec.name() + ".cu");
+  report::write_file(out, codegen::generate_file(spec, grid_from(args)));
+  std::printf("wrote %s (compile with: nvcc -O3 %s -o %s)\n", out.c_str(), out.c_str(),
+              spec.name().c_str());
+  return 0;
+}
+
+int cmd_devices() {
+  report::Table table({"Name", "Arch", "SMs", "Clock GHz", "Peak BW GB/s",
+                       "Achieved BW GB/s", "Peak SP GFlop/s", "Peak DP GFlop/s"});
+  for (const auto& d :
+       {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::geforce_gtx680(),
+        gpusim::DeviceSpec::tesla_c2070(), gpusim::DeviceSpec::tesla_c2050()}) {
+    table.add_row({d.name, d.arch == gpusim::Arch::Fermi ? "Fermi" : "Kepler",
+                   std::to_string(d.sm_count), report::fmt(d.clock_ghz, 3),
+                   report::fmt(d.peak_bw_gbs, 1), report::fmt(d.achieved_bw_gbs, 1),
+                   report::fmt(d.peak_sp_gflops(), 0),
+                   report::fmt(d.peak_dp_gflops(), 0)});
+  }
+  std::fputs(table.render("Simulated devices (Table III)").c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: inplane <command> [--key value ...]\n"
+      "commands:\n"
+      "  devices                      list the simulated GPUs\n"
+      "  run      time one configuration   (--method --order --device --tx --ty\n"
+      "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz])\n"
+      "  tune     auto-tune a method       (--method --order --device [--dp]\n"
+      "                                     [--beta 0.05 for model-guided])\n"
+      "  model    section-VI prediction    (same keys as run)\n"
+      "  codegen  emit a CUDA .cu file     (--method --order --tx --ty ... [--o f])\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  const bool dp = args.has("dp");
+  try {
+    if (cmd == "devices") return cmd_devices();
+    if (cmd == "run") return dp ? cmd_run<double>(args) : cmd_run<float>(args);
+    if (cmd == "tune") return dp ? cmd_tune<double>(args) : cmd_tune<float>(args);
+    if (cmd == "model") return dp ? cmd_model<double>(args) : cmd_model<float>(args);
+    if (cmd == "codegen") {
+      return dp ? cmd_codegen<double>(args) : cmd_codegen<float>(args);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
