@@ -1,0 +1,116 @@
+// Parallel execution engine scaling: wall-clock speedup of an exhaustive
+// auto-tune sweep and of a functional run_kernel as a function of the
+// ExecPolicy thread count, with a determinism cross-check (the selected
+// best config and the aggregated TraceStats must be bit-identical at
+// every thread count).
+//
+//   $ ./bench_parallel_scaling [max_threads]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+
+namespace {
+
+using namespace inplane;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<int> thread_counts(int max_threads) {
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+  return counts;
+}
+
+int run(int max_threads) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+
+  // --- exhaustive tune sweep (the Table-4 workload). -----------------------
+  report::Table tune({"Threads", "Tune wall [s]", "Speedup", "Executed", "Best",
+                      "Best MPt/s"});
+  double tune_serial_s = 0.0;
+  autotune::TuneResult reference;
+  bool deterministic = true;
+  for (int t : thread_counts(max_threads)) {
+    const auto t0 = Clock::now();
+    const autotune::TuneResult r = autotune::exhaustive_tune<float>(
+        kernels::Method::InPlaneFullSlice, cs, dev, bench::kGrid, {}, ExecPolicy{t});
+    const double wall = seconds_since(t0);
+    if (t == 1) {
+      tune_serial_s = wall;
+      reference = r;
+    } else if (r.best.config != reference.best.config ||
+               r.best.timing.mpoints_per_s != reference.best.timing.mpoints_per_s ||
+               r.executed != reference.executed) {
+      deterministic = false;
+    }
+    tune.add_row({std::to_string(t), report::fmt(wall, 3),
+                  report::fmt(tune_serial_s / wall, 2), std::to_string(r.executed),
+                  r.best.config.to_string(),
+                  report::fmt(r.best.timing.mpoints_per_s, 1)});
+  }
+  bench::emit(tune, "exhaustive tune wall-clock vs ExecPolicy threads",
+              "parallel_scaling_tune");
+
+  // --- functional run_kernel sweep (one full grid sweep, ExecMode::Both). --
+  const kernels::LaunchConfig cfg{32, 8, 1, 2, 4};
+  const auto kernel =
+      kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice, cs, cfg);
+  const Extent3 extent{256, 256, 64};
+  Grid3<float> in = kernels::make_grid_for(*kernel, extent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<float>(std::sin(0.1 * i) + 0.05 * j + 0.01 * k);
+  });
+
+  report::Table runk({"Threads", "Run wall [s]", "Speedup", "Load instrs"});
+  double run_serial_s = 0.0;
+  gpusim::TraceStats ref_stats;
+  for (int t : thread_counts(max_threads)) {
+    Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+    const auto t0 = Clock::now();
+    const gpusim::TraceStats stats = kernels::run_kernel(
+        *kernel, in, out, dev, gpusim::ExecMode::Both, ExecPolicy{t});
+    const double wall = seconds_since(t0);
+    if (t == 1) {
+      run_serial_s = wall;
+      ref_stats = stats;
+    } else if (stats.load_instrs != ref_stats.load_instrs ||
+               stats.bytes_transferred() != ref_stats.bytes_transferred() ||
+               stats.flops != ref_stats.flops) {
+      deterministic = false;
+    }
+    runk.add_row({std::to_string(t), report::fmt(wall, 3),
+                  report::fmt(run_serial_s / wall, 2),
+                  std::to_string(stats.load_instrs)});
+  }
+  bench::emit(runk, "run_kernel wall-clock vs ExecPolicy threads",
+              "parallel_scaling_run_kernel");
+
+  std::printf("determinism cross-check: %s\n",
+              deterministic ? "identical results at every thread count"
+                            : "MISMATCH between thread counts");
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  int max_threads = argc > 1 ? std::atoi(argv[1]) : static_cast<int>(hw ? hw : 4);
+  if (max_threads < 1) max_threads = 1;
+  if (max_threads < 4) max_threads = 4;  // acceptance point: 4 threads vs 1
+  return run(max_threads);
+}

@@ -2,7 +2,11 @@
 // stencil order / precision / device, compare the exhaustive search with
 // the model-guided search of section VI, and print the top of the ranking.
 //
-//   $ ./autotune_explore [order] [sp|dp] [gtx580|gtx680|c2070]
+//   $ ./autotune_explore [order] [sp|dp] [gtx580|gtx680|c2070] [threads]
+//
+// `threads` caps the host threads the tuning sweep uses (0 = all hardware
+// threads, 1 = serial); the chosen best config and every number printed
+// are identical for any value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,14 +26,15 @@ gpusim::DeviceSpec pick_device(const char* name) {
 }
 
 template <typename T>
-int explore(int order, const gpusim::DeviceSpec& device) {
+int explore(int order, const gpusim::DeviceSpec& device, const ExecPolicy& policy) {
   const Extent3 grid{512, 512, 256};
   const StencilCoeffs coeffs = StencilCoeffs::diffusion(order / 2);
 
   const autotune::TuneResult exh = autotune::exhaustive_tune<T>(
-      kernels::Method::InPlaneFullSlice, coeffs, device, grid);
+      kernels::Method::InPlaneFullSlice, coeffs, device, grid, {}, policy);
   const autotune::TuneResult mod = autotune::model_guided_tune<T>(
-      kernels::Method::InPlaneFullSlice, coeffs, device, grid, /*beta=*/0.05);
+      kernels::Method::InPlaneFullSlice, coeffs, device, grid, /*beta=*/0.05, {},
+      policy);
 
   std::printf("order %d (%s) on %s: %zu candidate configurations\n", order,
               sizeof(T) == 8 ? "DP" : "SP", device.name.c_str(), exh.candidates);
@@ -60,9 +65,11 @@ int main(int argc, char** argv) {
   const int order = argc > 1 ? std::atoi(argv[1]) : 8;
   const bool dp = argc > 2 && std::strcmp(argv[2], "dp") == 0;
   const gpusim::DeviceSpec device = pick_device(argc > 3 ? argv[3] : "gtx580");
+  const ExecPolicy policy{argc > 4 ? std::atoi(argv[4]) : 0};
   if (order < 2 || order % 2 != 0) {
     std::fprintf(stderr, "order must be a positive even number\n");
     return 2;
   }
-  return dp ? explore<double>(order, device) : explore<float>(order, device);
+  return dp ? explore<double>(order, device, policy)
+            : explore<float>(order, device, policy);
 }

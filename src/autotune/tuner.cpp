@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.hpp"
 #include "kernels/runner.hpp"
 #include "perfmodel/model.hpp"
 
@@ -68,59 +69,74 @@ TuneResult finalize(std::vector<TuneEntry> entries) {
 template <typename T>
 TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
                            const gpusim::DeviceSpec& device, const Extent3& extent,
-                           const SearchSpace& space) {
+                           const SearchSpace& space, const ExecPolicy& policy) {
   const int vec = default_vec(method, sizeof(T));
-  std::vector<TuneEntry> entries;
-  for (const kernels::LaunchConfig& cfg :
-       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec)) {
-    TuneEntry entry = execute<T>(method, coeffs, device, extent, cfg);
-    entry.model_mpoints = model_predict<T>(method, coeffs.radius(), device, extent, cfg);
-    entries.push_back(std::move(entry));
-  }
+  const std::vector<kernels::LaunchConfig> configs =
+      space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
+  // Candidates are independent (each builds its own kernel and traces its
+  // own plane); evaluate them concurrently into index-addressed slots so
+  // the resulting entry list — and therefore the sort, the best pick and
+  // every statistic — is identical for every thread count.
+  std::vector<TuneEntry> entries(configs.size());
+  parallel_for(policy, configs.size(), [&](std::size_t i) {
+    entries[i] = execute<T>(method, coeffs, device, extent, configs[i]);
+    entries[i].model_mpoints =
+        model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
+  });
   return finalize(std::move(entries));
 }
 
 template <typename T>
 TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs,
                              const gpusim::DeviceSpec& device, const Extent3& extent,
-                             double beta, const SearchSpace& space) {
+                             double beta, const SearchSpace& space,
+                             const ExecPolicy& policy) {
   const int vec = default_vec(method, sizeof(T));
-  std::vector<TuneEntry> entries;
-  for (const kernels::LaunchConfig& cfg :
-       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec)) {
-    TuneEntry entry;
-    entry.config = cfg;
-    entry.model_mpoints =
-        model_predict<T>(method, coeffs.radius(), device, extent, cfg);
-    entries.push_back(entry);
-  }
-  // Rank by predicted performance and execute the top beta% of the global
-  // parameter space (section VI).
+  const std::vector<kernels::LaunchConfig> configs =
+      space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
+  std::vector<TuneEntry> entries(configs.size());
+  parallel_for(policy, configs.size(), [&](std::size_t i) {
+    entries[i].config = configs[i];
+    entries[i].model_mpoints =
+        model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
+  });
+  // Rank by predicted performance and execute only the top beta fraction
+  // of the *ranked* (constraint-satisfying) candidates — the section-VI
+  // cutoff.  Basing the budget on the unfiltered space would let a small
+  // beta cover every survivor of constraint pruning, turning the pruning
+  // into a no-op.  beta is a fraction in [0, 1], clamped; at least one
+  // candidate always runs so a best config exists.
+  const double frac = std::clamp(beta, 0.0, 1.0);
+  const std::size_t n_select = std::min(
+      entries.size(),
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(frac * static_cast<double>(entries.size())))));
   std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
     return a.model_mpoints > b.model_mpoints;
   });
-  const auto n_select = static_cast<std::size_t>(
-      std::ceil(beta * static_cast<double>(space.raw_size())));
-  for (std::size_t i = 0; i < entries.size() && i < n_select; ++i) {
+  parallel_for(policy, n_select, [&](std::size_t i) {
     const kernels::LaunchConfig cfg = entries[i].config;
     const double predicted = entries[i].model_mpoints;
     entries[i] = execute<T>(method, coeffs, device, extent, cfg);
     entries[i].model_mpoints = predicted;
-  }
+  });
   return finalize(std::move(entries));
 }
 
 template TuneResult exhaustive_tune<float>(kernels::Method, const StencilCoeffs&,
                                            const gpusim::DeviceSpec&, const Extent3&,
-                                           const SearchSpace&);
+                                           const SearchSpace&, const ExecPolicy&);
 template TuneResult exhaustive_tune<double>(kernels::Method, const StencilCoeffs&,
                                             const gpusim::DeviceSpec&, const Extent3&,
-                                            const SearchSpace&);
+                                            const SearchSpace&, const ExecPolicy&);
 template TuneResult model_guided_tune<float>(kernels::Method, const StencilCoeffs&,
                                              const gpusim::DeviceSpec&, const Extent3&,
-                                             double, const SearchSpace&);
+                                             double, const SearchSpace&,
+                                             const ExecPolicy&);
 template TuneResult model_guided_tune<double>(kernels::Method, const StencilCoeffs&,
                                               const gpusim::DeviceSpec&, const Extent3&,
-                                              double, const SearchSpace&);
+                                              double, const SearchSpace&,
+                                              const ExecPolicy&);
 
 }  // namespace inplane::autotune

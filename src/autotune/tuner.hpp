@@ -4,6 +4,7 @@
 
 #include "autotune/search_space.hpp"
 #include "core/coefficients.hpp"
+#include "core/thread_pool.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -31,42 +32,56 @@ struct TuneResult {
 
 /// Exhaustively executes every constraint-satisfying configuration on the
 /// simulated device and returns the best (section IV-C).
+///
+/// Candidates are evaluated concurrently on the shared host thread pool
+/// under @p policy (default: all hardware threads; ExecPolicy{1} restores
+/// the serial sweep).  Results are deterministic: the entry list, the
+/// selected best config and all statistics are identical for every thread
+/// count.
 template <typename T>
 [[nodiscard]] TuneResult exhaustive_tune(kernels::Method method,
                                          const StencilCoeffs& coeffs,
                                          const gpusim::DeviceSpec& device,
                                          const Extent3& extent,
-                                         const SearchSpace& space = {});
+                                         const SearchSpace& space = {},
+                                         const ExecPolicy& policy = {});
 
-/// The model-based tuning procedure of section VI: ranks every candidate
-/// by the Eqns. (6)-(14) prediction, executes only the top
-/// ceil(beta * M) of the *global* space (M = space.raw_size(), matching
-/// the paper's definition of the cutoff), and returns the best of those by
-/// measured performance.
+/// The model-based tuning procedure of section VI: ranks every
+/// constraint-satisfying candidate by the Eqns. (6)-(14) prediction,
+/// executes only the top ceil(beta * N) of that ranking (N = number of
+/// ranked candidates; @p beta is a *fraction* in [0, 1], clamped, and at
+/// least one candidate always runs), and returns the best of those by
+/// measured performance.  Same concurrency and determinism contract as
+/// exhaustive_tune().
 template <typename T>
 [[nodiscard]] TuneResult model_guided_tune(kernels::Method method,
                                            const StencilCoeffs& coeffs,
                                            const gpusim::DeviceSpec& device,
                                            const Extent3& extent, double beta = 0.05,
-                                           const SearchSpace& space = {});
+                                           const SearchSpace& space = {},
+                                           const ExecPolicy& policy = {});
 
 extern template TuneResult exhaustive_tune<float>(kernels::Method,
                                                   const StencilCoeffs&,
                                                   const gpusim::DeviceSpec&,
-                                                  const Extent3&, const SearchSpace&);
+                                                  const Extent3&, const SearchSpace&,
+                                                  const ExecPolicy&);
 extern template TuneResult exhaustive_tune<double>(kernels::Method,
                                                    const StencilCoeffs&,
                                                    const gpusim::DeviceSpec&,
-                                                   const Extent3&, const SearchSpace&);
+                                                   const Extent3&, const SearchSpace&,
+                                                   const ExecPolicy&);
 extern template TuneResult model_guided_tune<float>(kernels::Method,
                                                     const StencilCoeffs&,
                                                     const gpusim::DeviceSpec&,
                                                     const Extent3&, double,
-                                                    const SearchSpace&);
+                                                    const SearchSpace&,
+                                                    const ExecPolicy&);
 extern template TuneResult model_guided_tune<double>(kernels::Method,
                                                      const StencilCoeffs&,
                                                      const gpusim::DeviceSpec&,
                                                      const Extent3&, double,
-                                                     const SearchSpace&);
+                                                     const SearchSpace&,
+                                                     const ExecPolicy&);
 
 }  // namespace inplane::autotune

@@ -1,0 +1,199 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace inplane {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1u : hw;
+  }
+  deques_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;  // intentionally leaked-at-exit via static storage
+  return pool;
+}
+
+namespace {
+/// Index of the current thread inside its pool's deque array, or -1 when
+/// the thread is not a pool worker.  One pool's workers never execute
+/// inside another pool, so a single slot suffices.
+thread_local std::ptrdiff_t tls_worker_index = -1;
+}  // namespace
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t victim;
+  if (tls_worker_index >= 0 &&
+      static_cast<std::size_t>(tls_worker_index) < deques_.size()) {
+    victim = static_cast<std::size_t>(tls_worker_index);
+  } else {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    victim = next_victim_;
+    next_victim_ = (next_victim_ + 1) % deques_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
+    deques_[victim]->tasks.push_back(std::move(task));
+  }
+  {
+    // The increment must happen under sleep_mutex_ so a worker that just
+    // evaluated its wait predicate cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest task (LIFO: it is the hottest in cache)...
+  {
+    Deque& own = *deques_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ...then steal the oldest task from someone else (FIFO: steals take
+  // the coldest work, the owner keeps its locality).
+  const std::size_t n = deques_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Deque& other = *deques_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(other.mutex);
+    if (!other.tasks.empty()) {
+      out = std::move(other.tasks.front());
+      other.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_worker_index = static_cast<std::ptrdiff_t>(self);
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_) return;
+    // pending_ only ever rises while sleep_mutex_ is held (see submit),
+    // so a non-zero count cannot slip past this predicate unnoticed.  A
+    // lost steal race merely causes one spurious loop iteration.
+    sleep_cv_.wait(lock, [&] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+namespace {
+
+/// Shared state of one for_each call.  Participants (the caller plus any
+/// helper tasks that get scheduled) claim items through an atomic cursor;
+/// every claimed index bumps `completed` exactly once — after an error
+/// the remaining claims drain without calling fn — so `completed == n`
+/// is the single termination condition and implies no thread is still
+/// inside fn.  Helpers that were queued but never scheduled find the
+/// cursor exhausted and exit without touching fn, so completion never
+/// depends on a pool worker becoming free — which is what makes nesting
+/// for_each inside a task safe.
+struct ForEachState {
+  explicit ForEachState(std::size_t total) : n(total) {}
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first failure (under mutex)
+
+  void run_items(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::for_each(std::size_t n, unsigned max_concurrency,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (max_concurrency <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForEachState>(n);
+  const std::size_t helpers =
+      std::min<std::size_t>({static_cast<std::size_t>(max_concurrency) - 1,
+                             n - 1, worker_count()});
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // Helpers keep the state (and their copy of fn) alive; one scheduled
+    // after the caller has returned finds the cursor exhausted and is a
+    // no-op.
+    submit([state, fn] { state->run_items(fn); });
+  }
+
+  state->run_items(fn);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  const unsigned conc = policy.concurrency();
+  if (conc <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::shared().for_each(n, conc, fn);
+}
+
+}  // namespace inplane

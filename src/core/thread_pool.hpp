@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inplane {
+
+/// Host-side execution policy threaded through the runner and tuner APIs.
+///
+/// The simulator is deterministic by construction: parallel execution
+/// partitions work into independent units (thread blocks, tuner
+/// candidates) whose results are reduced in iteration order, so grids,
+/// TraceStats and tuning outcomes are bit-identical for every
+/// `num_threads`.  `ExecPolicy{1}` restores the fully serial path (no
+/// pool involvement at all), which is the right setting when profiling
+/// the simulator itself.
+struct ExecPolicy {
+  /// 0 = one software thread per hardware thread; 1 = serial; n = use up
+  /// to n threads (including the calling thread).
+  int num_threads = 0;
+
+  /// The policy resolved against the host: always >= 1.
+  [[nodiscard]] unsigned concurrency() const {
+    if (num_threads > 0) return static_cast<unsigned>(num_threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+
+  [[nodiscard]] bool serial() const { return concurrency() == 1; }
+};
+
+/// A shared work-stealing thread pool.
+///
+/// Each worker owns a deque: its own tasks are popped LIFO from the back
+/// (cache locality), and idle workers steal FIFO from the front of other
+/// workers' deques.  Tasks submitted from outside the pool are dealt to
+/// the deques round-robin.  Tasks must not block on other tasks except
+/// through ThreadPool::for_each, which is safe to nest (the calling
+/// thread always participates, so progress never depends on a free
+/// worker).
+class ThreadPool {
+ public:
+  /// @p workers = 0 means one worker per hardware thread.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool the runner and tuners share.  Sized to the
+  /// hardware concurrency; ExecPolicy caps how much of it one call uses.
+  static ThreadPool& shared();
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues one fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(i) exactly once for every i in [0, n), using up to
+  /// @p max_concurrency threads including the caller.  Work is claimed
+  /// dynamically (an atomic cursor), so load balances like stealing at
+  /// item granularity; the assignment of items to threads is arbitrary
+  /// but every item runs exactly once, which is what the deterministic
+  /// index-addressed reductions above this layer rely on.  The first
+  /// exception thrown by fn cancels the remaining items and is rethrown
+  /// on the calling thread.
+  void for_each(std::size_t n, unsigned max_concurrency,
+                const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> pending_{0};  // queued, not yet popped tasks
+  std::size_t next_victim_ = 0;  // round-robin submit target (under sleep_mutex_)
+  bool stop_ = false;            // under sleep_mutex_
+};
+
+/// Convenience wrapper: runs fn(i) for i in [0, n) under @p policy on the
+/// shared pool; a serial policy (or n <= 1) runs inline with zero
+/// synchronisation.
+void parallel_for(const ExecPolicy& policy, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace inplane

@@ -1,7 +1,10 @@
 #include "gpusim/coalescer.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace inplane::gpusim {
 
@@ -10,28 +13,46 @@ CoalesceResult coalesce(std::span<const LaneAccess> lanes, std::uint32_t segment
     throw std::invalid_argument("coalesce: segment size must be a power of two");
   }
   CoalesceResult result;
-  // Worst case: 32 lanes x 16-byte vector accesses against 4-byte segments
+  // Common case: 32 lanes x 16-byte vector accesses against 4-byte segments
   // (the degenerate granularity the model ablation uses) touches 5 segments
-  // per lane -> 160; 256 leaves headroom.
-  std::uint64_t segs[256];
-  std::size_t nsegs = 0;
+  // per lane -> 160; 256 leaves headroom.  Legitimately wider warp accesses
+  // (large per-lane strides against tiny segments) spill into heap storage
+  // instead of aborting the trace.
+  std::uint64_t stack_segs[256];
+  std::size_t nstack = 0;
+  std::vector<std::uint64_t> heap_segs;
+  std::uint64_t prev_seg = std::numeric_limits<std::uint64_t>::max();
+  bool any_seg = false;
   for (const LaneAccess& lane : lanes) {
     if (!lane.active || lane.bytes == 0) continue;
+    if (lane.addr > std::numeric_limits<std::uint64_t>::max() - lane.bytes) {
+      // Address arithmetic wrapping the 64-bit space is a malformed
+      // request, not a wide access: keep the hard error for that.
+      throw std::invalid_argument("coalesce: lane access wraps the address space");
+    }
     result.any_active = true;
     result.bytes_requested += lane.bytes;
     const std::uint64_t first = lane.addr / segment_bytes;
     const std::uint64_t last = (lane.addr + lane.bytes - 1) / segment_bytes;
     for (std::uint64_t s = first; s <= last; ++s) {
-      if (nsegs == std::size(segs)) {
-        throw std::invalid_argument("coalesce: access too wide for one warp instruction");
+      // Incremental dedup of the overwhelmingly common pattern (adjacent
+      // lanes hitting the same segment) keeps the buffers small.
+      if (any_seg && s == prev_seg) continue;
+      prev_seg = s;
+      any_seg = true;
+      if (heap_segs.empty() && nstack < std::size(stack_segs)) {
+        stack_segs[nstack++] = s;
+      } else {
+        if (heap_segs.empty()) heap_segs.assign(stack_segs, stack_segs + nstack);
+        heap_segs.push_back(s);
       }
-      segs[nsegs++] = s;
     }
   }
   if (!result.any_active) return result;
-  std::sort(segs, segs + nsegs);
-  result.transactions =
-      static_cast<std::uint64_t>(std::unique(segs, segs + nsegs) - segs);
+  std::uint64_t* begin = heap_segs.empty() ? stack_segs : heap_segs.data();
+  std::uint64_t* end = begin + (heap_segs.empty() ? nstack : heap_segs.size());
+  std::sort(begin, end);
+  result.transactions = static_cast<std::uint64_t>(std::unique(begin, end) - begin);
   result.bytes_transferred = result.transactions * segment_bytes;
   return result;
 }

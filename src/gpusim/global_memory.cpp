@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace inplane::gpusim {
 
@@ -11,30 +12,38 @@ constexpr std::uint64_t kBaseAlign = 512;
 std::uint64_t align_up(std::uint64_t v, std::uint64_t a) { return ((v + a - 1) / a) * a; }
 }  // namespace
 
+BufferId GlobalMemory::register_mapping(Mapping m) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  if (buffers_.size() == kMaxBuffers) {
+    throw std::length_error("GlobalMemory: mapped buffer limit reached");
+  }
+  m.base = align_up(next_base_, kBaseAlign);
+  next_base_ = m.base + m.size + kBaseAlign;
+  buffers_.push_back(m);
+  // Publish after the element is fully constructed so concurrent lookups
+  // never observe a half-written Mapping.
+  count_.store(buffers_.size(), std::memory_order_release);
+  return BufferId{buffers_.size() - 1};
+}
+
 BufferId GlobalMemory::map(std::span<std::byte> host_bytes) {
   Mapping m;
-  m.base = align_up(next_base_, kBaseAlign);
   m.size = host_bytes.size();
   m.host = host_bytes.data();
   m.host_ro = host_bytes.data();
-  next_base_ = m.base + m.size + kBaseAlign;
-  buffers_.push_back(m);
-  return BufferId{buffers_.size() - 1};
+  return register_mapping(m);
 }
 
 BufferId GlobalMemory::map_readonly(std::span<const std::byte> host_bytes) {
   Mapping m;
-  m.base = align_up(next_base_, kBaseAlign);
   m.size = host_bytes.size();
   m.host = nullptr;
   m.host_ro = host_bytes.data();
-  next_base_ = m.base + m.size + kBaseAlign;
-  buffers_.push_back(m);
-  return BufferId{buffers_.size() - 1};
+  return register_mapping(m);
 }
 
 std::uint64_t GlobalMemory::base(BufferId id) const {
-  if (!id.valid() || id.value >= buffers_.size()) {
+  if (!id.valid() || id.value >= count_.load(std::memory_order_acquire)) {
     throw std::out_of_range("GlobalMemory::base: invalid buffer id");
   }
   return buffers_[id.value].base;
@@ -42,7 +51,9 @@ std::uint64_t GlobalMemory::base(BufferId id) const {
 
 const GlobalMemory::Mapping& GlobalMemory::locate(std::uint64_t vaddr,
                                                   std::size_t n) const {
-  for (const Mapping& m : buffers_) {
+  const std::size_t count = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Mapping& m = buffers_[i];
     if (vaddr >= m.base && vaddr + n <= m.base + m.size) return m;
   }
   throw std::out_of_range("GlobalMemory: access to unmapped address " +

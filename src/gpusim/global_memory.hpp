@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -20,8 +22,18 @@ struct BufferId {
 /// *virtual* byte addresses (base + Grid3::byte_offset) so that the
 /// coalescer sees the same alignment the real card would; functional reads
 /// and writes are translated back to host pointers here.
+///
+/// Thread safety: map()/map_readonly() may be called concurrently (they
+/// serialise on an internal mutex), and base()/read()/write() are safe
+/// from any number of threads concurrently with each other *and* with
+/// in-progress mappings — lookups only ever see fully published mappings.
+/// Concurrent write()s to overlapping byte ranges are the caller's data
+/// race, exactly as on a real GPU; the parallel runner only ever hands
+/// disjoint output tiles to concurrent blocks.
 class GlobalMemory {
  public:
+  GlobalMemory() { buffers_.reserve(kMaxBuffers); }
+
   /// Maps @p bytes of host storage into the simulated address space.
   /// The span must outlive all kernel executions that use the id.
   BufferId map(std::span<std::byte> host_bytes);
@@ -41,7 +53,9 @@ class GlobalMemory {
   /// Functional write of @p n bytes from @p src to virtual address @p vaddr.
   void write(std::uint64_t vaddr, const void* src, std::size_t n);
 
-  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t buffer_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Mapping {
@@ -51,10 +65,17 @@ class GlobalMemory {
     const std::byte* host_ro = nullptr;
   };
 
+  // Capacity is reserved up front so push_back never reallocates and
+  // lock-free readers can walk [0, count_) while a mapping is appended.
+  static constexpr std::size_t kMaxBuffers = 1024;
+
+  BufferId register_mapping(Mapping m);
   const Mapping& locate(std::uint64_t vaddr, std::size_t n) const;
 
   std::vector<Mapping> buffers_;
-  std::uint64_t next_base_ = 0x1000;  // never map address 0
+  std::atomic<std::size_t> count_{0};  // published mappings (release/acquire)
+  std::mutex map_mutex_;               // serialises map()/map_readonly()
+  std::uint64_t next_base_ = 0x1000;   // never map address 0 (under map_mutex_)
 };
 
 }  // namespace inplane::gpusim

@@ -127,8 +127,11 @@ KernelTiming estimate_timing(const DeviceSpec& device, const TimingInput& input)
 
   const CycleBreakdown& c = timing.per_plane_sm;
   const double busy = std::max({c.mem, c.ldst, c.compute});
-  timing.bw_utilisation =
-      c.mem / (busy + c.latency + c.sync);
+  // An all-zero trace (e.g. a degenerate kernel that issues nothing) has
+  // busy == latency == sync == 0; define its utilisation as 0 rather than
+  // letting 0/0 poison the field with NaN.
+  const double plane_total = busy + c.latency + c.sync;
+  timing.bw_utilisation = plane_total > 0.0 ? c.mem / plane_total : 0.0;
   if (c.latency > busy) {
     timing.bottleneck = "latency";
   } else if (busy == c.mem) {

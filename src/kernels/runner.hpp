@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/grid3.hpp"
+#include "core/thread_pool.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -18,13 +19,21 @@ template <typename T>
 /// every thread block.  Returns the aggregated trace (empty counters in
 /// pure Functional mode).
 ///
+/// Independent thread blocks execute concurrently on the shared host
+/// thread pool under @p policy (default: all hardware threads;
+/// ExecPolicy{1} restores the serial sweep).  Output grids and the
+/// aggregate TraceStats are bit-identical for every thread count: blocks
+/// write disjoint tiles and per-block stats are reduced in iteration
+/// order.
+///
 /// Throws std::invalid_argument if the configuration is invalid for the
 /// device/extent or the grids are incompatible (mismatched extents, halo
 /// narrower than the stencil radius).
 template <typename T>
 gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
                               Grid3<T>& out, const gpusim::DeviceSpec& device,
-                              gpusim::ExecMode mode = gpusim::ExecMode::Functional);
+                              gpusim::ExecMode mode = gpusim::ExecMode::Functional,
+                              const ExecPolicy& policy = {});
 
 /// Produces a timing estimate for @p kernel on @p device over a grid of
 /// @p extent: traces one steady-state plane of one block and expands it
@@ -39,12 +48,14 @@ template <typename T>
 extern template gpusim::TraceStats run_kernel<float>(const IStencilKernel<float>&,
                                                      const Grid3<float>&, Grid3<float>&,
                                                      const gpusim::DeviceSpec&,
-                                                     gpusim::ExecMode);
+                                                     gpusim::ExecMode,
+                                                     const ExecPolicy&);
 extern template gpusim::TraceStats run_kernel<double>(const IStencilKernel<double>&,
                                                       const Grid3<double>&,
                                                       Grid3<double>&,
                                                       const gpusim::DeviceSpec&,
-                                                      gpusim::ExecMode);
+                                                      gpusim::ExecMode,
+                                                      const ExecPolicy&);
 extern template gpusim::KernelTiming time_kernel<float>(const IStencilKernel<float>&,
                                                         const gpusim::DeviceSpec&,
                                                         const Extent3&);

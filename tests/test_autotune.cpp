@@ -101,10 +101,42 @@ TEST(ModelGuidedTune, RunsOnlyBetaFraction) {
   const TuneResult t =
       model_guided_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, beta, space);
   ASSERT_TRUE(t.found());
-  const auto expected =
-      static_cast<std::size_t>(std::ceil(beta * static_cast<double>(space.raw_size())));
-  EXPECT_LE(t.executed, expected);
+  // The budget is the top beta fraction of the *ranked* (i.e. constraint-
+  // satisfying) candidates, not of the raw unfiltered space.
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(beta * static_cast<double>(t.candidates)));
+  EXPECT_EQ(t.executed, expected);
   EXPECT_LT(t.executed, t.candidates);
+}
+
+// Regression for the budget being computed from space.raw_size(): with
+// heavy constraint filtering, ceil(beta * raw) could cover every surviving
+// candidate and beta-pruning silently degenerated to an exhaustive sweep.
+TEST(ModelGuidedTune, SmallBetaExecutesStrictlyFewerThanExhaustive) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  // Radius 6 prunes the space hard (big tiles blow the shared-memory
+  // limit), which is exactly the regime where the old budget was a no-op.
+  const StencilCoeffs cs = StencilCoeffs::diffusion(6);
+  const TuneResult exh =
+      exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid);
+  const TuneResult mod =
+      model_guided_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, 0.05);
+  ASSERT_TRUE(exh.found() && mod.found());
+  EXPECT_EQ(mod.candidates, exh.candidates);
+  EXPECT_LT(mod.executed, exh.executed);
+}
+
+TEST(ModelGuidedTune, BetaIsClampedAndAlwaysRunsOneCandidate) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const TuneResult zero =
+      model_guided_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, 0.0);
+  ASSERT_TRUE(zero.found());
+  EXPECT_EQ(zero.executed, 1u);
+  const TuneResult over =
+      model_guided_tune<float>(Method::InPlaneFullSlice, cs, dev, kGrid, 7.0);
+  ASSERT_TRUE(over.found());
+  EXPECT_EQ(over.executed, over.candidates);
 }
 
 TEST(ModelGuidedTune, NearOptimal) {

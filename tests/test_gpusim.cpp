@@ -106,6 +106,39 @@ TEST(Coalescer, RejectsBadSegmentSize) {
   EXPECT_THROW((void)coalesce(lanes, 96), std::invalid_argument);
 }
 
+// Regression: a legitimately wide warp access (many distinct segments per
+// lane against a tiny segment size) used to overflow the fixed 256-entry
+// buffer and abort the trace with invalid_argument.
+TEST(Coalescer, WideWarpAccessDoesNotAbort) {
+  std::array<LaneAccess, 32> lanes;
+  for (int i = 0; i < 32; ++i) {
+    // 64 bytes per lane, lanes 2048 bytes apart, 4-byte segments:
+    // 16 distinct segments per lane, 512 for the warp.
+    lanes[static_cast<std::size_t>(i)] = {static_cast<std::uint64_t>(i) * 2048, 64,
+                                          true};
+  }
+  const CoalesceResult r = coalesce(lanes, 4);
+  EXPECT_EQ(r.transactions, 512u);
+  EXPECT_EQ(r.bytes_requested, 32u * 64u);
+  EXPECT_EQ(r.bytes_transferred, 512u * 4u);
+}
+
+TEST(Coalescer, OverlappingWideLanesStillDeduplicate) {
+  std::array<LaneAccess, 32> lanes;
+  for (int i = 0; i < 32; ++i) {
+    // Every lane covers the same 2048-byte span: 512 segments, once.
+    lanes[static_cast<std::size_t>(i)] = {0, 2048, true};
+  }
+  const CoalesceResult r = coalesce(lanes, 4);
+  EXPECT_EQ(r.transactions, 512u);
+}
+
+TEST(Coalescer, AddressWrapIsStillRejected) {
+  std::array<LaneAccess, 32> lanes{};
+  lanes[0] = {~std::uint64_t{0} - 2, 8, true};  // addr + bytes wraps
+  EXPECT_THROW((void)coalesce(lanes, 128), std::invalid_argument);
+}
+
 // --- Shared memory ------------------------------------------------------------
 
 std::array<SmemLaneAccess, 32> smem_lanes(std::uint32_t base, std::uint32_t stride) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gpusim/occupancy.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/runner.hpp"
@@ -88,6 +90,17 @@ TEST(TimingModel, ValidAndPositive) {
   EXPECT_GT(t.seconds, 0.0);
   EXPECT_GT(t.mpoints_per_s, 0.0);
   EXPECT_GT(t.gflops, 0.0);
+}
+
+// Regression: an all-zero per-plane trace made busy + latency + sync == 0
+// and bw_utilisation came back as NaN (0/0).
+TEST(TimingModel, AllZeroTraceHasDefinedUtilisation) {
+  TimingInput in = base_input();
+  in.per_plane = TraceStats{};
+  in.ilp = 1000;  // saturate latency hiding so c_lat is 0 too
+  const KernelTiming t = estimate_timing(kFermi, in);
+  EXPECT_FALSE(std::isnan(t.bw_utilisation));
+  EXPECT_EQ(t.bw_utilisation, 0.0);
 }
 
 TEST(TimingModel, MoreBytesNeverFaster) {

@@ -1,0 +1,196 @@
+// The parallel execution engine: the work-stealing thread pool itself,
+// the determinism guarantee of the parallel runner (grids and TraceStats
+// bit-identical for any thread count), and thread-count independence of
+// the tuners.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "core/thread_pool.hpp"
+#include "kernels/runner.hpp"
+
+namespace inplane {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::ExecMode;
+using gpusim::TraceStats;
+using kernels::LaunchConfig;
+using kernels::Method;
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, ForEachRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each(hits.size(), 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ForEachZeroAndOneItems) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.for_each(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.for_each(1, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedForEachDoesNotDeadlock) {
+  ThreadPool pool(2);  // fewer workers than outer items forces queueing
+  std::atomic<int> total{0};
+  pool.for_each(4, 4, [&](std::size_t) {
+    pool.for_each(8, 4,
+                  [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ForEachPropagatesExceptionsAndCancels) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.for_each(1000, 4,
+                    [&](std::size_t i) {
+                      executed.fetch_add(1, std::memory_order_relaxed);
+                      if (i == 3) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // Cancellation drains the remaining items without running them.
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done.load(std::memory_order_acquire) < 16) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ExecPolicy, Resolution) {
+  EXPECT_EQ(ExecPolicy{1}.concurrency(), 1u);
+  EXPECT_TRUE(ExecPolicy{1}.serial());
+  EXPECT_EQ(ExecPolicy{6}.concurrency(), 6u);
+  EXPECT_GE(ExecPolicy{}.concurrency(), 1u);
+}
+
+// ------------------------------------------------------ runner determinism --
+
+bool same_stats(const TraceStats& a, const TraceStats& b) {
+  return a.load_instrs == b.load_instrs && a.store_instrs == b.store_instrs &&
+         a.load_transactions == b.load_transactions &&
+         a.store_transactions == b.store_transactions &&
+         a.bytes_requested_ld == b.bytes_requested_ld &&
+         a.bytes_transferred_ld == b.bytes_transferred_ld &&
+         a.bytes_requested_st == b.bytes_requested_st &&
+         a.bytes_transferred_st == b.bytes_transferred_st &&
+         a.smem_instrs == b.smem_instrs && a.smem_replays == b.smem_replays &&
+         a.compute_instrs == b.compute_instrs && a.flops == b.flops &&
+         a.syncs == b.syncs;
+}
+
+template <typename T>
+void expect_run_kernel_thread_count_invariant(Method method) {
+  const Extent3 extent{64, 32, 9};
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const auto kernel = kernels::make_kernel<T>(method, cs, cfg);
+  const auto dev = DeviceSpec::geforce_gtx580();
+
+  Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(std::sin(0.1 * i) + 0.05 * j + 0.02 * k * k);
+  });
+
+  Grid3<T> out_serial = kernels::make_grid_for(*kernel, extent);
+  out_serial.fill(static_cast<T>(-1));
+  const TraceStats serial = kernels::run_kernel(*kernel, in, out_serial, dev,
+                                                ExecMode::Both, ExecPolicy{1});
+
+  for (int threads : {2, 4, 8}) {
+    Grid3<T> out_par = kernels::make_grid_for(*kernel, extent);
+    out_par.fill(static_cast<T>(-1));
+    const TraceStats par = kernels::run_kernel(*kernel, in, out_par, dev,
+                                               ExecMode::Both, ExecPolicy{threads});
+    EXPECT_TRUE(same_stats(serial, par)) << "threads=" << threads;
+    // Bit-identical output storage, halos included.
+    EXPECT_EQ(std::memcmp(out_serial.raw(), out_par.raw(),
+                          out_serial.allocated() * sizeof(T)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRunner, InPlaneFullSliceIsThreadCountInvariant) {
+  expect_run_kernel_thread_count_invariant<float>(Method::InPlaneFullSlice);
+  expect_run_kernel_thread_count_invariant<double>(Method::InPlaneFullSlice);
+}
+
+TEST(ParallelRunner, ForwardPlaneIsThreadCountInvariant) {
+  expect_run_kernel_thread_count_invariant<float>(Method::ForwardPlane);
+}
+
+TEST(ParallelRunner, ClassicalIsThreadCountInvariant) {
+  expect_run_kernel_thread_count_invariant<float>(Method::InPlaneClassical);
+}
+
+// ------------------------------------------------------- tuner determinism --
+
+TEST(ParallelTuner, ExhaustiveBestIsThreadCountIndependent) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const Extent3 grid{512, 512, 256};
+  const autotune::TuneResult serial = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, grid, {}, ExecPolicy{1});
+  const autotune::TuneResult par = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, grid, {}, ExecPolicy{4});
+  ASSERT_TRUE(serial.found() && par.found());
+  EXPECT_EQ(serial.candidates, par.candidates);
+  EXPECT_EQ(serial.executed, par.executed);
+  EXPECT_EQ(serial.best.config.to_string(), par.best.config.to_string());
+  // The timing numbers come from the same deterministic model: bitwise equal.
+  EXPECT_EQ(serial.best.timing.mpoints_per_s, par.best.timing.mpoints_per_s);
+  EXPECT_EQ(serial.best.timing.seconds, par.best.timing.seconds);
+  ASSERT_EQ(serial.entries.size(), par.entries.size());
+  for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+    EXPECT_EQ(serial.entries[i].config.to_string(), par.entries[i].config.to_string());
+    EXPECT_EQ(serial.entries[i].timing.mpoints_per_s,
+              par.entries[i].timing.mpoints_per_s);
+    EXPECT_EQ(serial.entries[i].model_mpoints, par.entries[i].model_mpoints);
+  }
+}
+
+TEST(ParallelTuner, ModelGuidedBestIsThreadCountIndependent) {
+  const auto dev = DeviceSpec::geforce_gtx680();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(3);
+  const Extent3 grid{512, 512, 256};
+  const autotune::TuneResult serial = autotune::model_guided_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, grid, 0.1, {}, ExecPolicy{1});
+  const autotune::TuneResult par = autotune::model_guided_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, grid, 0.1, {}, ExecPolicy{4});
+  ASSERT_TRUE(serial.found() && par.found());
+  EXPECT_EQ(serial.executed, par.executed);
+  EXPECT_EQ(serial.best.config.to_string(), par.best.config.to_string());
+  EXPECT_EQ(serial.best.timing.mpoints_per_s, par.best.timing.mpoints_per_s);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -131,15 +131,18 @@ int cmd_tune(const Args& args) {
   const int order = args.geti("order", 2);
   const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
   const Extent3 grid = grid_from(args);
+  // --threads 1 pins the sweep to the serial path (reproducible wall-clock
+  // benchmarking); 0 = all hardware threads.  Results are identical either way.
+  const ExecPolicy policy{args.geti("threads", 0)};
 
   autotune::TuneResult result;
   if (args.has("beta")) {
     const double beta = std::atof(args.get("beta", "0.05").c_str());
-    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta);
+    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta, {}, policy);
     std::printf("model-guided tuning (beta = %.0f%%): executed %zu of %zu candidates\n",
                 beta * 100.0, result.executed, result.candidates);
   } else {
-    result = autotune::exhaustive_tune<T>(method, cs, dev, grid);
+    result = autotune::exhaustive_tune<T>(method, cs, dev, grid, {}, policy);
     std::printf("exhaustive tuning: executed %zu configurations\n", result.executed);
   }
   if (!result.found()) {
@@ -214,7 +217,8 @@ int usage() {
       "  run      time one configuration   (--method --order --device --tx --ty\n"
       "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz])\n"
       "  tune     auto-tune a method       (--method --order --device [--dp]\n"
-      "                                     [--beta 0.05 for model-guided])\n"
+      "                                     [--beta 0.05 for model-guided]\n"
+      "                                     [--threads N, 0 = all cores, 1 = serial])\n"
       "  model    section-VI prediction    (same keys as run)\n"
       "  codegen  emit a CUDA .cu file     (--method --order --tx --ty ... [--o f])\n",
       stderr);
