@@ -3,16 +3,26 @@
 // the model-guided search of section VI, and print the top of the ranking.
 //
 //   $ ./autotune_explore [order] [sp|dp] [gtx580|gtx680|c2070] [threads]
+//                        [fault-plan]
 //
 // `threads` caps the host threads the tuning sweep uses (0 = all hardware
 // threads, 1 = serial); the chosen best config and every number printed
-// are identical for any value.
+// are identical for any value.  An optional fault-plan string (see
+// docs/robustness.md) injects measurement faults: faulted candidates are
+// retried and, if they keep failing, quarantined — the sweep degrades to
+// best-of-survivors and the roster is printed.
+//
+// Exit codes: 0 success, 1 no valid configuration / internal, 2 bad
+// arguments or configuration, 3 execution fault, 4 I/O failure.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "autotune/tuner.hpp"
+#include "core/status.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -26,15 +36,16 @@ gpusim::DeviceSpec pick_device(const char* name) {
 }
 
 template <typename T>
-int explore(int order, const gpusim::DeviceSpec& device, const ExecPolicy& policy) {
+int explore(int order, const gpusim::DeviceSpec& device,
+            const autotune::TuneOptions& options) {
   const Extent3 grid{512, 512, 256};
   const StencilCoeffs coeffs = StencilCoeffs::diffusion(order / 2);
 
   const autotune::TuneResult exh = autotune::exhaustive_tune<T>(
-      kernels::Method::InPlaneFullSlice, coeffs, device, grid, {}, policy);
+      kernels::Method::InPlaneFullSlice, coeffs, device, grid, {}, options);
   const autotune::TuneResult mod = autotune::model_guided_tune<T>(
       kernels::Method::InPlaneFullSlice, coeffs, device, grid, /*beta=*/0.05, {},
-      policy);
+      options);
 
   std::printf("order %d (%s) on %s: %zu candidate configurations\n", order,
               sizeof(T) == 8 ? "DP" : "SP", device.name.c_str(), exh.candidates);
@@ -50,6 +61,15 @@ int explore(int order, const gpusim::DeviceSpec& device, const ExecPolicy& polic
                  gpusim::to_string(e.timing.occupancy.limiter)});
   }
   std::fputs(top.render("top configurations (exhaustive)").c_str(), stdout);
+  if (exh.faulted != 0 || exh.quarantined != 0) {
+    std::printf("\nfault report: %zu candidate(s) faulted, %zu quarantined\n",
+                exh.faulted, exh.quarantined);
+    for (const autotune::QuarantineRecord& q : exh.quarantine) {
+      std::printf("  quarantined %s after %d attempt(s): %s\n",
+                  q.config.to_string().c_str(), q.attempts,
+                  q.reason.to_string().c_str());
+    }
+  }
   std::printf(
       "\nexhaustive best: %s at %.1f MPoint/s after %zu runs\n"
       "model-guided (beta=5%%): %s at %.1f MPoint/s after only %zu runs\n",
@@ -65,11 +85,36 @@ int main(int argc, char** argv) {
   const int order = argc > 1 ? std::atoi(argv[1]) : 8;
   const bool dp = argc > 2 && std::strcmp(argv[2], "dp") == 0;
   const gpusim::DeviceSpec device = pick_device(argc > 3 ? argv[3] : "gtx580");
-  const ExecPolicy policy{argc > 4 ? std::atoi(argv[4]) : 0};
   if (order < 2 || order % 2 != 0) {
     std::fprintf(stderr, "order must be a positive even number\n");
     return 2;
   }
-  return dp ? explore<double>(order, device, policy)
-            : explore<float>(order, device, policy);
+  try {
+    autotune::TuneOptions options;
+    options.policy = ExecPolicy{argc > 4 ? std::atoi(argv[4]) : 0};
+    std::optional<gpusim::FaultInjector> injector;
+    if (argc > 5) {
+      injector.emplace(gpusim::FaultPlan::parse(argv[5]));
+      options.faults = &*injector;
+    }
+    return dp ? explore<double>(order, device, options)
+              : explore<float>(order, device, options);
+  } catch (const std::exception& e) {
+    // Exit codes by failure class, same scheme as the inplane CLI.
+    const Status st = status_of(e);
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    switch (st.code) {
+      case ErrorCode::InvalidConfig:
+        return 2;
+      case ErrorCode::TransientFault:
+      case ErrorCode::Timeout:
+      case ErrorCode::DataCorruption:
+      case ErrorCode::DeviceLost:
+        return 3;
+      case ErrorCode::IoError:
+        return 4;
+      default:
+        return 1;
+    }
+  }
 }

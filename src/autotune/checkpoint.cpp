@@ -1,0 +1,325 @@
+#include "autotune/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace inplane::autotune {
+
+namespace {
+
+constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '1', '\n'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+// --- payload serialization (little-endian, fixed widths) -----------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || pos + n > buf.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, buf.data() + pos, n);
+    pos += n;
+    return true;
+  }
+
+  std::uint32_t u32() {
+    unsigned char b[4] = {};
+    take(b, 4);
+    return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    unsigned char b[8] = {};
+    take(b, 8);
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i) bits = (bits << 8) | b[i];
+    return std::bit_cast<double>(bits);
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || pos + n > buf.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(buf.data() + pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+std::string encode_entry(const TuneEntry& e) {
+  std::string p;
+  put_i32(p, e.config.tx);
+  put_i32(p, e.config.ty);
+  put_i32(p, e.config.rx);
+  put_i32(p, e.config.ry);
+  put_i32(p, e.config.vec);
+  const std::uint32_t flags = (e.executed ? 1u : 0u) | (e.failed ? 2u : 0u) |
+                              (e.timing.valid ? 4u : 0u);
+  put_u32(p, flags);
+  put_i32(p, static_cast<std::int32_t>(e.failure.code));
+  put_str(p, e.failure.context);
+  put_i32(p, e.attempts);
+  put_f64(p, e.model_mpoints);
+  put_str(p, e.timing.invalid_reason);
+  put_f64(p, e.timing.seconds);
+  put_f64(p, e.timing.mpoints_per_s);
+  put_f64(p, e.timing.gflops);
+  put_f64(p, e.timing.load_efficiency);
+  put_f64(p, e.timing.bw_utilisation);
+  put_i32(p, e.timing.occupancy.active_blocks);
+  put_i32(p, e.timing.occupancy.warps_per_block);
+  put_i32(p, static_cast<std::int32_t>(e.timing.occupancy.limiter));
+  put_str(p, e.timing.occupancy.invalid_reason);
+  put_f64(p, e.timing.per_plane_sm.mem);
+  put_f64(p, e.timing.per_plane_sm.ldst);
+  put_f64(p, e.timing.per_plane_sm.compute);
+  put_f64(p, e.timing.per_plane_sm.latency);
+  put_f64(p, e.timing.per_plane_sm.sync);
+  put_str(p, e.timing.bottleneck);
+  put_i32(p, e.timing.stages);
+  put_i32(p, e.timing.rem_blocks);
+  return p;
+}
+
+bool decode_entry(const std::string& payload, TuneEntry& e) {
+  Reader r{payload};
+  e.config.tx = r.i32();
+  e.config.ty = r.i32();
+  e.config.rx = r.i32();
+  e.config.ry = r.i32();
+  e.config.vec = r.i32();
+  const std::uint32_t flags = r.u32();
+  e.executed = (flags & 1u) != 0;
+  e.failed = (flags & 2u) != 0;
+  e.timing.valid = (flags & 4u) != 0;
+  e.failure.code = static_cast<ErrorCode>(r.i32());
+  e.failure.context = r.str();
+  e.attempts = r.i32();
+  e.model_mpoints = r.f64();
+  e.timing.invalid_reason = r.str();
+  e.timing.seconds = r.f64();
+  e.timing.mpoints_per_s = r.f64();
+  e.timing.gflops = r.f64();
+  e.timing.load_efficiency = r.f64();
+  e.timing.bw_utilisation = r.f64();
+  e.timing.occupancy.active_blocks = r.i32();
+  e.timing.occupancy.warps_per_block = r.i32();
+  e.timing.occupancy.limiter = static_cast<gpusim::OccupancyLimiter>(r.i32());
+  e.timing.occupancy.invalid_reason = r.str();
+  e.timing.per_plane_sm.mem = r.f64();
+  e.timing.per_plane_sm.ldst = r.f64();
+  e.timing.per_plane_sm.compute = r.f64();
+  e.timing.per_plane_sm.latency = r.f64();
+  e.timing.per_plane_sm.sync = r.f64();
+  e.timing.bottleneck = r.str();
+  e.timing.stages = r.i32();
+  e.timing.rem_blocks = r.i32();
+  return r.ok && r.pos == payload.size();
+}
+
+std::string config_key(const kernels::LaunchConfig& c) {
+  return std::to_string(c.tx) + "," + std::to_string(c.ty) + "," +
+         std::to_string(c.rx) + "," + std::to_string(c.ry) + "," +
+         std::to_string(c.vec);
+}
+
+}  // namespace
+
+std::uint64_t CheckpointKey::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_str(h, method);
+  h = fnv1a_str(h, "\x1f");
+  h = fnv1a_str(h, device);
+  h = fnv1a_str(h, "\x1f");
+  h = fnv1a_str(h, kind);
+  const std::int64_t dims[4] = {extent.nx, extent.ny, extent.nz,
+                                static_cast<std::int64_t>(elem_size)};
+  h = fnv1a(h, dims, sizeof(dims));
+  return h;
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void CheckpointJournal::open(const std::string& path, const CheckpointKey& key) {
+  const std::uint64_t want = key.fingerprint();
+
+  // Recover whatever valid prefix an existing journal holds.
+  std::vector<std::pair<std::string, TuneEntry>> records;
+  bool reuse = false;
+  std::size_t valid_end = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char magic[sizeof(kMagic)] = {};
+    std::uint64_t fp = 0;
+    if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+        std::fread(&fp, 1, sizeof(fp), f) == sizeof(fp) && fp == want) {
+      reuse = true;
+      valid_end = kHeaderBytes;
+      for (;;) {
+        std::uint32_t len = 0;
+        std::uint32_t crc = 0;
+        if (std::fread(&len, 1, sizeof(len), f) != sizeof(len)) break;
+        if (std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) break;
+        if (len > (1u << 24)) break;  // absurd length => torn record
+        std::string payload(len, '\0');
+        if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
+        if (crc32(payload.data(), payload.size()) != crc) break;
+        TuneEntry entry;
+        if (!decode_entry(payload, entry)) break;
+        entry.resumed = true;
+        records.emplace_back(config_key(entry.config), std::move(entry));
+        valid_end += sizeof(len) + sizeof(crc) + len;
+      }
+    }
+    std::fclose(f);
+  }
+
+  if (reuse) {
+    // Drop any torn/corrupt tail so appends continue from a clean edge.
+    std::error_code ec;
+    if (std::filesystem::file_size(path, ec) != valid_end && !ec) {
+      std::filesystem::resize_file(path, valid_end, ec);
+      if (ec) {
+        throw IoError("checkpoint: cannot truncate torn tail of " + path,
+                      static_cast<long long>(valid_end));
+      }
+    }
+  } else {
+    // Fresh journal (or one for a different sweep): write the header to a
+    // temp file and rename it into place so a crash here never leaves a
+    // half-written header behind.
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      throw IoError("checkpoint: cannot create " + tmp);
+    }
+    const bool wrote = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic) &&
+                       std::fwrite(&want, 1, sizeof(want), f) == sizeof(want);
+    std::fclose(f);
+    if (!wrote) {
+      throw IoError("checkpoint: short write creating " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw IoError("checkpoint: cannot rename " + tmp + " over " + path);
+    }
+  }
+
+  // Last record wins per config, preserving first-seen order.
+  std::map<std::string, std::size_t> index;
+  std::vector<TuneEntry> merged;
+  for (auto& [k, entry] : records) {
+    if (auto it = index.find(k); it != index.end()) {
+      merged[it->second] = std::move(entry);
+    } else {
+      index.emplace(k, merged.size());
+      merged.push_back(std::move(entry));
+    }
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  if (out == nullptr) {
+    throw IoError("checkpoint: cannot open " + path + " for appending");
+  }
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = out;
+  path_ = path;
+  loaded_ = std::move(merged);
+}
+
+std::optional<TuneEntry> CheckpointJournal::find(
+    const kernels::LaunchConfig& config) const {
+  for (const TuneEntry& e : loaded_) {
+    if (e.config == config) return e;
+  }
+  return std::nullopt;
+}
+
+void CheckpointJournal::append(const TuneEntry& entry) {
+  const std::string payload = encode_entry(entry);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    throw IoError("checkpoint: append on a journal that is not open");
+  }
+  auto* f = static_cast<std::FILE*>(file_);
+  if (std::fwrite(&len, 1, sizeof(len), f) != sizeof(len) ||
+      std::fwrite(&crc, 1, sizeof(crc), f) != sizeof(crc) ||
+      (len != 0 && std::fwrite(payload.data(), 1, len, f) != len) ||
+      std::fflush(f) != 0) {
+    throw IoError("checkpoint: short write appending to " + path_);
+  }
+}
+
+}  // namespace inplane::autotune

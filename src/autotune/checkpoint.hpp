@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "core/extent.hpp"
+
+namespace inplane::autotune {
+
+/// Identity of one tuning problem.  Journals are keyed by a fingerprint
+/// of these fields so a checkpoint written for one (method, device,
+/// extent, element size, tuner kind) can never poison the resumption of
+/// a different sweep.
+struct CheckpointKey {
+  std::string method;
+  std::string device;
+  Extent3 extent;
+  std::size_t elem_size = 4;
+  std::string kind;  ///< "exhaustive" | "model"
+
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Crash-safe, append-only journal of measured tuning candidates.
+///
+/// Layout: a fixed header (magic "IPTJ1\n" + the key fingerprint), then a
+/// sequence of records, each `u32 payload_len | u32 crc32 | payload`.
+/// Records are appended and flushed one measurement at a time, so a
+/// process killed mid-sweep loses at most the record being written.  On
+/// open, the loader verifies every record's CRC and truncates the file at
+/// the first bad/torn one — the journal is always left in a state that
+/// appends cleanly.  The header is created via write-to-temp + atomic
+/// rename so a crash during creation never leaves a half-written header.
+///
+/// Thread safety: append() serialises on an internal mutex; loading
+/// happens in open() before any appends.
+class CheckpointJournal {
+ public:
+  CheckpointJournal() = default;
+  ~CheckpointJournal();
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at @p path for @p key.  An
+  /// existing journal with a different fingerprint is discarded and
+  /// re-initialised — it describes a different sweep.  Throws IoError if
+  /// the path cannot be created or opened.
+  void open(const std::string& path, const CheckpointKey& key);
+
+  [[nodiscard]] bool is_open() const { return !path_.empty(); }
+
+  /// Entries recovered from disk (last record wins per launch config).
+  [[nodiscard]] const std::vector<TuneEntry>& loaded() const { return loaded_; }
+
+  /// Looks up a recovered measurement for @p config.
+  [[nodiscard]] std::optional<TuneEntry> find(const kernels::LaunchConfig& config) const;
+
+  /// Appends one measured entry and flushes it to disk.
+  void append(const TuneEntry& entry);
+
+ private:
+  std::string path_;
+  std::vector<TuneEntry> loaded_;
+  std::mutex mutex_;
+  void* file_ = nullptr;  ///< FILE*, opened in append mode
+};
+
+}  // namespace inplane::autotune

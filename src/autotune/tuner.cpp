@@ -1,8 +1,13 @@
 #include "autotune/tuner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "autotune/checkpoint.hpp"
+#include "core/status.hpp"
 #include "core/thread_pool.hpp"
 #include "kernels/runner.hpp"
 #include "perfmodel/model.hpp"
@@ -12,25 +17,14 @@ namespace inplane::autotune {
 namespace {
 
 /// Sorts executed entries first (by measured MPoint/s descending), then
-/// un-executed ones (by model prediction descending).
+/// un-executed ones (by model prediction descending).  Quarantined
+/// candidates have executed == false, so they sink below every survivor.
 void sort_entries(std::vector<TuneEntry>& entries) {
   std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
     if (a.executed != b.executed) return a.executed;
     if (a.executed) return a.timing.mpoints_per_s > b.timing.mpoints_per_s;
     return a.model_mpoints > b.model_mpoints;
   });
-}
-
-template <typename T>
-TuneEntry execute(kernels::Method method, const StencilCoeffs& coeffs,
-                  const gpusim::DeviceSpec& device, const Extent3& extent,
-                  const kernels::LaunchConfig& cfg) {
-  TuneEntry entry;
-  entry.config = cfg;
-  const auto kernel = kernels::make_kernel<T>(method, coeffs, cfg);
-  entry.timing = kernels::time_kernel(*kernel, device, extent);
-  entry.executed = true;
-  return entry;
 }
 
 template <typename T>
@@ -47,13 +41,87 @@ double model_predict(kernels::Method method, int radius,
   return r.valid ? r.mpoints_per_s : 0.0;
 }
 
+/// Raises the typed error matching a candidate-level injected fault.
+[[noreturn]] void raise_candidate_fault(gpusim::FaultKind kind,
+                                        const kernels::LaunchConfig& cfg) {
+  const std::string who = "candidate " + cfg.to_string();
+  switch (kind) {
+    case gpusim::FaultKind::TransientFault:
+      throw TransientFaultError(who + ": measurement faulted");
+    case gpusim::FaultKind::Hang:
+      throw TimeoutError(who + ": measurement hung (watchdog)");
+    case gpusim::FaultKind::DeviceLoss:
+      throw DeviceLostError(who + ": device lost during measurement");
+    case gpusim::FaultKind::BitFlip:
+    case gpusim::FaultKind::StuckLoad:
+      throw DataCorruptionError(who + ": measurement corrupted");
+  }
+  throw InternalError(who + ": unknown injected fault");
+}
+
+/// Measures one candidate with retry-with-backoff.  A candidate that
+/// exhausts its attempts (or hits a non-retryable fault) comes back with
+/// .failed set and .failure explaining why — it is quarantined, never
+/// fatal to the sweep.
+template <typename T>
+TuneEntry measure_candidate(kernels::Method method, const StencilCoeffs& coeffs,
+                            const gpusim::DeviceSpec& device, const Extent3& extent,
+                            const kernels::LaunchConfig& cfg, std::int64_t ordinal,
+                            const TuneOptions& opts) {
+  TuneEntry entry;
+  entry.config = cfg;
+  const int max_attempts = std::max(1, opts.max_attempts);
+  double backoff_ms = opts.backoff_initial_ms;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    entry.attempts = attempt + 1;
+    if (attempt > 0 && backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= opts.backoff_multiplier;
+    }
+    try {
+      if (opts.faults != nullptr) {
+        if (const auto kind = opts.faults->on_candidate(ordinal, attempt)) {
+          gpusim::FaultEvent ev;
+          ev.kind = *kind;
+          ev.attempt = attempt;
+          ev.candidate = ordinal;
+          opts.faults->record(ev);
+          raise_candidate_fault(*kind, cfg);
+        }
+      }
+      const auto kernel = kernels::make_kernel<T>(method, coeffs, cfg);
+      entry.timing = kernels::time_kernel(*kernel, device, extent);
+      entry.executed = true;
+      entry.failed = false;
+      entry.failure = Status::okay();
+      return entry;
+    } catch (const std::exception& e) {
+      entry.failure = status_of(e);
+      entry.failed = true;
+      entry.executed = false;
+      entry.timing = gpusim::KernelTiming{};
+      if (!entry.failure.retryable()) break;
+    }
+  }
+  return entry;
+}
+
 TuneResult finalize(std::vector<TuneEntry> entries) {
   TuneResult result;
   result.candidates = entries.size();
-  sort_entries(entries);
+  // The failure roster keeps search (enumeration) order, independent of
+  // the performance sort below.
   for (const TuneEntry& e : entries) {
     if (e.executed) result.executed += 1;
+    if (e.resumed) result.resumed += 1;
+    if (e.failed || e.attempts > 1) result.faulted += 1;
+    if (e.failed) {
+      result.quarantined += 1;
+      result.quarantine.push_back(QuarantineRecord{e.config, e.failure, e.attempts});
+    }
   }
+  sort_entries(entries);
   for (const TuneEntry& e : entries) {
     if (e.executed && e.timing.valid) {
       result.best = e;
@@ -64,22 +132,77 @@ TuneResult finalize(std::vector<TuneEntry> entries) {
   return result;
 }
 
+/// Journal state shared by one sweep: opened lazily when a checkpoint
+/// path is configured, counts *new* (non-resumed) measurements for the
+/// crash-simulation hook.
+struct JournalCtx {
+  CheckpointJournal journal;
+  std::atomic<std::size_t> fresh{0};
+  bool active = false;
+
+  void open(const TuneOptions& opts, const char* kind, kernels::Method method,
+            const gpusim::DeviceSpec& device, const Extent3& extent,
+            std::size_t elem_size) {
+    if (opts.checkpoint_path.empty()) return;
+    CheckpointKey key;
+    key.method = kernels::to_string(method);
+    key.device = device.name;
+    key.extent = extent;
+    key.elem_size = elem_size;
+    key.kind = kind;
+    journal.open(opts.checkpoint_path, key);
+    active = true;
+  }
+};
+
+/// Measures (or resumes) one candidate, journals fresh measurements and
+/// fires the simulated crash once abort_after new records are on disk.
+template <typename T>
+TuneEntry measure_or_resume(JournalCtx& jc, kernels::Method method,
+                            const StencilCoeffs& coeffs,
+                            const gpusim::DeviceSpec& device, const Extent3& extent,
+                            const kernels::LaunchConfig& cfg, std::int64_t ordinal,
+                            const TuneOptions& opts) {
+  if (jc.active && opts.resume) {
+    if (auto hit = jc.journal.find(cfg)) {
+      hit->resumed = true;
+      return *hit;
+    }
+  }
+  TuneEntry entry =
+      measure_candidate<T>(method, coeffs, device, extent, cfg, ordinal, opts);
+  if (jc.active) {
+    jc.journal.append(entry);
+    const std::size_t fresh = jc.fresh.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (opts.abort_after != 0 && fresh >= opts.abort_after) {
+      throw InternalError("tuner: simulated crash after " + std::to_string(fresh) +
+                          " new measurements");
+    }
+  }
+  return entry;
+}
+
 }  // namespace
 
 template <typename T>
 TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
                            const gpusim::DeviceSpec& device, const Extent3& extent,
-                           const SearchSpace& space, const ExecPolicy& policy) {
+                           const SearchSpace& space, const TuneOptions& options) {
   const int vec = default_vec(method, sizeof(T));
   const std::vector<kernels::LaunchConfig> configs =
       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
+  JournalCtx jc;
+  jc.open(options, "exhaustive", method, device, extent, sizeof(T));
   // Candidates are independent (each builds its own kernel and traces its
   // own plane); evaluate them concurrently into index-addressed slots so
   // the resulting entry list — and therefore the sort, the best pick and
-  // every statistic — is identical for every thread count.
+  // every statistic — is identical for every thread count.  Fault sites
+  // are keyed by the candidate's enumeration ordinal, so injection is
+  // equally schedule-independent.
   std::vector<TuneEntry> entries(configs.size());
-  parallel_for(policy, configs.size(), [&](std::size_t i) {
-    entries[i] = execute<T>(method, coeffs, device, extent, configs[i]);
+  parallel_for(options.policy, configs.size(), [&](std::size_t i) {
+    entries[i] = measure_or_resume<T>(jc, method, coeffs, device, extent, configs[i],
+                                      static_cast<std::int64_t>(i), options);
     entries[i].model_mpoints =
         model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
   });
@@ -87,15 +210,26 @@ TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
 }
 
 template <typename T>
+TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
+                           const gpusim::DeviceSpec& device, const Extent3& extent,
+                           const SearchSpace& space, const ExecPolicy& policy) {
+  TuneOptions options;
+  options.policy = policy;
+  return exhaustive_tune<T>(method, coeffs, device, extent, space, options);
+}
+
+template <typename T>
 TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs,
                              const gpusim::DeviceSpec& device, const Extent3& extent,
                              double beta, const SearchSpace& space,
-                             const ExecPolicy& policy) {
+                             const TuneOptions& options) {
   const int vec = default_vec(method, sizeof(T));
   const std::vector<kernels::LaunchConfig> configs =
       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
+  JournalCtx jc;
+  jc.open(options, "model", method, device, extent, sizeof(T));
   std::vector<TuneEntry> entries(configs.size());
-  parallel_for(policy, configs.size(), [&](std::size_t i) {
+  parallel_for(options.policy, configs.size(), [&](std::size_t i) {
     entries[i].config = configs[i];
     entries[i].model_mpoints =
         model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
@@ -115,13 +249,24 @@ TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs
   std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
     return a.model_mpoints > b.model_mpoints;
   });
-  parallel_for(policy, n_select, [&](std::size_t i) {
+  parallel_for(options.policy, n_select, [&](std::size_t i) {
     const kernels::LaunchConfig cfg = entries[i].config;
     const double predicted = entries[i].model_mpoints;
-    entries[i] = execute<T>(method, coeffs, device, extent, cfg);
+    entries[i] = measure_or_resume<T>(jc, method, coeffs, device, extent, cfg,
+                                      static_cast<std::int64_t>(i), options);
     entries[i].model_mpoints = predicted;
   });
   return finalize(std::move(entries));
+}
+
+template <typename T>
+TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs,
+                             const gpusim::DeviceSpec& device, const Extent3& extent,
+                             double beta, const SearchSpace& space,
+                             const ExecPolicy& policy) {
+  TuneOptions options;
+  options.policy = policy;
+  return model_guided_tune<T>(method, coeffs, device, extent, beta, space, options);
 }
 
 template TuneResult exhaustive_tune<float>(kernels::Method, const StencilCoeffs&,
@@ -130,6 +275,12 @@ template TuneResult exhaustive_tune<float>(kernels::Method, const StencilCoeffs&
 template TuneResult exhaustive_tune<double>(kernels::Method, const StencilCoeffs&,
                                             const gpusim::DeviceSpec&, const Extent3&,
                                             const SearchSpace&, const ExecPolicy&);
+template TuneResult exhaustive_tune<float>(kernels::Method, const StencilCoeffs&,
+                                           const gpusim::DeviceSpec&, const Extent3&,
+                                           const SearchSpace&, const TuneOptions&);
+template TuneResult exhaustive_tune<double>(kernels::Method, const StencilCoeffs&,
+                                            const gpusim::DeviceSpec&, const Extent3&,
+                                            const SearchSpace&, const TuneOptions&);
 template TuneResult model_guided_tune<float>(kernels::Method, const StencilCoeffs&,
                                              const gpusim::DeviceSpec&, const Extent3&,
                                              double, const SearchSpace&,
@@ -138,5 +289,13 @@ template TuneResult model_guided_tune<double>(kernels::Method, const StencilCoef
                                               const gpusim::DeviceSpec&, const Extent3&,
                                               double, const SearchSpace&,
                                               const ExecPolicy&);
+template TuneResult model_guided_tune<float>(kernels::Method, const StencilCoeffs&,
+                                             const gpusim::DeviceSpec&, const Extent3&,
+                                             double, const SearchSpace&,
+                                             const TuneOptions&);
+template TuneResult model_guided_tune<double>(kernels::Method, const StencilCoeffs&,
+                                              const gpusim::DeviceSpec&, const Extent3&,
+                                              double, const SearchSpace&,
+                                              const TuneOptions&);
 
 }  // namespace inplane::autotune

@@ -1,10 +1,14 @@
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "autotune/search_space.hpp"
 #include "core/coefficients.hpp"
+#include "core/status.hpp"
 #include "core/thread_pool.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -16,6 +20,17 @@ struct TuneEntry {
   gpusim::KernelTiming timing;        ///< "measured" (simulator) result
   double model_mpoints = 0.0;         ///< section-VI model prediction
   bool executed = false;              ///< false => pruned before execution
+  bool failed = false;                ///< true => quarantined after faults
+  Status failure;                     ///< why the candidate was quarantined
+  int attempts = 0;                   ///< measurement attempts consumed
+  bool resumed = false;               ///< recovered from a checkpoint journal
+};
+
+/// One quarantined candidate of the failure roster.
+struct QuarantineRecord {
+  kernels::LaunchConfig config;
+  Status reason;
+  int attempts = 0;
 };
 
 /// Outcome of a tuning run.
@@ -26,8 +41,33 @@ struct TuneResult {
                                       ///< (un-executed entries at the end)
   std::size_t candidates = 0;         ///< configs satisfying constraints
   std::size_t executed = 0;           ///< configs actually run
+  std::size_t faulted = 0;            ///< configs that faulted at least once
+  std::size_t quarantined = 0;        ///< configs that exhausted their retries
+  std::size_t resumed = 0;            ///< configs recovered from a checkpoint
+  std::vector<QuarantineRecord> quarantine;  ///< failure roster, search order
 
   [[nodiscard]] bool found() const { return best.timing.valid; }
+};
+
+/// Robustness knobs shared by both tuners.  The defaults reproduce the
+/// historical behaviour exactly: no fault injection, no journal, each
+/// candidate measured once.
+struct TuneOptions {
+  ExecPolicy policy = {};
+  /// Fault injector consulted per (candidate, attempt); nullptr = clean.
+  const gpusim::FaultInjector* faults = nullptr;
+  /// Measurement attempts per candidate before it is quarantined.
+  int max_attempts = 3;
+  double backoff_initial_ms = 0.0;  ///< sleep before the first retry
+  double backoff_multiplier = 2.0;  ///< exponential growth per retry
+  /// Path of the crash-safe measurement journal; empty disables it.
+  std::string checkpoint_path;
+  /// Skip candidates already present in the journal (their stored
+  /// measurements are used verbatim and marked .resumed).
+  bool resume = false;
+  /// Crash simulation for tests: abort the sweep (by throwing) once this
+  /// many *new* measurements have been journaled.  0 = never.
+  std::size_t abort_after = 0;
 };
 
 /// Exhaustively executes every constraint-satisfying configuration on the
@@ -46,6 +86,19 @@ template <typename T>
                                          const SearchSpace& space = {},
                                          const ExecPolicy& policy = {});
 
+/// Hardened overload: retries faulted measurements with exponential
+/// backoff, quarantines candidates that exhaust their attempts (the sweep
+/// degrades to best-of-survivors and reports the failure roster), and —
+/// when TuneOptions::checkpoint_path is set — journals every measurement
+/// so a killed sweep resumes without re-measuring.
+template <typename T>
+[[nodiscard]] TuneResult exhaustive_tune(kernels::Method method,
+                                         const StencilCoeffs& coeffs,
+                                         const gpusim::DeviceSpec& device,
+                                         const Extent3& extent,
+                                         const SearchSpace& space,
+                                         const TuneOptions& options);
+
 /// The model-based tuning procedure of section VI: ranks every
 /// constraint-satisfying candidate by the Eqns. (6)-(14) prediction,
 /// executes only the top ceil(beta * N) of that ranking (N = number of
@@ -61,6 +114,16 @@ template <typename T>
                                            const SearchSpace& space = {},
                                            const ExecPolicy& policy = {});
 
+/// Hardened overload of model_guided_tune — same semantics as the
+/// hardened exhaustive_tune, applied to the top-beta measured set.
+template <typename T>
+[[nodiscard]] TuneResult model_guided_tune(kernels::Method method,
+                                           const StencilCoeffs& coeffs,
+                                           const gpusim::DeviceSpec& device,
+                                           const Extent3& extent, double beta,
+                                           const SearchSpace& space,
+                                           const TuneOptions& options);
+
 extern template TuneResult exhaustive_tune<float>(kernels::Method,
                                                   const StencilCoeffs&,
                                                   const gpusim::DeviceSpec&,
@@ -71,6 +134,16 @@ extern template TuneResult exhaustive_tune<double>(kernels::Method,
                                                    const gpusim::DeviceSpec&,
                                                    const Extent3&, const SearchSpace&,
                                                    const ExecPolicy&);
+extern template TuneResult exhaustive_tune<float>(kernels::Method,
+                                                  const StencilCoeffs&,
+                                                  const gpusim::DeviceSpec&,
+                                                  const Extent3&, const SearchSpace&,
+                                                  const TuneOptions&);
+extern template TuneResult exhaustive_tune<double>(kernels::Method,
+                                                   const StencilCoeffs&,
+                                                   const gpusim::DeviceSpec&,
+                                                   const Extent3&, const SearchSpace&,
+                                                   const TuneOptions&);
 extern template TuneResult model_guided_tune<float>(kernels::Method,
                                                     const StencilCoeffs&,
                                                     const gpusim::DeviceSpec&,
@@ -83,5 +156,17 @@ extern template TuneResult model_guided_tune<double>(kernels::Method,
                                                      const Extent3&, double,
                                                      const SearchSpace&,
                                                      const ExecPolicy&);
+extern template TuneResult model_guided_tune<float>(kernels::Method,
+                                                    const StencilCoeffs&,
+                                                    const gpusim::DeviceSpec&,
+                                                    const Extent3&, double,
+                                                    const SearchSpace&,
+                                                    const TuneOptions&);
+extern template TuneResult model_guided_tune<double>(kernels::Method,
+                                                     const StencilCoeffs&,
+                                                     const gpusim::DeviceSpec&,
+                                                     const Extent3&, double,
+                                                     const SearchSpace&,
+                                                     const TuneOptions&);
 
 }  // namespace inplane::autotune

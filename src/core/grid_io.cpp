@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/status.hpp"
+
 namespace inplane {
 
 namespace {
@@ -15,10 +17,17 @@ void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-std::uint64_t read_u64(std::istream& in) {
+/// Reads one header field, advancing @p offset; a short read reports the
+/// exact byte offset where the file ran out.
+std::uint64_t read_u64(std::istream& in, const std::string& path,
+                       std::uint64_t& offset) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!in) throw std::runtime_error("grid_io: truncated file");
+  if (!in) {
+    throw IoError("load_grid: truncated header in " + path,
+                  static_cast<long long>(offset) + in.gcount());
+  }
+  offset += sizeof v;
   return v;
 }
 
@@ -29,7 +38,7 @@ void save_grid(const Grid3<T>& grid, const std::string& path) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p, std::ios::binary);
-  if (!out) throw std::runtime_error("save_grid: cannot open " + path);
+  if (!out) throw IoError("save_grid: cannot open " + path);
   out.write(kMagic.data(), kMagic.size());
   write_u64(out, sizeof(T));
   write_u64(out, static_cast<std::uint64_t>(grid.nx()));
@@ -40,44 +49,56 @@ void save_grid(const Grid3<T>& grid, const std::string& path) {
   write_u64(out, static_cast<std::uint64_t>(grid.align_offset()));
   out.write(reinterpret_cast<const char*>(grid.raw()),
             static_cast<std::streamsize>(grid.allocated() * sizeof(T)));
-  if (!out) throw std::runtime_error("save_grid: write failed for " + path);
+  if (!out) throw IoError("save_grid: write failed for " + path);
 }
 
 template <typename T>
 Grid3<T> load_grid(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_grid: cannot open " + path);
+  if (!in) throw IoError("load_grid: cannot open " + path);
+  std::uint64_t offset = 0;
   std::array<char, 4> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) {
-    throw std::runtime_error("load_grid: not an IPG1 grid file: " + path);
+    throw IoError("load_grid: not an IPG1 grid file: " + path,
+                  in ? 0 : static_cast<long long>(in.gcount()));
   }
-  const std::uint64_t elem = read_u64(in);
+  offset += magic.size();
+  const std::uint64_t elem = read_u64(in, path, offset);
   if (elem != sizeof(T)) {
-    throw std::runtime_error("load_grid: element size mismatch in " + path);
+    throw IoError("load_grid: element size mismatch in " + path + " (file has " +
+                  std::to_string(elem) + "-byte elements, expected " +
+                  std::to_string(sizeof(T)) + ")");
   }
-  const auto nx = static_cast<int>(read_u64(in));
-  const auto ny = static_cast<int>(read_u64(in));
-  const auto nz = static_cast<int>(read_u64(in));
-  const auto halo = static_cast<int>(read_u64(in));
-  const auto align = read_u64(in);
-  const auto align_offset = static_cast<int>(read_u64(in));
+  const auto nx = static_cast<int>(read_u64(in, path, offset));
+  const auto ny = static_cast<int>(read_u64(in, path, offset));
+  const auto nz = static_cast<int>(read_u64(in, path, offset));
+  const auto halo = static_cast<int>(read_u64(in, path, offset));
+  const auto align = read_u64(in, path, offset);
+  const auto align_offset = static_cast<int>(read_u64(in, path, offset));
   Grid3<T> grid({nx, ny, nz}, halo, align, align_offset);
-  in.read(reinterpret_cast<char*>(grid.raw()),
-          static_cast<std::streamsize>(grid.allocated() * sizeof(T)));
-  if (!in) throw std::runtime_error("load_grid: truncated data in " + path);
+  const std::streamsize want =
+      static_cast<std::streamsize>(grid.allocated() * sizeof(T));
+  in.read(reinterpret_cast<char*>(grid.raw()), want);
+  if (!in || in.gcount() != want) {
+    // Short read: the reported offset is exactly where the data stopped.
+    throw IoError("load_grid: truncated data in " + path + " (wanted " +
+                      std::to_string(want) + " payload bytes, got " +
+                      std::to_string(in.gcount()) + ")",
+                  static_cast<long long>(offset) + in.gcount());
+  }
   return grid;
 }
 
 template <typename T>
 void export_plane_csv(const Grid3<T>& grid, int k, const std::string& path) {
   if (k < 0 || k >= grid.nz()) {
-    throw std::invalid_argument("export_plane_csv: plane index out of range");
+    throw InvalidConfigError("export_plane_csv: plane index out of range");
   }
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p);
-  if (!out) throw std::runtime_error("export_plane_csv: cannot open " + path);
+  if (!out) throw IoError("export_plane_csv: cannot open " + path);
   for (int j = 0; j < grid.ny(); ++j) {
     for (int i = 0; i < grid.nx(); ++i) {
       if (i != 0) out << ',';

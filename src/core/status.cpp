@@ -1,0 +1,50 @@
+#include "core/status.hpp"
+
+namespace inplane {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::InvalidConfig: return "invalid_config";
+    case ErrorCode::TransientFault: return "transient_fault";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::DataCorruption: return "data_corruption";
+    case ErrorCode::DeviceLost: return "device_lost";
+    case ErrorCode::IoError: return "io_error";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s = inplane::to_string(code);
+  if (!context.empty()) {
+    s += ": ";
+    s += context;
+  }
+  return s;
+}
+
+Status status_of(const std::exception& e) {
+  if (const auto* carrier = dynamic_cast<const StatusCarrier*>(&e)) {
+    return carrier->status();
+  }
+  return {ErrorCode::Internal, e.what()};
+}
+
+void raise(const Status& status) {
+  switch (status.code) {
+    case ErrorCode::InvalidConfig: throw InvalidConfigError(status.context);
+    case ErrorCode::TransientFault: throw TransientFaultError(status.context);
+    case ErrorCode::Timeout: throw TimeoutError(status.context);
+    case ErrorCode::DataCorruption: throw DataCorruptionError(status.context);
+    case ErrorCode::DeviceLost: throw DeviceLostError(status.context);
+    case ErrorCode::IoError: throw IoError(status.context);
+    case ErrorCode::Ok:
+    case ErrorCode::Internal: break;
+  }
+  throw InternalError(status.context.empty() ? "raise() on non-error status"
+                                             : status.context);
+}
+
+}  // namespace inplane

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace inplane {
+
+/// The failure taxonomy of the fault-tolerant execution layer.  Every
+/// error the simulator, runner or tuner can produce is classified into
+/// one of these codes so callers can tell a *retryable* fault (a
+/// transient load failure, a corrupted measurement) from a *fatal* one
+/// (an invalid configuration, a lost device) without string-matching
+/// exception messages.
+enum class ErrorCode {
+  Ok = 0,
+  InvalidConfig,   ///< configuration/argument can never work — do not retry
+  TransientFault,  ///< one-off execution fault — retry is expected to succeed
+  Timeout,         ///< watchdog deadline exceeded (hung kernel) — fatal
+  DataCorruption,  ///< output failed verification (bit flip, stale load)
+  DeviceLost,      ///< simulated device died — work must move elsewhere
+  IoError,         ///< filesystem failure (open/short read/torn write)
+  Internal,        ///< unclassified failure (foreign exception)
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// An error code plus human-readable context ("what were we doing").
+struct Status {
+  ErrorCode code = ErrorCode::Ok;
+  std::string context;
+
+  Status() = default;
+  Status(ErrorCode c, std::string ctx) : code(c), context(std::move(ctx)) {}
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::Ok; }
+
+  /// True for faults where an identical retry has a real chance of
+  /// succeeding: transient execution faults and corrupted results.
+  /// Timeouts, invalid configurations, lost devices and I/O failures
+  /// repeat deterministically and are fatal to the attempt.
+  [[nodiscard]] bool retryable() const {
+    return code == ErrorCode::TransientFault || code == ErrorCode::DataCorruption;
+  }
+
+  /// "transient_fault: candidate (64, 4, 2, 2) load failed" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static Status okay() { return {}; }
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return status_.ok() && value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Status status_{};
+  std::optional<T> value_{};
+};
+
+/// Mixin interface implemented by every typed exception below: lets a
+/// `catch (const std::exception&)` site recover the Status via
+/// status_of() regardless of the concrete type thrown.
+class StatusCarrier {
+ public:
+  virtual ~StatusCarrier() = default;
+  [[nodiscard]] virtual const Status& status() const = 0;
+};
+
+namespace detail {
+/// CRTP-free helper: stores the Status and renders the what() string.
+/// Each concrete error derives from the *standard* exception type that
+/// call sites historically threw (std::invalid_argument for bad
+/// configurations, std::runtime_error for I/O, ...), so existing
+/// `catch`/EXPECT_THROW sites keep working while new callers get the
+/// typed taxonomy.
+template <typename Base>
+class StatusErrorImpl : public Base, public StatusCarrier {
+ public:
+  StatusErrorImpl(ErrorCode code, const std::string& context)
+      : Base(std::string(inplane::to_string(code)) + ": " + context),
+        status_(code, context) {}
+
+  [[nodiscard]] const Status& status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+}  // namespace detail
+
+/// A configuration or argument that can never work.
+class InvalidConfigError : public detail::StatusErrorImpl<std::invalid_argument> {
+ public:
+  explicit InvalidConfigError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::InvalidConfig, context) {}
+};
+
+/// One-off execution fault (injected or real); retry may succeed.
+class TransientFaultError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit TransientFaultError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::TransientFault, context) {}
+};
+
+/// Watchdog deadline exceeded — the simulated kernel hung.
+class TimeoutError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit TimeoutError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::Timeout, context) {}
+};
+
+/// Output failed verification against the reference.
+class DataCorruptionError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit DataCorruptionError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::DataCorruption, context) {}
+};
+
+/// The simulated device is gone; its work must be re-sharded.
+class DeviceLostError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit DeviceLostError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::DeviceLost, context) {}
+};
+
+/// Filesystem failure: cannot open, short read, torn write.  Carries the
+/// byte offset where the failure was detected when known (-1 otherwise).
+class IoError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit IoError(const std::string& context, long long byte_offset = -1)
+      : StatusErrorImpl(ErrorCode::IoError,
+                        byte_offset < 0 ? context
+                                        : context + " (at byte offset " +
+                                              std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  [[nodiscard]] long long byte_offset() const { return byte_offset_; }
+
+ private:
+  long long byte_offset_;
+};
+
+/// A wild memory access (unmapped address / out-of-bounds offset) — the
+/// kernel bug the CPU verification of section IV-B exists to catch.
+/// Derives std::out_of_range like the untyped throws it replaces.
+class WildAccessError : public detail::StatusErrorImpl<std::out_of_range> {
+ public:
+  explicit WildAccessError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::DataCorruption, context) {}
+};
+
+/// A functional write through a read-only mapping.  Derives
+/// std::logic_error like the untyped throw it replaces.
+class ReadOnlyViolationError : public detail::StatusErrorImpl<std::logic_error> {
+ public:
+  explicit ReadOnlyViolationError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::DataCorruption, context) {}
+};
+
+/// Unclassified failure (used by raise() for Internal statuses).
+class InternalError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit InternalError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::Internal, context) {}
+};
+
+/// Recovers the Status carried by @p e, or wraps a foreign exception as
+/// ErrorCode::Internal with its what() string as context.
+[[nodiscard]] Status status_of(const std::exception& e);
+
+/// Throws the typed exception matching @p status.code (Ok/Internal map to
+/// std::runtime_error-backed Internal).  The inverse of status_of().
+[[noreturn]] void raise(const Status& status);
+
+}  // namespace inplane

@@ -1,6 +1,8 @@
 #include "gpusim/block_ctx.hpp"
 
-#include <stdexcept>
+#include <string>
+
+#include "core/status.hpp"
 
 namespace inplane::gpusim {
 
@@ -8,14 +10,102 @@ BlockCtx::BlockCtx(const DeviceSpec& device, GlobalMemory& gmem, std::size_t sme
                    ExecMode mode)
     : device_(device), gmem_(gmem), smem_(smem_bytes, device.shared_banks), mode_(mode) {
   if (smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
-    throw std::invalid_argument("BlockCtx: shared memory request exceeds per-SM limit");
+    throw InvalidConfigError("BlockCtx: shared memory request exceeds per-SM limit");
+  }
+}
+
+std::int64_t BlockCtx::step() {
+  const std::int64_t event = static_cast<std::int64_t>(events_++);
+  ++steps_;
+  if (faults_ != nullptr) [[unlikely]] {
+    if (const auto kind = faults_->on_step(attempt_, block_serial_, event)) {
+      FaultEvent log;
+      log.kind = *kind;
+      log.attempt = attempt_;
+      log.block = block_serial_;
+      log.event = event;
+      log.device = device_index_;
+      faults_->record(log);
+      if (*kind == FaultKind::DeviceLoss) {
+        faults_->mark_device_lost(device_index_);
+        throw DeviceLostError("device " + std::to_string(device_index_) +
+                              " lost while block " + std::to_string(block_serial_) +
+                              " was executing");
+      }
+      // A hung block makes no further progress; the watchdog observes
+      // the missed deadline.  Without an armed budget the hang is
+      // reported directly (it would otherwise spin forever).
+      throw TimeoutError("watchdog: block " + std::to_string(block_serial_) +
+                         " hung at warp-op " + std::to_string(event) +
+                         (step_budget_ != 0
+                              ? " (simulated-step budget " +
+                                    std::to_string(step_budget_) + ")"
+                              : ""));
+    }
+  }
+  if (step_budget_ != 0 && steps_ > step_budget_) [[unlikely]] {
+    throw TimeoutError("watchdog: block " + std::to_string(block_serial_) +
+                       " exceeded its simulated-step budget of " +
+                       std::to_string(step_budget_) + " warp-ops");
+  }
+  return event;
+}
+
+void BlockCtx::faulty_read(FaultSpace space, std::int64_t event, std::int64_t lane,
+                           std::uint64_t vaddr, void* dst, std::uint32_t bytes) {
+  const auto fault = faults_->on_load(space, attempt_, block_serial_, event, lane, vaddr);
+  if (!fault) {
+    if (space == FaultSpace::Global) {
+      gmem_.read(vaddr, dst, bytes);
+    } else {
+      smem_.read(static_cast<std::uint32_t>(vaddr), dst, bytes);
+    }
+    return;
+  }
+  FaultEvent log;
+  log.kind = fault->kind;
+  log.attempt = attempt_;
+  log.block = block_serial_;
+  log.event = event;
+  log.lane = lane;
+  log.vaddr = vaddr;
+  log.device = device_index_;
+  switch (fault->kind) {
+    case FaultKind::TransientFault:
+      faults_->record(log);
+      throw TransientFaultError("load at vaddr " + std::to_string(vaddr) +
+                                " failed (block " + std::to_string(block_serial_) +
+                                ", warp-op " + std::to_string(event) + ", lane " +
+                                std::to_string(lane) + ")");
+    case FaultKind::StuckLoad:
+      // The load "completes" but the destination keeps whatever stale
+      // bytes it held — the classic dropped-transaction symptom.
+      faults_->record(log);
+      return;
+    case FaultKind::BitFlip: {
+      if (space == FaultSpace::Global) {
+        gmem_.read(vaddr, dst, bytes);
+      } else {
+        smem_.read(static_cast<std::uint32_t>(vaddr), dst, bytes);
+      }
+      const int bit = fault->bit % static_cast<int>(bytes * 8);
+      log.bit = bit;
+      faults_->record(log);
+      auto* bytes_ptr = static_cast<unsigned char*>(dst);
+      bytes_ptr[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      return;
+    }
+    case FaultKind::Hang:
+    case FaultKind::DeviceLoss:
+      break;  // not load-level kinds; unreachable via on_load
   }
 }
 
 void BlockCtx::warp_load(std::span<const GlobalLoadLane> lanes) {
   if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
-    throw std::invalid_argument("warp_load: lane count must equal warp size");
+    throw InvalidConfigError("warp_load: lane count must equal warp size");
   }
+  const std::int64_t event = step();
   if (tracing()) {
     // Reuse the coalescer's lane representation.
     LaneAccess acc[32];
@@ -31,9 +121,15 @@ void BlockCtx::warp_load(std::span<const GlobalLoadLane> lanes) {
     stats_.bytes_transferred_ld += r.bytes_transferred;
   }
   if (functional()) {
-    for (const GlobalLoadLane& lane : lanes) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const GlobalLoadLane& lane = lanes[i];
       if (lane.active && lane.bytes != 0 && lane.dst != nullptr) {
-        gmem_.read(lane.vaddr, lane.dst, lane.bytes);
+        if (faults_ != nullptr) [[unlikely]] {
+          faulty_read(FaultSpace::Global, event, static_cast<std::int64_t>(i),
+                      lane.vaddr, lane.dst, lane.bytes);
+        } else {
+          gmem_.read(lane.vaddr, lane.dst, lane.bytes);
+        }
       }
     }
   }
@@ -41,8 +137,9 @@ void BlockCtx::warp_load(std::span<const GlobalLoadLane> lanes) {
 
 void BlockCtx::warp_store(std::span<const GlobalStoreLane> lanes) {
   if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
-    throw std::invalid_argument("warp_store: lane count must equal warp size");
+    throw InvalidConfigError("warp_store: lane count must equal warp size");
   }
+  step();
   if (tracing()) {
     LaneAccess acc[32];
     for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -68,8 +165,9 @@ void BlockCtx::warp_store(std::span<const GlobalStoreLane> lanes) {
 
 void BlockCtx::warp_smem_read(std::span<const SmemReadLane> lanes) {
   if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
-    throw std::invalid_argument("warp_smem_read: lane count must equal warp size");
+    throw InvalidConfigError("warp_smem_read: lane count must equal warp size");
   }
+  const std::int64_t event = step();
   if (tracing()) {
     SmemLaneAccess acc[32];
     for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -82,9 +180,15 @@ void BlockCtx::warp_smem_read(std::span<const SmemReadLane> lanes) {
     stats_.smem_replays += r.replays;
   }
   if (functional()) {
-    for (const SmemReadLane& lane : lanes) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const SmemReadLane& lane = lanes[i];
       if (lane.active && lane.bytes != 0 && lane.dst != nullptr) {
-        smem_.read(lane.offset, lane.dst, lane.bytes);
+        if (faults_ != nullptr) [[unlikely]] {
+          faulty_read(FaultSpace::Shared, event, static_cast<std::int64_t>(i),
+                      lane.offset, lane.dst, lane.bytes);
+        } else {
+          smem_.read(lane.offset, lane.dst, lane.bytes);
+        }
       }
     }
   }
@@ -92,8 +196,9 @@ void BlockCtx::warp_smem_read(std::span<const SmemReadLane> lanes) {
 
 void BlockCtx::warp_smem_write(std::span<const SmemWriteLane> lanes) {
   if (lanes.size() != static_cast<std::size_t>(device_.warp_size)) {
-    throw std::invalid_argument("warp_smem_write: lane count must equal warp size");
+    throw InvalidConfigError("warp_smem_write: lane count must equal warp size");
   }
+  step();
   if (tracing()) {
     SmemLaneAccess acc[32];
     for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -122,6 +227,7 @@ void BlockCtx::record_compute(std::uint64_t warp_instrs, std::uint64_t flops) {
 }
 
 void BlockCtx::sync() {
+  step();
   if (tracing()) stats_.syncs += 1;
 }
 

@@ -5,6 +5,7 @@
 
 #include "gpusim/coalescer.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/global_memory.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "gpusim/trace.hpp"
@@ -28,6 +29,14 @@ enum class ExecMode {
 /// bank-conflict replays, warp-level instruction counts (trace modes).
 /// Writing kernels warp-by-warp is deliberate: it is exactly the
 /// "warp-based assignment method for memory loads" of section III-C2.
+///
+/// Fault tolerance: every warp-level operation is one *step*.  An
+/// optional step budget acts as a watchdog (exceeding it throws
+/// TimeoutError — the simulated equivalent of a kernel-launch deadline),
+/// and an optional FaultInjector is consulted per step and per load lane
+/// to inject bit flips, stuck loads, transient load failures, hangs and
+/// device loss at deterministic, seeded sites.  Both default to off and
+/// cost one predicted branch per warp op when unused.
 class BlockCtx {
  public:
   /// One lane of a warp-wide global load.
@@ -70,6 +79,25 @@ class BlockCtx {
   [[nodiscard]] GlobalMemory& gmem() { return gmem_; }
   [[nodiscard]] SharedMemory& smem() { return smem_; }
 
+  /// Installs a fault injector for this block's execution.  @p block is
+  /// the block's serial index in the launch (its site identity), @p
+  /// attempt the runner's retry ordinal, @p device_index the simulated
+  /// device this block runs on (for DeviceLoss).
+  void install_faults(const FaultInjector* faults, std::int64_t block,
+                      std::int64_t attempt = 0, std::int64_t device_index = 0) {
+    faults_ = faults;
+    block_serial_ = block;
+    attempt_ = attempt;
+    device_index_ = device_index;
+  }
+
+  /// Arms the watchdog: the block may execute at most @p budget
+  /// warp-level operations before TimeoutError is thrown.  0 disarms.
+  void set_step_budget(std::uint64_t budget) { step_budget_ = budget; }
+
+  /// Warp-level operations executed so far.
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
   /// Issues one warp-wide global load instruction.  Lanes must have
   /// exactly device().warp_size entries.  If no lane is active the
   /// instruction is skipped entirely (SIMT branch elision).
@@ -97,11 +125,28 @@ class BlockCtx {
   void reset_stats() { stats_ = TraceStats{}; }
 
  private:
+  /// Advances the watchdog/fault clock by one warp-level operation and
+  /// returns this operation's per-block ordinal.
+  std::int64_t step();
+
+  /// Consults the injector for one load lane and applies StuckLoad /
+  /// TransientFault / BitFlip semantics around the actual read.
+  void faulty_read(FaultSpace space, std::int64_t event, std::int64_t lane,
+                   std::uint64_t vaddr, void* dst, std::uint32_t bytes);
+
   const DeviceSpec& device_;
   GlobalMemory& gmem_;
   SharedMemory smem_;
   ExecMode mode_;
   TraceStats stats_;
+
+  const FaultInjector* faults_ = nullptr;
+  std::int64_t block_serial_ = 0;
+  std::int64_t attempt_ = 0;
+  std::int64_t device_index_ = 0;
+  std::uint64_t events_ = 0;       ///< warp-op ordinal within this block
+  std::uint64_t steps_ = 0;        ///< watchdog clock
+  std::uint64_t step_budget_ = 0;  ///< 0 = watchdog disarmed
 };
 
 }  // namespace inplane::gpusim

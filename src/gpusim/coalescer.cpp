@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <stdexcept>
 #include <vector>
+
+#include "core/status.hpp"
 
 namespace inplane::gpusim {
 
 CoalesceResult coalesce(std::span<const LaneAccess> lanes, std::uint32_t segment_bytes) {
   if (segment_bytes == 0 || (segment_bytes & (segment_bytes - 1)) != 0) {
-    throw std::invalid_argument("coalesce: segment size must be a power of two");
+    throw InvalidConfigError("coalesce: segment size must be a power of two");
   }
   CoalesceResult result;
   // Common case: 32 lanes x 16-byte vector accesses against 4-byte segments
@@ -28,7 +29,7 @@ CoalesceResult coalesce(std::span<const LaneAccess> lanes, std::uint32_t segment
     if (lane.addr > std::numeric_limits<std::uint64_t>::max() - lane.bytes) {
       // Address arithmetic wrapping the 64-bit space is a malformed
       // request, not a wide access: keep the hard error for that.
-      throw std::invalid_argument("coalesce: lane access wraps the address space");
+      throw InvalidConfigError("coalesce: lane access wraps the address space");
     }
     result.any_active = true;
     result.bytes_requested += lane.bytes;

@@ -3,7 +3,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "core/status.hpp"
 
 namespace inplane::gpusim {
 
@@ -60,8 +61,8 @@ DeviceSpec device_from_text(const std::string& text) {
     if (line.empty()) continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("device_from_text: line " + std::to_string(line_no) +
-                               ": expected 'key = value'");
+      throw IoError("device_from_text: line " + std::to_string(line_no) +
+                    ": expected 'key = value'");
     }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
@@ -75,7 +76,7 @@ DeviceSpec device_from_text(const std::string& text) {
       } else if (value == "kepler") {
         d.arch = Arch::Kepler;
       } else {
-        throw std::runtime_error("device_from_text: unknown arch '" + value + "'");
+        throw IoError("device_from_text: unknown arch '" + value + "'");
       }
     } else if (key == "sm_count") {
       d.sm_count = as_int();
@@ -118,7 +119,7 @@ DeviceSpec device_from_text(const std::string& text) {
     } else if (key == "max_outstanding_loads_per_warp") {
       d.max_outstanding_loads_per_warp = as_double();
     } else {
-      throw std::runtime_error("device_from_text: unknown key '" + key + "'");
+      throw IoError("device_from_text: unknown key '" + key + "'");
     }
   }
   return d;
@@ -128,13 +129,13 @@ void save_device(const DeviceSpec& device, const std::string& path) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p);
-  if (!out) throw std::runtime_error("save_device: cannot open " + path);
+  if (!out) throw IoError("save_device: cannot open " + path);
   out << device_to_text(device);
 }
 
 DeviceSpec load_device(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_device: cannot open " + path);
+  if (!in) throw IoError("load_device: cannot open " + path);
   std::ostringstream text;
   text << in.rdbuf();
   return device_from_text(text.str());

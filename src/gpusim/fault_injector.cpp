@@ -1,0 +1,307 @@
+#include "gpusim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace inplane::gpusim {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; every probabilistic draw
+/// is `mix(seed ^ site) < p * 2^64`, a pure function of plan and site.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) { return mix(h ^ v); }
+
+bool draw(std::uint64_t site_hash, double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(site_hash >> 11) * (1.0 / 9007199254740992.0);
+  return u < probability;
+}
+
+bool matches(std::int64_t want, std::int64_t have) { return want < 0 || want == have; }
+
+struct Clause {
+  std::string kind;
+  std::vector<std::pair<std::string, std::string>> kv;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n\r");
+  std::size_t e = s.find_last_not_of(" \t\n\r");
+  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw InvalidConfigError("FaultPlan: bad integer for '" + key + "': " + value);
+  }
+  return v;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || v < 0.0) {
+    throw InvalidConfigError("FaultPlan: bad probability for '" + key + "': " + value);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::BitFlip: return "bitflip";
+    case FaultKind::StuckLoad: return "stuck";
+    case FaultKind::TransientFault: return "transient";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::DeviceLoss: return "devicelost";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string clause = trim(raw);
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed = static_cast<std::uint64_t>(parse_int("seed", clause.substr(5)));
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    const std::string kind_name = trim(clause.substr(0, colon));
+    FaultRule rule;
+    if (kind_name == "bitflip") {
+      rule.kind = FaultKind::BitFlip;
+    } else if (kind_name == "stuck") {
+      rule.kind = FaultKind::StuckLoad;
+    } else if (kind_name == "transient") {
+      rule.kind = FaultKind::TransientFault;
+    } else if (kind_name == "hang") {
+      rule.kind = FaultKind::Hang;
+    } else if (kind_name == "devicelost") {
+      rule.kind = FaultKind::DeviceLoss;
+    } else {
+      throw InvalidConfigError("FaultPlan: unknown fault kind '" + kind_name +
+                               "' (bitflip | stuck | transient | hang | devicelost)");
+    }
+    if (colon != std::string::npos) {
+      for (const std::string& kv_raw : split(clause.substr(colon + 1), ',')) {
+        const std::string kv = trim(kv_raw);
+        if (kv.empty()) continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          throw InvalidConfigError("FaultPlan: expected key=value, got '" + kv + "'");
+        }
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string value = trim(kv.substr(eq + 1));
+        if (key == "p") {
+          rule.probability = parse_double(key, value);
+        } else if (key == "cp") {
+          rule.candidate_probability = parse_double(key, value);
+        } else if (key == "block") {
+          rule.block = parse_int(key, value);
+        } else if (key == "event") {
+          rule.event = parse_int(key, value);
+        } else if (key == "lane") {
+          rule.lane = parse_int(key, value);
+        } else if (key == "attempt") {
+          rule.attempt = parse_int(key, value);
+        } else if (key == "candidate") {
+          rule.candidate = parse_int(key, value);
+        } else if (key == "device") {
+          rule.device = parse_int(key, value);
+        } else if (key == "step") {
+          rule.step = parse_int(key, value);
+        } else if (key == "bit") {
+          rule.bit = static_cast<int>(parse_int(key, value));
+        } else if (key == "space") {
+          if (value == "global") {
+            rule.space = FaultSpace::Global;
+          } else if (value == "shared") {
+            rule.space = FaultSpace::Shared;
+          } else if (value == "any") {
+            rule.space = FaultSpace::Any;
+          } else {
+            throw InvalidConfigError("FaultPlan: bad space '" + value +
+                                     "' (global | shared | any)");
+          }
+        } else {
+          throw InvalidConfigError("FaultPlan: unknown key '" + key + "'");
+        }
+      }
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+bool FaultInjector::fires(const FaultRule& rule, double probability,
+                          std::uint64_t site_hash) const {
+  // An exact trigger (any pinned site field) fires unconditionally once
+  // the match checks in the caller passed and no probability was given.
+  const bool exact = rule.block >= 0 || rule.event >= 0 || rule.lane >= 0 ||
+                     rule.candidate >= 0 || rule.device >= 0 || rule.step >= 0;
+  if (probability > 0.0) return draw(site_hash, probability);
+  return exact;
+}
+
+std::optional<FaultInjector::LoadFault> FaultInjector::on_load(
+    FaultSpace space, std::int64_t attempt, std::int64_t block, std::int64_t event,
+    std::int64_t lane, std::uint64_t vaddr) const {
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.kind != FaultKind::BitFlip && rule.kind != FaultKind::StuckLoad &&
+        rule.kind != FaultKind::TransientFault) {
+      continue;
+    }
+    if (rule.candidate_probability > 0.0 || rule.candidate >= 0) continue;
+    if (rule.space != FaultSpace::Any && rule.space != space) continue;
+    if (!matches(rule.attempt, attempt) || !matches(rule.block, block) ||
+        !matches(rule.event, event) || !matches(rule.lane, lane)) {
+      continue;
+    }
+    std::uint64_t h = combine(plan_.seed, r);
+    h = combine(h, static_cast<std::uint64_t>(attempt));
+    h = combine(h, static_cast<std::uint64_t>(block));
+    h = combine(h, static_cast<std::uint64_t>(event));
+    h = combine(h, static_cast<std::uint64_t>(lane));
+    if (!fires(rule, rule.probability, h)) continue;
+    LoadFault fault;
+    fault.kind = rule.kind;
+    fault.bit = rule.bit >= 0 ? rule.bit
+                              : static_cast<int>(combine(h, vaddr) % 32);
+    return fault;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultKind> FaultInjector::on_step(std::int64_t attempt,
+                                                std::int64_t block,
+                                                std::int64_t event) const {
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.kind != FaultKind::Hang && rule.kind != FaultKind::DeviceLoss) continue;
+    // Device-scoped loss rules (device/step pinned) belong to the
+    // multi-GPU layer, not per-block stepping.
+    if (rule.device >= 0 || rule.step >= 0) continue;
+    if (rule.candidate_probability > 0.0 || rule.candidate >= 0) continue;
+    if (!matches(rule.attempt, attempt) || !matches(rule.block, block) ||
+        !matches(rule.event, event)) {
+      continue;
+    }
+    std::uint64_t h = combine(plan_.seed, 0x57ull + r);
+    h = combine(h, static_cast<std::uint64_t>(attempt));
+    h = combine(h, static_cast<std::uint64_t>(block));
+    h = combine(h, static_cast<std::uint64_t>(event));
+    if (fires(rule, rule.probability, h)) return rule.kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultKind> FaultInjector::on_candidate(std::int64_t candidate,
+                                                     std::int64_t attempt) const {
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.candidate_probability <= 0.0 && rule.candidate < 0) continue;
+    if (!matches(rule.attempt, attempt) || !matches(rule.candidate, candidate)) {
+      continue;
+    }
+    std::uint64_t h = combine(plan_.seed, 0xca0ull + r);
+    h = combine(h, static_cast<std::uint64_t>(candidate));
+    h = combine(h, static_cast<std::uint64_t>(attempt));
+    if (rule.candidate_probability > 0.0
+            ? draw(h, rule.candidate_probability)
+            : true /* exact candidate pin already matched */) {
+      return rule.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::device_lost(std::int64_t device, std::int64_t step) const {
+  if (is_device_lost(device)) return true;
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.kind != FaultKind::DeviceLoss) continue;
+    if (rule.device < 0 && rule.step < 0 && rule.probability <= 0.0) continue;
+    if (!matches(rule.device, device)) continue;
+    // A step-pinned rule means "dies at step S": lost for all step >= S.
+    if (rule.step >= 0 && step < rule.step) continue;
+    std::uint64_t h = combine(plan_.seed, 0xdeull + r);
+    h = combine(h, static_cast<std::uint64_t>(device));
+    h = combine(h, static_cast<std::uint64_t>(step));
+    if (rule.probability > 0.0 ? draw(h, rule.probability) : true) return true;
+  }
+  return false;
+}
+
+void FaultInjector::mark_device_lost(std::int64_t device) const {
+  if (device < 0 || device >= 64) return;
+  lost_devices_.fetch_or(1ull << device, std::memory_order_acq_rel);
+}
+
+bool FaultInjector::is_device_lost(std::int64_t device) const {
+  if (device < 0 || device >= 64) return false;
+  return (lost_devices_.load(std::memory_order_acquire) >> device) & 1ull;
+}
+
+void FaultInjector::record(const FaultEvent& e) const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_.push_back(e);
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::vector<FaultEvent> copy;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    copy = log_;
+  }
+  std::sort(copy.begin(), copy.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.attempt != b.attempt) return a.attempt < b.attempt;
+    if (a.candidate != b.candidate) return a.candidate < b.candidate;
+    if (a.block != b.block) return a.block < b.block;
+    if (a.event != b.event) return a.event < b.event;
+    return a.lane < b.lane;
+  });
+  return copy;
+}
+
+std::size_t FaultInjector::event_count() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_.size();
+}
+
+void FaultInjector::clear_events() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_.clear();
+}
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace inplane::gpusim {
+
+/// The fault kinds the simulated substrate can inject — the failure
+/// modes real GPUs exhibit (ECC single-bit upsets, dropped loads,
+/// runaway kernels, falling off the bus) that the recovery paths in the
+/// runner, tuner and multi-GPU layers must survive.
+enum class FaultKind {
+  BitFlip,         ///< single-bit upset in loaded data (silent corruption)
+  StuckLoad,       ///< load "completes" but leaves stale data in the target
+  TransientFault,  ///< load fails loudly once; a retry is expected to succeed
+  Hang,            ///< the block stops making progress (caught by the watchdog)
+  DeviceLoss,      ///< the whole device disappears (sticky until reset)
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Which memory space a load-level rule applies to.
+enum class FaultSpace { Global, Shared, Any };
+
+/// One declarative trigger.  A rule fires either *probabilistically*
+/// (`probability` per eligible warp-level event, `candidate_probability`
+/// per tuner candidate) or *exactly* (all non-wildcard fields match).
+/// All draws are pure functions of (plan seed, site identity), so a plan
+/// produces bit-identical fault sites at any host thread count.
+struct FaultRule {
+  FaultKind kind = FaultKind::BitFlip;
+  FaultSpace space = FaultSpace::Global;
+
+  double probability = 0.0;            ///< per warp-level load/step event
+  double candidate_probability = 0.0;  ///< per auto-tuner candidate
+
+  // Exact triggers; -1 means "any".
+  std::int64_t block = -1;      ///< block serial index within the launch
+  std::int64_t event = -1;      ///< per-block warp-op ordinal
+  std::int64_t lane = -1;       ///< lane within the warp (load faults)
+  std::int64_t attempt = -1;    ///< only on this retry attempt (0 = first run)
+  std::int64_t candidate = -1;  ///< tuner candidate ordinal
+  std::int64_t device = -1;     ///< multi-GPU device index (DeviceLoss)
+  std::int64_t step = -1;       ///< multi-GPU sweep step (DeviceLoss)
+  int bit = -1;                 ///< BitFlip: which bit; -1 = hash-derived
+};
+
+/// A seeded set of fault rules.  The text syntax (see docs/robustness.md):
+///
+///   seed=42; transient:cp=0.1,attempt=0; bitflip:p=1e-4,bit=30;
+///   hang:block=7,event=100; devicelost:device=1,step=3
+///
+/// Clauses are ';'-separated; the first may set the seed; each remaining
+/// clause is `kind:key=value,key=value,...` with kind one of bitflip |
+/// stuck | transient | hang | devicelost and keys p, cp, block, event,
+/// lane, attempt, candidate, device, step, bit, space (global|shared|any).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Parses the text syntax above.  Throws InvalidConfigError on
+  /// malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+};
+
+/// One fault that actually fired — the injector keeps a log so tests can
+/// assert that fault *sites* are identical across thread counts.
+struct FaultEvent {
+  FaultKind kind = FaultKind::BitFlip;
+  std::int64_t attempt = 0;
+  std::int64_t block = -1;
+  std::int64_t event = -1;
+  std::int64_t lane = -1;
+  std::uint64_t vaddr = 0;
+  int bit = -1;
+  std::int64_t candidate = -1;
+  std::int64_t device = -1;
+  std::int64_t step = -1;
+};
+
+/// Deterministic, seeded fault injector.
+///
+/// Decision methods are const and thread-safe; every probabilistic draw
+/// hashes (seed, site identity) with splitmix64, so whether a given site
+/// faults depends only on the plan — never on scheduling.  The injector
+/// is *passive*: BlockCtx, the guarded runner, the tuner and the
+/// multi-GPU layer query it at their fault points and implement the
+/// fault themselves.  When no injector is installed those layers skip a
+/// single null-pointer check, so the disabled path costs nothing
+/// measurable (see bench_fault_overhead).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// A load-level fault decision: which kind, and for BitFlip which bit.
+  struct LoadFault {
+    FaultKind kind = FaultKind::BitFlip;
+    int bit = 0;
+  };
+
+  /// Consulted by BlockCtx for each active lane of a warp-wide load.
+  [[nodiscard]] std::optional<LoadFault> on_load(FaultSpace space, std::int64_t attempt,
+                                                 std::int64_t block, std::int64_t event,
+                                                 std::int64_t lane,
+                                                 std::uint64_t vaddr) const;
+
+  /// Consulted by BlockCtx once per warp-level operation ("stepping"):
+  /// returns Hang or DeviceLoss when such a rule fires at this step.
+  [[nodiscard]] std::optional<FaultKind> on_step(std::int64_t attempt,
+                                                 std::int64_t block,
+                                                 std::int64_t event) const;
+
+  /// Consulted by the tuners before measuring candidate @p candidate
+  /// (its ordinal in enumeration order).  Returns the fault kind the
+  /// measurement should die of, if any.
+  [[nodiscard]] std::optional<FaultKind> on_candidate(std::int64_t candidate,
+                                                      std::int64_t attempt) const;
+
+  /// Consulted by the multi-GPU layer: does device @p device die at (or
+  /// before) sweep @p step?  Loss is sticky — once a (device, step) rule
+  /// fires, later steps report the device lost too.
+  [[nodiscard]] bool device_lost(std::int64_t device, std::int64_t step) const;
+
+  /// Sticky device-loss state (set by whoever observes the loss first).
+  void mark_device_lost(std::int64_t device) const;
+  [[nodiscard]] bool is_device_lost(std::int64_t device) const;
+
+  /// Fault-site log (appended by the layers that apply faults).
+  void record(const FaultEvent& e) const;
+  /// Log sorted by (attempt, candidate, block, event, lane) — a canonical
+  /// order independent of host scheduling.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  void clear_events() const;
+
+ private:
+  [[nodiscard]] bool fires(const FaultRule& rule, double probability,
+                           std::uint64_t site_hash) const;
+
+  FaultPlan plan_;
+  mutable std::atomic<std::uint64_t> lost_devices_{0};  // bitmask, device < 64
+  mutable std::mutex log_mutex_;
+  mutable std::vector<FaultEvent> log_;
+};
+
+}  // namespace inplane::gpusim

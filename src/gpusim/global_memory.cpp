@@ -1,8 +1,10 @@
 #include "gpusim/global_memory.hpp"
 
 #include <cstring>
-#include <stdexcept>
 #include <string>
+
+#include "core/status.hpp"
+#include "gpusim/fault_injector.hpp"
 
 namespace inplane::gpusim {
 
@@ -15,7 +17,7 @@ std::uint64_t align_up(std::uint64_t v, std::uint64_t a) { return ((v + a - 1) /
 BufferId GlobalMemory::register_mapping(Mapping m) {
   std::lock_guard<std::mutex> lock(map_mutex_);
   if (buffers_.size() == kMaxBuffers) {
-    throw std::length_error("GlobalMemory: mapped buffer limit reached");
+    throw InvalidConfigError("GlobalMemory: mapped buffer limit reached");
   }
   m.base = align_up(next_base_, kBaseAlign);
   next_base_ = m.base + m.size + kBaseAlign;
@@ -44,9 +46,22 @@ BufferId GlobalMemory::map_readonly(std::span<const std::byte> host_bytes) {
 
 std::uint64_t GlobalMemory::base(BufferId id) const {
   if (!id.valid() || id.value >= count_.load(std::memory_order_acquire)) {
-    throw std::out_of_range("GlobalMemory::base: invalid buffer id");
+    throw WildAccessError("GlobalMemory::base: invalid buffer id");
   }
   return buffers_[id.value].base;
+}
+
+void GlobalMemory::set_fault_context(const FaultInjector* faults,
+                                     std::int64_t device_index) {
+  faults_ = faults;
+  device_index_ = device_index;
+}
+
+void GlobalMemory::check_device_alive() const {
+  if (faults_ != nullptr && faults_->is_device_lost(device_index_)) [[unlikely]] {
+    throw DeviceLostError("GlobalMemory: device " + std::to_string(device_index_) +
+                          " is lost; its address space is gone");
+  }
 }
 
 const GlobalMemory::Mapping& GlobalMemory::locate(std::uint64_t vaddr,
@@ -56,19 +71,21 @@ const GlobalMemory::Mapping& GlobalMemory::locate(std::uint64_t vaddr,
     const Mapping& m = buffers_[i];
     if (vaddr >= m.base && vaddr + n <= m.base + m.size) return m;
   }
-  throw std::out_of_range("GlobalMemory: access to unmapped address " +
-                          std::to_string(vaddr) + " (+" + std::to_string(n) + ")");
+  throw WildAccessError("GlobalMemory: access to unmapped address " +
+                        std::to_string(vaddr) + " (+" + std::to_string(n) + ")");
 }
 
 void GlobalMemory::read(std::uint64_t vaddr, void* dst, std::size_t n) const {
+  check_device_alive();
   const Mapping& m = locate(vaddr, n);
   std::memcpy(dst, m.host_ro + (vaddr - m.base), n);
 }
 
 void GlobalMemory::write(std::uint64_t vaddr, const void* src, std::size_t n) {
+  check_device_alive();
   const Mapping& m = locate(vaddr, n);
   if (m.host == nullptr) {
-    throw std::logic_error("GlobalMemory::write: buffer is mapped read-only");
+    throw ReadOnlyViolationError("GlobalMemory::write: buffer is mapped read-only");
   }
   std::memcpy(m.host + (vaddr - m.base), src, n);
 }

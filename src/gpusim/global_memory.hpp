@@ -9,6 +9,8 @@
 
 namespace inplane::gpusim {
 
+class FaultInjector;
+
 /// Handle to a buffer registered with GlobalMemory.
 struct BufferId {
   std::size_t value = static_cast<std::size_t>(-1);
@@ -57,6 +59,12 @@ class GlobalMemory {
     return count_.load(std::memory_order_acquire);
   }
 
+  /// Wires this address space to a fault injector: once @p faults marks
+  /// @p device_index lost, every subsequent read/write throws
+  /// DeviceLostError — the memory of a dead device is gone.  Passing
+  /// nullptr (the default state) disables the check entirely.
+  void set_fault_context(const FaultInjector* faults, std::int64_t device_index);
+
  private:
   struct Mapping {
     std::uint64_t base = 0;
@@ -71,7 +79,10 @@ class GlobalMemory {
 
   BufferId register_mapping(Mapping m);
   const Mapping& locate(std::uint64_t vaddr, std::size_t n) const;
+  void check_device_alive() const;
 
+  const FaultInjector* faults_ = nullptr;
+  std::int64_t device_index_ = 0;
   std::vector<Mapping> buffers_;
   std::atomic<std::size_t> count_{0};  // published mappings (release/acquire)
   std::mutex map_mutex_;               // serialises map()/map_readonly()

@@ -2,25 +2,25 @@
 
 #include <algorithm>
 #include <cstring>
-#include <stdexcept>
+#include "core/status.hpp"
 
 namespace inplane::gpusim {
 
 SharedMemory::SharedMemory(std::size_t bytes, int banks)
     : data_(bytes), banks_(banks) {
-  if (banks <= 0) throw std::invalid_argument("SharedMemory: banks must be positive");
+  if (banks <= 0) throw InvalidConfigError("SharedMemory: banks must be positive");
 }
 
 void SharedMemory::read(std::uint32_t offset, void* dst, std::size_t n) const {
   if (offset + n > data_.size()) {
-    throw std::out_of_range("SharedMemory::read: out of bounds");
+    throw WildAccessError("SharedMemory::read: out of bounds");
   }
   std::memcpy(dst, data_.data() + offset, n);
 }
 
 void SharedMemory::write(std::uint32_t offset, const void* src, std::size_t n) {
   if (offset + n > data_.size()) {
-    throw std::out_of_range("SharedMemory::write: out of bounds");
+    throw WildAccessError("SharedMemory::write: out of bounds");
   }
   std::memcpy(data_.data() + offset, src, n);
 }

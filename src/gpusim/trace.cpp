@@ -1,6 +1,6 @@
 #include "gpusim/trace.hpp"
 
-#include <stdexcept>
+#include "core/status.hpp"
 
 namespace inplane::gpusim {
 
@@ -9,7 +9,7 @@ std::uint64_t div_round(std::uint64_t v, std::uint64_t n) { return (v + n / 2) /
 }  // namespace
 
 TraceStats TraceStats::scaled_down(std::uint64_t n) const {
-  if (n == 0) throw std::invalid_argument("TraceStats::scaled_down: n must be > 0");
+  if (n == 0) throw InvalidConfigError("TraceStats::scaled_down: n must be > 0");
   TraceStats s;
   s.load_instrs = div_round(load_instrs, n);
   s.store_instrs = div_round(store_instrs, n);

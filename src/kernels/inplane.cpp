@@ -25,7 +25,7 @@ class InPlaneKernel final : public KernelBase<T> {
   InPlaneKernel(Method method, StencilCoeffs coeffs, LaunchConfig config)
       : KernelBase<T>(std::move(coeffs), config), method_(method) {
     if (!is_in_plane(method)) {
-      throw std::invalid_argument("InPlaneKernel: method must be an in-plane variant");
+      throw InvalidConfigError("InPlaneKernel: method must be an in-plane variant");
     }
   }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "kernels/kernel_common.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -18,15 +19,15 @@ class KernelBase : public IStencilKernel<T> {
  public:
   KernelBase(StencilCoeffs coeffs, LaunchConfig config)
       : cs_(std::move(coeffs)), cfg_(config), r_(cs_.radius()) {
-    if (r_ < 1) throw std::invalid_argument("stencil kernel: radius must be >= 1");
+    if (r_ < 1) throw InvalidConfigError("stencil kernel: radius must be >= 1");
     if (cfg_.tx <= 0 || cfg_.ty <= 0 || cfg_.rx <= 0 || cfg_.ry <= 0) {
-      throw std::invalid_argument("stencil kernel: blocking factors must be positive");
+      throw InvalidConfigError("stencil kernel: blocking factors must be positive");
     }
     if (cfg_.vec != 1 && cfg_.vec != 2 && cfg_.vec != 4) {
-      throw std::invalid_argument("stencil kernel: vec must be 1, 2 or 4");
+      throw InvalidConfigError("stencil kernel: vec must be 1, 2 or 4");
     }
     if (static_cast<std::size_t>(cfg_.vec) * sizeof(T) > 16) {
-      throw std::invalid_argument("stencil kernel: vector load wider than 16 bytes");
+      throw InvalidConfigError("stencil kernel: vector load wider than 16 bytes");
     }
     c_.resize(static_cast<std::size_t>(r_) + 1);
     c_[0] = static_cast<T>(cs_.c0());

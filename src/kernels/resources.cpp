@@ -1,6 +1,6 @@
 #include "kernels/resources.hpp"
 
-#include <stdexcept>
+#include "core/status.hpp"
 
 namespace inplane::kernels {
 
@@ -19,9 +19,9 @@ bool is_in_plane(Method method) { return method != Method::ForwardPlane; }
 
 gpusim::KernelResources estimate_resources(Method method, const LaunchConfig& config,
                                            int radius, std::size_t elem_size) {
-  if (radius <= 0) throw std::invalid_argument("estimate_resources: radius must be > 0");
+  if (radius <= 0) throw InvalidConfigError("estimate_resources: radius must be > 0");
   if (elem_size != 4 && elem_size != 8) {
-    throw std::invalid_argument("estimate_resources: elem_size must be 4 or 8");
+    throw InvalidConfigError("estimate_resources: elem_size must be 4 or 8");
   }
   gpusim::KernelResources res;
   res.threads = config.threads();

@@ -1,8 +1,12 @@
 #include "kernels/runner.hpp"
 
-#include <stdexcept>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "core/status.hpp"
 #include "core/thread_pool.hpp"
 
 namespace inplane::kernels {
@@ -14,23 +18,18 @@ std::span<const std::byte> const_bytes(const Grid3<T>& g) {
   return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
 }
 
-}  // namespace
-
+/// Sweeps every thread block of one launch.  Shared by the plain and the
+/// guarded runner; @p faults / @p budget are the fault-tolerance hooks
+/// (nullptr / 0 = the historical clean path).
 template <typename T>
-gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
-                              Grid3<T>& out, const gpusim::DeviceSpec& device,
-                              gpusim::ExecMode mode, const ExecPolicy& policy) {
-  if (in.extent() != out.extent()) {
-    throw std::invalid_argument("run_kernel: grids must share extent");
-  }
-  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
-    throw std::invalid_argument("run_kernel: halo narrower than stencil radius");
-  }
-  if (auto err = kernel.validate(device, in.extent())) {
-    throw std::invalid_argument("run_kernel: invalid configuration: " + *err);
-  }
-
+gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                                Grid3<T>& out, const gpusim::DeviceSpec& device,
+                                gpusim::ExecMode mode, const ExecPolicy& policy,
+                                const gpusim::FaultInjector* faults,
+                                std::uint64_t budget, std::int64_t attempt,
+                                std::int64_t device_index) {
   gpusim::GlobalMemory gmem;
+  if (faults != nullptr) gmem.set_fault_context(faults, device_index);
   const gpusim::BufferId in_id = gmem.map_readonly(const_bytes(in));
   const gpusim::BufferId out_id = gmem.map(out.bytes());
   const GridAccess in_access{&in.layout(), gmem.base(in_id)};
@@ -46,7 +45,8 @@ gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& i
   // concurrently.  Per-block stats land in a slot indexed by the block's
   // serial iteration position and are reduced in that order afterwards,
   // which keeps the aggregate TraceStats bit-identical to the serial path
-  // for every thread count.
+  // for every thread count.  Fault sites are keyed by the same serial
+  // block index, so injection is equally schedule-independent.
   const std::size_t nblocks =
       static_cast<std::size_t>(nbx) * static_cast<std::size_t>(nby);
   std::vector<gpusim::TraceStats> per_block(nblocks);
@@ -54,6 +54,10 @@ gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& i
     const int bx = static_cast<int>(b) % nbx;
     const int by = static_cast<int>(b) / nbx;
     gpusim::BlockCtx ctx(device, gmem, smem_bytes, mode);
+    if (faults != nullptr) {
+      ctx.install_faults(faults, static_cast<std::int64_t>(b), attempt, device_index);
+    }
+    if (budget != 0) ctx.set_step_budget(budget);
     GridAccess out_block = out_access;
     kernel.run_block(ctx, in_access, out_block, bx, by);
     per_block[b] = ctx.stats();
@@ -62,6 +66,135 @@ gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& i
   gpusim::TraceStats total;
   for (const gpusim::TraceStats& s : per_block) total += s;
   return total;
+}
+
+/// Generous watchdog bound derived from the launch geometry: a healthy
+/// block issues a handful of warp-ops per 32 tile elements per plane;
+/// this allows ~512x that before declaring the block hung.
+template <typename T>
+std::uint64_t auto_step_budget(const IStencilKernel<T>& kernel, const Extent3& extent) {
+  const std::uint64_t r = static_cast<std::uint64_t>(kernel.radius());
+  const std::uint64_t tw = static_cast<std::uint64_t>(kernel.config().tile_w());
+  const std::uint64_t th = static_cast<std::uint64_t>(kernel.config().tile_h());
+  const std::uint64_t planes = static_cast<std::uint64_t>(extent.nz) + 2 * r + 8;
+  const std::uint64_t tile_elems = (tw + 2 * r) * (th + 2 * r);
+  const std::uint64_t per_plane = tile_elems / 32 + tw + th + 64;
+  return 512ull * planes * per_plane;
+}
+
+/// Checks every interior point of @p out against the CPU reference
+/// stencil applied to @p in.  Tolerance-based: the simulated kernels
+/// reassociate the sum, so a few ulps of drift are legitimate; anything
+/// beyond that is corruption.  Returns Ok or DataCorruption with the
+/// first offending site.
+template <typename T>
+Status verify_against_reference(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                                const Grid3<T>& out) {
+  const StencilCoeffs& coeffs = kernel.coeffs();
+  const int r = coeffs.radius();
+  const double tol = sizeof(T) == 8 ? 1e-9 : 1e-3;
+  for (int k = 0; k < in.nz(); ++k) {
+    for (int j = 0; j < in.ny(); ++j) {
+      for (int i = 0; i < in.nx(); ++i) {
+        T ref = static_cast<T>(coeffs.c0()) * in.at(i, j, k);
+        for (int m = 1; m <= r; ++m) {
+          const T cm = static_cast<T>(coeffs.c(m));
+          ref += cm * (in.at(i - m, j, k) + in.at(i + m, j, k) + in.at(i, j - m, k) +
+                       in.at(i, j + m, k) + in.at(i, j, k - m) + in.at(i, j, k + m));
+        }
+        const double got = static_cast<double>(out.at(i, j, k));
+        const double want = static_cast<double>(ref);
+        const double bound = tol + tol * std::abs(want);
+        if (!(std::abs(got - want) <= bound)) {
+          return {ErrorCode::DataCorruption,
+                  "output mismatch at (" + std::to_string(i) + ", " +
+                      std::to_string(j) + ", " + std::to_string(k) + "): got " +
+                      std::to_string(got) + ", reference " + std::to_string(want)};
+        }
+      }
+    }
+  }
+  return Status::okay();
+}
+
+}  // namespace
+
+template <typename T>
+gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                              Grid3<T>& out, const gpusim::DeviceSpec& device,
+                              gpusim::ExecMode mode, const ExecPolicy& policy) {
+  if (in.extent() != out.extent()) {
+    throw InvalidConfigError("run_kernel: grids must share extent");
+  }
+  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
+    throw InvalidConfigError("run_kernel: halo narrower than stencil radius");
+  }
+  if (auto err = kernel.validate(device, in.extent())) {
+    throw InvalidConfigError("run_kernel: invalid configuration: " + *err);
+  }
+  return sweep_blocks(kernel, in, out, device, mode, policy, nullptr, 0, 0, 0);
+}
+
+template <typename T>
+RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                             Grid3<T>& out, const gpusim::DeviceSpec& device,
+                             const RunOptions& options) {
+  RunReport report;
+  if (in.extent() != out.extent()) {
+    report.status = {ErrorCode::InvalidConfig, "run_kernel: grids must share extent"};
+    return report;
+  }
+  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
+    report.status = {ErrorCode::InvalidConfig,
+                     "run_kernel: halo narrower than stencil radius"};
+    return report;
+  }
+  if (auto err = kernel.validate(device, in.extent())) {
+    report.status = {ErrorCode::InvalidConfig,
+                     "run_kernel: invalid configuration: " + *err};
+    return report;
+  }
+
+  const int max_attempts = options.retry.max_attempts < 1 ? 1 : options.retry.max_attempts;
+  report.step_budget = options.step_budget != 0
+                           ? options.step_budget
+                           : auto_step_budget(kernel, in.extent());
+  double backoff_ms = options.retry.backoff_initial_ms;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= options.retry.backoff_multiplier;
+    }
+    report.attempts = attempt + 1;
+    try {
+      report.stats = sweep_blocks(kernel, in, out, device, options.mode, options.policy,
+                                  options.faults, report.step_budget,
+                                  static_cast<std::int64_t>(attempt),
+                                  options.device_index);
+      report.status = Status::okay();
+    } catch (const std::exception& e) {
+      report.status = status_of(e);
+      if (report.status.retryable() && attempt + 1 < max_attempts) continue;
+      return report;
+    }
+    // Silent corruption (a bit flip, a stuck load) completes "successfully";
+    // only comparing against the reference stencil exposes it.  Clean runs
+    // with no injector and no prior failure skip the sweep — the parallel
+    // runner's own tests already pin bit-exactness there.
+    const bool exposed = options.faults != nullptr || attempt > 0;
+    if (options.retry.verify && exposed && options.mode != gpusim::ExecMode::Trace) {
+      const Status verdict = verify_against_reference(kernel, in, out);
+      report.verified = true;
+      if (!verdict.ok()) {
+        report.status = verdict;
+        if (attempt + 1 < max_attempts) continue;
+        return report;
+      }
+    }
+    return report;
+  }
+  return report;
 }
 
 template <typename T>
@@ -93,6 +226,14 @@ template gpusim::TraceStats run_kernel<double>(const IStencilKernel<double>&,
                                                const Grid3<double>&, Grid3<double>&,
                                                const gpusim::DeviceSpec&,
                                                gpusim::ExecMode, const ExecPolicy&);
+template RunReport run_kernel_guarded<float>(const IStencilKernel<float>&,
+                                             const Grid3<float>&, Grid3<float>&,
+                                             const gpusim::DeviceSpec&,
+                                             const RunOptions&);
+template RunReport run_kernel_guarded<double>(const IStencilKernel<double>&,
+                                              const Grid3<double>&, Grid3<double>&,
+                                              const gpusim::DeviceSpec&,
+                                              const RunOptions&);
 template gpusim::KernelTiming time_kernel<float>(const IStencilKernel<float>&,
                                                  const gpusim::DeviceSpec&,
                                                  const Extent3&);

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cstdint>
+
 #include "core/grid3.hpp"
+#include "core/status.hpp"
 #include "core/thread_pool.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -26,14 +30,66 @@ template <typename T>
 /// write disjoint tiles and per-block stats are reduced in iteration
 /// order.
 ///
-/// Throws std::invalid_argument if the configuration is invalid for the
-/// device/extent or the grids are incompatible (mismatched extents, halo
-/// narrower than the stencil radius).
+/// Throws InvalidConfigError (a std::invalid_argument) if the
+/// configuration is invalid for the device/extent or the grids are
+/// incompatible (mismatched extents, halo narrower than the stencil
+/// radius).
 template <typename T>
 gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
                               Grid3<T>& out, const gpusim::DeviceSpec& device,
                               gpusim::ExecMode mode = gpusim::ExecMode::Functional,
                               const ExecPolicy& policy = {});
+
+/// Retry discipline of the hardened runner.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total attempts (first run + retries)
+  double backoff_initial_ms = 0.5; ///< sleep before the first retry
+  double backoff_multiplier = 2.0; ///< exponential growth per retry
+  bool verify = true;              ///< check output against the CPU reference
+};
+
+/// Options for run_kernel_guarded.
+struct RunOptions {
+  gpusim::ExecMode mode = gpusim::ExecMode::Functional;
+  ExecPolicy policy = {};
+  /// Fault injector to wire into every block and the global address
+  /// space; nullptr runs clean (and skips verification unless a retry
+  /// happened).
+  const gpusim::FaultInjector* faults = nullptr;
+  /// Watchdog budget in warp-level operations per block; 0 derives a
+  /// generous bound from the launch geometry automatically.
+  std::uint64_t step_budget = 0;
+  RetryPolicy retry = {};
+  /// Simulated device identity (device-loss scoping in multi-GPU runs).
+  std::int64_t device_index = 0;
+};
+
+/// Outcome of a guarded run.  Never throws for execution faults — the
+/// final Status says what happened; only programming errors (foreign
+/// exceptions) propagate.
+struct RunReport {
+  Status status;               ///< Ok, or the last attempt's failure
+  gpusim::TraceStats stats;    ///< aggregate trace of the successful attempt
+  int attempts = 0;            ///< attempts consumed (>= 1)
+  bool verified = false;       ///< output was checked against the reference
+  std::uint64_t step_budget = 0;  ///< watchdog budget that was armed
+};
+
+/// Hardened variant of run_kernel: arms a per-block watchdog (simulated
+/// warp-op budget), wires an optional FaultInjector into the block
+/// contexts and the global address space, retries retryable faults with
+/// exponential backoff, and (per RetryPolicy::verify) checks the output
+/// of fault-exposed or retried runs against the CPU reference stencil —
+/// a silent bit flip or stuck load surfaces as ErrorCode::DataCorruption
+/// and triggers a retry rather than a wrong answer.
+///
+/// Invalid configurations come back as Status{InvalidConfig} rather than
+/// throwing, so callers map every failure class the same way.
+template <typename T>
+[[nodiscard]] RunReport run_kernel_guarded(const IStencilKernel<T>& kernel,
+                                           const Grid3<T>& in, Grid3<T>& out,
+                                           const gpusim::DeviceSpec& device,
+                                           const RunOptions& options = {});
 
 /// Produces a timing estimate for @p kernel on @p device over a grid of
 /// @p extent: traces one steady-state plane of one block and expands it
@@ -56,6 +112,15 @@ extern template gpusim::TraceStats run_kernel<double>(const IStencilKernel<doubl
                                                       const gpusim::DeviceSpec&,
                                                       gpusim::ExecMode,
                                                       const ExecPolicy&);
+extern template RunReport run_kernel_guarded<float>(const IStencilKernel<float>&,
+                                                    const Grid3<float>&, Grid3<float>&,
+                                                    const gpusim::DeviceSpec&,
+                                                    const RunOptions&);
+extern template RunReport run_kernel_guarded<double>(const IStencilKernel<double>&,
+                                                     const Grid3<double>&,
+                                                     Grid3<double>&,
+                                                     const gpusim::DeviceSpec&,
+                                                     const RunOptions&);
 extern template gpusim::KernelTiming time_kernel<float>(const IStencilKernel<float>&,
                                                         const gpusim::DeviceSpec&,
                                                         const Extent3&);

@@ -1,7 +1,9 @@
 #include "multigpu/multi_gpu.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <string>
 
+#include "core/status.hpp"
 #include "kernels/runner.hpp"
 
 namespace inplane::multigpu {
@@ -13,10 +15,10 @@ MultiGpuStencil<T>::MultiGpuStencil(kernels::Method method, StencilCoeffs coeffs
     : kernel_(kernels::make_kernel<T>(method, std::move(coeffs), config)),
       options_(options) {
   if (options_.n_devices < 1) {
-    throw std::invalid_argument("MultiGpuStencil: need at least one device");
+    throw InvalidConfigError("MultiGpuStencil: need at least one device");
   }
   if (options_.pcie_bw_gbs <= 0.0) {
-    throw std::invalid_argument("MultiGpuStencil: interconnect bandwidth must be > 0");
+    throw InvalidConfigError("MultiGpuStencil: interconnect bandwidth must be > 0");
   }
 }
 
@@ -39,20 +41,40 @@ std::optional<std::string> MultiGpuStencil<T>::validate(
   return kernel_->validate(device, {extent.nx, extent.ny, slab});
 }
 
+namespace {
+
+/// Removes @p device from the rotation, recording its death.
+void drop_device(std::vector<int>& alive, int device, MultiGpuRunStats* stats) {
+  alive.erase(std::remove(alive.begin(), alive.end(), device), alive.end());
+  if (stats != nullptr) {
+    stats->devices_lost += 1;
+    stats->lost_devices.push_back(device);
+  }
+}
+
+}  // namespace
+
 template <typename T>
 void MultiGpuStencil<T>::run(Grid3<T>& a, Grid3<T>& b,
-                             const gpusim::DeviceSpec& device, int steps) const {
+                             const gpusim::DeviceSpec& device, int steps,
+                             MultiGpuRunStats* stats) const {
   if (a.extent() != b.extent()) {
-    throw std::invalid_argument("MultiGpuStencil::run: grids must share extent");
+    throw InvalidConfigError("MultiGpuStencil::run: grids must share extent");
   }
   if (auto err = validate(device, a.extent())) {
-    throw std::invalid_argument("MultiGpuStencil::run: " + *err);
+    throw InvalidConfigError("MultiGpuStencil::run: " + *err);
   }
   if (a.halo() < kernel_->radius() || b.halo() < kernel_->radius()) {
-    throw std::invalid_argument("MultiGpuStencil::run: halo narrower than radius");
+    throw InvalidConfigError("MultiGpuStencil::run: halo narrower than radius");
   }
   const int r = kernel_->radius();
   const int n = options_.n_devices;
+  const gpusim::FaultInjector* faults = options_.faults;
+  // Devices still in the rotation; slab d is owned by alive[d % alive.size()],
+  // so surviving devices absorb a dead one's slabs round-robin while the
+  // slab partition itself (and therefore the numerics) stays fixed.
+  std::vector<int> alive(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) alive[static_cast<std::size_t>(d)] = d;
   const int slab_nz = a.nz() / n;
   const Extent3 slab_extent{a.nx(), a.ny(), slab_nz};
 
@@ -75,10 +97,41 @@ void MultiGpuStencil<T>::run(Grid3<T>& a, Grid3<T>& b,
       slab_in[static_cast<std::size_t>(d)].fill_with_halo(
           [&](int i, int j, int k) { return cur->at(i, j, z0 + k); });
     }
-    // Compute: every device sweeps its slab independently.
+    // Compute: every slab sweeps on its owning device.  A device found
+    // dead (scatter-time check or DeviceLostError out of its sweep) is
+    // dropped and the slab retried on the next survivor in the rotation.
     for (int d = 0; d < n; ++d) {
-      kernels::run_kernel(*kernel_, slab_in[static_cast<std::size_t>(d)],
-                          slab_out[static_cast<std::size_t>(d)], device);
+      for (;;) {
+        if (alive.empty()) {
+          throw DeviceLostError("MultiGpuStencil::run: all " + std::to_string(n) +
+                                " devices lost at sweep " + std::to_string(step));
+        }
+        const int owner = alive[static_cast<std::size_t>(d) % alive.size()];
+        if (faults != nullptr && faults->device_lost(owner, step)) {
+          faults->mark_device_lost(owner);
+          drop_device(alive, owner, stats);
+          continue;
+        }
+        if (faults == nullptr) {
+          kernels::run_kernel(*kernel_, slab_in[static_cast<std::size_t>(d)],
+                              slab_out[static_cast<std::size_t>(d)], device);
+          break;
+        }
+        kernels::RunOptions ro;
+        ro.faults = faults;
+        ro.device_index = owner;
+        const kernels::RunReport report = kernels::run_kernel_guarded(
+            *kernel_, slab_in[static_cast<std::size_t>(d)],
+            slab_out[static_cast<std::size_t>(d)], device, ro);
+        if (report.status.ok()) break;
+        if (report.status.code == ErrorCode::DeviceLost) {
+          faults->mark_device_lost(owner);
+          drop_device(alive, owner, stats);
+          if (stats != nullptr) stats->slab_retries += 1;
+          continue;
+        }
+        raise(report.status);
+      }
     }
     // Gather: slab interiors back into the global "next" grid.
     for (int d = 0; d < n; ++d) {

@@ -4,6 +4,7 @@
 
 #include "core/coefficients.hpp"
 #include "core/grid3.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/timing.hpp"
 #include "kernels/stencil_kernel.hpp"
 
@@ -20,6 +21,16 @@ struct MultiGpuOptions {
   /// Overlap halo exchange with interior compute (streams) — the standard
   /// optimisation; without it exchange time adds serially.
   bool overlap_exchange = true;
+  /// Optional fault injector: device-loss rules kill simulated devices
+  /// mid-run and the remaining slabs are re-sharded onto the survivors.
+  const gpusim::FaultInjector* faults = nullptr;
+};
+
+/// What the fault-tolerant scheduler observed during one run().
+struct MultiGpuRunStats {
+  int devices_lost = 0;           ///< devices that died during the run
+  std::vector<int> lost_devices;  ///< their indices, in order of death
+  int slab_retries = 0;           ///< slab sweeps redone on a survivor
 };
 
 /// Per-sweep timing breakdown of a decomposed run.
@@ -61,8 +72,17 @@ class MultiGpuStencil {
   /// with halo exchange between sweeps.  Equivalent to @p steps reference
   /// sweeps of the whole grid (same frozen outer halo semantics).
   /// On return @p a holds the final state.
-  void run(Grid3<T>& a, Grid3<T>& b, const gpusim::DeviceSpec& device,
-           int steps) const;
+  ///
+  /// Fault tolerance: when MultiGpuOptions::faults is set, each slab
+  /// sweep runs under the hardened runner bound to its owning device.  A
+  /// device that dies (a device-loss rule, or DeviceLostError out of its
+  /// sweep) is dropped from the rotation and its slabs are re-sharded
+  /// round-robin onto the survivors — the slab partition itself never
+  /// changes, so the output is bitwise identical to the fault-free run.
+  /// Throws DeviceLostError only when every device is gone.  @p stats
+  /// (optional) reports what the scheduler observed.
+  void run(Grid3<T>& a, Grid3<T>& b, const gpusim::DeviceSpec& device, int steps,
+           MultiGpuRunStats* stats = nullptr) const;
 
   /// Per-sweep timing with the interconnect model.
   [[nodiscard]] MultiGpuTiming estimate(const gpusim::DeviceSpec& device,

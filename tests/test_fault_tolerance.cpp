@@ -1,0 +1,605 @@
+// The fault-tolerant execution layer: deterministic seeded injection,
+// the watchdog and retry/verify discipline of the hardened runner, tuner
+// quarantine + checkpoint/resume, and multi-GPU re-sharding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/grid_io.hpp"
+#include "core/status.hpp"
+#include "gpusim/fault_injector.hpp"
+#include "kernels/runner.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace inplane {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::ExecMode;
+using gpusim::FaultEvent;
+using gpusim::FaultInjector;
+using gpusim::FaultKind;
+using gpusim::FaultPlan;
+using gpusim::FaultSpace;
+using kernels::LaunchConfig;
+using kernels::Method;
+using kernels::RunOptions;
+using kernels::RunReport;
+
+// ------------------------------------------------------------ plan parsing --
+
+TEST(FaultPlan, ParsesSeedAndRules) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=7; transient:cp=0.5,attempt=0; bitflip:p=0.001,bit=30,space=global; "
+      "hang:block=2,event=100; devicelost:device=1,step=3");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 4u);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::TransientFault);
+  EXPECT_DOUBLE_EQ(plan.rules[0].candidate_probability, 0.5);
+  EXPECT_EQ(plan.rules[0].attempt, 0);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::BitFlip);
+  EXPECT_EQ(plan.rules[1].bit, 30);
+  EXPECT_EQ(plan.rules[1].space, FaultSpace::Global);
+  EXPECT_EQ(plan.rules[2].kind, FaultKind::Hang);
+  EXPECT_EQ(plan.rules[2].block, 2);
+  EXPECT_EQ(plan.rules[2].event, 100);
+  EXPECT_EQ(plan.rules[3].kind, FaultKind::DeviceLoss);
+  EXPECT_EQ(plan.rules[3].device, 1);
+  EXPECT_EQ(plan.rules[3].step, 3);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("wibble:p=0.1"), InvalidConfigError);
+  EXPECT_THROW(FaultPlan::parse("transient:p=abc"), InvalidConfigError);
+  EXPECT_THROW(FaultPlan::parse("transient:frob=1"), InvalidConfigError);
+  EXPECT_THROW(FaultPlan::parse("bitflip:space=sideways"), InvalidConfigError);
+  EXPECT_THROW(FaultPlan::parse("transient p=1"), InvalidConfigError);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+// ----------------------------------------------------------- test fixture --
+
+constexpr Extent3 kExtent{64, 32, 9};
+
+template <typename T>
+Grid3<T> seeded_input(const kernels::IStencilKernel<T>& kernel) {
+  Grid3<T> in = kernels::make_grid_for(kernel, kExtent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(std::sin(0.1 * i) + 0.05 * j + 0.02 * k * k);
+  });
+  return in;
+}
+
+bool same_event(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.attempt == b.attempt && a.block == b.block &&
+         a.event == b.event && a.lane == b.lane && a.vaddr == b.vaddr &&
+         a.bit == b.bit && a.candidate == b.candidate && a.device == b.device &&
+         a.step == b.step;
+}
+
+// -------------------------------------------------- injection determinism --
+
+TEST(FaultInjection, SitesAndOutputAreThreadCountInvariant) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel =
+      kernels::make_kernel<float>(Method::InPlaneClassical, cs, LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  const FaultPlan plan = FaultPlan::parse("seed=42; bitflip:p=0.002,bit=12");
+
+  auto run_with_threads = [&](int threads, FaultInjector& injector) {
+    Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+    out.fill(-1.0f);
+    RunOptions ro;
+    ro.faults = &injector;
+    ro.policy = ExecPolicy{threads};
+    ro.retry.max_attempts = 1;   // keep the corrupted first attempt
+    ro.retry.verify = false;
+    const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+    EXPECT_TRUE(report.status.ok()) << report.status.to_string();
+    return out;
+  };
+
+  FaultInjector serial_inj(plan);
+  const Grid3<float> serial = run_with_threads(1, serial_inj);
+  const std::vector<FaultEvent> serial_events = serial_inj.events();
+  ASSERT_FALSE(serial_events.empty()) << "plan injected nothing — test is vacuous";
+
+  for (int threads : {2, 4}) {
+    FaultInjector par_inj(plan);
+    const Grid3<float> par = run_with_threads(threads, par_inj);
+    const std::vector<FaultEvent> par_events = par_inj.events();
+    ASSERT_EQ(serial_events.size(), par_events.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial_events.size(); ++i) {
+      EXPECT_TRUE(same_event(serial_events[i], par_events[i]))
+          << "threads=" << threads << " event " << i;
+    }
+    EXPECT_EQ(std::memcmp(serial.raw(), par.raw(), serial.allocated() * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+// ----------------------------------------------------------- watchdog --
+
+TEST(GuardedRunner, HangTripsTheWatchdog) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+
+  FaultInjector injector(FaultPlan::parse("hang:block=0,event=40"));
+  RunOptions ro;
+  ro.faults = &injector;
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+  EXPECT_EQ(report.status.code, ErrorCode::Timeout);
+  EXPECT_EQ(report.attempts, 1);  // timeouts are not retryable
+  EXPECT_NE(report.status.context.find("watchdog"), std::string::npos);
+}
+
+TEST(GuardedRunner, StepBudgetBoundsEveryBlock) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+
+  RunOptions ro;
+  ro.step_budget = 5;  // absurdly tight: every block trips it
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+  EXPECT_EQ(report.status.code, ErrorCode::Timeout);
+  EXPECT_EQ(report.step_budget, 5u);
+
+  // The automatic budget must never fire on a healthy run.
+  RunOptions clean;
+  Grid3<float> out2 = kernels::make_grid_for(*kernel, kExtent);
+  const RunReport ok = kernels::run_kernel_guarded(*kernel, in, out2, dev, clean);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.to_string();
+  EXPECT_GT(ok.step_budget, 0u);
+}
+
+// ------------------------------------------------------- retry + verify --
+
+TEST(GuardedRunner, TransientFaultRetriesAndSucceeds) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+
+  // Every global load fails on attempt 0; attempt 1 runs clean.
+  FaultInjector injector(FaultPlan::parse("transient:p=1,attempt=0,space=global"));
+  RunOptions ro;
+  ro.faults = &injector;
+  ro.retry.backoff_initial_ms = 0.01;
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+  EXPECT_TRUE(report.status.ok()) << report.status.to_string();
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_TRUE(report.verified);
+
+  // The retried output matches a clean run bitwise.
+  Grid3<float> clean = kernels::make_grid_for(*kernel, kExtent);
+  kernels::run_kernel(*kernel, in, clean, dev);
+  EXPECT_EQ(std::memcmp(out.raw(), clean.raw(), out.allocated() * sizeof(float)), 0);
+}
+
+TEST(GuardedRunner, VerificationCatchesSilentBitFlips) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+
+  // Bit 30 (a float exponent bit) flips on some attempt-0 loads.  The run
+  // "succeeds" — only reference verification notices.
+  const FaultPlan plan = FaultPlan::parse("seed=9; bitflip:p=0.005,bit=30,attempt=0");
+
+  // Without verification the corruption is silent.
+  FaultInjector blind_inj(plan);
+  Grid3<float> blind = kernels::make_grid_for(*kernel, kExtent);
+  RunOptions blind_ro;
+  blind_ro.faults = &blind_inj;
+  blind_ro.retry.verify = false;
+  const RunReport blind_report =
+      kernels::run_kernel_guarded(*kernel, in, blind, dev, blind_ro);
+  EXPECT_TRUE(blind_report.status.ok());
+  EXPECT_EQ(blind_report.attempts, 1);
+  ASSERT_GT(blind_inj.event_count(), 0u);
+
+  Grid3<float> clean = kernels::make_grid_for(*kernel, kExtent);
+  kernels::run_kernel(*kernel, in, clean, dev);
+  EXPECT_NE(std::memcmp(blind.raw(), clean.raw(), blind.allocated() * sizeof(float)),
+            0)
+      << "bit flips should have corrupted the unverified output";
+
+  // With verification the corrupt attempt is rejected and retried clean.
+  FaultInjector inj(plan);
+  Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+  RunOptions ro;
+  ro.faults = &inj;
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+  EXPECT_TRUE(report.status.ok()) << report.status.to_string();
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(std::memcmp(out.raw(), clean.raw(), out.allocated() * sizeof(float)), 0);
+}
+
+TEST(GuardedRunner, CleanRunMatchesPlainRunner) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneFullSlice, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+
+  Grid3<float> plain = kernels::make_grid_for(*kernel, kExtent);
+  const auto plain_stats =
+      kernels::run_kernel(*kernel, in, plain, dev, ExecMode::Both);
+
+  Grid3<float> guarded = kernels::make_grid_for(*kernel, kExtent);
+  RunOptions ro;
+  ro.mode = ExecMode::Both;
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, guarded, dev, ro);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_FALSE(report.verified);  // nothing suspicious happened
+  EXPECT_EQ(report.stats.load_instrs, plain_stats.load_instrs);
+  EXPECT_EQ(report.stats.flops, plain_stats.flops);
+  EXPECT_EQ(std::memcmp(plain.raw(), guarded.raw(), plain.allocated() * sizeof(float)),
+            0);
+}
+
+TEST(GuardedRunner, InvalidConfigurationIsReportedNotThrown) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  Grid3<float> narrow(kExtent, /*halo=*/1);  // narrower than radius 2
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, narrow, dev, {});
+  EXPECT_EQ(report.status.code, ErrorCode::InvalidConfig);
+}
+
+// ------------------------------------------------------ tuner robustness --
+
+constexpr Extent3 kTuneExtent{512, 512, 256};
+
+TEST(TunerFaults, RecoverableFaultsYieldTheFaultFreeBest) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+
+  const autotune::TuneResult clean = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, ExecPolicy{});
+
+  // Half the candidates fault on their first measurement attempt; the
+  // retry (attempt pinned to 0, so redraws never re-fire) succeeds.
+  FaultInjector injector(FaultPlan::parse("seed=21; transient:cp=0.5,attempt=0"));
+  autotune::TuneOptions opts;
+  opts.faults = &injector;
+  const autotune::TuneResult faulted = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+
+  ASSERT_TRUE(clean.found() && faulted.found());
+  EXPECT_GT(faulted.faulted, 0u);
+  EXPECT_EQ(faulted.quarantined, 0u);
+  EXPECT_EQ(faulted.best.config.to_string(), clean.best.config.to_string());
+  EXPECT_EQ(faulted.best.timing.mpoints_per_s, clean.best.timing.mpoints_per_s);
+  EXPECT_EQ(faulted.candidates, clean.candidates);
+  EXPECT_EQ(faulted.executed, clean.executed);
+
+  // Same contract for the model-guided tuner.
+  FaultInjector injector2(FaultPlan::parse("seed=21; transient:cp=0.5,attempt=0"));
+  autotune::TuneOptions opts2;
+  opts2.faults = &injector2;
+  const autotune::TuneResult mod_clean = autotune::model_guided_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, 0.1, {}, ExecPolicy{});
+  const autotune::TuneResult mod_faulted = autotune::model_guided_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, 0.1, {}, opts2);
+  ASSERT_TRUE(mod_clean.found() && mod_faulted.found());
+  EXPECT_EQ(mod_faulted.best.config.to_string(), mod_clean.best.config.to_string());
+  EXPECT_EQ(mod_faulted.quarantined, 0u);
+}
+
+TEST(TunerFaults, PersistentFaultQuarantinesTheCandidate) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+
+  // Candidate #5 faults on every attempt: it must be quarantined with its
+  // reason recorded, and the sweep degrades to best-of-survivors.
+  FaultInjector injector(FaultPlan::parse("transient:candidate=5"));
+  autotune::TuneOptions opts;
+  opts.max_attempts = 3;
+  opts.faults = &injector;
+  const autotune::TuneResult result = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.quarantined, 1u);
+  ASSERT_EQ(result.quarantine.size(), 1u);
+  EXPECT_EQ(result.quarantine[0].reason.code, ErrorCode::TransientFault);
+  EXPECT_EQ(result.quarantine[0].attempts, 3);
+  EXPECT_EQ(result.executed, result.candidates - 1);
+
+  // Non-retryable faults are quarantined without burning retries.
+  FaultInjector injector2(FaultPlan::parse("devicelost:candidate=3"));
+  autotune::TuneOptions opts2;
+  opts2.faults = &injector2;
+  const autotune::TuneResult result2 = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts2);
+  ASSERT_TRUE(result2.found());
+  ASSERT_EQ(result2.quarantine.size(), 1u);
+  EXPECT_EQ(result2.quarantine[0].reason.code, ErrorCode::DeviceLost);
+  EXPECT_EQ(result2.quarantine[0].attempts, 1);
+}
+
+TEST(TunerFaults, QuarantineIsThreadCountInvariant) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const FaultPlan plan = FaultPlan::parse("seed=77; transient:cp=0.2");
+
+  auto sweep = [&](int threads) {
+    FaultInjector injector(plan);
+    autotune::TuneOptions opts;
+    opts.policy = ExecPolicy{threads};
+    opts.faults = &injector;
+    return autotune::exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                            kTuneExtent, {}, opts);
+  };
+  const autotune::TuneResult serial = sweep(1);
+  const autotune::TuneResult par = sweep(4);
+  EXPECT_EQ(serial.best.config.to_string(), par.best.config.to_string());
+  EXPECT_EQ(serial.quarantined, par.quarantined);
+  EXPECT_EQ(serial.faulted, par.faulted);
+  ASSERT_EQ(serial.quarantine.size(), par.quarantine.size());
+  for (std::size_t i = 0; i < serial.quarantine.size(); ++i) {
+    EXPECT_EQ(serial.quarantine[i].config.to_string(),
+              par.quarantine[i].config.to_string());
+    EXPECT_EQ(serial.quarantine[i].reason.code, par.quarantine[i].reason.code);
+  }
+}
+
+// -------------------------------------------------- checkpoint / resume --
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, ResumeSkipsEveryMeasuredCandidate) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const std::string path = temp_path("ipt_resume_full.journal");
+  std::filesystem::remove(path);
+
+  autotune::TuneOptions opts;
+  opts.checkpoint_path = path;
+  const autotune::TuneResult first = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+  ASSERT_TRUE(first.found());
+  EXPECT_EQ(first.resumed, 0u);
+
+  // abort_after=1 would throw on the first *fresh* measurement — so a
+  // clean completion proves the resumed sweep re-measured zero candidates.
+  autotune::TuneOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  resume_opts.abort_after = 1;
+  const autotune::TuneResult second = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, resume_opts);
+  ASSERT_TRUE(second.found());
+  EXPECT_EQ(second.resumed, second.candidates);
+  EXPECT_EQ(second.best.config.to_string(), first.best.config.to_string());
+  EXPECT_EQ(second.best.timing.mpoints_per_s, first.best.timing.mpoints_per_s);
+  EXPECT_EQ(second.best.timing.seconds, first.best.timing.seconds);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, KilledSweepResumesToTheIdenticalBest) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const std::string path = temp_path("ipt_resume_crash.journal");
+  std::filesystem::remove(path);
+
+  const autotune::TuneResult clean = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, ExecPolicy{});
+
+  // Simulated kill: the sweep dies after 3 journaled measurements.
+  autotune::TuneOptions crash_opts;
+  crash_opts.checkpoint_path = path;
+  crash_opts.abort_after = 3;
+  EXPECT_THROW(static_cast<void>(autotune::exhaustive_tune<float>(
+                   Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, crash_opts)),
+               std::runtime_error);
+
+  autotune::TuneOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  const autotune::TuneResult resumed = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, resume_opts);
+  ASSERT_TRUE(resumed.found());
+  EXPECT_GE(resumed.resumed, 3u);
+  EXPECT_EQ(resumed.best.config.to_string(), clean.best.config.to_string());
+  EXPECT_EQ(resumed.best.timing.mpoints_per_s, clean.best.timing.mpoints_per_s);
+  EXPECT_EQ(resumed.candidates, clean.candidates);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, TornTailIsTruncatedCleanly) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const std::string path = temp_path("ipt_torn_tail.journal");
+  std::filesystem::remove(path);
+
+  autotune::TuneOptions opts;
+  opts.checkpoint_path = path;
+  const autotune::TuneResult first = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+  ASSERT_TRUE(first.found());
+
+  // A torn write: garbage after the last good record.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x13garbage-torn-write", 19);
+  }
+  autotune::TuneOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  resume_opts.abort_after = 1;  // throws if anything had to be re-measured
+  const autotune::TuneResult resumed = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, resume_opts);
+  EXPECT_EQ(resumed.resumed, resumed.candidates);
+  EXPECT_EQ(resumed.best.config.to_string(), first.best.config.to_string());
+
+  // A record chopped mid-payload: only that record is lost.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  autotune::TuneOptions chopped_opts;
+  chopped_opts.checkpoint_path = path;
+  chopped_opts.resume = true;
+  const autotune::TuneResult chopped = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, chopped_opts);
+  EXPECT_EQ(chopped.resumed, chopped.candidates - 1);
+  EXPECT_EQ(chopped.best.config.to_string(), first.best.config.to_string());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FingerprintMismatchDiscardsTheJournal) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const std::string path = temp_path("ipt_fingerprint.journal");
+  std::filesystem::remove(path);
+
+  autotune::TuneOptions opts;
+  opts.checkpoint_path = path;
+  ASSERT_TRUE(autotune::exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                               kTuneExtent, {}, opts)
+                  .found());
+
+  // Same path, different extent: the stored journal describes a different
+  // sweep and must not be resumed from.
+  autotune::TuneOptions other;
+  other.checkpoint_path = path;
+  other.resume = true;
+  other.abort_after = 1;  // fires because nothing can be resumed
+  const Extent3 other_extent{256, 256, 128};
+  EXPECT_THROW(static_cast<void>(autotune::exhaustive_tune<float>(
+                   Method::InPlaneFullSlice, cs, dev, other_extent, {}, other)),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- grid I/O --
+
+TEST(GridIo, TruncatedFileReportsByteOffset) {
+  const std::string path = temp_path("ipt_truncated.ipg");
+  Grid3<float> grid({16, 8, 4}, 2);
+  grid.fill_with_halo(
+      [](int i, int j, int k) { return static_cast<float>(i + 10 * j + 100 * k); });
+  save_grid(grid, path);
+
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 64);
+  try {
+    static_cast<void>(load_grid<float>(path));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.status().code, ErrorCode::IoError);
+    EXPECT_EQ(e.byte_offset(), static_cast<long long>(full) - 64);
+    EXPECT_NE(std::string(e.what()).find("truncated data"), std::string::npos);
+  }
+
+  // Chopped inside the header: offset pinpoints the short field.
+  std::filesystem::resize_file(path, 20);
+  try {
+    static_cast<void>(load_grid<float>(path));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.byte_offset(), 20);
+    EXPECT_NE(std::string(e.what()).find("truncated header"), std::string::npos);
+  }
+
+  // Legacy catch sites (std::runtime_error) still work.
+  EXPECT_THROW(static_cast<void>(load_grid<float>(path)), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ multi-GPU --
+
+TEST(MultiGpuFaults, LostDeviceIsReshardedOntoSurvivors) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const Extent3 extent{64, 32, 8};
+
+  auto make_pair = [&] {
+    Grid3<float> g(extent, 1);
+    g.fill_with_halo([](int i, int j, int k) {
+      return static_cast<float>(std::sin(0.3 * i) + 0.1 * j - 0.05 * k);
+    });
+    return g;
+  };
+
+  // Fault-free reference run on 2 devices.
+  multigpu::MultiGpuOptions clean_opts;
+  clean_opts.n_devices = 2;
+  multigpu::MultiGpuStencil<float> clean_sim(Method::InPlaneClassical, cs, cfg,
+                                             clean_opts);
+  Grid3<float> a_clean = make_pair();
+  Grid3<float> b_clean = make_pair();
+  clean_sim.run(a_clean, b_clean, dev, 3);
+
+  // Device 1 dies at sweep 1; its slabs move to device 0.
+  FaultInjector injector(FaultPlan::parse("devicelost:device=1,step=1"));
+  multigpu::MultiGpuOptions opts;
+  opts.n_devices = 2;
+  opts.faults = &injector;
+  multigpu::MultiGpuStencil<float> sim(Method::InPlaneClassical, cs, cfg, opts);
+  Grid3<float> a = make_pair();
+  Grid3<float> b = make_pair();
+  multigpu::MultiGpuRunStats stats;
+  sim.run(a, b, dev, 3, &stats);
+
+  EXPECT_EQ(stats.devices_lost, 1);
+  ASSERT_EQ(stats.lost_devices.size(), 1u);
+  EXPECT_EQ(stats.lost_devices[0], 1);
+  EXPECT_TRUE(injector.is_device_lost(1));
+  EXPECT_FALSE(injector.is_device_lost(0));
+
+  // The slab partition never changed, so the numerics are identical.
+  EXPECT_EQ(
+      std::memcmp(a.raw(), a_clean.raw(), a.allocated() * sizeof(float)), 0);
+}
+
+TEST(MultiGpuFaults, AllDevicesLostRaisesDeviceLost) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const Extent3 extent{64, 32, 8};
+
+  FaultInjector injector(
+      FaultPlan::parse("devicelost:device=0; devicelost:device=1"));
+  multigpu::MultiGpuOptions opts;
+  opts.n_devices = 2;
+  opts.faults = &injector;
+  multigpu::MultiGpuStencil<float> sim(Method::InPlaneClassical, cs, cfg, opts);
+  Grid3<float> a(extent, 1);
+  Grid3<float> b(extent, 1);
+  a.fill(1.0f);
+  b.fill(0.0f);
+  EXPECT_THROW(sim.run(a, b, dev, 2), DeviceLostError);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -1,0 +1,116 @@
+// The error taxonomy: every typed error carries a Status, derives the
+// standard exception type its call sites historically threw, and round
+// trips through status_of()/raise().
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <type_traits>
+
+#include "core/status.hpp"
+
+namespace inplane {
+namespace {
+
+// Each typed error must keep deriving the std exception its untyped
+// predecessor threw, so pre-taxonomy catch sites keep working.
+static_assert(std::is_base_of_v<std::invalid_argument, InvalidConfigError>);
+static_assert(std::is_base_of_v<std::runtime_error, TransientFaultError>);
+static_assert(std::is_base_of_v<std::runtime_error, TimeoutError>);
+static_assert(std::is_base_of_v<std::runtime_error, DataCorruptionError>);
+static_assert(std::is_base_of_v<std::runtime_error, DeviceLostError>);
+static_assert(std::is_base_of_v<std::runtime_error, IoError>);
+static_assert(std::is_base_of_v<std::out_of_range, WildAccessError>);
+static_assert(std::is_base_of_v<std::logic_error, ReadOnlyViolationError>);
+
+TEST(Status, CodesRenderAndClassify) {
+  EXPECT_STREQ(to_string(ErrorCode::Ok), "ok");
+  EXPECT_TRUE(Status::okay().ok());
+  EXPECT_FALSE(Status(ErrorCode::Timeout, "x").ok());
+
+  EXPECT_TRUE(Status(ErrorCode::TransientFault, "").retryable());
+  EXPECT_TRUE(Status(ErrorCode::DataCorruption, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::InvalidConfig, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::Timeout, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::DeviceLost, "").retryable());
+  EXPECT_FALSE(Status(ErrorCode::IoError, "").retryable());
+
+  const Status st(ErrorCode::TransientFault, "load failed");
+  EXPECT_NE(st.to_string().find("transient"), std::string::npos);
+  EXPECT_NE(st.to_string().find("load failed"), std::string::npos);
+}
+
+TEST(Status, StatusOfRecoversTypedErrors) {
+  try {
+    throw TimeoutError("watchdog fired");
+  } catch (const std::exception& e) {
+    const Status st = status_of(e);
+    EXPECT_EQ(st.code, ErrorCode::Timeout);
+    EXPECT_EQ(st.context, "watchdog fired");
+  }
+  try {
+    throw InvalidConfigError("bad tile");
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_of(e).code, ErrorCode::InvalidConfig);
+  }
+  // A catch site expecting the legacy base type still works.
+  EXPECT_THROW(throw InvalidConfigError("x"), std::invalid_argument);
+  EXPECT_THROW(throw WildAccessError("x"), std::out_of_range);
+  EXPECT_THROW(throw ReadOnlyViolationError("x"), std::logic_error);
+  EXPECT_THROW(throw IoError("x"), std::runtime_error);
+}
+
+TEST(Status, StatusOfWrapsForeignExceptionsAsInternal) {
+  try {
+    throw std::logic_error("not one of ours");
+  } catch (const std::exception& e) {
+    const Status st = status_of(e);
+    EXPECT_EQ(st.code, ErrorCode::Internal);
+    EXPECT_EQ(st.context, "not one of ours");
+  }
+}
+
+TEST(Status, RaiseRoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::InvalidConfig, ErrorCode::TransientFault, ErrorCode::Timeout,
+        ErrorCode::DataCorruption, ErrorCode::DeviceLost, ErrorCode::IoError,
+        ErrorCode::Internal}) {
+    try {
+      raise(Status(code, "ctx"));
+      FAIL() << "raise returned";
+    } catch (const std::exception& e) {
+      EXPECT_EQ(status_of(e).code, code) << to_string(code);
+    }
+  }
+}
+
+TEST(Status, IoErrorCarriesByteOffset) {
+  const IoError plain("no offset");
+  EXPECT_EQ(plain.byte_offset(), -1);
+  const IoError at("short read", 1234);
+  EXPECT_EQ(at.byte_offset(), 1234);
+  EXPECT_NE(std::string(at.what()).find("1234"), std::string::npos);
+  EXPECT_EQ(at.status().code, ErrorCode::IoError);
+}
+
+TEST(Status, WhatComposesCodeAndContext) {
+  const TransientFaultError e("lane 3 dropped");
+  const std::string what = e.what();
+  EXPECT_NE(what.find("transient"), std::string::npos);
+  EXPECT_NE(what.find("lane 3 dropped"), std::string::npos);
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  const Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+
+  const Result<int> bad(Status{ErrorCode::IoError, "gone"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code, ErrorCode::IoError);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -14,9 +14,13 @@
 #include <map>
 #include <string>
 
+#include <optional>
+
 #include "autotune/tuner.hpp"
 #include "codegen/cuda_codegen.hpp"
+#include "core/status.hpp"
 #include "gpusim/device_file.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "kernels/runner.hpp"
 #include "perfmodel/model.hpp"
 #include "report/table.hpp"
@@ -64,8 +68,8 @@ gpusim::DeviceSpec device_by_name(const std::string& name) {
   if (name == "gtx680") return gpusim::DeviceSpec::geforce_gtx680();
   if (name == "c2070") return gpusim::DeviceSpec::tesla_c2070();
   if (name == "c2050") return gpusim::DeviceSpec::tesla_c2050();
-  throw std::invalid_argument("unknown device '" + name +
-                              "' (gtx580 | gtx680 | c2070 | c2050 | path to a .device file)");
+  throw InvalidConfigError("unknown device '" + name +
+                           "' (gtx580 | gtx680 | c2070 | c2050 | path to a .device file)");
 }
 
 Method method_by_name(const std::string& name) {
@@ -74,7 +78,7 @@ Method method_by_name(const std::string& name) {
   if (name == "vertical") return Method::InPlaneVertical;
   if (name == "horizontal") return Method::InPlaneHorizontal;
   if (name == "fullslice" || name == "full-slice") return Method::InPlaneFullSlice;
-  throw std::invalid_argument(
+  throw InvalidConfigError(
       "unknown method '" + name +
       "' (nvstencil | classical | vertical | horizontal | fullslice)");
 }
@@ -117,6 +121,26 @@ int cmd_run(const Args& args) {
   const LaunchConfig cfg = config_from(args, method, sizeof(T) == 8);
   const auto kernel =
       make_kernel<T>(method, StencilCoeffs::diffusion(order / 2), cfg);
+  if (args.has("fault-plan")) {
+    // Functional execution under the hardened runner: inject the plan,
+    // retry retryable faults, verify the output against the reference.
+    const auto plan = gpusim::FaultPlan::parse(args.get("fault-plan", ""));
+    gpusim::FaultInjector injector(plan);
+    Grid3<T> in = make_grid_for(*kernel, grid_from(args));
+    Grid3<T> out = make_grid_for(*kernel, grid_from(args));
+    in.fill_with_halo([](int i, int j, int k) {
+      return static_cast<T>(((i * 37 + j * 17 + k * 7) % 101) - 50) / T(50);
+    });
+    RunOptions ro;
+    ro.faults = &injector;
+    ro.policy = ExecPolicy{args.geti("threads", 0)};
+    const RunReport report = run_kernel_guarded(*kernel, in, out, dev, ro);
+    std::printf("guarded run: %s after %d attempt(s)%s; %zu fault site(s) injected\n",
+                report.status.ok() ? "ok" : report.status.to_string().c_str(),
+                report.attempts, report.verified ? ", output verified" : "",
+                injector.event_count());
+    if (!report.status.ok()) raise(report.status);
+  }
   const auto t = time_kernel(*kernel, dev, grid_from(args));
   print_timing(kernel->name() + " " + cfg.to_string() + " order " +
                    std::to_string(order) + " on " + dev.name,
@@ -133,17 +157,39 @@ int cmd_tune(const Args& args) {
   const Extent3 grid = grid_from(args);
   // --threads 1 pins the sweep to the serial path (reproducible wall-clock
   // benchmarking); 0 = all hardware threads.  Results are identical either way.
-  const ExecPolicy policy{args.geti("threads", 0)};
+  autotune::TuneOptions topt;
+  topt.policy = ExecPolicy{args.geti("threads", 0)};
+  topt.max_attempts = args.geti("retries", 3);
+  topt.checkpoint_path = args.get("checkpoint", "");
+  topt.resume = args.has("resume");
+  std::optional<gpusim::FaultInjector> injector;
+  if (args.has("fault-plan")) {
+    injector.emplace(gpusim::FaultPlan::parse(args.get("fault-plan", "")));
+    topt.faults = &*injector;
+  }
 
   autotune::TuneResult result;
   if (args.has("beta")) {
     const double beta = std::atof(args.get("beta", "0.05").c_str());
-    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta, {}, policy);
+    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta, {}, topt);
     std::printf("model-guided tuning (beta = %.0f%%): executed %zu of %zu candidates\n",
                 beta * 100.0, result.executed, result.candidates);
   } else {
-    result = autotune::exhaustive_tune<T>(method, cs, dev, grid, {}, policy);
+    result = autotune::exhaustive_tune<T>(method, cs, dev, grid, {}, topt);
     std::printf("exhaustive tuning: executed %zu configurations\n", result.executed);
+  }
+  if (result.resumed != 0) {
+    std::printf("resumed %zu measurement(s) from %s\n", result.resumed,
+                topt.checkpoint_path.c_str());
+  }
+  if (result.faulted != 0 || result.quarantined != 0) {
+    std::printf("fault report: %zu candidate(s) faulted, %zu quarantined\n",
+                result.faulted, result.quarantined);
+    for (const autotune::QuarantineRecord& q : result.quarantine) {
+      std::printf("  quarantined %s after %d attempt(s): %s\n",
+                  q.config.to_string().c_str(), q.attempts,
+                  q.reason.to_string().c_str());
+    }
   }
   if (!result.found()) {
     std::printf("no valid configuration found\n");
@@ -209,16 +255,37 @@ int cmd_devices() {
   return 0;
 }
 
+/// Exit codes by failure class: 2 = bad arguments/configuration, 3 =
+/// execution fault (transient/timeout/corruption/device loss), 4 = I/O.
+int exit_code_for(const Status& st) {
+  switch (st.code) {
+    case ErrorCode::InvalidConfig:
+      return 2;
+    case ErrorCode::TransientFault:
+    case ErrorCode::Timeout:
+    case ErrorCode::DataCorruption:
+    case ErrorCode::DeviceLost:
+      return 3;
+    case ErrorCode::IoError:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
 int usage() {
   std::fputs(
       "usage: inplane <command> [--key value ...]\n"
       "commands:\n"
       "  devices                      list the simulated GPUs\n"
       "  run      time one configuration   (--method --order --device --tx --ty\n"
-      "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz])\n"
+      "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz]\n"
+      "                                     [--fault-plan spec for a guarded run])\n"
       "  tune     auto-tune a method       (--method --order --device [--dp]\n"
       "                                     [--beta 0.05 for model-guided]\n"
-      "                                     [--threads N, 0 = all cores, 1 = serial])\n"
+      "                                     [--threads N, 0 = all cores, 1 = serial]\n"
+      "                                     [--fault-plan spec] [--retries N]\n"
+      "                                     [--checkpoint file] [--resume])\n"
       "  model    section-VI prediction    (same keys as run)\n"
       "  codegen  emit a CUDA .cu file     (--method --order --tx --ty ... [--o f])\n",
       stderr);
@@ -241,8 +308,9 @@ int main(int argc, char** argv) {
       return dp ? cmd_codegen<double>(args) : cmd_codegen<float>(args);
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    const Status st = status_of(e);
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return exit_code_for(st);
   }
   return usage();
 }
