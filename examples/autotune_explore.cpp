@@ -2,8 +2,8 @@
 // stencil order / precision / device, compare the exhaustive search with
 // the model-guided search of section VI, and print the top of the ranking.
 //
-//   $ ./autotune_explore [order] [sp|dp] [gtx580|gtx680|c2070] [threads]
-//                        [fault-plan]
+//   $ ./autotune_explore [--verify] [order] [sp|dp] [gtx580|gtx680|c2070]
+//                        [threads] [fault-plan]
 //
 // `threads` caps the host threads the tuning sweep uses (0 = all hardware
 // threads, 1 = serial); the chosen best config and every number printed
@@ -24,6 +24,7 @@
 #include "core/status.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "report/table.hpp"
+#include "verify/fuzzer.hpp"
 
 namespace {
 
@@ -35,9 +36,34 @@ gpusim::DeviceSpec pick_device(const char* name) {
   return gpusim::DeviceSpec::geforce_gtx580();
 }
 
+/// --verify: gates a tuning winner through every verification pillar
+/// (CPU-reference oracle, differential vs forward-plane, metamorphic
+/// relations, trace audit) on a reduced grid.  Returns false — and prints
+/// the replayable sample line — on any mismatch.
+template <typename T>
+bool verify_winner(const char* label, int order, const kernels::LaunchConfig& cfg,
+                   const gpusim::DeviceSpec& device, const ExecPolicy& policy) {
+  verify::FuzzSample sample;
+  sample.method = kernels::Method::InPlaneFullSlice;
+  sample.order = order;
+  sample.config = cfg;
+  sample.double_precision = sizeof(T) == 8;
+  sample.nx = cfg.tile_w() * 2;
+  sample.ny = cfg.tile_h() * 2;
+  sample.nz = order + 2 > 8 ? order + 2 : 8;
+  const verify::FuzzVerdict v = verify::run_sample(sample, device, policy);
+  if (!v.pass) {
+    std::printf("verify (%s winner): FAILED %s\n  %s\n", label,
+                sample.to_line().c_str(), v.detail.c_str());
+    return false;
+  }
+  std::printf("verify (%s winner): ok (%s)\n", label, sample.to_line().c_str());
+  return true;
+}
+
 template <typename T>
 int explore(int order, const gpusim::DeviceSpec& device,
-            const autotune::TuneOptions& options) {
+            const autotune::TuneOptions& options, bool verify_winners) {
   const Extent3 grid{512, 512, 256};
   const StencilCoeffs coeffs = StencilCoeffs::diffusion(order / 2);
 
@@ -76,12 +102,33 @@ int explore(int order, const gpusim::DeviceSpec& device,
       exh.best.config.to_string().c_str(), exh.best.timing.mpoints_per_s,
       exh.executed, mod.best.config.to_string().c_str(),
       mod.best.timing.mpoints_per_s, mod.executed);
-  return exh.found() ? 0 : 1;
+  if (!exh.found()) return 1;
+  if (verify_winners) {
+    // Winners are verified before this process vouches for them; a tuner
+    // that crowned a wrong-answer kernel exits 3 (execution fault).
+    const bool ok = verify_winner<T>("exhaustive", order, exh.best.config, device,
+                                     options.policy) &&
+                    verify_winner<T>("model-guided", order, mod.best.config, device,
+                                     options.policy);
+    if (!ok) return 3;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --verify may appear anywhere; the remaining arguments stay positional.
+  bool verify_winners = false;
+  int n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify_winners = true;
+    } else {
+      argv[n++] = argv[i];
+    }
+  }
+  argc = n;
   const int order = argc > 1 ? std::atoi(argv[1]) : 8;
   const bool dp = argc > 2 && std::strcmp(argv[2], "dp") == 0;
   const gpusim::DeviceSpec device = pick_device(argc > 3 ? argv[3] : "gtx580");
@@ -97,8 +144,8 @@ int main(int argc, char** argv) {
       injector.emplace(gpusim::FaultPlan::parse(argv[5]));
       options.faults = &*injector;
     }
-    return dp ? explore<double>(order, device, options)
-              : explore<float>(order, device, options);
+    return dp ? explore<double>(order, device, options, verify_winners)
+              : explore<float>(order, device, options, verify_winners);
   } catch (const std::exception& e) {
     // Exit codes by failure class, same scheme as the inplane CLI.
     const Status st = status_of(e);

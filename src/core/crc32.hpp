@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace inplane {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xedb88320) over @p n bytes.
+/// Frames the auto-tuner checkpoint journal records and the golden-trace
+/// snapshots of the verification subsystem.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n);
+
+}  // namespace inplane

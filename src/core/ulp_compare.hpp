@@ -1,0 +1,152 @@
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/grid3.hpp"
+
+namespace inplane {
+
+/// Maps a float onto the integer line so that adjacent representable
+/// values differ by exactly 1 (lexicographic IEEE-754 ordering).
+[[nodiscard]] inline std::uint64_t ulp_key(float x) {
+  const auto bits = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t key =
+      (bits & 0x8000'0000u) != 0 ? ~bits : bits | 0x8000'0000u;
+  return key;
+}
+
+[[nodiscard]] inline std::uint64_t ulp_key(double x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  return (bits & 0x8000'0000'0000'0000ull) != 0 ? ~bits
+                                                : bits | 0x8000'0000'0000'0000ull;
+}
+
+/// ULP distance between two values of the same type: the number of
+/// representable values strictly between them (0 = identical, and +0/-0
+/// count as identical).  Any NaN is infinitely far from everything,
+/// including another NaN — a NaN in a kernel output must never compare
+/// "close".
+template <typename T>
+[[nodiscard]] std::uint64_t ulp_distance(T a, T b) {
+  if (std::isnan(a) || std::isnan(b)) return ~0ull;
+  if (a == b) return 0;  // covers +0 vs -0
+  const std::uint64_t ka = ulp_key(a);
+  const std::uint64_t kb = ulp_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// The centralized comparison budget of the verification subsystem: a
+/// value pair matches if it is within `max_ulps` representable values
+/// (relative criterion, scale-free) OR within `abs_floor` absolutely
+/// (near-zero criterion, where cancellation makes ULP distance
+/// meaningless).  Budgets derive from the stencil order because the
+/// simulated kernels reassociate the 6r+1-term sum of Eqn. (1) and the
+/// in-plane method of Eqns. (3)-(5) carries r-deep partial-output queues:
+/// rounding error grows with the term count, so one fixed epsilon is
+/// either too loose for order 2 or too tight for order 12.
+struct UlpBudget {
+  std::uint64_t max_ulps = 4;
+  double abs_floor = 0.0;
+
+  /// Bitwise equality (modulo +0/-0).
+  [[nodiscard]] static UlpBudget exact() { return {0, 0.0}; }
+
+  [[nodiscard]] static UlpBudget for_order(int order, std::size_t elem_size) {
+    const auto o = static_cast<std::uint64_t>(order < 2 ? 2 : order);
+    if (elem_size == 8) {
+      return {512 * o, 1e-12 * static_cast<double>(o)};
+    }
+    return {1024 * o, 5e-5 * static_cast<double>(o)};
+  }
+
+  [[nodiscard]] static UlpBudget for_radius(int radius, std::size_t elem_size) {
+    return for_order(2 * radius, elem_size);
+  }
+
+  /// Widens the budget for accumulated error, e.g. over @p factor Jacobi
+  /// timesteps or the extra cancellation of a metamorphic sum.
+  [[nodiscard]] UlpBudget scaled(double factor) const {
+    UlpBudget b = *this;
+    b.max_ulps = static_cast<std::uint64_t>(static_cast<double>(max_ulps) * factor);
+    b.abs_floor = abs_floor * factor;
+    return b;
+  }
+};
+
+/// Verdict of one value comparison.
+template <typename T>
+struct UlpCheck {
+  bool pass = true;
+  std::uint64_t ulps = 0;
+  double abs_diff = 0.0;
+
+  explicit operator bool() const { return pass; }
+};
+
+template <typename T>
+[[nodiscard]] UlpCheck<T> ulp_check(T a, T b, const UlpBudget& budget) {
+  UlpCheck<T> c;
+  c.ulps = ulp_distance(a, b);
+  c.abs_diff = std::abs(static_cast<double>(a) - static_cast<double>(b));
+  c.pass = c.ulps <= budget.max_ulps ||
+           (!std::isnan(a) && !std::isnan(b) && c.abs_diff <= budget.abs_floor);
+  return c;
+}
+
+template <typename T>
+[[nodiscard]] bool ulp_close(T a, T b, const UlpBudget& budget) {
+  return ulp_check(a, b, budget).pass;
+}
+
+/// Interior-wide comparison verdict: worst offending site plus counts.
+struct UlpGridDiff {
+  bool pass = true;
+  std::size_t mismatches = 0;   ///< points outside the budget
+  std::uint64_t max_ulps = 0;   ///< largest finite ULP distance seen
+  double max_abs = 0.0;
+  int worst_i = -1;             ///< site of the first budget violation
+  int worst_j = -1;
+  int worst_k = -1;
+
+  [[nodiscard]] std::string describe() const {
+    if (pass) return "interiors match within budget";
+    return std::to_string(mismatches) + " point(s) outside budget, first at (" +
+           std::to_string(worst_i) + ", " + std::to_string(worst_j) + ", " +
+           std::to_string(worst_k) + "), max " + std::to_string(max_ulps) +
+           " ulps / " + std::to_string(max_abs) + " abs";
+  }
+};
+
+/// Compares the interiors of two grids of identical extent under the
+/// budget.  Grids may have different halos/alignment; only logical
+/// interior coordinates are visited.
+template <typename T>
+[[nodiscard]] UlpGridDiff ulp_compare_grids(const Grid3<T>& a, const Grid3<T>& b,
+                                            const UlpBudget& budget) {
+  UlpGridDiff d;
+  for (int k = 0; k < a.nz(); ++k) {
+    for (int j = 0; j < a.ny(); ++j) {
+      for (int i = 0; i < a.nx(); ++i) {
+        const UlpCheck<T> c = ulp_check(a.at(i, j, k), b.at(i, j, k), budget);
+        if (c.ulps != ~0ull) d.max_ulps = std::max(d.max_ulps, c.ulps);
+        d.max_abs = std::max(d.max_abs, c.abs_diff);
+        if (!c.pass) {
+          if (d.pass) {
+            d.worst_i = i;
+            d.worst_j = j;
+            d.worst_k = k;
+          }
+          d.pass = false;
+          ++d.mismatches;
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace inplane

@@ -8,6 +8,7 @@
 
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
+#include "verify/reference_oracle.hpp"
 
 namespace inplane::kernels {
 
@@ -83,38 +84,17 @@ std::uint64_t auto_step_budget(const IStencilKernel<T>& kernel, const Extent3& e
 }
 
 /// Checks every interior point of @p out against the CPU reference
-/// stencil applied to @p in.  Tolerance-based: the simulated kernels
-/// reassociate the sum, so a few ulps of drift are legitimate; anything
-/// beyond that is corruption.  Returns Ok or DataCorruption with the
-/// first offending site.
+/// stencil applied to @p in, through the verification subsystem's shared
+/// oracle and its centralized ULP budget — the same comparator behind the
+/// differential oracle, the CLI's --verify mode and the fuzzer, so a bug
+/// flagged here is flagged identically by all of them.  Returns Ok or
+/// DataCorruption with the first offending site.
 template <typename T>
 Status verify_against_reference(const IStencilKernel<T>& kernel, const Grid3<T>& in,
                                 const Grid3<T>& out) {
   const StencilCoeffs& coeffs = kernel.coeffs();
-  const int r = coeffs.radius();
-  const double tol = sizeof(T) == 8 ? 1e-9 : 1e-3;
-  for (int k = 0; k < in.nz(); ++k) {
-    for (int j = 0; j < in.ny(); ++j) {
-      for (int i = 0; i < in.nx(); ++i) {
-        T ref = static_cast<T>(coeffs.c0()) * in.at(i, j, k);
-        for (int m = 1; m <= r; ++m) {
-          const T cm = static_cast<T>(coeffs.c(m));
-          ref += cm * (in.at(i - m, j, k) + in.at(i + m, j, k) + in.at(i, j - m, k) +
-                       in.at(i, j + m, k) + in.at(i, j, k - m) + in.at(i, j, k + m));
-        }
-        const double got = static_cast<double>(out.at(i, j, k));
-        const double want = static_cast<double>(ref);
-        const double bound = tol + tol * std::abs(want);
-        if (!(std::abs(got - want) <= bound)) {
-          return {ErrorCode::DataCorruption,
-                  "output mismatch at (" + std::to_string(i) + ", " +
-                      std::to_string(j) + ", " + std::to_string(k) + "): got " +
-                      std::to_string(got) + ", reference " + std::to_string(want)};
-        }
-      }
-    }
-  }
-  return Status::okay();
+  return verify::reference_status(coeffs, in, out,
+                                  UlpBudget::for_radius(coeffs.radius(), sizeof(T)));
 }
 
 }  // namespace

@@ -1,0 +1,380 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "kernels/runner.hpp"
+#include "verify/metamorphic.hpp"
+#include "verify/reference_oracle.hpp"
+#include "verify/trace_audit.hpp"
+
+namespace inplane::verify {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A tiny keyed stream: a pure function of (seed, iteration), so the
+/// sample sequence never depends on host, thread count or prior draws.
+struct Stream {
+  std::uint64_t state;
+  std::uint64_t next() { return state = splitmix64(state); }
+  int pick(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+  template <std::size_t N>
+  int choose(const int (&options)[N]) {
+    return options[next() % N];
+  }
+};
+
+const char* method_token(kernels::Method m) {
+  switch (m) {
+    case kernels::Method::ForwardPlane: return "forward";
+    case kernels::Method::InPlaneClassical: return "classical";
+    case kernels::Method::InPlaneVertical: return "vertical";
+    case kernels::Method::InPlaneHorizontal: return "horizontal";
+    case kernels::Method::InPlaneFullSlice: return "fullslice";
+  }
+  return "forward";
+}
+
+std::optional<kernels::Method> method_from_token(const std::string& s) {
+  if (s == "forward") return kernels::Method::ForwardPlane;
+  if (s == "classical") return kernels::Method::InPlaneClassical;
+  if (s == "vertical") return kernels::Method::InPlaneVertical;
+  if (s == "horizontal") return kernels::Method::InPlaneHorizontal;
+  if (s == "fullslice") return kernels::Method::InPlaneFullSlice;
+  return std::nullopt;
+}
+
+/// Runs every pillar for one precision.  Any thrown std::invalid_argument
+/// outside the sanctioned rejection paths is itself a failure.
+template <typename T>
+FuzzVerdict run_sample_impl(const FuzzSample& s, const gpusim::DeviceSpec& device,
+                            const ExecPolicy& policy) {
+  FuzzVerdict verdict;
+  const auto fail = [&](const std::string& check, const std::string& detail) {
+    verdict.pass = false;
+    verdict.detail = check + ": " + detail;
+  };
+
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(s.order / 2);
+  const Extent3 extent{s.nx, s.ny, s.nz};
+
+  std::unique_ptr<kernels::IStencilKernel<T>> kernel;
+  try {
+    kernel = kernels::make_kernel<T>(s.method, coeffs, s.config);
+  } catch (const std::invalid_argument&) {
+    verdict.rejected = true;  // loud construction-time rejection: fine
+    return verdict;
+  }
+
+  // Pillar 0 — loud rejection.  A config validate() refuses must also be
+  // refused by run_kernel; executing anyway is the silent-misconfig bug
+  // class the fuzzer exists to catch.
+  if (kernel->validate(device, extent)) {
+    try {
+      Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+      Grid3<T> out = kernels::make_grid_for(*kernel, extent);
+      kernels::run_kernel(*kernel, in, out, device, gpusim::ExecMode::Functional,
+                          policy);
+      fail("loud-rejection", "validate() rejects but run_kernel executed");
+    } catch (const InvalidConfigError&) {
+      verdict.rejected = true;
+    } catch (const std::invalid_argument& e) {
+      fail("loud-rejection", std::string("wrong rejection type: ") + e.what());
+    }
+    return verdict;
+  }
+
+  try {
+    const UlpBudget budget = UlpBudget::for_radius(coeffs.radius(), sizeof(T));
+    const auto field = [&](int i, int j, int k) {
+      return static_cast<T>(verification_field_value(s.data_seed, i, j, k));
+    };
+
+    // Pillar 1 — CPU-reference oracle.  Under HaloOffByOne sabotage the
+    // kernel consumes the field shifted one cell in x while the oracle
+    // (and the differential baseline) see the honest field — exactly the
+    // observable of an off-by-one halo load.
+    Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+    Grid3<T> out = kernels::make_grid_for(*kernel, extent);
+    in.fill_with_halo(field);
+    out.fill(static_cast<T>(-999));
+    if (s.sabotage == Sabotage::HaloOffByOne) {
+      Grid3<T> in_sab = kernels::make_grid_for(*kernel, extent);
+      in_sab.fill_with_halo([&](int i, int j, int k) { return field(i + 1, j, k); });
+      kernels::run_kernel(*kernel, in_sab, out, device, gpusim::ExecMode::Functional,
+                          policy);
+    } else {
+      kernels::run_kernel(*kernel, in, out, device, gpusim::ExecMode::Functional,
+                          policy);
+    }
+    if (const Status ref = reference_status(coeffs, in, out, budget); !ref.ok()) {
+      fail("reference", ref.context);
+      return verdict;
+    }
+
+    // Pillar 2 — differential against the forward-plane baseline at the
+    // same blocking (vector width dropped to 1 so the baseline is always
+    // constructible).
+    if (s.method != kernels::Method::ForwardPlane) {
+      kernels::LaunchConfig base_cfg = s.config;
+      base_cfg.vec = 1;
+      const auto baseline = kernels::make_kernel<T>(kernels::Method::ForwardPlane,
+                                                    coeffs, base_cfg);
+      if (!baseline->validate(device, extent)) {
+        Grid3<T> base_in = kernels::make_grid_for(*baseline, extent);
+        Grid3<T> base_out = kernels::make_grid_for(*baseline, extent);
+        base_in.fill_with_halo(field);
+        kernels::run_kernel(*baseline, base_in, base_out, device,
+                            gpusim::ExecMode::Functional, policy);
+        const UlpGridDiff d = ulp_compare_grids(out, base_out, budget.scaled(2.0));
+        if (!d.pass) {
+          fail("differential-vs-forward", d.describe());
+          return verdict;
+        }
+      }
+    }
+
+    // Pillar 3 — metamorphic relations.
+    OracleOptions oracle_options;
+    oracle_options.device = device;
+    oracle_options.policy = policy;
+    oracle_options.data_seed = s.data_seed;
+    const VerifyReport meta = metamorphic_checks(*kernel, extent, oracle_options);
+    for (const CheckResult& c : meta.checks) {
+      if (!c.pass) {
+        fail("metamorphic/" + c.name, c.detail);
+        return verdict;
+      }
+    }
+
+    // Pillar 4 — trace audit of one steady-state plane.
+    const AuditReport audit = audit_kernel(*kernel, device, extent);
+    if (!audit.pass()) {
+      fail("trace-audit", audit.summary());
+      return verdict;
+    }
+  } catch (const std::exception& e) {
+    fail("unexpected-throw", e.what());
+  }
+  return verdict;
+}
+
+}  // namespace
+
+const char* to_string(Sabotage s) {
+  return s == Sabotage::HaloOffByOne ? "halo" : "none";
+}
+
+std::string FuzzSample::to_line() const {
+  std::ostringstream os;
+  os << "method=" << method_token(method) << " order=" << order << " nx=" << nx
+     << " ny=" << ny << " nz=" << nz << " tx=" << config.tx << " ty=" << config.ty
+     << " rx=" << config.rx << " ry=" << config.ry << " vec=" << config.vec
+     << " prec=" << (double_precision ? "dp" : "sp") << " data=0x" << std::hex
+     << data_seed << std::dec << " sabotage=" << to_string(sabotage);
+  return os.str();
+}
+
+std::optional<FuzzSample> FuzzSample::parse(const std::string& line,
+                                            std::string* error) {
+  const auto bail = [&](const std::string& why) -> std::optional<FuzzSample> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  FuzzSample s;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return bail("expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "method") {
+        const auto m = method_from_token(value);
+        if (!m) return bail("unknown method '" + value + "'");
+        s.method = *m;
+      } else if (key == "order") {
+        s.order = std::stoi(value);
+      } else if (key == "nx") {
+        s.nx = std::stoi(value);
+      } else if (key == "ny") {
+        s.ny = std::stoi(value);
+      } else if (key == "nz") {
+        s.nz = std::stoi(value);
+      } else if (key == "tx") {
+        s.config.tx = std::stoi(value);
+      } else if (key == "ty") {
+        s.config.ty = std::stoi(value);
+      } else if (key == "rx") {
+        s.config.rx = std::stoi(value);
+      } else if (key == "ry") {
+        s.config.ry = std::stoi(value);
+      } else if (key == "vec") {
+        s.config.vec = std::stoi(value);
+      } else if (key == "prec") {
+        if (value != "sp" && value != "dp") return bail("prec must be sp or dp");
+        s.double_precision = value == "dp";
+      } else if (key == "data") {
+        s.data_seed = std::stoull(value, nullptr, 0);
+      } else if (key == "sabotage") {
+        if (value == "none") {
+          s.sabotage = Sabotage::None;
+        } else if (value == "halo") {
+          s.sabotage = Sabotage::HaloOffByOne;
+        } else {
+          return bail("unknown sabotage '" + value + "'");
+        }
+      } else {
+        return bail("unknown key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return bail("bad value for '" + key + "': '" + value + "'");
+    }
+  }
+  if (s.order < 2 || s.order % 2 != 0) return bail("order must be even and >= 2");
+  if (s.nx < 1 || s.ny < 1 || s.nz < 1) return bail("grid extents must be >= 1");
+  return s;
+}
+
+FuzzSample draw_sample(std::uint64_t seed, int iteration, Sabotage sabotage) {
+  constexpr std::uint64_t kIterMix = 0x632be59bd9b4e019ull;
+  Stream rng{splitmix64(seed) ^ (kIterMix * static_cast<std::uint64_t>(iteration + 1))};
+  FuzzSample s;
+  const kernels::Method methods[] = {
+      kernels::Method::ForwardPlane, kernels::Method::InPlaneClassical,
+      kernels::Method::InPlaneVertical, kernels::Method::InPlaneHorizontal,
+      kernels::Method::InPlaneFullSlice};
+  s.method = methods[rng.pick(5)];
+  s.order = rng.choose({2, 4, 6, 8, 10, 12});
+  s.double_precision = rng.pick(3) == 0;
+  s.config.tx = rng.choose({4, 8, 16, 32, 64});
+  s.config.ty = rng.choose({1, 2, 4, 8, 16});
+  s.config.rx = rng.choose({1, 1, 2, 4});
+  s.config.ry = rng.choose({1, 1, 2});
+  s.config.vec = rng.choose({1, 1, 2, 4});
+
+  // Grid shapes: mostly tile-aligned, sometimes off by a few cells
+  // (non-divisible tiles must be rejected loudly), sometimes exactly one
+  // tile (halo dominates the footprint), z down to a single plane.
+  const int r = s.order / 2;
+  s.nx = s.config.tile_w() * (1 + rng.pick(3));
+  s.ny = s.config.tile_h() * (1 + rng.pick(2));
+  if (rng.pick(4) == 0) s.nx += 1 + rng.pick(3);
+  if (rng.pick(4) == 0) s.ny += 1 + rng.pick(3);
+  s.nz = rng.choose({1, 2, 4, 8});
+  if (rng.pick(2) == 0) s.nz = 2 * r + rng.pick(3);
+  s.nz = std::max(s.nz, 1);
+
+  s.data_seed = rng.next() | 1;
+  s.sabotage = sabotage;
+  return s;
+}
+
+FuzzVerdict run_sample(const FuzzSample& sample, const gpusim::DeviceSpec& device,
+                       const ExecPolicy& policy) {
+  return sample.double_precision ? run_sample_impl<double>(sample, device, policy)
+                                 : run_sample_impl<float>(sample, device, policy);
+}
+
+FuzzFailure shrink_failure(const FuzzSample& sample, const FuzzVerdict& verdict,
+                           const gpusim::DeviceSpec& device,
+                           const ExecPolicy& policy) {
+  FuzzFailure failure{sample, sample, verdict.detail, 0};
+  int budget = 256;  // total candidate executions
+
+  // Candidate values (ascending) for one axis, given the current value.
+  const auto lower_values = [](int current, std::initializer_list<int> ladder) {
+    std::vector<int> out;
+    for (int v : ladder) {
+      if (v < current) out.push_back(v);
+    }
+    return out;
+  };
+
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    // Each entry: (apply candidate value to a copy, ladder of candidates).
+    struct Axis {
+      std::vector<int> candidates;
+      void (*apply)(FuzzSample&, int);
+    };
+    const FuzzSample& cur = failure.shrunk;
+    const Axis axes[] = {
+        {lower_values(cur.order, {2, 4, 6, 8, 10}),
+         [](FuzzSample& s, int v) { s.order = v; }},
+        {lower_values(cur.config.vec, {1, 2}),
+         [](FuzzSample& s, int v) { s.config.vec = v; }},
+        {lower_values(cur.config.rx, {1, 2}),
+         [](FuzzSample& s, int v) { s.config.rx = v; }},
+        {lower_values(cur.config.ry, {1}),
+         [](FuzzSample& s, int v) { s.config.ry = v; }},
+        {lower_values(cur.config.tx, {4, 8, 16, 32}),
+         [](FuzzSample& s, int v) { s.config.tx = v; }},
+        {lower_values(cur.config.ty, {1, 2, 4, 8}),
+         [](FuzzSample& s, int v) { s.config.ty = v; }},
+        {lower_values(cur.nz, {1, 2, 4}), [](FuzzSample& s, int v) { s.nz = v; }},
+        {lower_values(cur.nx, {cur.config.tile_w(), 2 * cur.config.tile_w()}),
+         [](FuzzSample& s, int v) { s.nx = v; }},
+        {lower_values(cur.ny, {cur.config.tile_h(), 2 * cur.config.tile_h()}),
+         [](FuzzSample& s, int v) { s.ny = v; }},
+    };
+    for (const Axis& axis : axes) {
+      for (int value : axis.candidates) {
+        if (budget <= 0) break;
+        FuzzSample candidate = failure.shrunk;
+        axis.apply(candidate, value);
+        // Shrinking the launch config can strand the grid on a
+        // no-longer-divisible extent; snap tile-aligned dims along.
+        if (failure.shrunk.nx % failure.shrunk.config.tile_w() == 0) {
+          candidate.nx = std::max(1, candidate.nx - candidate.nx %
+                                                        candidate.config.tile_w());
+        }
+        if (failure.shrunk.ny % failure.shrunk.config.tile_h() == 0) {
+          candidate.ny = std::max(1, candidate.ny - candidate.ny %
+                                                        candidate.config.tile_h());
+        }
+        if (candidate == failure.shrunk) continue;
+        --budget;
+        const FuzzVerdict v = run_sample(candidate, device, policy);
+        if (!v.pass) {
+          failure.shrunk = candidate;
+          failure.detail = v.detail;
+          ++failure.shrink_steps;
+          progress = true;
+          break;  // restart the axis sweep from the new minimum
+        }
+      }
+      if (progress) break;
+    }
+  }
+  return failure;
+}
+
+FuzzResult run_fuzz(const FuzzOptions& options) {
+  FuzzResult result;
+  for (int i = 0; i < options.iters; ++i) {
+    const FuzzSample sample = draw_sample(options.seed, i, options.sabotage);
+    const FuzzVerdict verdict = run_sample(sample, options.device, options.policy);
+    ++result.iters;
+    if (verdict.rejected) ++result.rejected;
+    if (!verdict.pass) {
+      result.failures.push_back(
+          options.shrink ? shrink_failure(sample, verdict, options.device,
+                                          options.policy)
+                         : FuzzFailure{sample, sample, verdict.detail, 0});
+    }
+  }
+  return result;
+}
+
+}  // namespace inplane::verify

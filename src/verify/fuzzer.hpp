@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/oracle.hpp"
+
+namespace inplane::verify {
+
+/// Deliberate defect classes the fuzzer can arm to prove it still has
+/// teeth (a fuzzer that never fails a broken kernel is just a space
+/// heater).
+enum class Sabotage {
+  None,
+  /// The kernel under test consumes an input field silently shifted by
+  /// one cell in x relative to what the oracle believes it fed — the
+  /// observable signature of an off-by-one halo bug.
+  HaloOffByOne,
+};
+
+[[nodiscard]] const char* to_string(Sabotage s);
+
+/// One point of the (method x order x precision x grid shape x launch
+/// config) space.  Serialises to a single replayable line, the currency
+/// of repro reports:
+///
+///   method=vertical order=6 nx=64 ny=32 nz=9 tx=16 ty=8 rx=2 ry=1
+///       vec=2 prec=sp data=0x1 sabotage=none
+struct FuzzSample {
+  kernels::Method method = kernels::Method::ForwardPlane;
+  int order = 2;
+  int nx = 32, ny = 16, nz = 4;
+  kernels::LaunchConfig config;
+  bool double_precision = false;
+  std::uint64_t data_seed = 1;
+  Sabotage sabotage = Sabotage::None;
+
+  [[nodiscard]] std::string to_line() const;
+
+  /// Parses a to_line()-format line.  On failure returns nullopt and, if
+  /// @p error is non-null, stores the reason.
+  [[nodiscard]] static std::optional<FuzzSample> parse(const std::string& line,
+                                                       std::string* error = nullptr);
+
+  [[nodiscard]] bool operator==(const FuzzSample&) const = default;
+};
+
+/// Verdict of running every verification pillar on one sample.
+struct FuzzVerdict {
+  bool pass = true;
+  /// The sample was (loudly) refused — counts as passing, but is
+  /// tallied separately so a seed that only draws rejects is visible.
+  bool rejected = false;
+  /// Name + detail of the first failing check ("" when passing).
+  std::string detail;
+};
+
+/// One failure, shrunk to its minimal reproduction.
+struct FuzzFailure {
+  FuzzSample original;   ///< the sample as drawn
+  FuzzSample shrunk;     ///< minimal sample that still fails
+  std::string detail;    ///< failing check of the shrunk sample
+  int shrink_steps = 0;  ///< accepted shrink moves
+};
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int iters = 50;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::geforce_gtx580();
+  ExecPolicy policy = {};
+  bool shrink = true;
+  /// Injected into every drawn sample (replay lines carry their own).
+  Sabotage sabotage = Sabotage::None;
+};
+
+struct FuzzResult {
+  int iters = 0;              ///< samples drawn
+  int rejected = 0;           ///< samples the kernels (loudly) refused
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool pass() const { return failures.empty(); }
+};
+
+/// Draws the i-th sample of the stream keyed by @p seed — a pure
+/// function, so the stream is identical across hosts, thread counts and
+/// reruns.
+[[nodiscard]] FuzzSample draw_sample(std::uint64_t seed, int iteration,
+                                     Sabotage sabotage = Sabotage::None);
+
+/// Runs every pillar on one sample: loud-rejection (invalid configs must
+/// throw, not execute), CPU-reference oracle, differential check against
+/// the forward-plane baseline, metamorphic relations, trace audit.
+[[nodiscard]] FuzzVerdict run_sample(const FuzzSample& sample,
+                                     const gpusim::DeviceSpec& device,
+                                     const ExecPolicy& policy = {});
+
+/// Greedy one-axis-at-a-time shrink: repeatedly tries to lower one axis
+/// (order, vec, rx, ry, tx, ty, then the grid dims) while the sample
+/// keeps failing, until no single-axis move still reproduces.
+[[nodiscard]] FuzzFailure shrink_failure(const FuzzSample& sample,
+                                         const FuzzVerdict& verdict,
+                                         const gpusim::DeviceSpec& device,
+                                         const ExecPolicy& policy = {});
+
+/// The fuzz loop: draw, run, shrink failures.  Deterministic in
+/// (seed, iters, sabotage) — the policy's thread count changes wall time
+/// only, never samples or verdicts.
+[[nodiscard]] FuzzResult run_fuzz(const FuzzOptions& options);
+
+}  // namespace inplane::verify

@@ -1,0 +1,160 @@
+#include "verify/metamorphic.hpp"
+
+#include <algorithm>
+
+#include "kernels/runner.hpp"
+
+namespace inplane::verify {
+
+namespace {
+
+/// Runs @p kernel functionally over an input grid filled (interior and
+/// halo) by @p fill(i, j, k).
+template <typename T, typename Fill>
+Grid3<T> run_on_field(const kernels::IStencilKernel<T>& kernel, const Extent3& extent,
+                      const OracleOptions& options, Fill&& fill) {
+  Grid3<T> in = kernels::make_grid_for(kernel, extent);
+  Grid3<T> out = kernels::make_grid_for(kernel, extent);
+  in.fill_with_halo(fill);
+  kernels::run_kernel(kernel, in, out, options.device, gpusim::ExecMode::Functional,
+                      options.policy);
+  return out;
+}
+
+std::string site(int i, int j, int k) {
+  return "(" + std::to_string(i) + ", " + std::to_string(j) + ", " +
+         std::to_string(k) + ")";
+}
+
+}  // namespace
+
+template <typename T>
+std::optional<std::string> superposition_violation(const Grid3<T>& k_sum,
+                                                   const Grid3<T>& k_a,
+                                                   const Grid3<T>& k_b,
+                                                   const UlpBudget& budget) {
+  for (int k = 0; k < k_sum.nz(); ++k) {
+    for (int j = 0; j < k_sum.ny(); ++j) {
+      for (int i = 0; i < k_sum.nx(); ++i) {
+        const T want = k_a.at(i, j, k) + k_b.at(i, j, k);
+        const UlpCheck<T> c = ulp_check(k_sum.at(i, j, k), want, budget);
+        if (!c.pass) {
+          return "K(a+b) != K(a)+K(b) at " + site(i, j, k) + ": " +
+                 std::to_string(static_cast<double>(k_sum.at(i, j, k))) + " vs " +
+                 std::to_string(static_cast<double>(want)) + " (" +
+                 std::to_string(c.ulps) + " ulps)";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+VerifyReport metamorphic_checks(const kernels::IStencilKernel<T>& kernel,
+                                const Extent3& extent, const OracleOptions& options) {
+  VerifyReport report;
+  if (auto err = kernel.validate(options.device, extent)) {
+    report.checks.push_back({"metamorphic skipped (invalid config)", true, *err});
+    return report;
+  }
+  const UlpBudget base = options.budget
+                             ? *options.budget
+                             : UlpBudget::for_radius(kernel.coeffs().radius(),
+                                                     sizeof(T));
+  const std::uint64_t seed = options.data_seed;
+
+  // Two independent deterministic fields a and b, as pure functions of
+  // the logical coordinate — defined beyond any halo, so shifted inputs
+  // never run off the storage.
+  const auto fa = [seed](int i, int j, int k) {
+    return static_cast<T>(verification_field_value(seed, i, j, k));
+  };
+  const auto fb = [seed](int i, int j, int k) {
+    return static_cast<T>(
+        verification_field_value(seed ^ 0x517cc1b727220a95ull, i, j, k));
+  };
+
+  const Grid3<T> out_a = run_on_field(kernel, extent, options, fa);
+  const Grid3<T> out_b = run_on_field(kernel, extent, options, fb);
+
+  // Superposition.  The sum input cancels, so allow extra slack.
+  {
+    const Grid3<T> out_sum =
+        run_on_field(kernel, extent, options, [&](int i, int j, int k) {
+          return fa(i, j, k) + fb(i, j, k);
+        });
+    const auto violation =
+        superposition_violation(out_sum, out_a, out_b, base.scaled(4.0));
+    report.checks.push_back(
+        {"superposition", !violation.has_value(), violation.value_or("")});
+  }
+
+  // Scaling by an exactly-representable factor: K(s*a) == s*K(a).
+  {
+    const T s = static_cast<T>(-2.5);
+    const Grid3<T> out_scaled = run_on_field(
+        kernel, extent, options, [&](int i, int j, int k) { return s * fa(i, j, k); });
+    CheckResult check{"scaling", true, ""};
+    const UlpBudget budget = base.scaled(2.0);
+    for (int k = 0; check.pass && k < extent.nz; ++k) {
+      for (int j = 0; check.pass && j < extent.ny; ++j) {
+        for (int i = 0; check.pass && i < extent.nx; ++i) {
+          const T want = s * out_a.at(i, j, k);
+          const UlpCheck<T> c = ulp_check(out_scaled.at(i, j, k), want, budget);
+          if (!c.pass) {
+            check.pass = false;
+            check.detail = "K(s*a) != s*K(a) at " + site(i, j, k) + " (" +
+                           std::to_string(c.ulps) + " ulps)";
+          }
+        }
+      }
+    }
+    report.checks.push_back(check);
+  }
+
+  // Translation invariance: feeding the field shifted by one cell in x
+  // must shift the output by one cell on interior points (and likewise
+  // y).  A kernel that treats some tile column or halo strip specially
+  // breaks this even if it happens to match the reference field used
+  // elsewhere.
+  const auto translation_check = [&](int di, int dj, const char* name) {
+    const Grid3<T> out_shift =
+        run_on_field(kernel, extent, options, [&](int i, int j, int k) {
+          return fa(i - di, j - dj, k);
+        });
+    CheckResult check{name, true, ""};
+    const UlpBudget budget = base.scaled(2.0);
+    for (int k = 0; check.pass && k < extent.nz; ++k) {
+      for (int j = std::max(dj, 0); check.pass && j < extent.ny; ++j) {
+        for (int i = std::max(di, 0); check.pass && i < extent.nx; ++i) {
+          const T want = out_a.at(i - di, j - dj, k);
+          const UlpCheck<T> c = ulp_check(out_shift.at(i, j, k), want, budget);
+          if (!c.pass) {
+            check.pass = false;
+            check.detail = "shifted output disagrees at " + site(i, j, k) + " (" +
+                           std::to_string(c.ulps) + " ulps)";
+          }
+        }
+      }
+    }
+    report.checks.push_back(check);
+  };
+  translation_check(1, 0, "translation-x");
+  translation_check(0, 1, "translation-y");
+
+  return report;
+}
+
+template VerifyReport metamorphic_checks<float>(const kernels::IStencilKernel<float>&,
+                                                const Extent3&, const OracleOptions&);
+template VerifyReport metamorphic_checks<double>(const kernels::IStencilKernel<double>&,
+                                                 const Extent3&, const OracleOptions&);
+template std::optional<std::string> superposition_violation<float>(const Grid3<float>&,
+                                                                   const Grid3<float>&,
+                                                                   const Grid3<float>&,
+                                                                   const UlpBudget&);
+template std::optional<std::string> superposition_violation<double>(
+    const Grid3<double>&, const Grid3<double>&, const Grid3<double>&, const UlpBudget&);
+
+}  // namespace inplane::verify

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "verify/oracle.hpp"
+
+namespace inplane::verify {
+
+/// Pillar 2 — metamorphic relations for linear stencils.  No fixed oracle
+/// value is consulted; instead the checks exploit identities every linear,
+/// translation-invariant operator K satisfies:
+///
+///   superposition:  K(a + b) == K(a) + K(b)
+///   scaling:        K(s * a) == s * K(a)
+///   translation:    shifting the input field by one cell in x/y shifts
+///                   the output by one cell on interior points
+///
+/// These catch bug classes a fixed input/output pair cannot: a kernel
+/// that special-cases some region, clamps, drops a term only for certain
+/// values, or mixes up neighbouring columns in a way that happens to
+/// cancel on one test field.
+template <typename T>
+[[nodiscard]] VerifyReport metamorphic_checks(const kernels::IStencilKernel<T>& kernel,
+                                              const Extent3& extent,
+                                              const OracleOptions& options = {});
+
+/// The comparison core of the superposition check, exposed so tests and
+/// the fuzzer can probe it directly: returns the violation description if
+/// k_sum differs from k_a + k_b (pointwise) beyond the budget, or
+/// std::nullopt when the relation holds.
+template <typename T>
+[[nodiscard]] std::optional<std::string> superposition_violation(
+    const Grid3<T>& k_sum, const Grid3<T>& k_a, const Grid3<T>& k_b,
+    const UlpBudget& budget);
+
+extern template VerifyReport metamorphic_checks<float>(
+    const kernels::IStencilKernel<float>&, const Extent3&, const OracleOptions&);
+extern template VerifyReport metamorphic_checks<double>(
+    const kernels::IStencilKernel<double>&, const Extent3&, const OracleOptions&);
+extern template std::optional<std::string> superposition_violation<float>(
+    const Grid3<float>&, const Grid3<float>&, const Grid3<float>&, const UlpBudget&);
+extern template std::optional<std::string> superposition_violation<double>(
+    const Grid3<double>&, const Grid3<double>&, const Grid3<double>&,
+    const UlpBudget&);
+
+}  // namespace inplane::verify

@@ -1,0 +1,181 @@
+#include "verify/oracle.hpp"
+
+#include <memory>
+
+#include "autotune/search_space.hpp"
+#include "kernels/runner.hpp"
+#include "verify/reference_oracle.hpp"
+
+namespace inplane::verify {
+
+namespace {
+
+/// splitmix64: the same schedule-independent hash the fault injector uses
+/// to key sites; here it keys (seed, coordinate) -> field value.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+UlpBudget budget_for(const OracleOptions& options, const StencilCoeffs& coeffs,
+                     std::size_t elem_size) {
+  return options.budget ? *options.budget
+                        : UlpBudget::for_radius(coeffs.radius(), elem_size);
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::string s = std::to_string(checks.size()) + " check(s), " +
+                  std::to_string(failures()) + " failure(s)";
+  for (const CheckResult& c : checks) {
+    if (!c.pass) s += "; " + c.name + ": " + c.detail;
+  }
+  return s;
+}
+
+void VerifyReport::absorb(const VerifyReport& other, const std::string& prefix) {
+  for (const CheckResult& c : other.checks) {
+    checks.push_back({prefix + "/" + c.name, c.pass, c.detail});
+  }
+}
+
+std::vector<VariantSpec> all_method_variants(const kernels::LaunchConfig& config,
+                                             std::size_t elem_size) {
+  std::vector<VariantSpec> variants;
+  for (kernels::Method m :
+       {kernels::Method::ForwardPlane, kernels::Method::InPlaneClassical,
+        kernels::Method::InPlaneVertical, kernels::Method::InPlaneHorizontal,
+        kernels::Method::InPlaneFullSlice}) {
+    kernels::LaunchConfig cfg = config;
+    cfg.vec = autotune::default_vec(m, elem_size);
+    variants.push_back({m, cfg});
+  }
+  return variants;
+}
+
+double verification_field_value(std::uint64_t seed, int i, int j, int k) {
+  const std::uint64_t key =
+      splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i + 4096) ^
+                                   (static_cast<std::uint64_t>(j + 4096) << 16) ^
+                                   (static_cast<std::uint64_t>(k + 4096) << 32)));
+  // Map the top 53 bits to [-1, 1); bounded values keep long
+  // accumulations stable.
+  return static_cast<double>(key >> 11) * 0x1p-53 * 2.0 - 1.0;
+}
+
+template <typename T>
+void fill_verification_field(Grid3<T>& grid, std::uint64_t seed) {
+  grid.fill_with_halo([seed](int i, int j, int k) {
+    return static_cast<T>(verification_field_value(seed, i, j, k));
+  });
+}
+
+template <typename T>
+VerifyReport verify_kernel_output(const kernels::IStencilKernel<T>& kernel,
+                                  const Extent3& extent,
+                                  const OracleOptions& options) {
+  VerifyReport report;
+  const StencilCoeffs& coeffs = kernel.coeffs();
+  const UlpBudget budget = budget_for(options, coeffs, sizeof(T));
+  const std::string name = std::string(kernel.name()) + " " +
+                           kernel.config().to_string();
+  if (auto err = kernel.validate(options.device, extent)) {
+    report.checks.push_back({name + " rejected", true, *err});
+    return report;
+  }
+  Grid3<T> in = kernels::make_grid_for(kernel, extent);
+  Grid3<T> out = kernels::make_grid_for(kernel, extent);
+  fill_verification_field(in, options.data_seed);
+  out.fill(static_cast<T>(-999));  // poison: unwritten interiors must show
+  kernels::run_kernel(kernel, in, out, options.device, gpusim::ExecMode::Functional,
+                      options.policy);
+  const Status verdict = reference_status(coeffs, in, out, budget);
+  report.checks.push_back(
+      {name + " vs reference", verdict.ok(), verdict.ok() ? "" : verdict.context});
+  return report;
+}
+
+template <typename T>
+VerifyReport differential_oracle(const StencilCoeffs& coeffs,
+                                 const std::vector<VariantSpec>& variants,
+                                 const Extent3& extent, const OracleOptions& options) {
+  VerifyReport report;
+  const UlpBudget budget = budget_for(options, coeffs, sizeof(T));
+
+  struct Ran {
+    std::string name;
+    Grid3<T> out;
+  };
+  std::vector<Ran> ran;
+  for (const VariantSpec& v : variants) {
+    std::unique_ptr<kernels::IStencilKernel<T>> kernel;
+    try {
+      kernel = kernels::make_kernel<T>(v.method, coeffs, v.config);
+    } catch (const std::invalid_argument& e) {
+      // Nonsensical parameters (vec * sizeof(T) > 16, ...) rejected at
+      // construction — loud, so the check passes.
+      report.checks.push_back({std::string(to_string(v.method)) + " " +
+                                   v.config.to_string() + " rejected",
+                               true, e.what()});
+      continue;
+    }
+    const std::string name = std::string(kernel->name()) + " " + v.config.to_string();
+    if (auto err = kernel->validate(options.device, extent)) {
+      // Rejection path: run_kernel must refuse it too — a variant that
+      // fails validate() but executes anyway is a silent-misconfig bug.
+      bool rejected_loudly = false;
+      std::string detail = *err;
+      try {
+        Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+        Grid3<T> out = kernels::make_grid_for(*kernel, extent);
+        kernels::run_kernel(*kernel, in, out, options.device,
+                            gpusim::ExecMode::Functional, options.policy);
+        detail = "validate() rejects but run_kernel executed: " + detail;
+      } catch (const InvalidConfigError&) {
+        rejected_loudly = true;
+      }
+      report.checks.push_back({name + " rejected", rejected_loudly, detail});
+      continue;
+    }
+    Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+    Grid3<T> out = kernels::make_grid_for(*kernel, extent);
+    fill_verification_field(in, options.data_seed);
+    out.fill(static_cast<T>(-999));
+    kernels::run_kernel(*kernel, in, out, options.device, gpusim::ExecMode::Functional,
+                        options.policy);
+    const Status verdict = reference_status(coeffs, in, out, budget);
+    report.checks.push_back(
+        {name + " vs reference", verdict.ok(), verdict.ok() ? "" : verdict.context});
+    ran.push_back({name, std::move(out)});
+  }
+
+  // Pairwise: every executed pair must agree within twice the per-kernel
+  // budget (each side may drift up to one budget from the reference).
+  const UlpBudget pair_budget = budget.scaled(2.0);
+  for (std::size_t a = 0; a < ran.size(); ++a) {
+    for (std::size_t b = a + 1; b < ran.size(); ++b) {
+      const UlpGridDiff d = ulp_compare_grids(ran[a].out, ran[b].out, pair_budget);
+      report.checks.push_back({ran[a].name + " vs " + ran[b].name, d.pass,
+                               d.pass ? "" : d.describe()});
+    }
+  }
+  return report;
+}
+
+template VerifyReport differential_oracle<float>(const StencilCoeffs&,
+                                                 const std::vector<VariantSpec>&,
+                                                 const Extent3&, const OracleOptions&);
+template VerifyReport differential_oracle<double>(const StencilCoeffs&,
+                                                  const std::vector<VariantSpec>&,
+                                                  const Extent3&, const OracleOptions&);
+template VerifyReport verify_kernel_output<float>(const kernels::IStencilKernel<float>&,
+                                                  const Extent3&, const OracleOptions&);
+template VerifyReport verify_kernel_output<double>(
+    const kernels::IStencilKernel<double>&, const Extent3&, const OracleOptions&);
+template void fill_verification_field<float>(Grid3<float>&, std::uint64_t);
+template void fill_verification_field<double>(Grid3<double>&, std::uint64_t);
+
+}  // namespace inplane::verify

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coefficients.hpp"
+#include "core/thread_pool.hpp"
+#include "core/ulp_compare.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::verify {
+
+/// One named verification check and its verdict.
+struct CheckResult {
+  std::string name;
+  bool pass = true;
+  std::string detail;
+};
+
+/// Aggregated verdict of an oracle / metamorphic run.
+struct VerifyReport {
+  std::vector<CheckResult> checks;
+
+  [[nodiscard]] bool pass() const {
+    for (const CheckResult& c : checks) {
+      if (!c.pass) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t failures() const {
+    std::size_t n = 0;
+    for (const CheckResult& c : checks) {
+      if (!c.pass) ++n;
+    }
+    return n;
+  }
+
+  /// "5 check(s), 1 failure: <name>: <detail>; ..." one-line rendering.
+  [[nodiscard]] std::string summary() const;
+
+  /// Appends @p other's checks, prefixing their names with "@p prefix/".
+  void absorb(const VerifyReport& other, const std::string& prefix);
+};
+
+/// One kernel variant of the differential set.
+struct VariantSpec {
+  kernels::Method method;
+  kernels::LaunchConfig config;
+};
+
+/// Knobs shared by the differential oracle and the metamorphic checks.
+struct OracleOptions {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::geforce_gtx580();
+  ExecPolicy policy = {};
+  /// Comparison budget; unset derives UlpBudget::for_radius from the
+  /// coefficients and element size.
+  std::optional<UlpBudget> budget;
+  /// Seed of the deterministic input field.
+  std::uint64_t data_seed = 1;
+};
+
+/// Pillar 1 — the differential oracle.  Runs every valid variant of
+/// @p variants over an identical input field, checks each output against
+/// the CPU reference (reference_status) and all outputs pairwise under
+/// the ULP budget.  Invalid variants (tile does not divide the grid,
+/// block over device limits, ...) are reported as passing "rejected"
+/// checks: a configuration the kernel *accepts* must compute the right
+/// answer, and one it rejects must be rejected loudly, never silently
+/// skewed (the Lappi et al. failure mode).
+template <typename T>
+[[nodiscard]] VerifyReport differential_oracle(const StencilCoeffs& coeffs,
+                                               const std::vector<VariantSpec>& variants,
+                                               const Extent3& extent,
+                                               const OracleOptions& options = {});
+
+/// Verifies one already-built kernel against the CPU reference on a
+/// deterministic input field.  The lowest-level entry point the CLI's
+/// --verify mode and the fuzzer share.
+template <typename T>
+[[nodiscard]] VerifyReport verify_kernel_output(const kernels::IStencilKernel<T>& kernel,
+                                                const Extent3& extent,
+                                                const OracleOptions& options = {});
+
+/// The default differential set: all five loading methods at @p config
+/// (vector width adjusted per method/precision so every variant is
+/// constructible).
+[[nodiscard]] std::vector<VariantSpec> all_method_variants(
+    const kernels::LaunchConfig& config, std::size_t elem_size);
+
+/// The deterministic pseudo-random field in [-1, 1) every verification
+/// pillar uses: a pure function of (seed, logical coordinate), defined on
+/// all of Z^3 — so shifted/scaled variants of the same field can be
+/// materialised into grids of any layout or halo width.
+[[nodiscard]] double verification_field_value(std::uint64_t seed, int i, int j, int k);
+
+/// Fills @p grid (interior and halo) with verification_field_value.
+template <typename T>
+void fill_verification_field(Grid3<T>& grid, std::uint64_t seed);
+
+extern template VerifyReport differential_oracle<float>(const StencilCoeffs&,
+                                                        const std::vector<VariantSpec>&,
+                                                        const Extent3&,
+                                                        const OracleOptions&);
+extern template VerifyReport differential_oracle<double>(const StencilCoeffs&,
+                                                         const std::vector<VariantSpec>&,
+                                                         const Extent3&,
+                                                         const OracleOptions&);
+extern template VerifyReport verify_kernel_output<float>(
+    const kernels::IStencilKernel<float>&, const Extent3&, const OracleOptions&);
+extern template VerifyReport verify_kernel_output<double>(
+    const kernels::IStencilKernel<double>&, const Extent3&, const OracleOptions&);
+extern template void fill_verification_field<float>(Grid3<float>&, std::uint64_t);
+extern template void fill_verification_field<double>(Grid3<double>&, std::uint64_t);
+
+}  // namespace inplane::verify

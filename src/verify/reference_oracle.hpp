@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "core/coefficients.hpp"
+#include "core/grid3.hpp"
+#include "core/status.hpp"
+#include "core/ulp_compare.hpp"
+
+namespace inplane::verify {
+
+/// The star stencil of Eqn. (1) applied directly at one point — the
+/// definitional value every kernel variant must reproduce.
+template <typename T>
+[[nodiscard]] T reference_point(const Grid3<T>& in, const StencilCoeffs& coeffs,
+                                int i, int j, int k) {
+  T ref = static_cast<T>(coeffs.c0()) * in.at(i, j, k);
+  for (int m = 1; m <= coeffs.radius(); ++m) {
+    const T cm = static_cast<T>(coeffs.c(m));
+    ref += cm * (in.at(i - m, j, k) + in.at(i + m, j, k) + in.at(i, j - m, k) +
+                 in.at(i, j + m, k) + in.at(i, j, k - m) + in.at(i, j, k + m));
+  }
+  return ref;
+}
+
+/// The shared CPU-reference oracle: checks every interior point of
+/// @p out against the definitional stencil applied to @p in, under the
+/// centralized ULP budget.  Returns Ok, or DataCorruption naming the
+/// first offending site.  This is the single comparator behind the
+/// guarded runner's verification pass, the differential oracle, the
+/// CLI's --verify mode and the configuration fuzzer — a bug flagged by
+/// one path is flagged identically by all of them.
+///
+/// Header-only on purpose: the kernels library calls it from
+/// run_kernel_guarded while the verify library (which runs kernels)
+/// links against kernels, so the comparator must not live in either
+/// compiled archive.
+template <typename T>
+[[nodiscard]] Status reference_status(const StencilCoeffs& coeffs, const Grid3<T>& in,
+                                      const Grid3<T>& out, const UlpBudget& budget) {
+  for (int k = 0; k < in.nz(); ++k) {
+    for (int j = 0; j < in.ny(); ++j) {
+      for (int i = 0; i < in.nx(); ++i) {
+        const T want = reference_point(in, coeffs, i, j, k);
+        const T got = out.at(i, j, k);
+        const UlpCheck<T> c = ulp_check(got, want, budget);
+        if (!c.pass) {
+          return {ErrorCode::DataCorruption,
+                  "output mismatch at (" + std::to_string(i) + ", " +
+                      std::to_string(j) + ", " + std::to_string(k) + "): got " +
+                      std::to_string(static_cast<double>(got)) + ", reference " +
+                      std::to_string(static_cast<double>(want)) + " (" +
+                      std::to_string(c.ulps) + " ulps)"};
+        }
+      }
+    }
+  }
+  return Status::okay();
+}
+
+}  // namespace inplane::verify

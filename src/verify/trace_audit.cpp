@@ -1,0 +1,169 @@
+#include "verify/trace_audit.hpp"
+
+#include <algorithm>
+
+#include "core/crc32.hpp"
+#include "core/stencil_spec.hpp"
+
+namespace inplane::verify {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+std::string eq_detail(const char* what, std::uint64_t got, std::uint64_t want) {
+  return std::string(what) + ": got " + std::to_string(got) + ", expected " +
+         std::to_string(want);
+}
+
+}  // namespace
+
+std::string AuditReport::summary() const {
+  if (pass()) return "trace audit: all invariants hold";
+  std::string s = "trace audit: " + std::to_string(violations.size()) + " violation(s)";
+  for (const AuditViolation& v : violations) {
+    s += "; " + v.invariant + " (" + v.detail + ")";
+  }
+  return s;
+}
+
+AuditReport audit_plane_trace(kernels::Method method, int order,
+                              const kernels::LaunchConfig& config,
+                              std::size_t elem_size, const gpusim::TraceStats& plane,
+                              const gpusim::DeviceSpec& device) {
+  AuditReport report;
+  const auto fail = [&](const std::string& invariant, const std::string& detail) {
+    report.violations.push_back({invariant, detail});
+  };
+
+  const StencilSpec spec{order};
+  const auto r = static_cast<std::uint64_t>(spec.radius());
+  const auto w = static_cast<std::uint64_t>(config.tile_w());
+  const auto h = static_cast<std::uint64_t>(config.tile_h());
+  const std::uint64_t elems = w * h;
+
+  // Flops per element: 7r+1 forward-plane (Table I), 8r+1 in-plane queue
+  // updates (Table II / Eqns. (3)-(5)).
+  const std::uint64_t flops_per_elem =
+      static_cast<std::uint64_t>(method == kernels::Method::ForwardPlane
+                                     ? spec.flops_forward()
+                                     : spec.flops_inplane());
+  if (plane.flops != flops_per_elem * elems) {
+    fail(method == kernels::Method::ForwardPlane ? "flops-forward-7r+1"
+                                                 : "flops-inplane-8r+1",
+         eq_detail("flops", plane.flops, flops_per_elem * elems));
+  }
+
+  // Loaded region per plane: the star region for the merged-row variants,
+  // plus the 4r^2 corners (section III-C1) for the others.  Exactly once —
+  // any duplicate or missing element skews the Fig. 9 load-efficiency
+  // numbers silently.
+  const std::uint64_t star = elems + 2 * r * w + 2 * r * h;
+  const std::uint64_t full = star + static_cast<std::uint64_t>(
+                                        spec.fullslice_corner_elems());
+  const bool star_only = method == kernels::Method::InPlaneVertical ||
+                         method == kernels::Method::InPlaneHorizontal;
+  const std::uint64_t region = star_only ? star : full;
+  const std::uint64_t requested_elems = plane.bytes_requested_ld / elem_size;
+  if (requested_elems != region) {
+    fail("refs-region-exact", eq_detail("loaded elements", requested_elems, region));
+  }
+
+  // Every tiled variant must beat the naive 6r+2 refs/element of Table I
+  // (6r+1 loads + 1 store); that reduction is the whole point of plane
+  // staging.
+  const std::uint64_t naive_refs = static_cast<std::uint64_t>(spec.memory_refs());
+  const std::uint64_t traced_refs_num = plane.bytes_requested_ld + plane.bytes_requested_st;
+  if (traced_refs_num >= naive_refs * elems * elem_size) {
+    fail("refs-beat-naive-6r+2",
+         "traced " + std::to_string(traced_refs_num / elem_size) +
+             " refs/plane >= naive " + std::to_string(naive_refs * elems));
+  }
+
+  // Exactly one store per output point per plane.
+  if (plane.bytes_requested_st != elems * elem_size) {
+    fail("store-once",
+         eq_detail("stored bytes", plane.bytes_requested_st, elems * elem_size));
+  }
+
+  // Coalescing lower bounds: a warp cannot move N requested bytes in
+  // fewer than ceil(N / segment) transactions, and transferred bytes are
+  // transactions * segment exactly (the coalescer's contract).
+  const auto ld_seg = static_cast<std::uint64_t>(device.coalesce_bytes);
+  const auto st_seg = static_cast<std::uint64_t>(device.store_segment_bytes);
+  if (plane.load_transactions < ceil_div(plane.bytes_requested_ld, ld_seg)) {
+    fail("coalesce-load-lower-bound",
+         eq_detail("load transactions", plane.load_transactions,
+                   ceil_div(plane.bytes_requested_ld, ld_seg)));
+  }
+  if (plane.store_transactions < ceil_div(plane.bytes_requested_st, st_seg)) {
+    fail("coalesce-store-lower-bound",
+         eq_detail("store transactions", plane.store_transactions,
+                   ceil_div(plane.bytes_requested_st, st_seg)));
+  }
+  if (plane.bytes_transferred_ld != plane.load_transactions * ld_seg) {
+    fail("transferred-is-transactions-times-segment",
+         eq_detail("transferred load bytes", plane.bytes_transferred_ld,
+                   plane.load_transactions * ld_seg));
+  }
+
+  // gld_efficiency in (0, 1] (Fig. 9's counter cannot exceed perfect).
+  if (plane.bytes_transferred_ld != 0 &&
+      plane.bytes_requested_ld > plane.bytes_transferred_ld) {
+    fail("load-efficiency-at-most-one",
+         eq_detail("requested bytes", plane.bytes_requested_ld,
+                   plane.bytes_transferred_ld));
+  }
+  if (plane.bytes_requested_ld == 0) {
+    fail("load-efficiency-positive", "plane trace requested no load bytes");
+  }
+
+  // Bank conflicts: a 32-lane warp access replays at most 31 times.
+  if (plane.smem_replays > 31 * plane.smem_instrs) {
+    fail("bank-replay-recount",
+         eq_detail("smem replays", plane.smem_replays, 31 * plane.smem_instrs));
+  }
+
+  // Two barriers per plane: one after staging, one before re-staging.
+  if (plane.syncs != 2) {
+    fail("syncs-per-plane", eq_detail("barriers", plane.syncs, 2));
+  }
+
+  return report;
+}
+
+template <typename T>
+AuditReport audit_kernel(const kernels::IStencilKernel<T>& kernel,
+                         const gpusim::DeviceSpec& device, const Extent3& extent) {
+  // The invariants describe a *steady-state* plane; trace_plane picks
+  // plane min(nz-1, r+1), which on a shallow grid is still filling the
+  // in-plane pipeline (nothing stored yet).  Deepen the traced extent so
+  // a steady-state plane exists — per-plane counts do not depend on nz.
+  Extent3 traced = extent;
+  traced.nz = std::max(traced.nz, 2 * kernel.radius() + 2);
+  const gpusim::TraceStats plane = kernel.trace_plane(device, traced);
+  return audit_plane_trace(kernel.method(), kernel.coeffs().order(), kernel.config(),
+                           sizeof(T), plane, device);
+}
+
+std::uint32_t trace_crc(const gpusim::TraceStats& t) {
+  const std::uint64_t fields[] = {
+      t.load_instrs,        t.store_instrs,      t.load_transactions,
+      t.store_transactions, t.bytes_requested_ld, t.bytes_transferred_ld,
+      t.bytes_requested_st, t.bytes_transferred_st, t.smem_instrs,
+      t.smem_replays,       t.compute_instrs,    t.flops,
+      t.syncs};
+  unsigned char bytes[sizeof(fields)];
+  std::size_t n = 0;
+  for (const std::uint64_t f : fields) {
+    for (int b = 0; b < 8; ++b) bytes[n++] = static_cast<unsigned char>(f >> (8 * b));
+  }
+  return crc32(bytes, n);
+}
+
+template AuditReport audit_kernel<float>(const kernels::IStencilKernel<float>&,
+                                         const gpusim::DeviceSpec&, const Extent3&);
+template AuditReport audit_kernel<double>(const kernels::IStencilKernel<double>&,
+                                          const gpusim::DeviceSpec&, const Extent3&);
+
+}  // namespace inplane::verify

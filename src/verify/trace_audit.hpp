@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/trace.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::verify {
+
+/// One violated trace invariant.
+struct AuditViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Verdict of a trace audit.
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+
+  [[nodiscard]] bool pass() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Pillar 3 — the trace auditor.  Checks one steady-state per-plane block
+/// trace against the closed forms the paper derives:
+///
+///  * flops/element: 7r+1 forward-plane, 8r+1 in-plane queue updates
+///    (Tables I and II);
+///  * loaded region per plane: the star region (W+2r)W strips for the
+///    merged-row variants, plus the 4r^2 corners for classical /
+///    full-slice / nvstencil (section III-C1) — and in every case fewer
+///    refs per element than the naive 6r+2 of Table I;
+///  * exactly one store per output point per plane;
+///  * coalescing: transactions at least ceil(requested / segment) for the
+///    device's segment sizes, and load efficiency in (0, 1];
+///  * shared memory: replays bounded by 31 per warp instruction;
+///  * two barriers per plane (stage + compute).
+///
+/// A kernel whose trace passes the functional tests but violates these
+/// counts is silently skewing every derived number in EXPERIMENTS.md —
+/// the auditor turns that into a named failure.
+[[nodiscard]] AuditReport audit_plane_trace(kernels::Method method, int order,
+                                            const kernels::LaunchConfig& config,
+                                            std::size_t elem_size,
+                                            const gpusim::TraceStats& plane,
+                                            const gpusim::DeviceSpec& device);
+
+/// Convenience: traces one steady-state plane of @p kernel and audits it.
+template <typename T>
+[[nodiscard]] AuditReport audit_kernel(const kernels::IStencilKernel<T>& kernel,
+                                       const gpusim::DeviceSpec& device,
+                                       const Extent3& extent);
+
+/// CRC-32 over every TraceStats counter (little-endian, declaration
+/// order) — the frame of the golden-trace snapshots: a one-word identity
+/// for the full instruction-level shape of a traced plane.
+[[nodiscard]] std::uint32_t trace_crc(const gpusim::TraceStats& t);
+
+extern template AuditReport audit_kernel<float>(const kernels::IStencilKernel<float>&,
+                                                const gpusim::DeviceSpec&,
+                                                const Extent3&);
+extern template AuditReport audit_kernel<double>(const kernels::IStencilKernel<double>&,
+                                                 const gpusim::DeviceSpec&,
+                                                 const Extent3&);
+
+}  // namespace inplane::verify

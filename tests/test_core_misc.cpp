@@ -8,6 +8,7 @@
 
 #include "core/coefficients.hpp"
 #include "core/grid_compare.hpp"
+#include "core/ulp_compare.hpp"
 #include "core/iteration.hpp"
 #include "core/reference.hpp"
 #include "core/stencil_spec.hpp"
@@ -24,7 +25,8 @@ TEST(Coefficients, DiffusionIsNormalised) {
     EXPECT_EQ(cs.order(), 2 * r);
     double sum = cs.c0();
     for (int m = 1; m <= r; ++m) sum += 6.0 * cs.c(m);
-    EXPECT_NEAR(sum, 1.0, 1e-12) << "radius " << r;
+    EXPECT_TRUE(ulp_close(sum, 1.0, UlpBudget::for_radius(r, sizeof(double))))
+        << "radius " << r << " sum " << sum;
   }
 }
 
@@ -90,7 +92,11 @@ TEST(Reference, ConstantFieldIsFixedPointOfNormalisedStencil) {
   apply_reference(in, out, cs);
   for (int k = 0; k < 8; ++k)
     for (int j = 0; j < 16; ++j)
-      for (int i = 0; i < 16; ++i) EXPECT_NEAR(out.at(i, j, k), 3.0, 1e-12);
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(
+            ulp_close(out.at(i, j, k), 3.0, UlpBudget::for_radius(2, sizeof(double))))
+            << out.at(i, j, k);
+      }
 }
 
 TEST(Reference, LinearFieldIsPreserved) {
@@ -104,7 +110,9 @@ TEST(Reference, LinearFieldIsPreserved) {
   for (int k = 0; k < 10; ++k)
     for (int j = 0; j < 12; ++j)
       for (int i = 0; i < 16; ++i) {
-        EXPECT_NEAR(out.at(i, j, k), 2.0 * i - j + 0.5 * k + 4.0, 1e-10);
+        EXPECT_TRUE(ulp_close(out.at(i, j, k), 2.0 * i - j + 0.5 * k + 4.0,
+                              UlpBudget::for_radius(3, sizeof(double))))
+            << out.at(i, j, k);
       }
 }
 
@@ -115,11 +123,13 @@ TEST(Reference, SinglePointSpreadsExactlyTheStencil) {
   in.at(5, 5, 5) = 1.0;
   Grid3<double> out({11, 11, 11}, 2);
   apply_reference(in, out, cs);
-  EXPECT_NEAR(out.at(5, 5, 5), cs.c0(), 1e-14);
-  EXPECT_NEAR(out.at(3, 5, 5), cs.c(2), 1e-14);
-  EXPECT_NEAR(out.at(5, 6, 5), cs.c(1), 1e-14);
-  EXPECT_NEAR(out.at(5, 5, 7), cs.c(2), 1e-14);
-  EXPECT_NEAR(out.at(4, 6, 5), 0.0, 1e-14);  // star stencil: no diagonals
+  // The sums degenerate to single products: exact up to the default few ULPs.
+  const UlpBudget tight{};
+  EXPECT_TRUE(ulp_close(out.at(5, 5, 5), cs.c0(), tight));
+  EXPECT_TRUE(ulp_close(out.at(3, 5, 5), cs.c(2), tight));
+  EXPECT_TRUE(ulp_close(out.at(5, 6, 5), cs.c(1), tight));
+  EXPECT_TRUE(ulp_close(out.at(5, 5, 7), cs.c(2), tight));
+  EXPECT_TRUE(ulp_close(out.at(4, 6, 5), 0.0, UlpBudget::exact()));  // star: no diagonals
 }
 
 TEST(Reference, BlockedMatchesNaive) {

@@ -10,6 +10,7 @@
 #include "apps/app_kernel.hpp"
 #include "autotune/stochastic.hpp"
 #include "core/grid_compare.hpp"
+#include "core/ulp_compare.hpp"
 #include "core/grid_io.hpp"
 #include "core/reference.hpp"
 #include "multigpu/multi_gpu.hpp"
@@ -104,9 +105,10 @@ void expect_extra_app_matches(const apps::AppFormula& formula) {
   for (auto& g : gold_in) gin.push_back(&g);
   for (auto& g : gold_out) gout.push_back(&g);
   apps::apply_formula<T>(formula, gin, gout);
-  EXPECT_LE(compare_grids(outputs[0], gold_out[0]).max_abs,
-            sizeof(T) == 8 ? 1e-11 : 1e-3)
-      << formula.name();
+  const UlpGridDiff diff =
+      ulp_compare_grids(outputs[0], gold_out[0],
+                        UlpBudget::for_radius(formula.radius(), sizeof(T)).scaled(4.0));
+  EXPECT_TRUE(diff.pass) << formula.name() << ": " << diff.describe();
 }
 
 TEST(ExtraApps, WaveMatchesReference) {
@@ -207,7 +209,9 @@ TEST(MultiGpu, MultiStepMatchesReference) {
     z.fill_with_halo([&](int i, int j, int k) { return init.at(i, j, k); });
     apply_reference(y, z, cs);
     apply_reference(z, y, cs);
-    EXPECT_LE(compare_grids(a, y).max_abs, 1e-12) << n << " devices";
+    const UlpGridDiff diff = ulp_compare_grids(
+        a, y, UlpBudget::for_radius(1, sizeof(double)).scaled(3.0));
+    EXPECT_TRUE(diff.pass) << n << " devices: " << diff.describe();
   }
 }
 

@@ -1,0 +1,148 @@
+// The shrinking configuration fuzzer: deterministic sampling, sabotage
+// detection, one-axis shrinking, replay-line round-tripping.
+
+#include <gtest/gtest.h>
+
+#include "verify/fuzzer.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::verify;
+
+TEST(Fuzzer, SampleStreamIsAPureFunctionOfSeedAndIteration) {
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(draw_sample(42, i), draw_sample(42, i));
+  }
+  EXPECT_NE(draw_sample(42, 0), draw_sample(42, 1));
+  EXPECT_NE(draw_sample(42, 0), draw_sample(43, 0));
+}
+
+TEST(Fuzzer, LineRoundTripsThroughParse) {
+  for (int i = 0; i < 30; ++i) {
+    const FuzzSample s = draw_sample(9, i, i % 2 == 0 ? Sabotage::None
+                                                      : Sabotage::HaloOffByOne);
+    std::string error;
+    const auto parsed = FuzzSample::parse(s.to_line(), &error);
+    ASSERT_TRUE(parsed.has_value()) << s.to_line() << ": " << error;
+    EXPECT_EQ(*parsed, s) << s.to_line();
+  }
+}
+
+TEST(Fuzzer, ParseRejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(FuzzSample::parse("method=warp order=2", &error));
+  EXPECT_NE(error.find("method"), std::string::npos);
+  EXPECT_FALSE(FuzzSample::parse("order=3", &error));
+  EXPECT_FALSE(FuzzSample::parse("nx=0", &error));
+  EXPECT_FALSE(FuzzSample::parse("banana", &error));
+  EXPECT_FALSE(FuzzSample::parse("tx=notanumber", &error));
+  EXPECT_FALSE(FuzzSample::parse("prec=quad", &error));
+}
+
+// Acceptance criterion: same seed => same samples and verdicts at any
+// thread count.
+TEST(Fuzzer, VerdictsAreIdenticalAcrossThreadCounts) {
+  FuzzOptions serial;
+  serial.seed = 5;
+  serial.iters = 12;
+  serial.policy = ExecPolicy{1};
+  FuzzOptions parallel = serial;
+  parallel.policy = ExecPolicy{4};
+
+  const FuzzResult a = run_fuzz(serial);
+  const FuzzResult b = run_fuzz(parallel);
+  EXPECT_EQ(a.iters, b.iters);
+  EXPECT_EQ(a.rejected, b.rejected);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].original, b.failures[i].original);
+    EXPECT_EQ(a.failures[i].shrunk, b.failures[i].shrunk);
+    EXPECT_EQ(a.failures[i].detail, b.failures[i].detail);
+  }
+}
+
+TEST(Fuzzer, CleanKernelsSurviveFixedSeedFuzz) {
+  FuzzOptions options;
+  options.seed = 11;
+  options.iters = 30;
+  const FuzzResult result = run_fuzz(options);
+  EXPECT_EQ(result.iters, 30);
+  EXPECT_TRUE(result.pass()) << result.failures.size() << " failure(s), first: "
+                             << (result.failures.empty()
+                                     ? ""
+                                     : result.failures[0].shrunk.to_line() + " — " +
+                                           result.failures[0].detail);
+  // The stream must actually exercise both accept and reject paths.
+  EXPECT_GT(result.rejected, 0);
+  EXPECT_LT(result.rejected, result.iters);
+}
+
+// Acceptance criterion: a deliberately broken kernel (off-by-one halo) is
+// caught, shrunk to a minimal sample, and the replay line reproduces it.
+TEST(Fuzzer, SabotagedKernelIsCaughtShrunkAndReplayable) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.iters = 10;
+  options.sabotage = Sabotage::HaloOffByOne;
+  const FuzzResult result = run_fuzz(options);
+  ASSERT_FALSE(result.failures.empty());
+
+  const FuzzFailure& f = result.failures.front();
+  EXPECT_GT(f.shrink_steps, 0);
+  // Minimality along every shrinkable axis: one more step on any axis
+  // either stops failing or is no longer representable.
+  EXPECT_EQ(f.shrunk.order, 2);
+  EXPECT_EQ(f.shrunk.config.vec, 1);
+  EXPECT_EQ(f.shrunk.config.rx, 1);
+  EXPECT_EQ(f.shrunk.config.ry, 1);
+  EXPECT_LE(f.shrunk.nx, f.original.nx);
+  EXPECT_LE(f.shrunk.nz, f.original.nz);
+
+  // Round-trip the repro line and replay it: still fails, same check.
+  const auto parsed = FuzzSample::parse(f.shrunk.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  const FuzzVerdict replay = run_sample(*parsed, options.device);
+  EXPECT_FALSE(replay.pass);
+  EXPECT_EQ(replay.detail, f.detail);
+}
+
+TEST(Fuzzer, ShrinkPreservesFailureAndShrinksMonotonically) {
+  // A known-failing sabotaged sample with plenty of slack on every axis.
+  FuzzSample big;
+  big.method = kernels::Method::InPlaneFullSlice;
+  big.order = 8;
+  big.config = {32, 8, 2, 2, 2};
+  big.nx = 128;
+  big.ny = 32;
+  big.nz = 12;
+  big.double_precision = false;
+  big.data_seed = 17;
+  big.sabotage = Sabotage::HaloOffByOne;
+  const FuzzVerdict verdict = run_sample(big, gpusim::DeviceSpec::geforce_gtx580());
+  ASSERT_FALSE(verdict.pass);
+
+  const FuzzFailure f =
+      shrink_failure(big, verdict, gpusim::DeviceSpec::geforce_gtx580());
+  EXPECT_EQ(f.original, big);
+  EXPECT_LT(f.shrunk.order, big.order);
+  EXPECT_LT(f.shrunk.nx, big.nx);
+  const FuzzVerdict still = run_sample(f.shrunk, gpusim::DeviceSpec::geforce_gtx580());
+  EXPECT_FALSE(still.pass);
+}
+
+TEST(Fuzzer, RejectedSamplesPassButAreTallied) {
+  // 40 is not divisible by the 32-wide tile: loud rejection expected.
+  FuzzSample s;
+  s.method = kernels::Method::InPlaneVertical;
+  s.order = 2;
+  s.config = {32, 8, 1, 1, 1};
+  s.nx = 40;
+  s.ny = 8;
+  s.nz = 4;
+  const FuzzVerdict v = run_sample(s, gpusim::DeviceSpec::geforce_gtx580());
+  EXPECT_TRUE(v.pass) << v.detail;
+  EXPECT_TRUE(v.rejected);
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 
 #include "core/grid_compare.hpp"
 #include "core/reference.hpp"
+#include "core/ulp_compare.hpp"
 #include "kernels/runner.hpp"
 
 namespace inplane::kernels {
@@ -35,8 +36,7 @@ Grid3<T> make_input(const IStencilKernel<T>& kernel) {
 }
 
 template <typename T>
-void expect_matches_reference(Method method, int order, LaunchConfig cfg,
-                              double tol) {
+void expect_matches_reference(Method method, int order, LaunchConfig cfg) {
   const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
   auto kernel = make_kernel<T>(method, cs, cfg);
   const Grid3<T> in = make_input(*kernel);
@@ -50,10 +50,12 @@ void expect_matches_reference(Method method, int order, LaunchConfig cfg,
   Grid3<T> gold_out(kExtent, cs.radius());
   apply_reference(gold, gold_out, cs);
 
-  const GridDiff diff = compare_grids(out, gold_out);
-  EXPECT_LE(diff.max_abs, tol) << to_string(method) << " order " << order << " cfg "
-                               << cfg.to_string() << " worst at (" << diff.worst_i
-                               << "," << diff.worst_j << "," << diff.worst_k << ")";
+  // Centralized per-order ULP budget: the in-plane accumulation reorders
+  // sums, and rounding error grows with the 6r+1 term count.
+  const UlpGridDiff diff =
+      ulp_compare_grids(out, gold_out, UlpBudget::for_order(order, sizeof(T)));
+  EXPECT_TRUE(diff.pass) << to_string(method) << " order " << order << " cfg "
+                         << cfg.to_string() << ": " << diff.describe();
 }
 
 struct Case {
@@ -78,15 +80,14 @@ class KernelVsReference : public testing::TestWithParam<Case> {};
 
 TEST_P(KernelVsReference, FloatMatches) {
   const Case& c = GetParam();
-  // float: the in-plane accumulation reorders sums; allow a loose ULP band.
-  expect_matches_reference<float>(c.method, c.order, c.cfg, 2e-4);
+  expect_matches_reference<float>(c.method, c.order, c.cfg);
 }
 
 TEST_P(KernelVsReference, DoubleMatches) {
   const Case& c = GetParam();
   LaunchConfig cfg = c.cfg;
   if (cfg.vec == 4) cfg.vec = 2;  // double4 loads exceed 16 bytes
-  expect_matches_reference<double>(c.method, c.order, cfg, 1e-12);
+  expect_matches_reference<double>(c.method, c.order, cfg);
 }
 
 std::vector<Case> all_cases() {
@@ -128,7 +129,8 @@ TEST(KernelVsReferenceRandomCoeffs, FullSliceOrder8Double) {
   gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
   Grid3<double> gold_out(kExtent, cs.radius());
   apply_reference(gold, gold_out, cs);
-  EXPECT_LE(compare_grids(out, gold_out).max_abs, 1e-11);
+  EXPECT_TRUE(
+      ulp_compare_grids(out, gold_out, UlpBudget::for_order(8, sizeof(double))).pass);
 }
 
 TEST(KernelVsReferenceRandomCoeffs, ForwardPlaneOrder8Double) {
@@ -144,7 +146,8 @@ TEST(KernelVsReferenceRandomCoeffs, ForwardPlaneOrder8Double) {
   gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
   Grid3<double> gold_out(kExtent, cs.radius());
   apply_reference(gold, gold_out, cs);
-  EXPECT_LE(compare_grids(out, gold_out).max_abs, 1e-11);
+  EXPECT_TRUE(
+      ulp_compare_grids(out, gold_out, UlpBudget::for_order(8, sizeof(double))).pass);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/grid_compare.hpp"
 #include "core/iteration.hpp"
 #include "core/reference.hpp"
+#include "core/ulp_compare.hpp"
 #include "gpusim/coalescer.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "kernels/runner.hpp"
@@ -66,6 +67,20 @@ apps::AppFormula random_formula(std::mt19937_64& rng) {
   return apps::AppFormula("random", n_in, n_out, std::move(terms));
 }
 
+// Satellite coverage: the random net must also exercise vectorised loads
+// (vec 2/4) and register tiling (rx*ry > 1), not only the scalar 1x1 path.
+// Every pool entry tiles the {32, 16, *} property extents evenly.
+LaunchConfig random_config(std::mt19937_64& rng, std::size_t elem_size) {
+  static const LaunchConfig pool[] = {
+      {16, 2, 1, 2, 2}, {8, 2, 2, 2, 2},  {8, 4, 4, 1, 1}, {16, 2, 2, 4, 4},
+      {32, 4, 1, 2, 4}, {8, 2, 4, 2, 1},  {16, 4, 1, 1, 4}, {8, 4, 2, 2, 2},
+  };
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(pool) - 1);
+  LaunchConfig cfg = pool[pick(rng)];
+  if (elem_size == 8 && cfg.vec == 4) cfg.vec = 2;  // double4 loads exceed 16 bytes
+  return cfg;
+}
+
 class RandomFormula : public testing::TestWithParam<int> {};
 
 TEST_P(RandomFormula, BothMethodsMatchReference) {
@@ -73,10 +88,11 @@ TEST_P(RandomFormula, BothMethodsMatchReference) {
   const apps::AppFormula formula = random_formula(rng);
   const Extent3 extent{32, 16, 10};
   const int halo = std::max(formula.radius(), 1);
+  const LaunchConfig cfg = random_config(rng, sizeof(double));
 
   for (apps::AppMethod method :
        {apps::AppMethod::ForwardPlane, apps::AppMethod::InPlaneFullSlice}) {
-    const apps::AppKernel<double> kernel(formula, method, LaunchConfig{16, 2, 1, 2, 2});
+    const apps::AppKernel<double> kernel(formula, method, cfg);
     std::vector<Grid3<double>> inputs = apps::make_input_grids_for(kernel, extent);
     std::uniform_real_distribution<double> val(-1.0, 1.0);
     for (auto& g : inputs) {
@@ -105,18 +121,61 @@ TEST_P(RandomFormula, BothMethodsMatchReference) {
     for (auto& g : gold_out) gout.push_back(&g);
     apps::apply_formula<double>(formula, gin, gout);
 
+    const UlpBudget budget = UlpBudget::for_radius(halo, sizeof(double)).scaled(4.0);
     for (int o = 0; o < formula.n_outputs(); ++o) {
-      EXPECT_LE(compare_grids(outputs[static_cast<std::size_t>(o)],
-                              gold_out[static_cast<std::size_t>(o)])
-                    .max_abs,
-                1e-11)
-          << "seed " << GetParam() << " method " << apps::to_string(method)
-          << " output " << o;
+      const UlpGridDiff diff =
+          ulp_compare_grids(outputs[static_cast<std::size_t>(o)],
+                            gold_out[static_cast<std::size_t>(o)], budget);
+      EXPECT_TRUE(diff.pass) << "seed " << GetParam() << " method "
+                             << apps::to_string(method) << " cfg " << cfg.to_string()
+                             << " output " << o << ": " << diff.describe();
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormula, testing::Range(1, 21));
+
+// --- Random wide configs on the core stencil kernels ---------------------------------
+
+// Float kernels at the wide end of the configuration space — float4 loads
+// and rx*ry register blocks — against the CPU reference, every method.
+class RandomWideConfig : public testing::TestWithParam<int> {};
+
+TEST_P(RandomWideConfig, FloatKernelMatchesReference) {
+  constexpr std::uint64_t kSeedMix = 2654435761ull;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * kSeedMix);
+  std::uniform_int_distribution<int> radius_pick(1, 4);
+  const int radius = radius_pick(rng);
+  const StencilCoeffs cs =
+      StencilCoeffs::random(radius, static_cast<std::uint64_t>(GetParam()));
+  const LaunchConfig cfg = random_config(rng, sizeof(float));
+  const Extent3 extent{32, 16, 8};
+
+  for (Method method : {Method::ForwardPlane, Method::InPlaneClassical,
+                        Method::InPlaneVertical, Method::InPlaneHorizontal,
+                        Method::InPlaneFullSlice}) {
+    const auto kernel = kernels::make_kernel<float>(method, cs, cfg);
+    Grid3<float> in = kernels::make_grid_for(*kernel, extent);
+    std::mt19937_64 grng(rng());
+    std::uniform_real_distribution<double> val(-1.0, 1.0);
+    in.fill_with_halo([&](int, int, int) { return static_cast<float>(val(grng)); });
+    Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+    out.fill(-999.0f);
+    kernels::run_kernel(*kernel, in, out, gpusim::DeviceSpec::geforce_gtx580());
+
+    Grid3<float> gold(extent, radius);
+    gold.fill_with_halo([&](int i, int j, int k) { return in.at(i, j, k); });
+    Grid3<float> gold_out(extent, radius);
+    apply_reference(gold, gold_out, cs);
+
+    const UlpGridDiff diff = ulp_compare_grids(
+        out, gold_out, UlpBudget::for_radius(radius, sizeof(float)));
+    EXPECT_TRUE(diff.pass) << "seed " << GetParam() << " " << kernels::to_string(method)
+                           << " cfg " << cfg.to_string() << ": " << diff.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWideConfig, testing::Range(1, 13));
 
 // --- Coalescer vs brute force ------------------------------------------------------
 
@@ -213,8 +272,10 @@ TEST_P(MultiStep, SimulatedKernelLoopMatchesReferenceLoop) {
   y.fill_with_halo([&](int i, int j, int k) { return x.at(i, j, k); });
   const auto gold = run_reference_loop(x, y, cs, StopCriteria{4, -1.0});
 
-  EXPECT_LE(compare_grids(*outcome.result, *gold.result).max_abs, 1e-11)
-      << "order " << order;
+  // 4 chained timesteps compound the per-step budget.
+  const UlpGridDiff diff = ulp_compare_grids(
+      *outcome.result, *gold.result, UlpBudget::for_order(order, sizeof(double)).scaled(4.0));
+  EXPECT_TRUE(diff.pass) << "order " << order << ": " << diff.describe();
 }
 
 INSTANTIATE_TEST_SUITE_P(Orders, MultiStep, testing::Values(2, 4, 6));

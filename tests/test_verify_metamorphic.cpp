@@ -1,0 +1,99 @@
+// Pillar 2 of the verification subsystem: metamorphic relations for
+// linear stencils — superposition, scaling, translation invariance.
+
+#include <gtest/gtest.h>
+
+#include "kernels/runner.hpp"
+#include "verify/metamorphic.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+class MetamorphicAllMethods : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MetamorphicAllMethods, RelationsHoldSinglePrecision) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(2);
+  const auto kernel =
+      make_kernel<float>(GetParam(), coeffs, LaunchConfig{16, 8, 1, 1, 1});
+  const verify::VerifyReport report =
+      verify::metamorphic_checks(*kernel, {32, 16, 8});
+  EXPECT_TRUE(report.pass()) << report.summary();
+  // superposition + scaling + translation-x + translation-y.
+  EXPECT_EQ(report.checks.size(), 4u);
+}
+
+TEST_P(MetamorphicAllMethods, RelationsHoldDoublePrecisionHighOrder) {
+  const StencilCoeffs coeffs = StencilCoeffs::random(4, 21);
+  const auto kernel =
+      make_kernel<double>(GetParam(), coeffs, LaunchConfig{8, 4, 2, 2, 1});
+  const verify::VerifyReport report =
+      verify::metamorphic_checks(*kernel, {32, 16, 10});
+  EXPECT_TRUE(report.pass()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MetamorphicAllMethods,
+                         ::testing::Values(Method::ForwardPlane,
+                                           Method::InPlaneClassical,
+                                           Method::InPlaneVertical,
+                                           Method::InPlaneHorizontal,
+                                           Method::InPlaneFullSlice),
+                         [](const auto& inst) {
+                           std::string name = to_string(inst.param);
+                           std::erase(name, '-');  // "full-slice" -> "fullslice"
+                           return name;
+                         });
+
+TEST(Metamorphic, InvalidConfigIsSkippedNotExecuted) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(1);
+  const auto kernel = make_kernel<float>(Method::InPlaneVertical, coeffs,
+                                         LaunchConfig{32, 8, 1, 1, 1});
+  // 40 is not a multiple of the 32-wide tile: validate() rejects.
+  const verify::VerifyReport report =
+      verify::metamorphic_checks(*kernel, {40, 16, 8});
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_TRUE(report.pass());
+  EXPECT_NE(report.checks[0].name.find("skipped"), std::string::npos);
+}
+
+// Negative test: superposition_violation is the hook the checks (and the
+// fuzzer) stand on — feed it outputs that do NOT satisfy K(a+b) ==
+// K(a) + K(b) and it must name the offending site.
+TEST(Metamorphic, SuperpositionViolationDetectsTamperedSum) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(1);
+  const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, coeffs,
+                                         LaunchConfig{16, 8, 1, 1, 1});
+  const Extent3 extent{16, 8, 4};
+  const auto run = [&](std::uint64_t seed) {
+    Grid3<float> in = make_grid_for(*kernel, extent);
+    Grid3<float> out = make_grid_for(*kernel, extent);
+    verify::fill_verification_field(in, seed);
+    run_kernel(*kernel, in, out, gpusim::DeviceSpec::geforce_gtx580());
+    return out;
+  };
+  Grid3<float> out_a = run(1);
+  Grid3<float> out_b = run(2);
+  const UlpBudget budget = UlpBudget::for_radius(1, sizeof(float));
+
+  // Honest case first: K applied to a+b.
+  Grid3<float> in_sum = make_grid_for(*kernel, extent);
+  in_sum.fill_with_halo([](int i, int j, int k) {
+    return static_cast<float>(verify::verification_field_value(1, i, j, k) +
+                              verify::verification_field_value(2, i, j, k));
+  });
+  Grid3<float> out_sum = make_grid_for(*kernel, extent);
+  run_kernel(*kernel, in_sum, out_sum, gpusim::DeviceSpec::geforce_gtx580());
+  EXPECT_FALSE(verify::superposition_violation(out_sum, out_a, out_b,
+                                               budget.scaled(4.0))
+                   .has_value());
+
+  // Tampered: one point of the sum output drifts beyond the budget.
+  out_sum.at(3, 2, 1) += 0.5f;
+  const auto violation =
+      verify::superposition_violation(out_sum, out_a, out_b, budget.scaled(4.0));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("(3, 2, 1)"), std::string::npos) << *violation;
+}
+
+}  // namespace

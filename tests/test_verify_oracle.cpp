@@ -1,0 +1,122 @@
+// Pillar 1 of the verification subsystem: the differential oracle and the
+// shared CPU-reference comparator.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/fault_injector.hpp"
+#include "kernels/runner.hpp"
+#include "verify/oracle.hpp"
+#include "verify/reference_oracle.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+TEST(VerifyOracle, AllFiveMethodsAgreeWithReferenceAndEachOther) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(3);
+  const auto variants =
+      verify::all_method_variants(LaunchConfig{16, 8, 2, 1, 1}, sizeof(float));
+  ASSERT_EQ(variants.size(), 5u);
+  const verify::VerifyReport report =
+      verify::differential_oracle<float>(coeffs, variants, {64, 16, 12});
+  EXPECT_TRUE(report.pass()) << report.summary();
+  // 5 reference checks + C(5,2) pairwise checks.
+  EXPECT_EQ(report.checks.size(), 5u + 10u) << report.summary();
+}
+
+TEST(VerifyOracle, DoublePrecisionDifferentialPasses) {
+  const StencilCoeffs coeffs = StencilCoeffs::random(2, 99);
+  const auto variants =
+      verify::all_method_variants(LaunchConfig{16, 4, 1, 2, 1}, sizeof(double));
+  const verify::VerifyReport report =
+      verify::differential_oracle<double>(coeffs, variants, {32, 16, 9});
+  EXPECT_TRUE(report.pass()) << report.summary();
+}
+
+TEST(VerifyOracle, InvalidVariantIsRejectedLoudlyNotExecuted) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(1);
+  // 48 does not divide into 32-wide tiles: validate() must reject, and the
+  // oracle additionally checks run_kernel refuses to execute it.
+  const std::vector<verify::VariantSpec> variants = {
+      {Method::InPlaneFullSlice, LaunchConfig{32, 8, 1, 1, 1}}};
+  const verify::VerifyReport report =
+      verify::differential_oracle<float>(coeffs, variants, {48, 16, 8});
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_TRUE(report.pass()) << report.summary();
+  EXPECT_NE(report.checks[0].name.find("rejected"), std::string::npos);
+}
+
+TEST(VerifyOracle, CorruptedOutputIsCaughtWithSite) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(2);
+  const auto kernel = make_kernel<float>(Method::InPlaneVertical, coeffs,
+                                         LaunchConfig{16, 8, 1, 1, 1});
+  const Extent3 extent{32, 16, 8};
+  Grid3<float> in = make_grid_for(*kernel, extent);
+  Grid3<float> out = make_grid_for(*kernel, extent);
+  verify::fill_verification_field(in, 7);
+  run_kernel(*kernel, in, out, gpusim::DeviceSpec::geforce_gtx580());
+  const UlpBudget budget = UlpBudget::for_radius(2, sizeof(float));
+  ASSERT_TRUE(verify::reference_status(coeffs, in, out, budget).ok());
+
+  out.at(5, 3, 2) += 0.25f;  // silent corruption
+  const Status verdict = verify::reference_status(coeffs, in, out, budget);
+  EXPECT_EQ(verdict.code, ErrorCode::DataCorruption);
+  EXPECT_NE(verdict.context.find("(5, 3, 2)"), std::string::npos) << verdict.context;
+}
+
+TEST(VerifyOracle, ReportAbsorbPrefixesNames) {
+  verify::VerifyReport a;
+  a.checks.push_back({"x", true, ""});
+  verify::VerifyReport b;
+  b.checks.push_back({"y", false, "boom"});
+  a.absorb(b, "sub");
+  EXPECT_EQ(a.checks.size(), 2u);
+  EXPECT_EQ(a.checks[1].name, "sub/y");
+  EXPECT_FALSE(a.pass());
+  EXPECT_EQ(a.failures(), 1u);
+}
+
+TEST(VerifyOracle, VerificationFieldIsPureAndBounded) {
+  for (int i = -8; i < 8; ++i) {
+    const double v = verify::verification_field_value(3, i, -i, 2 * i);
+    EXPECT_EQ(v, verify::verification_field_value(3, i, -i, 2 * i));
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_NE(verify::verification_field_value(3, 1, 2, 3),
+            verify::verification_field_value(4, 1, 2, 3));
+}
+
+// Satellite (c): the guarded runner's reference check and the standalone
+// oracle are the same comparator — an injected bit flip is flagged
+// DataCorruption by both paths.
+TEST(VerifyOracle, GuardedRunnerAndOracleFlagTheSameBitflip) {
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(1);
+  const auto kernel = make_kernel<float>(Method::ForwardPlane, coeffs,
+                                         LaunchConfig{16, 8, 1, 1, 1});
+  const Extent3 extent{32, 16, 8};
+  Grid3<float> in = make_grid_for(*kernel, extent);
+  Grid3<float> out = make_grid_for(*kernel, extent);
+  verify::fill_verification_field(in, 11);
+
+  // A high-probability exponent-bit flip on stores: wrong answers, no trap.
+  const auto plan = gpusim::FaultPlan::parse("seed=5; bitflip:p=0.01,bit=30");
+  gpusim::FaultInjector injector(plan);
+  RunOptions options;
+  options.faults = &injector;
+  options.retry.max_attempts = 1;  // no retry: the corruption must surface
+  const RunReport report = run_kernel_guarded(
+      *kernel, in, out, gpusim::DeviceSpec::geforce_gtx580(), options);
+  ASSERT_EQ(report.status.code, ErrorCode::DataCorruption) << report.status.to_string();
+  ASSERT_TRUE(report.verified);
+
+  // The standalone oracle, handed the same corrupted output, must agree.
+  const Status oracle = verify::reference_status(
+      coeffs, in, out, UlpBudget::for_radius(coeffs.radius(), sizeof(float)));
+  EXPECT_EQ(oracle.code, ErrorCode::DataCorruption);
+  // Same comparator, same first offending site.
+  EXPECT_EQ(report.status.context, oracle.context);
+}
+
+}  // namespace

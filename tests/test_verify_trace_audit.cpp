@@ -1,0 +1,175 @@
+// Pillar 3 of the verification subsystem: the trace auditor and the
+// CRC-framed golden-trace snapshots for the paper's pinned configs.
+
+#include <gtest/gtest.h>
+
+#include "autotune/search_space.hpp"
+#include "core/stencil_spec.hpp"
+#include "kernels/stencil_kernel.hpp"
+#include "verify/trace_audit.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+const gpusim::DeviceSpec kDevice = gpusim::DeviceSpec::geforce_gtx580();
+
+// Acceptance criterion: the closed-form per-plane invariants — 6r+2
+// naive refs beaten, 7r+1 / 8r+1 flops, exact loaded region, store-once,
+// coalescing bounds, bank-replay recount, 2 barriers — hold for every
+// method at every paper order, as a plain ctest.
+class AuditAllOrders
+    : public ::testing::TestWithParam<std::tuple<Method, int>> {};
+
+TEST_P(AuditAllOrders, SteadyStatePlaneSatisfiesClosedForms) {
+  const auto [method, order] = GetParam();
+  LaunchConfig cfg{32, 8, 1, 1, 1};
+  cfg.vec = autotune::default_vec(method, sizeof(float));
+  const auto kernel =
+      make_kernel<float>(method, StencilCoeffs::diffusion(order / 2), cfg);
+  const verify::AuditReport report =
+      verify::audit_kernel(*kernel, kDevice, {256, 64, 32});
+  EXPECT_TRUE(report.pass()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByOrder, AuditAllOrders,
+    ::testing::Combine(::testing::Values(Method::ForwardPlane,
+                                         Method::InPlaneClassical,
+                                         Method::InPlaneVertical,
+                                         Method::InPlaneHorizontal,
+                                         Method::InPlaneFullSlice),
+                       ::testing::Values(2, 4, 6, 8, 10, 12)),
+    [](const auto& inst) {
+      std::string name = to_string(std::get<0>(inst.param));
+      std::erase(name, '-');
+      return name + "_order" + std::to_string(std::get<1>(inst.param));
+    });
+
+TEST(TraceAudit, RegisterTiledAndVectorisedVariantsPass) {
+  for (const LaunchConfig cfg :
+       {LaunchConfig{16, 8, 2, 2, 2}, LaunchConfig{16, 4, 4, 1, 4},
+        LaunchConfig{64, 2, 1, 2, 1}}) {
+    for (Method m : {Method::ForwardPlane, Method::InPlaneHorizontal,
+                     Method::InPlaneFullSlice}) {
+      const auto kernel = make_kernel<float>(m, StencilCoeffs::diffusion(3), cfg);
+      const verify::AuditReport report =
+          verify::audit_kernel(*kernel, kDevice, {256, 64, 32});
+      EXPECT_TRUE(report.pass())
+          << to_string(m) << " " << cfg.to_string() << ": " << report.summary();
+    }
+  }
+}
+
+// Negative tests: each tampered counter trips the invariant named for it.
+TEST(TraceAudit, TamperedCountersAreCaughtByName) {
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::InPlaneFullSlice, StencilCoeffs::diffusion(2), cfg);
+  const gpusim::TraceStats honest = kernel->trace_plane(kDevice, {256, 64, 32});
+  ASSERT_TRUE(verify::audit_plane_trace(Method::InPlaneFullSlice, 4, cfg,
+                                        sizeof(float), honest, kDevice)
+                  .pass());
+
+  const auto violated = [&](gpusim::TraceStats t) {
+    const verify::AuditReport r = verify::audit_plane_trace(
+        Method::InPlaneFullSlice, 4, cfg, sizeof(float), t, kDevice);
+    EXPECT_FALSE(r.pass());
+    return r.violations.empty() ? std::string() : r.violations[0].invariant;
+  };
+
+  gpusim::TraceStats t = honest;
+  t.flops += 1;
+  EXPECT_EQ(violated(t), "flops-inplane-8r+1");
+
+  t = honest;
+  t.bytes_requested_ld += sizeof(float);  // one duplicate halo element
+  EXPECT_EQ(violated(t), "refs-region-exact");
+
+  t = honest;
+  t.bytes_requested_st *= 2;  // every point stored twice
+  EXPECT_EQ(violated(t), "store-once");
+
+  t = honest;
+  t.load_transactions /= 2;  // impossible: below the coalescing floor
+  EXPECT_EQ(violated(t), "coalesce-load-lower-bound");
+
+  t = honest;
+  t.smem_replays = 32 * t.smem_instrs + 1;
+  EXPECT_EQ(violated(t), "bank-replay-recount");
+
+  t = honest;
+  t.syncs = 3;
+  EXPECT_EQ(violated(t), "syncs-per-plane");
+}
+
+TEST(TraceAudit, WrongMethodFlopCountIsCrossCaught) {
+  // A forward-plane trace presented as in-plane misses the 8r+1 count.
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::ForwardPlane, StencilCoeffs::diffusion(3), cfg);
+  const gpusim::TraceStats t = kernel->trace_plane(kDevice, {256, 64, 32});
+  const verify::AuditReport r = verify::audit_plane_trace(
+      Method::InPlaneClassical, 6, cfg, sizeof(float), t, kDevice);
+  ASSERT_FALSE(r.pass());
+  EXPECT_EQ(r.violations[0].invariant, "flops-inplane-8r+1");
+}
+
+// Satellite (d): golden-trace CRC snapshots for the paper's pinned
+// configurations — the nvstencil-default launch config on the GTX 580
+// over the 512x512x256 evaluation grid (Table II's two methods, every
+// paper order).  A change to any of the 13 trace counters — an extra
+// load, a lost barrier, a skewed transaction count — changes the CRC and
+// fails here; if the change is intentional, regenerate with
+// verify::trace_crc and update the table.
+TEST(TraceAudit, GoldenTraceCrcsForPaperConfigs) {
+  struct Golden {
+    Method method;
+    int order;
+    std::uint32_t crc;
+  };
+  const Golden golden[] = {
+      {Method::ForwardPlane, 2, 0x6ed0bbe5u},
+      {Method::ForwardPlane, 4, 0x7df9a8c9u},
+      {Method::ForwardPlane, 6, 0x8725c7bcu},
+      {Method::ForwardPlane, 8, 0x8e891962u},
+      {Method::ForwardPlane, 10, 0x0b8f7361u},
+      {Method::ForwardPlane, 12, 0x26c1ece5u},
+      {Method::InPlaneFullSlice, 2, 0x193694bdu},
+      {Method::InPlaneFullSlice, 4, 0x4540e685u},
+      {Method::InPlaneFullSlice, 6, 0x8c4c999bu},
+      {Method::InPlaneFullSlice, 8, 0x67407f0eu},
+      {Method::InPlaneFullSlice, 10, 0xe784501bu},
+      {Method::InPlaneFullSlice, 12, 0xa00bf46au},
+  };
+  const Extent3 extent{512, 512, 256};
+  for (const Golden& g : golden) {
+    LaunchConfig cfg = LaunchConfig::nvstencil_default();
+    cfg.vec = autotune::default_vec(g.method, sizeof(float));
+    const auto kernel =
+        make_kernel<float>(g.method, StencilCoeffs::diffusion(g.order / 2), cfg);
+    const gpusim::TraceStats t = kernel->trace_plane(kDevice, extent);
+    EXPECT_EQ(verify::trace_crc(t), g.crc)
+        << to_string(g.method) << " order " << g.order << ": trace shape changed";
+    // The snapshot must also still satisfy the closed-form invariants.
+    EXPECT_TRUE(verify::audit_plane_trace(g.method, g.order, cfg, sizeof(float), t,
+                                          kDevice)
+                    .pass());
+  }
+}
+
+TEST(TraceAudit, CrcIsSensitiveToEveryCounter) {
+  gpusim::TraceStats t;
+  t.load_instrs = 1;
+  const std::uint32_t base = verify::trace_crc(t);
+  gpusim::TraceStats u = t;
+  u.syncs = 1;
+  EXPECT_NE(verify::trace_crc(u), base);
+  u = t;
+  u.smem_replays = 1;
+  EXPECT_NE(verify::trace_crc(u), base);
+  EXPECT_EQ(verify::trace_crc(t), base);  // deterministic
+}
+
+}  // namespace

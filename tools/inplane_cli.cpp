@@ -24,6 +24,7 @@
 #include "kernels/runner.hpp"
 #include "perfmodel/model.hpp"
 #include "report/table.hpp"
+#include "verify/fuzzer.hpp"
 
 namespace {
 
@@ -113,6 +114,36 @@ void print_timing(const std::string& label, const gpusim::KernelTiming& t) {
               gpusim::to_string(t.occupancy.limiter).c_str(), t.stages);
 }
 
+/// --verify: runs every verification pillar (CPU-reference oracle,
+/// differential vs the forward-plane baseline, metamorphic relations,
+/// trace audit) on a reduced 2x2-tile grid.  Throws DataCorruptionError
+/// on any mismatch, so the process exits with code 3.  The undocumented
+/// --sabotage halo knob arms a deliberate off-by-one halo defect — the
+/// negative self-test proving the gate actually rejects broken kernels.
+template <typename T>
+void verify_config(Method method, int order, const LaunchConfig& cfg,
+                   const gpusim::DeviceSpec& dev, const Args& args) {
+  verify::FuzzSample sample;
+  sample.method = method;
+  sample.order = order;
+  sample.config = cfg;
+  sample.double_precision = sizeof(T) == 8;
+  sample.nx = cfg.tile_w() * 2;
+  sample.ny = cfg.tile_h() * 2;
+  sample.nz = order + 2 > 8 ? order + 2 : 8;
+  if (args.get("sabotage", "none") == "halo") {
+    sample.sabotage = verify::Sabotage::HaloOffByOne;
+  }
+  const verify::FuzzVerdict v =
+      verify::run_sample(sample, dev, ExecPolicy{args.geti("threads", 0)});
+  if (!v.pass) {
+    std::printf("verify: FAILED %s\n  %s\n", sample.to_line().c_str(),
+                v.detail.c_str());
+    throw DataCorruptionError("verification failed: " + v.detail);
+  }
+  std::printf("verify: ok (%s)\n", sample.to_line().c_str());
+}
+
 template <typename T>
 int cmd_run(const Args& args) {
   const Method method = method_by_name(args.get("method", "fullslice"));
@@ -140,6 +171,9 @@ int cmd_run(const Args& args) {
                 report.attempts, report.verified ? ", output verified" : "",
                 injector.event_count());
     if (!report.status.ok()) raise(report.status);
+  }
+  if (args.has("verify") || args.has("sabotage")) {
+    verify_config<T>(method, order, cfg, dev, args);
   }
   const auto t = time_kernel(*kernel, dev, grid_from(args));
   print_timing(kernel->name() + " " + cfg.to_string() + " order " +
@@ -195,6 +229,9 @@ int cmd_tune(const Args& args) {
     std::printf("no valid configuration found\n");
     return 1;
   }
+  // --verify: gate the winner through the verification pillars before
+  // reporting it — a tuner that crowns a wrong-answer kernel exits 3.
+  if (args.has("verify")) verify_config<T>(method, order, result.best.config, dev, args);
   print_timing("best " + std::string(to_string(method)) + " " +
                    result.best.config.to_string(),
                result.best.timing);
@@ -280,8 +317,11 @@ int usage() {
       "  devices                      list the simulated GPUs\n"
       "  run      time one configuration   (--method --order --device --tx --ty\n"
       "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz]\n"
-      "                                     [--fault-plan spec for a guarded run])\n"
+      "                                     [--fault-plan spec for a guarded run]\n"
+      "                                     [--verify: oracle + metamorphic +\n"
+      "                                      trace-audit gate, exit 3 on mismatch])\n"
       "  tune     auto-tune a method       (--method --order --device [--dp]\n"
+      "                                     [--verify: gate the winner, exit 3]\n"
       "                                     [--beta 0.05 for model-guided]\n"
       "                                     [--threads N, 0 = all cores, 1 = serial]\n"
       "                                     [--fault-plan spec] [--retries N]\n"
