@@ -22,52 +22,58 @@ using namespace inplane;
 using namespace inplane::kernels;
 using namespace inplane::autotune;
 
-double speedup(const gpusim::DeviceSpec& dev, int order) {
+double speedup(const bench::Session& session, const gpusim::DeviceSpec& dev,
+               int order) {
   const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
   const auto nv =
       make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
-  const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+  const double base = time_kernel(*nv, dev, session.grid()).mpoints_per_s;
   const TuneResult t =
-      exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+      exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid());
   return t.best.timing.mpoints_per_s / base;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("ablation_model", argc, argv);
+  const int hi_order = session.smoke() ? 4 : 12;
   report::Table table(
-      {"Device", "Ablation", "Speedup o2", "Speedup o12"});
+      {"Device", "Ablation", "Speedup o2", "Speedup o" + std::to_string(hi_order)});
+  double full_model_o2 = 0.0;
   for (auto base_dev :
        {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::geforce_gtx680()}) {
     {
-      table.add_row({base_dev.name, "none (full model)",
-                     report::fmt(speedup(base_dev, 2), 2) + "x",
-                     report::fmt(speedup(base_dev, 12), 2) + "x"});
+      const double s2 = speedup(session, base_dev, 2);
+      if (full_model_o2 == 0.0) full_model_o2 = s2;
+      table.add_row({base_dev.name, "none (full model)", report::fmt(s2, 2) + "x",
+                     report::fmt(speedup(session, base_dev, hi_order), 2) + "x"});
     }
     {
       auto dev = base_dev;
       dev.coalesce_bytes = 4;
       dev.store_segment_bytes = 4;
       table.add_row({base_dev.name, "A: no coalescing granularity",
-                     report::fmt(speedup(dev, 2), 2) + "x",
-                     report::fmt(speedup(dev, 12), 2) + "x"});
+                     report::fmt(speedup(session, dev, 2), 2) + "x",
+                     report::fmt(speedup(session, dev, hi_order), 2) + "x"});
     }
     {
       auto dev = base_dev;
       dev.max_outstanding_loads_per_warp = 1e9;
       table.add_row({base_dev.name, "B: unlimited per-warp MLP",
-                     report::fmt(speedup(dev, 2), 2) + "x",
-                     report::fmt(speedup(dev, 12), 2) + "x"});
+                     report::fmt(speedup(session, dev, 2), 2) + "x",
+                     report::fmt(speedup(session, dev, hi_order), 2) + "x"});
     }
     {
       auto dev = base_dev;
       dev.store_segment_bytes = 128;
       table.add_row({base_dev.name, "C: 128-byte store sectors",
-                     report::fmt(speedup(dev, 2), 2) + "x",
-                     report::fmt(speedup(dev, 12), 2) + "x"});
+                     report::fmt(speedup(session, dev, 2), 2) + "x",
+                     report::fmt(speedup(session, dev, hi_order), 2) + "x"});
     }
   }
-  inplane::bench::emit(table, "Timing-model ablation (tuned full-slice vs nvstencil)",
-                       "ablation_model");
-  return 0;
+  session.set_config("hi_order", std::to_string(hi_order));
+  session.headline("full_model_speedup_o2_gtx580", full_model_o2, "x");
+  session.emit(table, "Timing-model ablation (tuned full-slice vs nvstencil)");
+  return session.finish();
 }

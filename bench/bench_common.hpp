@@ -1,14 +1,31 @@
 #pragma once
 
 // Shared setup for the reproduction bench binaries: the evaluation grid and
-// device list of section IV-A, plus small formatting helpers.
+// device list of section IV-A, plus the Session harness every bench runs
+// under.  A Session parses the common flags, scales the workload down in
+// smoke mode, collects headline metrics and — at finish() — writes the
+// schema-versioned BENCH_<name>.json next to the CSV so tools/bench_diff
+// and the bench-smoke ctest tier can consume every bench uniformly.
+//
+// Common flags (every bench accepts them; extra args stay available via
+// Session::args()):
+//   --smoke              tiny grid, one device, one repeat — seconds, not
+//                        minutes; used by the bench-smoke ctest tier
+//   --results-dir <dir>  where the CSV and BENCH json land (default
+//                        "results", or $INPLANE_RESULTS_DIR)
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/extent.hpp"
 #include "core/stencil_spec.hpp"
 #include "gpusim/device.hpp"
+#include "metrics/metrics.hpp"
+#include "report/bench_json.hpp"
 #include "report/table.hpp"
 
 namespace inplane::bench {
@@ -16,20 +33,115 @@ namespace inplane::bench {
 /// The evaluation lattice used throughout sections IV-VI: 512 x 512 x 256.
 inline constexpr Extent3 kGrid{512, 512, 256};
 
-/// Where bench binaries drop machine-readable copies of their tables.
-inline const char* kResultsDir = "results";
+/// Smoke-mode lattice: big enough that every tile shape in the search
+/// space still divides it (tx*rx <= 128, ty*ry <= 64), small enough that
+/// the whole bench suite sweeps in seconds.
+inline constexpr Extent3 kSmokeGrid{128, 64, 8};
 
 template <typename T>
 [[nodiscard]] const char* precision_name() {
   return sizeof(T) == 8 ? "DP" : "SP";
 }
 
-/// Writes a rendered table to stdout and its CSV twin to results/<stem>.csv.
-inline void emit(const report::Table& table, const std::string& title,
-                 const std::string& stem) {
-  std::fputs(table.render(title).c_str(), stdout);
-  std::fputs("\n", stdout);
-  report::write_file(std::string(kResultsDir) + "/" + stem + ".csv", table.to_csv());
-}
+class Session {
+ public:
+  /// @p name must match the BENCH file stem: [a-z0-9_]+.
+  Session(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    if (const char* dir = std::getenv("INPLANE_RESULTS_DIR")) {
+      if (*dir != '\0') results_dir_ = dir;
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke_ = true;
+      } else if (std::strcmp(argv[i], "--results-dir") == 0 && i + 1 < argc) {
+        results_dir_ = argv[++i];
+      } else {
+        args_.emplace_back(argv[i]);
+      }
+    }
+    // Collection is on for the duration of the bench so the report carries
+    // the full registry snapshot; counters start from a clean slate.
+    metrics::set_enabled(true);
+    metrics::Registry::global().reset();
+    report_.bench = name_;
+    report_.smoke = smoke_;
+    report_.repo_sha = report::compiled_repo_sha();
+    const Extent3 g = grid();
+    set_config("grid", std::to_string(g.nx) + "x" + std::to_string(g.ny) + "x" +
+                           std::to_string(g.nz));
+  }
+
+  [[nodiscard]] bool smoke() const { return smoke_; }
+  [[nodiscard]] const std::string& results_dir() const { return results_dir_; }
+  /// Positional/extra arguments with the common flags stripped out.
+  [[nodiscard]] const std::vector<std::string>& args() const { return args_; }
+
+  /// The bench lattice: the paper's 512x512x256, or the smoke lattice.
+  [[nodiscard]] Extent3 grid() const { return smoke_ ? kSmokeGrid : kGrid; }
+
+  /// Devices to sweep: all three paper GPUs, or just the GTX 580 in smoke.
+  [[nodiscard]] std::vector<gpusim::DeviceSpec> devices() const {
+    if (smoke_) return {gpusim::DeviceSpec::geforce_gtx580()};
+    return gpusim::paper_devices();
+  }
+
+  /// Stencil orders to sweep: the paper's 2-12, or {2, 4} in smoke.
+  [[nodiscard]] std::vector<int> orders() const {
+    if (smoke_) return {2, 4};
+    return paper_stencil_orders();
+  }
+
+  /// Repeat count for wall-clock measurements: @p full, or 1 in smoke.
+  [[nodiscard]] int repeats(int full) const { return smoke_ ? 1 : full; }
+
+  /// Records a configuration dimension into the report fingerprint.
+  void set_config(const std::string& key, std::string value) {
+    report_.config[key] = std::move(value);
+  }
+
+  /// Records one gate-able result.  Mark wall-clock-derived values noisy —
+  /// bench_diff skips them by default; simulated MPt/s and ratios derived
+  /// from the timing model are deterministic and should stay gate-able.
+  void headline(const std::string& metric, double value, const std::string& unit,
+                bool higher_is_better = true, bool noisy = false) {
+    report_.headline.push_back({metric, value, unit, higher_is_better, noisy});
+  }
+
+  /// Writes a rendered table to stdout and its CSV twin to
+  /// <results-dir>/<stem>.csv.
+  void emit(const report::Table& table, const std::string& title,
+            const std::string& stem) {
+    std::fputs(table.render(title).c_str(), stdout);
+    std::fputs("\n", stdout);
+    report::write_file(results_dir_ + "/" + stem + ".csv", table.to_csv());
+  }
+
+  /// Overload defaulting the CSV stem to the session name.
+  void emit(const report::Table& table, const std::string& title) {
+    emit(table, title, name_);
+  }
+
+  /// Snapshots the metrics registry and writes BENCH_<name>.json.
+  /// Returns the process exit code (0; emission failures print and
+  /// return 1 rather than throwing out of main).
+  int finish() {
+    report_.metrics = report::metric_samples(metrics::Registry::global());
+    try {
+      const std::string path = report::write_bench_report(report_, results_dir_);
+      std::printf("wrote %s\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench report: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string results_dir_ = "results";
+  bool smoke_ = false;
+  std::vector<std::string> args_;
+  report::BenchReport report_;
+};
 
 }  // namespace inplane::bench

@@ -2,7 +2,9 @@
 // the leapfrog acoustic wave equation and the 8th-order seismic RTM kernel
 // with a varying-velocity grid — under the same Fig. 11 methodology.
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 #include "apps/app_kernel.hpp"
 #include "autotune/search_space.hpp"
@@ -13,22 +15,33 @@ namespace {
 using namespace inplane;
 using namespace inplane::apps;
 
+std::string slug(const std::string& name) {
+  std::string s;
+  for (const char c : name) {
+    s.push_back(std::isalnum(static_cast<unsigned char>(c))
+                    ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                    : '_');
+  }
+  return s;
+}
+
 template <typename T>
-void rows(report::Table& table, const gpusim::DeviceSpec& dev) {
+void rows(bench::Session& session, report::Table& table,
+          const gpusim::DeviceSpec& dev) {
   autotune::SearchSpace space;
   for (const AppFormula& f : {wave(), seismic_rtm()}) {
     const AppKernel<T> nv(f, AppMethod::ForwardPlane,
                           kernels::LaunchConfig::nvstencil_default());
-    const double base = time_app_kernel(nv, dev, bench::kGrid).mpoints_per_s;
+    const double base = time_app_kernel(nv, dev, session.grid()).mpoints_per_s;
     double best = 0.0;
     kernels::LaunchConfig best_cfg;
     for (const auto& cfg :
-         space.enumerate(dev, bench::kGrid, kernels::Method::InPlaneFullSlice,
+         space.enumerate(dev, session.grid(), kernels::Method::InPlaneFullSlice,
                          std::max(f.radius(), 1), sizeof(T),
                          autotune::default_vec(kernels::Method::InPlaneFullSlice,
                                                sizeof(T)))) {
       const AppKernel<T> k(f, AppMethod::InPlaneFullSlice, cfg);
-      const auto t = time_app_kernel(k, dev, bench::kGrid);
+      const auto t = time_app_kernel(k, dev, session.grid());
       if (t.valid && t.mpoints_per_s > best) {
         best = t.mpoints_per_s;
         best_cfg = cfg;
@@ -38,20 +51,22 @@ void rows(report::Table& table, const gpusim::DeviceSpec& dev) {
                    std::to_string(f.n_outputs()), report::fmt(base, 0),
                    report::fmt(best, 0), best_cfg.to_string(),
                    report::fmt(best / base, 2) + "x"});
+    session.headline(slug(f.name()) + "_speedup_" + (sizeof(T) == 8 ? "dp" : "sp"),
+                     best / base, "x");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  inplane::bench::Session session("extra_apps", argc, argv);
   const auto dev = inplane::gpusim::DeviceSpec::geforce_gtx580();
   inplane::report::Table table({"Prec", "Stencil", "In", "Out", "nvstencil MPt/s",
                                 "in-plane MPt/s", "Optimal Param.", "Speedup"});
-  rows<float>(table, dev);
-  rows<double>(table, dev);
-  inplane::bench::emit(table,
-                       "Extension: wave / seismic-RTM application stencils on "
-                       "GeForce GTX580",
-                       "extra_apps");
-  return 0;
+  rows<float>(session, table, dev);
+  rows<double>(session, table, dev);
+  session.emit(table,
+               "Extension: wave / seismic-RTM application stencils on "
+               "GeForce GTX580");
+  return session.finish();
 }

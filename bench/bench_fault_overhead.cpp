@@ -5,42 +5,34 @@
 // hardened runner (run_kernel_guarded, faults = nullptr) against the
 // plain runner and reports the relative overhead.  Target: < 1%.
 //
-//   $ ./bench_fault_overhead [repeats] [--strict]
+//   $ ./bench_fault_overhead [repeats] [--strict] [--smoke]
 //
 // Exits 0 when the measured overhead is under the target (or always,
 // without --strict, since CI machines are noisy; the table still shows
 // the numbers).
 
-#include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "kernels/runner.hpp"
+#include "report/stats.hpp"
 
 namespace {
 
 using namespace inplane;
-using Clock = std::chrono::steady_clock;
 
-double median_seconds(std::vector<double>& samples) {
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
-}
-
-int run(int repeats, bool strict) {
+int run(bench::Session& session, int repeats, bool strict) {
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
   const StencilCoeffs cs = StencilCoeffs::diffusion(2);
   const kernels::LaunchConfig cfg{32, 8, 1, 2, 4};
   const auto kernel =
       kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice, cs, cfg);
-  const Extent3 extent{256, 256, 64};
+  const Extent3 extent = session.smoke() ? Extent3{128, 64, 8} : Extent3{256, 256, 64};
   Grid3<float> in = kernels::make_grid_for(*kernel, extent);
   in.fill_with_halo([](int i, int j, int k) {
     return static_cast<float>(std::sin(0.1 * i) + 0.05 * j + 0.01 * k);
@@ -60,19 +52,18 @@ int run(int repeats, bool strict) {
   for (int rep = 0; rep < repeats; ++rep) {
     {
       Grid3<float> out = kernels::make_grid_for(*kernel, extent);
-      const auto t0 = Clock::now();
+      const report::Stopwatch watch;
       kernels::run_kernel(*kernel, in, out, dev);
-      plain_s.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+      plain_s.push_back(watch.seconds());
     }
     {
       // Hardened runner, no injector: the configuration the tuner and the
       // CLI run by default — this is the path that must stay free.
       Grid3<float> out = kernels::make_grid_for(*kernel, extent);
-      const auto t0 = Clock::now();
+      const report::Stopwatch watch;
       const kernels::RunReport report =
           kernels::run_kernel_guarded(*kernel, in, out, dev, {});
-      guarded_s.push_back(
-          std::chrono::duration<double>(Clock::now() - t0).count());
+      guarded_s.push_back(watch.seconds());
       if (!report.status.ok()) {
         std::printf("unexpected failure: %s\n", report.status.to_string().c_str());
         return 1;
@@ -85,11 +76,10 @@ int run(int repeats, bool strict) {
       Grid3<float> out = kernels::make_grid_for(*kernel, extent);
       kernels::RunOptions ro;
       ro.faults = &injector;
-      const auto t0 = Clock::now();
+      const report::Stopwatch watch;
       const kernels::RunReport report =
           kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
-      injected_s.push_back(
-          std::chrono::duration<double>(Clock::now() - t0).count());
+      injected_s.push_back(watch.seconds());
       if (!report.status.ok()) {
         std::printf("unexpected failure: %s\n", report.status.to_string().c_str());
         return 1;
@@ -97,9 +87,9 @@ int run(int repeats, bool strict) {
     }
   }
 
-  const double plain = median_seconds(plain_s);
-  const double guarded = median_seconds(guarded_s);
-  const double injected = median_seconds(injected_s);
+  const double plain = report::median(plain_s);
+  const double guarded = report::median(guarded_s);
+  const double injected = report::median(injected_s);
   const double overhead_pct = (guarded / plain - 1.0) * 100.0;
   const double armed_pct = (injected / plain - 1.0) * 100.0;
 
@@ -109,28 +99,35 @@ int run(int repeats, bool strict) {
                  report::fmt(overhead_pct, 2)});
   table.add_row({"run_kernel_guarded, armed idle injector + verify",
                  report::fmt(injected, 4), report::fmt(armed_pct, 2)});
-  bench::emit(table, "fault-injection hook overhead (median of " +
-                         std::to_string(repeats) + " repeats)",
-              "fault_overhead");
+  session.set_config("repeats", std::to_string(repeats));
+  session.emit(table, "fault-injection hook overhead (median of " +
+                          std::to_string(repeats) + " repeats)");
+  session.headline("guarded_overhead_pct", overhead_pct, "%",
+                   /*higher_is_better=*/false, /*noisy=*/true);
+  session.headline("armed_overhead_pct", armed_pct, "%",
+                   /*higher_is_better=*/false, /*noisy=*/true);
 
   const bool under_target = overhead_pct < 1.0;
   std::printf("disabled-path overhead: %.2f%% (target < 1%%): %s\n", overhead_pct,
               under_target ? "PASS" : "FAIL");
+  const int finish = session.finish();
+  if (finish != 0) return finish;
   return (strict && !under_target) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int repeats = 9;
+  inplane::bench::Session session("fault_overhead", argc, argv);
+  int repeats = session.smoke() ? 3 : 9;
   bool strict = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0) {
+  for (const std::string& arg : session.args()) {
+    if (arg == "--strict") {
       strict = true;
     } else {
-      repeats = std::atoi(argv[i]);
+      repeats = std::atoi(arg.c_str());
     }
   }
   if (repeats < 3) repeats = 3;
-  return run(repeats, strict);
+  return run(session, repeats, strict);
 }

@@ -14,10 +14,11 @@
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("fig10_breakdown", argc, argv);
 
   SearchSpace full;
   SearchSpace thread_only;
@@ -30,21 +31,22 @@ int main() {
     double nv_rb = 0, fs = 0, fs_rb = 0;
     int n = 0;
   };
-  for (const auto& dev : gpusim::paper_devices()) {
+  Avg total;
+  for (const auto& dev : session.devices()) {
     Avg avg;
-    for (int order : paper_stencil_orders()) {
+    for (int order : session.orders()) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const auto nv =
           make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
-      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      const double base = time_kernel(*nv, dev, session.grid()).mpoints_per_s;
       const double nv_rb =
-          exhaustive_tune<float>(Method::ForwardPlane, cs, dev, bench::kGrid, full)
+          exhaustive_tune<float>(Method::ForwardPlane, cs, dev, session.grid(), full)
               .best.timing.mpoints_per_s;
       const double fs = exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev,
-                                               bench::kGrid, thread_only)
+                                               session.grid(), thread_only)
                             .best.timing.mpoints_per_s;
       const double fs_rb =
-          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid, full)
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid(), full)
               .best.timing.mpoints_per_s;
       table.add_row({dev.name, std::to_string(order), report::fmt(base, 0),
                      report::fmt(nv_rb / base, 2) + "x", report::fmt(fs / base, 2) + "x",
@@ -53,6 +55,10 @@ int main() {
       avg.fs += fs / base;
       avg.fs_rb += fs_rb / base;
       avg.n += 1;
+      total.nv_rb += nv_rb / base;
+      total.fs += fs / base;
+      total.fs_rb += fs_rb / base;
+      total.n += 1;
     }
     std::printf(
         "%s averages: nvstencil+RB %.0f%%, full-slice %.0f%%, full-slice+RB %.0f%% "
@@ -61,7 +67,11 @@ int main() {
         (avg.fs / avg.n - 1.0) * 100.0, (avg.fs_rb / avg.n - 1.0) * 100.0,
         (avg.fs_rb / avg.fs - 1.0) * 100.0);
   }
-  bench::emit(table, "Fig. 10: Breakdown of contributions to performance gain (SP)",
-              "fig10_breakdown");
-  return 0;
+  if (total.n > 0) {
+    session.headline("nvstencil_rb_speedup_mean", total.nv_rb / total.n, "x");
+    session.headline("fullslice_speedup_mean", total.fs / total.n, "x");
+    session.headline("fullslice_rb_speedup_mean", total.fs_rb / total.n, "x");
+  }
+  session.emit(table, "Fig. 10: Breakdown of contributions to performance gain (SP)");
+  return session.finish();
 }

@@ -19,21 +19,24 @@ using namespace inplane;
 using namespace inplane::apps;
 
 template <typename T>
-void app_rows(report::Table& table, const gpusim::DeviceSpec& dev) {
+void app_rows(bench::Session& session, report::Table& table,
+              const gpusim::DeviceSpec& dev) {
   autotune::SearchSpace space;
+  double speedup_sum = 0.0;
+  int n = 0;
   for (const AppFormula& f : paper_apps()) {
     const AppKernel<T> nv(f, AppMethod::ForwardPlane,
                           kernels::LaunchConfig::nvstencil_default());
-    const double base = time_app_kernel(nv, dev, bench::kGrid).mpoints_per_s;
+    const double base = time_app_kernel(nv, dev, session.grid()).mpoints_per_s;
     double best = 0.0;
     kernels::LaunchConfig best_cfg;
     for (const auto& cfg :
-         space.enumerate(dev, bench::kGrid, kernels::Method::InPlaneFullSlice,
+         space.enumerate(dev, session.grid(), kernels::Method::InPlaneFullSlice,
                          std::max(f.radius(), 1), sizeof(T),
                          autotune::default_vec(kernels::Method::InPlaneFullSlice,
                                                sizeof(T)))) {
       const AppKernel<T> k(f, AppMethod::InPlaneFullSlice, cfg);
-      const auto t = time_app_kernel(k, dev, bench::kGrid);
+      const auto t = time_app_kernel(k, dev, session.grid());
       if (t.valid && t.mpoints_per_s > best) {
         best = t.mpoints_per_s;
         best_cfg = cfg;
@@ -43,20 +46,27 @@ void app_rows(report::Table& table, const gpusim::DeviceSpec& dev) {
                    std::to_string(f.n_inputs()), std::to_string(f.n_outputs()),
                    report::fmt(base, 0), report::fmt(best, 0),
                    best_cfg.to_string(), report::fmt(best / base, 2) + "x"});
+    speedup_sum += best / base;
+    n += 1;
+  }
+  if (n > 0) {
+    session.headline(std::string("app_speedup_mean_") +
+                         (sizeof(T) == 8 ? "dp" : "sp"),
+                     speedup_sum / n, "x");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  inplane::bench::Session session("fig11_applications", argc, argv);
   const auto dev = inplane::gpusim::DeviceSpec::geforce_gtx580();
   inplane::report::Table table({"Prec", "Stencil", "In", "Out", "nvstencil MPt/s",
                                 "in-plane MPt/s", "Optimal Param.", "Speedup"});
-  app_rows<float>(table, dev);
-  app_rows<double>(table, dev);
-  inplane::bench::emit(table,
-                       "Table V + Fig. 11: Application stencils, in-plane vs "
-                       "nvstencil on GeForce GTX580",
-                       "fig11_applications");
-  return 0;
+  app_rows<float>(session, table, dev);
+  app_rows<double>(session, table, dev);
+  session.emit(table,
+               "Table V + Fig. 11: Application stencils, in-plane vs "
+               "nvstencil on GeForce GTX580");
+  return session.finish();
 }

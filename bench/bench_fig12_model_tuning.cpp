@@ -6,33 +6,33 @@
 // exhaustive optimum on average, while executing only a small fraction of
 // the candidate configurations.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "autotune/tuner.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("fig12_model_tuning", argc, argv);
 
   const double beta = 0.05;
-  const std::vector devices = {gpusim::DeviceSpec::geforce_gtx580(),
-                               gpusim::DeviceSpec::geforce_gtx680(),
-                               gpusim::DeviceSpec::tesla_c2050()};
+  session.set_config("beta", "0.05");
 
   report::Table table({"GPU", "Order", "Exhaustive MPt/s", "Model-based MPt/s",
                        "Gap (%)", "Configs run (exh)", "Configs run (model)"});
   double worst_gap = 0.0;
   double sum_gap = 0.0;
   int n = 0;
-  for (const auto& dev : devices) {
-    for (int order : paper_stencil_orders()) {
+  for (const auto& dev : session.devices()) {
+    for (int order : session.orders()) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const TuneResult exh =
-          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid());
       const TuneResult mod = model_guided_tune<float>(Method::InPlaneFullSlice, cs,
-                                                      dev, bench::kGrid, beta);
+                                                      dev, session.grid(), beta);
       const double gap = (1.0 - mod.best.timing.mpoints_per_s /
                                     exh.best.timing.mpoints_per_s) *
                          100.0;
@@ -46,10 +46,11 @@ int main() {
                      std::to_string(mod.executed)});
     }
   }
-  bench::emit(table,
-              "Fig. 12: Model-based auto-tuning vs exhaustive search (beta = 5%, SP)",
-              "fig12_model_tuning");
+  session.emit(table,
+               "Fig. 12: Model-based auto-tuning vs exhaustive search (beta = 5%, SP)");
   std::printf("average gap %.2f%%, worst gap %.2f%% (paper: ~2%% avg, ~6%% worst)\n",
               sum_gap / n, worst_gap);
-  return 0;
+  session.headline("model_gap_mean", sum_gap / n, "%", /*higher_is_better=*/false);
+  session.headline("model_gap_worst", worst_gap, "%", /*higher_is_better=*/false);
+  return session.finish();
 }

@@ -6,16 +6,18 @@
 // peaking at low order); horizontal close behind; vertical competitive at
 // low order but collapsing below 1.0x for the 10th/12th order stencils.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "autotune/tuner.hpp"
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("fig7_variants", argc, argv);
 
   SearchSpace thread_blocking_only;
   thread_blocking_only.rx_values = {1};
@@ -23,23 +25,29 @@ int main() {
 
   report::Table table({"GPU", "Order", "nvstencil MPt/s", "vertical", "horizontal",
                        "full-slice"});
-  for (const auto& dev : gpusim::paper_devices()) {
+  double fullslice_sum = 0.0;
+  double fullslice_min = 0.0;
+  int fullslice_n = 0;
+  for (const auto& dev : session.devices()) {
     std::vector<report::Bar> bars;
-    for (int order : paper_stencil_orders()) {
+    for (int order : session.orders()) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const auto nv =
           make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
-      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      const double base = time_kernel(*nv, dev, session.grid()).mpoints_per_s;
       std::vector<std::string> row{dev.name, std::to_string(order),
                                    report::fmt(base, 0)};
       for (Method m : {Method::InPlaneVertical, Method::InPlaneHorizontal,
                        Method::InPlaneFullSlice}) {
         const TuneResult t =
-            exhaustive_tune<float>(m, cs, dev, bench::kGrid, thread_blocking_only);
+            exhaustive_tune<float>(m, cs, dev, session.grid(), thread_blocking_only);
         const double speedup = t.best.timing.mpoints_per_s / base;
         row.push_back(report::fmt(speedup, 2) + "x");
         if (m == Method::InPlaneFullSlice) {
           bars.push_back({"o" + std::to_string(order), speedup});
+          fullslice_sum += speedup;
+          fullslice_min = fullslice_n == 0 ? speedup : std::min(fullslice_min, speedup);
+          fullslice_n += 1;
         }
       }
       table.add_row(std::move(row));
@@ -51,9 +59,12 @@ int main() {
         stdout);
     std::fputs("\n", stdout);
   }
-  bench::emit(table,
-              "Fig. 7: Speedup of in-plane variants over nvstencil (thread "
-              "blocking only, SP)",
-              "fig7_variants");
-  return 0;
+  if (fullslice_n > 0) {
+    session.headline("fullslice_speedup_mean", fullslice_sum / fullslice_n, "x");
+    session.headline("fullslice_speedup_min", fullslice_min, "x");
+  }
+  session.emit(table,
+               "Fig. 7: Speedup of in-plane variants over nvstencil (thread "
+               "blocking only, SP)");
+  return session.finish();
 }

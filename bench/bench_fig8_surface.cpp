@@ -9,21 +9,26 @@
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("fig8_surface", argc, argv);
 
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
   const std::vector<int> rx_values = {1, 2, 4};
   const std::vector<int> ry_values = {1, 2, 4, 8};
+  const std::vector<int> surface_orders = session.smoke() ? std::vector<int>{2}
+                                                          : std::vector<int>{2, 8};
 
-  for (int order : {2, 8}) {
+  for (int order : surface_orders) {
     const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
     // Find the overall optimum first; its (TX, TY) anchors the surface.
     const TuneResult best =
-        exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+        exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid());
     const LaunchConfig opt = best.best.config;
+    session.headline("best_mpoints_o" + std::to_string(order),
+                     best.best.timing.mpoints_per_s, "mpoints/s");
 
     std::vector<std::string> x_labels;
     for (int rx : rx_values) x_labels.push_back("RX=" + std::to_string(rx));
@@ -38,7 +43,7 @@ int main() {
         cfg.rx = rx;
         cfg.ry = ry;
         const auto kernel = make_kernel<float>(Method::InPlaneFullSlice, cs, cfg);
-        const auto t = time_kernel(*kernel, dev, bench::kGrid);
+        const auto t = time_kernel(*kernel, dev, session.grid());
         const double v = t.valid ? t.mpoints_per_s : 0.0;
         zrow.push_back(v);
         csv.add_row({std::to_string(order), std::to_string(cfg.tx),
@@ -56,9 +61,9 @@ int main() {
                stdout);
     std::printf("best: %s at %.1f MPoint/s\n\n", best.best.config.to_string().c_str(),
                 best.best.timing.mpoints_per_s);
-    report::write_file(std::string(bench::kResultsDir) + "/fig8_surface_o" +
+    report::write_file(session.results_dir() + "/fig8_surface_o" +
                            std::to_string(order) + ".csv",
                        csv.to_csv());
   }
-  return 0;
+  return session.finish();
 }

@@ -10,34 +10,44 @@
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("fig9_load_efficiency", argc, argv);
 
   report::Table table({"GPU", "Order", "nvstencil eff (%)", "full-slice eff (%)"});
-  for (const auto& dev : gpusim::paper_devices()) {
+  double nv_sum = 0.0;
+  double fs_sum = 0.0;
+  int n = 0;
+  for (const auto& dev : session.devices()) {
     std::vector<report::Bar> bars;
-    for (int order : paper_stencil_orders()) {
+    for (int order : session.orders()) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const auto nv =
           make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
       const double nv_eff =
-          time_kernel(*nv, dev, bench::kGrid).load_efficiency * 100.0;
+          time_kernel(*nv, dev, session.grid()).load_efficiency * 100.0;
       const TuneResult t =
-          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid());
       const double fs_eff = t.best.timing.load_efficiency * 100.0;
       table.add_row({dev.name, std::to_string(order), report::fmt(nv_eff, 1),
                      report::fmt(fs_eff, 1)});
       bars.push_back({"o" + std::to_string(order) + " nv", nv_eff});
       bars.push_back({"o" + std::to_string(order) + " fs", fs_eff});
+      nv_sum += nv_eff;
+      fs_sum += fs_eff;
+      n += 1;
     }
     std::fputs(report::bar_chart("load efficiency (%) on " + dev.name, bars, 40, "%")
                    .c_str(),
                stdout);
     std::fputs("\n", stdout);
   }
-  bench::emit(table, "Fig. 9: Global memory load efficiency (SP)",
-              "fig9_load_efficiency");
-  return 0;
+  if (n > 0) {
+    session.headline("load_efficiency_mean_nvstencil", nv_sum / n, "%");
+    session.headline("load_efficiency_mean_fullslice", fs_sum / n, "%");
+  }
+  session.emit(table, "Fig. 9: Global memory load efficiency (SP)");
+  return session.finish();
 }

@@ -16,16 +16,16 @@ using namespace inplane::kernels;
 using namespace inplane::autotune;
 
 template <typename T>
-int sweep(report::Table& table, const gpusim::DeviceSpec& dev,
-          const std::vector<int>& orders) {
+int sweep(bench::Session& session, report::Table& table,
+          const gpusim::DeviceSpec& dev, const std::vector<int>& orders) {
   int last_winning_order = 0;
   for (int order : orders) {
     const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
     const auto nv =
         make_kernel<T>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
-    const auto base = time_kernel(*nv, dev, bench::kGrid);
+    const auto base = time_kernel(*nv, dev, session.grid());
     const TuneResult t =
-        exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+        exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, session.grid());
     if (!base.valid || !t.found()) continue;
     const double speedup = t.best.timing.mpoints_per_s / base.mpoints_per_s;
     if (speedup > 1.0) last_winning_order = order;
@@ -39,19 +39,25 @@ int sweep(report::Table& table, const gpusim::DeviceSpec& dev,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  inplane::bench::Session session("highorder_extension", argc, argv);
   const auto dev = inplane::gpusim::DeviceSpec::tesla_c2070();
   inplane::report::Table table(
       {"Prec", "Order", "nvstencil MPt/s", "full-slice MPt/s", "Speedup"});
-  const std::vector<int> sp_orders = {2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
-  const std::vector<int> dp_orders = {2, 4, 8, 12, 16, 20, 24};
-  const int sp_last = sweep<float>(table, dev, sp_orders);
-  const int dp_last = sweep<double>(table, dev, dp_orders);
-  inplane::bench::emit(table,
-                       "High-order extension on Tesla C2070 (section IV-C claim: "
-                       "SP wins to order 32, DP to order 16)",
-                       "highorder_extension");
+  const std::vector<int> sp_orders =
+      session.smoke() ? std::vector<int>{2, 4, 8}
+                      : std::vector<int>{2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
+  const std::vector<int> dp_orders =
+      session.smoke() ? std::vector<int>{2, 4}
+                      : std::vector<int>{2, 4, 8, 12, 16, 20, 24};
+  const int sp_last = sweep<float>(session, table, dev, sp_orders);
+  const int dp_last = sweep<double>(session, table, dev, dp_orders);
+  session.emit(table,
+               "High-order extension on Tesla C2070 (section IV-C claim: "
+               "SP wins to order 32, DP to order 16)");
   std::printf("full-slice still ahead at order %d (SP) and %d (DP)\n", sp_last,
               dp_last);
-  return 0;
+  session.headline("last_winning_order_sp", sp_last, "order");
+  session.headline("last_winning_order_dp", dp_last, "order");
+  return session.finish();
 }

@@ -1,0 +1,105 @@
+// Metrics-collection overhead: wall-clock cost of the instrumentation
+// sites when collection is switched off.  Every record site is guarded by
+// one relaxed atomic load and a predicted-not-taken branch; the enabled
+// path does strictly more work (the same guard, taken, plus the relaxed
+// adds and the per-launch flush), so pinning the *enabled* overhead under
+// the 1% target bounds the disabled-path cost from above.
+//
+// The workload is the Fig. 7 variant sweep (exhaustive tuning of the
+// three in-plane variants, thread blocking only) — the layer with the
+// densest instrumentation (runner flush + tuner + timing model).
+//
+//   $ ./bench_metrics_overhead [repeats] [--strict] [--smoke]
+//
+// Exits 0 when the measured overhead is under the target (or always,
+// without --strict, since CI machines are noisy; the table still shows
+// the numbers).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+#include "report/stats.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+using namespace inplane::autotune;
+
+double sweep_once(const bench::Session& session, const gpusim::DeviceSpec& dev,
+                  const SearchSpace& space) {
+  const report::Stopwatch watch;
+  for (int order : session.orders()) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
+    for (Method m : {Method::InPlaneVertical, Method::InPlaneHorizontal,
+                     Method::InPlaneFullSlice}) {
+      const TuneResult t = exhaustive_tune<float>(m, cs, dev, session.grid(), space);
+      if (!t.found()) std::fprintf(stderr, "warning: no valid config\n");
+    }
+  }
+  return watch.seconds();
+}
+
+int run(bench::Session& session, int repeats, bool strict) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  SearchSpace thread_blocking_only;
+  thread_blocking_only.rx_values = {1};
+  thread_blocking_only.ry_values = {1};
+
+  // Warm-up (also primes the lazily constructed instrument references).
+  metrics::set_enabled(true);
+  sweep_once(session, dev, thread_blocking_only);
+
+  std::vector<double> off_s;
+  std::vector<double> on_s;
+  for (int rep = 0; rep < repeats; ++rep) {
+    metrics::set_enabled(false);
+    off_s.push_back(sweep_once(session, dev, thread_blocking_only));
+    metrics::set_enabled(true);
+    on_s.push_back(sweep_once(session, dev, thread_blocking_only));
+  }
+
+  const double off = report::median(off_s);
+  const double on = report::median(on_s);
+  const double overhead_pct = (on / off - 1.0) * 100.0;
+
+  report::Table table({"Configuration", "Median wall [s]", "vs disabled [%]"});
+  table.add_row({"metrics disabled", report::fmt(off, 4), "0.00"});
+  table.add_row({"metrics enabled", report::fmt(on, 4),
+                 report::fmt(overhead_pct, 2)});
+  session.set_config("repeats", std::to_string(repeats));
+  session.emit(table, "metrics-collection overhead on the Fig. 7 variant sweep "
+                      "(median of " + std::to_string(repeats) + " repeats)");
+  session.headline("metrics_overhead_pct", overhead_pct, "%",
+                   /*higher_is_better=*/false, /*noisy=*/true);
+
+  const bool under_target = overhead_pct < 1.0;
+  std::printf("metrics-enabled overhead: %.2f%% (target < 1%%, bounds the "
+              "disabled path): %s\n",
+              overhead_pct, under_target ? "PASS" : "FAIL");
+  const int finish = session.finish();
+  if (finish != 0) return finish;
+  return (strict && !under_target) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inplane::bench::Session session("metrics_overhead", argc, argv);
+  int repeats = session.smoke() ? 3 : 9;
+  bool strict = false;
+  for (const std::string& arg : session.args()) {
+    if (arg == "--strict") {
+      strict = true;
+    } else {
+      repeats = std::atoi(arg.c_str());
+    }
+  }
+  if (repeats < 3) repeats = 3;
+  return run(session, repeats, strict);
+}

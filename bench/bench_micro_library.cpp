@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/reference.hpp"
 #include "gpusim/coalescer.hpp"
 #include "kernels/runner.hpp"
@@ -102,4 +106,22 @@ BENCHMARK(BM_PerfModelEvaluate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the Session strips the common
+// bench flags (--smoke, --results-dir) before google-benchmark sees the
+// command line, and still emits the BENCH json.  Smoke mode narrows the
+// run to one cheap micro-benchmark so the bench-smoke tier stays fast.
+int main(int argc, char** argv) {
+  inplane::bench::Session session("micro_library", argc, argv);
+  std::vector<std::string> pass{argv[0]};
+  for (const std::string& a : session.args()) pass.push_back(a);
+  if (session.smoke()) pass.emplace_back("--benchmark_filter=BM_Coalescer");
+  std::vector<char*> cargv;
+  cargv.reserve(pass.size());
+  for (std::string& s : pass) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return session.finish();
+}

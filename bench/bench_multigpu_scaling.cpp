@@ -12,24 +12,31 @@
 #include "bench_common.hpp"
 #include "multigpu/multi_gpu.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
+  bench::Session session("multigpu_scaling", argc, argv);
 
   report::Table table({"GPU", "Order", "Devices", "MPt/s", "Exchange ms/sweep",
                        "Speedup", "Efficiency"});
+  const std::vector<int> orders =
+      session.smoke() ? std::vector<int>{2} : std::vector<int>{2, 8};
+  const std::vector<int> device_counts =
+      session.smoke() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  double eff_sum = 0.0;
+  int eff_n = 0;
   for (const auto& dev :
        {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::tesla_c2070()}) {
-    for (int order : {2, 8}) {
+    for (int order : orders) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const autotune::TuneResult tuned = autotune::exhaustive_tune<float>(
-          Method::InPlaneFullSlice, cs, dev, bench::kGrid);
-      for (int n : {1, 2, 4, 8}) {
+          Method::InPlaneFullSlice, cs, dev, session.grid());
+      for (int n : device_counts) {
         multigpu::MultiGpuOptions opt;
         opt.n_devices = n;
         const multigpu::MultiGpuStencil<float> mg(Method::InPlaneFullSlice, cs,
                                                   tuned.best.config, opt);
-        const auto t = mg.estimate(dev, bench::kGrid);
+        const auto t = mg.estimate(dev, session.grid());
         if (!t.valid) {
           table.add_row({dev.name, std::to_string(order), std::to_string(n),
                          "invalid: " + t.invalid_reason, "-", "-", "-"});
@@ -40,11 +47,17 @@ int main() {
                        report::fmt(t.exchange_seconds * 1e3, 3),
                        report::fmt(t.scaling_speedup, 2) + "x",
                        report::fmt(t.parallel_efficiency * 100.0, 0) + "%"});
+        if (n > 1) {
+          eff_sum += t.parallel_efficiency * 100.0;
+          eff_n += 1;
+        }
       }
     }
   }
-  inplane::bench::emit(table,
-                       "Extension: multi-GPU z-slab scaling, tuned full-slice (SP)",
-                       "multigpu_scaling");
-  return 0;
+  if (eff_n > 0) {
+    session.headline("parallel_efficiency_mean", eff_sum / eff_n, "%");
+  }
+  session.emit(table,
+               "Extension: multi-GPU z-slab scaling, tuned full-slice (SP)");
+  return session.finish();
 }

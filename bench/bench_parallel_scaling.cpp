@@ -4,9 +4,9 @@
 // best config and the aggregated TraceStats must be bit-identical at
 // every thread count).
 //
-//   $ ./bench_parallel_scaling [max_threads]
+//   $ ./bench_parallel_scaling [max_threads] [--smoke]
 
-#include <chrono>
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -17,15 +17,11 @@
 #include "autotune/tuner.hpp"
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
+#include "report/stats.hpp"
 
 namespace {
 
 using namespace inplane;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 std::vector<int> thread_counts(int max_threads) {
   std::vector<int> counts;
@@ -34,7 +30,7 @@ std::vector<int> thread_counts(int max_threads) {
   return counts;
 }
 
-int run(int max_threads) {
+int run(bench::Session& session, int max_threads) {
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
   const StencilCoeffs cs = StencilCoeffs::diffusion(2);
 
@@ -42,13 +38,14 @@ int run(int max_threads) {
   report::Table tune({"Threads", "Tune wall [s]", "Speedup", "Executed", "Best",
                       "Best MPt/s"});
   double tune_serial_s = 0.0;
+  double tune_best_speedup = 1.0;
   autotune::TuneResult reference;
   bool deterministic = true;
   for (int t : thread_counts(max_threads)) {
-    const auto t0 = Clock::now();
+    const report::Stopwatch watch;
     const autotune::TuneResult r = autotune::exhaustive_tune<float>(
-        kernels::Method::InPlaneFullSlice, cs, dev, bench::kGrid, {}, ExecPolicy{t});
-    const double wall = seconds_since(t0);
+        kernels::Method::InPlaneFullSlice, cs, dev, session.grid(), {}, ExecPolicy{t});
+    const double wall = watch.seconds();
     if (t == 1) {
       tune_serial_s = wall;
       reference = r;
@@ -57,19 +54,20 @@ int run(int max_threads) {
                r.executed != reference.executed) {
       deterministic = false;
     }
+    tune_best_speedup = std::max(tune_best_speedup, tune_serial_s / wall);
     tune.add_row({std::to_string(t), report::fmt(wall, 3),
                   report::fmt(tune_serial_s / wall, 2), std::to_string(r.executed),
                   r.best.config.to_string(),
                   report::fmt(r.best.timing.mpoints_per_s, 1)});
   }
-  bench::emit(tune, "exhaustive tune wall-clock vs ExecPolicy threads",
-              "parallel_scaling_tune");
+  session.emit(tune, "exhaustive tune wall-clock vs ExecPolicy threads",
+               "parallel_scaling_tune");
 
   // --- functional run_kernel sweep (one full grid sweep, ExecMode::Both). --
   const kernels::LaunchConfig cfg{32, 8, 1, 2, 4};
   const auto kernel =
       kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice, cs, cfg);
-  const Extent3 extent{256, 256, 64};
+  const Extent3 extent = session.smoke() ? Extent3{128, 64, 8} : Extent3{256, 256, 64};
   Grid3<float> in = kernels::make_grid_for(*kernel, extent);
   in.fill_with_halo([](int i, int j, int k) {
     return static_cast<float>(std::sin(0.1 * i) + 0.05 * j + 0.01 * k);
@@ -80,10 +78,10 @@ int run(int max_threads) {
   gpusim::TraceStats ref_stats;
   for (int t : thread_counts(max_threads)) {
     Grid3<float> out = kernels::make_grid_for(*kernel, extent);
-    const auto t0 = Clock::now();
+    const report::Stopwatch watch;
     const gpusim::TraceStats stats = kernels::run_kernel(
         *kernel, in, out, dev, gpusim::ExecMode::Both, ExecPolicy{t});
-    const double wall = seconds_since(t0);
+    const double wall = watch.seconds();
     if (t == 1) {
       run_serial_s = wall;
       ref_stats = stats;
@@ -96,21 +94,30 @@ int run(int max_threads) {
                   report::fmt(run_serial_s / wall, 2),
                   std::to_string(stats.load_instrs)});
   }
-  bench::emit(runk, "run_kernel wall-clock vs ExecPolicy threads",
-              "parallel_scaling_run_kernel");
+  session.emit(runk, "run_kernel wall-clock vs ExecPolicy threads",
+               "parallel_scaling_run_kernel");
 
   std::printf("determinism cross-check: %s\n",
               deterministic ? "identical results at every thread count"
                             : "MISMATCH between thread counts");
-  return deterministic ? 0 : 1;
+  session.set_config("max_threads", std::to_string(max_threads));
+  session.headline("deterministic", deterministic ? 1.0 : 0.0, "bool");
+  session.headline("tune_speedup_best", tune_best_speedup, "x",
+                   /*higher_is_better=*/true, /*noisy=*/true);
+  const int finish = session.finish();
+  return deterministic ? finish : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  inplane::bench::Session session("parallel_scaling", argc, argv);
   const unsigned hw = std::thread::hardware_concurrency();
-  int max_threads = argc > 1 ? std::atoi(argv[1]) : static_cast<int>(hw ? hw : 4);
+  int max_threads = !session.args().empty() ? std::atoi(session.args()[0].c_str())
+                                            : static_cast<int>(hw ? hw : 4);
   if (max_threads < 1) max_threads = 1;
-  if (max_threads < 4) max_threads = 4;  // acceptance point: 4 threads vs 1
-  return run(max_threads);
+  if (max_threads < 4 && !session.smoke()) {
+    max_threads = 4;  // acceptance point: 4 threads vs 1
+  }
+  return run(session, max_threads);
 }

@@ -9,6 +9,7 @@
 //   Physis [26]: 67 GFlop/s SP 7-point on Tesla M2050
 //   Holewinski [27]: 28.7 GFlop/s DP 7-point Jacobi on GTX580
 
+#include <algorithm>
 #include <cstdio>
 
 #include "apps/app_kernel.hpp"
@@ -16,10 +17,11 @@
 #include "bench_common.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("prior_work", argc, argv);
 
   const auto gtx580 = gpusim::DeviceSpec::geforce_gtx580();
   const auto c2070 = gpusim::DeviceSpec::tesla_c2070();
@@ -27,10 +29,10 @@ int main() {
   // Our tuned 2nd order results.
   const StencilCoeffs o2 = StencilCoeffs::diffusion(1);
   const double sp_o2 =
-      exhaustive_tune<float>(Method::InPlaneFullSlice, o2, gtx580, bench::kGrid)
+      exhaustive_tune<float>(Method::InPlaneFullSlice, o2, gtx580, session.grid())
           .best.timing.mpoints_per_s;
   const double dp_o2 =
-      exhaustive_tune<double>(Method::InPlaneFullSlice, o2, gtx580, bench::kGrid)
+      exhaustive_tune<double>(Method::InPlaneFullSlice, o2, gtx580, session.grid())
           .best.timing.mpoints_per_s;
   // GFlop/s under the paper's counting: the 7-point Laplacian / 2nd order
   // Jacobi stencil performs 7r+1 = 8 flops per point.
@@ -38,10 +40,10 @@ int main() {
     double best_mpts = 0.0;
     autotune::SearchSpace space;
     for (const auto& cfg :
-         space.enumerate(c2070, bench::kGrid, Method::InPlaneFullSlice, 1, 4, 4)) {
+         space.enumerate(c2070, session.grid(), Method::InPlaneFullSlice, 1, 4, 4)) {
       const apps::AppKernel<float> k(apps::laplacian(), apps::AppMethod::InPlaneFullSlice,
                                      cfg);
-      const auto t = apps::time_app_kernel(k, c2070, bench::kGrid);
+      const auto t = apps::time_app_kernel(k, c2070, session.grid());
       if (t.valid) best_mpts = std::max(best_mpts, t.mpoints_per_s);
     }
     return best_mpts * 1e6 * 8.0 / 1e9;
@@ -69,9 +71,11 @@ int main() {
   table.add_row({"Holewinski [27] DP 7-pt Jacobi (GTX580)", "28.7 GFlop/s",
                  "same card", report::fmt(dp_o2_gflops, 1) + " GFlop/s",
                  report::fmt((dp_o2_gflops / 28.7 - 1.0) * 100.0, 0) + "%"});
-  inplane::bench::emit(table, "Section V-B: comparison with previous work",
-                       "prior_work");
+  session.emit(table, "Section V-B: comparison with previous work");
   std::printf("paper's own figures: SP ~39%% above [14], DP ~16%% above [14], 96 "
               "GFlop/s vs 30 for [17], ~65 GFlop/s vs 28.7 for [27]\n");
-  return 0;
+  session.headline("sp_o2_mpoints", sp_o2, "mpoints/s");
+  session.headline("dp_o2_mpoints", dp_o2, "mpoints/s");
+  session.headline("sp_laplacian_gflops_c2070", sp_lap_c2070, "gflops");
+  return session.finish();
 }

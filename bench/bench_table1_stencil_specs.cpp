@@ -5,17 +5,27 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
+  bench::Session session("table1_stencil_specs", argc, argv);
   report::Table table({"Stencil Order", "Extent", "Memory Accesses/Elem.",
                        "Flops/Elem."});
-  for (int order : paper_stencil_orders()) {
+  int max_order = 0;
+  for (int order : session.orders()) {
     const StencilSpec spec{order};
     table.add_row({std::to_string(order), spec.extent_string(),
                    std::to_string(spec.memory_refs()),
                    std::to_string(spec.flops_forward())});
+    max_order = order;
   }
-  bench::emit(table, "Table I: List of stencil kernels and their specifications",
-              "table1_stencil_specs");
-  return 0;
+  session.set_config("orders", std::to_string(session.orders().size()));
+  const StencilSpec top{max_order};
+  session.headline("memory_refs_per_elem_top_order",
+                   static_cast<double>(top.memory_refs()), "refs",
+                   /*higher_is_better=*/false);
+  session.headline("flops_per_elem_top_order",
+                   static_cast<double>(top.flops_forward()), "flops",
+                   /*higher_is_better=*/false);
+  session.emit(table, "Table I: List of stencil kernels and their specifications");
+  return session.finish();
 }

@@ -9,9 +9,10 @@
 #include "core/coefficients.hpp"
 #include "kernels/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
+  bench::Session session("table2_inplane_ops", argc, argv);
 
   report::Table table(
       {"Stencil Order", "Data Refs.", "Flops (in-plane)", "Flops (nvstencil)",
@@ -20,23 +21,30 @@ int main() {
   const LaunchConfig cfg{32, 4, 1, 1, 4};
   const double elems = 32.0 * 4.0;  // points per plane per block
 
-  for (int order : paper_stencil_orders()) {
+  double last_inp = 0.0;
+  double last_fwd = 0.0;
+  for (int order : session.orders()) {
     const StencilSpec spec{order};
     const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
     const auto inplane_k = make_kernel<float>(Method::InPlaneFullSlice, cs, cfg);
     const auto forward_k =
         make_kernel<float>(Method::ForwardPlane, cs, LaunchConfig{32, 4, 1, 1, 1});
     const double f_inp =
-        static_cast<double>(inplane_k->trace_plane(dev, bench::kGrid).flops) / elems;
+        static_cast<double>(inplane_k->trace_plane(dev, session.grid()).flops) / elems;
     const double f_fwd =
-        static_cast<double>(forward_k->trace_plane(dev, bench::kGrid).flops) / elems;
+        static_cast<double>(forward_k->trace_plane(dev, session.grid()).flops) / elems;
     table.add_row({std::to_string(order), std::to_string(spec.memory_refs()),
                    std::to_string(spec.flops_inplane()),
                    std::to_string(spec.flops_forward()), report::fmt(f_inp, 0),
                    report::fmt(f_fwd, 0)});
+    last_inp = f_inp;
+    last_fwd = f_fwd;
   }
-  bench::emit(table,
-              "Table II: Operations per grid point, in-plane method vs nvstencil",
-              "table2_inplane_ops");
-  return 0;
+  session.headline("sim_flops_per_elem_inplane_top_order", last_inp, "flops",
+                   /*higher_is_better=*/false);
+  session.headline("sim_flops_per_elem_forward_top_order", last_fwd, "flops",
+                   /*higher_is_better=*/false);
+  session.emit(table,
+               "Table II: Operations per grid point, in-plane method vs nvstencil");
+  return session.finish();
 }

@@ -20,35 +20,44 @@ using namespace inplane::kernels;
 using namespace inplane::autotune;
 
 template <typename T>
-void precision_rows(report::Table& table) {
-  for (const auto& dev : gpusim::paper_devices()) {
-    for (int order : paper_stencil_orders()) {
+void precision_rows(bench::Session& session, report::Table& table) {
+  double speedup_sum = 0.0;
+  int n = 0;
+  for (const auto& dev : session.devices()) {
+    for (int order : session.orders()) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const auto nv =
           make_kernel<T>(Method::ForwardPlane, cs, LaunchConfig::nvstencil_default());
-      const double base = time_kernel(*nv, dev, bench::kGrid).mpoints_per_s;
+      const double base = time_kernel(*nv, dev, session.grid()).mpoints_per_s;
       const TuneResult t =
-          exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+          exhaustive_tune<T>(Method::InPlaneFullSlice, cs, dev, session.grid());
       table.add_row({bench::precision_name<T>(), std::to_string(order), dev.name,
                      t.best.config.to_string(),
                      report::fmt(t.best.timing.mpoints_per_s, 1),
                      report::fmt(t.best.timing.mpoints_per_s / base, 2),
                      t.best.timing.bottleneck,
                      std::to_string(t.best.timing.occupancy.active_blocks)});
+      speedup_sum += t.best.timing.mpoints_per_s / base;
+      n += 1;
     }
+  }
+  if (n > 0) {
+    session.headline(std::string("speedup_mean_") +
+                         (sizeof(T) == 8 ? "dp" : "sp"),
+                     speedup_sum / n, "x");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("table4_autotune", argc, argv);
   report::Table table({"Prec", "Order", "GPU", "Optimal Param.", "MPoint/s",
                        "Speedup", "Bottleneck", "ActBlks"});
-  precision_rows<float>(table);
-  precision_rows<double>(table);
-  inplane::bench::emit(table,
-                       "Table IV: Auto-tuning results, in-plane full-slice with "
-                       "thread + register blocking",
-                       "table4_autotune");
-  return 0;
+  precision_rows<float>(session, table);
+  precision_rows<double>(session, table);
+  session.emit(table,
+               "Table IV: Auto-tuning results, in-plane full-slice with "
+               "thread + register blocking");
+  return session.finish();
 }

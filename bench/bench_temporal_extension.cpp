@@ -9,6 +9,7 @@
 // tiles (low orders); the advantage shrinks or inverts as the ring eats
 // shared memory and the redundant ghost-zone compute grows with r.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "autotune/tuner.hpp"
@@ -23,14 +24,15 @@ using namespace inplane::kernels;
 
 /// Tunes the temporal kernel over the paper's search space; returns
 /// point-updates per second (2x grid points per sweep).
-double tune_temporal(const gpusim::DeviceSpec& dev, const StencilCoeffs& cs) {
+double tune_temporal(const bench::Session& session, const gpusim::DeviceSpec& dev,
+                     const StencilCoeffs& cs) {
   autotune::SearchSpace space;
   double best = 0.0;
-  for (const auto& cfg : space.enumerate(dev, bench::kGrid,
+  for (const auto& cfg : space.enumerate(dev, session.grid(),
                                          Method::InPlaneFullSlice, cs.radius(),
                                          sizeof(float), 4)) {
     const temporal::TemporalInPlaneKernel<float> k(cs, cfg);
-    const auto t = temporal::time_temporal_kernel(k, dev, bench::kGrid);
+    const auto t = temporal::time_temporal_kernel(k, dev, session.grid());
     if (t.valid) best = std::max(best, t.mpoints_per_s * 2.0);
   }
   return best;
@@ -38,16 +40,21 @@ double tune_temporal(const gpusim::DeviceSpec& dev, const StencilCoeffs& cs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("temporal_extension", argc, argv);
   report::Table table({"GPU", "Order", "single-step MUpdates/s",
                        "temporal (t=2) MUpdates/s", "temporal gain"});
-  for (const auto& dev : gpusim::paper_devices()) {
-    for (int order : {2, 4, 6, 8}) {
+  const std::vector<int> orders =
+      session.smoke() ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 6, 8};
+  double gain_sum = 0.0;
+  int gain_n = 0;
+  for (const auto& dev : session.devices()) {
+    for (int order : orders) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const autotune::TuneResult single = autotune::exhaustive_tune<float>(
-          Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+          Method::InPlaneFullSlice, cs, dev, session.grid());
       const double single_updates = single.best.timing.mpoints_per_s;
-      const double temporal_updates = tune_temporal(dev, cs);
+      const double temporal_updates = tune_temporal(session, dev, cs);
       if (temporal_updates == 0.0) {
         table.add_row({dev.name, std::to_string(order),
                        report::fmt(single_updates, 0), "no valid config", "-"});
@@ -56,11 +63,15 @@ int main() {
       table.add_row({dev.name, std::to_string(order), report::fmt(single_updates, 0),
                      report::fmt(temporal_updates, 0),
                      report::fmt(temporal_updates / single_updates, 2) + "x"});
+      gain_sum += temporal_updates / single_updates;
+      gain_n += 1;
     }
   }
-  inplane::bench::emit(table,
-                       "Extension: 2-step temporal blocking vs single-step "
-                       "in-plane full-slice (SP)",
-                       "temporal_extension");
-  return 0;
+  if (gain_n > 0) {
+    session.headline("temporal_gain_mean", gain_sum / gain_n, "x");
+  }
+  session.emit(table,
+               "Extension: 2-step temporal blocking vs single-step "
+               "in-plane full-slice (SP)");
+  return session.finish();
 }

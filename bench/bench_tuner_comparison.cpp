@@ -9,25 +9,31 @@
 #include "autotune/stochastic.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace inplane;
   using namespace inplane::kernels;
   using namespace inplane::autotune;
+  bench::Session session("tuner_comparison", argc, argv);
 
   report::Table table({"GPU", "Order", "Strategy", "Configs run", "Best MPt/s",
                        "vs exhaustive"});
+  const std::vector<int> orders =
+      session.smoke() ? std::vector<int>{2} : std::vector<int>{2, 6, 12};
+  double model_quality_sum = 0.0;
+  double stochastic_quality_sum = 0.0;
+  int n = 0;
   for (const auto& dev :
        {gpusim::DeviceSpec::geforce_gtx580(), gpusim::DeviceSpec::geforce_gtx680()}) {
-    for (int order : {2, 6, 12}) {
+    for (int order : orders) {
       const StencilCoeffs cs = StencilCoeffs::diffusion(order / 2);
       const TuneResult exh =
-          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, bench::kGrid);
+          exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, session.grid());
       const TuneResult mod = model_guided_tune<float>(Method::InPlaneFullSlice, cs,
-                                                      dev, bench::kGrid, 0.05);
+                                                      dev, session.grid(), 0.05);
       StochasticOptions opt;
       opt.max_evaluations = static_cast<int>(mod.executed);  // equal budget
       const TuneResult sto = stochastic_tune<float>(Method::InPlaneFullSlice, cs, dev,
-                                                    bench::kGrid, opt);
+                                                    session.grid(), opt);
       const double best = exh.best.timing.mpoints_per_s;
       auto row = [&](const char* name, const TuneResult& t) {
         table.add_row({dev.name, std::to_string(order), name,
@@ -39,9 +45,15 @@ int main() {
       row("exhaustive", exh);
       row("model-guided (5%)", mod);
       row("stochastic", sto);
+      model_quality_sum += mod.best.timing.mpoints_per_s / best * 100.0;
+      stochastic_quality_sum += sto.best.timing.mpoints_per_s / best * 100.0;
+      n += 1;
     }
   }
-  inplane::bench::emit(table, "Extension: tuning-strategy comparison (SP, full-slice)",
-                       "tuner_comparison");
-  return 0;
+  if (n > 0) {
+    session.headline("model_quality_mean", model_quality_sum / n, "%");
+    session.headline("stochastic_quality_mean", stochastic_quality_sum / n, "%");
+  }
+  session.emit(table, "Extension: tuning-strategy comparison (SP, full-slice)");
+  return session.finish();
 }

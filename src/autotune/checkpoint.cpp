@@ -10,10 +10,30 @@
 
 #include "core/crc32.hpp"
 #include "core/status.hpp"
+#include "metrics/metrics.hpp"
 
 namespace inplane::autotune {
 
 namespace {
+
+/// Checkpoint-I/O instruments (scope "autotune.checkpoint").
+struct CkptMetrics {
+  metrics::Counter& records_written;
+  metrics::Counter& bytes_written;
+  metrics::Counter& records_recovered;
+  metrics::Counter& journals_opened;
+
+  static CkptMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static CkptMetrics m{
+        reg.counter("autotune.checkpoint.records_written"),
+        reg.counter("autotune.checkpoint.bytes_written"),
+        reg.counter("autotune.checkpoint.records_recovered"),
+        reg.counter("autotune.checkpoint.journals_opened"),
+    };
+    return m;
+  }
+};
 
 constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '1', '\n'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
@@ -280,6 +300,8 @@ void CheckpointJournal::open(const std::string& path, const CheckpointKey& key) 
   file_ = out;
   path_ = path;
   loaded_ = std::move(merged);
+  CkptMetrics::get().journals_opened.add();
+  CkptMetrics::get().records_recovered.add(loaded_.size());
 }
 
 std::optional<TuneEntry> CheckpointJournal::find(
@@ -305,6 +327,8 @@ void CheckpointJournal::append(const TuneEntry& entry) {
       std::fflush(f) != 0) {
     throw IoError("checkpoint: short write appending to " + path_);
   }
+  CkptMetrics::get().records_written.add();
+  CkptMetrics::get().bytes_written.add(sizeof(len) + sizeof(crc) + len);
 }
 
 }  // namespace inplane::autotune

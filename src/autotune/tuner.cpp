@@ -10,11 +10,45 @@
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
 #include "kernels/runner.hpp"
+#include "metrics/metrics.hpp"
 #include "perfmodel/model.hpp"
 
 namespace inplane::autotune {
 
 namespace {
+
+/// Tuner instruments (scope "autotune"), flushed from finalize() so one
+/// sweep costs a fixed handful of relaxed adds regardless of candidate
+/// count.  model_error records |predicted - measured| / measured per
+/// executed candidate — the distribution behind the paper's model-guided
+/// pruning argument.
+struct TuneMetrics {
+  metrics::Counter& enumerated;
+  metrics::Counter& executed;
+  metrics::Counter& pruned;
+  metrics::Counter& quarantined;
+  metrics::Counter& resumed;
+  metrics::Counter& faulted;
+  metrics::Counter& sweeps;
+  metrics::Histogram& model_error;
+  metrics::Timer& sweep_timer;
+
+  static TuneMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static TuneMetrics m{
+        reg.counter("autotune.candidates_enumerated"),
+        reg.counter("autotune.candidates_executed"),
+        reg.counter("autotune.candidates_pruned"),
+        reg.counter("autotune.candidates_quarantined"),
+        reg.counter("autotune.candidates_resumed"),
+        reg.counter("autotune.candidates_faulted"),
+        reg.counter("autotune.sweeps"),
+        reg.histogram("autotune.model_rel_error"),
+        reg.timer("autotune.sweep"),
+    };
+    return m;
+  }
+};
 
 /// Sorts executed entries first (by measured MPoint/s descending), then
 /// un-executed ones (by model prediction descending).  Quarantined
@@ -107,7 +141,9 @@ TuneEntry measure_candidate(kernels::Method method, const StencilCoeffs& coeffs,
   return entry;
 }
 
-TuneResult finalize(std::vector<TuneEntry> entries) {
+/// @p pruned is how many enumerated candidates the caller skipped (the
+/// model-guided cutoff); exhaustive sweeps pass 0.
+TuneResult finalize(std::vector<TuneEntry> entries, std::size_t pruned) {
   TuneResult result;
   result.candidates = entries.size();
   // The failure roster keeps search (enumeration) order, independent of
@@ -119,6 +155,23 @@ TuneResult finalize(std::vector<TuneEntry> entries) {
     if (e.failed) {
       result.quarantined += 1;
       result.quarantine.push_back(QuarantineRecord{e.config, e.failure, e.attempts});
+    }
+  }
+  if (metrics::enabled()) {
+    TuneMetrics& m = TuneMetrics::get();
+    m.sweeps.add();
+    m.enumerated.add(result.candidates);
+    m.executed.add(result.executed);
+    m.pruned.add(pruned);
+    m.quarantined.add(result.quarantined);
+    m.resumed.add(result.resumed);
+    m.faulted.add(result.faulted);
+    for (const TuneEntry& e : entries) {
+      if (e.executed && e.timing.valid && e.timing.mpoints_per_s > 0.0 &&
+          e.model_mpoints > 0.0) {
+        m.model_error.record(std::abs(e.model_mpoints - e.timing.mpoints_per_s) /
+                             e.timing.mpoints_per_s);
+      }
     }
   }
   sort_entries(entries);
@@ -193,6 +246,7 @@ TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
   JournalCtx jc;
   jc.open(options, "exhaustive", method, device, extent, sizeof(T));
+  metrics::ScopedTimer sweep_timer(TuneMetrics::get().sweep_timer);
   // Candidates are independent (each builds its own kernel and traces its
   // own plane); evaluate them concurrently into index-addressed slots so
   // the resulting entry list — and therefore the sort, the best pick and
@@ -206,7 +260,7 @@ TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
     entries[i].model_mpoints =
         model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
   });
-  return finalize(std::move(entries));
+  return finalize(std::move(entries), 0);
 }
 
 template <typename T>
@@ -228,6 +282,7 @@ TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs
       space.enumerate(device, extent, method, coeffs.radius(), sizeof(T), vec);
   JournalCtx jc;
   jc.open(options, "model", method, device, extent, sizeof(T));
+  metrics::ScopedTimer sweep_timer(TuneMetrics::get().sweep_timer);
   std::vector<TuneEntry> entries(configs.size());
   parallel_for(options.policy, configs.size(), [&](std::size_t i) {
     entries[i].config = configs[i];
@@ -256,7 +311,8 @@ TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs
                                       static_cast<std::int64_t>(i), options);
     entries[i].model_mpoints = predicted;
   });
-  return finalize(std::move(entries));
+  const std::size_t pruned = entries.size() - n_select;
+  return finalize(std::move(entries), pruned);
 }
 
 template <typename T>

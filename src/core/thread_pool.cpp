@@ -1,10 +1,41 @@
 #include "core/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
+#include "metrics/metrics.hpp"
+
 namespace inplane {
+
+namespace {
+
+/// Pool instruments (scope "core.pool"), cached once.  Counters are
+/// relaxed atomics; when collection is disabled each call is one
+/// never-taken branch, which is what keeps the pool's hot loop free.
+struct PoolMetrics {
+  metrics::Counter& submitted;
+  metrics::Counter& executed;
+  metrics::Counter& steals;
+  metrics::Counter& idle_ns;
+  metrics::Counter& for_each_calls;
+  metrics::Counter& for_each_items;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        metrics::Registry::global().counter("core.pool.tasks_submitted"),
+        metrics::Registry::global().counter("core.pool.tasks_executed"),
+        metrics::Registry::global().counter("core.pool.steals"),
+        metrics::Registry::global().counter("core.pool.idle_ns"),
+        metrics::Registry::global().counter("core.pool.for_each_calls"),
+        metrics::Registry::global().counter("core.pool.for_each_items"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -63,6 +94,7 @@ void ThreadPool::submit(std::function<void()> task) {
     pending_.fetch_add(1, std::memory_order_relaxed);
   }
   sleep_cv_.notify_one();
+  PoolMetrics::get().submitted.add();
 }
 
 bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
@@ -87,6 +119,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
       out = std::move(other.tasks.front());
       other.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      PoolMetrics::get().steals.add();
       return true;
     }
   }
@@ -100,8 +133,12 @@ void ThreadPool::worker_loop(std::size_t self) {
     if (try_pop(self, task)) {
       task();
       task = nullptr;
+      PoolMetrics::get().executed.add();
       continue;
     }
+    const bool timing_idle = metrics::enabled();
+    const auto idle_start =
+        timing_idle ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (stop_) return;
     // pending_ only ever rises while sleep_mutex_ is held (see submit),
@@ -110,6 +147,12 @@ void ThreadPool::worker_loop(std::size_t self) {
     sleep_cv_.wait(lock, [&] {
       return stop_ || pending_.load(std::memory_order_relaxed) > 0;
     });
+    if (timing_idle) {
+      PoolMetrics::get().idle_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - idle_start)
+              .count()));
+    }
     if (stop_) return;
   }
 }
@@ -161,6 +204,8 @@ struct ForEachState {
 void ThreadPool::for_each(std::size_t n, unsigned max_concurrency,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  PoolMetrics::get().for_each_calls.add();
+  PoolMetrics::get().for_each_items.add(n);
   if (max_concurrency <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -8,11 +8,74 @@
 
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
+#include "metrics/metrics.hpp"
 #include "verify/reference_oracle.hpp"
 
 namespace inplane::kernels {
 
 namespace {
+
+/// Simulator instruments, flushed once per kernel launch from the already
+/// aggregated TraceStats — the per-warp-op hot path stays untouched, so
+/// collection cost is a handful of relaxed adds per launch.
+struct SimMetrics {
+  metrics::Counter& launches;
+  metrics::Counter& blocks;
+  metrics::Counter& planes;
+  metrics::Counter& load_transactions;
+  metrics::Counter& store_transactions;
+  metrics::Counter& bytes_requested_ld;
+  metrics::Counter& bytes_transferred_ld;
+  metrics::Counter& bytes_transferred_st;
+  metrics::Counter& smem_replays;
+  metrics::Counter& syncs;
+  metrics::Counter& flops;
+  metrics::Counter& retries;
+  metrics::Counter& verifications;
+  metrics::Counter& timing_evaluations;
+  metrics::Timer& launch_timer;
+
+  static SimMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static SimMetrics m{
+        reg.counter("gpusim.launches"),
+        reg.counter("gpusim.blocks"),
+        reg.counter("gpusim.planes_loaded"),
+        reg.counter("gpusim.load_transactions"),
+        reg.counter("gpusim.store_transactions"),
+        reg.counter("gpusim.bytes_requested_ld"),
+        reg.counter("gpusim.bytes_transferred_ld"),
+        reg.counter("gpusim.bytes_transferred_st"),
+        reg.counter("gpusim.smem_replays"),
+        reg.counter("gpusim.syncs"),
+        reg.counter("gpusim.flops"),
+        reg.counter("kernels.runner.retries"),
+        reg.counter("kernels.runner.verifications"),
+        reg.counter("gpusim.timing.evaluations"),
+        reg.timer("gpusim.launch"),
+    };
+    return m;
+  }
+};
+
+/// Derives the per-launch counter deltas from one launch's aggregate
+/// stats.  Plane count uses the barrier invariant the trace auditor pins
+/// (every loaded plane costs exactly two barriers per block).
+void flush_launch_metrics(const gpusim::TraceStats& stats, std::size_t nblocks) {
+  if (!metrics::enabled()) return;
+  SimMetrics& m = SimMetrics::get();
+  m.launches.add();
+  m.blocks.add(nblocks);
+  if (nblocks != 0) m.planes.add(stats.syncs / (2 * nblocks));
+  m.load_transactions.add(stats.load_transactions);
+  m.store_transactions.add(stats.store_transactions);
+  m.bytes_requested_ld.add(stats.bytes_requested_ld);
+  m.bytes_transferred_ld.add(stats.bytes_transferred_ld);
+  m.bytes_transferred_st.add(stats.bytes_transferred_st);
+  m.smem_replays.add(stats.smem_replays);
+  m.syncs.add(stats.syncs);
+  m.flops.add(stats.flops);
+}
 
 template <typename T>
 std::span<const std::byte> const_bytes(const Grid3<T>& g) {
@@ -50,6 +113,7 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
   // block index, so injection is equally schedule-independent.
   const std::size_t nblocks =
       static_cast<std::size_t>(nbx) * static_cast<std::size_t>(nby);
+  metrics::ScopedTimer launch_timer(SimMetrics::get().launch_timer);
   std::vector<gpusim::TraceStats> per_block(nblocks);
   parallel_for(policy, nblocks, [&](std::size_t b) {
     const int bx = static_cast<int>(b) % nbx;
@@ -66,6 +130,7 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
 
   gpusim::TraceStats total;
   for (const gpusim::TraceStats& s : per_block) total += s;
+  flush_launch_metrics(total, nblocks);
   return total;
 }
 
@@ -142,9 +207,13 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
   double backoff_ms = options.retry.backoff_initial_ms;
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0 && backoff_ms > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
-      backoff_ms *= options.retry.backoff_multiplier;
+    if (attempt > 0) {
+      SimMetrics::get().retries.add();
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= options.retry.backoff_multiplier;
+      }
     }
     report.attempts = attempt + 1;
     try {
@@ -165,6 +234,7 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
     const bool exposed = options.faults != nullptr || attempt > 0;
     if (options.retry.verify && exposed && options.mode != gpusim::ExecMode::Trace) {
       const Status verdict = verify_against_reference(kernel, in, out);
+      SimMetrics::get().verifications.add();
       report.verified = true;
       if (!verdict.ok()) {
         report.status = verdict;
@@ -195,6 +265,7 @@ gpusim::KernelTiming time_kernel(const IStencilKernel<T>& kernel,
   input.per_plane = kernel.trace_plane(device, extent);
   input.is_double = sizeof(T) == 8;
   input.ilp = kernel.config().columns_per_thread();
+  SimMetrics::get().timing_evaluations.add();
   return gpusim::estimate_timing(device, input);
 }
 

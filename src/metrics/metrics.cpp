@@ -1,0 +1,204 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <ctime>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include <chrono>
+
+namespace inplane::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("INPLANE_METRICS");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}()};
+
+/// Thread-CPU time in nanoseconds (0 where the clock is unavailable).
+std::uint64_t thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Atomically folds @p v into @p target with @p pick (min/max/plus).
+template <typename Pick>
+void atomic_fold(std::atomic<double>& target, double v, Pick pick) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, pick(cur, v), std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Histogram::record(double v) {
+  if (!(kCompiledIn && enabled())) return;
+  if (!(v >= 0.0) || !std::isfinite(v)) v = 0.0;  // clamp NaN/negative
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_fold(sum_, v, [](double a, double b) { return a + b; });
+  atomic_fold(min_, v, [](double a, double b) { return std::min(a, b); });
+  atomic_fold(max_, v, [](double a, double b) { return std::max(a, b); });
+  const double scaled = v / kResolution;
+  int bucket = 0;
+  if (scaled >= 1.0) {
+    bucket = std::min(kBuckets - 1, static_cast<int>(std::log2(scaled)) + 1);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Timer& timer) : timer_(nullptr) {
+  if (kCompiledIn && enabled()) {
+    timer_ = &timer;
+    wall_ns_ = wall_ns();
+    cpu_ns_ = thread_cpu_ns();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ == nullptr) return;
+  const std::uint64_t w = wall_ns() - wall_ns_;
+  const std::uint64_t c = thread_cpu_ns() - cpu_ns_;
+  timer_->wall().record(static_cast<double>(w) * 1e-9);
+  timer_->cpu().record(static_cast<double>(c) * 1e-9);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Node-based maps: element addresses are stable across insertions, so
+  // instrumentation sites may cache references forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Timer>> timers;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Intentionally leaked: instrumentation sites cache instrument
+  // references in function-local statics, which may be touched by pool
+  // workers during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->timers[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+std::vector<SnapshotEntry> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<SnapshotEntry> out;
+  out.reserve(impl_->counters.size() + impl_->gauges.size() +
+              impl_->histograms.size() + 2 * impl_->timers.size());
+  for (const auto& [name, c] : impl_->counters) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::Counter;
+    e.value = static_cast<double>(c->value());
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::Gauge;
+    e.value = g->value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::Histogram;
+    e.histogram = h->summary();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, t] : impl_->timers) {
+    SnapshotEntry w;
+    w.name = name + ".wall_s";
+    w.kind = SnapshotEntry::Kind::Histogram;
+    w.histogram = t->wall().summary();
+    out.push_back(std::move(w));
+    SnapshotEntry c;
+    c.name = name + ".cpu_s";
+    c.kind = SnapshotEntry::Kind::Histogram;
+    c.histogram = t->cpu().summary();
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+  for (auto& [name, t] : impl_->timers) t->reset();
+}
+
+}  // namespace inplane::metrics

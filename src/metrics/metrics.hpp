@@ -1,0 +1,177 @@
+#pragma once
+
+// Low-overhead, thread-safe metrics registry: counters, gauges,
+// histograms and scoped wall/CPU timers, addressed by dotted scope names
+// ("layer.component.metric", e.g. "gpusim.coalescer.load_transactions").
+//
+// Design constraints (see docs/observability.md):
+//
+//  * Recording is lock-free: counters/gauges are single relaxed atomics,
+//    histograms a handful of them.  Registration (name -> instrument
+//    lookup) takes a mutex but is meant to happen once per site, cached
+//    in a function-local static reference.
+//  * Collection is disabled by default.  Every record call starts with
+//    one relaxed load + predicted branch (`enabled()`), so the
+//    instrumented-off overhead is a never-taken branch per site —
+//    bench_metrics_overhead pins it below 1% of the fig7 variant sweep.
+//    Define INPLANE_METRICS_DISABLED to compile recording out entirely.
+//  * Instruments are never destroyed or re-seated once created
+//    (Registry::reset() zeroes values but keeps addresses), so cached
+//    references stay valid for the process lifetime.
+//
+// The registry has no dependencies beyond the standard library; JSON
+// serialization lives in report/bench_json.hpp so this layer can be
+// linked from inplane_core without cycles.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace inplane::metrics {
+
+/// Runtime collection switch.  Starts off unless the INPLANE_METRICS
+/// environment variable is set to a non-"0" value.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+#ifdef INPLANE_METRICS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (kCompiledIn && enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (occupancy, queue depth, model error of the most
+/// recent sweep, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    if (kCompiledIn && enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution of non-negative samples with exact
+/// count/sum/min/max.  Bucket b holds samples in [2^(b-1), 2^b) times the
+/// base resolution (1e-9, so durations in seconds bucket from ~1 ns).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kResolution = 1e-9;
+
+  void record(double v);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Summary summary() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Seeded with +/-infinity so concurrent first samples fold exactly;
+  // summary() reports 0 for an empty histogram.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Paired wall-clock / thread-CPU duration histograms fed by ScopedTimer.
+class Timer {
+ public:
+  [[nodiscard]] Histogram& wall() { return wall_; }
+  [[nodiscard]] Histogram& cpu() { return cpu_; }
+  [[nodiscard]] const Histogram& wall() const { return wall_; }
+  [[nodiscard]] const Histogram& cpu() const { return cpu_; }
+  void reset() {
+    wall_.reset();
+    cpu_.reset();
+  }
+
+ private:
+  Histogram wall_;
+  Histogram cpu_;
+};
+
+/// RAII scope that records elapsed wall and thread-CPU seconds into a
+/// Timer on destruction.  When collection is disabled at construction the
+/// clock reads are skipped entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;  ///< nullptr when collection was off at entry
+  std::uint64_t wall_ns_ = 0;
+  std::uint64_t cpu_ns_ = 0;
+};
+
+/// One instrument in a point-in-time snapshot.
+struct SnapshotEntry {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;  ///< timers appear as "<name>.wall_s" / "<name>.cpu_s"
+  Kind kind = Kind::Counter;
+  double value = 0.0;             ///< counter/gauge value
+  Histogram::Summary histogram;   ///< for Kind::Histogram
+};
+
+/// Name-addressed instrument store.  Lookups intern the name on first
+/// use; returned references are stable for the registry's lifetime.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  static Registry& global();
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+  [[nodiscard]] Timer& timer(const std::string& name);
+
+  /// All instruments, sorted by name (deterministic serialization order).
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+
+  /// Zeroes every instrument.  Addresses stay valid — cached references
+  /// held by instrumentation sites keep working.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace inplane::metrics

@@ -1,0 +1,361 @@
+#include "report/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/crc32.hpp"
+#include "report/table.hpp"
+
+namespace inplane::report {
+
+namespace {
+
+bool valid_bench_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) return false;
+  }
+  return true;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+const std::string* get_string(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? &v->as_string() : nullptr;
+}
+
+}  // namespace
+
+std::uint32_t BenchReport::fingerprint() const {
+  // Canonical encoding: newline-framed fields in fixed order, config as
+  // sorted key=value lines (std::map iteration order).  Measured values,
+  // headline entries and the repo SHA are deliberately excluded.
+  std::string canon = "bench-schema-v" + std::to_string(schema_version) + "\n";
+  canon += bench + "\n";
+  canon += smoke ? "smoke\n" : "full\n";
+  for (const auto& [key, value] : config) {
+    canon += key + "=" + value + "\n";
+  }
+  return crc32(canon.data(), canon.size());
+}
+
+Json BenchReport::to_json() const {
+  Json::Object root;
+  root["schema_version"] = Json(schema_version);
+  root["bench"] = Json(bench);
+  root["smoke"] = Json(smoke);
+  root["repo_sha"] = Json(repo_sha);
+  root["fingerprint"] = Json(hex32(fingerprint()));
+
+  Json::Object cfg;
+  for (const auto& [key, value] : config) cfg[key] = Json(value);
+  root["config"] = Json(std::move(cfg));
+
+  Json::Array head;
+  for (const HeadlineMetric& h : headline) {
+    Json::Object e;
+    e["name"] = Json(h.name);
+    e["value"] = Json(h.value);
+    e["unit"] = Json(h.unit);
+    e["higher_is_better"] = Json(h.higher_is_better);
+    e["noisy"] = Json(h.noisy);
+    head.push_back(Json(std::move(e)));
+  }
+  root["headline"] = Json(std::move(head));
+
+  Json::Array mets;
+  for (const MetricSample& m : metrics) {
+    Json::Object e;
+    e["name"] = Json(m.name);
+    e["type"] = Json(m.type);
+    if (m.type == "histogram") {
+      e["count"] = Json(m.count);
+      e["sum"] = Json(m.sum);
+      e["min"] = Json(m.min);
+      e["max"] = Json(m.max);
+    } else {
+      e["value"] = Json(m.value);
+    }
+    mets.push_back(Json(std::move(e)));
+  }
+  root["metrics"] = Json(std::move(mets));
+  return Json(std::move(root));
+}
+
+BenchReport BenchReport::from_json(const Json& doc) {
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  if (!errors.empty()) {
+    throw std::runtime_error("invalid BENCH json: " + errors.front());
+  }
+  BenchReport r;
+  r.schema_version = static_cast<int>(doc.find("schema_version")->as_number());
+  r.bench = doc.find("bench")->as_string();
+  r.smoke = doc.find("smoke")->as_bool();
+  r.repo_sha = doc.find("repo_sha")->as_string();
+  for (const auto& [key, value] : doc.find("config")->as_object()) {
+    r.config[key] = value.as_string();
+  }
+  for (const Json& e : doc.find("headline")->as_array()) {
+    HeadlineMetric h;
+    h.name = e.find("name")->as_string();
+    h.value = e.find("value")->as_number();
+    h.unit = e.find("unit")->as_string();
+    h.higher_is_better = e.find("higher_is_better")->as_bool();
+    h.noisy = e.find("noisy")->as_bool();
+    r.headline.push_back(std::move(h));
+  }
+  for (const Json& e : doc.find("metrics")->as_array()) {
+    MetricSample m;
+    m.name = e.find("name")->as_string();
+    m.type = e.find("type")->as_string();
+    if (m.type == "histogram") {
+      m.count = static_cast<std::uint64_t>(e.find("count")->as_number());
+      m.sum = e.find("sum")->as_number();
+      m.min = e.find("min")->as_number();
+      m.max = e.find("max")->as_number();
+    } else {
+      m.value = e.find("value")->as_number();
+    }
+    r.metrics.push_back(std::move(m));
+  }
+  return r;
+}
+
+std::vector<std::string> validate_bench_json(const Json& doc) {
+  std::vector<std::string> errors;
+  if (!doc.is_object()) return {"document is not a JSON object"};
+
+  // Pinned top-level key set: nothing missing, nothing unknown.  A field
+  // rename breaks here (and in the golden test) instead of silently
+  // disappearing from bench_diff's comparisons.
+  static const char* kKeys[] = {"schema_version", "bench",    "smoke", "repo_sha",
+                                "fingerprint",    "config",   "headline", "metrics"};
+  for (const char* key : kKeys) {
+    if (doc.find(key) == nullptr) errors.push_back(std::string("missing key: ") + key);
+  }
+  for (const auto& [key, value] : doc.as_object()) {
+    bool known = false;
+    for (const char* k : kKeys) known = known || key == k;
+    if (!known) errors.push_back("unknown key: " + key);
+  }
+  if (!errors.empty()) return errors;
+
+  const Json* version = doc.find("schema_version");
+  if (!version->is_number() ||
+      static_cast<int>(version->as_number()) != kBenchSchemaVersion) {
+    errors.push_back("schema_version must be " + std::to_string(kBenchSchemaVersion));
+  }
+  const std::string* bench = get_string(doc, "bench");
+  if (bench == nullptr || !valid_bench_name(*bench)) {
+    errors.push_back("bench must be a non-empty [a-z0-9_]+ string");
+  }
+  if (!doc.find("smoke")->is_bool()) errors.push_back("smoke must be a bool");
+  if (get_string(doc, "repo_sha") == nullptr) {
+    errors.push_back("repo_sha must be a string");
+  }
+  const Json* config = doc.find("config");
+  if (!config->is_object()) {
+    errors.push_back("config must be an object");
+  } else {
+    for (const auto& [key, value] : config->as_object()) {
+      if (!value.is_string()) errors.push_back("config." + key + " must be a string");
+    }
+  }
+  const Json* headline = doc.find("headline");
+  if (!headline->is_array()) {
+    errors.push_back("headline must be an array");
+  } else {
+    for (const Json& e : headline->as_array()) {
+      if (!e.is_object() || get_string(e, "name") == nullptr ||
+          e.find("value") == nullptr || !e.find("value")->is_number() ||
+          !std::isfinite(e.find("value")->as_number()) ||
+          get_string(e, "unit") == nullptr || e.find("higher_is_better") == nullptr ||
+          !e.find("higher_is_better")->is_bool() || e.find("noisy") == nullptr ||
+          !e.find("noisy")->is_bool()) {
+        errors.push_back("malformed headline entry");
+        break;
+      }
+    }
+  }
+  const Json* metrics = doc.find("metrics");
+  if (!metrics->is_array()) {
+    errors.push_back("metrics must be an array");
+  } else {
+    for (const Json& e : metrics->as_array()) {
+      const std::string* type = e.is_object() ? get_string(e, "type") : nullptr;
+      const bool ok =
+          type != nullptr && get_string(e, "name") != nullptr &&
+          (*type == "histogram"
+               ? (e.find("count") != nullptr && e.find("count")->is_number() &&
+                  e.find("sum") != nullptr && e.find("sum")->is_number() &&
+                  e.find("min") != nullptr && e.find("min")->is_number() &&
+                  e.find("max") != nullptr && e.find("max")->is_number())
+               : ((*type == "counter" || *type == "gauge") &&
+                  e.find("value") != nullptr && e.find("value")->is_number()));
+      if (!ok) {
+        errors.push_back("malformed metrics entry");
+        break;
+      }
+    }
+  }
+  if (!errors.empty()) return errors;
+
+  // Fingerprint must match the canonical recomputation, so a report
+  // cannot claim comparability with a config it was not produced by.
+  const BenchReport probe = [&] {
+    BenchReport r;
+    r.schema_version = static_cast<int>(version->as_number());
+    r.bench = *bench;
+    r.smoke = doc.find("smoke")->as_bool();
+    for (const auto& [key, value] : config->as_object()) {
+      r.config[key] = value.as_string();
+    }
+    return r;
+  }();
+  if (*get_string(doc, "fingerprint") != hex32(probe.fingerprint())) {
+    errors.push_back("fingerprint does not match config");
+  }
+  return errors;
+}
+
+const char* compiled_repo_sha() {
+#ifdef INPLANE_REPO_SHA
+  return INPLANE_REPO_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::vector<MetricSample> metric_samples(const metrics::Registry& registry) {
+  std::vector<MetricSample> out;
+  for (const metrics::SnapshotEntry& e : registry.snapshot()) {
+    MetricSample m;
+    m.name = e.name;
+    switch (e.kind) {
+      case metrics::SnapshotEntry::Kind::Counter:
+        m.type = "counter";
+        m.value = e.value;
+        break;
+      case metrics::SnapshotEntry::Kind::Gauge:
+        m.type = "gauge";
+        m.value = e.value;
+        break;
+      case metrics::SnapshotEntry::Kind::Histogram:
+        m.type = "histogram";
+        m.count = e.histogram.count;
+        m.sum = e.histogram.sum;
+        m.min = e.histogram.min;
+        m.max = e.histogram.max;
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::string bench_report_filename(const std::string& bench) {
+  return "BENCH_" + bench + ".json";
+}
+
+std::string write_bench_report(const BenchReport& report, const std::string& dir) {
+  const std::string path =
+      (std::filesystem::path(dir) / bench_report_filename(report.bench)).string();
+  write_file(path, report.to_json().dump(2));
+  return path;
+}
+
+std::vector<const BenchDelta*> BenchDiffResult::regressions() const {
+  std::vector<const BenchDelta*> out;
+  for (const BenchDelta& d : deltas) {
+    if (d.regression) out.push_back(&d);
+  }
+  return out;
+}
+
+BenchDiffResult diff_bench_trees(const std::string& old_dir, const std::string& new_dir,
+                                 const BenchDiffOptions& options) {
+  namespace fs = std::filesystem;
+  for (const std::string& dir : {old_dir, new_dir}) {
+    if (!fs::is_directory(dir)) {
+      throw std::runtime_error("bench_diff: not a directory: " + dir);
+    }
+  }
+  const auto load_tree = [](const std::string& dir,
+                            std::vector<std::string>& warnings) {
+    std::map<std::string, BenchReport> reports;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string file = entry.path().filename().string();
+      if (file.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") continue;
+      try {
+        std::ifstream in(entry.path());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        BenchReport r = BenchReport::from_json(Json::parse(buf.str()));
+        reports[r.bench] = std::move(r);
+      } catch (const std::exception& e) {
+        warnings.push_back("skipping " + entry.path().string() + ": " + e.what());
+      }
+    }
+    return reports;
+  };
+
+  BenchDiffResult result;
+  const auto old_reports = load_tree(old_dir, result.warnings);
+  const auto new_reports = load_tree(new_dir, result.warnings);
+
+  for (const auto& [bench, old_report] : old_reports) {
+    const auto it = new_reports.find(bench);
+    if (it == new_reports.end()) {
+      result.warnings.push_back("bench missing from new tree: " + bench);
+      continue;
+    }
+    const BenchReport& new_report = it->second;
+    if (old_report.fingerprint() != new_report.fingerprint()) {
+      result.warnings.push_back("config fingerprint changed for " + bench +
+                                " — headline gating skipped");
+      continue;
+    }
+    result.compared_files += 1;
+
+    std::map<std::string, const HeadlineMetric*> new_headline;
+    for (const HeadlineMetric& h : new_report.headline) new_headline[h.name] = &h;
+    for (const HeadlineMetric& h : old_report.headline) {
+      const auto hit = new_headline.find(h.name);
+      if (hit == new_headline.end()) {
+        result.warnings.push_back(bench + ": headline metric disappeared: " + h.name);
+        continue;
+      }
+      BenchDelta d;
+      d.bench = bench;
+      d.metric = h.name;
+      d.old_value = h.value;
+      d.new_value = hit->second->value;
+      const double base = std::abs(h.value);
+      const double raw =
+          base == 0.0 ? 0.0 : (hit->second->value - h.value) / base;
+      d.change = h.higher_is_better ? raw : -raw;
+      if (h.noisy && !options.include_noisy) {
+        d.skipped_noisy = true;
+      } else {
+        d.regression = d.change < -options.threshold;
+      }
+      result.deltas.push_back(d);
+    }
+  }
+  for (const auto& [bench, report] : new_reports) {
+    if (old_reports.find(bench) == old_reports.end()) {
+      result.warnings.push_back("new bench without baseline: " + bench);
+    }
+  }
+  return result;
+}
+
+}  // namespace inplane::report

@@ -1,0 +1,123 @@
+#pragma once
+
+// Schema-versioned machine-readable bench reports (BENCH_<name>.json).
+//
+// Every bench binary emits one of these next to its CSV: headline
+// numbers with explicit better-direction, the full metrics-registry
+// snapshot, a config fingerprint and the repo SHA.  tools/bench_diff
+// compares two trees of them and fails on regressions; the bench-smoke
+// ctest tier validates every emitted file against this schema.  The key
+// set and the fingerprint algorithm are pinned by a golden-file test —
+// bump kBenchSchemaVersion for any breaking change.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "report/json.hpp"
+
+namespace inplane::report {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One gate-able result of a bench run.  `noisy` marks wall-clock-derived
+/// values that vary across machines; bench_diff skips them by default.
+struct HeadlineMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;            ///< "mpoints/s", "x", "%", "s", ...
+  bool higher_is_better = true;
+  bool noisy = false;
+};
+
+/// One metrics-registry instrument flattened into the report.
+struct MetricSample {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;          ///< counter/gauge
+  std::uint64_t count = 0;     ///< histogram sample count
+  double sum = 0.0, min = 0.0, max = 0.0;  ///< histogram summary
+};
+
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  std::string bench;   ///< short name, [a-z0-9_]+, e.g. "fig7_variants"
+  bool smoke = false;
+  std::string repo_sha = "unknown";
+  /// Free-form configuration that must match for two reports to be
+  /// comparable (grid, repeats, devices, ...).  Part of the fingerprint.
+  std::map<std::string, std::string> config;
+  std::vector<HeadlineMetric> headline;
+  std::vector<MetricSample> metrics;
+
+  /// CRC-32 over the canonical encoding of (schema_version, bench, smoke,
+  /// config) — NOT the repo SHA or any measured value, so reports from
+  /// different commits of the same bench configuration stay comparable.
+  [[nodiscard]] std::uint32_t fingerprint() const;
+
+  [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json; throws std::runtime_error with a message listing
+  /// the first schema violation.
+  [[nodiscard]] static BenchReport from_json(const Json& doc);
+};
+
+/// Validates @p doc against the BENCH schema: exact schema_version, the
+/// pinned top-level key set (no missing, no unknown), well-formed
+/// headline/metric entries and a fingerprint that matches the recomputed
+/// value.  Returns an empty vector when valid.
+[[nodiscard]] std::vector<std::string> validate_bench_json(const Json& doc);
+
+/// The repo SHA baked in at configure time ("unknown" outside git).
+[[nodiscard]] const char* compiled_repo_sha();
+
+/// Flattens a metrics-registry snapshot into report samples (sorted by
+/// name; timers appear as two histogram samples, .wall_s and .cpu_s).
+[[nodiscard]] std::vector<MetricSample> metric_samples(const metrics::Registry& registry);
+
+/// Canonical file name for a bench: "BENCH_<name>.json".
+[[nodiscard]] std::string bench_report_filename(const std::string& bench);
+
+/// Writes the report (pretty-printed) to @p dir/BENCH_<bench>.json,
+/// creating directories as needed.  Returns the path written.
+std::string write_bench_report(const BenchReport& report, const std::string& dir);
+
+// ---------------------------------------------------------------------------
+// Tree diff (the engine behind tools/bench_diff).
+
+struct BenchDiffOptions {
+  double threshold = 0.10;      ///< relative regression that fails (10%)
+  bool include_noisy = false;   ///< gate wall-clock-derived headlines too
+};
+
+struct BenchDelta {
+  std::string bench;
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double change = 0.0;  ///< signed relative change, >0 = improvement
+  bool regression = false;
+  bool skipped_noisy = false;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDelta> deltas;       ///< every compared headline metric
+  std::vector<std::string> warnings;    ///< missing files, fingerprint drift…
+  std::size_t compared_files = 0;
+
+  [[nodiscard]] std::vector<const BenchDelta*> regressions() const;
+  [[nodiscard]] bool pass() const { return regressions().empty(); }
+};
+
+/// Compares every BENCH_*.json present in @p old_dir against @p new_dir.
+/// Files missing on either side, invalid files and fingerprint mismatches
+/// produce warnings and are skipped; matching files have their headline
+/// metrics gated at options.threshold in the direction each metric
+/// declares.  Throws std::runtime_error if either directory is unreadable.
+[[nodiscard]] BenchDiffResult diff_bench_trees(const std::string& old_dir,
+                                               const std::string& new_dir,
+                                               const BenchDiffOptions& options = {});
+
+}  // namespace inplane::report

@@ -1,0 +1,90 @@
+#pragma once
+
+// Minimal self-contained JSON value tree, parser and serializer — just
+// enough for the BENCH_*.json observability reports (tools/bench_diff,
+// the bench-smoke schema validator and their tests).  No external
+// dependencies; numbers are doubles (exact for the integral counters the
+// reports carry, which stay far below 2^53).
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace inplane::report {
+
+/// Raised by Json::parse on malformed input, with a byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<Json>;
+  /// std::map keeps object keys sorted, which makes dump() canonical —
+  /// the fingerprint and the golden-file test rely on that.
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double n) : kind_(Kind::Number), number_(n) {}
+  Json(int n) : kind_(Kind::Number), number_(n) {}
+  Json(std::uint64_t n) : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::String), string_(s) {}
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return array_; }
+  [[nodiscard]] Array& as_array() { return array_; }
+  [[nodiscard]] const Object& as_object() const { return object_; }
+  [[nodiscard]] Object& as_object() { return object_; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// Parses one JSON document (UTF-8 passthrough, \uXXXX kept for BMP).
+  /// Throws JsonParseError on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  /// Canonical serialization: object keys sorted (std::map order), no
+  /// whitespace when @p indent < 0, pretty-printed otherwise.  Numbers
+  /// use the shortest round-trip form.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace inplane::report

@@ -1,0 +1,40 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inplane::report {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double acc = 0.0;
+  for (const double s : samples) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace inplane::report

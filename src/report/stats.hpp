@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared wall-clock and summary-statistic helpers for the bench binaries
+// and the metrics layer.  These used to be re-implemented ad hoc inside
+// bench/*.cpp (median_seconds, seconds_since, ...); one copy lives here
+// so the benches, bench_common and the observability reports agree on
+// the definitions.
+
+#include <chrono>
+#include <vector>
+
+namespace inplane::report {
+
+/// Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Seconds elapsed since construction / the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Median of @p samples (sorts a copy; 0.0 when empty).  Even-sized
+/// inputs return the upper median, matching the historical bench helper.
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// Arithmetic mean (0.0 when empty).
+[[nodiscard]] double mean(const std::vector<double>& samples);
+
+/// Population standard deviation (0.0 when fewer than two samples).
+[[nodiscard]] double stddev(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile, @p p in [0, 100] (0.0 when empty).
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace inplane::report

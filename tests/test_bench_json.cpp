@@ -1,0 +1,349 @@
+// Schema tests for the BENCH_<name>.json observability reports: the
+// golden file pins the serialized form (key set, layout, fingerprint) so
+// any schema drift is a deliberate, reviewed change plus a
+// kBenchSchemaVersion bump — and the bench_diff regression gate is
+// exercised end to end on synthetic trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "report/bench_json.hpp"
+
+namespace {
+
+using namespace inplane::report;
+
+// A fully deterministic report (fixed SHA, fixed measurements) — the
+// subject of the golden file and the fingerprint pin.
+BenchReport golden_report() {
+  BenchReport r;
+  r.bench = "golden_sample";
+  r.smoke = true;
+  r.repo_sha = "0123456789ab";
+  r.config = {{"grid", "128x64x8"}, {"orders", "2,4"}};
+  r.headline = {
+      {"throughput", 120.5, "mpoints/s", /*higher_is_better=*/true, /*noisy=*/false},
+      {"model_gap", 5.0, "%", /*higher_is_better=*/false, /*noisy=*/false},
+      {"wall", 3.25, "s", /*higher_is_better=*/false, /*noisy=*/true},
+  };
+  MetricSample counter;
+  counter.name = "autotune.candidates_executed";
+  counter.type = "counter";
+  counter.value = 42.0;
+  MetricSample gauge;
+  gauge.name = "core.pool.depth";
+  gauge.type = "gauge";
+  gauge.value = 2.0;
+  MetricSample hist;
+  hist.name = "gpusim.launch.wall_s";
+  hist.type = "histogram";
+  hist.count = 3;
+  hist.sum = 0.75;
+  hist.min = 0.2;
+  hist.max = 0.3;
+  r.metrics = {counter, gauge, hist};
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string rstrip(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' ')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+TEST(BenchJson, RoundTripPreservesEveryField) {
+  const BenchReport r = golden_report();
+  const BenchReport back = BenchReport::from_json(r.to_json());
+  EXPECT_EQ(back.schema_version, r.schema_version);
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.smoke, r.smoke);
+  EXPECT_EQ(back.repo_sha, r.repo_sha);
+  EXPECT_EQ(back.config, r.config);
+  ASSERT_EQ(back.headline.size(), r.headline.size());
+  for (std::size_t i = 0; i < r.headline.size(); ++i) {
+    EXPECT_EQ(back.headline[i].name, r.headline[i].name);
+    EXPECT_DOUBLE_EQ(back.headline[i].value, r.headline[i].value);
+    EXPECT_EQ(back.headline[i].unit, r.headline[i].unit);
+    EXPECT_EQ(back.headline[i].higher_is_better, r.headline[i].higher_is_better);
+    EXPECT_EQ(back.headline[i].noisy, r.headline[i].noisy);
+  }
+  ASSERT_EQ(back.metrics.size(), r.metrics.size());
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].name, r.metrics[i].name);
+    EXPECT_EQ(back.metrics[i].type, r.metrics[i].type);
+    EXPECT_DOUBLE_EQ(back.metrics[i].value, r.metrics[i].value);
+    EXPECT_EQ(back.metrics[i].count, r.metrics[i].count);
+    EXPECT_DOUBLE_EQ(back.metrics[i].sum, r.metrics[i].sum);
+  }
+  // The serialized form also survives a text round trip.
+  EXPECT_TRUE(validate_bench_json(Json::parse(r.to_json().dump(2))).empty());
+}
+
+TEST(BenchJson, EmitterOutputValidates) {
+  EXPECT_TRUE(validate_bench_json(golden_report().to_json()).empty());
+}
+
+// The pinned top-level key set.  Adding, removing or renaming a key must
+// fail here (and in the golden file) until kBenchSchemaVersion is bumped
+// and this list is updated deliberately.
+TEST(BenchJson, GoldenTopLevelKeySetIsPinned) {
+  ASSERT_EQ(kBenchSchemaVersion, 1);
+  const Json doc = golden_report().to_json();
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : doc.as_object()) keys.push_back(key);
+  const std::vector<std::string> expected = {
+      "bench",    "config",   "fingerprint", "headline",
+      "metrics",  "repo_sha", "schema_version", "smoke"};
+  EXPECT_EQ(keys, expected);
+}
+
+// Byte-for-byte golden file: pins key order, indentation, number
+// formatting and the fingerprint of the canonical sample.  If the drift
+// is an intentional schema change, bump kBenchSchemaVersion and
+// regenerate by rerunning this test with INPLANE_REGEN_GOLDEN=1.
+TEST(BenchJson, GoldenFileMatchesSerializedForm) {
+  const std::string golden_path =
+      std::string(INPLANE_GOLDEN_DIR) + "/BENCH_golden_sample.json";
+  if (std::getenv("INPLANE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    out << golden_report().to_json().dump(2) << "\n";
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+  }
+  const std::string want = rstrip(read_file(golden_path));
+  const std::string got = rstrip(golden_report().to_json().dump(2));
+  EXPECT_EQ(got, want)
+      << "BENCH schema serialization drifted from the committed golden file; "
+         "if intentional, bump kBenchSchemaVersion and regenerate "
+      << golden_path;
+}
+
+TEST(BenchJson, FingerprintIgnoresMeasurementsAndSha) {
+  const BenchReport base = golden_report();
+  BenchReport variant = base;
+  variant.repo_sha = "ffffffffffff";
+  variant.headline[0].value = 9999.0;
+  variant.metrics.clear();
+  EXPECT_EQ(variant.fingerprint(), base.fingerprint());
+}
+
+TEST(BenchJson, FingerprintTracksIdentityAndConfig) {
+  const BenchReport base = golden_report();
+  BenchReport other = base;
+  other.config["grid"] = "512x512x256";
+  EXPECT_NE(other.fingerprint(), base.fingerprint());
+  other = base;
+  other.smoke = false;
+  EXPECT_NE(other.fingerprint(), base.fingerprint());
+  other = base;
+  other.bench = "other_bench";
+  EXPECT_NE(other.fingerprint(), base.fingerprint());
+}
+
+TEST(BenchJson, ValidateCatchesSchemaViolations) {
+  const auto has_error = [](const Json& doc, const std::string& needle) {
+    for (const std::string& e : validate_bench_json(doc)) {
+      if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  const Json good = golden_report().to_json();
+  ASSERT_TRUE(validate_bench_json(good).empty());
+
+  Json doc = good;
+  doc.as_object()["schema_version"] = Json(kBenchSchemaVersion + 1);
+  EXPECT_TRUE(has_error(doc, "schema_version"));
+
+  doc = good;
+  doc.as_object().erase("bench");
+  EXPECT_TRUE(has_error(doc, "missing key: bench"));
+
+  doc = good;
+  doc.as_object()["surprise"] = Json(1);
+  EXPECT_TRUE(has_error(doc, "unknown key: surprise"));
+
+  doc = good;
+  doc.as_object()["bench"] = Json("Bad-Name");
+  EXPECT_TRUE(has_error(doc, "bench"));
+
+  doc = good;
+  doc.as_object()["fingerprint"] = Json("00000000");
+  EXPECT_TRUE(has_error(doc, "fingerprint"));
+
+  doc = good;
+  doc.as_object()["smoke"] = Json("yes");
+  EXPECT_TRUE(has_error(doc, "smoke"));
+
+  doc = good;
+  doc.as_object()["headline"].as_array()[0].as_object()["value"] =
+      Json(std::nan(""));
+  EXPECT_TRUE(has_error(doc, "headline"));
+
+  doc = good;
+  doc.as_object()["metrics"].as_array()[0].as_object().erase("value");
+  EXPECT_TRUE(has_error(doc, "metrics"));
+
+  EXPECT_THROW((void)BenchReport::from_json(Json(Json::Array{})), std::runtime_error);
+}
+
+TEST(BenchJson, MetricSamplesFlattenSortedRegistry) {
+  const bool was = inplane::metrics::enabled();
+  inplane::metrics::set_enabled(true);
+  inplane::metrics::Registry reg;
+  reg.counter("b.count").add(5);
+  reg.gauge("a.level").set(0.5);
+  { inplane::metrics::ScopedTimer scope(reg.timer("c.span")); }
+  inplane::metrics::set_enabled(was);
+
+  const std::vector<MetricSample> samples = metric_samples(reg);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "a.level");
+  EXPECT_EQ(samples[0].type, "gauge");
+  EXPECT_EQ(samples[1].name, "b.count");
+  EXPECT_EQ(samples[1].type, "counter");
+  EXPECT_DOUBLE_EQ(samples[1].value, 5.0);
+  EXPECT_EQ(samples[2].name, "c.span.cpu_s");
+  EXPECT_EQ(samples[2].type, "histogram");
+  EXPECT_EQ(samples[3].name, "c.span.wall_s");
+  EXPECT_EQ(samples[3].count, 1u);
+}
+
+TEST(BenchJson, WriteBenchReportProducesValidatedFile) {
+  const std::string dir = "test_bench_json_tmp/write/nested";
+  const std::string path = write_bench_report(golden_report(), dir);
+  EXPECT_EQ(path, dir + "/" + bench_report_filename("golden_sample"));
+  EXPECT_EQ(bench_report_filename("x"), "BENCH_x.json");
+  const Json doc = Json::parse(read_file(path));
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  std::filesystem::remove_all("test_bench_json_tmp");
+}
+
+// --- bench_diff regression gate -------------------------------------------
+
+class BenchDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::filesystem::remove_all(root_);
+    old_dir_ = root_ + "/old";
+    new_dir_ = root_ + "/new";
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_ = "test_bench_diff_tmp";
+  std::string old_dir_;
+  std::string new_dir_;
+};
+
+TEST_F(BenchDiffTest, IdenticalTreesPass) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  (void)write_bench_report(golden_report(), new_dir_);
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_TRUE(result.pass());
+  EXPECT_EQ(result.compared_files, 1u);
+  EXPECT_EQ(result.deltas.size(), 3u);
+  for (const BenchDelta& d : result.deltas) {
+    EXPECT_FALSE(d.regression);
+    EXPECT_DOUBLE_EQ(d.change, 0.0);
+  }
+}
+
+TEST_F(BenchDiffTest, InjectedRegressionFailsInBothDirections) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport worse = golden_report();
+  worse.headline[0].value *= 0.80;  // throughput (higher better) -20%
+  worse.headline[1].value *= 1.25;  // model_gap (lower better) +25%
+  (void)write_bench_report(worse, new_dir_);
+
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_FALSE(result.pass());
+  ASSERT_EQ(result.regressions().size(), 2u);
+  EXPECT_EQ(result.regressions()[0]->metric, "throughput");
+  EXPECT_EQ(result.regressions()[1]->metric, "model_gap");
+}
+
+TEST_F(BenchDiffTest, ThresholdAndImprovementsAreRespected) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport within = golden_report();
+  within.headline[0].value *= 0.95;  // -5%: inside the 10% default
+  within.headline[1].value *= 0.50;  // model_gap halved: an improvement
+  (void)write_bench_report(within, new_dir_);
+  EXPECT_TRUE(diff_bench_trees(old_dir_, new_dir_).pass());
+
+  // The same -5% fails a tighter gate.
+  BenchDiffOptions tight;
+  tight.threshold = 0.02;
+  EXPECT_FALSE(diff_bench_trees(old_dir_, new_dir_, tight).pass());
+}
+
+TEST_F(BenchDiffTest, NoisyMetricsAreSkippedUnlessRequested) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport slower = golden_report();
+  slower.headline[2].value *= 2.0;  // wall (noisy, lower better) doubled
+  (void)write_bench_report(slower, new_dir_);
+
+  const BenchDiffResult lax = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_TRUE(lax.pass());
+  bool saw_skip = false;
+  for (const BenchDelta& d : lax.deltas) saw_skip = saw_skip || d.skipped_noisy;
+  EXPECT_TRUE(saw_skip);
+
+  BenchDiffOptions strict;
+  strict.include_noisy = true;
+  EXPECT_FALSE(diff_bench_trees(old_dir_, new_dir_, strict).pass());
+}
+
+TEST_F(BenchDiffTest, FingerprintDriftSkipsGatingWithWarning) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport reconfigured = golden_report();
+  reconfigured.config["grid"] = "512x512x256";
+  reconfigured.headline[0].value *= 0.5;  // would be a huge regression
+  (void)write_bench_report(reconfigured, new_dir_);
+
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_TRUE(result.pass());
+  EXPECT_EQ(result.compared_files, 0u);
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("fingerprint"), std::string::npos);
+}
+
+TEST_F(BenchDiffTest, MissingAndNewBenchesWarn) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport fresh = golden_report();
+  fresh.bench = "brand_new";
+  (void)write_bench_report(fresh, new_dir_);
+
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_EQ(result.compared_files, 0u);
+  bool missing = false;
+  bool brand_new = false;
+  for (const std::string& w : result.warnings) {
+    missing = missing || w.find("missing from new tree") != std::string::npos;
+    brand_new = brand_new || w.find("without baseline") != std::string::npos;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(brand_new);
+}
+
+TEST_F(BenchDiffTest, UnreadableDirectoryThrows) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  EXPECT_THROW((void)diff_bench_trees(old_dir_, root_ + "/does_not_exist"),
+               std::runtime_error);
+}
+
+}  // namespace

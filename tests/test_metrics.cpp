@@ -1,0 +1,235 @@
+// Unit tests for the metrics registry: instrument semantics, the runtime
+// collection switch, snapshot determinism and the address-stability
+// guarantees the cached instrumentation sites rely on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace inplane;
+
+// Every test toggles the process-wide switch; restore what it found so
+// tests compose regardless of INPLANE_METRICS in the environment.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics::enabled();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(MetricsTest, RecordingIsCompiledInByDefault) {
+  // The library is built without INPLANE_METRICS_DISABLED; the bench
+  // harness and the trace property tests depend on that.
+  EXPECT_TRUE(metrics::kCompiledIn);
+}
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  metrics::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterIgnoresAddsWhileDisabled) {
+  metrics::Counter c;
+  metrics::set_enabled(false);
+  EXPECT_FALSE(metrics::enabled());
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  metrics::set_enabled(true);
+  EXPECT_TRUE(metrics::enabled());
+  c.add(100);
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  metrics::Gauge g;
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+  metrics::set_enabled(false);
+  g.set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+  metrics::set_enabled(true);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramSummaryIsExact) {
+  metrics::Histogram h;
+  h.record(1.5);
+  h.record(0.5);
+  h.record(2.0);
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_NEAR(s.mean(), 4.0 / 3.0, 1e-12);
+}
+
+TEST_F(MetricsTest, EmptyHistogramReportsZeros) {
+  metrics::Histogram h;
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);  // not the +infinity seed
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramClampsNegativeAndNonFinite) {
+  metrics::Histogram h;
+  h.record(-1.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST_F(MetricsTest, HistogramResetClearsSeeds) {
+  metrics::Histogram h;
+  h.record(5.0);
+  h.reset();
+  EXPECT_EQ(h.summary().count, 0u);
+  h.record(2.0);
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsOneWallAndOneCpuSample) {
+  metrics::Timer t;
+  {
+    metrics::ScopedTimer scope(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto wall = t.wall().summary();
+  const auto cpu = t.cpu().summary();
+  EXPECT_EQ(wall.count, 1u);
+  EXPECT_EQ(cpu.count, 1u);
+  EXPECT_GE(wall.sum, 0.002);  // at least the sleep
+  EXPECT_GE(cpu.sum, 0.0);     // sleeping burns little CPU
+  EXPECT_LE(cpu.sum, wall.sum + 0.001);
+}
+
+TEST_F(MetricsTest, ScopedTimerIsInertWhileDisabled) {
+  metrics::Timer t;
+  metrics::set_enabled(false);
+  {
+    metrics::ScopedTimer scope(t);
+  }
+  metrics::set_enabled(true);
+  EXPECT_EQ(t.wall().summary().count, 0u);
+  EXPECT_EQ(t.cpu().summary().count, 0u);
+}
+
+TEST_F(MetricsTest, RegistryInternsStableAddresses) {
+  metrics::Registry reg;
+  metrics::Counter& a1 = reg.counter("layer.a");
+  metrics::Counter& a2 = reg.counter("layer.a");
+  metrics::Counter& b = reg.counter("layer.b");
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_NE(&a1, &b);
+  // Reset zeroes values but keeps the instruments seated, so cached
+  // references held by instrumentation sites stay valid.
+  a1.add(7);
+  reg.reset();
+  EXPECT_EQ(&reg.counter("layer.a"), &a1);
+  EXPECT_EQ(a1.value(), 0u);
+  a1.add(3);
+  EXPECT_EQ(reg.counter("layer.a").value(), 3u);
+}
+
+TEST_F(MetricsTest, RegistryKindsAreIndependentNamespaces) {
+  metrics::Registry reg;
+  reg.counter("x").add(1);
+  reg.gauge("x").set(2.0);
+  reg.histogram("x").record(3.0);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.0);
+  EXPECT_EQ(reg.histogram("x").summary().count, 1u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndTimersExpand) {
+  metrics::Registry reg;
+  reg.counter("b.count").add(5);
+  reg.gauge("a.level").set(0.5);
+  reg.histogram("c.dist").record(1.0);
+  { metrics::ScopedTimer scope(reg.timer("d.span")); }
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 5u);  // timer contributes .wall_s and .cpu_s
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  EXPECT_EQ(snap[0].name, "a.level");
+  EXPECT_EQ(snap[0].kind, metrics::SnapshotEntry::Kind::Gauge);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].kind, metrics::SnapshotEntry::Kind::Counter);
+  EXPECT_DOUBLE_EQ(snap[1].value, 5.0);
+  EXPECT_EQ(snap[2].name, "c.dist");
+  EXPECT_EQ(snap[2].kind, metrics::SnapshotEntry::Kind::Histogram);
+  EXPECT_EQ(snap[3].name, "d.span.cpu_s");
+  EXPECT_EQ(snap[4].name, "d.span.wall_s");
+  EXPECT_EQ(snap[4].histogram.count, 1u);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsOneInstance) {
+  metrics::Registry& g1 = metrics::Registry::global();
+  metrics::Registry& g2 = metrics::Registry::global();
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterAddsAreLossless) {
+  metrics::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramRecordsAreLossless) {
+  metrics::Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) h.record(static_cast<double>(t + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kThreads));
+  EXPECT_DOUBLE_EQ(s.sum, kRecords * (1.0 + 2.0 + 3.0 + 4.0));
+}
+
+}  // namespace

@@ -1,0 +1,231 @@
+// Property tests tying the runner's metrics counters to the simulator
+// ground truth: the per-launch deltas flushed into the global registry
+// must agree exactly with the aggregated TraceStats of the run, and the
+// trace itself must satisfy the trace auditor's closed-form invariants —
+// across all five methods at every paper order, plus register-tiled and
+// vectorised variants.  A counter that drifts from the trace (a missed
+// flush, a double count, a wrong field) fails here by name.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "autotune/search_space.hpp"
+#include "core/stencil_spec.hpp"
+#include "kernels/runner.hpp"
+#include "metrics/metrics.hpp"
+#include "verify/trace_audit.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+const gpusim::DeviceSpec kDevice = gpusim::DeviceSpec::geforce_gtx580();
+const Extent3 kExtent{256, 64, 32};
+
+std::uint64_t counter(const char* name) {
+  return metrics::Registry::global().counter(name).value();
+}
+
+/// Runs @p kernel over kExtent in trace mode with a freshly zeroed
+/// registry and returns the aggregate trace.
+template <typename T>
+gpusim::TraceStats traced_run(const IStencilKernel<T>& kernel) {
+  metrics::Registry::global().reset();
+  Grid3<T> in = make_grid_for(kernel, kExtent);
+  Grid3<T> out = make_grid_for(kernel, kExtent);
+  return run_kernel(kernel, in, out, kDevice, gpusim::ExecMode::Trace);
+}
+
+/// The counter-vs-trace agreement contract for one completed launch.
+void expect_counters_match(const gpusim::TraceStats& t, std::uint64_t nblocks,
+                           const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(counter("gpusim.launches"), 1u);
+  EXPECT_EQ(counter("gpusim.blocks"), nblocks);
+  EXPECT_EQ(counter("gpusim.load_transactions"), t.load_transactions);
+  EXPECT_EQ(counter("gpusim.store_transactions"), t.store_transactions);
+  EXPECT_EQ(counter("gpusim.bytes_requested_ld"), t.bytes_requested_ld);
+  EXPECT_EQ(counter("gpusim.bytes_transferred_ld"), t.bytes_transferred_ld);
+  EXPECT_EQ(counter("gpusim.bytes_transferred_st"), t.bytes_transferred_st);
+  EXPECT_EQ(counter("gpusim.smem_replays"), t.smem_replays);
+  EXPECT_EQ(counter("gpusim.syncs"), t.syncs);
+  EXPECT_EQ(counter("gpusim.flops"), t.flops);
+
+  // The plane counter uses the auditor's barrier invariant: every loaded
+  // plane costs exactly two barriers in every block, so the aggregate
+  // sync count must split evenly and the quotient is the plane count.
+  ASSERT_NE(nblocks, 0u);
+  EXPECT_EQ(t.syncs % (2 * nblocks), 0u) << "2-barriers-per-plane violated";
+  EXPECT_EQ(counter("gpusim.planes_loaded"), t.syncs / (2 * nblocks));
+}
+
+/// Whole-grid closed forms (the auditor pins the same facts per plane).
+void expect_closed_forms(const gpusim::TraceStats& t, std::size_t elem_size,
+                         const std::string& what) {
+  SCOPED_TRACE(what);
+  // Store-once: across the full sweep every output point is stored
+  // exactly once.
+  EXPECT_EQ(t.bytes_requested_st, kExtent.volume() * elem_size);
+  // Coalescing sanity: transferred covers requested (efficiency <= 1)
+  // and no transaction moves more than the largest 128-byte segment.
+  EXPECT_GE(t.bytes_transferred_ld, t.bytes_requested_ld);
+  EXPECT_LE(t.bytes_transferred_ld, 128u * t.load_transactions);
+  EXPECT_GT(t.load_efficiency(), 0.0);
+  EXPECT_LE(t.load_efficiency(), 1.0);
+}
+
+class CountersMatchTrace
+    : public ::testing::TestWithParam<std::tuple<Method, int>> {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics::enabled();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_P(CountersMatchTrace, LaunchDeltasAgreeWithTraceAndAuditor) {
+  const auto [method, order] = GetParam();
+  LaunchConfig cfg{32, 8, 1, 1, 1};
+  cfg.vec = autotune::default_vec(method, sizeof(float));
+  const auto kernel =
+      make_kernel<float>(method, StencilCoeffs::diffusion(order / 2), cfg);
+  const gpusim::TraceStats t = traced_run(*kernel);
+  const std::uint64_t nblocks =
+      static_cast<std::uint64_t>(kExtent.nx / cfg.tile_w()) *
+      static_cast<std::uint64_t>(kExtent.ny / cfg.tile_h());
+  const std::string what =
+      std::string(to_string(method)) + " order " + std::to_string(order);
+
+  expect_counters_match(t, nblocks, what);
+  expect_closed_forms(t, sizeof(float), what);
+
+  // The per-plane trace behind the same kernel must satisfy every
+  // closed-form invariant the auditor derives from the paper.
+  const verify::AuditReport audit = verify::audit_kernel(*kernel, kDevice, kExtent);
+  EXPECT_TRUE(audit.pass()) << what << ": " << audit.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByOrder, CountersMatchTrace,
+    ::testing::Combine(::testing::Values(Method::ForwardPlane,
+                                         Method::InPlaneClassical,
+                                         Method::InPlaneVertical,
+                                         Method::InPlaneHorizontal,
+                                         Method::InPlaneFullSlice),
+                       ::testing::Values(2, 4, 6, 8, 10, 12)),
+    [](const auto& inst) {
+      std::string name = to_string(std::get<0>(inst.param));
+      std::erase(name, '-');
+      return name + "_order" + std::to_string(std::get<1>(inst.param));
+    });
+
+class TracePropertyMisc : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics::enabled();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TracePropertyMisc, RegisterTiledAndVectorisedVariantsAgree) {
+  // vec x rx.ry coverage: the counter contract is launch-shape
+  // independent.
+  for (const LaunchConfig cfg :
+       {LaunchConfig{16, 8, 2, 2, 2}, LaunchConfig{16, 4, 4, 1, 4},
+        LaunchConfig{64, 2, 1, 2, 1}}) {
+    for (Method m : {Method::ForwardPlane, Method::InPlaneHorizontal,
+                     Method::InPlaneFullSlice}) {
+      const auto kernel = make_kernel<float>(m, StencilCoeffs::diffusion(3), cfg);
+      const gpusim::TraceStats t = traced_run(*kernel);
+      const std::uint64_t nblocks =
+          static_cast<std::uint64_t>(kExtent.nx / cfg.tile_w()) *
+          static_cast<std::uint64_t>(kExtent.ny / cfg.tile_h());
+      const std::string what = std::string(to_string(m)) + " " + cfg.to_string();
+      expect_counters_match(t, nblocks, what);
+      expect_closed_forms(t, sizeof(float), what);
+    }
+  }
+}
+
+TEST_F(TracePropertyMisc, DoublePrecisionStoreOnceHolds) {
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<double>(Method::InPlaneFullSlice, StencilCoeffs::diffusion(2), cfg);
+  const gpusim::TraceStats t = traced_run(*kernel);
+  expect_closed_forms(t, sizeof(double), "fullslice dp order 4");
+  EXPECT_EQ(counter("gpusim.bytes_transferred_st"), t.bytes_transferred_st);
+}
+
+TEST_F(TracePropertyMisc, CountersAccumulateAcrossLaunches) {
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::ForwardPlane, StencilCoeffs::diffusion(1), cfg);
+  const gpusim::TraceStats once = traced_run(*kernel);
+  // Second launch on the same zeroed-then-populated registry.
+  Grid3<float> in = make_grid_for(*kernel, kExtent);
+  Grid3<float> out = make_grid_for(*kernel, kExtent);
+  (void)run_kernel(*kernel, in, out, kDevice, gpusim::ExecMode::Trace);
+  EXPECT_EQ(counter("gpusim.launches"), 2u);
+  EXPECT_EQ(counter("gpusim.syncs"), 2 * once.syncs);
+  EXPECT_EQ(counter("gpusim.flops"), 2 * once.flops);
+}
+
+TEST_F(TracePropertyMisc, ParallelExecutionFlushesIdenticalDeltas) {
+  // The aggregate trace is bit-identical for every thread count, so the
+  // flushed counters must be too.
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::InPlaneVertical, StencilCoeffs::diffusion(2), cfg);
+  Grid3<float> in = make_grid_for(*kernel, kExtent);
+  Grid3<float> out = make_grid_for(*kernel, kExtent);
+
+  metrics::Registry::global().reset();
+  (void)run_kernel(*kernel, in, out, kDevice, gpusim::ExecMode::Trace, ExecPolicy{1});
+  const std::uint64_t serial_syncs = counter("gpusim.syncs");
+  const std::uint64_t serial_ld = counter("gpusim.load_transactions");
+
+  metrics::Registry::global().reset();
+  (void)run_kernel(*kernel, in, out, kDevice, gpusim::ExecMode::Trace, ExecPolicy{4});
+  EXPECT_EQ(counter("gpusim.syncs"), serial_syncs);
+  EXPECT_EQ(counter("gpusim.load_transactions"), serial_ld);
+}
+
+TEST_F(TracePropertyMisc, DisabledCollectionRecordsNothing) {
+  metrics::set_enabled(false);
+  metrics::Registry::global().reset();
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::InPlaneFullSlice, StencilCoeffs::diffusion(2), cfg);
+  Grid3<float> in = make_grid_for(*kernel, kExtent);
+  Grid3<float> out = make_grid_for(*kernel, kExtent);
+  const gpusim::TraceStats t =
+      run_kernel(*kernel, in, out, kDevice, gpusim::ExecMode::Trace);
+  EXPECT_GT(t.syncs, 0u);  // the run itself did real work
+  EXPECT_EQ(counter("gpusim.launches"), 0u);
+  EXPECT_EQ(counter("gpusim.syncs"), 0u);
+}
+
+TEST_F(TracePropertyMisc, TimingEvaluationCounterTicks) {
+  metrics::Registry::global().reset();
+  const LaunchConfig cfg{32, 8, 1, 1, 1};
+  const auto kernel =
+      make_kernel<float>(Method::InPlaneFullSlice, StencilCoeffs::diffusion(2), cfg);
+  const gpusim::KernelTiming timing = time_kernel(*kernel, kDevice, kExtent);
+  EXPECT_TRUE(timing.valid) << timing.invalid_reason;
+  EXPECT_EQ(counter("gpusim.timing.evaluations"), 1u);
+  EXPECT_EQ(counter("gpusim.launches"), 0u);  // timing traces one plane, no launch
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// bench_diff: compares two trees of BENCH_<name>.json reports and fails
+// on performance regressions.
+//
+//   $ bench_diff <old-dir> <new-dir> [--threshold PCT] [--include-noisy]
+//                [--warn-only]
+//
+// Every headline metric present in both trees is gated at the threshold
+// (default 10%) in the direction the metric declares; wall-clock-derived
+// metrics (noisy: true) are reported but not gated unless --include-noisy.
+// Exit codes: 0 = no regression, 1 = at least one regression, 2 = usage /
+// unreadable input.  --warn-only reports regressions but still exits 0
+// (the CI mode for a freshly landed baseline).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report/bench_json.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <old-dir> <new-dir> [--threshold PCT] "
+               "[--include-noisy] [--warn-only]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace inplane::report;
+
+  std::string old_dir;
+  std::string new_dir;
+  BenchDiffOptions options;
+  bool warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      options.threshold = std::atof(argv[++i]) / 100.0;
+      if (options.threshold <= 0.0) return usage();
+    } else if (std::strcmp(argv[i], "--include-noisy") == 0) {
+      options.include_noisy = true;
+    } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+      warn_only = true;
+    } else if (old_dir.empty()) {
+      old_dir = argv[i];
+    } else if (new_dir.empty()) {
+      new_dir = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (old_dir.empty() || new_dir.empty()) return usage();
+
+  BenchDiffResult result;
+  try {
+    result = diff_bench_trees(old_dir, new_dir, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  for (const std::string& w : result.warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+
+  Table table({"Bench", "Metric", "Old", "New", "Change", "Verdict"});
+  for (const BenchDelta& d : result.deltas) {
+    table.add_row({d.bench, d.metric, fmt(d.old_value, 3), fmt(d.new_value, 3),
+                   fmt(d.change * 100.0, 2) + "%",
+                   d.skipped_noisy ? "skipped (noisy)"
+                                   : (d.regression ? "REGRESSION" : "ok")});
+  }
+  std::fputs(table
+                 .render("bench_diff: " + old_dir + " -> " + new_dir + " (threshold " +
+                         fmt(options.threshold * 100.0, 0) + "%)")
+                 .c_str(),
+             stdout);
+
+  const auto regressions = result.regressions();
+  std::printf("\n%zu bench file(s) compared, %zu metric(s), %zu regression(s)\n",
+              result.compared_files, result.deltas.size(), regressions.size());
+  if (!regressions.empty() && warn_only) {
+    std::printf("--warn-only: reporting regressions without failing\n");
+    return 0;
+  }
+  return regressions.empty() ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// bench_smoke_check: the bench-smoke ctest driver.  Runs one bench binary
+// in smoke mode and validates the BENCH json it emits.
+//
+//   $ bench_smoke_check <bench-binary> <bench-name> <results-dir>
+//
+// Fails (non-zero) when the bench exits non-zero, does not write
+// BENCH_<bench-name>.json into the results dir, or writes a file that
+// violates the pinned schema (wrong version, missing/unknown keys,
+// fingerprint mismatch, smoke flag not set).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/bench_json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace inplane::report;
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: bench_smoke_check <bench-binary> <bench-name> "
+                 "<results-dir>\n");
+    return 2;
+  }
+  const std::string binary = argv[1];
+  const std::string name = argv[2];
+  const std::string dir = argv[3];
+
+  const std::string command =
+      "\"" + binary + "\" --smoke --results-dir \"" + dir + "\"";
+  std::printf("running: %s\n", command.c_str());
+  std::fflush(stdout);
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::fprintf(stderr, "bench exited with status %d\n", rc);
+    return 1;
+  }
+
+  const std::string path = dir + "/" + bench_report_filename(name);
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench did not write %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> errors = validate_bench_json(doc);
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s: schema violation: %s\n", path.c_str(), e.c_str());
+    }
+    return 1;
+  }
+  const BenchReport report = BenchReport::from_json(doc);
+  if (!report.smoke) {
+    std::fprintf(stderr, "%s: smoke flag not set on a --smoke run\n", path.c_str());
+    return 1;
+  }
+  if (report.bench != name) {
+    std::fprintf(stderr, "%s: bench name is '%s', expected '%s'\n", path.c_str(),
+                 report.bench.c_str(), name.c_str());
+    return 1;
+  }
+  std::printf("%s: schema valid (%zu headline, %zu metric samples)\n", path.c_str(),
+              report.headline.size(), report.metrics.size());
+  return 0;
+}
