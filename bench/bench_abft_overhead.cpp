@@ -1,0 +1,136 @@
+// ABFT checksum overhead: wall-clock cost of the online SDC detection
+// layer.  The store-side hook sits on the hot warp-store path
+// (BlockCtx::warp_store -> AbftSink::observe_store), so with ABFT off it
+// must be a single never-taken pointer check — that disabled path is
+// measured against the plain runner and held under 1%.  The enabled path
+// (checksum prediction + per-store accumulation + the compare pass) is
+// reported for scale; it buys online corruption detection without a
+// CPU-reference verify, so it is expected to cost real time.
+//
+//   $ ./bench_abft_overhead [repeats] [--strict] [--smoke]
+//
+// Exits 0 when the disabled-path overhead is under the target (or always,
+// without --strict, since CI machines are noisy; the table still shows
+// the numbers).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/runner.hpp"
+#include "report/stats.hpp"
+
+namespace {
+
+using namespace inplane;
+
+int run(bench::Session& session, int repeats, bool strict) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const kernels::LaunchConfig cfg{32, 8, 1, 2, 4};
+  const auto kernel =
+      kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice, cs, cfg);
+  const Extent3 extent = session.smoke() ? Extent3{128, 64, 8} : Extent3{256, 256, 64};
+  Grid3<float> in = kernels::make_grid_for(*kernel, extent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<float>(std::sin(0.1 * i) + 0.05 * j + 0.01 * k);
+  });
+
+  // Warm-up sweep so first-touch page faults don't land in either column.
+  {
+    Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+    kernels::run_kernel(*kernel, in, out, dev);
+  }
+
+  std::vector<double> plain_s;
+  std::vector<double> off_s;
+  std::vector<double> on_s;
+  for (int rep = 0; rep < repeats; ++rep) {
+    {
+      Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+      const report::Stopwatch watch;
+      kernels::run_kernel(*kernel, in, out, dev);
+      plain_s.push_back(watch.seconds());
+    }
+    {
+      // Hardened runner, ABFT off: the default configuration — the store
+      // hook must stay a never-taken branch.
+      Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+      const report::Stopwatch watch;
+      const kernels::RunReport report =
+          kernels::run_kernel_guarded(*kernel, in, out, dev, {});
+      off_s.push_back(watch.seconds());
+      if (!report.status.ok()) {
+        std::printf("unexpected failure: %s\n", report.status.to_string().c_str());
+        return 1;
+      }
+    }
+    {
+      // ABFT on: prediction from the input, per-store accumulation, and
+      // the post-sweep compare.  No CPU-reference verify runs.
+      Grid3<float> out = kernels::make_grid_for(*kernel, extent);
+      kernels::RunOptions ro;
+      ro.abft.enabled = true;
+      const report::Stopwatch watch;
+      const kernels::RunReport report =
+          kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+      on_s.push_back(watch.seconds());
+      if (!report.status.ok()) {
+        std::printf("unexpected failure: %s\n", report.status.to_string().c_str());
+        return 1;
+      }
+      if (report.abft.planes_flagged != 0) {
+        std::printf("false positive: %llu plane(s) flagged on a clean run\n",
+                    static_cast<unsigned long long>(report.abft.planes_flagged));
+        return 1;
+      }
+    }
+  }
+
+  const double plain = report::median(plain_s);
+  const double off = report::median(off_s);
+  const double on = report::median(on_s);
+  const double off_pct = (off / plain - 1.0) * 100.0;
+  const double on_pct = (on / plain - 1.0) * 100.0;
+
+  report::Table table({"Configuration", "Median wall [s]", "vs plain [%]"});
+  table.add_row({"run_kernel (plain)", report::fmt(plain, 4), "0.00"});
+  table.add_row({"run_kernel_guarded, ABFT off", report::fmt(off, 4),
+                 report::fmt(off_pct, 2)});
+  table.add_row({"run_kernel_guarded, ABFT on (predict+accumulate+compare)",
+                 report::fmt(on, 4), report::fmt(on_pct, 2)});
+  session.set_config("repeats", std::to_string(repeats));
+  session.emit(table, "ABFT checksum overhead (median of " +
+                          std::to_string(repeats) + " repeats)");
+  session.headline("abft_disabled_overhead_pct", off_pct, "%",
+                   /*higher_is_better=*/false, /*noisy=*/true);
+  session.headline("abft_enabled_overhead_pct", on_pct, "%",
+                   /*higher_is_better=*/false, /*noisy=*/true);
+
+  const bool under_target = off_pct < 1.0;
+  std::printf("disabled-path overhead: %.2f%% (target < 1%%): %s\n", off_pct,
+              under_target ? "PASS" : "FAIL");
+  const int finish = session.finish();
+  if (finish != 0) return finish;
+  return (strict && !under_target) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inplane::bench::Session session("abft_overhead", argc, argv);
+  int repeats = session.smoke() ? 3 : 9;
+  bool strict = false;
+  for (const std::string& arg : session.args()) {
+    if (arg == "--strict") {
+      strict = true;
+    } else {
+      repeats = std::atoi(arg.c_str());
+    }
+  }
+  if (repeats < 3) repeats = 3;
+  return run(session, repeats, strict);
+}

@@ -12,8 +12,9 @@
 // retried and, if they keep failing, quarantined — the sweep degrades to
 // best-of-survivors and the roster is printed.
 //
-// Exit codes: 0 success, 1 no valid configuration / internal, 2 bad
-// arguments or configuration, 3 execution fault, 4 I/O failure.
+// Exit codes (shared exit_code() scheme, see core/status.hpp): 0 success,
+// 1 no valid configuration / internal, 2 bad arguments or configuration,
+// 3 execution fault, 4 I/O failure, 5 deadline/budget exhaustion.
 
 #include <cstdio>
 #include <cstdlib>
@@ -150,18 +151,6 @@ int main(int argc, char** argv) {
     // Exit codes by failure class, same scheme as the inplane CLI.
     const Status st = status_of(e);
     std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
-    switch (st.code) {
-      case ErrorCode::InvalidConfig:
-        return 2;
-      case ErrorCode::TransientFault:
-      case ErrorCode::Timeout:
-      case ErrorCode::DataCorruption:
-      case ErrorCode::DeviceLost:
-        return 3;
-      case ErrorCode::IoError:
-        return 4;
-      default:
-        return 1;
-    }
+    return exit_code(st);
   }
 }

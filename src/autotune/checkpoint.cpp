@@ -35,7 +35,10 @@ struct CkptMetrics {
   }
 };
 
-constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '1', '\n'};
+// Format history: "IPTJ1\n" had no sdc_events field; "IPTJ2\n" appends it
+// at the end of every payload.  Old journals fail the magic check and are
+// re-initialised as a fresh sweep — decode never sees a v1 payload.
+constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '2', '\n'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
 
 std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
@@ -150,6 +153,7 @@ std::string encode_entry(const TuneEntry& e) {
   put_str(p, e.timing.bottleneck);
   put_i32(p, e.timing.stages);
   put_i32(p, e.timing.rem_blocks);
+  put_i32(p, e.sdc_events);
   return p;
 }
 
@@ -186,6 +190,7 @@ bool decode_entry(const std::string& payload, TuneEntry& e) {
   e.timing.bottleneck = r.str();
   e.timing.stages = r.i32();
   e.timing.rem_blocks = r.i32();
+  e.sdc_events = r.i32();
   return r.ok && r.pos == payload.size();
 }
 

@@ -27,7 +27,7 @@ struct CheckpointKey {
 
 /// Crash-safe, append-only journal of measured tuning candidates.
 ///
-/// Layout: a fixed header (magic "IPTJ1\n" + the key fingerprint), then a
+/// Layout: a fixed header (magic "IPTJ2\n" + the key fingerprint), then a
 /// sequence of records, each `u32 payload_len | u32 crc32 | payload`.
 /// Records are appended and flushed one measurement at a time, so a
 /// process killed mid-sweep loses at most the record being written.  On

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 
 #include "autotune/checkpoint.hpp"
@@ -29,6 +30,7 @@ struct TuneMetrics {
   metrics::Counter& quarantined;
   metrics::Counter& resumed;
   metrics::Counter& faulted;
+  metrics::Counter& sdc_contained;
   metrics::Counter& sweeps;
   metrics::Histogram& model_error;
   metrics::Timer& sweep_timer;
@@ -42,6 +44,7 @@ struct TuneMetrics {
         reg.counter("autotune.candidates_quarantined"),
         reg.counter("autotune.candidates_resumed"),
         reg.counter("autotune.candidates_faulted"),
+        reg.counter("autotune.sdc_contained"),
         reg.counter("autotune.sweeps"),
         reg.histogram("autotune.model_rel_error"),
         reg.timer("autotune.sweep"),
@@ -121,7 +124,15 @@ TuneEntry measure_candidate(kernels::Method method, const StencilCoeffs& coeffs,
           ev.attempt = attempt;
           ev.candidate = ordinal;
           opts.faults->record(ev);
-          raise_candidate_fault(*kind, cfg);
+          if (opts.abft && (*kind == gpusim::FaultKind::BitFlip ||
+                            *kind == gpusim::FaultKind::StuckLoad)) {
+            // Corruption-class fault under ABFT: the online checksum layer
+            // detects and surgically contains it inside the measurement, so
+            // the attempt completes instead of burning a retry.
+            entry.sdc_events += 1;
+          } else {
+            raise_candidate_fault(*kind, cfg);
+          }
         }
       }
       const auto kernel = kernels::make_kernel<T>(method, coeffs, cfg);
@@ -151,10 +162,12 @@ TuneResult finalize(std::vector<TuneEntry> entries, std::size_t pruned) {
   for (const TuneEntry& e : entries) {
     if (e.executed) result.executed += 1;
     if (e.resumed) result.resumed += 1;
-    if (e.failed || e.attempts > 1) result.faulted += 1;
+    if (e.failed || e.attempts > 1 || e.sdc_events > 0) result.faulted += 1;
+    result.sdc_events += static_cast<std::size_t>(e.sdc_events);
     if (e.failed) {
       result.quarantined += 1;
-      result.quarantine.push_back(QuarantineRecord{e.config, e.failure, e.attempts});
+      result.quarantine.push_back(
+          QuarantineRecord{e.config, e.failure, e.attempts, e.sdc_events});
     }
   }
   if (metrics::enabled()) {
@@ -166,6 +179,7 @@ TuneResult finalize(std::vector<TuneEntry> entries, std::size_t pruned) {
     m.quarantined.add(result.quarantined);
     m.resumed.add(result.resumed);
     m.faulted.add(result.faulted);
+    m.sdc_contained.add(result.sdc_events);
     for (const TuneEntry& e : entries) {
       if (e.executed && e.timing.valid && e.timing.mpoints_per_s > 0.0 &&
           e.model_mpoints > 0.0) {
@@ -235,6 +249,39 @@ TuneEntry measure_or_resume(JournalCtx& jc, kernels::Method method,
   return entry;
 }
 
+/// Bytes one candidate measurement is budgeted at: the timing trace works
+/// one padded xy-plane at a time, so a plane of the full grid (generous)
+/// plus the entry bookkeeping bounds its working set.
+std::size_t measure_cost_bytes(const Extent3& extent, int radius,
+                               std::size_t elem_size) {
+  const auto nx =
+      static_cast<std::size_t>(extent.nx) + 2 * static_cast<std::size_t>(radius);
+  const auto ny =
+      static_cast<std::size_t>(extent.ny) + 2 * static_cast<std::size_t>(radius);
+  return nx * ny * elem_size + sizeof(TuneEntry);
+}
+
+/// How many of @p n candidates the sweep's memory budget covers, holding
+/// that many measurement workspaces in @p hold for the sweep's lifetime.
+/// At least one candidate always runs — an over-committed budget degrades
+/// the sweep, it never empties it.
+std::size_t reserve_measure_slots(MemBudget* budget, std::size_t n,
+                                  std::size_t cost,
+                                  std::optional<MemReservation>& hold) {
+  if (budget == nullptr || budget->limit_bytes() == 0 || n == 0) return n;
+  const std::uint64_t limit = budget->limit_bytes();
+  const std::uint64_t used = budget->used_bytes();
+  const std::uint64_t free = limit > used ? limit - used : 0;
+  auto slots = static_cast<std::size_t>(std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(1, free / static_cast<std::uint64_t>(cost))));
+  hold.emplace(budget, static_cast<std::uint64_t>(slots) * cost);
+  while (!hold->ok() && slots > 1) {
+    slots /= 2;
+    hold.emplace(budget, static_cast<std::uint64_t>(slots) * cost);
+  }
+  return slots;
+}
+
 }  // namespace
 
 template <typename T>
@@ -251,16 +298,39 @@ TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
   // own plane); evaluate them concurrently into index-addressed slots so
   // the resulting entry list — and therefore the sort, the best pick and
   // every statistic — is identical for every thread count.  Fault sites
-  // are keyed by the candidate's enumeration ordinal, so injection is
-  // equally schedule-independent.
+  // are keyed by the candidate's ordinal, so injection is equally
+  // schedule-independent.  A cancel token on options.policy is polled
+  // once per candidate by parallel_for; a fired token raises
+  // ResourceExhaustedError with every journaled measurement already
+  // flushed, so the sweep is resumable.
   std::vector<TuneEntry> entries(configs.size());
   parallel_for(options.policy, configs.size(), [&](std::size_t i) {
-    entries[i] = measure_or_resume<T>(jc, method, coeffs, device, extent, configs[i],
-                                      static_cast<std::int64_t>(i), options);
+    entries[i].config = configs[i];
     entries[i].model_mpoints =
         model_predict<T>(method, coeffs.radius(), device, extent, configs[i]);
   });
-  return finalize(std::move(entries), 0);
+  std::optional<MemReservation> workspace;
+  const std::size_t n_measure = reserve_measure_slots(
+      options.mem_budget, entries.size(),
+      measure_cost_bytes(extent, coeffs.radius(), sizeof(T)), workspace);
+  if (n_measure < entries.size()) {
+    // Budget-degraded sweep: measure only the best-predicted prefix (the
+    // section-VI cutoff with the budget picking K), leaving the rest
+    // un-executed with their predictions attached.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const TuneEntry& a, const TuneEntry& b) {
+                       return a.model_mpoints > b.model_mpoints;
+                     });
+  }
+  parallel_for(options.policy, n_measure, [&](std::size_t i) {
+    const kernels::LaunchConfig cfg = entries[i].config;
+    const double predicted = entries[i].model_mpoints;
+    entries[i] = measure_or_resume<T>(jc, method, coeffs, device, extent, cfg,
+                                      static_cast<std::int64_t>(i), options);
+    entries[i].model_mpoints = predicted;
+  });
+  const std::size_t pruned = entries.size() - n_measure;
+  return finalize(std::move(entries), pruned);
 }
 
 template <typename T>
@@ -304,14 +374,20 @@ TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs
   std::sort(entries.begin(), entries.end(), [](const TuneEntry& a, const TuneEntry& b) {
     return a.model_mpoints > b.model_mpoints;
   });
-  parallel_for(options.policy, n_select, [&](std::size_t i) {
+  // The sweep memory budget can tighten the beta cutoff further (never
+  // widen it); at least one candidate always runs.
+  std::optional<MemReservation> workspace;
+  const std::size_t n_measure = reserve_measure_slots(
+      options.mem_budget, n_select,
+      measure_cost_bytes(extent, coeffs.radius(), sizeof(T)), workspace);
+  parallel_for(options.policy, n_measure, [&](std::size_t i) {
     const kernels::LaunchConfig cfg = entries[i].config;
     const double predicted = entries[i].model_mpoints;
     entries[i] = measure_or_resume<T>(jc, method, coeffs, device, extent, cfg,
                                       static_cast<std::int64_t>(i), options);
     entries[i].model_mpoints = predicted;
   });
-  const std::size_t pruned = entries.size() - n_select;
+  const std::size_t pruned = entries.size() - n_measure;
   return finalize(std::move(entries), pruned);
 }
 

@@ -6,6 +6,7 @@
 
 #include "autotune/search_space.hpp"
 #include "core/coefficients.hpp"
+#include "core/mem_budget.hpp"
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
 #include "gpusim/fault_injector.hpp"
@@ -24,6 +25,7 @@ struct TuneEntry {
   Status failure;                     ///< why the candidate was quarantined
   int attempts = 0;                   ///< measurement attempts consumed
   bool resumed = false;               ///< recovered from a checkpoint journal
+  int sdc_events = 0;                 ///< corruptions contained online (ABFT)
 };
 
 /// One quarantined candidate of the failure roster.
@@ -31,6 +33,7 @@ struct QuarantineRecord {
   kernels::LaunchConfig config;
   Status reason;
   int attempts = 0;
+  int sdc_events = 0;  ///< corruptions contained before quarantine
 };
 
 /// Outcome of a tuning run.
@@ -44,6 +47,7 @@ struct TuneResult {
   std::size_t faulted = 0;            ///< configs that faulted at least once
   std::size_t quarantined = 0;        ///< configs that exhausted their retries
   std::size_t resumed = 0;            ///< configs recovered from a checkpoint
+  std::size_t sdc_events = 0;         ///< total corruptions contained online
   std::vector<QuarantineRecord> quarantine;  ///< failure roster, search order
 
   [[nodiscard]] bool found() const { return best.timing.valid; }
@@ -68,6 +72,16 @@ struct TuneOptions {
   /// Crash simulation for tests: abort the sweep (by throwing) once this
   /// many *new* measurements have been journaled.  0 = never.
   std::size_t abort_after = 0;
+  /// Online ABFT containment: an injected BitFlip/StuckLoad during a
+  /// measurement is detected by the checksum layer and contained — the
+  /// attempt completes, the event is counted on the entry's .sdc_events —
+  /// instead of failing the attempt and burning a retry.
+  bool abft = false;
+  /// Sweep memory budget; when set, the measured candidate set is capped
+  /// to what the budget covers (model-ranked, best predictions first) and
+  /// the remainder is left un-executed with predictions attached.
+  /// nullptr = unlimited.  Cancellation rides on policy.cancel.
+  MemBudget* mem_budget = nullptr;
 };
 
 /// Exhaustively executes every constraint-satisfying configuration on the

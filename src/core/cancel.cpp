@@ -1,0 +1,29 @@
+#include "core/cancel.hpp"
+
+#include "metrics/metrics.hpp"
+
+namespace inplane {
+
+namespace {
+struct CancelMetrics {
+  metrics::Counter& checks;
+  metrics::Counter& fired;
+  static CancelMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static CancelMetrics m{reg.counter("core.cancel.checks"),
+                           reg.counter("core.cancel.fired")};
+    return m;
+  }
+};
+}  // namespace
+
+void check_cancelled(const CancelToken* token) {
+  if (token == nullptr) return;
+  CancelMetrics::get().checks.add();
+  if (!token->cancelled()) return;
+  CancelMetrics::get().fired.add();
+  const Status s = token->status();
+  throw ResourceExhaustedError(s.context);
+}
+
+}  // namespace inplane

@@ -1,0 +1,78 @@
+#pragma once
+
+// Cooperative cancellation for the execution-governance layer: one token
+// carries both an external cancel flag and an optional wall-clock deadline,
+// and every long-running loop (the parallel runner's block sweep, the
+// tuners' candidate sweep, MultiGpuStencil's time stepping) polls it at a
+// natural unit of work.  Polling is cheap (one relaxed atomic load on the
+// common path) and cooperative — a fired token never tears a unit of work
+// in half, so whatever checkpoint journal is open stays resumable.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "core/status.hpp"
+
+namespace inplane {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms a wall-clock deadline @p ms milliseconds from now.
+  void set_deadline_ms(double ms) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+  }
+
+  /// External cancellation (a signal handler, another thread, a test).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Deterministic test hook: the token reports cancelled on the @p n-th
+  /// subsequent cancelled() poll (counted across threads), regardless of
+  /// wall clock.  n=1 fires on the very next poll.
+  void cancel_after_checks(std::int64_t n) {
+    checks_left_.store(n, std::memory_order_relaxed);
+  }
+
+  /// True once the token has fired (externally, by deadline, or by the
+  /// check-countdown hook).  Sticky: once true, always true.
+  [[nodiscard]] bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t left = checks_left_.load(std::memory_order_relaxed);
+    if (left > 0 &&
+        checks_left_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// The Status a fired token maps onto.
+  [[nodiscard]] Status status() const {
+    return {ErrorCode::ResourceExhausted,
+            deadline_ ? "deadline exceeded / run cancelled" : "run cancelled"};
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::int64_t> checks_left_{0};
+  std::optional<std::chrono::steady_clock::time_point> deadline_{};
+};
+
+/// Polls @p token (null = never fires) and throws ResourceExhaustedError
+/// when it has fired, bumping the `core.cancel.fired` counter.  The single
+/// raise path keeps the context string and metrics consistent across every
+/// layer that polls.
+void check_cancelled(const CancelToken* token);
+
+}  // namespace inplane

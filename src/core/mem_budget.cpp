@@ -1,0 +1,45 @@
+#include "core/mem_budget.hpp"
+
+#include "metrics/metrics.hpp"
+
+namespace inplane {
+
+namespace {
+struct BudgetMetrics {
+  metrics::Counter& reserved;
+  metrics::Counter& denied;
+  static BudgetMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static BudgetMetrics m{reg.counter("core.membudget.reserved_bytes"),
+                           reg.counter("core.membudget.denied")};
+    return m;
+  }
+};
+}  // namespace
+
+bool MemBudget::try_reserve(std::uint64_t bytes) {
+  if (limit_ == 0) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+    BudgetMetrics::get().reserved.add(bytes);
+    return true;
+  }
+  std::uint64_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > limit_ || cur > limit_ - bytes) {
+      denied_.fetch_add(1, std::memory_order_relaxed);
+      BudgetMetrics::get().denied.add();
+      return false;
+    }
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      BudgetMetrics::get().reserved.add(bytes);
+      return true;
+    }
+  }
+}
+
+void MemBudget::release(std::uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace inplane

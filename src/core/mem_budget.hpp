@@ -1,0 +1,65 @@
+#pragma once
+
+// A per-run memory budget for the governance layer.  Holders of a budget
+// *ask* before a large allocation (a tuner's candidate working set, a
+// multi-GPU slab buffer pair, an ABFT repair scratch grid) and degrade
+// gracefully on denial — fewer candidates measured, chunked slab buffers,
+// full-retry instead of surgical repair — rather than aborting.  A denial
+// is therefore never an error; it only shapes *how* the run proceeds.
+
+#include <atomic>
+#include <cstdint>
+
+namespace inplane {
+
+class MemBudget {
+ public:
+  /// @p limit_bytes 0 means unlimited (every reservation succeeds).
+  explicit MemBudget(std::uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+  MemBudget(const MemBudget&) = delete;
+  MemBudget& operator=(const MemBudget&) = delete;
+
+  [[nodiscard]] std::uint64_t limit_bytes() const { return limit_; }
+  [[nodiscard]] std::uint64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t denied() const {
+    return denied_.load(std::memory_order_relaxed);
+  }
+
+  /// Tries to reserve @p bytes against the limit.  On success the caller
+  /// owns the reservation and must release() it; on denial nothing is
+  /// reserved and the `core.membudget.denied` counter is bumped.
+  [[nodiscard]] bool try_reserve(std::uint64_t bytes);
+
+  /// Returns a previous successful reservation.
+  void release(std::uint64_t bytes);
+
+ private:
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
+/// RAII reservation: holds @p bytes of @p budget for the scope, or reports
+/// denial via ok().  A null budget always succeeds (unlimited).
+class MemReservation {
+ public:
+  MemReservation(MemBudget* budget, std::uint64_t bytes)
+      : budget_(budget), bytes_(bytes),
+        ok_(budget == nullptr || budget->try_reserve(bytes)) {}
+  ~MemReservation() {
+    if (ok_ && budget_ != nullptr) budget_->release(bytes_);
+  }
+  MemReservation(const MemReservation&) = delete;
+  MemReservation& operator=(const MemReservation&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  MemBudget* budget_;
+  std::uint64_t bytes_;
+  bool ok_;
+};
+
+}  // namespace inplane

@@ -12,6 +12,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::DeviceLost: return "device_lost";
     case ErrorCode::IoError: return "io_error";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::ResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }
@@ -40,11 +41,27 @@ void raise(const Status& status) {
     case ErrorCode::DataCorruption: throw DataCorruptionError(status.context);
     case ErrorCode::DeviceLost: throw DeviceLostError(status.context);
     case ErrorCode::IoError: throw IoError(status.context);
+    case ErrorCode::ResourceExhausted: throw ResourceExhaustedError(status.context);
     case ErrorCode::Ok:
     case ErrorCode::Internal: break;
   }
   throw InternalError(status.context.empty() ? "raise() on non-error status"
                                              : status.context);
+}
+
+int exit_code(const Status& status) {
+  switch (status.code) {
+    case ErrorCode::Ok: return 0;
+    case ErrorCode::InvalidConfig: return 2;
+    case ErrorCode::TransientFault:
+    case ErrorCode::Timeout:
+    case ErrorCode::DataCorruption:
+    case ErrorCode::DeviceLost: return 3;
+    case ErrorCode::IoError: return 4;
+    case ErrorCode::ResourceExhausted: return 5;
+    case ErrorCode::Internal: return 1;
+  }
+  return 1;
 }
 
 }  // namespace inplane

@@ -22,6 +22,9 @@ enum class ErrorCode {
   DeviceLost,      ///< simulated device died — work must move elsewhere
   IoError,         ///< filesystem failure (open/short read/torn write)
   Internal,        ///< unclassified failure (foreign exception)
+  // New codes append here: the integer values are persisted in checkpoint
+  // journals and must stay stable.
+  ResourceExhausted,  ///< deadline/cancellation/budget — stop, do not retry
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);
@@ -179,6 +182,15 @@ class InternalError : public detail::StatusErrorImpl<std::runtime_error> {
       : StatusErrorImpl(ErrorCode::Internal, context) {}
 };
 
+/// A governed resource ran out: a deadline passed, a CancelToken fired,
+/// or a hard budget was exhausted.  Deliberately not retryable — the
+/// resource does not come back by re-running the same work.
+class ResourceExhaustedError : public detail::StatusErrorImpl<std::runtime_error> {
+ public:
+  explicit ResourceExhaustedError(const std::string& context)
+      : StatusErrorImpl(ErrorCode::ResourceExhausted, context) {}
+};
+
 /// Recovers the Status carried by @p e, or wraps a foreign exception as
 /// ErrorCode::Internal with its what() string as context.
 [[nodiscard]] Status status_of(const std::exception& e);
@@ -186,5 +198,11 @@ class InternalError : public detail::StatusErrorImpl<std::runtime_error> {
 /// Throws the typed exception matching @p status.code (Ok/Internal map to
 /// std::runtime_error-backed Internal).  The inverse of status_of().
 [[noreturn]] void raise(const Status& status);
+
+/// The one process exit code mapping shared by `inplane`, the examples and
+/// the tests: 0 ok, 2 invalid_config, 3 execution fault (transient /
+/// timeout / data_corruption / device_lost), 4 io_error, 5 deadline or
+/// budget exhaustion, 1 anything else.
+[[nodiscard]] int exit_code(const Status& status);
 
 }  // namespace inplane

@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "core/cancel.hpp"
 #include "metrics/metrics.hpp"
 
 namespace inplane {
@@ -235,10 +236,23 @@ void parallel_for(const ExecPolicy& policy, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   const unsigned conc = policy.concurrency();
   if (conc <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      check_cancelled(policy.cancel);
+      fn(i);
+    }
     return;
   }
-  ThreadPool::shared().for_each(n, conc, fn);
+  if (policy.cancel == nullptr) {
+    ThreadPool::shared().for_each(n, conc, fn);
+    return;
+  }
+  // Poll once per item; for_each rethrows the first raised error, so a
+  // fired token surfaces as ResourceExhaustedError from the caller.
+  const CancelToken* token = policy.cancel;
+  ThreadPool::shared().for_each(n, conc, [&](std::size_t i) {
+    check_cancelled(token);
+    fn(i);
+  });
 }
 
 }  // namespace inplane

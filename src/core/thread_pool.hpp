@@ -12,6 +12,8 @@
 
 namespace inplane {
 
+class CancelToken;
+
 /// Host-side execution policy threaded through the runner and tuner APIs.
 ///
 /// The simulator is deterministic by construction: parallel execution
@@ -25,6 +27,11 @@ struct ExecPolicy {
   /// 0 = one software thread per hardware thread; 1 = serial; n = use up
   /// to n threads (including the calling thread).
   int num_threads = 0;
+
+  /// Optional cooperative cancellation: parallel_for polls the token once
+  /// per work item and raises ResourceExhaustedError when it has fired.
+  /// Not owned; must outlive every call made under this policy.
+  const CancelToken* cancel = nullptr;
 
   /// The policy resolved against the host: always >= 1.
   [[nodiscard]] unsigned concurrency() const {

@@ -1,0 +1,37 @@
+#include "gpusim/abft.hpp"
+
+#include <cstring>
+
+namespace inplane::gpusim {
+
+void AbftSink::observe_store(std::int64_t block, std::uint64_t vaddr,
+                             const void* src, std::uint32_t bytes) {
+  if (block < 0 || static_cast<std::size_t>(block) >= table_.size()) return;
+  if (vaddr < base_) return;
+  const std::uint64_t offset = vaddr - base_;
+  if (offset % elem_size_ != 0) return;
+  std::size_t idx = static_cast<std::size_t>(offset / elem_size_);
+  const std::size_t n = bytes / elem_size_;
+  const auto* raw = static_cast<const unsigned char*>(src);
+  std::vector<PlaneSums>& row = table_[static_cast<std::size_t>(block)];
+  for (std::size_t e = 0; e < n; ++e, ++idx) {
+    if (idx >= allocated_) return;
+    const int k = static_cast<int>(idx / plane_stride_) - halo_;
+    if (k < 0 || k >= nz_) continue;
+    const auto q = static_cast<double>(idx % plane_stride_);
+    double v = 0.0;
+    if (elem_size_ == 8) {
+      double d;
+      std::memcpy(&d, raw + e * 8, 8);
+      v = d;
+    } else {
+      float f;
+      std::memcpy(&f, raw + e * 4, 4);
+      v = static_cast<double>(f);
+    }
+    row[static_cast<std::size_t>(k)].s0 += v;
+    row[static_cast<std::size_t>(k)].s1 += q * v;
+  }
+}
+
+}  // namespace inplane::gpusim

@@ -1,0 +1,80 @@
+#pragma once
+
+// The "actual" half of the ABFT (algorithm-based fault tolerance) layer:
+// a per-launch sink that accumulates running checksums over every
+// xy-plane each thread block stores, as the stores happen.  Two
+// invariants per (block, output plane):
+//
+//   s0 = sum(v)        the plane's tile sum
+//   s1 = sum(q * v)    the weighted sum, q = the element's in-plane
+//                      padded offset (origin_x + i) + pitch_x * (j + halo)
+//
+// Because the Jacobi update is linear, both can be *predicted* from the
+// input grid and the stencil coefficients without re-running the stencil
+// (see kernels/abft.hpp, the "predicted" half) — a mismatch localizes a
+// silent corruption to one (block, plane) cell online, with no CPU
+// reference pass.
+//
+// The sink is bound to one launch's output mapping inside the block sweep
+// (the buffer's base address only exists once the grid is mapped) and
+// each block accumulates into its own row of the table, so concurrent
+// blocks never contend and the sums are deterministic at any thread
+// count (each block's stores execute in that block's serial order).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid_layout.hpp"
+
+namespace inplane::gpusim {
+
+/// Running checksums of one (block, output-plane) cell.
+struct PlaneSums {
+  double s0 = 0.0;  ///< sum of stored values
+  double s1 = 0.0;  ///< sum of (in-plane padded offset) * value
+};
+
+class AbftSink {
+ public:
+  /// (Re)binds the sink to one launch: @p layout / @p out_base describe
+  /// the output grid's mapping, @p nblocks the launch's block count.
+  /// Allocates and zeroes the whole table — call once per sweep attempt.
+  void bind(const GridLayout* layout, std::uint64_t out_base, std::size_t nblocks) {
+    layout_ = layout;
+    base_ = out_base;
+    elem_size_ = layout->elem_size();
+    plane_stride_ = layout->plane_stride();
+    halo_ = layout->halo();
+    nz_ = layout->nz();
+    allocated_ = layout->allocated();
+    table_.assign(nblocks, std::vector<PlaneSums>(static_cast<std::size_t>(nz_)));
+  }
+
+  [[nodiscard]] bool bound() const { return layout_ != nullptr; }
+  [[nodiscard]] std::size_t nblocks() const { return table_.size(); }
+  [[nodiscard]] int nz() const { return nz_; }
+
+  /// Accumulates one functional store lane into @p block's checksums.
+  /// Vectorised lanes carry bytes = vec * elem_size consecutive elements.
+  /// Stores that do not land in this launch's output interior (foreign
+  /// buffers, halo writes) are ignored.
+  void observe_store(std::int64_t block, std::uint64_t vaddr, const void* src,
+                     std::uint32_t bytes);
+
+  /// Accumulated sums for @p block's stores into interior plane @p k.
+  [[nodiscard]] const PlaneSums& plane(std::size_t block, int k) const {
+    return table_[block][static_cast<std::size_t>(k)];
+  }
+
+ private:
+  const GridLayout* layout_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::size_t elem_size_ = 4;
+  std::size_t plane_stride_ = 0;
+  std::size_t allocated_ = 0;
+  int halo_ = 0;
+  int nz_ = 0;
+  std::vector<std::vector<PlaneSums>> table_;  ///< [block][interior plane]
+};
+
+}  // namespace inplane::gpusim

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/status.hpp"
+#include "gpusim/abft.hpp"
 
 namespace inplane::gpusim {
 
@@ -158,6 +159,9 @@ void BlockCtx::warp_store(std::span<const GlobalStoreLane> lanes) {
     for (const GlobalStoreLane& lane : lanes) {
       if (lane.active && lane.bytes != 0 && lane.src != nullptr) {
         gmem_.write(lane.vaddr, lane.src, lane.bytes);
+        if (abft_ != nullptr) [[unlikely]] {
+          abft_->observe_store(block_serial_, lane.vaddr, lane.src, lane.bytes);
+        }
       }
     }
   }

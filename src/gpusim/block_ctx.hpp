@@ -12,6 +12,8 @@
 
 namespace inplane::gpusim {
 
+class AbftSink;
+
 /// How a simulated block executes.
 enum class ExecMode {
   Functional,  ///< move real data, skip event counting (fast verification)
@@ -91,6 +93,15 @@ class BlockCtx {
     device_index_ = device_index;
   }
 
+  /// Installs an ABFT checksum sink: every functional global store this
+  /// block issues is also accumulated into the sink's running per-plane
+  /// checksums (see gpusim/abft.hpp).  @p block is the block's serial
+  /// index — its row in the sink's table.
+  void install_abft(AbftSink* abft, std::int64_t block) {
+    abft_ = abft;
+    block_serial_ = block;
+  }
+
   /// Arms the watchdog: the block may execute at most @p budget
   /// warp-level operations before TimeoutError is thrown.  0 disarms.
   void set_step_budget(std::uint64_t budget) { step_budget_ = budget; }
@@ -141,6 +152,7 @@ class BlockCtx {
   TraceStats stats_;
 
   const FaultInjector* faults_ = nullptr;
+  AbftSink* abft_ = nullptr;
   std::int64_t block_serial_ = 0;
   std::int64_t attempt_ = 0;
   std::int64_t device_index_ = 0;

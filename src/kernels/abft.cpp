@@ -1,0 +1,267 @@
+#include "kernels/abft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/global_memory.hpp"
+
+namespace inplane::kernels {
+
+namespace {
+
+template <typename T>
+std::span<const std::byte> const_bytes(const Grid3<T>& g) {
+  return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
+}
+
+/// Range sum [lo, hi) over a prefix-sum array whose index 0 is @p base.
+double range(const std::vector<double>& prefix, int base, int lo, int hi) {
+  return prefix[static_cast<std::size_t>(hi - base)] -
+         prefix[static_cast<std::size_t>(lo - base)];
+}
+
+}  // namespace
+
+template <typename T>
+AbftChecker<T>::AbftChecker(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+                            const AbftOptions& options)
+    : kernel_(kernel), in_(in), options_(options) {
+  nbx_ = in.nx() / kernel.config().tile_w();
+  nby_ = in.ny() / kernel.config().tile_h();
+  predict();
+}
+
+template <typename T>
+void AbftChecker<T>::predict() {
+  const StencilCoeffs& coeffs = kernel_.coeffs();
+  const int r = coeffs.radius();
+  const int tw = kernel_.config().tile_w();
+  const int th = kernel_.config().tile_h();
+  const int nz = in_.nz();
+  const GridLayout& layout = in_.layout();
+  const double px = static_cast<double>(layout.pitch_x());
+  const int halo = layout.halo();
+
+  // Per-plane reductions for one block: prefix sums over per-column and
+  // per-row partials, so every shifted-tile sum is two lookups.
+  struct PlaneRed {
+    std::vector<double> col_s, col_w;  ///< prefix over i in [x0-r, x1+r]
+    std::vector<double> row_s, row_w;  ///< prefix over j in [y0-r, y1+r]
+    double sabs = 0.0;                 ///< sum|v| over the extended window
+  };
+
+  // q(i, j): the element's in-plane padded offset — index() at the lowest
+  // allocated plane, where the plane term contributes zero.
+  const auto q_of = [&](int i, int j) {
+    return static_cast<double>(layout.index(i, j, -halo));
+  };
+
+  // Tolerance mass: eps * L1 coefficient norm * accumulated |input|.
+  const double eps = static_cast<double>(std::numeric_limits<T>::epsilon());
+  double coeff_l1 = std::abs(coeffs.c0());
+  for (int m = 1; m <= r; ++m) coeff_l1 += 6.0 * std::abs(coeffs.c(m));
+  const double tol_unit = options_.tolerance_scale * eps * coeff_l1;
+
+  const std::size_t nblocks =
+      static_cast<std::size_t>(nbx_) * static_cast<std::size_t>(nby_);
+  pred_.assign(nblocks, std::vector<PredPlane>(static_cast<std::size_t>(nz)));
+
+  const int period = 2 * r + 1;
+  std::vector<PlaneRed> ring(static_cast<std::size_t>(period));
+  const auto slot = [&](int kk) {
+    return static_cast<std::size_t>(((kk % period) + period) % period);
+  };
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const int bx = static_cast<int>(b) % nbx_;
+    const int by = static_cast<int>(b) / nbx_;
+    const int x0 = bx * tw, x1 = x0 + tw;
+    const int y0 = by * th, y1 = y0 + th;
+
+    const auto reduce_plane = [&](int kk, PlaneRed& red) {
+      red.col_s.assign(static_cast<std::size_t>(tw + 2 * r) + 1, 0.0);
+      red.col_w.assign(static_cast<std::size_t>(tw + 2 * r) + 1, 0.0);
+      red.row_s.assign(static_cast<std::size_t>(th + 2 * r) + 1, 0.0);
+      red.row_w.assign(static_cast<std::size_t>(th + 2 * r) + 1, 0.0);
+      red.sabs = 0.0;
+      for (int i = x0 - r; i < x1 + r; ++i) {
+        double cs = 0.0, cw = 0.0;
+        for (int j = y0; j < y1; ++j) {
+          const double v = static_cast<double>(in_.at(i, j, kk));
+          cs += v;
+          cw += q_of(i, j) * v;
+        }
+        const auto idx = static_cast<std::size_t>(i - (x0 - r));
+        red.col_s[idx + 1] = red.col_s[idx] + cs;
+        red.col_w[idx + 1] = red.col_w[idx] + cw;
+      }
+      for (int j = y0 - r; j < y1 + r; ++j) {
+        double rs = 0.0, rw = 0.0;
+        for (int i = x0; i < x1; ++i) {
+          const double v = static_cast<double>(in_.at(i, j, kk));
+          rs += v;
+          rw += q_of(i, j) * v;
+        }
+        const auto idx = static_cast<std::size_t>(j - (y0 - r));
+        red.row_s[idx + 1] = red.row_s[idx] + rs;
+        red.row_w[idx + 1] = red.row_w[idx] + rw;
+      }
+      for (int i = x0 - r; i < x1 + r; ++i) {
+        for (int j = y0 - r; j < y1 + r; ++j) {
+          red.sabs += std::abs(static_cast<double>(in_.at(i, j, kk)));
+        }
+      }
+    };
+
+    for (int kk = -r; kk < r; ++kk) reduce_plane(kk, ring[slot(kk)]);
+
+    for (int k = 0; k < nz; ++k) {
+      reduce_plane(k + r, ring[slot(k + r)]);
+
+      const PlaneRed& c = ring[slot(k)];
+      const auto tile_s = [&](const PlaneRed& red) {
+        return range(red.col_s, x0 - r, x0, x1);
+      };
+      const auto tile_w_sum = [&](const PlaneRed& red) {
+        return range(red.col_w, x0 - r, x0, x1);
+      };
+
+      double p0 = coeffs.c0() * tile_s(c);
+      double p1 = coeffs.c0() * tile_w_sum(c);
+      double mass = 0.0;
+      for (int d = -r; d <= r; ++d) mass += ring[slot(k + d)].sabs;
+      for (int m = 1; m <= r; ++m) {
+        const double cm = coeffs.c(m);
+        const double sxp = range(c.col_s, x0 - r, x0 + m, x1 + m);
+        const double sxm = range(c.col_s, x0 - r, x0 - m, x1 - m);
+        const double wxp = range(c.col_w, x0 - r, x0 + m, x1 + m);
+        const double wxm = range(c.col_w, x0 - r, x0 - m, x1 - m);
+        const double syp = range(c.row_s, y0 - r, y0 + m, y1 + m);
+        const double sym = range(c.row_s, y0 - r, y0 - m, y1 - m);
+        const double wyp = range(c.row_w, y0 - r, y0 + m, y1 + m);
+        const double wym = range(c.row_w, y0 - r, y0 - m, y1 - m);
+        const PlaneRed& zm = ring[slot(k - m)];
+        const PlaneRed& zp = ring[slot(k + m)];
+        p0 += cm * (sxp + sxm + syp + sym + tile_s(zm) + tile_s(zp));
+        p1 += cm * ((wxp - m * sxp) + (wxm + m * sxm) +
+                    (wyp - m * px * syp) + (wym + m * px * sym) +
+                    tile_w_sum(zm) + tile_w_sum(zp));
+      }
+
+      PredPlane& pp = pred_[b][static_cast<std::size_t>(k)];
+      pp.s0 = p0;
+      pp.s1 = p1;
+      pp.tol0 = std::max(options_.abs_floor, tol_unit * mass);
+      // Weights multiply every term by at most one plane stride.
+      pp.tol1 = std::max(options_.abs_floor,
+                         pp.tol0 * static_cast<double>(layout.plane_stride()));
+    }
+  }
+}
+
+template <typename T>
+std::vector<SdcEvent> AbftChecker<T>::compare(const gpusim::AbftSink& sink) const {
+  std::vector<SdcEvent> events;
+  const int nz = in_.nz();
+  for (std::size_t b = 0; b < pred_.size(); ++b) {
+    for (int k = 0; k < nz; ++k) {
+      const gpusim::PlaneSums& act = sink.plane(b, k);
+      const PredPlane& pp = pred_[b][static_cast<std::size_t>(k)];
+      const double d0 = std::abs(act.s0 - pp.s0);
+      const double d1 = std::abs(act.s1 - pp.s1);
+      // Inverted comparisons so a NaN delta (an exponent-bit flip can
+      // drive the stored plane to Inf/NaN) counts as flagged.
+      if (!(d0 <= pp.tol0) || !(d1 <= pp.tol1)) {
+        SdcEvent e;
+        e.block = static_cast<int>(b);
+        e.plane = k;
+        e.delta0 = d0;
+        e.delta1 = d1;
+        e.tol0 = pp.tol0;
+        e.tol1 = pp.tol1;
+        events.push_back(e);
+      }
+    }
+  }
+  return events;
+}
+
+template <typename T>
+bool AbftChecker<T>::recheck_block(const Grid3<T>& out, int block) const {
+  const int tw = kernel_.config().tile_w();
+  const int th = kernel_.config().tile_h();
+  const int x0 = (block % nbx_) * tw;
+  const int y0 = (block / nbx_) * th;
+  for (int k = 0; k < out.nz(); ++k) {
+    double s0 = 0.0, s1 = 0.0;
+    for (int j = y0; j < y0 + th; ++j) {
+      for (int i = x0; i < x0 + tw; ++i) {
+        const double v = static_cast<double>(out.at(i, j, k));
+        s0 += v;
+        s1 += static_cast<double>(out.layout().index(i, j, -out.halo())) * v;
+      }
+    }
+    const PredPlane& pp = pred_[static_cast<std::size_t>(block)][static_cast<std::size_t>(k)];
+    if (!(std::abs(s0 - pp.s0) <= pp.tol0) || !(std::abs(s1 - pp.s1) <= pp.tol1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+bool AbftChecker<T>::repair(std::vector<SdcEvent>& events, Grid3<T>& out,
+                            const gpusim::DeviceSpec& device,
+                            MemBudget* budget) const {
+  if (events.empty()) return true;
+  std::vector<int> blocks;
+  for (const SdcEvent& e : events) {
+    if (blocks.empty() || blocks.back() != e.block) blocks.push_back(e.block);
+  }
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+  // The scratch grid is the one allocation surgical repair needs; if the
+  // run's memory budget cannot cover it, degrade to full retry.
+  const GridLayout scratch_layout(out.extent(), out.halo(), sizeof(T), 32,
+                                  kernel_.preferred_align_offset());
+  MemReservation reservation(budget, scratch_layout.allocated_bytes());
+  if (!reservation.ok()) return false;
+
+  Grid3<T> scratch(out.extent(), out.halo(), 32, kernel_.preferred_align_offset());
+  gpusim::GlobalMemory gmem;
+  const gpusim::BufferId in_id = gmem.map_readonly(const_bytes(in_));
+  const gpusim::BufferId scratch_id = gmem.map(scratch.bytes());
+  const GridAccess in_access{&in_.layout(), gmem.base(in_id)};
+  const GridAccess scratch_access{&scratch.layout(), gmem.base(scratch_id)};
+  const std::size_t smem_bytes = kernel_.resources().smem_bytes;
+  const int tw = kernel_.config().tile_w();
+  const int th = kernel_.config().tile_h();
+
+  for (int b : blocks) {
+    const int bx = b % nbx_;
+    const int by = b / nbx_;
+    // Same run_block code path as the launch, minus the injector: the
+    // recomputed tile is bit-identical to a fault-free run's.
+    gpusim::BlockCtx ctx(device, gmem, smem_bytes, gpusim::ExecMode::Functional);
+    GridAccess out_block = scratch_access;
+    kernel_.run_block(ctx, in_access, out_block, bx, by);
+    for (int k = 0; k < out.nz(); ++k) {
+      for (int j = by * th; j < (by + 1) * th; ++j) {
+        for (int i = bx * tw; i < (bx + 1) * tw; ++i) {
+          out.at(i, j, k) = scratch.at(i, j, k);
+        }
+      }
+    }
+    if (!recheck_block(out, b)) return false;
+  }
+  for (SdcEvent& e : events) e.repaired = true;
+  return true;
+}
+
+template class AbftChecker<float>;
+template class AbftChecker<double>;
+
+}  // namespace inplane::kernels

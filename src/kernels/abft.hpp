@@ -1,0 +1,127 @@
+#pragma once
+
+// The "predicted" half of the ABFT layer (gpusim/abft.hpp holds the
+// "actual" half): because the stencil update is linear, each (block,
+// output-plane) checksum pair the sink accumulates can be predicted from
+// the *input* grid and the coefficients alone —
+//
+//   S_out(tile, k) = c0 * S(tile, k)
+//                  + sum_m cm * [ S(tile<<m x, k) + S(tile>>m x, k)
+//                              + S(tile<<m y, k) + S(tile>>m y, k)
+//                              + S(tile, k-m)    + S(tile, k+m) ]
+//
+// and the weighted sum W follows the same algebra with the shift
+// identities q(i±m, j) = q(i, j) ± m and q(i, j±m) = q(i, j) ± m*pitch_x,
+// so each x/y-shift term is W(shifted tile) ∓ m*S or ∓ m*pitch_x*S.
+// Shifted-tile sums are assembled from per-column / per-row partial sums
+// in O(tile area) per plane — no stencil re-execution, no CPU reference
+// pass.  All prediction runs in double precision; the detection tolerance
+// scales with the accumulated |input| mass so honest float rounding never
+// trips it (see docs/robustness.md, "Silent data corruption").
+//
+// On a mismatch the corruption is *contained*: faults are injected into
+// loads only, and each block writes its own disjoint output tile, so a
+// flagged (block, plane) cell implicates exactly one block.  repair()
+// re-executes just the flagged blocks cleanly into a scratch grid and
+// splices their tiles back — the same run_block code path, so the
+// repaired output is bit-identical to a fault-free run.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid3.hpp"
+#include "core/mem_budget.hpp"
+#include "gpusim/abft.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::kernels {
+
+/// Knobs for the online checksum check.
+struct AbftOptions {
+  bool enabled = false;
+  /// Detection tolerance: |actual - predicted| must exceed
+  /// tolerance_scale * eps_T * (coefficient L1 mass) * sum|input| over the
+  /// contributing window before a plane is flagged.  Large enough that
+  /// reassociated float rounding never false-positives, tiny against any
+  /// exponent-bit flip.
+  double tolerance_scale = 256.0;
+  /// Near-zero floor below which checksum deltas are never flagged.
+  double abs_floor = 1e-9;
+};
+
+/// One flagged (block, plane) checksum mismatch.
+struct SdcEvent {
+  int block = 0;   ///< serial block index
+  int plane = 0;   ///< interior output plane k
+  double delta0 = 0.0;  ///< |actual - predicted| of the plain sum
+  double delta1 = 0.0;  ///< |actual - predicted| of the weighted sum
+  double tol0 = 0.0;
+  double tol1 = 0.0;
+  bool repaired = false;
+};
+
+/// Per-run ABFT outcome carried in the RunReport.
+struct AbftSummary {
+  bool enabled = false;
+  std::uint64_t planes_checked = 0;
+  std::uint64_t planes_flagged = 0;
+  int blocks_repaired = 0;
+  int repairs_failed = 0;  ///< fell back to the full-retry path
+  std::vector<SdcEvent> events;
+};
+
+/// Predicts, compares and surgically repairs one launch's checksums.
+/// Constructed once per guarded run from the pristine input grid; the
+/// prediction is reused across retry attempts.
+template <typename T>
+class AbftChecker {
+ public:
+  AbftChecker(const IStencilKernel<T>& kernel, const Grid3<T>& in,
+              const AbftOptions& options);
+
+  [[nodiscard]] std::size_t nblocks() const { return pred_.size(); }
+  /// (block, plane) cells checked per sweep.
+  [[nodiscard]] std::uint64_t planes_per_sweep() const {
+    return static_cast<std::uint64_t>(pred_.size()) *
+           static_cast<std::uint64_t>(in_.nz());
+  }
+
+  /// Compares the sink's accumulated checksums against the prediction and
+  /// returns every flagged (block, plane) cell.
+  [[nodiscard]] std::vector<SdcEvent> compare(const gpusim::AbftSink& sink) const;
+
+  /// Re-executes every block named in @p events with a clean context into
+  /// a scratch grid, splices the recomputed tiles into @p out, and
+  /// re-checks the repaired tiles by direct summation.  The scratch
+  /// allocation is gated by @p budget (nullptr = unlimited); a denial or
+  /// a still-failing re-check returns false, telling the caller to fall
+  /// back to the full-retry path.  On success the flagged events are
+  /// marked repaired and @p out is bit-identical to a fault-free run.
+  [[nodiscard]] bool repair(std::vector<SdcEvent>& events, Grid3<T>& out,
+                            const gpusim::DeviceSpec& device,
+                            MemBudget* budget) const;
+
+ private:
+  struct PredPlane {
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double tol0 = 0.0;
+    double tol1 = 0.0;
+  };
+
+  void predict();
+  [[nodiscard]] bool recheck_block(const Grid3<T>& out, int block) const;
+
+  const IStencilKernel<T>& kernel_;
+  const Grid3<T>& in_;
+  AbftOptions options_;
+  int nbx_ = 0;
+  int nby_ = 0;
+  std::vector<std::vector<PredPlane>> pred_;  ///< [block][plane]
+};
+
+extern template class AbftChecker<float>;
+extern template class AbftChecker<double>;
+
+}  // namespace inplane::kernels

@@ -1,13 +1,18 @@
 #include "kernels/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
+#include "gpusim/abft.hpp"
 #include "metrics/metrics.hpp"
 #include "verify/reference_oracle.hpp"
 
@@ -77,9 +82,36 @@ void flush_launch_metrics(const gpusim::TraceStats& stats, std::size_t nblocks) 
   m.flops.add(stats.flops);
 }
 
+/// ABFT instruments, bumped once per compare/repair — never on the
+/// store hot path (the sink accumulates locally, like TraceStats).
+struct AbftMetrics {
+  metrics::Counter& planes_checked;
+  metrics::Counter& planes_flagged;
+  metrics::Counter& blocks_repaired;
+  metrics::Counter& repair_failures;
+
+  static AbftMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static AbftMetrics m{
+        reg.counter("kernels.abft.planes_checked"),
+        reg.counter("kernels.abft.planes_flagged"),
+        reg.counter("kernels.abft.blocks_repaired"),
+        reg.counter("kernels.abft.repair_failures"),
+    };
+    return m;
+  }
+};
+
 template <typename T>
 std::span<const std::byte> const_bytes(const Grid3<T>& g) {
   return {reinterpret_cast<const std::byte*>(g.raw()), g.allocated() * sizeof(T)};
+}
+
+/// ABFT needs the sink's store-decoded weights (out layout) to mean the
+/// same thing as the prediction's weights (in layout).
+bool layouts_identical(const GridLayout& a, const GridLayout& b) {
+  return a.extent() == b.extent() && a.halo() == b.halo() &&
+         a.pitch_x() == b.pitch_x() && a.index(0, 0, 0) == b.index(0, 0, 0);
 }
 
 /// Sweeps every thread block of one launch.  Shared by the plain and the
@@ -91,7 +123,8 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
                                 gpusim::ExecMode mode, const ExecPolicy& policy,
                                 const gpusim::FaultInjector* faults,
                                 std::uint64_t budget, std::int64_t attempt,
-                                std::int64_t device_index) {
+                                std::int64_t device_index,
+                                gpusim::AbftSink* abft = nullptr) {
   gpusim::GlobalMemory gmem;
   if (faults != nullptr) gmem.set_fault_context(faults, device_index);
   const gpusim::BufferId in_id = gmem.map_readonly(const_bytes(in));
@@ -113,6 +146,9 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
   // block index, so injection is equally schedule-independent.
   const std::size_t nblocks =
       static_cast<std::size_t>(nbx) * static_cast<std::size_t>(nby);
+  // The sink binds here and not earlier: the output buffer's base address
+  // only exists once the grid is mapped into this launch's address space.
+  if (abft != nullptr) abft->bind(&out.layout(), gmem.base(out_id), nblocks);
   metrics::ScopedTimer launch_timer(SimMetrics::get().launch_timer);
   std::vector<gpusim::TraceStats> per_block(nblocks);
   parallel_for(policy, nblocks, [&](std::size_t b) {
@@ -122,6 +158,7 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
     if (faults != nullptr) {
       ctx.install_faults(faults, static_cast<std::int64_t>(b), attempt, device_index);
     }
+    if (abft != nullptr) ctx.install_abft(abft, static_cast<std::int64_t>(b));
     if (budget != 0) ctx.set_step_budget(budget);
     GridAccess out_block = out_access;
     kernel.run_block(ctx, in_access, out_block, bx, by);
@@ -164,6 +201,30 @@ Status verify_against_reference(const IStencilKernel<T>& kernel, const Grid3<T>&
 
 }  // namespace
 
+double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                        double slept_so_far_ms) {
+  if (attempt < 1 || policy.backoff_initial_ms <= 0.0) return 0.0;
+  double delay = policy.backoff_initial_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  // Deterministic jitter: splitmix64-style avalanche of the attempt index
+  // mapped into [1 - jitter, 1 + jitter].  No global RNG state, so two
+  // runs of the same plan sleep identically.
+  const double jitter = std::clamp(policy.backoff_jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    std::uint64_t z = static_cast<std::uint64_t>(attempt) +
+                      std::uint64_t{0x9e3779b97f4a7c15};
+    z = (z ^ (z >> 30)) * std::uint64_t{0xbf58476d1ce4e5b9};
+    z = (z ^ (z >> 27)) * std::uint64_t{0x94d049bb133111eb};
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  if (policy.backoff_total_cap_ms > 0.0) {
+    delay = std::min(delay, policy.backoff_total_cap_ms - slept_so_far_ms);
+  }
+  return std::max(delay, 0.0);
+}
+
 template <typename T>
 gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& in,
                               Grid3<T>& out, const gpusim::DeviceSpec& device,
@@ -204,15 +265,40 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
   report.step_budget = options.step_budget != 0
                            ? options.step_budget
                            : auto_step_budget(kernel, in.extent());
-  double backoff_ms = options.retry.backoff_initial_ms;
+
+  // Online ABFT: predict every (block, plane) checksum from the pristine
+  // input once; compare after each attempt; surgically repair flagged
+  // blocks.  Requires functional data flow and bit-for-bit identical
+  // grid layouts (the sink's store-decoded weights must mean the same
+  // thing as the prediction's input-side weights).
+  const bool abft_active =
+      options.abft.enabled && options.mode != gpusim::ExecMode::Trace;
+  if (abft_active && !layouts_identical(in.layout(), out.layout())) {
+    report.status = {ErrorCode::InvalidConfig,
+                     "run_kernel_guarded: ABFT requires identical in/out layouts "
+                     "(use make_grid_for for both grids)"};
+    return report;
+  }
+  std::optional<AbftChecker<T>> checker;
+  gpusim::AbftSink sink;
+  if (abft_active) {
+    checker.emplace(kernel, in, options.abft);
+    report.abft.enabled = true;
+  }
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (options.policy.cancel != nullptr && options.policy.cancel->cancelled()) {
+      report.status = options.policy.cancel->status();
+      return report;
+    }
     if (attempt > 0) {
       SimMetrics::get().retries.add();
-      if (backoff_ms > 0.0) {
+      const double delay_ms =
+          backoff_delay_ms(options.retry, attempt, report.total_backoff_ms);
+      if (delay_ms > 0.0) {
         std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
-        backoff_ms *= options.retry.backoff_multiplier;
+            std::chrono::duration<double, std::milli>(delay_ms));
+        report.total_backoff_ms += delay_ms;
       }
     }
     report.attempts = attempt + 1;
@@ -220,11 +306,49 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
       report.stats = sweep_blocks(kernel, in, out, device, options.mode, options.policy,
                                   options.faults, report.step_budget,
                                   static_cast<std::int64_t>(attempt),
-                                  options.device_index);
+                                  options.device_index,
+                                  abft_active ? &sink : nullptr);
       report.status = Status::okay();
     } catch (const std::exception& e) {
       report.status = status_of(e);
       if (report.status.retryable() && attempt + 1 < max_attempts) continue;
+      return report;
+    }
+    // Online checksum check: a corrupted load shows up as a per-plane
+    // checksum mismatch localized to one block, which is recomputed in
+    // place.  Only if surgical repair fails (budget denied, or the
+    // repaired tile still mismatches) does the run fall back to the
+    // full-retry path below.
+    if (abft_active) {
+      report.abft.planes_checked += checker->planes_per_sweep();
+      AbftMetrics::get().planes_checked.add(checker->planes_per_sweep());
+      std::vector<SdcEvent> events = checker->compare(sink);
+      if (!events.empty()) {
+        report.abft.planes_flagged += events.size();
+        AbftMetrics::get().planes_flagged.add(events.size());
+        const bool repaired =
+            checker->repair(events, out, device, options.mem_budget);
+        int blocks_touched = 0;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          if (i == 0 || events[i].block != events[i - 1].block) ++blocks_touched;
+        }
+        report.abft.events.insert(report.abft.events.end(), events.begin(),
+                                  events.end());
+        if (!repaired) {
+          report.abft.repairs_failed += 1;
+          AbftMetrics::get().repair_failures.add();
+          report.status = {ErrorCode::DataCorruption,
+                           "abft: checksum mismatch in " +
+                               std::to_string(blocks_touched) +
+                               " block(s) not surgically repairable"};
+          if (attempt + 1 < max_attempts) continue;
+          return report;
+        }
+        report.abft.blocks_repaired += blocks_touched;
+        AbftMetrics::get().blocks_repaired.add(static_cast<std::uint64_t>(blocks_touched));
+      }
+      // Checksums agree (or were repaired): skip the CPU-reference pass —
+      // that is the whole point of carrying the invariants online.
       return report;
     }
     // Silent corruption (a bit flip, a stuck load) completes "successfully";

@@ -3,10 +3,12 @@
 #include <cstdint>
 
 #include "core/grid3.hpp"
+#include "core/mem_budget.hpp"
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "gpusim/timing.hpp"
+#include "kernels/abft.hpp"
 #include "kernels/stencil_kernel.hpp"
 
 namespace inplane::kernels {
@@ -45,8 +47,24 @@ struct RetryPolicy {
   int max_attempts = 3;            ///< total attempts (first run + retries)
   double backoff_initial_ms = 0.5; ///< sleep before the first retry
   double backoff_multiplier = 2.0; ///< exponential growth per retry
+  /// Deterministic jitter fraction: each delay is scaled by a factor in
+  /// [1 - jitter, 1 + jitter] hashed from the attempt index, so a fleet
+  /// of retrying sweeps never thunders in lockstep yet every run of the
+  /// same plan sleeps identically.
+  double backoff_jitter = 0.25;
+  /// Hard cap on the *summed* backoff sleep per guarded run, so a
+  /// pathological fault plan cannot make the retry loop spend unbounded
+  /// wall-clock sleeping.  0 = uncapped.
+  double backoff_total_cap_ms = 10'000.0;
   bool verify = true;              ///< check output against the CPU reference
 };
+
+/// The backoff sleep before retry attempt @p attempt (1 = first retry),
+/// given @p slept_so_far_ms already spent sleeping this run: exponential
+/// base, deterministic jitter, clipped so the running total never
+/// exceeds the policy's cap.  Exposed for unit testing.
+[[nodiscard]] double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                                      double slept_so_far_ms);
 
 /// Options for run_kernel_guarded.
 struct RunOptions {
@@ -62,6 +80,14 @@ struct RunOptions {
   RetryPolicy retry = {};
   /// Simulated device identity (device-loss scoping in multi-GPU runs).
   std::int64_t device_index = 0;
+  /// Online ABFT checksum detection + surgical repair (see kernels/abft.hpp).
+  /// When enabled, corrupted runs are detected by per-plane checksum
+  /// mismatch and repaired by recomputing only the flagged blocks — the
+  /// CPU-reference verify pass is skipped entirely.
+  AbftOptions abft = {};
+  /// Memory budget gating the ABFT repair scratch allocation; nullptr =
+  /// unlimited.  A denied reservation degrades to the full-retry path.
+  MemBudget* mem_budget = nullptr;
 };
 
 /// Outcome of a guarded run.  Never throws for execution faults — the
@@ -73,6 +99,8 @@ struct RunReport {
   int attempts = 0;            ///< attempts consumed (>= 1)
   bool verified = false;       ///< output was checked against the reference
   std::uint64_t step_budget = 0;  ///< watchdog budget that was armed
+  double total_backoff_ms = 0.0;  ///< wall-clock spent sleeping between retries
+  AbftSummary abft;            ///< online checksum detection/repair outcome
 };
 
 /// Hardened variant of run_kernel: arms a per-block watchdog (simulated

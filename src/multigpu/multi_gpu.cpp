@@ -1,8 +1,11 @@
 #include "multigpu/multi_gpu.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <string>
 
+#include "core/cancel.hpp"
 #include "core/status.hpp"
 #include "kernels/runner.hpp"
 
@@ -80,67 +83,101 @@ void MultiGpuStencil<T>::run(Grid3<T>& a, Grid3<T>& b,
 
   Grid3<T>* cur = &a;
   Grid3<T>* nxt = &b;
-  // Per-device slab buffers, laid out the way the kernel wants.
+  // Per-device slab buffer pairs, gated by the run's memory budget: one
+  // pair per device when the budget covers it, fewer pairs cycled across
+  // the slabs in chunks when it does not (floor: one pair — the run
+  // degrades, it never aborts on a tight budget).  Chunking only
+  // re-orders the scatter/compute/gather walk; every slab still reads
+  // `cur` and writes `nxt`, so the numerics are bit-identical.
+  int nbuf = n;
+  std::optional<MemReservation> slab_hold;
+  if (options_.mem_budget != nullptr && options_.mem_budget->limit_bytes() != 0) {
+    const GridLayout slab_layout(slab_extent, r, sizeof(T), 32,
+                                 kernel_->preferred_align_offset());
+    const std::uint64_t pair_bytes = 2 * slab_layout.allocated_bytes();
+    for (; nbuf > 1; --nbuf) {
+      slab_hold.emplace(options_.mem_budget,
+                        static_cast<std::uint64_t>(nbuf) * pair_bytes);
+      if (slab_hold->ok()) break;
+    }
+    if (nbuf == 1 && (!slab_hold || !slab_hold->ok())) {
+      slab_hold.emplace(options_.mem_budget, pair_bytes);
+    }
+  }
+  if (stats != nullptr) stats->slab_buffer_pairs = nbuf;
   std::vector<Grid3<T>> slab_in;
   std::vector<Grid3<T>> slab_out;
-  for (int d = 0; d < n; ++d) {
+  for (int d = 0; d < nbuf; ++d) {
     slab_in.emplace_back(slab_extent, r, 32, kernel_->preferred_align_offset());
     slab_out.emplace_back(slab_extent, r, 32, kernel_->preferred_align_offset());
   }
+  const bool guarded = faults != nullptr || options_.abft.enabled;
 
   for (int step = 0; step < steps; ++step) {
-    // Scatter: each device receives its slab plus r halo planes from the
-    // neighbouring slabs (or the global frozen halo at the ends) — the
-    // host-mediated halo exchange.
-    for (int d = 0; d < n; ++d) {
-      const int z0 = d * slab_nz;
-      slab_in[static_cast<std::size_t>(d)].fill_with_halo(
-          [&](int i, int j, int k) { return cur->at(i, j, z0 + k); });
-    }
-    // Compute: every slab sweeps on its owning device.  A device found
-    // dead (scatter-time check or DeviceLostError out of its sweep) is
-    // dropped and the slab retried on the next survivor in the rotation.
-    for (int d = 0; d < n; ++d) {
-      for (;;) {
-        if (alive.empty()) {
-          throw DeviceLostError("MultiGpuStencil::run: all " + std::to_string(n) +
-                                " devices lost at sweep " + std::to_string(step));
-        }
-        const int owner = alive[static_cast<std::size_t>(d) % alive.size()];
-        if (faults != nullptr && faults->device_lost(owner, step)) {
-          faults->mark_device_lost(owner);
-          drop_device(alive, owner, stats);
-          continue;
-        }
-        if (faults == nullptr) {
-          kernels::run_kernel(*kernel_, slab_in[static_cast<std::size_t>(d)],
-                              slab_out[static_cast<std::size_t>(d)], device);
-          break;
-        }
-        kernels::RunOptions ro;
-        ro.faults = faults;
-        ro.device_index = owner;
-        const kernels::RunReport report = kernels::run_kernel_guarded(
-            *kernel_, slab_in[static_cast<std::size_t>(d)],
-            slab_out[static_cast<std::size_t>(d)], device, ro);
-        if (report.status.ok()) break;
-        if (report.status.code == ErrorCode::DeviceLost) {
-          faults->mark_device_lost(owner);
-          drop_device(alive, owner, stats);
-          if (stats != nullptr) stats->slab_retries += 1;
-          continue;
-        }
-        raise(report.status);
+    for (int c0 = 0; c0 < n; c0 += nbuf) {
+      const int c1 = std::min(n, c0 + nbuf);
+      // Scatter: each device receives its slab plus r halo planes from the
+      // neighbouring slabs (or the global frozen halo at the ends) — the
+      // host-mediated halo exchange.
+      for (int d = c0; d < c1; ++d) {
+        const int z0 = d * slab_nz;
+        slab_in[static_cast<std::size_t>(d - c0)].fill_with_halo(
+            [&](int i, int j, int k) { return cur->at(i, j, z0 + k); });
       }
-    }
-    // Gather: slab interiors back into the global "next" grid.
-    for (int d = 0; d < n; ++d) {
-      const int z0 = d * slab_nz;
-      const Grid3<T>& s = slab_out[static_cast<std::size_t>(d)];
-      for (int k = 0; k < slab_nz; ++k) {
-        for (int j = 0; j < a.ny(); ++j) {
-          for (int i = 0; i < a.nx(); ++i) {
-            nxt->at(i, j, z0 + k) = s.at(i, j, k);
+      // Compute: every slab sweeps on its owning device.  A device found
+      // dead (scatter-time check or DeviceLostError out of its sweep) is
+      // dropped and the slab retried on the next survivor in the rotation.
+      for (int d = c0; d < c1; ++d) {
+        // Cooperative cancellation fires between slab sweeps, so an open
+        // checkpoint or a caller's partial state is never torn mid-slab.
+        check_cancelled(options_.cancel);
+        Grid3<T>& s_in = slab_in[static_cast<std::size_t>(d - c0)];
+        Grid3<T>& s_out = slab_out[static_cast<std::size_t>(d - c0)];
+        for (;;) {
+          if (alive.empty()) {
+            throw DeviceLostError("MultiGpuStencil::run: all " + std::to_string(n) +
+                                  " devices lost at sweep " + std::to_string(step));
+          }
+          const int owner = alive[static_cast<std::size_t>(d) % alive.size()];
+          if (faults != nullptr && faults->device_lost(owner, step)) {
+            faults->mark_device_lost(owner);
+            drop_device(alive, owner, stats);
+            continue;
+          }
+          if (!guarded) {
+            kernels::run_kernel(*kernel_, s_in, s_out, device);
+            break;
+          }
+          kernels::RunOptions ro;
+          ro.faults = faults;
+          ro.device_index = owner;
+          ro.abft = options_.abft;
+          ro.mem_budget = options_.mem_budget;
+          const kernels::RunReport report =
+              kernels::run_kernel_guarded(*kernel_, s_in, s_out, device, ro);
+          if (stats != nullptr) {
+            stats->sdc_planes_flagged += report.abft.planes_flagged;
+            stats->sdc_blocks_repaired += report.abft.blocks_repaired;
+          }
+          if (report.status.ok()) break;
+          if (report.status.code == ErrorCode::DeviceLost && faults != nullptr) {
+            faults->mark_device_lost(owner);
+            drop_device(alive, owner, stats);
+            if (stats != nullptr) stats->slab_retries += 1;
+            continue;
+          }
+          raise(report.status);
+        }
+      }
+      // Gather: slab interiors back into the global "next" grid.
+      for (int d = c0; d < c1; ++d) {
+        const int z0 = d * slab_nz;
+        const Grid3<T>& s = slab_out[static_cast<std::size_t>(d - c0)];
+        for (int k = 0; k < slab_nz; ++k) {
+          for (int j = 0; j < a.ny(); ++j) {
+            for (int i = 0; i < a.nx(); ++i) {
+              nxt->at(i, j, z0 + k) = s.at(i, j, k);
+            }
           }
         }
       }

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/coefficients.hpp"
 #include "core/grid3.hpp"
+#include "core/mem_budget.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "gpusim/timing.hpp"
+#include "kernels/abft.hpp"
 #include "kernels/stencil_kernel.hpp"
 
 namespace inplane::multigpu {
@@ -24,6 +28,18 @@ struct MultiGpuOptions {
   /// Optional fault injector: device-loss rules kill simulated devices
   /// mid-run and the remaining slabs are re-sharded onto the survivors.
   const gpusim::FaultInjector* faults = nullptr;
+  /// Cooperative cancel/deadline token, polled once per (sweep, slab); a
+  /// fired token raises ResourceExhaustedError between slab sweeps, never
+  /// mid-slab.
+  const CancelToken* cancel = nullptr;
+  /// Memory budget for the per-device slab buffer pairs.  When it cannot
+  /// cover one pair per device the run degrades to fewer pairs cycled
+  /// across the slabs in chunks (floor: one pair) — numerics unchanged.
+  /// nullptr = unlimited.
+  MemBudget* mem_budget = nullptr;
+  /// Online ABFT checksum detection + surgical repair on every slab sweep
+  /// (see kernels/abft.hpp); forces the hardened runner per slab.
+  kernels::AbftOptions abft = {};
 };
 
 /// What the fault-tolerant scheduler observed during one run().
@@ -31,6 +47,9 @@ struct MultiGpuRunStats {
   int devices_lost = 0;           ///< devices that died during the run
   std::vector<int> lost_devices;  ///< their indices, in order of death
   int slab_retries = 0;           ///< slab sweeps redone on a survivor
+  int slab_buffer_pairs = 0;      ///< slab buffer pairs the budget allowed
+  std::uint64_t sdc_planes_flagged = 0;  ///< ABFT checksum mismatches
+  int sdc_blocks_repaired = 0;           ///< blocks surgically recomputed
 };
 
 /// Per-sweep timing breakdown of a decomposed run.

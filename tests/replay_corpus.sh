@@ -1,0 +1,33 @@
+#!/bin/sh
+# Replays every line of the fuzz corpus through stencil_fuzz --replay.
+#
+#   replay_corpus.sh <stencil_fuzz-binary> <corpus-file>
+#
+# Exits non-zero on the first line whose replay fails (exit 1 = a
+# verification pillar failed, exit 2 = the line no longer parses — both
+# are regressions).  Loudly-rejected configurations exit 0 and pass.
+set -eu
+
+fuzz_bin=$1
+corpus=$2
+
+[ -x "$fuzz_bin" ] || { echo "replay_corpus: $fuzz_bin not executable" >&2; exit 2; }
+[ -f "$corpus" ] || { echo "replay_corpus: $corpus not found" >&2; exit 2; }
+
+total=0
+while IFS= read -r line || [ -n "$line" ]; do
+  case "$line" in
+    ''|\#*) continue ;;
+  esac
+  total=$((total + 1))
+  if ! "$fuzz_bin" --replay "$line"; then
+    echo "replay_corpus: FAILED on line: $line" >&2
+    exit 1
+  fi
+done < "$corpus"
+
+if [ "$total" -eq 0 ]; then
+  echo "replay_corpus: corpus is empty — nothing was tested" >&2
+  exit 2
+fi
+echo "replay_corpus: $total line(s) replayed clean"

@@ -1,0 +1,454 @@
+// Execution governance: cooperative cancellation (deadline / external
+// cancel) threaded through the runner, tuners and multi-GPU driver; the
+// per-run memory budget that degrades work instead of aborting it; retry
+// backoff jitter and its total wall-clock cap; and the shared process
+// exit-code mapping (5 = deadline/budget exhaustion).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/cancel.hpp"
+#include "core/mem_budget.hpp"
+#include "core/status.hpp"
+#include "core/thread_pool.hpp"
+#include "gpusim/fault_injector.hpp"
+#include "kernels/runner.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace inplane {
+namespace {
+
+using gpusim::DeviceSpec;
+using gpusim::FaultInjector;
+using gpusim::FaultPlan;
+using kernels::LaunchConfig;
+using kernels::Method;
+using kernels::RunOptions;
+using kernels::RunReport;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------- CancelToken --
+
+TEST(CancelToken, ExternalCancelIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // sticky
+  EXPECT_EQ(token.status().code, ErrorCode::ResourceExhausted);
+}
+
+TEST(CancelToken, CheckCountdownFiresOnTheNthPoll) {
+  CancelToken token;
+  token.cancel_after_checks(3);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // sticky after firing
+}
+
+TEST(CancelToken, DeadlineFires) {
+  CancelToken expired;
+  expired.set_deadline_ms(-1.0);  // already in the past
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_EQ(expired.status().code, ErrorCode::ResourceExhausted);
+  EXPECT_NE(expired.status().context.find("deadline"), std::string::npos);
+
+  CancelToken soon;
+  soon.set_deadline_ms(1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(soon.cancelled());
+}
+
+TEST(CancelToken, CheckCancelledThrowsTypedError) {
+  check_cancelled(nullptr);  // null token: never fires
+  CancelToken idle;
+  check_cancelled(&idle);  // un-fired token: no-op
+  CancelToken fired;
+  fired.cancel();
+  EXPECT_THROW(check_cancelled(&fired), ResourceExhaustedError);
+  // The typed throw still carries the Status for generic catch sites.
+  try {
+    check_cancelled(&fired);
+    FAIL() << "expected ResourceExhaustedError";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_of(e).code, ErrorCode::ResourceExhausted);
+  }
+}
+
+TEST(CancelToken, ParallelForPollsPerItem) {
+  // Serial path: the countdown fires before the 5th item runs.
+  CancelToken token;
+  token.cancel_after_checks(5);
+  std::size_t ran = 0;
+  ExecPolicy policy{1};
+  policy.cancel = &token;
+  EXPECT_THROW(parallel_for(policy, 100, [&](std::size_t) { ++ran; }),
+               ResourceExhaustedError);
+  EXPECT_EQ(ran, 4u);
+
+  // Pooled path: the throw surfaces on the calling thread too.
+  CancelToken token2;
+  token2.cancel();
+  ExecPolicy pooled{4};
+  pooled.cancel = &token2;
+  EXPECT_THROW(parallel_for(pooled, 100, [](std::size_t) {}),
+               ResourceExhaustedError);
+}
+
+// ----------------------------------------------------------- exit codes --
+
+TEST(ExitCodes, SharedMappingCoversEveryClass) {
+  EXPECT_EQ(exit_code(Status::okay()), 0);
+  EXPECT_EQ(exit_code({ErrorCode::InvalidConfig, ""}), 2);
+  EXPECT_EQ(exit_code({ErrorCode::TransientFault, ""}), 3);
+  EXPECT_EQ(exit_code({ErrorCode::Timeout, ""}), 3);
+  EXPECT_EQ(exit_code({ErrorCode::DataCorruption, ""}), 3);
+  EXPECT_EQ(exit_code({ErrorCode::DeviceLost, ""}), 3);
+  EXPECT_EQ(exit_code({ErrorCode::IoError, ""}), 4);
+  EXPECT_EQ(exit_code({ErrorCode::ResourceExhausted, ""}), 5);
+  EXPECT_EQ(exit_code({ErrorCode::Internal, ""}), 1);
+}
+
+// ------------------------------------------------------------ MemBudget --
+
+TEST(MemBudget, ReservationsAreBoundedAndRaiiReleased) {
+  MemBudget budget(100);
+  EXPECT_EQ(budget.limit_bytes(), 100u);
+  {
+    MemReservation first(&budget, 60);
+    EXPECT_TRUE(first.ok());
+    EXPECT_EQ(budget.used_bytes(), 60u);
+    MemReservation second(&budget, 50);  // 60 + 50 > 100
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(budget.used_bytes(), 60u);
+    EXPECT_EQ(budget.denied(), 1u);
+    MemReservation third(&budget, 40);  // exactly fills the budget
+    EXPECT_TRUE(third.ok());
+    EXPECT_EQ(budget.used_bytes(), 100u);
+  }
+  EXPECT_EQ(budget.used_bytes(), 0u);  // both held reservations returned
+}
+
+TEST(MemBudget, ZeroLimitAndNullBudgetAreUnlimited) {
+  MemBudget unlimited;  // limit 0
+  MemReservation huge(&unlimited, ~std::uint64_t{0});
+  EXPECT_TRUE(huge.ok());
+  EXPECT_EQ(unlimited.denied(), 0u);
+  MemReservation none(nullptr, ~std::uint64_t{0});
+  EXPECT_TRUE(none.ok());
+}
+
+// ------------------------------------------------------ backoff + jitter --
+
+TEST(Backoff, JitterStaysInBandAndIsDeterministic) {
+  kernels::RetryPolicy policy;  // initial 0.5, x2, jitter 0.25
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    double base = policy.backoff_initial_ms;
+    for (int i = 1; i < attempt; ++i) base *= policy.backoff_multiplier;
+    const double d = kernels::backoff_delay_ms(policy, attempt, 0.0);
+    EXPECT_GE(d, base * (1.0 - policy.backoff_jitter)) << "attempt " << attempt;
+    EXPECT_LE(d, base * (1.0 + policy.backoff_jitter)) << "attempt " << attempt;
+    // Same plan, same attempt => identical sleep (no global RNG state).
+    EXPECT_EQ(d, kernels::backoff_delay_ms(policy, attempt, 0.0));
+  }
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 0, 0.0), 0.0);
+}
+
+TEST(Backoff, TotalWallClockCapClipsTheTail) {
+  kernels::RetryPolicy policy;
+  policy.backoff_initial_ms = 100.0;
+  policy.backoff_jitter = 0.0;
+  policy.backoff_total_cap_ms = 150.0;
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 1, 0.0), 100.0);
+  // The second retry wants 200 ms but only 50 ms of cap remains.
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 2, 100.0), 50.0);
+  // Cap exhausted (or overshot): no more sleeping, retries run back-to-back.
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 3, 150.0), 0.0);
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 3, 400.0), 0.0);
+  // 0 = uncapped.
+  policy.backoff_total_cap_ms = 0.0;
+  EXPECT_EQ(kernels::backoff_delay_ms(policy, 2, 1e9), 200.0);
+}
+
+// ------------------------------------------------------- guarded runner --
+
+constexpr Extent3 kExtent{64, 32, 9};
+
+template <typename T>
+Grid3<T> seeded_input(const kernels::IStencilKernel<T>& kernel) {
+  Grid3<T> in = kernels::make_grid_for(kernel, kExtent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(std::sin(0.1 * i) + 0.05 * j + 0.02 * k * k);
+  });
+  return in;
+}
+
+TEST(GuardedRunner, PreCancelledTokenShortCircuits) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const auto kernel = kernels::make_kernel<float>(Method::InPlaneClassical, cs,
+                                                  LaunchConfig{32, 4, 1, 2, 1});
+  const Grid3<float> in = seeded_input(*kernel);
+  Grid3<float> out = kernels::make_grid_for(*kernel, kExtent);
+
+  CancelToken token;
+  token.cancel();
+  RunOptions ro;
+  ro.policy.cancel = &token;
+  const RunReport report = kernels::run_kernel_guarded(*kernel, in, out, dev, ro);
+  EXPECT_EQ(report.status.code, ErrorCode::ResourceExhausted);
+  EXPECT_EQ(report.attempts, 0);  // no attempt was burned
+}
+
+// ----------------------------------------------------- tuner governance --
+
+constexpr Extent3 kTuneExtent{512, 512, 256};
+
+TEST(TunerGovernance, DeadlineMidSweepLeavesAResumableJournal) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+  const std::string path = temp_path("ipt_cancel_resume.journal");
+  std::filesystem::remove(path);
+
+  const autotune::TuneResult clean = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, ExecPolicy{});
+  ASSERT_TRUE(clean.found());
+
+  // The token fires after a handful of measurement polls, mid-sweep.  The
+  // sweep's model-prediction pre-pass polls once per candidate too, so the
+  // countdown is offset past it to land between measurements.  The
+  // cooperative cancel point sits *between* candidates, so every
+  // measurement taken before the firing is journaled and consistent.
+  CancelToken token;
+  token.cancel_after_checks(static_cast<std::int64_t>(clean.candidates) + 4);
+  autotune::TuneOptions opts;
+  opts.policy = ExecPolicy{1};
+  opts.policy.cancel = &token;
+  opts.checkpoint_path = path;
+  EXPECT_THROW(static_cast<void>(autotune::exhaustive_tune<float>(
+                   Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts)),
+               ResourceExhaustedError);
+
+  // Resume without the deadline: the journaled prefix is reused verbatim
+  // and the sweep completes to the identical best.
+  autotune::TuneOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  const autotune::TuneResult resumed = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, resume_opts);
+  ASSERT_TRUE(resumed.found());
+  EXPECT_GE(resumed.resumed, 3u);
+  EXPECT_LT(resumed.resumed, resumed.candidates);
+  EXPECT_EQ(resumed.best.config.to_string(), clean.best.config.to_string());
+  EXPECT_EQ(resumed.best.timing.mpoints_per_s, clean.best.timing.mpoints_per_s);
+  std::filesystem::remove(path);
+}
+
+TEST(TunerGovernance, MemBudgetCapsTheMeasuredSet) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+
+  const autotune::TuneResult clean = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, ExecPolicy{});
+  ASSERT_TRUE(clean.found());
+  ASSERT_GT(clean.candidates, 4u);
+
+  // Budget for roughly three candidates' working sets: the sweep measures
+  // the model-ranked prefix and leaves the rest predicted-only.
+  MemBudget budget(4u << 20);
+  autotune::TuneOptions opts;
+  opts.mem_budget = &budget;
+  const autotune::TuneResult capped = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+
+  ASSERT_TRUE(capped.found());
+  EXPECT_EQ(capped.candidates, clean.candidates);
+  EXPECT_LT(capped.executed, capped.candidates);
+  EXPECT_GE(capped.executed, 1u);
+  // The budget measures the model-ranked prefix: no pruned candidate may
+  // out-predict a measured one.
+  double min_measured_pred = 1e300;
+  double max_pruned_pred = -1.0;
+  std::size_t predicted_only = 0;
+  for (const autotune::TuneEntry& e : capped.entries) {
+    if (e.executed) {
+      min_measured_pred = std::min(min_measured_pred, e.model_mpoints);
+    } else {
+      ++predicted_only;
+      EXPECT_FALSE(e.timing.valid);
+      max_pruned_pred = std::max(max_pruned_pred, e.model_mpoints);
+    }
+  }
+  EXPECT_EQ(predicted_only, capped.candidates - capped.executed);
+  EXPECT_GE(min_measured_pred, max_pruned_pred);
+
+  // Degradation floor: even a 1-byte budget measures one candidate rather
+  // than aborting the sweep.
+  MemBudget tiny(1);
+  autotune::TuneOptions tiny_opts;
+  tiny_opts.mem_budget = &tiny;
+  const autotune::TuneResult floor = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, tiny_opts);
+  ASSERT_TRUE(floor.found());
+  EXPECT_EQ(floor.executed, 1u);
+  EXPECT_GE(tiny.denied(), 1u);
+}
+
+TEST(TunerGovernance, AbftContainsMeasurementCorruption) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(2);
+
+  const autotune::TuneResult clean = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, ExecPolicy{});
+  ASSERT_TRUE(clean.found());
+
+  // Every candidate's measurement is hit by a bit flip.  With ABFT the
+  // corruption is detected and contained online: no retries burned, no
+  // quarantine, and the ranking matches the fault-free sweep.
+  FaultInjector injector(FaultPlan::parse("seed=13; bitflip:cp=1,bit=30"));
+  autotune::TuneOptions opts;
+  opts.faults = &injector;
+  opts.abft = true;
+  const autotune::TuneResult contained = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, opts);
+
+  ASSERT_TRUE(contained.found());
+  EXPECT_EQ(contained.quarantined, 0u);
+  EXPECT_EQ(contained.sdc_events, contained.executed);
+  EXPECT_EQ(contained.faulted, contained.executed);
+  EXPECT_EQ(contained.best.config.to_string(), clean.best.config.to_string());
+  EXPECT_EQ(contained.best.timing.mpoints_per_s, clean.best.timing.mpoints_per_s);
+  for (const autotune::TuneEntry& e : contained.entries) {
+    if (!e.executed) continue;
+    EXPECT_EQ(e.attempts, 1);
+    EXPECT_EQ(e.sdc_events, 1);
+  }
+
+  // Without ABFT the same plan exhausts every candidate's retries.
+  FaultInjector injector2(FaultPlan::parse("seed=13; bitflip:cp=1,bit=30"));
+  autotune::TuneOptions blind;
+  blind.faults = &injector2;
+  const autotune::TuneResult quarantined = autotune::exhaustive_tune<float>(
+      Method::InPlaneFullSlice, cs, dev, kTuneExtent, {}, blind);
+  EXPECT_FALSE(quarantined.found());
+  EXPECT_EQ(quarantined.quarantined, quarantined.candidates);
+  EXPECT_EQ(quarantined.sdc_events, 0u);
+}
+
+// ----------------------------------------- checkpoint journal (IPTJ2) --
+
+TEST(CheckpointJournal, SdcEventsRoundTripThroughATornTail) {
+  const std::string path = temp_path("ipt_sdc_roundtrip.journal");
+  std::filesystem::remove(path);
+
+  autotune::CheckpointKey key;
+  key.method = "inplane_full_slice";
+  key.device = "gtx580";
+  key.extent = kTuneExtent;
+  key.elem_size = 4;
+  key.kind = "exhaustive";
+
+  autotune::TuneEntry entry;
+  entry.config = LaunchConfig{32, 4, 1, 2, 1};
+  entry.timing.valid = true;
+  entry.timing.mpoints_per_s = 1234.5;
+  entry.executed = true;
+  entry.attempts = 1;
+  entry.sdc_events = 7;
+  {
+    autotune::CheckpointJournal journal;
+    journal.open(path, key);
+    journal.append(entry);
+  }
+  {
+    // An SDC record with a torn write after it: the tail is truncated, the
+    // record (including its contained-corruption count) survives.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x07torn-sdc-tail", 14);
+  }
+  autotune::CheckpointJournal reopened;
+  reopened.open(path, key);
+  ASSERT_EQ(reopened.loaded().size(), 1u);
+  const auto found = reopened.find(entry.config);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->sdc_events, 7);
+  EXPECT_EQ(found->attempts, 1);
+  EXPECT_TRUE(found->executed);
+  EXPECT_EQ(found->timing.mpoints_per_s, 1234.5);
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------- multi-GPU governance --
+
+TEST(MultiGpuGovernance, PreCancelledTokenStopsBeforeTheFirstSlab) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  CancelToken token;
+  token.cancel();
+  multigpu::MultiGpuOptions opts;
+  opts.n_devices = 2;
+  opts.cancel = &token;
+  multigpu::MultiGpuStencil<float> sim(Method::InPlaneClassical, cs,
+                                       LaunchConfig{32, 4, 1, 2, 1}, opts);
+  Grid3<float> a({64, 32, 8}, 1);
+  Grid3<float> b({64, 32, 8}, 1);
+  a.fill(1.0f);
+  EXPECT_THROW(sim.run(a, b, dev, 2), ResourceExhaustedError);
+}
+
+TEST(MultiGpuGovernance, TightBudgetChunksSlabsBitIdentically) {
+  const auto dev = DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const LaunchConfig cfg{32, 4, 1, 2, 1};
+  const Extent3 extent{64, 32, 8};
+
+  auto make_grid = [&] {
+    Grid3<float> g(extent, 1);
+    g.fill_with_halo([](int i, int j, int k) {
+      return static_cast<float>(std::sin(0.3 * i) + 0.1 * j - 0.05 * k);
+    });
+    return g;
+  };
+
+  multigpu::MultiGpuOptions plain_opts;
+  plain_opts.n_devices = 4;
+  multigpu::MultiGpuStencil<float> plain(Method::InPlaneClassical, cs, cfg,
+                                         plain_opts);
+  Grid3<float> a_plain = make_grid();
+  Grid3<float> b_plain = make_grid();
+  multigpu::MultiGpuRunStats plain_stats;
+  plain.run(a_plain, b_plain, dev, 3, &plain_stats);
+  EXPECT_EQ(plain_stats.slab_buffer_pairs, 4);
+
+  // A 1-byte budget forces the slab staging down to a single buffer pair
+  // cycled across all four devices — slower, but numerically untouched.
+  MemBudget budget(1);
+  multigpu::MultiGpuOptions opts;
+  opts.n_devices = 4;
+  opts.mem_budget = &budget;
+  multigpu::MultiGpuStencil<float> sim(Method::InPlaneClassical, cs, cfg, opts);
+  Grid3<float> a = make_grid();
+  Grid3<float> b = make_grid();
+  multigpu::MultiGpuRunStats stats;
+  sim.run(a, b, dev, 3, &stats);
+  EXPECT_EQ(stats.slab_buffer_pairs, 1);
+  EXPECT_GE(budget.denied(), 1u);
+  EXPECT_EQ(std::memcmp(a.raw(), a_plain.raw(), a.allocated() * sizeof(float)), 0);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -18,6 +18,8 @@
 
 #include "autotune/tuner.hpp"
 #include "codegen/cuda_codegen.hpp"
+#include "core/cancel.hpp"
+#include "core/mem_budget.hpp"
 #include "core/status.hpp"
 #include "gpusim/device_file.hpp"
 #include "gpusim/fault_injector.hpp"
@@ -42,6 +44,29 @@ struct Args {
     return it == kv.end() ? dflt : std::atoi(it->second.c_str());
   }
   [[nodiscard]] bool has(const std::string& key) const { return kv.count(key) > 0; }
+};
+
+/// Builds the governance state shared by run and tune: an optional
+/// deadline token (--deadline-ms) and an optional memory budget
+/// (--mem-budget, bytes).  Lives on the caller's stack for the whole
+/// command so raw pointers into it stay valid.
+struct Governance {
+  std::optional<CancelToken> cancel;
+  std::optional<MemBudget> budget;
+
+  explicit Governance(const Args& args) {
+    if (args.has("deadline-ms")) {
+      cancel.emplace();
+      cancel->set_deadline_ms(std::atof(args.get("deadline-ms", "0").c_str()));
+    }
+    if (args.has("mem-budget")) {
+      budget.emplace(std::strtoull(args.get("mem-budget", "0").c_str(), nullptr, 10));
+    }
+  }
+  [[nodiscard]] const CancelToken* token() const {
+    return cancel ? &*cancel : nullptr;
+  }
+  [[nodiscard]] MemBudget* mem() { return budget ? &*budget : nullptr; }
 };
 
 Args parse(int argc, char** argv, int first) {
@@ -152,24 +177,40 @@ int cmd_run(const Args& args) {
   const LaunchConfig cfg = config_from(args, method, sizeof(T) == 8);
   const auto kernel =
       make_kernel<T>(method, StencilCoeffs::diffusion(order / 2), cfg);
-  if (args.has("fault-plan")) {
-    // Functional execution under the hardened runner: inject the plan,
-    // retry retryable faults, verify the output against the reference.
-    const auto plan = gpusim::FaultPlan::parse(args.get("fault-plan", ""));
-    gpusim::FaultInjector injector(plan);
+  Governance gov(args);
+  if (args.has("fault-plan") || args.has("abft") || gov.token() != nullptr ||
+      gov.mem() != nullptr) {
+    // Functional execution under the hardened runner: inject the plan (if
+    // any), retry retryable faults, and either verify the output against
+    // the reference or — with --abft — detect and surgically repair
+    // corruption online via the plane-checksum layer.
+    std::optional<gpusim::FaultInjector> injector;
+    if (args.has("fault-plan")) {
+      injector.emplace(gpusim::FaultPlan::parse(args.get("fault-plan", "")));
+    }
     Grid3<T> in = make_grid_for(*kernel, grid_from(args));
     Grid3<T> out = make_grid_for(*kernel, grid_from(args));
     in.fill_with_halo([](int i, int j, int k) {
       return static_cast<T>(((i * 37 + j * 17 + k * 7) % 101) - 50) / T(50);
     });
     RunOptions ro;
-    ro.faults = &injector;
+    ro.faults = injector ? &*injector : nullptr;
     ro.policy = ExecPolicy{args.geti("threads", 0)};
+    ro.policy.cancel = gov.token();
+    ro.abft.enabled = args.has("abft");
+    ro.mem_budget = gov.mem();
     const RunReport report = run_kernel_guarded(*kernel, in, out, dev, ro);
     std::printf("guarded run: %s after %d attempt(s)%s; %zu fault site(s) injected\n",
                 report.status.ok() ? "ok" : report.status.to_string().c_str(),
                 report.attempts, report.verified ? ", output verified" : "",
-                injector.event_count());
+                injector ? injector->event_count() : 0);
+    if (report.abft.enabled) {
+      std::printf("abft: %llu plane checksum(s) checked, %llu flagged, "
+                  "%d block(s) surgically repaired\n",
+                  static_cast<unsigned long long>(report.abft.planes_checked),
+                  static_cast<unsigned long long>(report.abft.planes_flagged),
+                  report.abft.blocks_repaired);
+    }
     if (!report.status.ok()) raise(report.status);
   }
   if (args.has("verify") || args.has("sabotage")) {
@@ -191,11 +232,15 @@ int cmd_tune(const Args& args) {
   const Extent3 grid = grid_from(args);
   // --threads 1 pins the sweep to the serial path (reproducible wall-clock
   // benchmarking); 0 = all hardware threads.  Results are identical either way.
+  Governance gov(args);
   autotune::TuneOptions topt;
   topt.policy = ExecPolicy{args.geti("threads", 0)};
+  topt.policy.cancel = gov.token();
   topt.max_attempts = args.geti("retries", 3);
   topt.checkpoint_path = args.get("checkpoint", "");
   topt.resume = args.has("resume");
+  topt.abft = args.has("abft");
+  topt.mem_budget = gov.mem();
   std::optional<gpusim::FaultInjector> injector;
   if (args.has("fault-plan")) {
     injector.emplace(gpusim::FaultPlan::parse(args.get("fault-plan", "")));
@@ -217,8 +262,9 @@ int cmd_tune(const Args& args) {
                 topt.checkpoint_path.c_str());
   }
   if (result.faulted != 0 || result.quarantined != 0) {
-    std::printf("fault report: %zu candidate(s) faulted, %zu quarantined\n",
-                result.faulted, result.quarantined);
+    std::printf("fault report: %zu candidate(s) faulted, %zu quarantined, "
+                "%zu corruption(s) contained online\n",
+                result.faulted, result.quarantined, result.sdc_events);
     for (const autotune::QuarantineRecord& q : result.quarantine) {
       std::printf("  quarantined %s after %d attempt(s): %s\n",
                   q.config.to_string().c_str(), q.attempts,
@@ -292,24 +338,6 @@ int cmd_devices() {
   return 0;
 }
 
-/// Exit codes by failure class: 2 = bad arguments/configuration, 3 =
-/// execution fault (transient/timeout/corruption/device loss), 4 = I/O.
-int exit_code_for(const Status& st) {
-  switch (st.code) {
-    case ErrorCode::InvalidConfig:
-      return 2;
-    case ErrorCode::TransientFault:
-    case ErrorCode::Timeout:
-    case ErrorCode::DataCorruption:
-    case ErrorCode::DeviceLost:
-      return 3;
-    case ErrorCode::IoError:
-      return 4;
-    default:
-      return 1;
-  }
-}
-
 int usage() {
   std::fputs(
       "usage: inplane <command> [--key value ...]\n"
@@ -318,6 +346,10 @@ int usage() {
       "  run      time one configuration   (--method --order --device --tx --ty\n"
       "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz]\n"
       "                                     [--fault-plan spec for a guarded run]\n"
+      "                                     [--abft: online checksum detection +\n"
+      "                                      surgical repair, no reference pass]\n"
+      "                                     [--deadline-ms N: exit 5 when exceeded]\n"
+      "                                     [--mem-budget bytes: degrade, never abort]\n"
       "                                     [--verify: oracle + metamorphic +\n"
       "                                      trace-audit gate, exit 3 on mismatch])\n"
       "  tune     auto-tune a method       (--method --order --device [--dp]\n"
@@ -325,6 +357,8 @@ int usage() {
       "                                     [--beta 0.05 for model-guided]\n"
       "                                     [--threads N, 0 = all cores, 1 = serial]\n"
       "                                     [--fault-plan spec] [--retries N]\n"
+      "                                     [--abft: contain corruption in-place]\n"
+      "                                     [--deadline-ms N] [--mem-budget bytes]\n"
       "                                     [--checkpoint file] [--resume])\n"
       "  model    section-VI prediction    (same keys as run)\n"
       "  codegen  emit a CUDA .cu file     (--method --order --tx --ty ... [--o f])\n",
@@ -350,7 +384,7 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     const Status st = status_of(e);
     std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
-    return exit_code_for(st);
+    return exit_code(st);
   }
   return usage();
 }
