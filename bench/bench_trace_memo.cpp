@@ -1,0 +1,196 @@
+// Block-class trace memoization: tracing throughput and soundness on a
+// tuner-sweep-shaped workload (every in-plane/forward-plane variant
+// across several launch shapes per stencil order — the mix the
+// autotuner's candidate evaluation hammers).  Two claims are pinned:
+//
+//  * throughput — whole-grid Trace sweeps get MPoint/s faster with the
+//    memo on, since only one representative block per position class is
+//    traced (wall-clock, so noisy; the speedup grows with the block
+//    count and exceeds 5x on the full-mode tracing lattice);
+//  * soundness — gate-able, deterministic: for every variant the
+//    memoized Both-mode run must produce a bit-identical output grid and
+//    an identical aggregate TraceStats, or the identity headlines drop
+//    from 1.0 and bench_diff flags the zero-baseline drift hard.
+//
+// Full (non-smoke) runs use a dedicated 256x256x64 tracing lattice: the
+// paper's 512x512x256 evaluation grid would cost hours unmemoized, and
+// 256 blocks per launch already puts the class count deep into its
+// asymptote.  Smoke keeps the shared smoke lattice.
+//
+//   $ ./bench_trace_memo [repeats] [--smoke] [--results-dir <dir>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autotune/search_space.hpp"
+#include "bench_common.hpp"
+#include "core/simd.hpp"
+#include "kernels/runner.hpp"
+#include "report/stats.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+
+struct SweepItem {
+  Method method;
+  int order;
+  LaunchConfig cfg;
+};
+
+/// The candidate list a thread-blocking tuner sweep would trace: all
+/// five variants, several tile shapes each, at every order of the
+/// session.  Every tile divides both the smoke and the full lattice.
+std::vector<SweepItem> build_sweep(const bench::Session& session) {
+  std::vector<SweepItem> sweep;
+  for (int order : session.orders()) {
+    if (order > 8) continue;  // the memo claim is pinned on orders 2-8
+    for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
+                     Method::InPlaneVertical, Method::InPlaneHorizontal,
+                     Method::InPlaneFullSlice}) {
+      const int vec = autotune::default_vec(m, sizeof(float));
+      for (const LaunchConfig base :
+           {LaunchConfig{32, 8, 1, 1, 1}, LaunchConfig{16, 8, 2, 1, 1},
+            LaunchConfig{32, 4, 1, 2, 1}, LaunchConfig{16, 4, 2, 2, 1}}) {
+        LaunchConfig cfg = base;
+        cfg.vec = vec;
+        sweep.push_back({m, order, cfg});
+      }
+    }
+  }
+  return sweep;
+}
+
+/// One full Trace pass over the sweep; returns traced interior points.
+double trace_sweep(Extent3 lattice, const gpusim::DeviceSpec& dev,
+                   const std::vector<SweepItem>& sweep) {
+  double points = 0.0;
+  for (const SweepItem& item : sweep) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(item.order / 2);
+    const auto kernel = make_kernel<float>(item.method, cs, item.cfg);
+    Grid3<float> in = make_grid_for(*kernel, lattice);
+    Grid3<float> out = make_grid_for(*kernel, lattice);
+    (void)run_kernel(*kernel, in, out, dev, gpusim::ExecMode::Trace);
+    points += static_cast<double>(lattice.volume());
+  }
+  return points;
+}
+
+/// Both-mode soundness check: memoized output grid and aggregate stats
+/// must be bit-identical to the unmemoized run for every sweep item.
+void check_identity(Extent3 lattice, const gpusim::DeviceSpec& dev,
+                    const std::vector<SweepItem>& sweep, bool& bits_ok,
+                    bool& stats_ok) {
+  bits_ok = true;
+  stats_ok = true;
+  for (const SweepItem& item : sweep) {
+    const StencilCoeffs cs = StencilCoeffs::diffusion(item.order / 2);
+    const auto kernel = make_kernel<float>(item.method, cs, item.cfg);
+    Grid3<float> in = make_grid_for(*kernel, lattice);
+    in.fill_with_halo([](int i, int j, int k) {
+      return static_cast<float>(((i * 13 + j * 7 + k * 3) % 17) - 8) / 4.0f;
+    });
+    Grid3<float> plain = make_grid_for(*kernel, lattice);
+    Grid3<float> memo = make_grid_for(*kernel, lattice);
+    set_trace_memo_enabled(false);
+    const gpusim::TraceStats s_plain =
+        run_kernel(*kernel, in, plain, dev, gpusim::ExecMode::Both);
+    set_trace_memo_enabled(true);
+    const gpusim::TraceStats s_memo =
+        run_kernel(*kernel, in, memo, dev, gpusim::ExecMode::Both);
+    if (!(s_plain == s_memo)) {
+      stats_ok = false;
+      std::fprintf(stderr, "stats diverged: %s order %d %s\n",
+                   to_string(item.method), item.order, item.cfg.to_string().c_str());
+    }
+    if (std::memcmp(plain.raw(), memo.raw(), plain.allocated() * sizeof(float)) !=
+        0) {
+      bits_ok = false;
+      std::fprintf(stderr, "output diverged: %s order %d %s\n",
+                   to_string(item.method), item.order, item.cfg.to_string().c_str());
+    }
+  }
+}
+
+int run(bench::Session& session, int repeats) {
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const Extent3 lattice = session.smoke() ? bench::kSmokeGrid : Extent3{256, 256, 64};
+  session.set_config("grid", std::to_string(lattice.nx) + "x" +
+                                 std::to_string(lattice.ny) + "x" +
+                                 std::to_string(lattice.nz));
+  const std::vector<SweepItem> sweep = build_sweep(session);
+
+  // Warm-up primes allocators and the lazily built instrument references.
+  set_trace_memo_enabled(true);
+  (void)trace_sweep(lattice, dev, sweep);
+
+  std::vector<double> plain_s;
+  std::vector<double> memo_s;
+  double points = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    set_trace_memo_enabled(false);
+    report::Stopwatch watch;
+    points = trace_sweep(lattice, dev, sweep);
+    plain_s.push_back(watch.seconds());
+    set_trace_memo_enabled(true);
+    watch.restart();
+    (void)trace_sweep(lattice, dev, sweep);
+    memo_s.push_back(watch.seconds());
+  }
+  const double plain = report::median(plain_s);
+  const double memo = report::median(memo_s);
+  const double speedup = memo > 0.0 ? plain / memo : 0.0;
+  const double mpts_plain = points / plain / 1e6;
+  const double mpts_memo = points / memo / 1e6;
+
+  bool bits_ok = false;
+  bool stats_ok = false;
+  check_identity(lattice, dev, sweep, bits_ok, stats_ok);
+
+  report::Table table(
+      {"Configuration", "Median wall [s]", "Tracing [MPt/s]", "Speedup [x]"});
+  table.add_row({"memo off", report::fmt(plain, 4), report::fmt(mpts_plain, 1),
+                 "1.0"});
+  table.add_row({"memo on", report::fmt(memo, 4), report::fmt(mpts_memo, 1),
+                 report::fmt(speedup, 2)});
+  session.set_config("repeats", std::to_string(repeats));
+  session.set_config("candidates", std::to_string(sweep.size()));
+  session.set_config("simd", simd_enabled() ? "on" : "off");
+  session.emit(table, "whole-grid tracing throughput, tuner-shaped sweep of " +
+                          std::to_string(sweep.size()) + " candidates (median of " +
+                          std::to_string(repeats) + " repeats)");
+
+  session.headline("trace_speedup", speedup, "x",
+                   /*higher_is_better=*/true, /*noisy=*/true);
+  session.headline("traced_mpoints_per_s", mpts_memo, "MPt/s",
+                   /*higher_is_better=*/true, /*noisy=*/true);
+  // Deterministic soundness gates: any divergence drops these off their
+  // committed 1.0 baseline, which bench_diff treats as a hard mismatch.
+  session.headline("bit_identical", bits_ok ? 1.0 : 0.0, "bool",
+                   /*higher_is_better=*/true, /*noisy=*/false);
+  session.headline("stats_identical", stats_ok ? 1.0 : 0.0, "bool",
+                   /*higher_is_better=*/true, /*noisy=*/false);
+
+  std::printf("trace memo speedup: %.2fx (%.1f -> %.1f MPt/s), output %s, "
+              "stats %s\n",
+              speedup, mpts_plain, mpts_memo,
+              bits_ok ? "bit-identical" : "DIVERGED",
+              stats_ok ? "identical" : "DIVERGED");
+  const int finish = session.finish();
+  if (finish != 0) return finish;
+  return (bits_ok && stats_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inplane::bench::Session session("trace_memo", argc, argv);
+  int repeats = session.smoke() ? 3 : 5;
+  for (const std::string& arg : session.args()) repeats = std::atoi(arg.c_str());
+  if (repeats < 1) repeats = 1;
+  return run(session, repeats);
+}

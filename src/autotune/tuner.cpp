@@ -199,6 +199,30 @@ TuneResult finalize(std::vector<TuneEntry> entries, std::size_t pruned) {
   return result;
 }
 
+/// TuneOptions::trace_best: full-grid trace of the winning config,
+/// attached to the result.  One Trace-mode launch of the whole grid —
+/// the runner's block-class memoization makes this cost O(position
+/// classes) block traces instead of O(all blocks), which is what makes
+/// attaching real whole-grid counters to a sweep affordable.  A winner
+/// that fails to rebuild (it already measured, so it should not) leaves
+/// best_traced unset rather than failing the sweep.
+template <typename T>
+void trace_best_config(kernels::Method method, const StencilCoeffs& coeffs,
+                       const gpusim::DeviceSpec& device, const Extent3& extent,
+                       const TuneOptions& opts, TuneResult& result) {
+  if (!opts.trace_best || !result.found()) return;
+  try {
+    const auto kernel = kernels::make_kernel<T>(method, coeffs, result.best.config);
+    const Grid3<T> in = kernels::make_grid_for(*kernel, extent);
+    Grid3<T> out = kernels::make_grid_for(*kernel, extent);
+    result.best_trace = kernels::run_kernel(*kernel, in, out, device,
+                                            gpusim::ExecMode::Trace, opts.policy);
+    result.best_traced = true;
+  } catch (const std::exception&) {
+    result.best_traced = false;
+  }
+}
+
 /// Journal state shared by one sweep: opened lazily when a checkpoint
 /// path is configured, counts *new* (non-resumed) measurements for the
 /// crash-simulation hook.
@@ -330,7 +354,9 @@ TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
     entries[i].model_mpoints = predicted;
   });
   const std::size_t pruned = entries.size() - n_measure;
-  return finalize(std::move(entries), pruned);
+  TuneResult result = finalize(std::move(entries), pruned);
+  trace_best_config<T>(method, coeffs, device, extent, options, result);
+  return result;
 }
 
 template <typename T>
@@ -388,7 +414,9 @@ TuneResult model_guided_tune(kernels::Method method, const StencilCoeffs& coeffs
     entries[i].model_mpoints = predicted;
   });
   const std::size_t pruned = entries.size() - n_measure;
-  return finalize(std::move(entries), pruned);
+  TuneResult result = finalize(std::move(entries), pruned);
+  trace_best_config<T>(method, coeffs, device, extent, options, result);
+  return result;
 }
 
 template <typename T>

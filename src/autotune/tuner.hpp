@@ -49,6 +49,10 @@ struct TuneResult {
   std::size_t resumed = 0;            ///< configs recovered from a checkpoint
   std::size_t sdc_events = 0;         ///< total corruptions contained online
   std::vector<QuarantineRecord> quarantine;  ///< failure roster, search order
+  /// Aggregate full-grid trace of the winning config (TuneOptions::
+  /// trace_best); meaningful only when best_traced is set.
+  gpusim::TraceStats best_trace;
+  bool best_traced = false;
 
   [[nodiscard]] bool found() const { return best.timing.valid; }
 };
@@ -82,6 +86,12 @@ struct TuneOptions {
   /// the remainder is left un-executed with predictions attached.
   /// nullptr = unlimited.  Cancellation rides on policy.cancel.
   MemBudget* mem_budget = nullptr;
+  /// After the sweep, trace the winning config over the *full* grid (not
+  /// just the single steady-state plane the per-candidate measurement
+  /// uses) and attach the aggregate TraceStats to TuneResult::best_trace.
+  /// Affordable because the runner memoizes block traces by position
+  /// class (see kernels/runner.hpp: trace_memo_enabled).
+  bool trace_best = false;
 };
 
 /// Exhaustively executes every constraint-satisfying configuration on the

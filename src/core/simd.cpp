@@ -1,0 +1,13 @@
+#include "core/simd.hpp"
+
+namespace inplane {
+
+bool simd_enabled() {
+#if defined(INPLANE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace inplane

@@ -1,0 +1,39 @@
+#pragma once
+
+// Portable vectorization hints for the functional plane-update loops.
+//
+// The simulator's numerics run over Grid3 storage that is already
+// aligned and x-padded to a multiple of 32 elements (core/grid_layout.hpp),
+// and the kernels' per-plane work arrays index the x-fastest axis
+// contiguously, so the inner update loops vectorize cleanly.  The hint is
+// a pragma, not intrinsics: each loop still computes every element with
+// the same scalar operation sequence, so results stay bit-identical to
+// the un-vectorized build — the pragma only licenses the compiler to run
+// independent elements in SIMD lanes.
+//
+// Selection happens at configure time: the INPLANE_ENABLE_SIMD CMake
+// option (default ON) defines INPLANE_SIMD globally; without it every
+// INPLANE_SIMD_LOOP expands to nothing and the loops compile exactly as
+// before (the scalar fallback).
+
+#if defined(INPLANE_SIMD)
+#if defined(__clang__)
+#define INPLANE_SIMD_LOOP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define INPLANE_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define INPLANE_SIMD_LOOP
+#endif
+#else
+#define INPLANE_SIMD_LOOP
+#endif
+
+namespace inplane {
+
+/// Whether this build compiled the plane-update loops with the SIMD
+/// pragmas (INPLANE_ENABLE_SIMD at configure time).  Defined in a .cpp so
+/// every consumer sees the library's actual build mode, not its own
+/// macro environment; surfaced in the bench reports' config notes.
+[[nodiscard]] bool simd_enabled();
+
+}  // namespace inplane

@@ -1,0 +1,68 @@
+#include "gpusim/block_class.hpp"
+
+#include <map>
+#include <numeric>
+#include <tuple>
+
+namespace inplane::gpusim {
+
+std::uint64_t phase_modulus(const DeviceSpec& device) {
+  const auto ld = static_cast<std::uint64_t>(device.coalesce_bytes > 0
+                                                 ? device.coalesce_bytes
+                                                 : 1);
+  const auto st = static_cast<std::uint64_t>(device.store_segment_bytes > 0
+                                                 ? device.store_segment_bytes
+                                                 : 1);
+  return std::lcm(ld, st);
+}
+
+BlockClassMap classify_blocks(const GridLayout& in, const GridLayout& out,
+                              int tile_w, int tile_h, int nbx, int nby,
+                              std::size_t elem_bytes, std::uint64_t modulus) {
+  BlockClassMap map;
+  if (nbx <= 0 || nby <= 0 || tile_w <= 0 || tile_h <= 0) return map;
+  if (modulus == 0) modulus = 1;
+
+  const std::size_t nblocks =
+      static_cast<std::size_t>(nbx) * static_cast<std::size_t>(nby);
+  map.class_of.resize(nblocks);
+
+  // Ordered map keeps class ids deterministic; launches have at most a
+  // few dozen classes, so lookup cost is irrelevant next to tracing.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>, std::uint32_t>
+      index_of;
+  const auto pitch_in = static_cast<std::uint64_t>(in.pitch_x());
+  const auto pitch_out = static_cast<std::uint64_t>(out.pitch_x());
+  const auto elem = static_cast<std::uint64_t>(elem_bytes);
+
+  for (int by = 0; by < nby; ++by) {
+    for (int bx = 0; bx < nbx; ++bx) {
+      const std::size_t b = static_cast<std::size_t>(by) *
+                                static_cast<std::size_t>(nbx) +
+                            static_cast<std::size_t>(bx);
+      const auto x0 = static_cast<std::uint64_t>(bx) *
+                      static_cast<std::uint64_t>(tile_w);
+      const auto y0 = static_cast<std::uint64_t>(by) *
+                      static_cast<std::uint64_t>(tile_h);
+      BlockClass cls;
+      cls.phase_in = (elem % modulus) * ((x0 + y0 * pitch_in) % modulus) % modulus;
+      cls.phase_out = (elem % modulus) * ((x0 + y0 * pitch_out) % modulus) % modulus;
+      if (bx == 0) cls.edges |= kEdgeXLo;
+      if (bx == nbx - 1) cls.edges |= kEdgeXHi;
+      if (by == 0) cls.edges |= kEdgeYLo;
+      if (by == nby - 1) cls.edges |= kEdgeYHi;
+
+      const auto [it, inserted] = index_of.try_emplace(
+          std::make_tuple(cls.phase_in, cls.phase_out, cls.edges),
+          static_cast<std::uint32_t>(map.classes.size()));
+      if (inserted) {
+        map.classes.push_back(cls);
+        map.representative.push_back(b);
+      }
+      map.class_of[b] = it->second;
+    }
+  }
+  return map;
+}
+
+}  // namespace inplane::gpusim

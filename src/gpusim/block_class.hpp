@@ -1,0 +1,78 @@
+#pragma once
+
+// Block position classes for trace memoization.
+//
+// A thread block's TraceStats is a pure function of the warp-op stream it
+// issues, and in this simulator that stream depends on the block's grid
+// position (bx, by) only through a rigid byte shift of every global
+// address: delta_in = elem_bytes * (bx*tile_w + by*tile_h*pitch_in) for
+// loads, delta_out likewise for stores.  The coalescer counts distinct
+// aligned segments touched by the active lanes, so shifting the whole
+// address stream by a multiple of the segment size permutes segment ids
+// without changing any transaction or byte count; shared-memory bank
+// conflicts, barrier counts and compute/flop counts do not depend on
+// position at all.  Two blocks whose shifts are congruent modulo
+// lcm(coalesce_bytes, store_segment_bytes) therefore produce bit-identical
+// TraceStats, and tracing one representative per congruence class covers
+// the whole launch.
+//
+// The class key also folds in the block's boundary adjacency (low/high
+// edge in x and y).  With halo storage physically allocated the current
+// loading patterns never clamp, so today edge blocks fall into the same
+// classes as congruent interior ones; the flags keep the key honest
+// should a future pattern special-case the boundary.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/grid_layout.hpp"
+#include "gpusim/device.hpp"
+
+namespace inplane::gpusim {
+
+/// Boundary-adjacency bits of a block position.
+inline constexpr std::uint8_t kEdgeXLo = 1u << 0;
+inline constexpr std::uint8_t kEdgeXHi = 1u << 1;
+inline constexpr std::uint8_t kEdgeYLo = 1u << 2;
+inline constexpr std::uint8_t kEdgeYHi = 1u << 3;
+
+/// One equivalence class of block positions within a launch.
+struct BlockClass {
+  std::uint64_t phase_in = 0;   ///< input base-address shift mod the segment lcm
+  std::uint64_t phase_out = 0;  ///< output base-address shift mod the segment lcm
+  std::uint8_t edges = 0;       ///< boundary adjacency (kEdge* bits)
+
+  friend bool operator==(const BlockClass&, const BlockClass&) = default;
+};
+
+/// Partition of one launch's blocks into position classes.  Blocks are
+/// numbered serially (b = by * nbx + bx), matching the runner's sweep
+/// order; each class's representative is its lowest-numbered member.
+struct BlockClassMap {
+  std::vector<std::uint32_t> class_of;      ///< class index per serial block
+  std::vector<std::size_t> representative;  ///< serial block index per class
+  std::vector<BlockClass> classes;          ///< the distinct classes
+
+  [[nodiscard]] std::size_t num_classes() const { return classes.size(); }
+  [[nodiscard]] std::size_t num_blocks() const { return class_of.size(); }
+  [[nodiscard]] bool is_representative(std::size_t b) const {
+    return representative[class_of[b]] == b;
+  }
+};
+
+/// The address-shift modulus under which coalescing is translation
+/// invariant: lcm of the load and store segment sizes.  Both are powers
+/// of two on every modelled device, so this is simply the larger one,
+/// but the lcm is computed so an exotic DeviceSpec stays correct.
+[[nodiscard]] std::uint64_t phase_modulus(const DeviceSpec& device);
+
+/// Classifies the nbx x nby blocks of one launch over grids laid out as
+/// @p in / @p out, tiled tile_w x tile_h elements of @p elem_bytes each.
+/// An empty launch (nbx or nby <= 0) yields an empty map.
+[[nodiscard]] BlockClassMap classify_blocks(const GridLayout& in, const GridLayout& out,
+                                            int tile_w, int tile_h, int nbx, int nby,
+                                            std::size_t elem_bytes,
+                                            std::uint64_t modulus);
+
+}  // namespace inplane::gpusim

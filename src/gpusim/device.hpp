@@ -35,6 +35,10 @@ struct DeviceSpec {
   /// Fermi and Kepler and are written as 32-byte L2 sectors, so a store
   /// misaligned by a few elements costs one extra sector per warp, not a
   /// whole extra cache line.
+  ///
+  /// Together with coalesce_bytes this also fixes the address-shift
+  /// modulus under which block traces are translation invariant — the
+  /// keying of the runner's trace memoization (gpusim/block_class.hpp).
   int store_segment_bytes = 32;
   double mem_latency_cycles = 600; ///< global memory round-trip latency
 

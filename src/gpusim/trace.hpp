@@ -34,6 +34,11 @@ struct TraceStats {
   // Control.
   std::uint64_t syncs = 0;          ///< __syncthreads()-equivalent barriers
 
+  /// Counter-wise equality — the invariant the trace-memoization layer
+  /// pins: a memoized launch must aggregate to *exactly* the unmemoized
+  /// counters, not approximately.
+  friend bool operator==(const TraceStats&, const TraceStats&) = default;
+
   TraceStats& operator+=(const TraceStats& o) {
     load_instrs += o.load_instrs;
     store_instrs += o.store_instrs;

@@ -10,6 +10,7 @@
 // pattern whose poorly coalesced left/right columns and extra per-thread
 // load instructions motivate the in-plane method.
 
+#include "core/simd.hpp"
 #include "kernels/kernel_base.hpp"
 
 namespace inplane::kernels::detail {
@@ -96,14 +97,20 @@ class ForwardPlaneKernel final : public KernelBase<T> {
     const int threads = cfg.threads();
     const bool fn = ctx.functional();
 
+    // The work arrays flatten (tid, col) into one contiguous x-fastest
+    // index; pipeline slots for position i live at state.vals[i * slots ..]
+    // (see core/simd.hpp for the vectorization contract).
+    const std::size_t n = work.acc.size();
+    const auto slots = static_cast<std::size_t>(work.state.slots);
+    const auto ru = static_cast<std::size_t>(r);
+
     // Advance the register pipeline and stream in plane k + r (Fig. 5a).
     if (fn) {
-      for (int tid = 0; tid < threads; ++tid) {
-        for (int col = 0; col < cols; ++col) {
-          for (int i = 0; i < 2 * r; ++i) {
-            work.state.at(tid, col, i) = work.state.at(tid, col, i + 1);
-          }
-        }
+      T* sv = work.state.vals.data();
+      INPLANE_SIMD_LOOP
+      for (std::size_t i = 0; i < n; ++i) {
+        T* s = sv + i * slots;
+        for (std::size_t j = 0; j < 2 * ru; ++j) s[j] = s[j + 1];
       }
     }
     load_columns_to_state<T>(ctx, in, cfg, x0, y0, k + r, [&](int tid, int col) -> T& {
@@ -129,11 +136,11 @@ class ForwardPlaneKernel final : public KernelBase<T> {
     // Full stencil (Eqn. (2)): x/y neighbours from the tile, z neighbours
     // from the register pipeline.
     if (fn) {
-      for (std::size_t i = 0; i < work.acc.size(); ++i) work.acc[i] = T{};
-      for (int tid = 0; tid < threads; ++tid) {
-        for (int col = 0; col < cols; ++col) {
-          work.acc[idx(tid, col)] = this->c_[0] * work.state.at(tid, col, r);
-        }
+      const T c0 = this->c_[0];
+      const T* sv = work.state.vals.data();
+      INPLANE_SIMD_LOOP
+      for (std::size_t i = 0; i < n; ++i) {
+        work.acc[i] = c0 * sv[i * slots + ru];
       }
     }
     for (int m = 1; m <= r; ++m) {
@@ -145,12 +152,12 @@ class ForwardPlaneKernel final : public KernelBase<T> {
       smem_read_columns<T>(ctx, t, cfg, 0, m, add);
       if (fn) {
         const T cm = this->c_[static_cast<std::size_t>(m)];
-        for (int tid = 0; tid < threads; ++tid) {
-          for (int col = 0; col < cols; ++col) {
-            const std::size_t i = idx(tid, col);
-            work.acc[i] += cm * (work.nsum[i] + work.state.at(tid, col, r - m) +
-                                 work.state.at(tid, col, r + m));
-          }
+        const T* sv = work.state.vals.data();
+        const auto mu = static_cast<std::size_t>(m);
+        INPLANE_SIMD_LOOP
+        for (std::size_t i = 0; i < n; ++i) {
+          work.acc[i] += cm * (work.nsum[i] + sv[i * slots + (ru - mu)] +
+                               sv[i * slots + (ru + mu)]);
         }
       }
     }
@@ -164,8 +171,8 @@ class ForwardPlaneKernel final : public KernelBase<T> {
     const auto warps = static_cast<std::uint64_t>(cfg.warps(ctx.device()));
     const auto colsu = static_cast<std::uint64_t>(cols);
     const auto threadsu = static_cast<std::uint64_t>(threads);
-    const auto ru = static_cast<std::uint64_t>(r);
-    ctx.record_compute(warps * colsu * (6 * ru + 1), threadsu * colsu * (7 * ru + 1));
+    const auto r64 = static_cast<std::uint64_t>(r);
+    ctx.record_compute(warps * colsu * (6 * r64 + 1), threadsu * colsu * (7 * r64 + 1));
   }
 };
 

@@ -13,6 +13,7 @@
 // can be merged with the interior loads — the four variants of Fig. 6
 // differ only in which halo strips are merged.
 
+#include "core/simd.hpp"
 #include "kernels/kernel_base.hpp"
 
 namespace inplane::kernels::detail {
@@ -193,17 +194,24 @@ class InPlaneKernel final : public KernelBase<T> {
     const LaunchConfig& cfg = this->cfg_;
     const SmemTile t = this->tile();
     const int r = this->r_;
-    const int cols = cfg.columns_per_thread();
-    const int threads = cfg.threads();
     const bool fn = ctx.functional();
 
     // Centre value in[i, j, k].
     smem_read_columns<T>(ctx, t, cfg, 0, 0, [&](int tid, int col, T v) {
       work.cur[idx(tid, col)] = v;
     });
+    // The work arrays are indexed by the flattened (tid, col) position,
+    // which walks the x-fastest axis contiguously — the SIMD-friendly
+    // shape core/simd.hpp documents.  Register-queue slots for position i
+    // live at state.vals[i * slots ..], so the nested tid/col loops below
+    // flatten to single vectorizable passes.
+    const std::size_t n = work.part.size();
+    const auto slots = static_cast<std::size_t>(work.state.slots);
     if (fn) {
-      for (std::size_t i = 0; i < work.part.size(); ++i) {
-        work.part[i] = this->c_[0] * work.cur[i];
+      const T c0 = this->c_[0];
+      INPLANE_SIMD_LOOP
+      for (std::size_t i = 0; i < n; ++i) {
+        work.part[i] = c0 * work.cur[i];
       }
     }
     // In-plane neighbours at each distance m, plus the in[k-m] back term.
@@ -216,35 +224,36 @@ class InPlaneKernel final : public KernelBase<T> {
       smem_read_columns<T>(ctx, t, cfg, 0, m, add);
       if (fn) {
         const T cm = this->c_[static_cast<std::size_t>(m)];
-        for (int tid = 0; tid < threads; ++tid) {
-          for (int col = 0; col < cols; ++col) {
-            const std::size_t i = idx(tid, col);
-            work.part[i] += cm * (work.nsum[i] + work.state.at(tid, col, m - 1));
-          }
+        const T* sv = work.state.vals.data();
+        const std::size_t back = static_cast<std::size_t>(m) - 1;
+        INPLANE_SIMD_LOOP
+        for (std::size_t i = 0; i < n; ++i) {
+          work.part[i] += cm * (work.nsum[i] + sv[i * slots + back]);
         }
       }
     }
     if (!fn) return;
     // Queue updates (Eqn. (5)), emission, and the register shifts of the
-    // step 1-5 procedure in section III-C.
-    for (int tid = 0; tid < threads; ++tid) {
-      for (int col = 0; col < cols; ++col) {
-        const std::size_t i = idx(tid, col);
-        const T cur = work.cur[i];
-        for (int d = 0; d < r; ++d) {
-          work.state.at(tid, col, r + d) +=
-              this->c_[static_cast<std::size_t>(d + 1)] * cur;
-        }
-        work.emit[i] = work.state.at(tid, col, 2 * r - 1);
-        for (int d = r - 1; d >= 1; --d) {
-          work.state.at(tid, col, r + d) = work.state.at(tid, col, r + d - 1);
-        }
-        work.state.at(tid, col, r) = work.part[i];
-        for (int m = r - 1; m >= 1; --m) {
-          work.state.at(tid, col, m) = work.state.at(tid, col, m - 1);
-        }
-        work.state.at(tid, col, 0) = cur;
+    // step 1-5 procedure in section III-C.  Positions are independent;
+    // only the slot walk within one position is sequential.
+    const auto ru = static_cast<std::size_t>(r);
+    T* sv = work.state.vals.data();
+    INPLANE_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      T* s = sv + i * slots;
+      const T cur = work.cur[i];
+      for (std::size_t d = 0; d < ru; ++d) {
+        s[ru + d] += this->c_[d + 1] * cur;
       }
+      work.emit[i] = s[2 * ru - 1];
+      for (std::size_t d = ru - 1; d >= 1; --d) {
+        s[ru + d] = s[ru + d - 1];
+      }
+      s[ru] = work.part[i];
+      for (std::size_t m = ru - 1; m >= 1; --m) {
+        s[m] = s[m - 1];
+      }
+      s[0] = cur;
     }
   }
 

@@ -1,9 +1,12 @@
 #include "kernels/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +16,7 @@
 #include "core/status.hpp"
 #include "core/thread_pool.hpp"
 #include "gpusim/abft.hpp"
+#include "gpusim/block_class.hpp"
 #include "metrics/metrics.hpp"
 #include "verify/reference_oracle.hpp"
 
@@ -82,6 +86,36 @@ void flush_launch_metrics(const gpusim::TraceStats& stats, std::size_t nblocks) 
   m.flops.add(stats.flops);
 }
 
+/// Trace-memoization instruments: how many launches memoized, how many
+/// position classes they actually traced and how many blocks replayed a
+/// cached representative instead of tracing.
+struct MemoMetrics {
+  metrics::Counter& launches;
+  metrics::Counter& classes;
+  metrics::Counter& blocks_replayed;
+
+  static MemoMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static MemoMetrics m{
+        reg.counter("gpusim.trace_memo.launches"),
+        reg.counter("gpusim.trace_memo.classes"),
+        reg.counter("gpusim.trace_memo.blocks_replayed"),
+    };
+    return m;
+  }
+};
+
+/// The process-wide memoization switch.  Seeded once from the
+/// INPLANE_NO_TRACE_MEMO environment variable ("" and "0" leave the memo
+/// on; anything else forces the unmemoized path, the CI escape hatch).
+std::atomic<bool>& trace_memo_flag() {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("INPLANE_NO_TRACE_MEMO");
+    return env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0;
+  }()};
+  return enabled;
+}
+
 /// ABFT instruments, bumped once per compare/repair — never on the
 /// store hot path (the sink accumulates locally, like TraceStats).
 struct AbftMetrics {
@@ -124,7 +158,8 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
                                 const gpusim::FaultInjector* faults,
                                 std::uint64_t budget, std::int64_t attempt,
                                 std::int64_t device_index,
-                                gpusim::AbftSink* abft = nullptr) {
+                                gpusim::AbftSink* abft = nullptr,
+                                bool allow_memo = true) {
   gpusim::GlobalMemory gmem;
   if (faults != nullptr) gmem.set_fault_context(faults, device_index);
   const gpusim::BufferId in_id = gmem.map_readonly(const_bytes(in));
@@ -151,10 +186,10 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
   if (abft != nullptr) abft->bind(&out.layout(), gmem.base(out_id), nblocks);
   metrics::ScopedTimer launch_timer(SimMetrics::get().launch_timer);
   std::vector<gpusim::TraceStats> per_block(nblocks);
-  parallel_for(policy, nblocks, [&](std::size_t b) {
+  const auto run_one = [&](std::size_t b, gpusim::ExecMode block_mode, bool record) {
     const int bx = static_cast<int>(b) % nbx;
     const int by = static_cast<int>(b) / nbx;
-    gpusim::BlockCtx ctx(device, gmem, smem_bytes, mode);
+    gpusim::BlockCtx ctx(device, gmem, smem_bytes, block_mode);
     if (faults != nullptr) {
       ctx.install_faults(faults, static_cast<std::int64_t>(b), attempt, device_index);
     }
@@ -162,8 +197,51 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
     if (budget != 0) ctx.set_step_budget(budget);
     GridAccess out_block = out_access;
     kernel.run_block(ctx, in_access, out_block, bx, by);
-    per_block[b] = ctx.stats();
-  });
+    if (record) per_block[b] = ctx.stats();
+  };
+
+  // Block-class trace memoization (gpusim/block_class.hpp): congruent
+  // blocks produce bit-identical TraceStats, so a tracing sweep only has
+  // to trace one representative per position class.  Fault injection and
+  // ABFT break the congruence (their effects are keyed by the serial
+  // block index), so they force the unmemoized path; pure Functional
+  // sweeps collect no stats, so there is nothing to memoize.
+  const bool memo = allow_memo && trace_memo_flag().load(std::memory_order_relaxed) &&
+                    mode != gpusim::ExecMode::Functional && faults == nullptr &&
+                    abft == nullptr && nblocks > 1;
+  if (!memo) {
+    parallel_for(policy, nblocks, [&](std::size_t b) { run_one(b, mode, true); });
+  } else {
+    const gpusim::BlockClassMap classes = gpusim::classify_blocks(
+        in.layout(), out.layout(), cfg.tile_w(), cfg.tile_h(), nbx, nby, sizeof(T),
+        gpusim::phase_modulus(device));
+    // Representatives run in the caller's mode, so Both keeps its data
+    // flow exactly where the unmemoized sweep would put it.
+    parallel_for(policy, classes.num_classes(), [&](std::size_t c) {
+      run_one(classes.representative[c], mode, true);
+    });
+    // Non-representatives replay their representative's stats.  In Both
+    // mode the data movement still has to happen, so they execute in
+    // Functional mode (bit-identical output, no tracing cost); in pure
+    // Trace mode they are skipped outright.
+    if (mode == gpusim::ExecMode::Both) {
+      parallel_for(policy, nblocks, [&](std::size_t b) {
+        if (!classes.is_representative(b)) {
+          run_one(b, gpusim::ExecMode::Functional, false);
+        }
+      });
+    }
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t rep = classes.representative[classes.class_of[b]];
+      if (rep != b) per_block[b] = per_block[rep];
+    }
+    if (metrics::enabled()) {
+      MemoMetrics& mm = MemoMetrics::get();
+      mm.launches.add();
+      mm.classes.add(classes.num_classes());
+      mm.blocks_replayed.add(nblocks - classes.num_classes());
+    }
+  }
 
   gpusim::TraceStats total;
   for (const gpusim::TraceStats& s : per_block) total += s;
@@ -200,6 +278,14 @@ Status verify_against_reference(const IStencilKernel<T>& kernel, const Grid3<T>&
 }
 
 }  // namespace
+
+void set_trace_memo_enabled(bool enabled) {
+  trace_memo_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_memo_enabled() {
+  return trace_memo_flag().load(std::memory_order_relaxed);
+}
 
 double backoff_delay_ms(const RetryPolicy& policy, int attempt,
                         double slept_so_far_ms) {
@@ -307,7 +393,8 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
                                   options.faults, report.step_budget,
                                   static_cast<std::int64_t>(attempt),
                                   options.device_index,
-                                  abft_active ? &sink : nullptr);
+                                  abft_active ? &sink : nullptr,
+                                  options.trace_memo);
       report.status = Status::okay();
     } catch (const std::exception& e) {
       report.status = status_of(e);

@@ -20,6 +20,19 @@ template <typename T>
   return Grid3<T>(extent, kernel.radius(), 32, kernel.preferred_align_offset());
 }
 
+/// Process-wide kill switch for block-class trace memoization (see
+/// gpusim/block_class.hpp).  When enabled (the default), tracing sweeps
+/// execute one representative block per position class and replay its
+/// TraceStats for the congruent rest; Both-mode sweeps still run every
+/// block functionally, so grid output is bit-identical either way.  The
+/// switch starts disabled when the INPLANE_NO_TRACE_MEMO environment
+/// variable is set to anything but "" or "0" (the CI escape hatch, also
+/// reachable via the CLI's --no-trace-memo).  Memoization is bypassed
+/// automatically — regardless of this switch — whenever a FaultInjector
+/// or an ABFT sink is active, since those make congruent blocks diverge.
+void set_trace_memo_enabled(bool enabled);
+[[nodiscard]] bool trace_memo_enabled();
+
 /// Functionally executes @p kernel over the whole grid on the simulated
 /// device: maps both grids into a fresh global address space and sweeps
 /// every thread block.  Returns the aggregated trace (empty counters in
@@ -88,6 +101,10 @@ struct RunOptions {
   /// Memory budget gating the ABFT repair scratch allocation; nullptr =
   /// unlimited.  A denied reservation degrades to the full-retry path.
   MemBudget* mem_budget = nullptr;
+  /// Per-run opt-out of block-class trace memoization (AND-ed with the
+  /// process-wide trace_memo_enabled() switch).  Fault injection and
+  /// ABFT already bypass the memo automatically.
+  bool trace_memo = true;
 };
 
 /// Outcome of a guarded run.  Never throws for execution faults — the

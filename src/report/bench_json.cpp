@@ -328,22 +328,43 @@ BenchDiffResult diff_bench_trees(const std::string& old_dir, const std::string& 
     std::map<std::string, const HeadlineMetric*> new_headline;
     for (const HeadlineMetric& h : new_report.headline) new_headline[h.name] = &h;
     for (const HeadlineMetric& h : old_report.headline) {
-      const auto hit = new_headline.find(h.name);
-      if (hit == new_headline.end()) {
-        result.warnings.push_back(bench + ": headline metric disappeared: " + h.name);
-        continue;
-      }
       BenchDelta d;
       d.bench = bench;
       d.metric = h.name;
       d.old_value = h.value;
+      const auto hit = new_headline.find(h.name);
+      if (hit == new_headline.end()) {
+        // A metric that disappears from the new tree must never pass the
+        // gate silently — there is no number to compare, so it is a hard
+        // regression (noisy or not; --warn-only remains the escape hatch
+        // for intentional baseline reshapes).
+        result.warnings.push_back(bench + ": headline metric disappeared: " + h.name);
+        d.new_value = 0.0;
+        d.change = -1.0;
+        d.regression = true;
+        result.deltas.push_back(d);
+        continue;
+      }
       d.new_value = hit->second->value;
       const double base = std::abs(h.value);
-      const double raw =
-          base == 0.0 ? 0.0 : (hit->second->value - h.value) / base;
+      const double raw = base == 0.0 ? 0.0 : (hit->second->value - h.value) / base;
       d.change = h.higher_is_better ? raw : -raw;
       if (h.noisy && !options.include_noisy) {
         d.skipped_noisy = true;
+      } else if (base == 0.0 && hit->second->value != h.value) {
+        // Zero baseline: the relative change is undefined (the division
+        // would give Inf/NaN, which no threshold comparison catches), so
+        // any drift off an exact-zero baseline is a hard mismatch.
+        result.warnings.push_back(bench + ": " + h.name +
+                                  " drifted off a zero baseline (relative gate "
+                                  "undefined) — hard mismatch");
+        d.regression = true;
+      } else if (!std::isfinite(d.change)) {
+        // Belt and braces: a non-finite change (Inf/NaN values in either
+        // tree) silently compares false against any threshold.
+        result.warnings.push_back(bench + ": " + h.name +
+                                  " produced a non-finite change — hard mismatch");
+        d.regression = true;
       } else {
         d.regression = d.change < -options.threshold;
       }

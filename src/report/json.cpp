@@ -66,6 +66,20 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape.
+  unsigned hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
   std::string string() {
     if (take() != '"') fail("expected string");
     std::string out;
@@ -88,25 +102,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = take();
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned code = hex4();
+          // Surrogate pairs (RFC 8259 §7): a high surrogate must be
+          // followed by an escaped low surrogate; together they encode
+          // one supplementary-plane code point.  Lone or out-of-order
+          // surrogates are malformed and rejected loudly — bench
+          // metadata must round-trip, never silently mangle.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (take() != '\\' || take() != 'u') {
+              fail("high surrogate \\u escape not followed by \\uXXXX");
+            }
+            const unsigned low = hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail("high surrogate \\u escape not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("lone low surrogate \\u escape");
           }
-          // UTF-8 encode (BMP only; surrogate pairs are not needed by any
-          // report field and are rejected).
-          if (code >= 0xd800 && code <= 0xdfff) fail("surrogate \\u escape unsupported");
+          // UTF-8 encode (1-4 bytes).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xc0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
             out += static_cast<char>(0x80 | (code & 0x3f));
           }

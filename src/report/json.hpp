@@ -69,7 +69,10 @@ class Json {
     return it == object_.end() ? nullptr : &it->second;
   }
 
-  /// Parses one JSON document (UTF-8 passthrough, \uXXXX kept for BMP).
+  /// Parses one JSON document.  Raw string bytes pass through as UTF-8;
+  /// \uXXXX escapes are decoded to UTF-8, including surrogate pairs for
+  /// supplementary-plane characters (lone/malformed surrogates are a
+  /// parse error, never silently mangled — serialize -> parse round-trips).
   /// Throws JsonParseError on malformed input or trailing garbage.
   [[nodiscard]] static Json parse(const std::string& text);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace inplane::report {
 
@@ -28,12 +29,20 @@ double stddev(const std::vector<double>& samples) {
 
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
+  // NaN survives std::clamp (every comparison is false), and casting a
+  // NaN rank to size_t is UB — catch it before any arithmetic.  A NaN
+  // request gets a NaN answer rather than a silently made-up quantile.
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   std::sort(samples.begin(), samples.end());
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
+  // Clamp the lower index too: p = 100 makes rank exactly size-1 only as
+  // long as the double rounding cooperates, and a single sample must
+  // never index past element 0.
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(rank), samples.size() - 1);
   const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
+  const double frac = std::clamp(rank - static_cast<double>(lo), 0.0, 1.0);
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 

@@ -36,7 +36,11 @@ class Stopwatch {
 /// Population standard deviation (0.0 when fewer than two samples).
 [[nodiscard]] double stddev(const std::vector<double>& samples);
 
-/// Linear-interpolated percentile, @p p in [0, 100] (0.0 when empty).
+/// Linear-interpolated percentile over the sorted samples.  Contract:
+/// empty input returns 0.0 (matching median/mean); @p p is clamped into
+/// [0, 100], so p = 0 is the minimum and p = 100 exactly the maximum (a
+/// single sample returns itself for every p); a NaN @p p returns NaN.
+/// Never reads out of bounds.
 [[nodiscard]] double percentile(std::vector<double> samples, double p);
 
 }  // namespace inplane::report

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/simd.hpp"
 #include "kernels/kernel_common.hpp"
 
 namespace inplane::temporal {
@@ -203,9 +204,11 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
       ctx, n, [&](int p) { return slice_off(ex_of(p), ey_of(p)); },
       [&](int p, T v) { work.cur[static_cast<std::size_t>(p)] = v; });
   if (fn) {
+    const T c0 = c_[0];
+    INPLANE_SIMD_LOOP
     for (int p = 0; p < n; ++p) {
       work.part[static_cast<std::size_t>(p)] =
-          c_[0] * work.cur[static_cast<std::size_t>(p)];
+          c0 * work.cur[static_cast<std::size_t>(p)];
     }
   }
   for (int m = 1; m <= r; ++m) {
@@ -221,6 +224,7 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
                         add);
     if (fn) {
       const T cm = c_[static_cast<std::size_t>(m)];
+      INPLANE_SIMD_LOOP
       for (int p = 0; p < n; ++p) {
         work.part[static_cast<std::size_t>(p)] +=
             cm * (work.nsum[static_cast<std::size_t>(p)] + work.back(p, m, r));
@@ -231,6 +235,9 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
   // and the register shifts.  Non-interior points freeze at their t=0
   // value (back[r] holds t0(k-r)) so boundaries match the CPU reference.
   if (fn) {
+    // Extended points are independent; only the slot walk within one
+    // point's register state is sequential (core/simd.hpp contract).
+    INPLANE_SIMD_LOOP
     for (int p = 0; p < n; ++p) {
       const T cur = work.cur[static_cast<std::size_t>(p)];
       for (int d = 0; d < r; ++d) {

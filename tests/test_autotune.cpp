@@ -93,6 +93,33 @@ TEST(ExhaustiveTune, RecordsModelPredictions) {
   EXPECT_GT(with_model, 0);
 }
 
+TEST(ExhaustiveTune, TraceBestAttachesFullGridTrace) {
+  // TuneOptions::trace_best runs a whole-grid Trace sweep of the winner
+  // (affordable thanks to block-class memoization) and attaches the
+  // aggregate; by default nothing is traced.
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  const StencilCoeffs cs = StencilCoeffs::diffusion(1);
+  const Extent3 small{128, 64, 16};
+  SearchSpace space;
+  space.rx_values = {1};
+  space.ry_values = {1};
+
+  const TuneResult plain = exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev,
+                                                  small, space, TuneOptions{});
+  ASSERT_TRUE(plain.found());
+  EXPECT_FALSE(plain.best_traced);
+
+  TuneOptions opts;
+  opts.trace_best = true;
+  const TuneResult traced =
+      exhaustive_tune<float>(Method::InPlaneFullSlice, cs, dev, small, space, opts);
+  ASSERT_TRUE(traced.found());
+  ASSERT_TRUE(traced.best_traced);
+  // Store-once pins that the trace really covers the whole grid.
+  EXPECT_EQ(traced.best_trace.bytes_requested_st, small.volume() * sizeof(float));
+  EXPECT_GT(traced.best_trace.flops, 0u);
+}
+
 TEST(ModelGuidedTune, RunsOnlyBetaFraction) {
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
   const StencilCoeffs cs = StencilCoeffs::diffusion(1);

@@ -68,6 +68,41 @@ std::string rstrip(std::string s) {
   return s;
 }
 
+// --- Json string escapes ---------------------------------------------------
+
+TEST(Json, DecodesBmpEscapes) {
+  // U+00E9 (é) and U+2603 (snowman) — 2- and 3-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\u2603\"").as_string(), "\xe2\x98\x83");
+}
+
+TEST(Json, DecodesSurrogatePairsToUtf8) {
+  // U+1F600 (grinning face) = \ud83d\ude00 → 4-byte UTF-8 f0 9f 98 80.
+  const Json v = Json::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80");
+  // The decoded bytes pass through the serializer raw, so the value
+  // survives a dump -> parse round trip instead of being mangled.
+  EXPECT_EQ(Json::parse(v.dump()).as_string(), "\xf0\x9f\x98\x80");
+  // Boundary code points of the supplementary planes.
+  EXPECT_EQ(Json::parse("\"\\ud800\\udc00\"").as_string(),
+            "\xf0\x90\x80\x80");  // U+10000
+  EXPECT_EQ(Json::parse("\"\\udbff\\udfff\"").as_string(),
+            "\xf4\x8f\xbf\xbf");  // U+10FFFF
+}
+
+TEST(Json, RejectsLoneAndMalformedSurrogates) {
+  // Lone high surrogate (end of string, unescaped follower, non-\u escape).
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\""), JsonParseError);
+  EXPECT_THROW((void)Json::parse("\"\\ud83dx\""), JsonParseError);
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\\n\""), JsonParseError);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\\u0041\""), JsonParseError);
+  // High surrogate followed by another high surrogate.
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\\ud83d\""), JsonParseError);
+  // Lone low surrogate.
+  EXPECT_THROW((void)Json::parse("\"\\ude00\""), JsonParseError);
+}
+
 TEST(BenchJson, RoundTripPreservesEveryField) {
   const BenchReport r = golden_report();
   const BenchReport back = BenchReport::from_json(r.to_json());
@@ -338,6 +373,51 @@ TEST_F(BenchDiffTest, MissingAndNewBenchesWarn) {
   }
   EXPECT_TRUE(missing);
   EXPECT_TRUE(brand_new);
+}
+
+TEST_F(BenchDiffTest, ZeroBaselineDriftIsHardMismatch) {
+  // model_gap (non-noisy, lower better) measured exactly 0.0 in the old
+  // tree: the relative change is undefined, so any drift must gate hard
+  // instead of slipping past the threshold compare as Inf/NaN.
+  BenchReport old_report = golden_report();
+  old_report.headline[1].value = 0.0;
+  (void)write_bench_report(old_report, old_dir_);
+  BenchReport drifted = old_report;
+  drifted.headline[1].value = 5.0;
+  (void)write_bench_report(drifted, new_dir_);
+
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_FALSE(result.pass());
+  ASSERT_EQ(result.regressions().size(), 1u);
+  EXPECT_EQ(result.regressions()[0]->metric, "model_gap");
+  bool warned = false;
+  for (const std::string& w : result.warnings) {
+    warned = warned || w.find("zero baseline") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+
+  // A zero baseline that stays exactly zero is not drift and passes.
+  (void)write_bench_report(old_report, new_dir_);
+  EXPECT_TRUE(diff_bench_trees(old_dir_, new_dir_).pass());
+}
+
+TEST_F(BenchDiffTest, DisappearedHeadlineMetricIsHardRegression) {
+  (void)write_bench_report(golden_report(), old_dir_);
+  BenchReport pruned = golden_report();
+  pruned.headline.erase(pruned.headline.begin() + 1);  // drop model_gap
+  (void)write_bench_report(pruned, new_dir_);
+
+  // There is no number to compare, so a vanished metric must never pass
+  // silently — even though every surviving metric is unchanged.
+  const BenchDiffResult result = diff_bench_trees(old_dir_, new_dir_);
+  EXPECT_FALSE(result.pass());
+  ASSERT_EQ(result.regressions().size(), 1u);
+  EXPECT_EQ(result.regressions()[0]->metric, "model_gap");
+  bool warned = false;
+  for (const std::string& w : result.warnings) {
+    warned = warned || w.find("disappeared") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
 }
 
 TEST_F(BenchDiffTest, UnreadableDirectoryThrows) {

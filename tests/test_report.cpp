@@ -1,10 +1,14 @@
-// Report helpers: table rendering, CSV quoting, bar charts, surfaces.
+// Report helpers: table rendering, CSV quoting, bar charts, surfaces,
+// summary statistics.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
+#include "report/stats.hpp"
 #include "report/table.hpp"
 
 namespace inplane::report {
@@ -71,6 +75,31 @@ TEST(WriteFile, CreatesDirectoriesAndWrites) {
   std::getline(in, content);
   EXPECT_EQ(content, "hello");
   std::filesystem::remove_all("test_report_tmp");
+}
+
+TEST(Percentile, InterpolatesBetweenSortedSamples) {
+  const std::vector<double> s = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 4.0);
+  // p beyond the ends clamps rather than extrapolating or reading OOB.
+  EXPECT_DOUBLE_EQ(percentile(s, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 250.0), 4.0);
+}
+
+TEST(Percentile, EdgeCasesNeverReadOutOfBounds) {
+  // Empty input returns 0.0, matching the median/mean contract.
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  // A single sample is every percentile of itself — p = 100 used to
+  // compute lo = size, one past the end.
+  for (const double p : {0.0, 37.5, 100.0, 1e9}) {
+    EXPECT_DOUBLE_EQ(percentile({7.25}, p), 7.25) << "p=" << p;
+  }
+  // p = 100 must return exactly the maximum, not interpolate past it.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 100.0), 2.0);
+  // A NaN p survives std::clamp; it must come back as NaN, not index UB.
+  EXPECT_TRUE(std::isnan(percentile({1.0, 2.0, 3.0}, std::nan(""))));
+  EXPECT_DOUBLE_EQ(percentile({}, std::nan("")), 0.0);
 }
 
 }  // namespace

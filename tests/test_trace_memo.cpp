@@ -1,0 +1,312 @@
+// Block-class trace memoization (gpusim/block_class.hpp + the runner's
+// memoized sweep): the position-class partition must be a sound
+// equivalence — memoized runs bit-identical to unmemoized in both grid
+// output and aggregate TraceStats — and the cache must stand down
+// whenever fault injection or ABFT makes congruent blocks diverge.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gpusim/block_class.hpp"
+#include "kernels/runner.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::kernels;
+using gpusim::BlockClassMap;
+using gpusim::ExecMode;
+using gpusim::TraceStats;
+
+const gpusim::DeviceSpec kDevice = gpusim::DeviceSpec::geforce_gtx580();
+
+// --- classify_blocks ------------------------------------------------------
+
+GridLayout layout(Extent3 extent, int halo, int align_offset = 0) {
+  return GridLayout(extent, halo, sizeof(float), 32, align_offset);
+}
+
+TEST(BlockClass, PhaseModulusIsSegmentLcm) {
+  EXPECT_EQ(gpusim::phase_modulus(kDevice),
+            std::lcm(static_cast<std::uint64_t>(kDevice.coalesce_bytes),
+                     static_cast<std::uint64_t>(kDevice.store_segment_bytes)));
+  gpusim::DeviceSpec odd = kDevice;
+  odd.coalesce_bytes = 96;
+  odd.store_segment_bytes = 64;
+  EXPECT_EQ(gpusim::phase_modulus(odd), 192u);
+  odd.coalesce_bytes = 0;  // degenerate spec must not divide by zero
+  EXPECT_EQ(gpusim::phase_modulus(odd), 64u);
+}
+
+TEST(BlockClass, EmptyLaunchYieldsEmptyMap) {
+  const GridLayout g = layout({32, 32, 8}, 2);
+  // Grid smaller than the tile: the runner computes nbx = nx / tile_w = 0.
+  for (const auto& [nbx, nby] : {std::pair{0, 4}, {4, 0}, {0, 0}}) {
+    const BlockClassMap map =
+        gpusim::classify_blocks(g, g, 64, 64, nbx, nby, sizeof(float), 128);
+    EXPECT_EQ(map.num_blocks(), 0u);
+    EXPECT_EQ(map.num_classes(), 0u);
+  }
+  // Degenerate tile extents are rejected the same way.
+  EXPECT_EQ(gpusim::classify_blocks(g, g, 0, 8, 2, 2, 4, 128).num_blocks(), 0u);
+}
+
+TEST(BlockClass, SingleBlockIsItsOwnClassOnEveryEdge) {
+  // tile == grid: one block, touching all four boundaries.
+  const GridLayout g = layout({16, 8, 4}, 1);
+  const BlockClassMap map =
+      gpusim::classify_blocks(g, g, 16, 8, 1, 1, sizeof(float), 128);
+  ASSERT_EQ(map.num_blocks(), 1u);
+  ASSERT_EQ(map.num_classes(), 1u);
+  EXPECT_TRUE(map.is_representative(0));
+  EXPECT_EQ(map.classes[0].edges, gpusim::kEdgeXLo | gpusim::kEdgeXHi |
+                                      gpusim::kEdgeYLo | gpusim::kEdgeYHi);
+}
+
+TEST(BlockClass, PartitionCoversAllBlocksWithLowestRepresentatives) {
+  const GridLayout g = layout({96, 48, 8}, 3);
+  const int nbx = 6, nby = 6;
+  const BlockClassMap map =
+      gpusim::classify_blocks(g, g, 16, 8, nbx, nby, sizeof(float), 128);
+  ASSERT_EQ(map.num_blocks(), static_cast<std::size_t>(nbx * nby));
+  ASSERT_GE(map.num_classes(), 1u);
+  std::vector<std::size_t> first_member(map.num_classes(), SIZE_MAX);
+  for (std::size_t b = 0; b < map.num_blocks(); ++b) {
+    ASSERT_LT(map.class_of[b], map.num_classes());
+    first_member[map.class_of[b]] = std::min(first_member[map.class_of[b]], b);
+  }
+  for (std::size_t c = 0; c < map.num_classes(); ++c) {
+    // Every class is inhabited and represented by its lowest member.
+    EXPECT_EQ(map.representative[c], first_member[c]);
+    EXPECT_EQ(map.class_of[map.representative[c]], c);
+    EXPECT_TRUE(map.is_representative(map.representative[c]));
+  }
+}
+
+TEST(BlockClass, CongruentShiftsCoalesceIntoFewClasses) {
+  // elem * tile_w = 4 * 32 = 128 ≡ 0 (mod 128): every step along x shifts
+  // by a whole segment, so interior blocks of a row are one class and the
+  // class count is bounded by the distinct (row phase, edge) patterns.
+  const GridLayout g = layout({256, 64, 8}, 2);
+  const BlockClassMap map =
+      gpusim::classify_blocks(g, g, 32, 8, 8, 8, sizeof(float), 128);
+  EXPECT_EQ(map.num_blocks(), 64u);
+  for (std::size_t by = 0; by < 8; ++by) {
+    const std::size_t row = by * 8;
+    for (std::size_t bx = 2; bx < 7; ++bx) {
+      EXPECT_EQ(map.class_of[row + bx], map.class_of[row + 1])
+          << "interior blocks of row " << by << " must share a class";
+    }
+  }
+  EXPECT_LT(map.num_classes(), map.num_blocks());
+}
+
+TEST(BlockClass, HaloWiderThanTileStaysWellFormed) {
+  // halo > tile_w: the address phases shift by the (large) halo origin but
+  // the partition must still cover every block exactly once.
+  const GridLayout g = layout({32, 16, 4}, 8);
+  const BlockClassMap map =
+      gpusim::classify_blocks(g, g, 4, 4, 8, 4, sizeof(float), 128);
+  ASSERT_EQ(map.num_blocks(), 32u);
+  for (std::size_t b = 0; b < map.num_blocks(); ++b) {
+    ASSERT_LT(map.class_of[b], map.num_classes());
+    EXPECT_LE(map.representative[map.class_of[b]], b)
+        << "representative must not come after its member";
+  }
+}
+
+// --- memoized == unmemoized ----------------------------------------------
+
+/// Scoped override of the process-wide memo switch.
+class MemoSwitch {
+ public:
+  explicit MemoSwitch(bool enabled) : was_(trace_memo_enabled()) {
+    set_trace_memo_enabled(enabled);
+  }
+  ~MemoSwitch() { set_trace_memo_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+struct MemoCase {
+  Method method;
+  int order;
+  LaunchConfig cfg;
+  Extent3 extent;
+};
+
+template <typename T>
+void expect_memo_equivalent(const MemoCase& mc) {
+  const StencilCoeffs cs = StencilCoeffs::diffusion(mc.order / 2);
+  LaunchConfig cfg = mc.cfg;
+  // Vector loads are capped at 16 bytes; the float-sized vec widths of
+  // the case table halve for double.
+  while (cfg.vec > 1 && static_cast<std::size_t>(cfg.vec) * sizeof(T) > 16) {
+    cfg.vec /= 2;
+  }
+  const auto kernel = make_kernel<T>(mc.method, cs, cfg);
+  Grid3<T> in = make_grid_for(*kernel, mc.extent);
+  in.fill_with_halo([](int i, int j, int k) {
+    return static_cast<T>(((i * 31 + j * 17 + k * 7) % 23) - 11) / T(8);
+  });
+
+  const auto run = [&](ExecMode mode, bool memo, Grid3<T>& out) {
+    MemoSwitch guard(memo);
+    return run_kernel(*kernel, in, out, kDevice, mode);
+  };
+
+  Grid3<T> out_plain = make_grid_for(*kernel, mc.extent);
+  Grid3<T> out_memo = make_grid_for(*kernel, mc.extent);
+  const TraceStats both_plain = run(ExecMode::Both, false, out_plain);
+  const TraceStats both_memo = run(ExecMode::Both, true, out_memo);
+
+  // Aggregate TraceStats identical (integer counters, order-independent
+  // reduction) and the grid bit-identical, padding included.
+  EXPECT_TRUE(both_plain == both_memo);
+  ASSERT_EQ(out_plain.allocated(), out_memo.allocated());
+  EXPECT_EQ(std::memcmp(out_plain.raw(), out_memo.raw(),
+                        out_plain.allocated() * sizeof(T)),
+            0);
+
+  // Pure Trace mode (no data flow) memoizes to the same aggregate.
+  Grid3<T> scratch = make_grid_for(*kernel, mc.extent);
+  const TraceStats trace_plain = run(ExecMode::Trace, false, scratch);
+  const TraceStats trace_memo = run(ExecMode::Trace, true, scratch);
+  EXPECT_TRUE(trace_plain == trace_memo);
+}
+
+class TraceMemoEquivalence : public ::testing::TestWithParam<MemoCase> {};
+
+TEST_P(TraceMemoEquivalence, MemoizedRunIsBitIdentical) {
+  expect_memo_equivalent<float>(GetParam());
+}
+
+TEST_P(TraceMemoEquivalence, MemoizedRunIsBitIdenticalDouble) {
+  expect_memo_equivalent<double>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceMemoEquivalence,
+    ::testing::ValuesIn(std::vector<MemoCase>{
+        // All five variants over assorted orders and launch shapes,
+        // including misaligned tiles (tile_w*elem not a segment multiple),
+        // register tiling, vectorisation, and a single-block launch that
+        // exercises the nblocks <= 1 bypass.
+        {Method::ForwardPlane, 2, {32, 4, 1, 1, 1}, {64, 32, 12}},
+        {Method::ForwardPlane, 8, {16, 8, 2, 1, 1}, {64, 32, 8}},
+        {Method::InPlaneClassical, 2, {16, 8, 2, 1, 1}, {64, 32, 8}},
+        {Method::InPlaneClassical, 6, {32, 4, 1, 2, 1}, {96, 24, 8}},
+        {Method::InPlaneVertical, 4, {32, 8, 1, 1, 4}, {64, 32, 8}},
+        {Method::InPlaneVertical, 8, {16, 4, 1, 2, 2}, {48, 16, 8}},
+        {Method::InPlaneHorizontal, 4, {32, 4, 1, 2, 4}, {64, 32, 8}},
+        {Method::InPlaneHorizontal, 6, {16, 8, 2, 1, 2}, {96, 32, 8}},
+        {Method::InPlaneFullSlice, 2, {32, 4, 1, 1, 4}, {64, 32, 8}},
+        {Method::InPlaneFullSlice, 8, {16, 4, 2, 2, 2}, {64, 16, 8}},
+        // tile == grid: one block, memo self-bypasses.
+        {Method::InPlaneFullSlice, 4, {32, 8, 1, 1, 2}, {32, 8, 8}},
+    }),
+    [](const testing::TestParamInfo<MemoCase>& param) {
+      std::string m = to_string(param.param.method);
+      std::erase(m, '-');
+      return m + "_o" + std::to_string(param.param.order) + "_" +
+             std::to_string(param.param.extent.nx) + "x" +
+             std::to_string(param.param.extent.ny) + "x" +
+             std::to_string(param.param.extent.nz);
+    });
+
+// --- bypass rules ---------------------------------------------------------
+
+class TraceMemoBypass : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics::enabled();
+    metrics::set_enabled(true);
+    metrics::Registry::global().reset();
+    set_trace_memo_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(was_enabled_); }
+
+  static std::uint64_t memo_launches() {
+    return metrics::Registry::global()
+        .counter("gpusim.trace_memo.launches")
+        .value();
+  }
+
+  template <typename Fn>
+  RunReport guarded(const Fn& tweak) const {
+    const auto kernel = make_kernel<float>(Method::InPlaneFullSlice,
+                                           StencilCoeffs::diffusion(2), cfg_);
+    Grid3<float> in = make_grid_for(*kernel, extent_);
+    Grid3<float> out = make_grid_for(*kernel, extent_);
+    in.fill_with_halo([](int i, int j, int k) { return float(i + j - k); });
+    RunOptions options;
+    options.mode = ExecMode::Both;
+    tweak(options);
+    return run_kernel_guarded(*kernel, in, out, kDevice, options);
+  }
+
+  const LaunchConfig cfg_{16, 8, 1, 1, 2};
+  const Extent3 extent_{64, 32, 8};
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TraceMemoBypass, CleanGuardedRunMemoizes) {
+  const RunReport report = guarded([](RunOptions&) {});
+  ASSERT_TRUE(report.status.ok()) << report.status.context;
+  EXPECT_EQ(memo_launches(), 1u);
+  const std::uint64_t classes =
+      metrics::Registry::global().counter("gpusim.trace_memo.classes").value();
+  const std::uint64_t replayed = metrics::Registry::global()
+                                     .counter("gpusim.trace_memo.blocks_replayed")
+                                     .value();
+  EXPECT_GE(classes, 1u);
+  EXPECT_EQ(classes + replayed, 4u * 4u);  // partition covers the launch
+}
+
+TEST_F(TraceMemoBypass, FaultInjectorForcesUnmemoizedPath) {
+  // Even a fault plan that never fires must bypass the memo: fault sites
+  // are keyed by serial block index, so congruence no longer holds.
+  const gpusim::FaultInjector injector{gpusim::FaultPlan{}};
+  const RunReport report =
+      guarded([&](RunOptions& o) { o.faults = &injector; });
+  ASSERT_TRUE(report.status.ok()) << report.status.context;
+  EXPECT_EQ(memo_launches(), 0u);
+}
+
+TEST_F(TraceMemoBypass, AbftForcesUnmemoizedPath) {
+  const RunReport report =
+      guarded([](RunOptions& o) { o.abft.enabled = true; });
+  ASSERT_TRUE(report.status.ok()) << report.status.context;
+  EXPECT_TRUE(report.abft.enabled);
+  EXPECT_EQ(memo_launches(), 0u);
+}
+
+TEST_F(TraceMemoBypass, PerRunOptOutAndGlobalSwitchDisableMemo) {
+  const RunReport per_run =
+      guarded([](RunOptions& o) { o.trace_memo = false; });
+  ASSERT_TRUE(per_run.status.ok()) << per_run.status.context;
+  EXPECT_EQ(memo_launches(), 0u);
+
+  MemoSwitch off(false);
+  const RunReport global = guarded([](RunOptions&) {});
+  ASSERT_TRUE(global.status.ok()) << global.status.context;
+  EXPECT_EQ(memo_launches(), 0u);
+}
+
+TEST_F(TraceMemoBypass, FunctionalModeHasNothingToMemoize) {
+  const RunReport report =
+      guarded([](RunOptions& o) { o.mode = ExecMode::Functional; });
+  ASSERT_TRUE(report.status.ok()) << report.status.context;
+  EXPECT_EQ(memo_launches(), 0u);
+}
+
+}  // namespace

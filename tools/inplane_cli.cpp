@@ -361,6 +361,10 @@ int usage() {
       "                                     [--deadline-ms N] [--mem-budget bytes]\n"
       "                                     [--checkpoint file] [--resume])\n"
       "  model    section-VI prediction    (same keys as run)\n"
+      "global flags:\n"
+      "  --no-trace-memo    disable block-class trace memoization: trace every\n"
+      "                     block instead of one representative per position\n"
+      "                     class (also: INPLANE_NO_TRACE_MEMO=1 in the env)\n"
       "  codegen  emit a CUDA .cu file     (--method --order --tx --ty ... [--o f])\n",
       stderr);
   return 2;
@@ -373,6 +377,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
   const bool dp = args.has("dp");
+  // Process-wide: every tracing sweep this invocation performs (run,
+  // tune --verify, trace-audit) takes the unmemoized block-by-block path.
+  if (args.has("no-trace-memo")) kernels::set_trace_memo_enabled(false);
   try {
     if (cmd == "devices") return cmd_devices();
     if (cmd == "run") return dp ? cmd_run<double>(args) : cmd_run<float>(args);
