@@ -1,0 +1,142 @@
+// Distributed sweep engine: wall-clock of an exhaustive auto-tune sweep
+// sharded across worker OS processes by the sweep supervisor, against the
+// single-process tuner on the same spec.  Two cross-checks gate the bench:
+// the merged distributed best must match the single-process best bit for
+// bit at every worker count, and a sweep that loses a worker to an
+// injected kill -9 must still converge to the same best (one respawn,
+// zero re-measured candidates thanks to the shard journal).
+//
+// The speedup headlines are wall-clock and marked noisy: on a 1-core CI
+// container the extra processes only add supervision overhead, so ~1x is
+// the expected graceful floor there (the determinism headlines are the
+// real gate).
+//
+//   $ ./bench_distributed_sweep [--smoke]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "bench_common.hpp"
+#include "distributed/supervisor.hpp"
+#include "distributed/sweep_spec.hpp"
+#include "report/stats.hpp"
+
+#ifndef INPLANE_SUPERVISOR_BIN
+#error "INPLANE_SUPERVISOR_BIN must point at the sweep_supervisor binary"
+#endif
+
+namespace {
+
+using namespace inplane;
+using distributed::SupervisorOptions;
+using distributed::SweepReport;
+using distributed::SweepSpec;
+
+SweepSpec bench_spec(bench::Session& session) {
+  SweepSpec spec;
+  spec.method = "fullslice";
+  spec.device = "gtx580";
+  spec.extent = session.grid();
+  spec.order = session.smoke() ? 4 : 8;
+  spec.kind = "exhaustive";
+  return spec;
+}
+
+SupervisorOptions options_for(bench::Session& session, const SweepSpec& spec,
+                              int workers, const std::string& tag) {
+  SupervisorOptions opts;
+  opts.spec = spec;
+  opts.workers = workers;
+  opts.checkpoint_dir = session.results_dir() + "/distributed_ckpt_" + tag;
+  opts.worker_exe = INPLANE_SUPERVISOR_BIN;
+  opts.backoff_initial_ms = 5.0;
+  opts.poll_interval_ms = 5.0;
+  return opts;
+}
+
+bool same_best(const autotune::TuneResult& got, const autotune::TuneResult& want) {
+  return got.found() && want.found() && got.best.config == want.best.config &&
+         std::memcmp(&got.best.timing.seconds, &want.best.timing.seconds,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&got.best.timing.mpoints_per_s,
+                     &want.best.timing.mpoints_per_s, sizeof(double)) == 0;
+}
+
+int run(bench::Session& session) {
+  const SweepSpec spec = bench_spec(session);
+
+  // --- single-process reference (the in-process tuner, one thread). --------
+  const report::Stopwatch ref_watch;
+  const autotune::TuneResult ref = autotune::exhaustive_tune<float>(
+      distributed::resolve_method(spec.method),
+      StencilCoeffs::diffusion(spec.radius()),
+      distributed::resolve_device(spec.device), spec.extent);
+  const double ref_wall = ref_watch.seconds();
+
+  report::Table table({"Mode", "Workers", "Wall [s]", "Speedup", "Spawned",
+                       "Lost", "Best", "Best MPt/s"});
+  table.add_row({"single", "1", report::fmt(ref_wall, 3), "1.00", "0", "0",
+                 ref.best.config.to_string(),
+                 report::fmt(ref.best.timing.mpoints_per_s, 1)});
+
+  bool deterministic = true;
+  double speedup_2w = 0.0;
+  double speedup_4w = 0.0;
+  for (int workers : {2, 4}) {
+    const std::string tag = std::to_string(workers) + "w";
+    const report::Stopwatch watch;
+    const SweepReport rep =
+        distributed::run_distributed_sweep(options_for(session, spec, workers, tag));
+    const double wall = watch.seconds();
+    const double speedup = ref_wall / wall;
+    (workers == 2 ? speedup_2w : speedup_4w) = speedup;
+    deterministic = deterministic && rep.complete && same_best(rep.result, ref);
+    table.add_row({"sharded", std::to_string(workers), report::fmt(wall, 3),
+                   report::fmt(speedup, 2), std::to_string(rep.workers_spawned),
+                   std::to_string(rep.workers_lost),
+                   rep.result.best.config.to_string(),
+                   report::fmt(rep.result.best.timing.mpoints_per_s, 1)});
+  }
+
+  // --- fault-tolerance overhead: kill -9 one worker mid-sweep. -------------
+  SupervisorOptions faulted = options_for(session, spec, 2, "kill");
+  faulted.worker_fault_spec = "kill@2:w0";
+  const report::Stopwatch fault_watch;
+  const SweepReport frep = distributed::run_distributed_sweep(faulted);
+  const double fault_wall = fault_watch.seconds();
+  const bool fault_recovered =
+      frep.complete && frep.workers_lost == 1 && same_best(frep.result, ref);
+  deterministic = deterministic && fault_recovered;
+  table.add_row({"kill@2:w0", "2", report::fmt(fault_wall, 3),
+                 report::fmt(ref_wall / fault_wall, 2),
+                 std::to_string(frep.workers_spawned),
+                 std::to_string(frep.workers_lost),
+                 frep.result.best.config.to_string(),
+                 report::fmt(frep.result.best.timing.mpoints_per_s, 1)});
+
+  session.emit(table, "distributed sweep wall-clock vs worker count");
+  std::printf("determinism cross-check: %s\n",
+              deterministic ? "merged best bit-identical to single-process"
+                            : "MISMATCH against single-process best");
+
+  session.set_config("method", spec.method);
+  session.set_config("order", std::to_string(spec.order));
+  session.headline("deterministic", deterministic ? 1.0 : 0.0, "bool");
+  session.headline("fault_recovered", fault_recovered ? 1.0 : 0.0, "bool");
+  session.headline("speedup_2w", speedup_2w, "x", /*higher_is_better=*/true,
+                   /*noisy=*/true);
+  session.headline("speedup_4w", speedup_4w, "x", /*higher_is_better=*/true,
+                   /*noisy=*/true);
+  const int finish = session.finish();
+  return deterministic ? finish : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inplane::bench::Session session("distributed_sweep", argc, argv);
+  return run(session);
+}

@@ -1,12 +1,19 @@
 #include "autotune/checkpoint.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "core/crc32.hpp"
 #include "core/status.hpp"
@@ -22,6 +29,7 @@ struct CkptMetrics {
   metrics::Counter& bytes_written;
   metrics::Counter& records_recovered;
   metrics::Counter& journals_opened;
+  metrics::Counter& fingerprint_discards;
 
   static CkptMetrics& get() {
     auto& reg = metrics::Registry::global();
@@ -30,6 +38,7 @@ struct CkptMetrics {
         reg.counter("autotune.checkpoint.bytes_written"),
         reg.counter("autotune.checkpoint.records_recovered"),
         reg.counter("autotune.checkpoint.journals_opened"),
+        reg.counter("autotune.checkpoint.fingerprint_discards"),
     };
     return m;
   }
@@ -200,7 +209,111 @@ std::string config_key(const kernels::LaunchConfig& c) {
          std::to_string(c.vec);
 }
 
+/// Shared read-only scanner behind read_journal() and open(): recovers
+/// the valid record prefix and reports where it ends (@p valid_end, for
+/// open()'s torn-tail truncation).
+JournalContents scan_journal(const std::string& path, std::uint64_t want,
+                             std::size_t* valid_end) {
+  JournalContents out;
+  std::size_t end = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char magic[sizeof(kMagic)] = {};
+  std::uint64_t fp = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+      std::fread(&fp, 1, sizeof(fp), f) == sizeof(fp)) {
+    out.header_ok = true;
+    out.fingerprint = fp;
+    out.fingerprint_match = fp == want;
+    end = kHeaderBytes;
+    if (out.fingerprint_match) {
+      for (;;) {
+        std::uint32_t len = 0;
+        std::uint32_t crc = 0;
+        if (std::fread(&len, 1, sizeof(len), f) != sizeof(len)) break;
+        if (std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) break;
+        if (len > (1u << 24)) break;  // absurd length => torn record
+        std::string payload(len, '\0');
+        if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
+        if (crc32(payload.data(), payload.size()) != crc) break;
+        TuneEntry entry;
+        if (!decode_entry(payload, entry)) break;
+        out.entries.push_back(std::move(entry));
+        end += sizeof(len) + sizeof(crc) + len;
+      }
+    }
+  }
+  std::fclose(f);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec && size > end) out.torn_bytes = static_cast<std::size_t>(size) - end;
+  if (valid_end != nullptr) *valid_end = end;
+  return out;
+}
+
+/// fsync one path (best effort; durability hints must never turn a
+/// completed logical operation into a failure).
+void sync_path(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// fsync the directory holding @p path so a freshly renamed-in file's
+/// directory entry survives power loss — the second half of the
+/// write-temp + rename + fsync durability recipe.
+void sync_parent_dir(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  sync_path(parent.empty() ? std::string(".") : parent.string());
+}
+
 }  // namespace
+
+JournalContents read_journal(const std::string& path, const CheckpointKey& key) {
+  return scan_journal(path, key.fingerprint(), nullptr);
+}
+
+std::vector<TuneEntry> merge_journals(std::vector<std::string> paths,
+                                      const CheckpointKey& key, MergeStats* stats) {
+  MergeStats local;
+  MergeStats& s = stats != nullptr ? *stats : local;
+  s = MergeStats{};
+  // Sorted path order makes the merge (and therefore which duplicate
+  // record "wins") deterministic regardless of directory iteration order.
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  std::vector<TuneEntry> merged;
+  std::set<std::string> seen;
+  for (const std::string& path : paths) {
+    const JournalContents c = read_journal(path, key);
+    if (!c.header_ok) {
+      s.missing_files += 1;
+      continue;
+    }
+    if (!c.fingerprint_match) {
+      s.mismatched_files += 1;
+      continue;
+    }
+    s.files += 1;
+    if (c.torn_bytes != 0) s.torn_tails += 1;
+    for (const TuneEntry& e : c.entries) {
+      s.records += 1;
+      if (seen.insert(config_key(e.config)).second) {
+        merged.push_back(e);
+      } else {
+        s.duplicates += 1;
+      }
+    }
+  }
+  return merged;
+}
 
 std::uint64_t CheckpointKey::fingerprint() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -223,34 +336,36 @@ void CheckpointJournal::open(const std::string& path, const CheckpointKey& key) 
   const std::uint64_t want = key.fingerprint();
 
   // Recover whatever valid prefix an existing journal holds.
-  std::vector<std::pair<std::string, TuneEntry>> records;
-  bool reuse = false;
   std::size_t valid_end = 0;
-  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
-    char magic[sizeof(kMagic)] = {};
-    std::uint64_t fp = 0;
-    if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
-        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
-        std::fread(&fp, 1, sizeof(fp), f) == sizeof(fp) && fp == want) {
-      reuse = true;
-      valid_end = kHeaderBytes;
-      for (;;) {
-        std::uint32_t len = 0;
-        std::uint32_t crc = 0;
-        if (std::fread(&len, 1, sizeof(len), f) != sizeof(len)) break;
-        if (std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) break;
-        if (len > (1u << 24)) break;  // absurd length => torn record
-        std::string payload(len, '\0');
-        if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
-        if (crc32(payload.data(), payload.size()) != crc) break;
-        TuneEntry entry;
-        if (!decode_entry(payload, entry)) break;
-        entry.resumed = true;
-        records.emplace_back(config_key(entry.config), std::move(entry));
-        valid_end += sizeof(len) + sizeof(crc) + len;
-      }
+  const JournalContents contents = scan_journal(path, want, &valid_end);
+  const bool reuse = contents.header_ok && contents.fingerprint_match;
+  std::vector<std::pair<std::string, TuneEntry>> records;
+  records.reserve(contents.entries.size());
+  for (const TuneEntry& e : contents.entries) {
+    TuneEntry entry = e;
+    entry.resumed = true;
+    records.emplace_back(config_key(entry.config), std::move(entry));
+  }
+
+  if (contents.header_ok && !contents.fingerprint_match) {
+    // The stored journal belongs to a *different* sweep.  Silently
+    // overwriting it would destroy someone else's resumable progress, so
+    // preserve it alongside and warn loudly; the `.orphan` file is plain
+    // IPTJ2 and can be merged/inspected later.
+    const std::string orphan = path + ".orphan";
+    std::error_code ec;
+    std::filesystem::rename(path, orphan, ec);
+    if (ec) {
+      throw IoError("checkpoint: cannot preserve mismatched journal " + path +
+                    " as " + orphan);
     }
-    std::fclose(f);
+    std::fprintf(stderr,
+                 "checkpoint: WARNING: %s was written for a different sweep "
+                 "(fingerprint %016llx, wanted %016llx); preserved as %s and "
+                 "starting fresh\n",
+                 path.c_str(), static_cast<unsigned long long>(contents.fingerprint),
+                 static_cast<unsigned long long>(want), orphan.c_str());
+    CkptMetrics::get().fingerprint_discards.add();
   }
 
   if (reuse) {
@@ -273,16 +388,24 @@ void CheckpointJournal::open(const std::string& path, const CheckpointKey& key) 
       throw IoError("checkpoint: cannot create " + tmp);
     }
     const bool wrote = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic) &&
-                       std::fwrite(&want, 1, sizeof(want), f) == sizeof(want);
+                       std::fwrite(&want, 1, sizeof(want), f) == sizeof(want) &&
+                       std::fflush(f) == 0;
     std::fclose(f);
     if (!wrote) {
       throw IoError("checkpoint: short write creating " + tmp);
     }
+    // Durability: the header bytes must be on stable storage *before* the
+    // rename publishes them, and the rename itself must survive via the
+    // parent directory — otherwise a power cut can resurrect a journal
+    // whose header the crashed process believed was committed.
+    sync_path(tmp);
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
       throw IoError("checkpoint: cannot rename " + tmp + " over " + path);
     }
+    sync_path(path);
+    sync_parent_dir(path);
   }
 
   // Last record wins per config, preserving first-seen order.

@@ -25,6 +25,47 @@ struct CheckpointKey {
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
+/// Everything one journal file yields to a read-only scan: the valid
+/// record prefix (file order, no dedup), plus what the scan had to
+/// tolerate.  Never modifies the file — safe to run on journals another
+/// process is still appending to (the torn tail is simply whatever that
+/// process has not finished flushing yet).
+struct JournalContents {
+  bool header_ok = false;          ///< magic + fingerprint were readable
+  bool fingerprint_match = false;  ///< header fingerprint == key fingerprint
+  std::uint64_t fingerprint = 0;   ///< header fingerprint when header_ok
+  std::vector<TuneEntry> entries;  ///< valid records, in append order
+  std::size_t torn_bytes = 0;      ///< bytes discarded after the valid prefix
+};
+
+/// Read-only scan of the journal at @p path against @p key.  A missing
+/// file yields an empty JournalContents (header_ok == false).
+[[nodiscard]] JournalContents read_journal(const std::string& path,
+                                           const CheckpointKey& key);
+
+/// What merge_journals() observed across one set of shard journals.
+struct MergeStats {
+  std::size_t files = 0;             ///< journals that existed and matched
+  std::size_t records = 0;           ///< valid records across matching files
+  std::size_t duplicates = 0;        ///< records dropped as re-measurements
+  std::size_t torn_tails = 0;        ///< files with a discarded torn tail
+  std::size_t mismatched_files = 0;  ///< files skipped (wrong fingerprint)
+  std::size_t missing_files = 0;     ///< paths with no journal at all
+};
+
+/// Merges the per-worker shard journals of one distributed sweep into a
+/// single deduplicated entry list.  Paths are scanned in sorted order and
+/// within each file in append order; the *first* record seen for a
+/// config wins, so the result is deterministic regardless of which
+/// worker re-measured a candidate during failover.  Measurements are
+/// deterministic on the simulated device, so dropped duplicates are
+/// bit-identical to the kept record — dedup only prevents double
+/// counting.  Files whose fingerprint does not match @p key are skipped
+/// (counted in stats), never trusted.
+[[nodiscard]] std::vector<TuneEntry> merge_journals(std::vector<std::string> paths,
+                                                    const CheckpointKey& key,
+                                                    MergeStats* stats = nullptr);
+
 /// Crash-safe, append-only journal of measured tuning candidates.
 ///
 /// Layout: a fixed header (magic "IPTJ2\n" + the key fingerprint), then a
@@ -46,9 +87,14 @@ class CheckpointJournal {
   CheckpointJournal& operator=(const CheckpointJournal&) = delete;
 
   /// Opens (creating if absent) the journal at @p path for @p key.  An
-  /// existing journal with a different fingerprint is discarded and
-  /// re-initialised — it describes a different sweep.  Throws IoError if
-  /// the path cannot be created or opened.
+  /// existing journal with a different fingerprint describes a different
+  /// sweep: it is preserved as `<path>.orphan` (with a loud stderr
+  /// warning and a bump of the `autotune.checkpoint.fingerprint_discards`
+  /// counter) and a fresh journal is initialised in its place.  The
+  /// fresh header is written to a temp file, fsync'd, atomically renamed
+  /// into place, and the parent directory is fsync'd — a crash at any
+  /// point leaves either the old state or the complete new header, never
+  /// a torn one.  Throws IoError if the path cannot be created or opened.
   void open(const std::string& path, const CheckpointKey& key);
 
   [[nodiscard]] bool is_open() const { return !path_.empty(); }

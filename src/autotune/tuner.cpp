@@ -269,6 +269,7 @@ TuneEntry measure_or_resume(JournalCtx& jc, kernels::Method method,
       throw InternalError("tuner: simulated crash after " + std::to_string(fresh) +
                           " new measurements");
     }
+    if (opts.on_journal_append) opts.on_journal_append(fresh);
   }
   return entry;
 }
@@ -307,6 +308,27 @@ std::size_t reserve_measure_slots(MemBudget* budget, std::size_t n,
 }
 
 }  // namespace
+
+template <typename T>
+TuneEntry measure_single_candidate(kernels::Method method, const StencilCoeffs& coeffs,
+                                   const gpusim::DeviceSpec& device,
+                                   const Extent3& extent,
+                                   const kernels::LaunchConfig& config,
+                                   std::int64_t ordinal, const TuneOptions& options) {
+  return measure_candidate<T>(method, coeffs, device, extent, config, ordinal,
+                              options);
+}
+
+template <typename T>
+double predict_candidate(kernels::Method method, int radius,
+                         const gpusim::DeviceSpec& device, const Extent3& extent,
+                         const kernels::LaunchConfig& config) {
+  return model_predict<T>(method, radius, device, extent, config);
+}
+
+TuneResult assemble_result(std::vector<TuneEntry> entries, std::size_t pruned) {
+  return finalize(std::move(entries), pruned);
+}
 
 template <typename T>
 TuneResult exhaustive_tune(kernels::Method method, const StencilCoeffs& coeffs,
@@ -457,5 +479,17 @@ template TuneResult model_guided_tune<double>(kernels::Method, const StencilCoef
                                               const gpusim::DeviceSpec&, const Extent3&,
                                               double, const SearchSpace&,
                                               const TuneOptions&);
+template TuneEntry measure_single_candidate<float>(
+    kernels::Method, const StencilCoeffs&, const gpusim::DeviceSpec&, const Extent3&,
+    const kernels::LaunchConfig&, std::int64_t, const TuneOptions&);
+template TuneEntry measure_single_candidate<double>(
+    kernels::Method, const StencilCoeffs&, const gpusim::DeviceSpec&, const Extent3&,
+    const kernels::LaunchConfig&, std::int64_t, const TuneOptions&);
+template double predict_candidate<float>(kernels::Method, int,
+                                         const gpusim::DeviceSpec&, const Extent3&,
+                                         const kernels::LaunchConfig&);
+template double predict_candidate<double>(kernels::Method, int,
+                                          const gpusim::DeviceSpec&, const Extent3&,
+                                          const kernels::LaunchConfig&);
 
 }  // namespace inplane::autotune

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,12 @@ struct TuneOptions {
   /// Crash simulation for tests: abort the sweep (by throwing) once this
   /// many *new* measurements have been journaled.  0 = never.
   std::size_t abort_after = 0;
+  /// Called after each *fresh* (non-resumed) measurement is journaled,
+  /// with the running count of fresh records.  Used by the distributed
+  /// workers for heartbeats/fault plans and by the CLI's signal-handling
+  /// self-test; ignored when no checkpoint journal is configured.  Must
+  /// be thread-safe — candidates are measured concurrently.
+  std::function<void(std::size_t)> on_journal_append;
   /// Online ABFT containment: an injected BitFlip/StuckLoad during a
   /// measurement is detected by the checksum layer and contained — the
   /// attempt completes, the event is counted on the entry's .sdc_events —
@@ -93,6 +100,40 @@ struct TuneOptions {
   /// class (see kernels/runner.hpp: trace_memo_enabled).
   bool trace_best = false;
 };
+
+/// Measures one candidate exactly as the hardened sweeps do — same
+/// retry-with-backoff, fault-injection keying (by @p ordinal) and ABFT
+/// containment — without opening a journal.  This is the unit of work
+/// the distributed sweep engine ships to worker processes: a worker
+/// measuring ordinal k produces the bit-identical TuneEntry the
+/// single-process sweep would have produced for it.
+template <typename T>
+[[nodiscard]] TuneEntry measure_single_candidate(kernels::Method method,
+                                                 const StencilCoeffs& coeffs,
+                                                 const gpusim::DeviceSpec& device,
+                                                 const Extent3& extent,
+                                                 const kernels::LaunchConfig& config,
+                                                 std::int64_t ordinal,
+                                                 const TuneOptions& options);
+
+/// The section-VI model prediction both tuners rank candidates by,
+/// public so the distributed supervisor reproduces the exact ranking.
+/// Returns 0 for configurations the model rejects.
+template <typename T>
+[[nodiscard]] double predict_candidate(kernels::Method method, int radius,
+                                       const gpusim::DeviceSpec& device,
+                                       const Extent3& extent,
+                                       const kernels::LaunchConfig& config);
+
+/// Assembles a TuneResult from per-candidate entries with the exact
+/// sort / best-pick / statistics logic of the in-process sweeps.
+/// @p pruned is how many enumerated candidates were never measured by
+/// design (the model-guided cutoff); it only feeds metrics.  Passing
+/// the entries a distributed sweep merged from its worker journals
+/// yields the same best config, bit for bit, as the single-process
+/// sweep over the same candidates.
+[[nodiscard]] TuneResult assemble_result(std::vector<TuneEntry> entries,
+                                         std::size_t pruned = 0);
 
 /// Exhaustively executes every constraint-satisfying configuration on the
 /// simulated device and returns the best (section IV-C).
@@ -192,5 +233,19 @@ extern template TuneResult model_guided_tune<double>(kernels::Method,
                                                      const Extent3&, double,
                                                      const SearchSpace&,
                                                      const TuneOptions&);
+extern template TuneEntry measure_single_candidate<float>(
+    kernels::Method, const StencilCoeffs&, const gpusim::DeviceSpec&, const Extent3&,
+    const kernels::LaunchConfig&, std::int64_t, const TuneOptions&);
+extern template TuneEntry measure_single_candidate<double>(
+    kernels::Method, const StencilCoeffs&, const gpusim::DeviceSpec&, const Extent3&,
+    const kernels::LaunchConfig&, std::int64_t, const TuneOptions&);
+extern template double predict_candidate<float>(kernels::Method, int,
+                                                const gpusim::DeviceSpec&,
+                                                const Extent3&,
+                                                const kernels::LaunchConfig&);
+extern template double predict_candidate<double>(kernels::Method, int,
+                                                 const gpusim::DeviceSpec&,
+                                                 const Extent3&,
+                                                 const kernels::LaunchConfig&);
 
 }  // namespace inplane::autotune

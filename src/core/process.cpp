@@ -1,0 +1,153 @@
+#include "core/process.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/status.hpp"
+
+#ifndef _WIN32
+#include <signal.h>
+#include <spawn.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+#endif
+
+namespace inplane::core {
+
+std::string ExitStatus::to_string() const {
+  if (exited) return "exit " + std::to_string(code);
+  if (signalled) return "signal " + std::to_string(signal);
+  return "unknown";
+}
+
+ChildProcess::~ChildProcess() {
+#ifndef _WIN32
+  // Reap a child that already ended so it never lingers as a zombie; a
+  // live child is deliberately left running (the owner chose not to
+  // wait or kill).
+  if (pid_ > 0 && !status_.has_value()) {
+    int st = 0;
+    (void)waitpid(static_cast<pid_t>(pid_), &st, WNOHANG);
+  }
+#endif
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)), status_(std::move(other.status_)) {
+  other.status_.reset();
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    pid_ = std::exchange(other.pid_, -1);
+    status_ = std::move(other.status_);
+    other.status_.reset();
+  }
+  return *this;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+ExitStatus decode_wait_status(int st) {
+  ExitStatus s;
+  if (WIFEXITED(st)) {
+    s.exited = true;
+    s.code = WEXITSTATUS(st);
+  } else if (WIFSIGNALED(st)) {
+    s.signalled = true;
+    s.signal = WTERMSIG(st);
+  }
+  return s;
+}
+
+}  // namespace
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    throw InvalidConfigError("process: spawn needs a non-empty argv");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc =
+      posix_spawn(&pid, argv[0].c_str(), nullptr, nullptr, cargv.data(), environ);
+  if (rc != 0) {
+    throw IoError("process: cannot spawn " + argv[0] + ": " + std::strerror(rc));
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+std::optional<ExitStatus> ChildProcess::poll() {
+  if (status_.has_value()) return status_;
+  if (pid_ <= 0) return std::nullopt;
+  int st = 0;
+  const pid_t r = waitpid(static_cast<pid_t>(pid_), &st, WNOHANG);
+  if (r == static_cast<pid_t>(pid_)) {
+    status_ = decode_wait_status(st);
+  } else if (r < 0 && errno == ECHILD) {
+    // Already reaped elsewhere (should not happen with exclusive
+    // ownership) — report a generic failure rather than spinning forever.
+    ExitStatus s;
+    s.exited = true;
+    s.code = -1;
+    status_ = s;
+  }
+  return status_;
+}
+
+ExitStatus ChildProcess::wait() {
+  if (status_.has_value()) return *status_;
+  if (pid_ <= 0) {
+    throw InternalError("process: wait on an empty ChildProcess");
+  }
+  int st = 0;
+  pid_t r = 0;
+  do {
+    r = waitpid(static_cast<pid_t>(pid_), &st, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    throw IoError("process: waitpid(" + std::to_string(pid_) +
+                  ") failed: " + std::strerror(errno));
+  }
+  status_ = decode_wait_status(st);
+  return *status_;
+}
+
+void ChildProcess::terminate() {
+  if (pid_ > 0 && !status_.has_value()) {
+    (void)::kill(static_cast<pid_t>(pid_), SIGTERM);
+  }
+}
+
+void ChildProcess::kill_hard() {
+  if (pid_ > 0 && !status_.has_value()) {
+    (void)::kill(static_cast<pid_t>(pid_), SIGKILL);
+  }
+}
+
+#else  // _WIN32
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string>&) {
+  throw InternalError("process: spawning is unimplemented on this platform");
+}
+std::optional<ExitStatus> ChildProcess::poll() { return std::nullopt; }
+ExitStatus ChildProcess::wait() {
+  throw InternalError("process: wait is unimplemented on this platform");
+}
+void ChildProcess::terminate() {}
+void ChildProcess::kill_hard() {}
+
+#endif
+
+}  // namespace inplane::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// Minimal OS-process portability shim for the distributed sweep engine:
+// spawn a child with an argv, poll/wait for its exit status, and deliver
+// SIGTERM/SIGKILL.  POSIX-only today (the container toolchain); the
+// Windows branch compiles but every operation throws InternalError, so
+// the supervisor degrades loudly rather than silently on an unsupported
+// host.  The shim never throws from poll()/alive() — supervision loops
+// must keep running when a child misbehaves.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace inplane::core {
+
+/// How a child process ended.  Exactly one of exited/signalled is set.
+struct ExitStatus {
+  bool exited = false;     ///< normal termination via exit()/_exit()/return
+  int code = 0;            ///< exit code when exited
+  bool signalled = false;  ///< killed by a signal (SIGKILL, SIGSEGV, ...)
+  int signal = 0;          ///< the signal number when signalled
+
+  [[nodiscard]] bool success() const { return exited && code == 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One spawned child.  Movable, not copyable; the destructor reaps a
+/// child that already exited but never blocks on (or kills) a live one —
+/// owners decide the child's fate explicitly.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess();
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// Spawns @p argv (argv[0] = executable path, PATH not searched when it
+  /// contains a '/').  Throws IoError when the executable cannot be
+  /// spawned, InvalidConfigError on an empty argv.
+  [[nodiscard]] static ChildProcess spawn(const std::vector<std::string>& argv);
+
+  /// True while a child is attached and has not been reaped.
+  [[nodiscard]] bool valid() const { return pid_ > 0; }
+  [[nodiscard]] std::int64_t pid() const { return pid_; }
+
+  /// Non-blocking: reaps and returns the exit status if the child has
+  /// ended, std::nullopt while it is still running.  After the first
+  /// non-null return the status is cached and returned forever.
+  [[nodiscard]] std::optional<ExitStatus> poll();
+
+  /// Blocks until the child ends, then reaps it.
+  ExitStatus wait();
+
+  /// Polite stop request (SIGTERM).  No-op once the child is reaped.
+  void terminate();
+
+  /// Immediate stop (SIGKILL) — what the supervisor uses on a hung
+  /// worker.  No-op once the child is reaped.
+  void kill_hard();
+
+ private:
+  std::int64_t pid_ = -1;
+  std::optional<ExitStatus> status_{};
+};
+
+}  // namespace inplane::core

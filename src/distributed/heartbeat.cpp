@@ -1,0 +1,45 @@
+#include "distributed/heartbeat.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/status.hpp"
+
+namespace inplane::distributed {
+
+namespace {
+constexpr const char* kTag = "IPHB1";
+}
+
+void write_heartbeat(const std::string& path, const Heartbeat& hb) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError("heartbeat: cannot create " + tmp);
+  }
+  const int n = std::fprintf(f, "%s %" PRIu64 " %" PRIu64 "\n", kTag, hb.seq, hb.done);
+  const bool ok = n > 0 && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    throw IoError("heartbeat: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("heartbeat: cannot rename " + tmp + " over " + path);
+  }
+}
+
+std::optional<Heartbeat> read_heartbeat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  char tag[8] = {};
+  Heartbeat hb;
+  const int got = std::fscanf(f, "%7s %" SCNu64 " %" SCNu64, tag, &hb.seq, &hb.done);
+  std::fclose(f);
+  if (got != 3 || std::string(tag) != kTag) return std::nullopt;
+  return hb;
+}
+
+}  // namespace inplane::distributed

@@ -1,0 +1,30 @@
+#pragma once
+
+// Worker liveness protocol: each worker process republishes a tiny
+// heartbeat file (write-temp + atomic rename, so readers never see a
+// torn one) after every candidate it journals.  The supervisor polls the
+// file; a sequence number that stops advancing past the per-worker
+// deadline means the worker is hung (as opposed to merely slow — a slow
+// worker still advances between candidates) and gets killed and
+// respawned.  File contents are a single text line: "IPHB1 <seq> <done>".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace inplane::distributed {
+
+struct Heartbeat {
+  std::uint64_t seq = 0;   ///< bumps on every publish — the liveness signal
+  std::uint64_t done = 0;  ///< candidates this process has completed so far
+};
+
+/// Atomically publishes @p hb at @p path.  Throws IoError when the file
+/// cannot be written.
+void write_heartbeat(const std::string& path, const Heartbeat& hb);
+
+/// Reads the heartbeat at @p path; std::nullopt when the file is absent
+/// or malformed (a worker that has not started yet, or a stray file).
+[[nodiscard]] std::optional<Heartbeat> read_heartbeat(const std::string& path);
+
+}  // namespace inplane::distributed

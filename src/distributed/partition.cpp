@@ -1,0 +1,58 @@
+#include "distributed/partition.hpp"
+
+#include "core/status.hpp"
+
+namespace inplane::distributed {
+
+const char* to_string(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::Candidates: return "candidates";
+    case PartitionMode::Slabs: return "slabs";
+  }
+  return "unknown";
+}
+
+PartitionMode partition_mode_from(const std::string& name) {
+  if (name == "candidates") return PartitionMode::Candidates;
+  if (name == "slabs") return PartitionMode::Slabs;
+  throw InvalidConfigError("unknown partition mode '" + name +
+                           "' (candidates | slabs)");
+}
+
+std::vector<std::vector<std::size_t>> partition_round_robin(std::size_t n,
+                                                            int workers) {
+  if (workers < 1) {
+    throw InvalidConfigError("partition_round_robin: need at least one worker");
+  }
+  std::vector<std::vector<std::size_t>> shards(static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % static_cast<std::size_t>(workers)].push_back(i);
+  }
+  return shards;
+}
+
+std::vector<std::vector<std::size_t>> reshard_round_robin(std::size_t n_remaining,
+                                                          int survivors) {
+  if (survivors < 1) {
+    throw InvalidConfigError("reshard_round_robin: no surviving workers");
+  }
+  return partition_round_robin(n_remaining, survivors);
+}
+
+Extent3 slab_extent(const Extent3& full, int workers, int radius) {
+  if (workers < 1) {
+    throw InvalidConfigError("slab_extent: need at least one worker");
+  }
+  if (full.nz % workers != 0) {
+    throw InvalidConfigError("slab_extent: nz (" + std::to_string(full.nz) +
+                             ") not divisible by the worker count (" +
+                             std::to_string(workers) + ")");
+  }
+  const auto slab_nz = full.nz / workers;
+  if (slab_nz < radius) {
+    throw InvalidConfigError("slab_extent: slabs shallower than the stencil radius");
+  }
+  return {full.nx, full.ny, slab_nz};
+}
+
+}  // namespace inplane::distributed

@@ -1,0 +1,52 @@
+#pragma once
+
+// Work partitioning for the distributed sweep engine: how one tuning
+// sweep's candidate list is sharded across N worker processes, and how a
+// dead worker's leftovers are re-dealt onto the survivors.  Everything
+// here is pure and deterministic — the supervisor's failover decisions
+// must replay identically when a killed sweep is resumed.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/extent.hpp"
+
+namespace inplane::distributed {
+
+/// How the sweep is sharded across workers.
+///  * Candidates: the candidate list is dealt round-robin; every worker
+///    measures its candidates on the full grid.  Merged results are
+///    bit-identical to the single-process sweep.
+///  * Slabs: the grid is cut into per-worker z-slabs (workers stand in
+///    for cluster nodes); candidates are still dealt round-robin but
+///    measured on the slab extent, and the supervisor composes full-grid
+///    timing from the slab time plus the inter-node halo-exchange term
+///    (multigpu::internode_exchange_seconds).
+enum class PartitionMode { Candidates, Slabs };
+
+[[nodiscard]] const char* to_string(PartitionMode mode);
+/// Parses "candidates" | "slabs"; throws InvalidConfigError otherwise.
+[[nodiscard]] PartitionMode partition_mode_from(const std::string& name);
+
+/// Deals items [0, n) onto @p workers shards round-robin: item i lands
+/// on shard i % workers.  Shards are near-equal (sizes differ by at most
+/// one) and interleaved, so the expensive low-ordinal candidates of a
+/// ranked sweep spread across all workers instead of piling onto shard 0.
+/// Throws InvalidConfigError when workers < 1.
+[[nodiscard]] std::vector<std::vector<std::size_t>> partition_round_robin(
+    std::size_t n, int workers);
+
+/// Re-deals a dead worker's remaining item list onto @p survivors piles
+/// (indexes into the returned outer vector, round-robin again).  The
+/// pile order is the caller's survivor order, so resharding is as
+/// deterministic as the partition itself.
+[[nodiscard]] std::vector<std::vector<std::size_t>> reshard_round_robin(
+    std::size_t n_remaining, int survivors);
+
+/// The per-worker z-slab of @p full for the slab partition mode.  Throws
+/// InvalidConfigError unless nz divides evenly into slabs at least
+/// @p radius deep — same decomposition rule as multigpu::MultiGpuStencil.
+[[nodiscard]] Extent3 slab_extent(const Extent3& full, int workers, int radius);
+
+}  // namespace inplane::distributed

@@ -1,0 +1,441 @@
+#include "distributed/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "core/process.hpp"
+#include "core/status.hpp"
+#include "distributed/heartbeat.hpp"
+#include "metrics/metrics.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace inplane::distributed {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+/// Supervision instruments (scope "distributed").
+struct DistMetrics {
+  metrics::Counter& workers_spawned;
+  metrics::Counter& workers_lost;
+  metrics::Counter& candidates_resharded;
+  metrics::Counter& journal_merge_dups;
+
+  static DistMetrics& get() {
+    static DistMetrics m = [] {
+      auto& reg = metrics::Registry::global();
+      return DistMetrics{
+          reg.counter("distributed.workers_spawned"),
+          reg.counter("distributed.workers_lost"),
+          reg.counter("distributed.candidates_resharded"),
+          reg.counter("distributed.journal_merge_dups"),
+      };
+    }();
+    return m;
+  }
+};
+
+std::string config_key(const kernels::LaunchConfig& c) {
+  return std::to_string(c.tx) + "," + std::to_string(c.ty) + "," +
+         std::to_string(c.rx) + "," + std::to_string(c.ry) + "," +
+         std::to_string(c.vec);
+}
+
+/// Config keys already journaled for @p key across the shard journals in
+/// @p dir (read-only; tolerates torn tails and foreign fingerprints).
+std::set<std::string> measured_keys(const std::vector<std::string>& paths,
+                                    const autotune::CheckpointKey& key) {
+  std::set<std::string> out;
+  for (const std::string& p : paths) {
+    const autotune::JournalContents c = autotune::read_journal(p, key);
+    if (!c.fingerprint_match) continue;
+    for (const autotune::TuneEntry& e : c.entries) out.insert(config_key(e.config));
+  }
+  return out;
+}
+
+/// All shard journals ("worker_*.iptj") currently in @p dir, sorted.  A
+/// resumed sweep may find journals from a run with a different worker
+/// count; merging by directory scan adopts them all.
+std::vector<std::string> journal_paths_in(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("worker_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".iptj") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Slot {
+  int index = 0;
+  std::vector<std::size_t> queue;  ///< indices into the measured prefix
+  core::ChildProcess proc;
+  bool running = false;
+  bool done = false;
+  bool dead = false;
+  int spawns = 0;          ///< generation of the next spawn
+  int respawns_used = 0;   ///< crash-triggered respawns consumed
+  bool lost = false;       ///< ever crashed or hung
+  std::string last_exit;
+  std::uint64_t last_seq = 0;
+  /// Liveness deadline, re-armed on every heartbeat advance.  A fired
+  /// token is sticky (CancelToken semantics), so each spawn gets a fresh
+  /// one; hung detection is exactly "this spawn's token fired".
+  std::unique_ptr<CancelToken> liveness;
+  bool in_backoff = false;
+  Clock::time_point backoff_until{};
+  double next_backoff_ms = 0.0;
+};
+
+struct Sweep {
+  const SupervisorOptions& opts;
+  gpusim::DeviceSpec device;
+  Extent3 measured_ext;
+  autotune::CheckpointKey key;
+  CandidatePlan plan;
+  std::vector<Slot> slots;
+  SweepReport report;
+
+  explicit Sweep(const SupervisorOptions& o)
+      : opts(o),
+        device(resolve_device(o.spec.device)),
+        measured_ext(measure_extent(o.spec, o.mode, o.workers)),
+        key(checkpoint_key(o.spec, measured_ext)),
+        plan(plan_candidates(o.spec, device, measured_ext)) {}
+
+  [[nodiscard]] const kernels::LaunchConfig& config_of(std::size_t idx) const {
+    return plan.entries[idx].config;
+  }
+
+  /// The slot's queue minus what its own journal already holds.
+  [[nodiscard]] std::vector<std::size_t> remaining_of(const Slot& s) const {
+    const std::set<std::string> have =
+        measured_keys({journal_path(opts.checkpoint_dir, s.index)}, key);
+    std::vector<std::size_t> rest;
+    for (std::size_t idx : s.queue) {
+      if (have.count(config_key(config_of(idx))) == 0) rest.push_back(idx);
+    }
+    return rest;
+  }
+
+  void write_shard(const Slot& s, const std::vector<std::size_t>& items) const {
+    const std::string path = shard_path(opts.checkpoint_dir, s.index);
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t idx : items) {
+      const kernels::LaunchConfig& c = config_of(idx);
+      out << idx << ' ' << c.tx << ' ' << c.ty << ' ' << c.rx << ' ' << c.ry
+          << ' ' << c.vec << '\n';
+    }
+    if (!out.flush()) throw IoError("supervisor: cannot write shard file " + path);
+  }
+
+  [[nodiscard]] std::vector<std::string> worker_argv(const Slot& s) const {
+    std::vector<std::string> argv = {
+        opts.worker_exe, "--worker",
+        "--method", opts.spec.method,
+        "--device", opts.spec.device,
+        "--nx", std::to_string(opts.spec.extent.nx),
+        "--ny", std::to_string(opts.spec.extent.ny),
+        "--nz", std::to_string(opts.spec.extent.nz),
+        "--order", std::to_string(opts.spec.order),
+        "--kind", opts.spec.kind,
+        "--partition", to_string(opts.mode),
+        "--workers", std::to_string(opts.workers),
+        "--slot", std::to_string(s.index),
+        "--generation", std::to_string(s.spawns),
+        "--shard", shard_path(opts.checkpoint_dir, s.index),
+        "--journal", journal_path(opts.checkpoint_dir, s.index),
+        "--heartbeat", heartbeat_path(opts.checkpoint_dir, s.index),
+        "--max-attempts", std::to_string(opts.max_attempts),
+    };
+    if (opts.spec.double_precision) argv.emplace_back("--dp");
+    if (opts.abft) argv.emplace_back("--abft");
+    if (!opts.worker_fault_spec.empty()) {
+      argv.emplace_back("--worker-fault-plan");
+      argv.push_back(opts.worker_fault_spec);
+    }
+    if (!opts.sim_fault_spec.empty()) {
+      argv.emplace_back("--faults");
+      argv.push_back(opts.sim_fault_spec);
+    }
+    return argv;
+  }
+
+  /// Spawns the slot on its remaining work; marks it done when none left.
+  void spawn(Slot& s) {
+    const std::vector<std::size_t> rest = remaining_of(s);
+    if (rest.empty()) {
+      s.done = true;
+      return;
+    }
+    write_shard(s, rest);
+    s.proc = core::ChildProcess::spawn(worker_argv(s));
+    s.running = true;
+    s.in_backoff = false;
+    s.spawns += 1;
+    s.last_seq = 0;
+    if (const auto hb = read_heartbeat(heartbeat_path(opts.checkpoint_dir, s.index))) {
+      s.last_seq = hb->seq;  // stale file from the previous generation
+    }
+    s.liveness = std::make_unique<CancelToken>();
+    s.liveness->set_deadline_ms(opts.heartbeat_deadline_ms);
+    report.workers_spawned += 1;
+  }
+
+  /// Crash/hang bookkeeping: backoff-respawn while budget remains, else
+  /// declare the slot dead and re-deal its remainder onto survivors.
+  void on_lost(Slot& s, const std::string& why) {
+    s.running = false;
+    s.lost = true;
+    s.last_exit = why;
+    report.workers_lost += 1;
+    if (s.respawns_used < opts.retry_budget) {
+      s.respawns_used += 1;
+      s.in_backoff = true;
+      if (s.next_backoff_ms <= 0.0) s.next_backoff_ms = opts.backoff_initial_ms;
+      s.backoff_until =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 s.next_backoff_ms));
+      s.next_backoff_ms *= opts.backoff_multiplier;
+      return;
+    }
+    s.dead = true;
+    reshard(s);
+  }
+
+  void reshard(Slot& dead_slot) {
+    const std::vector<std::size_t> rest = remaining_of(dead_slot);
+    dead_slot.queue.clear();
+    if (rest.empty()) return;
+    std::vector<Slot*> survivors;
+    for (Slot& s : slots) {
+      if (!s.dead) survivors.push_back(&s);
+    }
+    if (survivors.empty()) return;  // nobody left; the sweep ends incomplete
+    const auto piles =
+        reshard_round_robin(rest.size(), static_cast<int>(survivors.size()));
+    for (std::size_t w = 0; w < survivors.size(); ++w) {
+      for (std::size_t j : piles[w]) survivors[w]->queue.push_back(rest[j]);
+      if (!piles[w].empty()) survivors[w]->done = false;  // revive finished slots
+    }
+    report.candidates_resharded += rest.size();
+    std::fprintf(stderr,
+                 "supervisor: worker %d dead after %d spawns; resharded %zu "
+                 "candidates onto %zu survivors\n",
+                 dead_slot.index, dead_slot.spawns, rest.size(),
+                 survivors.size());
+  }
+
+  void kill_all() {
+    for (Slot& s : slots) {
+      if (s.running) {
+        s.proc.kill_hard();
+        (void)s.proc.wait();
+        s.running = false;
+      }
+    }
+  }
+
+  void poll_slot(Slot& s) {
+    if (const auto st = s.proc.poll()) {
+      s.running = false;
+      s.last_exit = st->to_string();
+      if (!st->success()) {
+        on_lost(s, st->to_string());
+        return;
+      }
+      // Clean exit: finished its shard file — but resharding may have
+      // grown the queue since the spawn, in which case the next loop
+      // iteration respawns it (no backoff: nothing failed).
+      if (remaining_of(s).empty()) s.done = true;
+      return;
+    }
+    const auto hb = read_heartbeat(heartbeat_path(opts.checkpoint_dir, s.index));
+    if (hb && hb->seq > s.last_seq) {
+      s.last_seq = hb->seq;
+      s.liveness->set_deadline_ms(opts.heartbeat_deadline_ms);
+    } else if (s.liveness->cancelled()) {
+      s.proc.kill_hard();
+      (void)s.proc.wait();
+      on_lost(s, "hung (heartbeat stalled; killed by supervisor)");
+    }
+  }
+
+  void supervise() {
+    for (;;) {
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        kill_all();
+        check_cancelled(opts.cancel);  // raises ResourceExhaustedError
+      }
+      bool settled = true;
+      for (Slot& s : slots) {
+        if (s.done || s.dead) continue;
+        settled = false;
+        if (s.running) {
+          poll_slot(s);
+        } else if (!s.in_backoff || Clock::now() >= s.backoff_until) {
+          spawn(s);
+        }
+      }
+      if (settled) break;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts.poll_interval_ms));
+    }
+  }
+};
+
+}  // namespace
+
+std::string shard_path(const std::string& dir, int slot) {
+  return dir + "/worker_" + std::to_string(slot) + ".shard";
+}
+std::string journal_path(const std::string& dir, int slot) {
+  return dir + "/worker_" + std::to_string(slot) + ".iptj";
+}
+std::string heartbeat_path(const std::string& dir, int slot) {
+  return dir + "/worker_" + std::to_string(slot) + ".hb";
+}
+
+SweepReport run_distributed_sweep(const SupervisorOptions& options) {
+  if (options.workers < 1) {
+    throw InvalidConfigError("supervisor: need at least one worker");
+  }
+  if (options.checkpoint_dir.empty()) {
+    throw InvalidConfigError("supervisor: --checkpoint-dir is required");
+  }
+  if (options.worker_exe.empty()) {
+    throw InvalidConfigError("supervisor: worker executable path is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.checkpoint_dir, ec);
+  if (ec) {
+    throw IoError("supervisor: cannot create " + options.checkpoint_dir);
+  }
+
+  Sweep sweep(options);
+
+  // A fresh (non-resume) run must not adopt stale shard state.
+  if (!options.resume) {
+    for (const std::string& p : journal_paths_in(options.checkpoint_dir)) {
+      fs::remove(p, ec);
+    }
+    for (int i = 0; i < options.workers; ++i) {
+      fs::remove(shard_path(options.checkpoint_dir, i), ec);
+      fs::remove(heartbeat_path(options.checkpoint_dir, i), ec);
+    }
+  }
+
+  // What is already on disk (a resumed sweep) never re-measures.
+  const std::set<std::string> pre_measured =
+      measured_keys(journal_paths_in(options.checkpoint_dir), sweep.key);
+  sweep.report.resumed_entries = pre_measured.size();
+
+  // Deal the not-yet-measured prefix round-robin across the slots.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < sweep.plan.n_measure; ++i) {
+    if (pre_measured.count(config_key(sweep.config_of(i))) == 0) todo.push_back(i);
+  }
+  sweep.slots.resize(static_cast<std::size_t>(options.workers));
+  const auto shards = partition_round_robin(todo.size(), options.workers);
+  for (int i = 0; i < options.workers; ++i) {
+    Slot& s = sweep.slots[static_cast<std::size_t>(i)];
+    s.index = i;
+    for (std::size_t j : shards[static_cast<std::size_t>(i)]) {
+      s.queue.push_back(todo[j]);
+    }
+    if (s.queue.empty()) s.done = true;
+  }
+
+  sweep.supervise();
+
+  // Merge the shard journals and rebuild the single-process entry list:
+  // measured entries come from the journals (first record wins), the
+  // model predictions are re-attached from the plan (the journal stores
+  // the pre-overwrite value, exactly like the in-process resume path),
+  // and the un-measured tail keeps its predictions.
+  SweepReport& report = sweep.report;
+  std::vector<autotune::TuneEntry> merged = autotune::merge_journals(
+      journal_paths_in(options.checkpoint_dir), sweep.key, &report.merge);
+  report.journal_merge_dups = report.merge.duplicates;
+  std::map<std::string, const autotune::TuneEntry*> by_config;
+  for (const autotune::TuneEntry& e : merged) {
+    by_config.emplace(config_key(e.config), &e);
+  }
+
+  const double exchange =
+      options.mode == PartitionMode::Slabs
+          ? [&] {
+              multigpu::MultiGpuOptions mg;
+              mg.internode_bw_gbs = options.internode_bw_gbs;
+              mg.internode_latency_us = options.internode_latency_us;
+              return multigpu::internode_exchange_seconds(
+                  options.spec.extent, options.spec.radius(),
+                  options.spec.elem_size(), options.workers, mg);
+            }()
+          : 0.0;
+
+  std::vector<autotune::TuneEntry> entries = sweep.plan.entries;
+  for (std::size_t i = 0; i < sweep.plan.n_measure; ++i) {
+    const auto it = by_config.find(config_key(entries[i].config));
+    if (it == by_config.end()) {
+      report.unmeasured += 1;
+      continue;
+    }
+    const double predicted = entries[i].model_mpoints;
+    entries[i] = *it->second;
+    entries[i].model_mpoints = predicted;
+    entries[i].resumed =
+        options.resume && pre_measured.count(config_key(entries[i].config)) != 0;
+    if (options.mode == PartitionMode::Slabs && entries[i].timing.valid) {
+      // Slab composition: nodes step their slabs concurrently, then
+      // exchange halo planes over the inter-node link — one full-grid
+      // iteration costs the slab time plus the exchange term.
+      entries[i].timing.seconds += exchange;
+      entries[i].timing.mpoints_per_s =
+          static_cast<double>(options.spec.extent.volume()) /
+          entries[i].timing.seconds / 1e6;
+    }
+  }
+  report.complete = report.unmeasured == 0;
+  report.result = autotune::assemble_result(
+      std::move(entries), sweep.plan.entries.size() - sweep.plan.n_measure);
+
+  for (const Slot& s : sweep.slots) {
+    WorkerAttribution a;
+    a.slot = s.index;
+    a.spawns = s.spawns;
+    a.lost_process = s.lost;
+    a.dead = s.dead;
+    a.last_exit = s.last_exit;
+    const autotune::JournalContents c = autotune::read_journal(
+        journal_path(options.checkpoint_dir, s.index), sweep.key);
+    a.measured = c.fingerprint_match ? c.entries.size() : 0;
+    report.per_worker.push_back(std::move(a));
+  }
+
+  if (metrics::enabled()) {
+    DistMetrics& m = DistMetrics::get();
+    m.workers_spawned.add(report.workers_spawned);
+    m.workers_lost.add(report.workers_lost);
+    m.candidates_resharded.add(report.candidates_resharded);
+    m.journal_merge_dups.add(report.journal_merge_dups);
+  }
+  return report;
+}
+
+}  // namespace inplane::distributed

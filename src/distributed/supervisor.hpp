@@ -1,0 +1,112 @@
+#pragma once
+
+// The supervision side of the distributed sweep engine.  One supervisor
+// process shards a tuning sweep across N worker OS processes (see
+// worker.hpp), then babysits them:
+//
+//  * liveness:   every worker republishes a heartbeat per candidate; a
+//                per-worker CancelToken deadline is re-armed on every
+//                heartbeat advance, so a worker whose token fires is
+//                *hung* (not merely slow) and is killed;
+//  * crashes:    a worker that exits non-zero / dies of a signal is
+//                respawned with exponential backoff, up to a retry
+//                budget — its shard journal makes the respawn resume
+//                instead of re-measure;
+//  * resharding: a slot that exhausts its budget is declared dead and
+//                its unmeasured candidates are re-dealt onto survivors;
+//  * merging:    on completion the per-slot IPTJ2 journals are merged
+//                (fingerprint-checked, CRC-framed, first-record-wins
+//                dedup) and assembled into the same TuneResult — same
+//                best config, bit for bit — as the single-process sweep;
+//  * resuming:   everything above is derived from the journals on disk,
+//                so a supervisor that is itself killed restarts with
+//                --resume and only the in-flight candidates re-measure.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/cancel.hpp"
+#include "distributed/partition.hpp"
+#include "distributed/sweep_spec.hpp"
+
+namespace inplane::distributed {
+
+struct SupervisorOptions {
+  SweepSpec spec;
+  int workers = 2;
+  PartitionMode mode = PartitionMode::Candidates;
+  /// Directory holding shard files, journals, and heartbeats.  Required;
+  /// created if absent.  A resumed sweep must reuse the same directory.
+  std::string checkpoint_dir;
+  /// The worker executable (normally the supervisor's own binary, which
+  /// re-enters as a worker via its hidden --worker mode).
+  std::string worker_exe;
+  /// A worker whose heartbeat does not advance for this long is hung.
+  double heartbeat_deadline_ms = 5000.0;
+  double poll_interval_ms = 10.0;
+  /// Respawns allowed per slot (beyond the first spawn) before the slot
+  /// is declared dead and its remaining candidates reshard.
+  int retry_budget = 2;
+  double backoff_initial_ms = 50.0;  ///< delay before the first respawn
+  double backoff_multiplier = 2.0;   ///< growth per subsequent respawn
+  /// Adopt measurements already present in the shard journals (a sweep
+  /// interrupted at the supervisor level).  Without it, stale shard
+  /// files from a previous run are removed first.
+  bool resume = false;
+  /// Worker fault plan text (worker_faults.hpp), forwarded verbatim to
+  /// every worker; empty = no injected process faults.
+  std::string worker_fault_spec;
+  /// gpusim::FaultPlan text forwarded to the workers' measurements.
+  std::string sim_fault_spec;
+  int max_attempts = 3;  ///< per-candidate retry budget inside a worker
+  bool abft = false;     ///< online SDC containment inside workers
+  /// Supervisor-level cancellation/deadline.  When the token fires, all
+  /// live workers are killed and ResourceExhaustedError propagates (the
+  /// journals stay resumable).  nullptr = never fires.
+  const CancelToken* cancel = nullptr;
+  /// Slab mode: inter-node link the full-grid timing composition charges
+  /// for halo exchange (multigpu::internode_exchange_seconds).
+  double internode_bw_gbs = 1.0;
+  double internode_latency_us = 50.0;
+};
+
+/// What one worker slot contributed to the sweep.
+struct WorkerAttribution {
+  int slot = 0;
+  int spawns = 0;            ///< processes started on this slot
+  std::size_t measured = 0;  ///< valid records in the slot's journal
+  bool lost_process = false; ///< at least one process crashed/hung
+  bool dead = false;         ///< retry budget exhausted; shard resharded
+  std::string last_exit;     ///< human-readable last exit status
+};
+
+/// Outcome of a distributed sweep.
+struct SweepReport {
+  autotune::TuneResult result;
+  bool complete = false;          ///< every planned candidate measured
+  std::size_t unmeasured = 0;     ///< planned candidates with no record
+  std::size_t workers_spawned = 0;
+  std::size_t workers_lost = 0;   ///< processes that crashed or hung
+  std::size_t candidates_resharded = 0;
+  std::size_t journal_merge_dups = 0;
+  std::size_t resumed_entries = 0;  ///< adopted from a previous run (--resume)
+  autotune::MergeStats merge;
+  std::vector<WorkerAttribution> per_worker;
+};
+
+/// Shard-file layout helpers (shared with the worker CLI and the tests).
+[[nodiscard]] std::string shard_path(const std::string& dir, int slot);
+[[nodiscard]] std::string journal_path(const std::string& dir, int slot);
+[[nodiscard]] std::string heartbeat_path(const std::string& dir, int slot);
+
+/// Runs the sweep to completion (or to cancellation).  Throws
+/// InvalidConfigError for bad options, IoError for filesystem failures,
+/// ResourceExhaustedError when options.cancel fires.  A sweep that ends
+/// with dead slots still holding work returns complete == false with the
+/// survivors' results merged.
+[[nodiscard]] SweepReport run_distributed_sweep(const SupervisorOptions& options);
+
+}  // namespace inplane::distributed

@@ -1,0 +1,107 @@
+#include "distributed/sweep_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autotune/search_space.hpp"
+#include "core/status.hpp"
+#include "gpusim/device_file.hpp"
+
+namespace inplane::distributed {
+
+kernels::Method resolve_method(const std::string& name) {
+  using kernels::Method;
+  if (name == "nvstencil" || name == "forward") return Method::ForwardPlane;
+  if (name == "classical") return Method::InPlaneClassical;
+  if (name == "vertical") return Method::InPlaneVertical;
+  if (name == "horizontal") return Method::InPlaneHorizontal;
+  if (name == "fullslice" || name == "full-slice") return Method::InPlaneFullSlice;
+  throw InvalidConfigError("unknown method '" + name +
+                           "' (nvstencil | classical | vertical | horizontal | "
+                           "fullslice)");
+}
+
+gpusim::DeviceSpec resolve_device(const std::string& name) {
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 7 && name.substr(name.size() - 7) == ".device")) {
+    return gpusim::load_device(name);
+  }
+  if (name == "gtx580") return gpusim::DeviceSpec::geforce_gtx580();
+  if (name == "gtx680") return gpusim::DeviceSpec::geforce_gtx680();
+  if (name == "c2070") return gpusim::DeviceSpec::tesla_c2070();
+  if (name == "c2050") return gpusim::DeviceSpec::tesla_c2050();
+  throw InvalidConfigError("unknown device '" + name +
+                           "' (gtx580 | gtx680 | c2070 | c2050 | path to a "
+                           ".device file)");
+}
+
+Extent3 measure_extent(const SweepSpec& spec, PartitionMode mode, int workers) {
+  if (mode == PartitionMode::Slabs) {
+    return slab_extent(spec.extent, workers, spec.radius());
+  }
+  return spec.extent;
+}
+
+autotune::CheckpointKey checkpoint_key(const SweepSpec& spec,
+                                       const Extent3& measured) {
+  autotune::CheckpointKey key;
+  key.method = kernels::to_string(resolve_method(spec.method));
+  key.device = resolve_device(spec.device).name;
+  key.extent = measured;
+  key.elem_size = spec.elem_size();
+  key.kind = spec.kind;
+  return key;
+}
+
+namespace {
+
+template <typename T>
+CandidatePlan plan_impl(const SweepSpec& spec, const gpusim::DeviceSpec& device,
+                        const Extent3& measured) {
+  const kernels::Method method = resolve_method(spec.method);
+  const autotune::SearchSpace space;
+  const int vec = autotune::default_vec(method, sizeof(T));
+  const std::vector<kernels::LaunchConfig> configs =
+      space.enumerate(device, measured, method, spec.radius(), sizeof(T), vec);
+
+  CandidatePlan plan;
+  plan.entries.resize(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    plan.entries[i].config = configs[i];
+    plan.entries[i].model_mpoints = autotune::predict_candidate<T>(
+        method, spec.radius(), device, measured, configs[i]);
+  }
+
+  if (spec.kind == "model") {
+    // Rank exactly as model_guided_tune does: std::sort over TuneEntry
+    // with the identical comparator, so equal predictions land in the
+    // identical permutation and ordinals match the in-process sweep.
+    std::sort(plan.entries.begin(), plan.entries.end(),
+              [](const autotune::TuneEntry& a, const autotune::TuneEntry& b) {
+                return a.model_mpoints > b.model_mpoints;
+              });
+    const double frac = std::clamp(spec.beta, 0.0, 1.0);
+    plan.n_measure = std::min(
+        plan.entries.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(frac * static_cast<double>(plan.entries.size())))));
+  } else if (spec.kind == "exhaustive") {
+    plan.n_measure = plan.entries.size();
+  } else {
+    throw InvalidConfigError("unknown sweep kind '" + spec.kind +
+                             "' (exhaustive | model)");
+  }
+  return plan;
+}
+
+}  // namespace
+
+CandidatePlan plan_candidates(const SweepSpec& spec,
+                              const gpusim::DeviceSpec& device,
+                              const Extent3& measured) {
+  if (spec.double_precision) return plan_impl<double>(spec, device, measured);
+  return plan_impl<float>(spec, device, measured);
+}
+
+}  // namespace inplane::distributed

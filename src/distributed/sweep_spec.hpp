@@ -1,0 +1,80 @@
+#pragma once
+
+// The shared description of one distributed tuning sweep.  Supervisor and
+// worker processes communicate through the command line and the
+// filesystem, so both sides re-derive everything else — the device, the
+// coefficients, the candidate ordering, the journal fingerprint — from
+// this spec with the *same* deterministic code.  That shared derivation
+// is what makes the merged distributed result bit-identical to the
+// single-process sweep: a worker measuring ordinal k runs exactly the
+// measurement the in-process tuner would have run for slot k.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/extent.hpp"
+#include "distributed/partition.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/stencil_kernel.hpp"
+
+namespace inplane::distributed {
+
+struct SweepSpec {
+  std::string method = "fullslice";  ///< kernel family (CLI names)
+  std::string device = "gtx580";     ///< device preset or .device path
+  Extent3 extent{512, 512, 64};      ///< full grid
+  int order = 8;                     ///< stencil order (radius = order / 2)
+  bool double_precision = false;
+  std::string kind = "exhaustive";   ///< "exhaustive" | "model"
+  double beta = 0.05;                ///< model-guided measured fraction
+
+  [[nodiscard]] int radius() const { return order / 2; }
+  [[nodiscard]] std::size_t elem_size() const {
+    return double_precision ? sizeof(double) : sizeof(float);
+  }
+};
+
+/// CLI method names -> kernels::Method; throws InvalidConfigError on an
+/// unknown name.  Same vocabulary as the `inplane` CLI.
+[[nodiscard]] kernels::Method resolve_method(const std::string& name);
+
+/// Device presets (gtx580 | gtx680 | c2070 | c2050) or a path to a
+/// .device description file; throws InvalidConfigError otherwise.
+[[nodiscard]] gpusim::DeviceSpec resolve_device(const std::string& name);
+
+/// The grid each worker actually measures on: the full grid for
+/// candidate partitioning, the per-worker z-slab for slab partitioning.
+[[nodiscard]] Extent3 measure_extent(const SweepSpec& spec, PartitionMode mode,
+                                     int workers);
+
+/// The journal identity every shard journal of this sweep carries.  All
+/// workers and the supervisor must agree on it, or merge_journals would
+/// (correctly) refuse the shards.
+[[nodiscard]] autotune::CheckpointKey checkpoint_key(const SweepSpec& spec,
+                                                     const Extent3& measured);
+
+/// The sweep's candidate schedule, in ordinal order.
+struct CandidatePlan {
+  /// Constraint-satisfying candidates as (config, model prediction)
+  /// pairs, in *ordinal* order: enumeration order for an exhaustive
+  /// sweep, model-ranked order for a model-guided one.  Only `config`
+  /// and `model_mpoints` are populated.
+  std::vector<autotune::TuneEntry> entries;
+  /// The measured prefix: entries[0, n_measure) are dealt to workers;
+  /// the tail stays un-executed with predictions attached (the
+  /// section-VI cutoff), exactly as in the in-process tuner.
+  std::size_t n_measure = 0;
+};
+
+/// Reproduces the in-process tuner's candidate ordering (including the
+/// model-guided ranking sort, applied with the identical comparator so
+/// tied predictions permute identically) for @p measured — the extent
+/// the candidates will be measured on.
+[[nodiscard]] CandidatePlan plan_candidates(const SweepSpec& spec,
+                                            const gpusim::DeviceSpec& device,
+                                            const Extent3& measured);
+
+}  // namespace inplane::distributed

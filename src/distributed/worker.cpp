@@ -1,0 +1,164 @@
+#include "distributed/worker.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/status.hpp"
+#include "distributed/heartbeat.hpp"
+#include "distributed/worker_faults.hpp"
+#include "gpusim/fault_injector.hpp"
+
+namespace inplane::distributed {
+
+namespace {
+
+struct ShardItem {
+  std::int64_t ordinal = 0;
+  kernels::LaunchConfig config;
+};
+
+std::vector<ShardItem> read_shard(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("worker: cannot read shard file " + path);
+  }
+  std::vector<ShardItem> items;
+  ShardItem item;
+  long long ordinal = 0;
+  while (in >> ordinal >> item.config.tx >> item.config.ty >> item.config.rx >>
+         item.config.ry >> item.config.vec) {
+    if (ordinal < 0) throw IoError("worker: negative ordinal in " + path);
+    item.ordinal = ordinal;
+    items.push_back(item);
+  }
+  if (!in.eof()) {
+    throw IoError("worker: malformed shard line in " + path);
+  }
+  return items;
+}
+
+/// Appends a deliberately torn record (a length/CRC frame whose payload
+/// never arrives) to the shard journal — byte-for-byte what a worker
+/// killed mid-append leaves behind — then dies without unwinding, like
+/// the real crash would.
+[[noreturn]] void corrupt_tail_and_die(const std::string& journal_path) {
+  std::FILE* f = std::fopen(journal_path.c_str(), "ab");
+  if (f != nullptr) {
+    const std::uint32_t len = 4096;   // promises far more payload than follows
+    const std::uint32_t crc = 0xDEADBEEFu;
+    std::fwrite(&len, sizeof(len), 1, f);
+    std::fwrite(&crc, sizeof(crc), 1, f);
+    const char torn[] = "torn";
+    std::fwrite(torn, 1, sizeof(torn), f);
+    std::fflush(f);
+    std::fclose(f);
+  }
+  std::_Exit(9);
+}
+
+[[noreturn]] void hang_forever() {
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+template <typename T>
+int run_impl(const WorkerArgs& args) {
+  const gpusim::DeviceSpec device = resolve_device(args.spec.device);
+  const kernels::Method method = resolve_method(args.spec.method);
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(args.spec.radius());
+  const Extent3 extent = measure_extent(args.spec, args.mode, args.workers);
+
+  const std::vector<ShardItem> shard = read_shard(args.shard_path);
+  const std::vector<WorkerFaultRule> rules =
+      WorkerFaultPlan::parse(args.fault_spec).for_worker(args.slot,
+                                                         args.generation);
+  double slow_ms = 0.0;
+  for (const WorkerFaultRule& r : rules) {
+    if (r.kind == WorkerFaultKind::Slow) slow_ms = std::max(slow_ms, r.slow_ms);
+  }
+
+  std::optional<gpusim::FaultInjector> injector;
+  if (!args.sim_fault_spec.empty()) {
+    injector.emplace(gpusim::FaultPlan::parse(args.sim_fault_spec));
+  }
+  autotune::TuneOptions opts;
+  opts.max_attempts = args.max_attempts;
+  opts.abft = args.abft;
+  if (injector) opts.faults = &*injector;
+
+  autotune::CheckpointJournal journal;
+  journal.open(args.journal_path, checkpoint_key(args.spec, extent));
+
+  Heartbeat hb;
+  write_heartbeat(args.heartbeat_path, hb);
+
+  std::size_t fresh = 0;
+  for (const ShardItem& item : shard) {
+    hb.seq += 1;
+    write_heartbeat(args.heartbeat_path, hb);
+    if (journal.find(item.config)) {
+      // Already measured by a previous generation of this slot — the
+      // respawn skips it, which is the whole point of the shard journal.
+      hb.done += 1;
+      continue;
+    }
+    if (slow_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slow_ms));
+    }
+    const autotune::TuneEntry entry = autotune::measure_single_candidate<T>(
+        method, coeffs, device, extent, item.config, item.ordinal, opts);
+    journal.append(entry);
+    fresh += 1;
+    hb.seq += 1;
+    hb.done += 1;
+    write_heartbeat(args.heartbeat_path, hb);
+
+    for (const WorkerFaultRule& r : rules) {
+      if (static_cast<std::int64_t>(fresh) != r.at) continue;
+      switch (r.kind) {
+        case WorkerFaultKind::Kill:
+#ifdef SIGKILL
+          std::raise(SIGKILL);
+#else
+          std::abort();
+#endif
+          break;
+        case WorkerFaultKind::Hang:
+          hang_forever();
+        case WorkerFaultKind::CorruptTail:
+          corrupt_tail_and_die(args.journal_path);
+        case WorkerFaultKind::Slow:
+          break;
+      }
+    }
+  }
+  hb.seq += 1;
+  write_heartbeat(args.heartbeat_path, hb);
+  return 0;
+}
+
+}  // namespace
+
+int run_worker(const WorkerArgs& args) {
+  try {
+    if (args.spec.double_precision) return run_impl<double>(args);
+    return run_impl<float>(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker %d (gen %d): %s\n", args.slot, args.generation,
+                 e.what());
+    return exit_code(status_of(e));
+  }
+}
+
+}  // namespace inplane::distributed

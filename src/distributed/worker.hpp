@@ -1,0 +1,42 @@
+#pragma once
+
+// One worker process of a distributed sweep.  The supervisor hands a
+// worker its shard as a text file of "ordinal tx ty rx ry vec" lines;
+// the worker measures each candidate with the exact hardened-sweep
+// machinery (autotune::measure_single_candidate, keyed by the ordinal so
+// fault injection replays identically), appends every fresh measurement
+// to its own IPTJ2 shard journal, and republishes a heartbeat after each
+// candidate.  A respawned worker reopens the same journal and skips
+// everything already measured — crash recovery costs at most the one
+// candidate that was in flight.
+
+#include <string>
+
+#include "distributed/partition.hpp"
+#include "distributed/sweep_spec.hpp"
+
+namespace inplane::distributed {
+
+struct WorkerArgs {
+  SweepSpec spec;
+  PartitionMode mode = PartitionMode::Candidates;
+  int workers = 1;      ///< total slot count (fixes the slab extent)
+  int slot = 0;         ///< this worker's slot index
+  int generation = 0;   ///< spawn count on this slot (0 = first spawn)
+  std::string shard_path;      ///< candidate list to measure
+  std::string journal_path;    ///< this slot's IPTJ2 shard journal
+  std::string heartbeat_path;  ///< liveness file republished per candidate
+  std::string fault_spec;      ///< WorkerFaultPlan text (whole plan; the
+                               ///< worker filters by slot + generation)
+  std::string sim_fault_spec;  ///< gpusim::FaultPlan for the measurements
+  int max_attempts = 3;        ///< per-candidate retry budget
+  bool abft = false;           ///< online SDC containment
+};
+
+/// Runs the shard to completion.  Returns a process exit code (0 = all
+/// candidates journaled); configuration and I/O errors map through the
+/// repo's status taxonomy.  May not return at all when the worker fault
+/// plan says so (SIGKILL / hang / torn-tail crash).
+[[nodiscard]] int run_worker(const WorkerArgs& args);
+
+}  // namespace inplane::distributed

@@ -1,0 +1,166 @@
+#include "distributed/worker_faults.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "core/status.hpp"
+
+namespace inplane::distributed {
+
+const char* to_string(WorkerFaultKind kind) {
+  switch (kind) {
+    case WorkerFaultKind::Kill: return "kill";
+    case WorkerFaultKind::Hang: return "hang";
+    case WorkerFaultKind::CorruptTail: return "corrupt";
+    case WorkerFaultKind::Slow: return "slow";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void bad(const std::string& clause, const std::string& why) {
+  throw InvalidConfigError("worker fault plan: bad clause '" + clause + "': " + why);
+}
+
+std::int64_t parse_int(const std::string& clause, const std::string& text,
+                       const char* what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(text, &used);
+    if (used != text.size() || v < 0) bad(clause, std::string("bad ") + what);
+    return v;
+  } catch (const InvalidConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad(clause, std::string("bad ") + what);
+  }
+}
+
+double parse_ms(const std::string& clause, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size() || v < 0.0) bad(clause, "bad millisecond value");
+    return v;
+  } catch (const InvalidConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad(clause, "bad millisecond value");
+  }
+}
+
+// Consumes trailing ":wI" / ":gI" / ":g*" suffixes from an already-split
+// clause body; @p body arrives as everything after the kind token.
+void parse_suffixes(const std::string& clause, std::vector<std::string> parts,
+                    WorkerFaultRule& rule) {
+  for (const std::string& raw : parts) {
+    const std::string p = strip(raw);
+    if (p.size() >= 2 && p[0] == 'w') {
+      rule.worker = static_cast<int>(parse_int(clause, p.substr(1), "worker index"));
+    } else if (p == "g*") {
+      rule.generation = -1;
+    } else if (p.size() >= 2 && p[0] == 'g') {
+      rule.generation =
+          static_cast<int>(parse_int(clause, p.substr(1), "generation index"));
+    } else {
+      bad(clause, "unknown suffix '" + p + "' (expected :wI, :gI, or :g*)");
+    }
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+WorkerFaultRule parse_clause(const std::string& clause) {
+  WorkerFaultRule rule;
+  std::vector<std::string> parts = split(clause, ':');
+  const std::string head = strip(parts.front());
+  parts.erase(parts.begin());
+
+  const std::size_t at_pos = head.find('@');
+  const std::size_t eq_pos = head.find('=');
+  if (at_pos != std::string::npos) {
+    const std::string kind = strip(head.substr(0, at_pos));
+    const std::string arg = strip(head.substr(at_pos + 1));
+    if (kind == "kill") {
+      rule.kind = WorkerFaultKind::Kill;
+    } else if (kind == "hang") {
+      rule.kind = WorkerFaultKind::Hang;
+    } else if (kind == "corrupt") {
+      rule.kind = WorkerFaultKind::CorruptTail;
+    } else {
+      bad(clause, "unknown fault kind '" + kind + "'");
+    }
+    rule.at = parse_int(clause, arg, "candidate count");
+    if (rule.at < 1) bad(clause, "candidate count must be >= 1");
+  } else if (eq_pos != std::string::npos) {
+    const std::string kind = strip(head.substr(0, eq_pos));
+    if (kind != "slow") bad(clause, "unknown fault kind '" + kind + "'");
+    rule.kind = WorkerFaultKind::Slow;
+    rule.slow_ms = parse_ms(clause, strip(head.substr(eq_pos + 1)));
+  } else {
+    bad(clause, "expected kill@K, hang@K, corrupt@K, or slow=MS");
+  }
+
+  parse_suffixes(clause, std::move(parts), rule);
+  return rule;
+}
+
+}  // namespace
+
+WorkerFaultPlan WorkerFaultPlan::parse(const std::string& spec) {
+  WorkerFaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string clause = strip(raw);
+    if (clause.empty()) continue;
+    plan.rules.push_back(parse_clause(clause));
+  }
+  return plan;
+}
+
+std::string WorkerFaultPlan::to_string() const {
+  std::string out;
+  for (const WorkerFaultRule& r : rules) {
+    if (!out.empty()) out += "; ";
+    out += inplane::distributed::to_string(r.kind);
+    if (r.kind == WorkerFaultKind::Slow) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "=%g", r.slow_ms);
+      out += buf;
+    } else {
+      out += "@" + std::to_string(r.at);
+    }
+    if (r.worker >= 0) out += ":w" + std::to_string(r.worker);
+    if (r.generation < 0) {
+      out += ":g*";
+    } else if (r.generation != 0) {
+      out += ":g" + std::to_string(r.generation);
+    }
+  }
+  return out;
+}
+
+std::vector<WorkerFaultRule> WorkerFaultPlan::for_worker(int slot, int gen) const {
+  std::vector<WorkerFaultRule> out;
+  for (const WorkerFaultRule& r : rules) {
+    if (r.applies_to(slot, gen)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace inplane::distributed

@@ -1,0 +1,69 @@
+#pragma once
+
+// Process-level fault plans for the supervision layer — the distributed
+// counterpart of gpusim::FaultPlan.  Where the PR 2 injector corrupts
+// loads inside one simulated kernel, these rules make a whole *worker
+// process* misbehave at a deterministic point, so every supervisor
+// recovery path (crash detection, hung-worker kill, torn-journal resume,
+// slow-worker tolerance) is testable bit-for-bit:
+//
+//   kill@K     raise(SIGKILL) once K candidates have been journaled
+//   hang@K     stop heartbeating and sleep forever after K candidates
+//              (the supervisor's liveness deadline must catch it)
+//   corrupt@K  append a torn record to the shard journal after K
+//              candidates, then exit non-zero (exercises CRC framing
+//              plus crash recovery together)
+//   slow=MS    sleep MS milliseconds before each measurement (must NOT
+//              be treated as hung while heartbeats keep advancing)
+//
+// Each clause takes optional suffixes `:wI` (only worker slot I;
+// default: every slot) and `:gI` (only spawn generation I on that slot;
+// default g0 — the first spawn — so a respawned worker succeeds and the
+// failover path completes.  `:g*` fires on every generation, forcing
+// the retry budget to exhaust and the reshard path to run).
+//
+// Example: "kill@2:w0; slow=5:w1" — worker 0's first process dies of
+// SIGKILL after its 2nd candidate, worker 1 is permanently slow.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace inplane::distributed {
+
+enum class WorkerFaultKind { Kill, Hang, CorruptTail, Slow };
+
+[[nodiscard]] const char* to_string(WorkerFaultKind kind);
+
+struct WorkerFaultRule {
+  WorkerFaultKind kind = WorkerFaultKind::Kill;
+  int worker = -1;         ///< slot index; -1 = any slot
+  int generation = 0;      ///< spawn index on the slot; -1 = every spawn
+  std::int64_t at = 1;     ///< fires once this many candidates are journaled
+  double slow_ms = 0.0;    ///< Slow: delay before each measurement
+
+  [[nodiscard]] bool applies_to(int slot, int gen) const {
+    return (worker < 0 || worker == slot) &&
+           (generation < 0 || generation == gen);
+  }
+};
+
+struct WorkerFaultPlan {
+  std::vector<WorkerFaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Parses the clause syntax above ( ';'-separated, whitespace ignored).
+  /// Throws InvalidConfigError on malformed input; an empty/blank spec
+  /// yields an empty plan.
+  [[nodiscard]] static WorkerFaultPlan parse(const std::string& spec);
+
+  /// Canonical re-rendering of the plan (parse(to_string(p)) == p) —
+  /// how the supervisor forwards the plan on worker command lines.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The rules that apply to spawn @p gen of worker slot @p slot.
+  [[nodiscard]] std::vector<WorkerFaultRule> for_worker(int slot, int gen) const;
+};
+
+}  // namespace inplane::distributed

@@ -23,6 +23,13 @@ MultiGpuStencil<T>::MultiGpuStencil(kernels::Method method, StencilCoeffs coeffs
   if (options_.pcie_bw_gbs <= 0.0) {
     throw InvalidConfigError("MultiGpuStencil: interconnect bandwidth must be > 0");
   }
+  if (options_.nodes < 1 || options_.n_devices % options_.nodes != 0) {
+    throw InvalidConfigError(
+        "MultiGpuStencil: nodes must be >= 1 and divide the device count");
+  }
+  if (options_.internode_bw_gbs <= 0.0) {
+    throw InvalidConfigError("MultiGpuStencil: inter-node bandwidth must be > 0");
+  }
 }
 
 template <typename T>
@@ -209,7 +216,10 @@ MultiGpuTiming MultiGpuStencil<T>::estimate(const gpusim::DeviceSpec& device,
   t.compute_seconds = slab_t.seconds;
 
   // Halo exchange per sweep: r planes up and r planes down, each a
-  // device-to-host plus host-to-device transfer.
+  // device-to-host plus host-to-device transfer.  Exchanges across every
+  // boundary proceed in parallel, so the per-sweep cost is governed by
+  // the slowest boundary kind: a PCIe-only intra-node one, or — when the
+  // devices span several nodes — one that also crosses the network link.
   if (n > 1) {
     const double plane_bytes =
         static_cast<double>(extent.nx) * extent.ny * sizeof(T);
@@ -217,6 +227,12 @@ MultiGpuTiming MultiGpuStencil<T>::estimate(const gpusim::DeviceSpec& device,
     const double per_transfer =
         options_.pcie_latency_us * 1e-6 + dir_bytes / (options_.pcie_bw_gbs * 1e9);
     t.exchange_seconds = 2.0 /*directions*/ * 2.0 /*D2H + H2D*/ * per_transfer;
+    if (options_.nodes > 1) {
+      t.exchange_seconds =
+          std::max(t.exchange_seconds,
+                   internode_exchange_seconds(extent, radius(), sizeof(T),
+                                              options_.nodes, options_));
+    }
   }
   t.total_seconds = options_.overlap_exchange
                         ? std::max(t.compute_seconds, t.exchange_seconds)
@@ -234,5 +250,27 @@ MultiGpuTiming MultiGpuStencil<T>::estimate(const gpusim::DeviceSpec& device,
 
 template class MultiGpuStencil<float>;
 template class MultiGpuStencil<double>;
+
+double internode_exchange_seconds(const Extent3& full, int radius,
+                                  std::size_t elem_size, int nodes,
+                                  const MultiGpuOptions& options) {
+  if (nodes <= 1 || radius <= 0) return 0.0;
+  if (options.internode_bw_gbs <= 0.0 || options.pcie_bw_gbs <= 0.0) {
+    throw InvalidConfigError(
+        "internode_exchange_seconds: link bandwidths must be > 0");
+  }
+  // One direction moves r halo planes of the shared xy face: GPU → host
+  // over PCIe, host → host over the network, host → GPU over PCIe on the
+  // receiving node.  Both directions of a boundary are serialised per
+  // NIC; different boundaries overlap, so one boundary's round trip is
+  // the per-sweep term.
+  const double dir_bytes = static_cast<double>(radius) * full.nx * full.ny *
+                           static_cast<double>(elem_size);
+  const double pcie =
+      options.pcie_latency_us * 1e-6 + dir_bytes / (options.pcie_bw_gbs * 1e9);
+  const double net = options.internode_latency_us * 1e-6 +
+                     dir_bytes / (options.internode_bw_gbs * 1e9);
+  return 2.0 /*directions*/ * (2.0 * pcie + net);
+}
 
 }  // namespace inplane::multigpu

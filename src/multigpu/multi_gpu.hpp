@@ -25,6 +25,17 @@ struct MultiGpuOptions {
   /// Overlap halo exchange with interior compute (streams) — the standard
   /// optimisation; without it exchange time adds serially.
   bool overlap_exchange = true;
+  /// Cluster topology: the devices are spread over this many nodes as
+  /// contiguous groups (n_devices must be divisible by it).  Slab
+  /// boundaries inside a node exchange halos over PCIe; boundaries
+  /// *between* nodes additionally cross the network link below.  1 (the
+  /// default) reproduces the historical single-node model exactly.
+  int nodes = 1;
+  /// Effective per-direction inter-node link bandwidth (10 GbE / early
+  /// IB era, matching the paper's hardware generation): ~1 GB/s.
+  double internode_bw_gbs = 1.0;
+  /// Per-message inter-node latency (NIC + switch + software stack).
+  double internode_latency_us = 50.0;
   /// Optional fault injector: device-loss rules kill simulated devices
   /// mid-run and the remaining slabs are re-sharded onto the survivors.
   const gpusim::FaultInjector* faults = nullptr;
@@ -114,5 +125,16 @@ class MultiGpuStencil {
 
 extern template class MultiGpuStencil<float>;
 extern template class MultiGpuStencil<double>;
+
+/// Per-sweep halo-exchange cost across one *inter-node* z-slab boundary
+/// of @p full: r planes in each direction, each paying GPU→host PCIe,
+/// the network hop, and host→GPU PCIe on the far side.  This is the
+/// timing-model term the distributed sweep engine's grid-slab mode adds
+/// on top of each worker's per-slab kernel time — worker processes stand
+/// in for cluster nodes, so every slab boundary is an inter-node one.
+/// Returns 0 for a single node.
+[[nodiscard]] double internode_exchange_seconds(const Extent3& full, int radius,
+                                                std::size_t elem_size, int nodes,
+                                                const MultiGpuOptions& options = {});
 
 }  // namespace inplane::multigpu

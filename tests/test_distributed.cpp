@@ -1,0 +1,508 @@
+// The crash-tolerant distributed sweep engine: partitioning laws, the
+// heartbeat protocol, the process shim, worker fault plans, journal
+// merge/dedup, and end-to-end supervision — kill/hang/corrupt-tail
+// failover, permanent-death resharding, supervisor kill + --resume —
+// each checked for bit-identity with the single-process sweep.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/tuner.hpp"
+#include "core/process.hpp"
+#include "core/status.hpp"
+#include "distributed/heartbeat.hpp"
+#include "distributed/partition.hpp"
+#include "distributed/supervisor.hpp"
+#include "distributed/sweep_spec.hpp"
+#include "distributed/worker_faults.hpp"
+#include "metrics/metrics.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace inplane {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace inplane::distributed;
+
+std::string temp_dir(const std::string& name) {
+  const std::string path = (fs::temp_directory_path() / name).string();
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path;
+}
+
+// ------------------------------------------------------------- partitioning --
+
+TEST(Partition, ModeNamesRoundTrip) {
+  EXPECT_EQ(partition_mode_from("candidates"), PartitionMode::Candidates);
+  EXPECT_EQ(partition_mode_from("slabs"), PartitionMode::Slabs);
+  EXPECT_STREQ(to_string(PartitionMode::Slabs), "slabs");
+  EXPECT_THROW((void)partition_mode_from("rings"), InvalidConfigError);
+}
+
+TEST(Partition, RoundRobinCoversEverythingNearEvenly) {
+  const auto shards = partition_round_robin(17, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  std::set<std::size_t> seen;
+  std::size_t lo = 17, hi = 0;
+  for (std::size_t w = 0; w < shards.size(); ++w) {
+    lo = std::min(lo, shards[w].size());
+    hi = std::max(hi, shards[w].size());
+    for (std::size_t item : shards[w]) {
+      EXPECT_EQ(item % 4, w);  // item i lands on shard i % workers
+      seen.insert(item);
+    }
+  }
+  EXPECT_EQ(seen.size(), 17u);  // disjoint cover of [0, n)
+  EXPECT_LE(hi - lo, 1u);       // near-equal piles
+  EXPECT_THROW((void)partition_round_robin(4, 0), InvalidConfigError);
+}
+
+TEST(Partition, SlabExtentEnforcesDivisibilityAndDepth) {
+  const Extent3 full{128, 64, 16};
+  const Extent3 slab = slab_extent(full, 4, 2);
+  EXPECT_EQ(slab.nx, 128);
+  EXPECT_EQ(slab.ny, 64);
+  EXPECT_EQ(slab.nz, 4);
+  EXPECT_THROW((void)slab_extent(full, 3, 2), InvalidConfigError);   // 16 % 3
+  EXPECT_THROW((void)slab_extent(full, 16, 2), InvalidConfigError);  // 1 < r
+}
+
+// ---------------------------------------------------------------- heartbeat --
+
+TEST(Heartbeat, RoundTripsAndToleratesGarbage) {
+  const std::string dir = temp_dir("ipd_heartbeat");
+  const std::string path = dir + "/w.hb";
+  EXPECT_FALSE(read_heartbeat(path).has_value());  // absent
+
+  write_heartbeat(path, Heartbeat{42, 17});
+  const auto hb = read_heartbeat(path);
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->seq, 42u);
+  EXPECT_EQ(hb->done, 17u);
+
+  std::ofstream(path, std::ios::trunc) << "NOTAHEARTBEAT 1 2\n";
+  EXPECT_FALSE(read_heartbeat(path).has_value());  // wrong tag
+}
+
+// ------------------------------------------------------------- process shim --
+
+TEST(ChildProcess, SpawnWaitExitCodesAndSignals) {
+  auto ok = core::ChildProcess::spawn({"/bin/sh", "-c", "exit 0"});
+  EXPECT_TRUE(ok.wait().success());
+
+  auto fail = core::ChildProcess::spawn({"/bin/sh", "-c", "exit 7"});
+  const core::ExitStatus st = fail.wait();
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.code, 7);
+  EXPECT_FALSE(st.success());
+
+  auto sleeper = core::ChildProcess::spawn({"/bin/sh", "-c", "sleep 30"});
+  EXPECT_FALSE(sleeper.poll().has_value());  // still running
+  sleeper.kill_hard();
+  const core::ExitStatus killed = sleeper.wait();
+  EXPECT_TRUE(killed.signalled);
+  EXPECT_EQ(killed.signal, 9);
+
+  EXPECT_THROW((void)core::ChildProcess::spawn({"/nonexistent/bin/nope"}),
+               IoError);
+  EXPECT_THROW((void)core::ChildProcess::spawn({}), InvalidConfigError);
+}
+
+// -------------------------------------------------------- worker fault plans --
+
+TEST(WorkerFaultPlan, ParsesEveryClauseKind) {
+  const WorkerFaultPlan plan = WorkerFaultPlan::parse(
+      "kill@2:w0; hang@3; corrupt@1:w1:g2; slow=5.5:g*");
+  ASSERT_EQ(plan.rules.size(), 4u);
+  EXPECT_EQ(plan.rules[0].kind, WorkerFaultKind::Kill);
+  EXPECT_EQ(plan.rules[0].at, 2);
+  EXPECT_EQ(plan.rules[0].worker, 0);
+  EXPECT_EQ(plan.rules[0].generation, 0);  // default: first spawn only
+  EXPECT_EQ(plan.rules[1].kind, WorkerFaultKind::Hang);
+  EXPECT_EQ(plan.rules[1].worker, -1);  // any slot
+  EXPECT_EQ(plan.rules[2].kind, WorkerFaultKind::CorruptTail);
+  EXPECT_EQ(plan.rules[2].generation, 2);
+  EXPECT_EQ(plan.rules[3].kind, WorkerFaultKind::Slow);
+  EXPECT_DOUBLE_EQ(plan.rules[3].slow_ms, 5.5);
+  EXPECT_EQ(plan.rules[3].generation, -1);  // every spawn
+
+  EXPECT_TRUE(WorkerFaultPlan::parse("  ").empty());
+  EXPECT_THROW((void)WorkerFaultPlan::parse("explode@1"), InvalidConfigError);
+  EXPECT_THROW((void)WorkerFaultPlan::parse("kill@0"), InvalidConfigError);
+  EXPECT_THROW((void)WorkerFaultPlan::parse("kill@2:x9"), InvalidConfigError);
+  EXPECT_THROW((void)WorkerFaultPlan::parse("slow=-3"), InvalidConfigError);
+}
+
+TEST(WorkerFaultPlan, ToStringParsesBack) {
+  const std::string spec = "kill@2:w0; hang@3; corrupt@1:w1:g2; slow=5.5:g*";
+  const WorkerFaultPlan plan = WorkerFaultPlan::parse(spec);
+  const WorkerFaultPlan again = WorkerFaultPlan::parse(plan.to_string());
+  ASSERT_EQ(again.rules.size(), plan.rules.size());
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(again.rules[i].kind, plan.rules[i].kind);
+    EXPECT_EQ(again.rules[i].worker, plan.rules[i].worker);
+    EXPECT_EQ(again.rules[i].generation, plan.rules[i].generation);
+    EXPECT_EQ(again.rules[i].at, plan.rules[i].at);
+    EXPECT_DOUBLE_EQ(again.rules[i].slow_ms, plan.rules[i].slow_ms);
+  }
+}
+
+TEST(WorkerFaultPlan, FiltersBySlotAndGeneration) {
+  const WorkerFaultPlan plan =
+      WorkerFaultPlan::parse("kill@1:w0; kill@2:w1:g*; slow=3");
+  EXPECT_EQ(plan.for_worker(0, 0).size(), 2u);  // kill:w0:g0 + slow:g0
+  EXPECT_EQ(plan.for_worker(0, 1).size(), 0u);  // respawn outlives g0 rules
+  EXPECT_EQ(plan.for_worker(1, 5).size(), 1u);  // kill:g* fires every spawn
+}
+
+// ------------------------------------------------------------ journal merge --
+
+autotune::CheckpointKey small_key() {
+  autotune::CheckpointKey key;
+  key.method = "full-slice";
+  key.device = "GeForce GTX580";
+  key.extent = {64, 32, 8};
+  key.elem_size = 4;
+  key.kind = "exhaustive";
+  return key;
+}
+
+autotune::TuneEntry entry_for(int tx, double mpoints) {
+  autotune::TuneEntry e;
+  e.config = {tx, 2, 1, 1, 1};
+  e.executed = true;
+  e.timing.valid = true;
+  e.timing.mpoints_per_s = mpoints;
+  e.timing.seconds = 1.0 / mpoints;
+  return e;
+}
+
+TEST(MergeJournals, DeduplicatesAcrossShardsFirstRecordWins) {
+  const std::string dir = temp_dir("ipd_merge");
+  const autotune::CheckpointKey key = small_key();
+  {
+    autotune::CheckpointJournal a;
+    a.open(dir + "/worker_0.iptj", key);
+    a.append(entry_for(16, 100.0));
+    a.append(entry_for(32, 200.0));
+  }
+  {
+    autotune::CheckpointJournal b;
+    b.open(dir + "/worker_1.iptj", key);
+    b.append(entry_for(32, 200.0));  // re-measured during failover
+    b.append(entry_for(64, 300.0));
+  }
+  autotune::MergeStats stats;
+  const std::vector<autotune::TuneEntry> merged = autotune::merge_journals(
+      {dir + "/worker_0.iptj", dir + "/worker_1.iptj", dir + "/missing.iptj"},
+      key, &stats);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.missing_files, 1u);
+}
+
+TEST(MergeJournals, SkipsForeignFingerprintsAndToleratesTornTails) {
+  const std::string dir = temp_dir("ipd_merge_torn");
+  const autotune::CheckpointKey key = small_key();
+  autotune::CheckpointKey other = key;
+  other.kind = "model";
+  {
+    autotune::CheckpointJournal a;
+    a.open(dir + "/worker_0.iptj", key);
+    a.append(entry_for(16, 100.0));
+  }
+  {
+    autotune::CheckpointJournal b;
+    b.open(dir + "/worker_1.iptj", other);  // wrong sweep entirely
+    b.append(entry_for(32, 200.0));
+  }
+  {
+    // Torn tail: a length/CRC frame whose payload never made it to disk.
+    std::FILE* f = std::fopen((dir + "/worker_0.iptj").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t len = 4096, crc = 0;
+    std::fwrite(&len, sizeof(len), 1, f);
+    std::fwrite(&crc, sizeof(crc), 1, f);
+    std::fclose(f);
+  }
+  autotune::MergeStats stats;
+  const auto merged = autotune::merge_journals(
+      {dir + "/worker_0.iptj", dir + "/worker_1.iptj"}, key, &stats);
+  EXPECT_EQ(merged.size(), 1u);  // foreign journal contributes nothing
+  EXPECT_EQ(stats.mismatched_files, 1u);
+  EXPECT_EQ(stats.torn_tails, 1u);
+  EXPECT_EQ(merged[0].config.tx, 16);
+}
+
+// ----------------------------------------------------- inter-node cost term --
+
+TEST(InternodeExchange, ZeroForSingleNodePositiveAndBandwidthSensitive) {
+  const Extent3 full{128, 64, 16};
+  multigpu::MultiGpuOptions opts;
+  EXPECT_EQ(multigpu::internode_exchange_seconds(full, 2, 4, 1, opts), 0.0);
+  const double slow = multigpu::internode_exchange_seconds(full, 2, 4, 4, opts);
+  EXPECT_GT(slow, 0.0);
+  opts.internode_bw_gbs = 100.0;  // faster interconnect, cheaper halo
+  const double fast = multigpu::internode_exchange_seconds(full, 2, 4, 4, opts);
+  EXPECT_LT(fast, slow);
+  opts.internode_latency_us = 5000.0;
+  const double laggy = multigpu::internode_exchange_seconds(full, 2, 4, 4, opts);
+  EXPECT_GT(laggy, fast);
+}
+
+// ------------------------------------------------------- end-to-end sweeps --
+
+SweepSpec test_spec() {
+  SweepSpec spec;
+  spec.method = "fullslice";
+  spec.device = "gtx580";
+  spec.extent = {128, 64, 16};
+  spec.order = 4;
+  spec.kind = "exhaustive";
+  return spec;
+}
+
+SupervisorOptions base_options(const std::string& dir) {
+  SupervisorOptions opts;
+  opts.spec = test_spec();
+  opts.workers = 2;
+  opts.checkpoint_dir = dir;
+  opts.worker_exe = INPLANE_SUPERVISOR_BIN;
+  opts.backoff_initial_ms = 5.0;
+  opts.poll_interval_ms = 5.0;
+  return opts;
+}
+
+autotune::TuneResult single_process_reference() {
+  const SweepSpec spec = test_spec();
+  return autotune::exhaustive_tune<float>(
+      resolve_method(spec.method), StencilCoeffs::diffusion(spec.radius()),
+      resolve_device(spec.device), spec.extent);
+}
+
+/// Bit-identical best: same config and the measured timing doubles match
+/// to the last bit (the simulator is deterministic; merge must not
+/// perturb anything).
+void expect_same_best(const autotune::TuneResult& got,
+                      const autotune::TuneResult& want) {
+  ASSERT_TRUE(got.found());
+  ASSERT_TRUE(want.found());
+  EXPECT_EQ(got.best.config, want.best.config);
+  EXPECT_EQ(std::memcmp(&got.best.timing.seconds, &want.best.timing.seconds,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&got.best.timing.mpoints_per_s,
+                        &want.best.timing.mpoints_per_s, sizeof(double)),
+            0);
+}
+
+TEST(DistributedSweep, MatchesSingleProcessBitForBit) {
+  const std::string dir = temp_dir("ipd_e2e_clean");
+  const SweepReport report = run_distributed_sweep(base_options(dir));
+  const autotune::TuneResult ref = single_process_reference();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.workers_lost, 0u);
+  EXPECT_EQ(report.result.executed, ref.executed);
+  EXPECT_EQ(report.result.candidates, ref.candidates);
+  expect_same_best(report.result, ref);
+}
+
+TEST(DistributedSweep, KilledWorkerFailsOverAndBestIsUnchanged) {
+  const std::string dir = temp_dir("ipd_e2e_kill");
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "kill@1:w0";  // first spawn of slot 0 dies early
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_GE(report.workers_lost, 1u);
+  EXPECT_GE(report.workers_spawned, 3u);  // the respawn
+  EXPECT_FALSE(report.per_worker[0].dead);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, PermanentDeathReshardsOntoSurvivors) {
+  const std::string dir = temp_dir("ipd_e2e_reshard");
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "kill@1:w0:g*";  // every spawn of slot 0 dies
+  opts.retry_budget = 1;
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.per_worker[0].dead);
+  EXPECT_GT(report.candidates_resharded, 0u);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, CorruptJournalTailIsDroppedOnRespawn) {
+  const std::string dir = temp_dir("ipd_e2e_corrupt");
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "corrupt@2:w1";
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_GE(report.workers_lost, 1u);
+  // The two pre-crash records survive the torn tail and are not re-measured.
+  EXPECT_GE(report.per_worker[1].measured, 2u);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, HungWorkerIsDetectedKilledAndReplaced) {
+  const std::string dir = temp_dir("ipd_e2e_hang");
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "hang@1:w0";
+  opts.heartbeat_deadline_ms = 300.0;
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_GE(report.workers_lost, 1u);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, SlowWorkerIsNotMistakenForHung) {
+  const std::string dir = temp_dir("ipd_e2e_slow");
+  SupervisorOptions opts = base_options(dir);
+  // Per-candidate delay well under the deadline: heartbeats keep
+  // advancing, so no kill — even though the whole shard takes far longer
+  // than heartbeat_deadline_ms in total.
+  opts.worker_fault_spec = "slow=2:g*";
+  opts.heartbeat_deadline_ms = 2000.0;
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.workers_lost, 0u);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, SupervisorDeadlineKillsWorkersAndRaises) {
+  const std::string dir = temp_dir("ipd_e2e_deadline");
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "slow=50:g*";  // make the sweep outlast the budget
+  CancelToken cancel;
+  cancel.set_deadline_ms(200.0);
+  opts.cancel = &cancel;
+  EXPECT_THROW((void)run_distributed_sweep(opts), ResourceExhaustedError);
+  // The journals must be merge-clean for a later --resume.
+  autotune::MergeStats stats;
+  (void)autotune::merge_journals(
+      {journal_path(dir, 0), journal_path(dir, 1)},
+      checkpoint_key(opts.spec, opts.spec.extent), &stats);
+  EXPECT_EQ(stats.mismatched_files, 0u);
+}
+
+TEST(DistributedSweep, ResumesAfterSupervisorIsKilled) {
+  const std::string dir = temp_dir("ipd_e2e_sup_kill");
+  // Run the real supervisor binary, slowed enough to be killed mid-sweep.
+  auto sup = core::ChildProcess::spawn(
+      {INPLANE_SUPERVISOR_BIN, "--workers", "2", "--checkpoint-dir", dir,
+       "--method", "fullslice", "--order", "4", "--device", "gtx580", "--nx",
+       "128", "--ny", "64", "--nz", "16", "--worker-fault-plan", "slow=15:g*"});
+  // Wait until some measurements are journaled, then SIGKILL the supervisor.
+  const auto t0 = std::chrono::steady_clock::now();
+  const autotune::CheckpointKey key =
+      checkpoint_key(test_spec(), test_spec().extent);
+  for (;;) {
+    std::size_t measured = 0;
+    for (int slot = 0; slot < 2; ++slot) {
+      measured +=
+          autotune::read_journal(journal_path(dir, slot), key).entries.size();
+    }
+    if (measured >= 4) break;
+    ASSERT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(60))
+        << "workers never journaled any measurements";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  sup.kill_hard();
+  EXPECT_TRUE(sup.wait().signalled);
+  // The orphaned workers keep measuring their shard files; let them
+  // drain (they exit on their own) so the resume below owns the journals.
+  std::uintmax_t last_size = 0;
+  for (int stable = 0; stable < 10;) {
+    std::uintmax_t size = 0;
+    std::error_code ec;
+    for (int slot = 0; slot < 2; ++slot) {
+      size += fs::exists(journal_path(dir, slot))
+                  ? fs::file_size(journal_path(dir, slot), ec)
+                  : 0;
+    }
+    stable = size == last_size ? stable + 1 : 0;
+    last_size = size;
+    ASSERT_LT(std::chrono::steady_clock::now() - t0, std::chrono::minutes(3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  SupervisorOptions opts = base_options(dir);
+  opts.resume = true;  // adopt the dead supervisor's journals
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  EXPECT_GE(report.resumed_entries, 4u);
+  expect_same_best(report.result, single_process_reference());
+}
+
+TEST(DistributedSweep, SlabModeComposesInternodeExchange) {
+  const std::string dir = temp_dir("ipd_e2e_slabs");
+  SupervisorOptions opts = base_options(dir);
+  opts.mode = PartitionMode::Slabs;
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  ASSERT_TRUE(report.result.found());
+  // The composed full-grid time charges the inter-node halo exchange on
+  // top of the slab time, so slab throughput must trail the ideal
+  // single-node sweep of the same grid.
+  const autotune::TuneResult ref = single_process_reference();
+  EXPECT_LT(report.result.best.timing.mpoints_per_s,
+            ref.best.timing.mpoints_per_s);
+  multigpu::MultiGpuOptions mg;
+  const double exchange = multigpu::internode_exchange_seconds(
+      opts.spec.extent, opts.spec.radius(), opts.spec.elem_size(), opts.workers,
+      mg);
+  EXPECT_GT(report.result.best.timing.seconds, exchange);
+}
+
+TEST(DistributedSweep, ModelGuidedSweepMatchesSingleProcess) {
+  const std::string dir = temp_dir("ipd_e2e_model");
+  SupervisorOptions opts = base_options(dir);
+  opts.spec.kind = "model";
+  opts.spec.beta = 0.25;
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+  const SweepSpec spec = opts.spec;
+  const autotune::TuneResult ref = autotune::model_guided_tune<float>(
+      resolve_method(spec.method), StencilCoeffs::diffusion(spec.radius()),
+      resolve_device(spec.device), spec.extent, spec.beta);
+  EXPECT_EQ(report.result.executed, ref.executed);
+  expect_same_best(report.result, ref);
+}
+
+TEST(DistributedSweep, BumpsSupervisionMetrics) {
+  const std::string dir = temp_dir("ipd_e2e_metrics");
+  metrics::set_enabled(true);
+  auto& reg = metrics::Registry::global();
+  const auto value_of = [&](const std::string& name) {
+    for (const metrics::SnapshotEntry& e : reg.snapshot()) {
+      if (e.name == name) return e.value;
+    }
+    return 0.0;
+  };
+  const double spawned0 = value_of("distributed.workers_spawned");
+  const double lost0 = value_of("distributed.workers_lost");
+
+  SupervisorOptions opts = base_options(dir);
+  opts.worker_fault_spec = "kill@1:w0";
+  const SweepReport report = run_distributed_sweep(opts);
+  EXPECT_TRUE(report.complete);
+
+  EXPECT_GE(value_of("distributed.workers_spawned") - spawned0, 3.0);
+  EXPECT_GE(value_of("distributed.workers_lost") - lost0, 1.0);
+  metrics::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace inplane

@@ -19,6 +19,7 @@
 #include "core/status.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "kernels/runner.hpp"
+#include "metrics/metrics.hpp"
 #include "multigpu/multi_gpu.hpp"
 
 namespace inplane {
@@ -497,6 +498,111 @@ TEST(Checkpoint, FingerprintMismatchDiscardsTheJournal) {
   EXPECT_THROW(static_cast<void>(autotune::exhaustive_tune<float>(
                    Method::InPlaneFullSlice, cs, dev, other_extent, {}, other)),
                std::runtime_error);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".orphan");
+}
+
+TEST(Checkpoint, FingerprintMismatchPreservesOrphanAndCountsDiscard) {
+  const std::string path = temp_path("ipt_orphan.journal");
+  const std::string orphan = path + ".orphan";
+  std::filesystem::remove(path);
+  std::filesystem::remove(orphan);
+
+  autotune::CheckpointKey key;
+  key.method = "full-slice";
+  key.device = "GeForce GTX580";
+  key.extent = {64, 32, 8};
+  key.elem_size = 4;
+  key.kind = "exhaustive";
+
+  autotune::TuneEntry measured;
+  measured.config = {32, 2, 1, 1, 1};
+  measured.executed = true;
+  measured.timing.valid = true;
+  measured.timing.mpoints_per_s = 123.0;
+  {
+    autotune::CheckpointJournal j;
+    j.open(path, key);
+    j.append(measured);
+  }
+
+  metrics::set_enabled(true);
+  const auto discards = [] {
+    for (const auto& e : metrics::Registry::global().snapshot()) {
+      if (e.name == "autotune.checkpoint.fingerprint_discards") return e.value;
+    }
+    return 0.0;
+  };
+  const double before = discards();
+
+  // Opening the same path for a *different* sweep must not destroy the
+  // old progress: it moves aside as <path>.orphan and a fresh journal
+  // takes its place.
+  autotune::CheckpointKey other = key;
+  other.kind = "model";
+  {
+    autotune::CheckpointJournal j;
+    j.open(path, other);
+    EXPECT_TRUE(j.loaded().empty());
+  }
+  EXPECT_EQ(discards() - before, 1.0);
+  metrics::set_enabled(false);
+
+  // The orphan is a plain IPTJ2 journal, still resumable under its key.
+  ASSERT_TRUE(std::filesystem::exists(orphan));
+  const autotune::JournalContents contents = autotune::read_journal(orphan, key);
+  EXPECT_TRUE(contents.fingerprint_match);
+  ASSERT_EQ(contents.entries.size(), 1u);
+  EXPECT_EQ(contents.entries[0].config.tx, 32);
+  std::filesystem::remove(path);
+  std::filesystem::remove(orphan);
+}
+
+TEST(Checkpoint, SurvivesCrashBetweenHeaderWriteAndRename) {
+  // Simulated torn rename: the process died after writing the temp
+  // header but before the atomic rename — a stray <path>.tmp exists and
+  // the journal does not.  open() must initialise cleanly regardless.
+  const std::string path = temp_path("ipt_torn_rename.journal");
+  std::filesystem::remove(path);
+  autotune::CheckpointKey key;
+  key.method = "full-slice";
+  key.device = "GeForce GTX580";
+  key.extent = {64, 32, 8};
+  key.elem_size = 4;
+  key.kind = "exhaustive";
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "IPTJ";  // half-written header
+  }
+  autotune::TuneEntry measured;
+  measured.config = {16, 4, 1, 1, 1};
+  measured.executed = true;
+  measured.timing.valid = true;
+  measured.timing.mpoints_per_s = 55.0;
+  {
+    autotune::CheckpointJournal j;
+    j.open(path, key);
+    EXPECT_TRUE(j.loaded().empty());
+    j.append(measured);
+  }
+  // A half-written header at the *journal* path itself (rename landed,
+  // fsync did not, power cut) is equally recoverable: not a valid
+  // header, so a fresh journal replaces it.
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn << "IPT";
+  }
+  {
+    autotune::CheckpointJournal j;
+    j.open(path, key);
+    EXPECT_TRUE(j.loaded().empty());
+    j.append(measured);
+  }
+  {
+    autotune::CheckpointJournal j;
+    j.open(path, key);
+    EXPECT_EQ(j.loaded().size(), 1u);
+  }
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regression test for the tune command's signal handling: a SIGINT raised
+# mid-sweep (in-process, via the hidden --raise-sigint-after knob) must
+# cancel gracefully — journal flushed, exit code 5 (ResourceExhausted),
+# NOT a signal death — and a --resume run must finish from the journal
+# without re-measuring what the interrupted run already journaled.
+set -u
+
+INPLANE="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+JOURNAL="$DIR/tune.iptj"
+
+COMMON=(tune --method fullslice --order 4 --device gtx580
+        --nx 128 --ny 64 --nz 16 --threads 1 --checkpoint "$JOURNAL")
+
+"$INPLANE" "${COMMON[@]}" --raise-sigint-after 3 > "$DIR/first.log" 2>&1
+code=$?
+if [ "$code" -ne 5 ]; then
+  echo "FAIL: interrupted tune exited $code, want 5 (deadline/cancelled path)"
+  cat "$DIR/first.log"
+  exit 1
+fi
+if [ ! -s "$JOURNAL" ]; then
+  echo "FAIL: interrupted tune left no checkpoint journal"
+  exit 1
+fi
+
+"$INPLANE" "${COMMON[@]}" --resume > "$DIR/second.log" 2>&1
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: resumed tune exited $code, want 0"
+  cat "$DIR/second.log"
+  exit 1
+fi
+if ! grep -q "resumed [1-9][0-9]* measurement" "$DIR/second.log"; then
+  echo "FAIL: resumed tune did not report resumed measurements"
+  cat "$DIR/second.log"
+  exit 1
+fi
+echo "ok: SIGINT -> exit 5 with journal; --resume completed from it"

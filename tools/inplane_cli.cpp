@@ -8,6 +8,8 @@
 //   inplane model  --method fullslice --order 8 --device c2070 --tx 64 --ty 4
 //   inplane codegen --method fullslice --order 8 --tx 64 --ty 4 -o kernel.cu
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +69,36 @@ struct Governance {
     return cancel ? &*cancel : nullptr;
   }
   [[nodiscard]] MemBudget* mem() { return budget ? &*budget : nullptr; }
+};
+
+/// Signal-to-cancellation bridge for `tune`: SIGINT/SIGTERM cancel the
+/// sweep's token instead of killing the process mid-measurement, so the
+/// in-flight candidate finishes, every journaled record stays flushed,
+/// and the process leaves through the regular cancellation path —
+/// ResourceExhausted, exit code 5 — after which `--resume` picks the
+/// sweep up where Ctrl-C left it.  CancelToken::cancel() is one relaxed
+/// atomic store, so the handler is async-signal-safe.
+std::atomic<CancelToken*> g_signal_cancel{nullptr};
+
+void tune_signal_handler(int) {
+  if (CancelToken* tok = g_signal_cancel.load()) tok->cancel();
+}
+
+/// Installs the bridge for the lifetime of one tune command and restores
+/// default signal disposition on the way out.
+struct SignalCancelScope {
+  explicit SignalCancelScope(CancelToken* tok) {
+    g_signal_cancel.store(tok);
+    std::signal(SIGINT, tune_signal_handler);
+    std::signal(SIGTERM, tune_signal_handler);
+  }
+  ~SignalCancelScope() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_signal_cancel.store(nullptr);
+  }
+  SignalCancelScope(const SignalCancelScope&) = delete;
+  SignalCancelScope& operator=(const SignalCancelScope&) = delete;
 };
 
 Args parse(int argc, char** argv, int first) {
@@ -233,9 +265,15 @@ int cmd_tune(const Args& args) {
   // --threads 1 pins the sweep to the serial path (reproducible wall-clock
   // benchmarking); 0 = all hardware threads.  Results are identical either way.
   Governance gov(args);
+  // The sweep always runs under a cancel token: --deadline-ms arms one
+  // with a deadline, and either way SIGINT/SIGTERM cancel it (graceful
+  // interruption with the journal intact) instead of killing the process.
+  CancelToken signal_cancel;
+  CancelToken* cancel = gov.cancel ? &*gov.cancel : &signal_cancel;
+  SignalCancelScope signal_scope(cancel);
   autotune::TuneOptions topt;
   topt.policy = ExecPolicy{args.geti("threads", 0)};
-  topt.policy.cancel = gov.token();
+  topt.policy.cancel = cancel;
   topt.max_attempts = args.geti("retries", 3);
   topt.checkpoint_path = args.get("checkpoint", "");
   topt.resume = args.has("resume");
@@ -245,6 +283,15 @@ int cmd_tune(const Args& args) {
   if (args.has("fault-plan")) {
     injector.emplace(gpusim::FaultPlan::parse(args.get("fault-plan", "")));
     topt.faults = &*injector;
+  }
+  // Undocumented self-test knob: raise a real SIGINT from inside the
+  // sweep once N fresh measurements are journaled — proves the handler
+  // path (cancel -> flush -> exit 5 -> --resume) without an external kill.
+  if (args.has("raise-sigint-after")) {
+    const auto after = static_cast<std::size_t>(args.geti("raise-sigint-after", 1));
+    topt.on_journal_append = [after](std::size_t fresh) {
+      if (fresh == after) (void)std::raise(SIGINT);
+    };
   }
 
   autotune::TuneResult result;
@@ -359,7 +406,9 @@ int usage() {
       "                                     [--fault-plan spec] [--retries N]\n"
       "                                     [--abft: contain corruption in-place]\n"
       "                                     [--deadline-ms N] [--mem-budget bytes]\n"
-      "                                     [--checkpoint file] [--resume])\n"
+      "                                     [--checkpoint file] [--resume];\n"
+      "                                     SIGINT/SIGTERM cancel gracefully:\n"
+      "                                     journal flushed, exit 5, resumable\n"
       "  model    section-VI prediction    (same keys as run)\n"
       "global flags:\n"
       "  --no-trace-memo    disable block-class trace memoization: trace every\n"

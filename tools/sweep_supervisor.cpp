@@ -1,0 +1,228 @@
+// sweep_supervisor — crash-tolerant distributed tuning sweeps.
+//
+//   sweep_supervisor --workers 4 --partition candidates
+//       --checkpoint-dir /tmp/sweep --method fullslice --order 8
+//       --device gtx580 [--kind model --beta 0.05] [--dp]
+//       [--deadline-ms 60000] [--resume]
+//       [--worker-fault-plan "kill@2:w0"] [--faults "seed=1; ..."]
+//
+// The same binary re-enters as a worker process via the hidden --worker
+// mode; the supervisor spawns `--workers` of them, tracks their
+// heartbeats, respawns crashed ones (their shard journals make respawns
+// resume, not re-measure), reshards dead workers' leftovers onto
+// survivors, and merges the shard journals into the same best config —
+// bit for bit — as the single-process `inplane tune` sweep.
+//
+// Exit codes extend the repo taxonomy: 0 ok, 2 invalid configuration,
+// 4 I/O failure, 5 deadline exceeded / cancelled, 6 sweep incomplete
+// (every worker slot died and work was left unmeasured), 1 other.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "core/status.hpp"
+#include "distributed/supervisor.hpp"
+#include "distributed/worker.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace inplane;
+using namespace inplane::distributed;
+
+constexpr int kExitIncomplete = 6;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  [[nodiscard]] int geti(const std::string& key, int dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double getf(const std::string& key, double dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return kv.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.kv[key] = argv[++i];
+    } else {
+      args.kv[key] = "1";  // flag
+    }
+  }
+  return args;
+}
+
+SweepSpec spec_from(const Args& args) {
+  SweepSpec spec;
+  spec.method = args.get("method", "fullslice");
+  spec.device = args.get("device", "gtx580");
+  spec.extent = {args.geti("nx", 512), args.geti("ny", 512), args.geti("nz", 64)};
+  spec.order = args.geti("order", 8);
+  spec.double_precision = args.has("dp");
+  spec.kind = args.get("kind", "exhaustive");
+  spec.beta = args.getf("beta", 0.05);
+  return spec;
+}
+
+/// This binary's own path, for respawning itself as workers.  argv[0] is
+/// the fallback; /proc/self/exe wins when available because argv[0] may
+/// be a bare name the spawn shim will not PATH-search.
+std::string self_exe(const char* argv0) {
+#ifndef _WIN32
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+#endif
+  return std::string(argv0);
+}
+
+int run_worker_mode(const Args& args) {
+  WorkerArgs w;
+  w.spec = spec_from(args);
+  w.mode = partition_mode_from(args.get("partition", "candidates"));
+  w.workers = args.geti("workers", 1);
+  w.slot = args.geti("slot", 0);
+  w.generation = args.geti("generation", 0);
+  w.shard_path = args.get("shard", "");
+  w.journal_path = args.get("journal", "");
+  w.heartbeat_path = args.get("heartbeat", "");
+  w.fault_spec = args.get("worker-fault-plan", "");
+  w.sim_fault_spec = args.get("faults", "");
+  w.max_attempts = args.geti("max-attempts", 3);
+  w.abft = args.has("abft");
+  return run_worker(w);
+}
+
+void print_report(const SweepReport& report) {
+  const autotune::TuneResult& r = report.result;
+  if (r.found()) {
+    std::printf("best (TX, TY, RX, RY) = %s  vec=%d\n",
+                r.best.config.to_string().c_str(), r.best.config.vec);
+    std::printf("  %.1f MPoint/s (%.3f ms per sweep)\n",
+                r.best.timing.mpoints_per_s, r.best.timing.seconds * 1e3);
+  } else {
+    std::printf("no valid configuration measured\n");
+  }
+  std::printf(
+      "sweep: %zu candidates, %zu executed, %zu quarantined, %zu resumed\n",
+      r.candidates, r.executed, r.quarantined, report.resumed_entries);
+  std::printf(
+      "supervision: %zu spawned, %zu lost, %zu resharded, %zu merge dups\n",
+      report.workers_spawned, report.workers_lost, report.candidates_resharded,
+      report.journal_merge_dups);
+  for (const WorkerAttribution& w : report.per_worker) {
+    std::printf("  worker %d: %d spawn(s), %zu measured%s%s  [%s]\n", w.slot,
+                w.spawns, w.measured, w.lost_process ? ", lost a process" : "",
+                w.dead ? ", DEAD" : "", w.last_exit.c_str());
+  }
+  if (!report.complete) {
+    std::printf("INCOMPLETE: %zu candidate(s) unmeasured (all assigned "
+                "workers died)\n",
+                report.unmeasured);
+  }
+}
+
+int run_supervisor_mode(const Args& args, const char* argv0) {
+  SupervisorOptions opts;
+  opts.spec = spec_from(args);
+  opts.workers = args.geti("workers", 2);
+  opts.mode = partition_mode_from(args.get("partition", "candidates"));
+  opts.checkpoint_dir = args.get("checkpoint-dir", "");
+  opts.worker_exe = args.get("worker-exe", self_exe(argv0));
+  opts.heartbeat_deadline_ms = args.getf("heartbeat-deadline-ms", 5000.0);
+  opts.poll_interval_ms = args.getf("poll-interval-ms", 10.0);
+  opts.retry_budget = args.geti("retry-budget", 2);
+  opts.backoff_initial_ms = args.getf("backoff-ms", 50.0);
+  opts.resume = args.has("resume");
+  opts.worker_fault_spec = args.get("worker-fault-plan", "");
+  opts.sim_fault_spec = args.get("faults", "");
+  opts.max_attempts = args.geti("max-attempts", 3);
+  opts.abft = args.has("abft");
+  opts.internode_bw_gbs = args.getf("internode-bw-gbs", 1.0);
+  opts.internode_latency_us = args.getf("internode-latency-us", 50.0);
+
+  CancelToken deadline;
+  if (args.has("deadline-ms")) {
+    deadline.set_deadline_ms(args.getf("deadline-ms", 0.0));
+    opts.cancel = &deadline;
+  }
+  if (args.has("metrics")) metrics::set_enabled(true);
+
+  const SweepReport report = run_distributed_sweep(opts);
+  print_report(report);
+  if (args.has("metrics")) {
+    for (const metrics::SnapshotEntry& e : metrics::Registry::global().snapshot()) {
+      if (e.kind != metrics::SnapshotEntry::Kind::Histogram) {
+        std::printf("%-44s %.0f\n", e.name.c_str(), e.value);
+      }
+    }
+  }
+  return report.complete ? 0 : kExitIncomplete;
+}
+
+void usage() {
+  std::fputs(
+      "sweep_supervisor — distributed, crash-tolerant tuning sweeps\n"
+      "  --workers N              worker process count (default 2)\n"
+      "  --partition MODE         candidates | slabs (default candidates)\n"
+      "  --checkpoint-dir DIR     shard journals / heartbeats (required)\n"
+      "  --method M --device D --order K --nx --ny --nz [--dp]\n"
+      "  --kind exhaustive|model  sweep flavour (--beta F for model)\n"
+      "  --deadline-ms MS         supervisor wall-clock budget (exit 5)\n"
+      "  --resume                 adopt journals from an interrupted run\n"
+      "  --heartbeat-deadline-ms  hung-worker detection (default 5000)\n"
+      "  --retry-budget N         respawns per worker slot (default 2)\n"
+      "  --backoff-ms MS          initial respawn backoff (default 50)\n"
+      "  --worker-fault-plan P    kill@K[:wI][:gI|:g*] | hang@K | corrupt@K |\n"
+      "                           slow=MS   (';'-separated; test harness)\n"
+      "  --faults P               gpusim measurement fault plan\n"
+      "  --metrics                print the metrics registry on exit\n"
+      "exit codes: 0 ok, 2 bad config, 4 I/O, 5 deadline, 6 incomplete\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv, 1);
+  try {
+    if (args.has("help")) {
+      usage();
+      return 0;
+    }
+    if (args.has("worker")) {
+      return run_worker_mode(args);
+    }
+    if (!args.has("checkpoint-dir")) {
+      usage();
+      throw InvalidConfigError("--checkpoint-dir is required");
+    }
+    return run_supervisor_mode(args, argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_supervisor: %s\n", e.what());
+    return exit_code(status_of(e));
+  }
+}
