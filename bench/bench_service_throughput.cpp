@@ -1,0 +1,150 @@
+// Tuning service throughput: a cold populate phase (every key sweeps
+// once) followed by a concurrent serve phase where simulated clients
+// hammer the warm wisdom cache.  The deterministic headlines — hit rate,
+// sweep accounting, and bit-identity of every served answer against a
+// direct single-process tune() — gate the bench; requests/s is
+// wall-clock and marked noisy (a 1-core CI container serves far fewer
+// requests than a workstation, but it must serve the *same bytes*).
+//
+//   $ ./bench_service_throughput [--smoke]
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "bench_common.hpp"
+#include "report/stats.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace inplane;
+using service::TuneOutcome;
+using service::TuneRequest;
+using service::TuningService;
+using service::WisdomKey;
+
+std::vector<WisdomKey> bench_keys(bench::Session& session) {
+  std::vector<WisdomKey> keys;
+  for (const char* method : {"fullslice", "classical"}) {
+    for (int order : session.orders()) {
+      WisdomKey key;
+      key.method = method;
+      key.device = "gtx580";
+      key.order = order;
+      key.extent = session.smoke() ? Extent3{64, 32, 8} : session.grid();
+      key.kind = "model";
+      key.beta = 0.05;
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+int run(bench::Session& session) {
+  const std::vector<WisdomKey> keys = bench_keys(session);
+  const int clients = session.smoke() ? 8 : 32;
+  const int requests_per_client = session.smoke() ? 16 : 64;
+  // One request in eight bypasses the cache (a client that insists on a
+  // fresh sweep) — the only sweeps the serve phase is allowed to run.
+  const int no_cache_every = 8;
+
+  TuningService svc(service::ServiceOptions{});
+
+  // Single-process oracle per key, for the bit-identity gate.
+  std::vector<std::string> oracle;
+  oracle.reserve(keys.size());
+  for (const WisdomKey& key : keys) {
+    oracle.push_back(autotune::encode_tune_entry(service::direct_tune(key)));
+  }
+
+  // --- Phase 1: cold populate — every key sweeps exactly once. -------------
+  const report::Stopwatch populate_watch;
+  bool identical = true;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    TuneRequest req;
+    req.key = keys[i];
+    identical = identical && svc.tune(req).entry_payload() == oracle[i];
+  }
+  const double populate_wall = populate_watch.seconds();
+  const service::ServiceCounters after_populate = svc.counters();
+  const bool populate_swept_once_per_key =
+      after_populate.sweeps == keys.size() && after_populate.cache_hits == 0;
+
+  // --- Phase 2: concurrent serve against the warm cache. -------------------
+  std::atomic<std::size_t> mismatches{0};
+  const report::Stopwatch serve_watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < requests_per_client; ++r) {
+        TuneRequest req;
+        req.key = keys[static_cast<std::size_t>(c + r) % keys.size()];
+        req.no_cache = (r % no_cache_every) == 0;
+        const TuneOutcome out = svc.tune(req);
+        const std::string& want = oracle[static_cast<std::size_t>(c + r) % keys.size()];
+        if (out.entry_payload() != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double serve_wall = serve_watch.seconds();
+
+  const service::ServiceCounters c = svc.counters();
+  const std::uint64_t serve_requests = c.requests - after_populate.requests;
+  const std::uint64_t serve_sweeps = c.sweeps - after_populate.sweeps;
+  const std::uint64_t expected_no_cache =
+      static_cast<std::uint64_t>(clients) *
+      static_cast<std::uint64_t>((requests_per_client + no_cache_every - 1) /
+                                 no_cache_every);
+  // Every cached request hit (keys never evict here); every bypass swept.
+  const double hit_rate =
+      static_cast<double>(c.cache_hits) / static_cast<double>(serve_requests);
+  const bool accounting_exact = c.cache_hits == serve_requests - expected_no_cache &&
+                                serve_sweeps == expected_no_cache &&
+                                c.failures == 0 && c.dedup_joins == 0;
+  identical = identical && mismatches.load() == 0;
+
+  report::Table table({"Phase", "Requests", "Sweeps", "Hits", "Wall [s]",
+                       "Req/s"});
+  table.add_row({"populate", std::to_string(after_populate.requests),
+                 std::to_string(after_populate.sweeps), "0",
+                 report::fmt(populate_wall, 3),
+                 report::fmt(static_cast<double>(after_populate.requests) /
+                                 populate_wall, 1)});
+  table.add_row({"serve", std::to_string(serve_requests),
+                 std::to_string(serve_sweeps), std::to_string(c.cache_hits),
+                 report::fmt(serve_wall, 3),
+                 report::fmt(static_cast<double>(serve_requests) / serve_wall, 1)});
+  session.emit(table, "tuning service throughput (warm wisdom cache)");
+  std::printf("bit-identity cross-check: %s\n",
+              identical ? "every served entry matches direct_tune()"
+                        : "MISMATCH against direct_tune()");
+
+  session.set_config("keys", std::to_string(keys.size()));
+  session.set_config("clients", std::to_string(clients));
+  session.headline("bit_identical", identical ? 1.0 : 0.0, "bool");
+  session.headline("populate_swept_once_per_key",
+                   populate_swept_once_per_key ? 1.0 : 0.0, "bool");
+  session.headline("accounting_exact", accounting_exact ? 1.0 : 0.0, "bool");
+  session.headline("hit_rate", hit_rate, "ratio");
+  session.headline("requests_per_s",
+                   static_cast<double>(serve_requests) / serve_wall, "req/s",
+                   /*higher_is_better=*/true, /*noisy=*/true);
+  const int finish = session.finish();
+  return (identical && populate_swept_once_per_key && accounting_exact) ? finish
+                                                                        : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inplane::bench::Session session("service_throughput", argc, argv);
+  return run(session);
+}

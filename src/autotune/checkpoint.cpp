@@ -15,6 +15,7 @@
 #include <unistd.h>
 #endif
 
+#include "autotune/fingerprint.hpp"
 #include "core/crc32.hpp"
 #include "core/status.hpp"
 #include "metrics/metrics.hpp"
@@ -49,19 +50,6 @@ struct CkptMetrics {
 // re-initialised as a fresh sweep — decode never sees a v1 payload.
 constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '2', '\n'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
-  return fnv1a(h, s.data(), s.size());
-}
 
 // --- payload serialization (little-endian, fixed widths) -----------------
 
@@ -130,7 +118,9 @@ struct Reader {
   }
 };
 
-std::string encode_entry(const TuneEntry& e) {
+}  // namespace
+
+std::string encode_tune_entry(const TuneEntry& e) {
   std::string p;
   put_i32(p, e.config.tx);
   put_i32(p, e.config.ty);
@@ -166,7 +156,7 @@ std::string encode_entry(const TuneEntry& e) {
   return p;
 }
 
-bool decode_entry(const std::string& payload, TuneEntry& e) {
+bool decode_tune_entry(const std::string& payload, TuneEntry& e) {
   Reader r{payload};
   e.config.tx = r.i32();
   e.config.ty = r.i32();
@@ -203,6 +193,8 @@ bool decode_entry(const std::string& payload, TuneEntry& e) {
   return r.ok && r.pos == payload.size();
 }
 
+namespace {
+
 std::string config_key(const kernels::LaunchConfig& c) {
   return std::to_string(c.tx) + "," + std::to_string(c.ty) + "," +
          std::to_string(c.rx) + "," + std::to_string(c.ry) + "," +
@@ -238,7 +230,7 @@ JournalContents scan_journal(const std::string& path, std::uint64_t want,
         if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
         if (crc32(payload.data(), payload.size()) != crc) break;
         TuneEntry entry;
-        if (!decode_entry(payload, entry)) break;
+        if (!decode_tune_entry(payload, entry)) break;
         out.entries.push_back(std::move(entry));
         end += sizeof(len) + sizeof(crc) + len;
       }
@@ -316,16 +308,20 @@ std::vector<TuneEntry> merge_journals(std::vector<std::string> paths,
 }
 
 std::uint64_t CheckpointKey::fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  h = fnv1a_str(h, method);
-  h = fnv1a_str(h, "\x1f");
-  h = fnv1a_str(h, device);
-  h = fnv1a_str(h, "\x1f");
-  h = fnv1a_str(h, kind);
-  const std::int64_t dims[4] = {extent.nx, extent.ny, extent.nz,
-                                static_cast<std::int64_t>(elem_size)};
-  h = fnv1a(h, dims, sizeof(dims));
-  return h;
+  return problem_fingerprint(method, device, extent, elem_size, kind);
+}
+
+CheckpointKey make_checkpoint_key(kernels::Method method,
+                                  const gpusim::DeviceSpec& device,
+                                  const Extent3& extent, std::size_t elem_size,
+                                  const std::string& kind) {
+  CheckpointKey key;
+  key.method = kernels::to_string(method);
+  key.device = device.name;
+  key.extent = extent;
+  key.elem_size = elem_size;
+  key.kind = kind;
+  return key;
 }
 
 CheckpointJournal::~CheckpointJournal() {
@@ -441,7 +437,7 @@ std::optional<TuneEntry> CheckpointJournal::find(
 }
 
 void CheckpointJournal::append(const TuneEntry& entry) {
-  const std::string payload = encode_entry(entry);
+  const std::string payload = encode_tune_entry(entry);
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   const std::uint32_t crc = crc32(payload.data(), payload.size());
   std::lock_guard<std::mutex> lock(mutex_);

@@ -11,6 +11,16 @@
 
 namespace inplane::autotune {
 
+/// Serializes one TuneEntry into the little-endian IPTJ2 record payload
+/// (the bytes a journal CRC-frames).  Public because payload equality is
+/// the repo's definition of "bit-identical results": the wisdom cache
+/// stores these payloads verbatim and the service tests compare them.
+[[nodiscard]] std::string encode_tune_entry(const TuneEntry& entry);
+
+/// Inverse of encode_tune_entry().  Returns false (leaving @p entry in an
+/// unspecified state) when the payload is short, long or malformed.
+[[nodiscard]] bool decode_tune_entry(const std::string& payload, TuneEntry& entry);
+
 /// Identity of one tuning problem.  Journals are keyed by a fingerprint
 /// of these fields so a checkpoint written for one (method, device,
 /// extent, element size, tuner kind) can never poison the resumption of
@@ -24,6 +34,17 @@ struct CheckpointKey {
 
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
+
+/// The one CheckpointKey construction rule (method -> CLI name, device ->
+/// spec name) shared by the in-process tuners, the distributed sweep spec
+/// and the service.  Hand-rolled copies of this mapping used to live in
+/// tuner.cpp and sweep_spec.cpp; a drift between them would quietly stop
+/// journals from being adopted across layers.
+[[nodiscard]] CheckpointKey make_checkpoint_key(kernels::Method method,
+                                                const gpusim::DeviceSpec& device,
+                                                const Extent3& extent,
+                                                std::size_t elem_size,
+                                                const std::string& kind);
 
 /// Everything one journal file yields to a read-only scan: the valid
 /// record prefix (file order, no dedup), plus what the scan had to

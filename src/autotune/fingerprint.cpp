@@ -1,0 +1,56 @@
+#include "autotune/fingerprint.hpp"
+
+#include "gpusim/device.hpp"
+
+namespace inplane::autotune {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t problem_fingerprint(const std::string& method, const std::string& device,
+                                  const Extent3& extent, std::size_t elem_size,
+                                  const std::string& kind) {
+  std::uint64_t h = kFingerprintSeed;
+  h = fnv1a_str(h, method);
+  h = fnv1a_str(h, "\x1f");
+  h = fnv1a_str(h, device);
+  h = fnv1a_str(h, "\x1f");
+  h = fnv1a_str(h, kind);
+  const std::int64_t dims[4] = {extent.nx, extent.ny, extent.nz,
+                                static_cast<std::int64_t>(elem_size)};
+  h = fnv1a(h, dims, sizeof(dims));
+  return h;
+}
+
+std::uint64_t device_fingerprint(const gpusim::DeviceSpec& d) {
+  std::uint64_t h = kFingerprintSeed;
+  h = fnv1a_str(h, d.name);
+  h = fnv1a_str(h, "\x1f");
+  const std::int64_t ints[] = {
+      static_cast<std::int64_t>(d.arch), d.sm_count, d.cores_per_sm,
+      d.coalesce_bytes, d.store_segment_bytes, d.regs_per_sm, d.smem_per_sm,
+      d.max_warps_per_sm, d.max_blocks_per_sm, d.max_threads_per_block,
+      d.max_regs_per_thread, d.warp_size, d.ldst_units_per_sm, d.shared_banks};
+  h = fnv1a(h, ints, sizeof(ints));
+  const double reals[] = {d.clock_ghz,
+                          d.peak_bw_gbs,
+                          d.achieved_bw_gbs,
+                          d.mem_latency_cycles,
+                          d.dp_throughput_ratio,
+                          d.latency_hiding_warps,
+                          d.max_outstanding_loads_per_warp};
+  h = fnv1a(h, reals, sizeof(reals));
+  return h;
+}
+
+}  // namespace inplane::autotune

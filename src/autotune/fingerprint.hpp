@@ -1,0 +1,52 @@
+#pragma once
+
+// The one fingerprint vocabulary shared by every layer that keys
+// persistent state to a tuning problem: checkpoint journals
+// (CheckpointKey), distributed shard journals (sweep_spec) and the
+// service wisdom cache all hash the same fields with the same FNV-1a
+// primitives defined here.  Before this header existed the hash lived in
+// checkpoint.cpp and every caller re-built the key fields by hand; one
+// divergent copy would silently split the caches, so the primitives are
+// public and pinned by a cross-implementation equality test
+// (tests/test_service.cpp, FingerprintCrossImpl).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/extent.hpp"
+
+namespace inplane::gpusim {
+struct DeviceSpec;
+}
+
+namespace inplane::autotune {
+
+/// FNV-1a offset basis — the seed every fingerprint chain starts from.
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
+
+/// One FNV-1a step over @p n raw bytes.
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n);
+
+/// FNV-1a over the bytes of @p s (no terminator, no length prefix — chain
+/// an explicit separator between fields that could otherwise collide).
+[[nodiscard]] std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s);
+
+/// The canonical identity hash of one tuning problem: (method name,
+/// device name, grid extent, element size, tuner kind).  This is the
+/// value CheckpointKey::fingerprint() stores in every IPTJ2 journal
+/// header; anything that must agree with a journal on disk must derive
+/// its fingerprint through this function.
+[[nodiscard]] std::uint64_t problem_fingerprint(const std::string& method,
+                                                const std::string& device,
+                                                const Extent3& extent,
+                                                std::size_t elem_size,
+                                                const std::string& kind);
+
+/// Identity hash of a *device description*: every numeric field the
+/// timing model consumes, not just the name.  Two .device files that
+/// share a name but differ in (say) achieved bandwidth tune to different
+/// optima, so the wisdom cache keys on this, never on the name alone.
+[[nodiscard]] std::uint64_t device_fingerprint(const gpusim::DeviceSpec& device);
+
+}  // namespace inplane::autotune

@@ -235,13 +235,8 @@ struct JournalCtx {
             const gpusim::DeviceSpec& device, const Extent3& extent,
             std::size_t elem_size) {
     if (opts.checkpoint_path.empty()) return;
-    CheckpointKey key;
-    key.method = kernels::to_string(method);
-    key.device = device.name;
-    key.extent = extent;
-    key.elem_size = elem_size;
-    key.kind = kind;
-    journal.open(opts.checkpoint_path, key);
+    journal.open(opts.checkpoint_path,
+                 make_checkpoint_key(method, device, extent, elem_size, kind));
     active = true;
   }
 };

@@ -44,13 +44,9 @@ Extent3 measure_extent(const SweepSpec& spec, PartitionMode mode, int workers) {
 
 autotune::CheckpointKey checkpoint_key(const SweepSpec& spec,
                                        const Extent3& measured) {
-  autotune::CheckpointKey key;
-  key.method = kernels::to_string(resolve_method(spec.method));
-  key.device = resolve_device(spec.device).name;
-  key.extent = measured;
-  key.elem_size = spec.elem_size();
-  key.kind = spec.kind;
-  return key;
+  return autotune::make_checkpoint_key(resolve_method(spec.method),
+                                       resolve_device(spec.device), measured,
+                                       spec.elem_size(), spec.kind);
 }
 
 namespace {

@@ -1,0 +1,130 @@
+#include "service/client.hpp"
+
+#include "core/status.hpp"
+
+#ifndef _WIN32
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace inplane::service {
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::connect() {
+  if (fd_ >= 0) return;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw InvalidConfigError("service: socket path longer than sun_path: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("service: cannot create AF_UNIX socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw IoError("service: cannot connect to " + path_);
+  }
+  fd_ = fd;
+  buffer_.clear();
+}
+
+bool Client::connected() const { return fd_ >= 0; }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::string Client::roundtrip(const std::string& request_line) {
+  if (fd_ < 0) throw IoError("service: client is not connected");
+  const std::string framed = request_line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      throw IoError("service: send failed on " + path_);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      throw IoError("service: connection closed by " + path_ +
+                    " before a response line arrived");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace inplane::service
+
+#else  // _WIN32
+
+namespace inplane::service {
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path)) {}
+Client::~Client() = default;
+void Client::connect() {
+  throw InternalError("service: AF_UNIX client is POSIX-only");
+}
+bool Client::connected() const { return false; }
+void Client::close() {}
+std::string Client::roundtrip(const std::string&) {
+  throw InternalError("service: AF_UNIX client is POSIX-only");
+}
+
+}  // namespace inplane::service
+
+#endif
+
+namespace inplane::service {
+
+ParsedResponse tune_over_socket(const std::string& socket_path, const WisdomKey& key,
+                                double deadline_ms, std::uint64_t mem_budget_bytes,
+                                bool no_cache) {
+  Client client(socket_path);
+  client.connect();
+  std::string line = "TUNE " + key.to_line();
+  if (deadline_ms > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " deadline_ms=%.17g", deadline_ms);
+    line += buf;
+  }
+  if (mem_budget_bytes > 0) line += " mem_budget=" + std::to_string(mem_budget_bytes);
+  if (no_cache) line += " no_cache=1";
+  const std::string response = client.roundtrip(line);
+  std::string error;
+  const auto parsed = parse_response(response, &error);
+  if (!parsed) {
+    throw InvalidConfigError("service: unparseable daemon response: " + error);
+  }
+  return *parsed;
+}
+
+}  // namespace inplane::service

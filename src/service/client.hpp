@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal blocking client for the tuner daemon's socket protocol: one
+// connection, newline-delimited request/response lines.  POSIX only
+// (Windows entry points throw InternalError, matching core/process.hpp).
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace inplane::service {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon.  Throws IoError when the socket does not
+  /// exist or refuses the connection.
+  void connect();
+
+  [[nodiscard]] bool connected() const;
+
+  /// Sends one request line and returns the one response line (without
+  /// the trailing newline).  Throws IoError on a broken connection.
+  [[nodiscard]] std::string roundtrip(const std::string& request_line);
+
+  void close();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// One-shot convenience: connect, TUNE @p key with the given QoS, parse
+/// the response.  Throws IoError on transport errors and
+/// InvalidConfigError when the daemon's response cannot be parsed; a
+/// daemon-side ERR is returned in ParsedResponse (ok == false).
+[[nodiscard]] ParsedResponse tune_over_socket(const std::string& socket_path,
+                                              const WisdomKey& key,
+                                              double deadline_ms = 0.0,
+                                              std::uint64_t mem_budget_bytes = 0,
+                                              bool no_cache = false);
+
+}  // namespace inplane::service

@@ -1,0 +1,241 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/status.hpp"
+
+namespace inplane::service {
+
+namespace {
+
+bool parse_u64(const std::string& v, std::uint64_t& out) {
+  if (v.empty() || v.size() > 20) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = x;
+  return true;
+}
+
+bool parse_double(const std::string& v, double& out) {
+  if (v.empty() || v.size() > 32) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+std::optional<Request> fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = "request: " + why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line, std::string* error) {
+  if (line.empty() || line.size() > 4096) return fail(error, "empty or oversized line");
+  std::size_t sp = line.find(' ');
+  const std::string verb = line.substr(0, sp);
+  const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+  Request req;
+  if (verb == "PING" || verb == "STATS" || verb == "SHUTDOWN") {
+    if (!rest.empty()) return fail(error, verb + " takes no arguments");
+    req.verb = verb == "PING"    ? Verb::Ping
+               : verb == "STATS" ? Verb::Stats
+                                 : Verb::Shutdown;
+    return req;
+  }
+  if (verb != "TUNE" && verb != "RUN") return fail(error, "unknown verb '" + verb + "'");
+  req.verb = verb == "TUNE" ? Verb::Tune : Verb::Run;
+
+  // Peel the QoS options off; whatever remains must be a wisdom key line.
+  std::string key_line;
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t end = rest.find(' ', pos);
+    if (end == std::string::npos) end = rest.size();
+    const std::string token = rest.substr(pos, end - pos);
+    pos = end + (end < rest.size() ? 1 : 0);
+    if (token.empty()) return fail(error, "empty token (double space?)");
+    const std::size_t eq = token.find('=');
+    const std::string k = eq == std::string::npos ? token : token.substr(0, eq);
+    const std::string v = eq == std::string::npos ? "" : token.substr(eq + 1);
+    if (k == "deadline_ms") {
+      if (!parse_double(v, req.tune.deadline_ms) || req.tune.deadline_ms < 0.0) {
+        return fail(error, "bad deadline_ms");
+      }
+    } else if (k == "mem_budget") {
+      if (!parse_u64(v, req.tune.mem_budget_bytes)) return fail(error, "bad mem_budget");
+    } else if (k == "no_cache") {
+      if (v != "1" && v != "0") return fail(error, "no_cache must be 0 or 1");
+      req.tune.no_cache = v == "1";
+    } else {
+      if (!key_line.empty()) key_line.push_back(' ');
+      key_line.append(token);
+    }
+  }
+  std::string key_error;
+  const auto key = WisdomKey::parse(key_line, &key_error);
+  if (!key) return fail(error, key_error);
+  req.tune.key = *key;
+  return req;
+}
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(kDigits[u >> 4]);
+    out.push_back(kDigits[u & 0xf]);
+  }
+  return out;
+}
+
+std::optional<std::string> hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string format_tune_response(const TuneOutcome& outcome) {
+  char head[128];
+  std::snprintf(head, sizeof(head), "OK source=%s degraded=%d mpoints=%.17g entry=",
+                to_string(outcome.source), outcome.degraded ? 1 : 0,
+                outcome.best.timing.mpoints_per_s);
+  return std::string(head) + hex_encode(outcome.entry_payload());
+}
+
+std::string format_run_response(const TuneOutcome& outcome) {
+  const auto& c = outcome.best.config;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "OK source=%s degraded=%d tx=%d ty=%d rx=%d ry=%d vec=%d "
+                "mpoints=%.17g",
+                to_string(outcome.source), outcome.degraded ? 1 : 0, c.tx, c.ty, c.rx,
+                c.ry, c.vec, outcome.best.timing.mpoints_per_s);
+  return buf;
+}
+
+std::string format_stats_response(const ServiceCounters& counters,
+                                  const WisdomCache::Stats& cache,
+                                  std::size_t cache_size) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "OK requests=%llu cache_hits=%llu dedup_joins=%llu sweeps=%llu "
+                "failures=%llu cache_size=%zu evictions=%zu compactions=%zu "
+                "records_recovered=%zu",
+                static_cast<unsigned long long>(counters.requests),
+                static_cast<unsigned long long>(counters.cache_hits),
+                static_cast<unsigned long long>(counters.dedup_joins),
+                static_cast<unsigned long long>(counters.sweeps),
+                static_cast<unsigned long long>(counters.failures), cache_size,
+                cache.evictions, cache.compactions, cache.records_recovered);
+  return buf;
+}
+
+std::string format_error(const std::exception& e) {
+  const Status st = status_of(e);
+  std::string msg = st.context;
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR code=" + std::to_string(exit_code(st)) + " " + msg;
+}
+
+std::optional<ParsedResponse> parse_response(const std::string& line,
+                                             std::string* error) {
+  const auto bad = [&](const std::string& why) -> std::optional<ParsedResponse> {
+    if (error != nullptr) *error = "response: " + why;
+    return std::nullopt;
+  };
+  ParsedResponse resp;
+  if (line.rfind("ERR ", 0) == 0) {
+    const std::string rest = line.substr(4);
+    if (rest.rfind("code=", 0) != 0) return bad("ERR without code=");
+    const std::size_t sp = rest.find(' ');
+    long code = 0;
+    char* end = nullptr;
+    code = std::strtol(rest.c_str() + 5, &end, 10);
+    if (end == nullptr || (*end != ' ' && *end != '\0')) return bad("bad ERR code");
+    resp.ok = false;
+    resp.err_code = static_cast<int>(code);
+    resp.message = sp == std::string::npos ? "" : rest.substr(sp + 1);
+    return resp;
+  }
+  if (line.rfind("OK", 0) != 0) return bad("neither OK nor ERR");
+  resp.ok = true;
+  std::size_t pos = line.size() > 2 ? 3 : 2;
+  while (pos < line.size()) {
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(pos, end - pos);
+    pos = end + (end < line.size() ? 1 : 0);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      resp.message = token;  // "pong" / "bye"
+      continue;
+    }
+    const std::string k = token.substr(0, eq);
+    const std::string v = token.substr(eq + 1);
+    if (k == "source") {
+      resp.source = v;
+    } else if (k == "degraded") {
+      resp.degraded = v == "1";
+    } else if (k == "mpoints") {
+      if (!parse_double(v, resp.mpoints)) return bad("bad mpoints");
+    } else if (k == "entry") {
+      const auto bytes = hex_decode(v);
+      if (!bytes) return bad("bad entry hex");
+      resp.entry_payload = *bytes;
+    } else if (k == "tx" || k == "ty" || k == "rx" || k == "ry" || k == "vec") {
+      std::uint64_t n = 0;
+      if (!parse_u64(v, n)) return bad("bad " + k);
+      (k == "tx"   ? resp.tx
+       : k == "ty" ? resp.ty
+       : k == "rx" ? resp.rx
+       : k == "ry" ? resp.ry
+                   : resp.vec) = static_cast<int>(n);
+    }
+    // Unknown OK fields are ignored: STATS responses flow through here
+    // too, and the field set may grow.
+  }
+  return resp;
+}
+
+bool wisdom_roundtrip_check(const std::string& line, std::string* why) {
+  std::string error;
+  const auto key = WisdomKey::parse(line, &error);
+  if (!key) return true;  // loud reject is a pass
+  const std::string out = key->to_line();
+  const auto again = WisdomKey::parse(out, &error);
+  if (!again) {
+    if (why != nullptr) *why = "to_line produced an unparseable line: " + error;
+    return false;
+  }
+  if (!(*again == key->canonical()) || again->to_line() != out) {
+    if (why != nullptr) *why = "parse -> to_line -> parse is not a fixed point";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace inplane::service

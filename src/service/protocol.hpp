@@ -1,0 +1,89 @@
+#pragma once
+
+// Wire protocol of the tuner daemon (tools/inplane_tuned): one request
+// per line, one response line back, over a local AF_UNIX stream socket.
+//
+// Requests:
+//   TUNE <wisdom key line> [deadline_ms=<ms>] [mem_budget=<bytes>] [no_cache=1]
+//   RUN  <wisdom key line> [same QoS options]
+//   PING
+//   STATS
+//   SHUTDOWN
+//
+// The wisdom key line is WisdomKey::to_line()'s key=value vocabulary
+// (devfp optional — the daemon stamps it); the QoS options may be
+// interleaved anywhere after the verb.  Unknown tokens are loudly
+// rejected, never guessed at.
+//
+// Responses (single line):
+//   OK pong                                   (PING)
+//   OK bye                                    (SHUTDOWN; daemon then exits 0)
+//   OK requests=... cache_hits=... ...        (STATS)
+//   OK source=hit|swept|joined degraded=0|1 mpoints=<g> entry=<hex>   (TUNE)
+//   OK source=... tx=.. ty=.. rx=.. ry=.. vec=.. mpoints=<g>          (RUN)
+//   ERR code=<exit code taxonomy> <message>
+//
+// TUNE's entry=<hex> is the *byte-exact* IPTJ2 entry payload
+// (autotune::encode_tune_entry), so a client can compare bit-identity
+// against a local sweep — the stress harness does exactly that.
+
+#include <optional>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace inplane::service {
+
+enum class Verb { Tune, Run, Ping, Stats, Shutdown };
+
+/// One parsed request line.  `tune` is meaningful for Tune/Run only.
+/// The embedded TuneRequest never carries an external cancel token —
+/// the server layers its own.
+struct Request {
+  Verb verb = Verb::Ping;
+  TuneRequest tune;
+};
+
+/// Strict parse of one request line; std::nullopt + @p error on any
+/// violation (unknown verb, malformed key, unknown option, bad number).
+[[nodiscard]] std::optional<Request> parse_request(const std::string& line,
+                                                   std::string* error = nullptr);
+
+[[nodiscard]] std::string hex_encode(const std::string& bytes);
+[[nodiscard]] std::optional<std::string> hex_decode(const std::string& hex);
+
+/// `OK ...` response lines.
+[[nodiscard]] std::string format_tune_response(const TuneOutcome& outcome);
+[[nodiscard]] std::string format_run_response(const TuneOutcome& outcome);
+[[nodiscard]] std::string format_stats_response(const ServiceCounters& counters,
+                                                const WisdomCache::Stats& cache,
+                                                std::size_t cache_size);
+
+/// `ERR code=<n> <message>` with the repo-wide exit-code taxonomy
+/// (core/status.hpp exit_code()).
+[[nodiscard]] std::string format_error(const std::exception& e);
+
+/// Parsed TUNE/RUN response, as clients and tests consume it.
+struct ParsedResponse {
+  bool ok = false;
+  int err_code = 0;         ///< taxonomy code when !ok
+  std::string message;      ///< error text when !ok
+  std::string source;       ///< hit | swept | joined
+  bool degraded = false;
+  double mpoints = 0.0;
+  std::string entry_payload;  ///< decoded entry bytes (TUNE only)
+  int tx = 0, ty = 0, rx = 0, ry = 0, vec = 0;  ///< RUN only
+};
+
+[[nodiscard]] std::optional<ParsedResponse> parse_response(const std::string& line,
+                                                           std::string* error = nullptr);
+
+/// Fuzz oracle for the wisdom-key line format (tools/stencil_fuzz
+/// --wisdom-iters and the `wisdom ` replay corpus lines): a line must
+/// either be loudly rejected by WisdomKey::parse, or survive
+/// parse -> to_line -> parse as the identical key with an identical
+/// canonical line.  Returns false (with @p why) when the law is violated.
+[[nodiscard]] bool wisdom_roundtrip_check(const std::string& line,
+                                          std::string* why = nullptr);
+
+}  // namespace inplane::service

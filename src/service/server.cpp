@@ -1,0 +1,248 @@
+#include "service/server.hpp"
+
+#include "core/status.hpp"
+#include "service/protocol.hpp"
+
+#ifndef _WIN32
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace inplane::service {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SocketServer::Impl {
+  TuningService& service;
+  std::string path;
+  // Read lock-free by the accept loop, closed-and-cleared by
+  // request_stop(): atomic so the teardown handshake is race-free.
+  std::atomic<int> listen_fd{-1};
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  CancelToken cancel;
+  std::thread accept_thread;
+  std::mutex mu;
+  std::condition_variable stopped_cv;
+  std::vector<std::thread> handlers;
+  std::set<int> live_fds;
+
+  explicit Impl(TuningService& s, std::string p) : service(s), path(std::move(p)) {}
+
+  std::string handle_line(const std::string& line) {
+    try {
+      std::string error;
+      const auto req = parse_request(line, &error);
+      if (!req) throw InvalidConfigError("service: " + error);
+      switch (req->verb) {
+        case Verb::Ping:
+          return "OK pong";
+        case Verb::Stats:
+          return format_stats_response(service.counters(), service.cache().stats(),
+                                       service.cache().size());
+        case Verb::Shutdown:
+          return "OK bye";  // caller initiates the actual stop
+        case Verb::Tune:
+        case Verb::Run: {
+          TuneRequest tune = req->tune;
+          tune.cancel = &cancel;  // daemon shutdown cancels in-flight sweeps
+          const TuneOutcome outcome = service.tune(tune);
+          return req->verb == Verb::Tune ? format_tune_response(outcome)
+                                         : format_run_response(outcome);
+        }
+      }
+      throw InternalError("service: unreachable verb");
+    } catch (const std::exception& e) {
+      return format_error(e);
+    }
+  }
+
+  void serve_connection(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    bool shutdown_requested = false;
+    while (!shutdown_requested) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        const bool is_shutdown = line == "SHUTDOWN";
+        if (!send_all(fd, handle_line(line) + "\n")) {
+          shutdown_requested = is_shutdown;
+          break;
+        }
+        if (is_shutdown) {
+          shutdown_requested = true;
+          break;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      live_fds.erase(fd);
+    }
+    ::close(fd);
+    if (shutdown_requested) request_stop();
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd.load(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listen_fd closed (stop) or fatal accept error
+      }
+      if (stopping.load()) {
+        ::close(fd);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      live_fds.insert(fd);
+      handlers.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+
+  void request_stop() {
+    bool expected = false;
+    if (!stopping.compare_exchange_strong(expected, true)) return;
+    cancel.cancel();
+    // Closing the listen socket unblocks accept(); shutting down live
+    // connections unblocks their recv() so handlers drain.
+    std::lock_guard<std::mutex> lock(mu);
+    const int lfd = listen_fd.exchange(-1);
+    if (lfd >= 0) {
+      ::shutdown(lfd, SHUT_RDWR);
+      ::close(lfd);
+    }
+    for (const int fd : live_fds) ::shutdown(fd, SHUT_RDWR);
+    stopped_cv.notify_all();
+  }
+};
+
+SocketServer::SocketServer(TuningService& service, std::string socket_path)
+    : impl_(new Impl(service, std::move(socket_path))) {}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  // Handlers self-deregister their fds; the list itself is only appended
+  // under the mutex, and no new handlers spawn once stopping is set.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    handlers.swap(impl_->handlers);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(impl_->path.c_str());
+  delete impl_;
+}
+
+void SocketServer::start() {
+  Impl& im = *impl_;
+  if (im.started.load()) throw InternalError("service: server already started");
+  if (im.path.empty()) throw InvalidConfigError("service: empty socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (im.path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidConfigError("service: socket path longer than sun_path: " + im.path);
+  }
+  std::memcpy(addr.sun_path, im.path.c_str(), im.path.size() + 1);
+
+  // send() on a peer-closed socket must surface as an error return, not
+  // kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+  ::unlink(im.path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("service: cannot create AF_UNIX socket");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw IoError("service: cannot bind " + im.path);
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    ::unlink(im.path.c_str());
+    throw IoError("service: cannot listen on " + im.path);
+  }
+  im.listen_fd.store(fd);
+  im.started.store(true);
+  im.accept_thread = std::thread([&im] { im.accept_loop(); });
+}
+
+void SocketServer::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->stopped_cv.wait(lock, [this] { return impl_->stopping.load(); });
+}
+
+void SocketServer::stop() { impl_->request_stop(); }
+
+bool SocketServer::running() const {
+  return impl_->started.load() && !impl_->stopping.load();
+}
+
+const CancelToken& SocketServer::cancel_token() const { return impl_->cancel; }
+
+}  // namespace inplane::service
+
+#else  // _WIN32
+
+namespace inplane::service {
+
+struct SocketServer::Impl {
+  explicit Impl(TuningService&, std::string) {}
+  CancelToken cancel;
+};
+
+SocketServer::SocketServer(TuningService& service, std::string socket_path)
+    : impl_(new Impl(service, std::move(socket_path))) {}
+SocketServer::~SocketServer() { delete impl_; }
+
+void SocketServer::start() {
+  throw InternalError("service: AF_UNIX server is POSIX-only");
+}
+void SocketServer::wait() {
+  throw InternalError("service: AF_UNIX server is POSIX-only");
+}
+void SocketServer::stop() {}
+bool SocketServer::running() const { return false; }
+const CancelToken& SocketServer::cancel_token() const { return impl_->cancel; }
+
+}  // namespace inplane::service
+
+#endif

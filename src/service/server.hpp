@@ -1,0 +1,58 @@
+#pragma once
+
+// AF_UNIX stream server for the tuner daemon: accepts connections on a
+// filesystem socket, reads newline-delimited protocol requests
+// (protocol.hpp) and answers each with one response line.  One handler
+// thread per connection — request concurrency (and therefore the
+// dedup/stress behaviour) is the TuningService's problem, which is
+// exactly what the harness wants to hammer.
+//
+// Lifecycle: start() binds/listens and returns; wait() blocks until a
+// SHUTDOWN request (or stop()) arrives; the destructor closes every
+// live connection and joins every thread.  A daemon that exits via
+// SHUTDOWN exits 0 — see the exit-code table in the README.
+//
+// POSIX only (like core/process.hpp): on Windows every entry point
+// throws InternalError.
+
+#include <string>
+
+#include "core/cancel.hpp"
+#include "service/service.hpp"
+
+namespace inplane::service {
+
+class SocketServer {
+ public:
+  /// Serves @p service on @p socket_path.  The service must outlive the
+  /// server.  An existing socket file at the path is removed first (a
+  /// stale socket from a dead daemon would otherwise wedge bind()).
+  SocketServer(TuningService& service, std::string socket_path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop.  Throws IoError when the
+  /// socket cannot be created/bound.
+  void start();
+
+  /// Blocks until SHUTDOWN is received or stop() is called.
+  void wait();
+
+  /// Initiates shutdown: stops accepting, fires the server cancel token
+  /// (in-flight sweeps see ResourceExhausted), closes live connections.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// The token threaded into every request as its external cancel; fires
+  /// on stop().  Exposed for tests.
+  [[nodiscard]] const CancelToken& cancel_token() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace inplane::service

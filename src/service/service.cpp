@@ -1,0 +1,325 @@
+#include "service/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/fingerprint.hpp"
+#include "core/coefficients.hpp"
+#include "core/mem_budget.hpp"
+#include "core/status.hpp"
+#include "distributed/supervisor.hpp"
+#include "distributed/sweep_spec.hpp"
+#include "metrics/metrics.hpp"
+
+namespace inplane::service {
+
+namespace {
+
+struct ServiceMetrics {
+  metrics::Counter& requests;
+  metrics::Counter& dedup_joins;
+  metrics::Counter& sweeps;
+  metrics::Counter& failures;
+
+  static ServiceMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static ServiceMetrics m{
+        reg.counter("service.requests"),
+        reg.counter("service.dedup_joins"),
+        reg.counter("service.sweeps"),
+        reg.counter("service.failures"),
+    };
+    return m;
+  }
+};
+
+/// Validates the parts of a programmatic key that WisdomKey::parse would
+/// have enforced on the wire (tune() accepts keys built in code too).
+void validate_key(const WisdomKey& key) {
+  if (key.kind != "exhaustive" && key.kind != "model") {
+    throw InvalidConfigError("service: unknown sweep kind '" + key.kind +
+                             "' (exhaustive | model)");
+  }
+  if (key.order < 1 || key.order > 64) {
+    throw InvalidConfigError("service: stencil order out of range [1, 64]");
+  }
+  if (key.extent.nx < 1 || key.extent.ny < 1 || key.extent.nz < 1) {
+    throw InvalidConfigError("service: grid extent must be positive");
+  }
+  (void)distributed::resolve_method(key.method);  // throws on unknown names
+}
+
+/// The in-process sweep both tune() leaders and direct_tune run: identical
+/// coefficients and tuner entry points, so answers are bit-comparable.
+autotune::TuneResult run_local_sweep(const WisdomKey& key,
+                                     const autotune::TuneOptions& options) {
+  const kernels::Method method = distributed::resolve_method(key.method);
+  const gpusim::DeviceSpec device = distributed::resolve_device(key.device);
+  const StencilCoeffs coeffs = StencilCoeffs::diffusion(key.order / 2);
+  const autotune::SearchSpace space;
+  if (key.double_precision) {
+    if (key.kind == "model") {
+      return autotune::model_guided_tune<double>(method, coeffs, device, key.extent,
+                                                 key.beta, space, options);
+    }
+    return autotune::exhaustive_tune<double>(method, coeffs, device, key.extent,
+                                             space, options);
+  }
+  if (key.kind == "model") {
+    return autotune::model_guided_tune<float>(method, coeffs, device, key.extent,
+                                              key.beta, space, options);
+  }
+  return autotune::exhaustive_tune<float>(method, coeffs, device, key.extent, space,
+                                          options);
+}
+
+}  // namespace
+
+const char* to_string(Source source) {
+  switch (source) {
+    case Source::CacheHit: return "hit";
+    case Source::Swept: return "swept";
+    case Source::Joined: return "joined";
+  }
+  return "?";
+}
+
+std::string TuneOutcome::entry_payload() const {
+  return autotune::encode_tune_entry(best);
+}
+
+// --------------------------------------------------------------------------
+
+struct TuningService::Impl {
+  /// What a led sweep hands its joiners.
+  struct SweptAnswer {
+    autotune::TuneEntry best;
+    bool degraded = false;
+  };
+
+  ServiceOptions opts;
+  WisdomCache cache;
+
+  std::mutex inflight_mu;
+  std::map<std::string, std::shared_future<SweptAnswer>> inflight;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> dedup_joins{0};
+  std::atomic<std::uint64_t> sweeps{0};
+  std::atomic<std::uint64_t> failures{0};
+
+  mutable std::mutex devfp_mu;
+  mutable std::map<std::string, std::uint64_t> devfp_memo;
+
+  explicit Impl(ServiceOptions o)
+      : opts(std::move(o)), cache(opts.cache_capacity) {
+    if (!opts.wisdom_path.empty()) cache.open(opts.wisdom_path, opts.cache_capacity);
+  }
+
+  std::uint64_t device_fp(const std::string& device) const {
+    {
+      std::lock_guard<std::mutex> lock(devfp_mu);
+      if (const auto it = devfp_memo.find(device); it != devfp_memo.end()) {
+        return it->second;
+      }
+    }
+    const std::uint64_t fp =
+        autotune::device_fingerprint(distributed::resolve_device(device));
+    std::lock_guard<std::mutex> lock(devfp_mu);
+    devfp_memo.emplace(device, fp);
+    return fp;
+  }
+
+  /// The sweep a leader runs for @p key: distributed fan-out when the
+  /// service is configured for it and the request carries no memory
+  /// budget (budgets are a single-process concept); in-process otherwise.
+  SweptAnswer lead_sweep(const WisdomKey& key, const CancelToken* cancel,
+                         MemBudget* budget) {
+    sweeps.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::get().sweeps.add();
+
+    if (opts.fan_out_workers > 0 && budget == nullptr) {
+      distributed::SupervisorOptions so;
+      so.spec.method = key.method;
+      so.spec.device = key.device;
+      so.spec.extent = key.extent;
+      so.spec.order = key.order;
+      so.spec.double_precision = key.double_precision;
+      so.spec.kind = key.kind;
+      so.spec.beta = key.beta;
+      so.workers = opts.fan_out_workers;
+      char sub[32];
+      std::snprintf(sub, sizeof(sub), "/k%016" PRIx64, key.fingerprint());
+      so.checkpoint_dir = opts.fan_out_dir + sub;
+      so.worker_exe = opts.fan_out_worker_exe;
+      so.cancel = cancel;
+      const distributed::SweepReport report = distributed::run_distributed_sweep(so);
+      if (!report.result.found()) {
+        throw InternalError("service: fan-out sweep produced no valid candidate");
+      }
+      return SweptAnswer{report.result.best, !report.complete};
+    }
+
+    autotune::TuneOptions topts;
+    topts.policy = opts.sweep_policy;
+    topts.policy.cancel = cancel;
+    topts.mem_budget = budget;
+    const autotune::TuneResult result = run_local_sweep(key, topts);
+    if (!result.found()) {
+      throw InternalError("service: sweep produced no valid candidate");
+    }
+    const bool degraded = budget != nullptr && budget->denied() > 0;
+    return SweptAnswer{result.best, degraded};
+  }
+};
+
+TuningService::TuningService(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+TuningService::~TuningService() = default;
+
+WisdomKey TuningService::stamp(const WisdomKey& key) const {
+  WisdomKey stamped = key.canonical();
+  stamped.device_fp = impl_->device_fp(stamped.device);
+  return stamped;
+}
+
+ServiceCounters TuningService::counters() const {
+  ServiceCounters c;
+  c.requests = impl_->requests.load(std::memory_order_relaxed);
+  c.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
+  c.dedup_joins = impl_->dedup_joins.load(std::memory_order_relaxed);
+  c.sweeps = impl_->sweeps.load(std::memory_order_relaxed);
+  c.failures = impl_->failures.load(std::memory_order_relaxed);
+  return c;
+}
+
+WisdomCache& TuningService::cache() { return impl_->cache; }
+
+TuneOutcome TuningService::tune(const TuneRequest& request) {
+  Impl& im = *impl_;
+  im.requests.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::get().requests.add();
+  try {
+    validate_key(request.key);
+    const WisdomKey key = stamp(request.key);
+
+    // Per-request QoS: a deadline becomes a local token the sweep (or the
+    // joiner's wait) polls; an external cancel token is polled alongside.
+    CancelToken deadline_token;
+    const CancelToken* token = request.cancel;
+    if (request.deadline_ms > 0.0) {
+      deadline_token.set_deadline_ms(request.deadline_ms);
+      token = &deadline_token;
+    }
+    const auto poll_qos = [&] {
+      check_cancelled(token);
+      if (token != request.cancel) check_cancelled(request.cancel);
+    };
+    poll_qos();
+
+    // 1. Wisdom lookup — a hit is answered with no sweep anywhere.
+    if (!request.no_cache) {
+      if (auto hit = im.cache.find(key)) {
+        im.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return TuneOutcome{*hit, Source::CacheHit, false, key};
+      }
+    }
+
+    // no_cache bypasses dedup too: the caller asked for a fresh sweep,
+    // so it neither joins nor publishes one.
+    if (request.no_cache) {
+      MemBudget budget(request.mem_budget_bytes);
+      const Impl::SweptAnswer ans = im.lead_sweep(
+          key, token, request.mem_budget_bytes > 0 ? &budget : nullptr);
+      return TuneOutcome{ans.best, Source::Swept, ans.degraded, key};
+    }
+
+    // 2. In-flight dedup.  The dedup key widens the wisdom key by the
+    // memory budget: a budgeted sweep may legitimately differ from an
+    // unbudgeted one, so they must not share a future.
+    const std::string dedup_key =
+        key.to_line() + "|mb=" + std::to_string(request.mem_budget_bytes);
+    std::promise<Impl::SweptAnswer> promise;
+    std::shared_future<Impl::SweptAnswer> shared;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(im.inflight_mu);
+      if (const auto it = im.inflight.find(dedup_key); it != im.inflight.end()) {
+        shared = it->second;
+        // Counted under the lock so a hook-blocked leader can await a
+        // deterministic joiner count (see the dedup stress test).
+        im.dedup_joins.fetch_add(1, std::memory_order_relaxed);
+        ServiceMetrics::get().dedup_joins.add();
+      } else {
+        shared = promise.get_future().share();
+        im.inflight.emplace(dedup_key, shared);
+        leader = true;
+      }
+    }
+
+    if (!leader) {
+      // Joiner: wait on the leader's future under *this* request's QoS.
+      for (;;) {
+        poll_qos();
+        if (shared.wait_for(std::chrono::microseconds(200)) ==
+            std::future_status::ready) {
+          break;
+        }
+      }
+      const Impl::SweptAnswer ans = shared.get();  // rethrows sweep failures
+      return TuneOutcome{ans.best, Source::Joined, ans.degraded, key};
+    }
+
+    // Leader: joiners can pile on from here.
+    try {
+      if (im.opts.on_sweep_start) im.opts.on_sweep_start(key);
+      MemBudget budget(request.mem_budget_bytes);
+      const Impl::SweptAnswer ans = im.lead_sweep(
+          key, token, request.mem_budget_bytes > 0 ? &budget : nullptr);
+      // Publish to the cache *before* retiring the in-flight entry: a
+      // request arriving in between sees either the future or the cached
+      // entry, never a window that starts a duplicate sweep.
+      if (!ans.degraded) im.cache.put(key, ans.best);
+      {
+        std::lock_guard<std::mutex> lock(im.inflight_mu);
+        im.inflight.erase(dedup_key);
+      }
+      promise.set_value(ans);
+      return TuneOutcome{ans.best, Source::Swept, ans.degraded, key};
+    } catch (...) {
+      // Failures are never cached; joiners inherit this exception and a
+      // later identical request sweeps fresh.
+      {
+        std::lock_guard<std::mutex> lock(im.inflight_mu);
+        im.inflight.erase(dedup_key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  } catch (...) {
+    im.failures.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::get().failures.add();
+    throw;
+  }
+}
+
+autotune::TuneEntry direct_tune(const WisdomKey& key, const ExecPolicy& policy) {
+  validate_key(key);
+  autotune::TuneOptions topts;
+  topts.policy = policy;
+  const autotune::TuneResult result = run_local_sweep(key.canonical(), topts);
+  if (!result.found()) {
+    throw InternalError("direct_tune: sweep produced no valid candidate");
+  }
+  return result.best;
+}
+
+}  // namespace inplane::service

@@ -1,0 +1,142 @@
+#pragma once
+
+// The tuning-as-a-service core: a long-lived, thread-safe TuningService
+// that request threads (socket handlers, tests, benches) call blocking
+// tune() on.  Three things happen between a request and its answer:
+//
+//  1. wisdom lookup — the persistent WisdomCache is consulted first; a
+//     hit answers without running *any* sweep (the stress tests pin this
+//     with the service.sweeps counter);
+//  2. in-flight dedup — concurrent requests for the same key join the
+//     sweep already running instead of starting their own: the first
+//     requester (the *leader*) sweeps, every later identical request (a
+//     *joiner*) blocks on the leader's shared future and receives the
+//     bit-identical entry;
+//  3. the sweep itself — in-process exhaustive/model-guided tune, or
+//     fanned out across the distributed worker fleet when the service is
+//     configured with fan_out_workers > 0.
+//
+// QoS: each request carries its own deadline and memory budget.  The
+// leader's deadline governs its sweep (CancelToken threaded into the
+// ExecPolicy); joiners enforce their own deadlines while waiting on the
+// future.  A sweep that degraded under a memory budget (candidates
+// pruned by denial) is answered but *never cached* — the wisdom file
+// only holds full-fidelity results.  Failed sweeps are never cached
+// either, so a later retry re-sweeps cleanly.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "autotune/tuner.hpp"
+#include "core/cancel.hpp"
+#include "core/thread_pool.hpp"
+#include "service/wisdom_cache.hpp"
+
+namespace inplane::service {
+
+/// How a request's answer was obtained.
+enum class Source {
+  CacheHit,  ///< served from the wisdom cache; no sweep ran anywhere
+  Swept,     ///< this request led a sweep (in-process or fanned out)
+  Joined,    ///< deduped onto a concurrent identical request's sweep
+};
+
+[[nodiscard]] const char* to_string(Source source);
+
+/// One tuning request as the service core sees it (the socket protocol
+/// parses the wire form into this).
+struct TuneRequest {
+  WisdomKey key;
+  double deadline_ms = 0.0;  ///< wall-clock QoS deadline; 0 = none
+  std::uint64_t mem_budget_bytes = 0;  ///< sweep memory budget; 0 = unlimited
+  bool no_cache = false;  ///< bypass wisdom and dedup (always sweep fresh)
+  /// External cancellation (socket closed, shutdown); may be null.
+  /// Checked alongside the deadline on both leader and joiner paths.
+  const CancelToken* cancel = nullptr;
+};
+
+/// One tuning answer.
+struct TuneOutcome {
+  autotune::TuneEntry best;
+  Source source = Source::Swept;
+  /// The sweep ran under a memory budget that denied at least one
+  /// reservation, or a fan-out settled incomplete: the answer is the
+  /// best of what *was* measured and is deliberately not cached.
+  bool degraded = false;
+  /// The key the answer is stored under (device fingerprint stamped).
+  WisdomKey key;
+
+  /// Canonical byte-for-byte form of the answer (the IPTJ2 entry
+  /// payload) — the oracle the stress harness compares against a direct
+  /// single-process tune() of the same key.
+  [[nodiscard]] std::string entry_payload() const;
+};
+
+/// Monotonic service-level counters.  Mirrored into the metrics registry
+/// as service.requests / service.cache_hits / service.dedup_joins /
+/// service.sweeps / service.failures (service.evictions is owned by the
+/// wisdom cache); these struct copies exist so tests can assert exact
+/// values without enabling metrics.
+struct ServiceCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dedup_joins = 0;
+  std::uint64_t sweeps = 0;      ///< sweeps actually started (leaders only)
+  std::uint64_t failures = 0;    ///< requests answered with an error
+};
+
+struct ServiceOptions {
+  /// Wisdom persistence path; empty keeps the cache in memory only.
+  std::string wisdom_path;
+  std::size_t cache_capacity = 256;
+  /// Thread policy for in-process sweeps (per-request deadline tokens are
+  /// layered on top of it; its own .cancel, if any, is ignored).
+  ExecPolicy sweep_policy = {};
+  /// > 0: cache-miss sweeps fan out across this many distributed worker
+  /// processes (PR 7 supervisor) instead of running in-process.
+  int fan_out_workers = 0;
+  std::string fan_out_dir;         ///< shard/journal directory for fan-out
+  std::string fan_out_worker_exe;  ///< inplane_distd binary for fan-out
+  /// Test hook: called by every sweep *leader* after it has registered
+  /// itself as in-flight (joiners can already join) and before the sweep
+  /// starts.  Blocking in the hook holds the sweep open deterministically.
+  std::function<void(const WisdomKey&)> on_sweep_start;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions options);
+  ~TuningService();
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Blocking tune: wisdom lookup, dedup join or led sweep.  Thread-safe;
+  /// call it from as many threads as you like.  Throws
+  /// ResourceExhaustedError when the request's deadline/cancel fires,
+  /// InvalidConfigError for an unresolvable key, and propagates sweep
+  /// failures (joiners see the leader's failure).
+  [[nodiscard]] TuneOutcome tune(const TuneRequest& request);
+
+  /// Stamps the device fingerprint onto @p key (resolving the device
+  /// name), exactly as tune() does before touching the cache.  Throws
+  /// InvalidConfigError for an unknown device.
+  [[nodiscard]] WisdomKey stamp(const WisdomKey& key) const;
+
+  [[nodiscard]] ServiceCounters counters() const;
+  [[nodiscard]] WisdomCache& cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Runs the identical sweep tune() would lead for @p key — same
+/// coefficients (StencilCoeffs::diffusion), same policy, no cache, no
+/// dedup — and returns the best entry.  This is the single-process
+/// oracle the concurrency stress harness compares bit-identity against.
+[[nodiscard]] autotune::TuneEntry direct_tune(const WisdomKey& key,
+                                              const ExecPolicy& policy = {});
+
+}  // namespace inplane::service

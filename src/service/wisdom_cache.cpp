@@ -1,0 +1,558 @@
+#include "service/wisdom_cache.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/fingerprint.hpp"
+#include "core/crc32.hpp"
+#include "core/status.hpp"
+#include "metrics/metrics.hpp"
+
+namespace inplane::service {
+
+namespace {
+
+/// Wisdom-cache instruments (scope "service").  service.cache_hits and
+/// service.evictions are part of the daemon's documented counter set.
+struct WisdomMetrics {
+  metrics::Counter& cache_hits;
+  metrics::Counter& cache_misses;
+  metrics::Counter& evictions;
+  metrics::Counter& records_recovered;
+  metrics::Counter& torn_tails;
+  metrics::Counter& rejected_files;
+  metrics::Counter& compactions;
+
+  static WisdomMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static WisdomMetrics m{
+        reg.counter("service.cache_hits"),
+        reg.counter("service.cache_misses"),
+        reg.counter("service.evictions"),
+        reg.counter("service.wisdom.records_recovered"),
+        reg.counter("service.wisdom.torn_tails"),
+        reg.counter("service.wisdom.rejected_files"),
+        reg.counter("service.wisdom.compactions"),
+    };
+    return m;
+  }
+};
+
+constexpr char kMagic[6] = {'I', 'P', 'W', 'Z', '1', '\n'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+std::uint64_t schema_fingerprint() {
+  return autotune::fnv1a_str(autotune::kFingerprintSeed, "inplane-wisdom-v1");
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+bool take_u32(const std::string& buf, std::size_t& pos, std::uint32_t& v) {
+  if (pos + 4 > buf.size()) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf.data() + pos);
+  v = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+      (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+  pos += 4;
+  return true;
+}
+
+bool take_str(const std::string& buf, std::size_t& pos, std::string& s) {
+  std::uint32_t n = 0;
+  if (!take_u32(buf, pos, n) || pos + n > buf.size()) return false;
+  s.assign(buf.data() + pos, n);
+  pos += n;
+  return true;
+}
+
+/// Key/value fields must survive the space-separated key=value line
+/// format: printable, no whitespace, no '='.
+bool is_token(const std::string& s) {
+  if (s.empty() || s.size() > 256) return false;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7f || c == '=') return false;
+  }
+  return true;
+}
+
+bool parse_int(const std::string& v, long long lo, long long hi, long long& out) {
+  if (v.empty() || v.size() > 20) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  if (x < lo || x > hi) return false;
+  out = x;
+  return true;
+}
+
+void sync_path(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  sync_path(parent.empty() ? std::string(".") : parent.string());
+}
+
+std::string encode_record(const std::string& key_line, const std::string& entry) {
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(key_line.size()));
+  payload.append(key_line);
+  put_u32(payload, static_cast<std::uint32_t>(entry.size()));
+  payload.append(entry);
+  return payload;
+}
+
+std::string frame_record(const std::string& payload) {
+  std::string framed;
+  put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  put_u32(framed, crc32(payload.data(), payload.size()));
+  framed.append(payload);
+  return framed;
+}
+
+}  // namespace
+
+WisdomKey WisdomKey::canonical() const {
+  WisdomKey k = *this;
+  if (k.kind == "exhaustive") k.beta = 0.0;
+  return k;
+}
+
+std::uint64_t WisdomKey::fingerprint() const {
+  const WisdomKey k = canonical();
+  std::uint64_t h = autotune::problem_fingerprint(k.method, k.device, k.extent,
+                                                  k.elem_size(), k.kind);
+  const std::int64_t ints[2] = {k.order, static_cast<std::int64_t>(k.device_fp)};
+  h = autotune::fnv1a(h, ints, sizeof(ints));
+  h = autotune::fnv1a(h, &k.beta, sizeof(k.beta));
+  return h;
+}
+
+std::string WisdomKey::to_line() const {
+  const WisdomKey k = canonical();
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "method=%s device=%s devfp=0x%016" PRIx64
+                " order=%d prec=%s nx=%d ny=%d nz=%d kind=%s beta=%.17g",
+                k.method.c_str(), k.device.c_str(), k.device_fp, k.order,
+                k.double_precision ? "dp" : "sp", k.extent.nx, k.extent.ny,
+                k.extent.nz, k.kind.c_str(), k.beta);
+  return buf;
+}
+
+std::optional<WisdomKey> WisdomKey::parse(const std::string& line, std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<WisdomKey> {
+    if (error != nullptr) *error = "wisdom key: " + why;
+    return std::nullopt;
+  };
+  if (line.size() > 4096) return fail("line longer than 4096 bytes");
+  WisdomKey key;
+  key.extent = Extent3{0, 0, 0};
+  bool seen[10] = {};  // method device devfp order prec nx ny nz kind beta
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(pos, end - pos);
+    pos = end + (end < line.size() ? 1 : 0);
+    if (token.empty()) return fail("empty token (double space?)");
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return fail("token without '=': '" + token + "'");
+    const std::string k = token.substr(0, eq);
+    const std::string v = token.substr(eq + 1);
+    const auto once = [&](int idx) {
+      if (seen[idx]) return false;
+      seen[idx] = true;
+      return true;
+    };
+    long long n = 0;
+    if (k == "method") {
+      if (!once(0)) return fail("duplicate method");
+      if (!is_token(v)) return fail("bad method value");
+      key.method = v;
+    } else if (k == "device") {
+      if (!once(1)) return fail("duplicate device");
+      if (!is_token(v)) return fail("bad device value");
+      key.device = v;
+    } else if (k == "devfp") {
+      if (!once(2)) return fail("duplicate devfp");
+      if (v.size() < 3 || v.size() > 18 || v[0] != '0' || (v[1] != 'x' && v[1] != 'X')) {
+        return fail("devfp must be 0x-prefixed hex");
+      }
+      errno = 0;
+      char* endp = nullptr;
+      key.device_fp = std::strtoull(v.c_str(), &endp, 16);
+      if (errno != 0 || endp == nullptr || *endp != '\0') return fail("bad devfp");
+    } else if (k == "order") {
+      if (!once(3)) return fail("duplicate order");
+      if (!parse_int(v, 1, 64, n)) return fail("order out of range [1, 64]");
+      key.order = static_cast<int>(n);
+    } else if (k == "prec") {
+      if (!once(4)) return fail("duplicate prec");
+      if (v == "sp") {
+        key.double_precision = false;
+      } else if (v == "dp") {
+        key.double_precision = true;
+      } else {
+        return fail("prec must be sp or dp");
+      }
+    } else if (k == "nx" || k == "ny" || k == "nz") {
+      const int idx = k == "nx" ? 5 : k == "ny" ? 6 : 7;
+      if (!once(idx)) return fail("duplicate " + k);
+      if (!parse_int(v, 1, 1 << 24, n)) return fail(k + " out of range [1, 2^24]");
+      (idx == 5 ? key.extent.nx : idx == 6 ? key.extent.ny : key.extent.nz) =
+          static_cast<int>(n);
+    } else if (k == "kind") {
+      if (!once(8)) return fail("duplicate kind");
+      if (v != "exhaustive" && v != "model") return fail("kind must be exhaustive or model");
+      key.kind = v;
+    } else if (k == "beta") {
+      if (!once(9)) return fail("duplicate beta");
+      if (v.empty() || v.size() > 32) return fail("bad beta");
+      errno = 0;
+      char* endp = nullptr;
+      key.beta = std::strtod(v.c_str(), &endp);
+      if (errno != 0 || endp == nullptr || *endp != '\0') return fail("bad beta");
+      if (!(key.beta >= 0.0 && key.beta <= 1.0)) return fail("beta out of [0, 1]");
+    } else {
+      return fail("unknown field '" + k + "'");
+    }
+  }
+  // devfp (index 2) is optional: the daemon stamps it after resolving the
+  // device server-side; a wire request carries the name only.
+  static const char* kNames[10] = {"method", "device", "devfp", "order", "prec",
+                                   "nx",     "ny",     "nz",    "kind",  "beta"};
+  for (int i = 0; i < 10; ++i) {
+    if (i != 2 && !seen[i]) return fail(std::string("missing field '") + kNames[i] + "'");
+  }
+  return key.canonical();
+}
+
+// --------------------------------------------------------------------------
+
+struct WisdomCache::Impl {
+  struct Entry {
+    WisdomKey key;
+    autotune::TuneEntry best;
+  };
+
+  mutable std::mutex mu;
+  std::size_t capacity = 256;
+  std::list<Entry> lru;  ///< front = least recently used, back = most recent
+  std::map<std::string, std::list<Entry>::iterator> index;  ///< by key line
+  Stats stats;
+  std::string path;
+  std::FILE* file = nullptr;
+
+  // Torn-write crash simulation (simulate_torn_write_after).
+  bool torn_armed = false;
+  std::size_t torn_countdown = 0;
+  int torn_exit_code = -1;
+
+  ~Impl() {
+    if (file != nullptr) std::fclose(file);
+  }
+
+  void touch(std::list<Entry>::iterator it) { lru.splice(lru.end(), lru, it); }
+
+  /// In-memory insert/update + recency bump; returns true when the put
+  /// evicted an LRU victim (the caller then compacts instead of appending).
+  bool put_mem(const WisdomKey& key, const autotune::TuneEntry& best,
+               const std::string& line) {
+    if (const auto it = index.find(line); it != index.end()) {
+      it->second->best = best;
+      touch(it->second);
+      stats.updates += 1;
+      return false;
+    }
+    bool evicted = false;
+    while (lru.size() >= capacity && !lru.empty()) {
+      index.erase(lru.front().key.to_line());
+      lru.pop_front();
+      stats.evictions += 1;
+      WisdomMetrics::get().evictions.add();
+      evicted = true;
+    }
+    lru.push_back(Entry{key, best});
+    index.emplace(line, std::prev(lru.end()));
+    stats.insertions += 1;
+    return evicted;
+  }
+
+  void write_or_die(const void* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, file) != n || std::fflush(file) != 0) {
+      throw IoError("wisdom: short write appending to " + path);
+    }
+  }
+
+  /// Appends one framed record, honouring the torn-write simulation.
+  void append_record(const std::string& key_line, const std::string& entry_payload) {
+    if (file == nullptr) return;
+    const std::string framed = frame_record(encode_record(key_line, entry_payload));
+    if (torn_armed) {
+      if (torn_countdown == 0) {
+        // Crash mid-record: flush only the first half of the frame, then
+        // die (or drop the handle) exactly as a killed daemon would.
+        const std::size_t half = framed.size() / 2;
+        (void)std::fwrite(framed.data(), 1, half, file);
+        (void)std::fflush(file);
+        if (torn_exit_code >= 0) std::_Exit(torn_exit_code);
+        std::fclose(file);
+        file = nullptr;
+        torn_armed = false;
+        return;
+      }
+      torn_countdown -= 1;
+    }
+    write_or_die(framed.data(), framed.size());
+  }
+
+  /// Rewrites path to exactly the live set (LRU order) atomically.
+  void compact_locked() {
+    if (path.empty()) return;
+    const std::string tmp = path + ".tmp";
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) throw IoError("wisdom: cannot create " + tmp);
+    const std::uint64_t schema = schema_fingerprint();
+    bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), out) == sizeof(kMagic) &&
+              std::fwrite(&schema, 1, sizeof(schema), out) == sizeof(schema);
+    for (const Entry& e : lru) {
+      if (!ok) break;
+      const std::string framed =
+          frame_record(encode_record(e.key.to_line(), autotune::encode_tune_entry(e.best)));
+      ok = std::fwrite(framed.data(), 1, framed.size(), out) == framed.size();
+    }
+    ok = ok && std::fflush(out) == 0;
+    std::fclose(out);
+    if (!ok) throw IoError("wisdom: short write compacting to " + tmp);
+    sync_path(tmp);
+    if (file != nullptr) {
+      std::fclose(file);
+      file = nullptr;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) throw IoError("wisdom: cannot rename " + tmp + " over " + path);
+    sync_path(path);
+    sync_parent_dir(path);
+    file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) throw IoError("wisdom: cannot reopen " + path);
+    stats.compactions += 1;
+    WisdomMetrics::get().compactions.add();
+  }
+};
+
+WisdomCache::WisdomCache(std::size_t capacity) : impl_(new Impl) {
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+}
+
+WisdomCache::~WisdomCache() { delete impl_; }
+
+bool WisdomCache::is_open() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return !impl_->path.empty();
+}
+
+void WisdomCache::open(const std::string& path, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl& im = *impl_;
+  im.capacity = capacity == 0 ? 1 : capacity;
+  im.lru.clear();
+  im.index.clear();
+  if (im.file != nullptr) {
+    std::fclose(im.file);
+    im.file = nullptr;
+  }
+
+  // Scan whatever is there: header, then the CRC-valid record prefix.
+  bool header_ok = false;
+  bool fresh_needed = true;
+  std::size_t valid_end = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char magic[sizeof(kMagic)] = {};
+    std::uint64_t schema = 0;
+    if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+        std::fread(&schema, 1, sizeof(schema), f) == sizeof(schema) &&
+        schema == schema_fingerprint()) {
+      header_ok = true;
+      fresh_needed = false;
+      valid_end = kHeaderBytes;
+      for (;;) {
+        std::uint32_t len = 0;
+        std::uint32_t crc = 0;
+        if (std::fread(&len, 1, sizeof(len), f) != sizeof(len)) break;
+        if (std::fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) break;
+        if (len > kMaxRecordBytes) break;
+        std::string payload(len, '\0');
+        if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
+        if (crc32(payload.data(), payload.size()) != crc) break;
+        std::size_t pos = 0;
+        std::string key_line;
+        std::string entry_payload;
+        if (!take_str(payload, pos, key_line) ||
+            !take_str(payload, pos, entry_payload) || pos != payload.size()) {
+          break;
+        }
+        const auto key = WisdomKey::parse(key_line);
+        autotune::TuneEntry entry;
+        if (!key || !autotune::decode_tune_entry(entry_payload, entry)) break;
+        im.put_mem(*key, entry, key->to_line());
+        im.stats.records_recovered += 1;
+        WisdomMetrics::get().records_recovered.add();
+        valid_end += sizeof(len) + sizeof(crc) + len;
+      }
+    }
+    std::fclose(f);
+    if (!header_ok) {
+      // Foreign or corrupt wisdom file: never trust it, never clobber it.
+      const std::string orphan = path + ".orphan";
+      std::error_code ec;
+      std::filesystem::rename(path, orphan, ec);
+      if (ec) {
+        throw IoError("wisdom: cannot preserve unrecognised file " + path + " as " +
+                      orphan);
+      }
+      std::fprintf(stderr,
+                   "wisdom: WARNING: %s is not a readable wisdom file; preserved "
+                   "as %s and starting fresh\n",
+                   path.c_str(), orphan.c_str());
+      im.stats.rejected_file = true;
+      WisdomMetrics::get().rejected_files.add();
+    }
+  }
+
+  if (fresh_needed) {
+    // Header via write-temp + atomic rename (crash-safe creation).
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) throw IoError("wisdom: cannot create " + tmp);
+    const std::uint64_t schema = schema_fingerprint();
+    const bool wrote = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic) &&
+                       std::fwrite(&schema, 1, sizeof(schema), f) == sizeof(schema) &&
+                       std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote) throw IoError("wisdom: short write creating " + tmp);
+    sync_path(tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) throw IoError("wisdom: cannot rename " + tmp + " over " + path);
+    sync_path(path);
+    sync_parent_dir(path);
+  } else {
+    // Drop the torn tail (a record the dead writer never finished) so
+    // appends continue from a clean edge.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size > valid_end) {
+      im.stats.torn_bytes = static_cast<std::size_t>(size) - valid_end;
+      WisdomMetrics::get().torn_tails.add();
+      std::fprintf(stderr,
+                   "wisdom: WARNING: discarded %zu torn byte(s) at the tail of %s\n",
+                   im.stats.torn_bytes, path.c_str());
+      std::filesystem::resize_file(path, valid_end, ec);
+      if (ec) {
+        throw IoError("wisdom: cannot truncate torn tail of " + path,
+                      static_cast<long long>(valid_end));
+      }
+    }
+  }
+
+  im.file = std::fopen(path.c_str(), "ab");
+  if (im.file == nullptr) throw IoError("wisdom: cannot open " + path + " for appending");
+  im.path = path;
+}
+
+std::optional<autotune::TuneEntry> WisdomCache::find(const WisdomKey& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->index.find(key.canonical().to_line());
+  if (it == impl_->index.end()) {
+    impl_->stats.misses += 1;
+    WisdomMetrics::get().cache_misses.add();
+    return std::nullopt;
+  }
+  impl_->touch(it->second);
+  impl_->stats.hits += 1;
+  WisdomMetrics::get().cache_hits.add();
+  return it->second->best;
+}
+
+void WisdomCache::put(const WisdomKey& key, const autotune::TuneEntry& best) {
+  const WisdomKey canon = key.canonical();
+  if (!is_token(canon.method) || !is_token(canon.device) || !is_token(canon.kind)) {
+    throw InvalidConfigError("wisdom: key fields must be space-free tokens: " +
+                             canon.method + " / " + canon.device + " / " + canon.kind);
+  }
+  const std::string line = canon.to_line();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const bool evicted = impl_->put_mem(canon, best, line);
+  if (impl_->path.empty()) return;
+  if (evicted) {
+    // The file still carries the victim; rewrite it to the live set so
+    // the on-disk size stays bounded by the capacity.
+    impl_->compact_locked();
+  } else {
+    impl_->append_record(line, autotune::encode_tune_entry(best));
+  }
+}
+
+std::size_t WisdomCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->lru.size();
+}
+
+std::size_t WisdomCache::capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->capacity;
+}
+
+WisdomCache::Stats WisdomCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+std::vector<WisdomKey> WisdomCache::lru_order() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<WisdomKey> keys;
+  keys.reserve(impl_->lru.size());
+  for (const auto& e : impl_->lru) keys.push_back(e.key);
+  return keys;
+}
+
+void WisdomCache::compact() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->path.empty()) impl_->compact_locked();
+}
+
+void WisdomCache::simulate_torn_write_after(std::size_t puts, int exit_code) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->torn_armed = true;
+  impl_->torn_countdown = puts;
+  impl_->torn_exit_code = exit_code;
+  if (puts == 0 && exit_code == 0) impl_->torn_armed = false;  // disarm idiom
+}
+
+}  // namespace inplane::service

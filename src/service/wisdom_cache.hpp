@@ -1,0 +1,160 @@
+#pragma once
+
+// The tuner daemon's persistent wisdom cache: best-known launch configs
+// memoized across runs, keyed by (device fingerprint, stencil spec, grid
+// shape).  Modeled on kernel_launcher's TuningCache wisdom files, but
+// persisted in the repo's own CRC-framed journal framing (the IPTJ2
+// record layout of autotune/checkpoint.cpp) so the same torn-tail /
+// loud-reject recovery rules apply:
+//
+//   header  "IPWZ1\n" + u64 schema fingerprint
+//   record* u32 payload_len | u32 crc32 | payload
+//   payload u32 key_len | key line (WisdomKey::to_line) |
+//           u32 entry_len | IPTJ2 TuneEntry payload (encode_tune_entry)
+//
+// Recovery rules:
+//  * records are appended and flushed one put at a time — a daemon killed
+//    mid-write loses at most the record being written; open() reloads the
+//    valid prefix and truncates the torn tail (loudly, with a counter);
+//  * a file whose header is foreign/corrupt is *never* trusted or
+//    silently overwritten: it is preserved as <path>.orphan, a warning is
+//    printed, and a fresh cache starts (the re-tune is clean);
+//  * within the valid prefix the *last* record per key wins, so re-puts
+//    update in place across restarts.
+//
+// Bounding: the cache holds at most `capacity` entries under LRU —
+// find() and put() both refresh recency.  An eviction compacts the file
+// (live entries only, least-recent first) via write-temp + fsync +
+// atomic rename, so the on-disk file never grows without bound and a
+// crash during compaction leaves the previous complete file.
+//
+// Thread safety: every public method serialises on one internal mutex;
+// the service's request threads share a cache freely.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "core/extent.hpp"
+
+namespace inplane::service {
+
+/// Identity of one tuning problem as the wisdom cache keys it: the
+/// checkpoint-journal identity (method, device, extent, element size,
+/// kind) widened by the stencil order, the model-guided beta and a
+/// fingerprint of the *full device description* — two .device files that
+/// share a name but differ in bandwidth must never alias.
+struct WisdomKey {
+  std::string method = "fullslice";  ///< CLI method name
+  std::string device = "gtx580";     ///< device preset name or .device path
+  std::uint64_t device_fp = 0;       ///< autotune::device_fingerprint of the spec
+  int order = 2;                     ///< stencil order (radius * 2)
+  bool double_precision = false;
+  Extent3 extent{512, 512, 256};
+  std::string kind = "exhaustive";   ///< "exhaustive" | "model"
+  double beta = 0.0;                 ///< model-guided measured fraction
+
+  [[nodiscard]] std::size_t elem_size() const {
+    return double_precision ? sizeof(double) : sizeof(float);
+  }
+
+  /// Canonical form: exhaustive sweeps ignore beta, so it is pinned to 0
+  /// to keep "exhaustive beta=0.05" and "exhaustive beta=0.2" from
+  /// occupying two cache slots for the same sweep.
+  [[nodiscard]] WisdomKey canonical() const;
+
+  /// Identity hash over every field (via autotune's FNV-1a primitives).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// One-line key=value serialization, stable field order:
+  ///   method=... device=... devfp=0x... order=... prec=sp|dp
+  ///   nx=... ny=... nz=... kind=... beta=...
+  /// This line is both the cache-file key and the wire form the daemon's
+  /// TUNE requests use, so the parser below is fuzzed (tools/stencil_fuzz
+  /// --wisdom-iters) and its shrunk rejects pinned in the replay corpus.
+  [[nodiscard]] std::string to_line() const;
+
+  /// Strict inverse of to_line(): every field present exactly once
+  /// (devfp may be omitted — the daemon stamps it server-side), no
+  /// unknown keys, no trailing garbage, every number in range.  Returns
+  /// std::nullopt and fills @p error on any violation — a malformed key
+  /// is *loudly rejected*, never guessed at.
+  [[nodiscard]] static std::optional<WisdomKey> parse(const std::string& line,
+                                                      std::string* error = nullptr);
+
+  [[nodiscard]] bool operator==(const WisdomKey&) const = default;
+};
+
+class WisdomCache {
+ public:
+  /// What one cache observed since construction (monotonic; next to the
+  /// `service.*` metrics these are the exact values the property tests
+  /// assert on).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;   ///< puts of a new key
+    std::size_t updates = 0;      ///< puts of an existing key
+    std::size_t evictions = 0;    ///< LRU victims dropped at capacity
+    std::size_t compactions = 0;  ///< atomic-rename rewrites of the file
+    std::size_t records_recovered = 0;  ///< valid records adopted by open()
+    std::size_t torn_bytes = 0;   ///< bytes discarded after the valid prefix
+    bool rejected_file = false;   ///< open() refused a foreign/corrupt header
+  };
+
+  /// In-memory cache (no persistence) holding at most @p capacity entries.
+  explicit WisdomCache(std::size_t capacity = 256);
+  ~WisdomCache();
+  WisdomCache(const WisdomCache&) = delete;
+  WisdomCache& operator=(const WisdomCache&) = delete;
+
+  /// Attaches the cache to @p path (created if absent) and reloads
+  /// whatever valid prefix an existing wisdom file holds, oldest record
+  /// first — so the reloaded LRU order is the append order.  Throws
+  /// IoError when the path cannot be created/opened.
+  void open(const std::string& path, std::size_t capacity);
+
+  [[nodiscard]] bool is_open() const;
+
+  /// Looks up @p key (canonicalised) and refreshes its recency.
+  [[nodiscard]] std::optional<autotune::TuneEntry> find(const WisdomKey& key);
+
+  /// Inserts or updates the best entry for @p key, refreshes recency,
+  /// appends the record to the wisdom file and flushes it.  At capacity
+  /// the least-recently-used entry is evicted first and the file is
+  /// compacted.
+  void put(const WisdomKey& key, const autotune::TuneEntry& best);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] Stats stats() const;
+
+  /// Keys in recency order, least recently used first (test oracle).
+  [[nodiscard]] std::vector<WisdomKey> lru_order() const;
+
+  /// Rewrites the wisdom file to exactly the live entries (LRU order,
+  /// least-recent first) via write-temp + fsync + atomic rename.  No-op
+  /// for an in-memory cache.
+  void compact();
+
+  /// Crash-simulation hook for the torn-write tests and
+  /// tools/cli_service_crash.sh: after @p puts further successful puts,
+  /// the *next* append writes only half of its record's bytes and then
+  /// either hard-exits the process (when @p exit_code >= 0) or drops the
+  /// file handle mid-record (exit_code < 0), leaving a torn tail for the
+  /// next open() to recover from.  0 disarms.
+  void simulate_torn_write_after(std::size_t puts, int exit_code);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace inplane::service

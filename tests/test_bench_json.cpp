@@ -274,13 +274,18 @@ TEST(BenchJson, WriteBenchReportProducesValidatedFile) {
 class BenchDiffTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per test case: ctest runs discovered cases as separate
+    // processes in the same working directory, so a shared relative
+    // path collides under ctest -j.
+    root_ = std::string("test_bench_diff_tmp_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(root_);
     old_dir_ = root_ + "/old";
     new_dir_ = root_ + "/new";
   }
   void TearDown() override { std::filesystem::remove_all(root_); }
 
-  std::string root_ = "test_bench_diff_tmp";
+  std::string root_;
   std::string old_dir_;
   std::string new_dir_;
 };

@@ -1,0 +1,670 @@
+// Concurrency/property harness for the tuning-as-a-service layer:
+// cache-hit/no-sweep pinning, in-flight dedup determinism, a >= 32-thread
+// mixed-traffic stress run whose answers are bit-identical to a direct
+// single-process tune(), per-request QoS (deadline + memory budget),
+// socket end-to-end protocol, distributed fan-out bit-identity, the
+// fingerprint cross-implementation law, and the core/process.hpp
+// ChildProcess edge cases the daemon's supervision depends on.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "autotune/fingerprint.hpp"
+#include "core/process.hpp"
+#include "core/status.hpp"
+#include "distributed/sweep_spec.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/resources.hpp"
+#include "metrics/metrics.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace fs = std::filesystem;
+using namespace inplane;
+using service::Source;
+using service::TuneOutcome;
+using service::TuneRequest;
+using service::TuningService;
+using service::WisdomKey;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Tiny-grid model-guided keys: each sweep is a few ms, so real sweeps
+/// are affordable inside the stress tests.
+WisdomKey small_key(int i) {
+  WisdomKey key;
+  key.method = (i % 2 == 0) ? "fullslice" : "classical";
+  key.device = "gtx580";
+  key.order = 2 + 2 * (i % 2);
+  key.extent = Extent3{64, 32, 8 + 4 * (i / 2)};
+  key.kind = "model";
+  key.beta = 0.05;
+  return key;
+}
+
+std::string temp_name(const char* tag) {
+  static std::atomic<int> n{0};
+  return (fs::temp_directory_path() /
+          ("svc_test_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+           "_" + std::to_string(n.fetch_add(1))))
+      .string();
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::remove(path + ".orphan", ec);
+    fs::remove(path + ".tmp", ec);
+  }
+};
+
+std::string oracle_payload(const WisdomKey& key) {
+  return autotune::encode_tune_entry(service::direct_tune(key));
+}
+
+// ------------------------------------------------- fingerprint law --
+
+TEST(FingerprintCrossImpl, EveryLayerDerivesTheSameProblemFingerprint) {
+  const auto device = gpusim::DeviceSpec::geforce_gtx580();
+  const Extent3 extent{128, 64, 16};
+
+  // Layer 1: the raw primitive, fed the canonical vocabulary (the
+  // kernels::to_string method name and the device's display name — NOT
+  // the CLI aliases "fullslice"/"gtx580", which every layer resolves
+  // before hashing).
+  const std::uint64_t raw = autotune::problem_fingerprint(
+      kernels::to_string(kernels::Method::InPlaneFullSlice), device.name,
+      extent, sizeof(float), "exhaustive");
+
+  // Layer 2: the shared CheckpointKey constructor (tuner journals).
+  const autotune::CheckpointKey ck = autotune::make_checkpoint_key(
+      kernels::Method::InPlaneFullSlice, device, extent, sizeof(float),
+      "exhaustive");
+  EXPECT_EQ(ck.fingerprint(), raw);
+
+  // Layer 3: the distributed sweep spec (shard journals).
+  distributed::SweepSpec spec;
+  spec.method = "fullslice";
+  spec.device = "gtx580";
+  spec.extent = extent;
+  spec.order = 4;
+  spec.kind = "exhaustive";
+  EXPECT_EQ(distributed::checkpoint_key(spec, extent).fingerprint(), raw);
+
+  // Layer 4: the wisdom key chains the same primitive (widened by order,
+  // device fingerprint and beta — so it must *differ*, deterministically).
+  WisdomKey wk;
+  wk.method = "fullslice";
+  wk.device = "gtx580";
+  wk.extent = extent;
+  wk.order = 4;
+  wk.kind = "exhaustive";
+  EXPECT_NE(wk.fingerprint(), raw);
+  EXPECT_EQ(wk.fingerprint(), wk.canonical().fingerprint());
+}
+
+TEST(FingerprintCrossImpl, DeviceFingerprintSeesNumericFieldsNotJustTheName) {
+  auto a = gpusim::DeviceSpec::geforce_gtx580();
+  auto b = a;
+  EXPECT_EQ(autotune::device_fingerprint(a), autotune::device_fingerprint(b));
+  b.achieved_bw_gbs += 1.0;
+  EXPECT_NE(autotune::device_fingerprint(a), autotune::device_fingerprint(b));
+  auto c = a;
+  c.sm_count += 1;
+  EXPECT_NE(autotune::device_fingerprint(a), autotune::device_fingerprint(c));
+}
+
+// ------------------------------------------------ ChildProcess edges --
+
+TEST(ChildProcessEdge, SpawnOfNonexistentBinaryThrowsIoError) {
+  EXPECT_THROW(
+      (void)core::ChildProcess::spawn({"/nonexistent/inplane_no_such_binary"}),
+      IoError);
+}
+
+TEST(ChildProcessEdge, SpawnOfEmptyArgvThrowsInvalidConfig) {
+  EXPECT_THROW((void)core::ChildProcess::spawn({}), InvalidConfigError);
+}
+
+TEST(ChildProcessEdge, WaitOnDefaultConstructedThrows) {
+  core::ChildProcess p;
+  EXPECT_FALSE(p.valid());
+  EXPECT_THROW((void)p.wait(), InternalError);
+}
+
+TEST(ChildProcessEdge, PollTerminateKillOnDefaultConstructedAreSafe) {
+  core::ChildProcess p;
+  EXPECT_EQ(p.poll(), std::nullopt);
+  p.terminate();  // must be no-ops, not crashes
+  p.kill_hard();
+  EXPECT_EQ(p.poll(), std::nullopt);
+}
+
+TEST(ChildProcessEdge, DoubleWaitReturnsTheCachedStatus) {
+  auto p = core::ChildProcess::spawn({"/bin/sh", "-c", "exit 7"});
+  const core::ExitStatus first = p.wait();
+  EXPECT_TRUE(first.exited);
+  EXPECT_EQ(first.code, 7);
+  // The second wait must not block, throw, or reap someone else's child.
+  const core::ExitStatus second = p.wait();
+  EXPECT_TRUE(second.exited);
+  EXPECT_EQ(second.code, 7);
+  const auto polled = p.poll();
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->code, 7);
+}
+
+TEST(ChildProcessEdge, KillImmediatelyAfterSpawnReportsTheSignal) {
+  // Signal delivered before the child gets anywhere: spawn must have
+  // fully attached the pid by the time it returns, so the kill lands on
+  // our child and wait() reports the signal (never a lost process).
+  auto p = core::ChildProcess::spawn({"/bin/sh", "-c", "sleep 30"});
+  ASSERT_TRUE(p.valid());
+  p.kill_hard();
+  const core::ExitStatus status = p.wait();
+  EXPECT_TRUE(status.signalled);
+  EXPECT_EQ(status.signal, SIGKILL);
+  EXPECT_FALSE(status.success());
+}
+
+TEST(ChildProcessEdge, TerminateAfterReapIsANoOp) {
+  auto p = core::ChildProcess::spawn({"/bin/true"});
+  (void)p.wait();
+  p.terminate();  // child already reaped; the pid must not be re-signalled
+  p.kill_hard();
+  EXPECT_TRUE(p.poll().has_value());
+}
+
+// ----------------------------------------------------- service core --
+
+TEST(Service, CacheHitServesRepeatTuneWithoutAnySweep) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+
+  const TuneOutcome first = svc.tune(req);
+  EXPECT_EQ(first.source, Source::Swept);
+  const TuneOutcome second = svc.tune(req);
+  EXPECT_EQ(second.source, Source::CacheHit);
+  EXPECT_EQ(second.entry_payload(), first.entry_payload());
+
+  // The pin: exactly one sweep for two requests.
+  const service::ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.sweeps, 1u);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.failures, 0u);
+}
+
+TEST(Service, AnswersAreBitIdenticalToDirectTune) {
+  TuningService svc(service::ServiceOptions{});
+  for (int i = 0; i < 3; ++i) {
+    TuneRequest req;
+    req.key = small_key(i);
+    const TuneOutcome out = svc.tune(req);
+    EXPECT_EQ(out.entry_payload(), oracle_payload(small_key(i))) << i;
+  }
+}
+
+TEST(Service, NoCacheBypassesBothCacheAndDedup) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+  req.no_cache = true;
+  EXPECT_EQ(svc.tune(req).source, Source::Swept);
+  EXPECT_EQ(svc.tune(req).source, Source::Swept);
+  // Nothing was published: a normal request still has to sweep.
+  req.no_cache = false;
+  EXPECT_EQ(svc.tune(req).source, Source::Swept);
+  EXPECT_EQ(svc.counters().sweeps, 3u);
+  // ... and that one *was* published.
+  EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
+}
+
+TEST(Service, StampRejectsUnknownDeviceAndMethodLoudly) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+  req.key.device = "vega";
+  EXPECT_THROW((void)svc.tune(req), InvalidConfigError);
+  req.key = small_key(0);
+  req.key.method = "warp9";
+  EXPECT_THROW((void)svc.tune(req), InvalidConfigError);
+  EXPECT_EQ(svc.counters().failures, 2u);
+}
+
+TEST(Service, WisdomPersistsAcrossServiceRestarts) {
+  const PathGuard guard(temp_name("wisdom"));
+  std::string payload;
+  {
+    service::ServiceOptions opts;
+    opts.wisdom_path = guard.path;
+    TuningService svc(opts);
+    TuneRequest req;
+    req.key = small_key(1);
+    payload = svc.tune(req).entry_payload();
+  }
+  service::ServiceOptions opts;
+  opts.wisdom_path = guard.path;
+  TuningService svc(opts);
+  TuneRequest req;
+  req.key = small_key(1);
+  const TuneOutcome out = svc.tune(req);
+  EXPECT_EQ(out.source, Source::CacheHit);
+  EXPECT_EQ(out.entry_payload(), payload);
+  EXPECT_EQ(svc.counters().sweeps, 0u);
+}
+
+TEST(ServiceQos, DeadlineFiresAsResourceExhaustedAndIsNotCached) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+  req.deadline_ms = 1e-6;  // fires on the first poll
+  EXPECT_THROW((void)svc.tune(req), ResourceExhaustedError);
+  EXPECT_EQ(svc.counters().failures, 1u);
+  // The failure was not cached: a sane retry sweeps and succeeds.
+  req.deadline_ms = 0.0;
+  EXPECT_EQ(svc.tune(req).source, Source::Swept);
+}
+
+TEST(ServiceQos, ExternalCancelTokenIsHonoured) {
+  TuningService svc(service::ServiceOptions{});
+  CancelToken cancel;
+  cancel.cancel();
+  TuneRequest req;
+  req.key = small_key(0);
+  req.cancel = &cancel;
+  EXPECT_THROW((void)svc.tune(req), ResourceExhaustedError);
+}
+
+TEST(ServiceQos, BudgetDegradedSweepAnswersButIsNeverCached) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+  req.mem_budget_bytes = 1;  // denies every reservation; floor = 1 candidate
+  const TuneOutcome degraded = svc.tune(req);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_TRUE(degraded.best.timing.valid);
+
+  // A full-fidelity request must re-sweep (the degraded answer was not
+  // published) and match the oracle.
+  req.mem_budget_bytes = 0;
+  const TuneOutcome full = svc.tune(req);
+  EXPECT_EQ(full.source, Source::Swept);
+  EXPECT_FALSE(full.degraded);
+  EXPECT_EQ(full.entry_payload(), oracle_payload(small_key(0)));
+  EXPECT_EQ(svc.counters().sweeps, 2u);
+}
+
+TEST(ServiceMetrics, CountersAreMirroredIntoTheRegistry) {
+  metrics::Registry::global().reset();
+  metrics::set_enabled(true);
+  {
+    TuningService svc(service::ServiceOptions{});
+    TuneRequest req;
+    req.key = small_key(0);
+    (void)svc.tune(req);
+    (void)svc.tune(req);
+  }
+  metrics::set_enabled(false);
+  double requests = -1.0, hits = -1.0, sweeps = -1.0;
+  for (const auto& entry : metrics::Registry::global().snapshot()) {
+    if (entry.name == "service.requests") requests = entry.value;
+    if (entry.name == "service.cache_hits") hits = entry.value;
+    if (entry.name == "service.sweeps") sweeps = entry.value;
+  }
+  EXPECT_EQ(requests, 2.0);
+  EXPECT_EQ(hits, 1.0);
+  EXPECT_EQ(sweeps, 1.0);
+  metrics::Registry::global().reset();
+}
+
+// -------------------------------------------------- dedup determinism --
+
+TEST(ServiceDedup, ConcurrentIdenticalRequestsShareExactlyOneSweep) {
+  constexpr int kThreads = 8;
+
+  // The leader blocks in the sweep-start hook until every other thread
+  // has registered as a joiner — making "N identical concurrent requests,
+  // one sweep" a deterministic fact rather than a race we hope for.
+  std::atomic<TuningService*> svc_ptr{nullptr};
+  service::ServiceOptions opts;
+  opts.on_sweep_start = [&](const WisdomKey&) {
+    TuningService* svc = nullptr;
+    while ((svc = svc_ptr.load()) == nullptr) std::this_thread::yield();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (svc->counters().dedup_joins <
+               static_cast<std::uint64_t>(kThreads - 1) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  TuningService svc(opts);
+  svc_ptr.store(&svc);
+
+  std::mutex mu;
+  std::vector<TuneOutcome> outcomes;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TuneRequest req;
+      req.key = small_key(0);
+      const TuneOutcome out = svc.tune(req);
+      std::lock_guard<std::mutex> lock(mu);
+      outcomes.push_back(out);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(outcomes.size(), static_cast<std::size_t>(kThreads));
+  int swept = 0, joined = 0;
+  for (const TuneOutcome& out : outcomes) {
+    if (out.source == Source::Swept) ++swept;
+    if (out.source == Source::Joined) ++joined;
+    EXPECT_EQ(out.entry_payload(), outcomes.front().entry_payload());
+  }
+  EXPECT_EQ(swept, 1);
+  EXPECT_EQ(joined, kThreads - 1);
+
+  const service::ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(c.sweeps, 1u);
+  EXPECT_EQ(c.dedup_joins, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(c.cache_hits, 0u);
+
+  // Everyone after the melee hits the cache.
+  TuneRequest req;
+  req.key = small_key(0);
+  EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
+}
+
+TEST(ServiceDedup, JoinerDeadlineDoesNotCancelTheLeader) {
+  std::atomic<bool> leader_entered{false};
+  std::atomic<bool> release_leader{false};
+  service::ServiceOptions opts;
+  opts.on_sweep_start = [&](const WisdomKey&) {
+    leader_entered.store(true);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!release_leader.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  TuningService svc(opts);
+
+  std::thread leader([&] {
+    TuneRequest req;
+    req.key = small_key(0);
+    EXPECT_EQ(svc.tune(req).source, Source::Swept);
+  });
+  while (!leader_entered.load()) std::this_thread::yield();
+
+  // A joiner with a tiny deadline gives up on the shared future without
+  // touching the in-flight sweep.
+  TuneRequest hurried;
+  hurried.key = small_key(0);
+  hurried.deadline_ms = 5.0;
+  EXPECT_THROW((void)svc.tune(hurried), ResourceExhaustedError);
+
+  release_leader.store(true);
+  leader.join();
+  EXPECT_EQ(svc.counters().sweeps, 1u);
+  // The leader's answer landed in the cache despite the joiner bailing.
+  TuneRequest req;
+  req.key = small_key(0);
+  EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
+}
+
+// ------------------------------------------------------ stress harness --
+
+TEST(ServiceStress, ThirtyTwoThreadsMixedTrafficBitIdenticalToDirectTune) {
+  constexpr int kThreads = 32;
+  constexpr int kOpsPerThread = 6;
+  constexpr int kKeys = 4;
+
+  // Capacity below the key-pool size, persisted wisdom: evictions,
+  // compactions and re-sweeps all happen under fire.
+  const PathGuard guard(temp_name("stress"));
+  service::ServiceOptions opts;
+  opts.wisdom_path = guard.path;
+  opts.cache_capacity = 3;
+  TuningService svc(opts);
+
+  // Single-process oracle per key, computed up front.
+  std::map<int, std::string> oracle;
+  for (int k = 0; k < kKeys; ++k) oracle[k] = oracle_payload(small_key(k));
+
+  std::atomic<int> hits{0}, sweeps{0}, joins{0}, cancelled{0}, degraded{0};
+  std::mutex mu;
+  std::vector<std::string> mismatches;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rng = 0x5eed0000 + static_cast<std::uint64_t>(t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int k = static_cast<int>(splitmix64(rng) % kKeys);
+        TuneRequest req;
+        req.key = small_key(k);
+        const std::uint64_t roll = splitmix64(rng) % 12;
+        if (roll == 0) req.no_cache = true;
+        if (roll == 1) req.deadline_ms = 1e-6;  // doomed: QoS failure path
+        if (roll == 2) req.mem_budget_bytes = 1;  // degraded path
+        try {
+          const TuneOutcome out = svc.tune(req);
+          switch (out.source) {
+            case Source::CacheHit: hits.fetch_add(1); break;
+            case Source::Swept: sweeps.fetch_add(1); break;
+            case Source::Joined: joins.fetch_add(1); break;
+          }
+          if (out.degraded) {
+            degraded.fetch_add(1);
+          } else if (out.entry_payload() != oracle[k]) {
+            std::lock_guard<std::mutex> lock(mu);
+            mismatches.push_back("key " + std::to_string(k) + " from thread " +
+                                 std::to_string(t));
+          }
+        } catch (const ResourceExhaustedError&) {
+          cancelled.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every non-degraded answer — hit, swept, or joined, cached before or
+  // after an eviction — is bit-identical to the direct tune.
+  EXPECT_TRUE(mismatches.empty()) << mismatches.size() << " mismatches, first: "
+                                  << mismatches.front();
+
+  const service::ServiceCounters c = svc.counters();
+  const int answered = hits.load() + sweeps.load() + joins.load();
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(answered + cancelled.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(c.failures, static_cast<std::uint64_t>(cancelled.load()));
+  EXPECT_EQ(c.cache_hits, static_cast<std::uint64_t>(hits.load()));
+  EXPECT_GE(c.dedup_joins, static_cast<std::uint64_t>(joins.load()));
+  EXPECT_GT(c.sweeps, 0u);
+  // The whole point of the service: far fewer sweeps than requests.
+  EXPECT_LT(c.sweeps, c.requests);
+  EXPECT_LE(svc.cache().size(), opts.cache_capacity);
+
+  // The surviving wisdom reloads cleanly and stays bit-identical.
+  service::ServiceOptions reopened;
+  reopened.wisdom_path = guard.path;
+  reopened.cache_capacity = 3;
+  TuningService svc2(reopened);
+  for (const WisdomKey& key : svc2.cache().lru_order()) {
+    TuneRequest req;
+    req.key = key;
+    const TuneOutcome out = svc2.tune(req);
+    EXPECT_EQ(out.source, Source::CacheHit);
+    // Identify which pool key this is and compare against its oracle.
+    for (int k = 0; k < kKeys; ++k) {
+      if (svc2.stamp(small_key(k)) == key) {
+        EXPECT_EQ(out.entry_payload(), oracle[k]);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ socket layer --
+
+std::string temp_socket() {
+  static std::atomic<int> n{0};
+  return "/tmp/svc_sock_" + std::to_string(::getpid()) + "_" +
+         std::to_string(n.fetch_add(1));
+}
+
+TEST(ServiceSocket, EndToEndProtocolOverAfUnix) {
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::SocketServer server(svc, path);
+  server.start();
+  EXPECT_TRUE(server.running());
+
+  service::Client client(path);
+  client.connect();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+
+  const WisdomKey key = small_key(0);
+  const auto first = service::parse_response(
+      client.roundtrip("TUNE " + key.to_line()));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok);
+  EXPECT_EQ(first->source, "swept");
+  EXPECT_EQ(first->entry_payload, oracle_payload(key));
+
+  const auto second = service::parse_response(
+      client.roundtrip("TUNE " + key.to_line()));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->source, "hit");
+  EXPECT_EQ(second->entry_payload, first->entry_payload);
+
+  const auto run = service::parse_response(
+      client.roundtrip("RUN " + key.to_line()));
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->ok);
+  EXPECT_EQ(run->source, "hit");
+  EXPECT_GT(run->tx, 0);
+  EXPECT_GT(run->mpoints, 0.0);
+
+  // Malformed and doomed requests answer with taxonomy codes, in order.
+  const auto bad = service::parse_response(client.roundtrip("TUNE nonsense"));
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->err_code, 2);
+  const auto late = service::parse_response(
+      client.roundtrip("TUNE " + small_key(1).to_line() + " deadline_ms=1e-6"));
+  ASSERT_TRUE(late.has_value());
+  EXPECT_FALSE(late->ok);
+  EXPECT_EQ(late->err_code, 5);
+
+  const std::string stats = client.roundtrip("STATS");
+  EXPECT_EQ(stats.rfind("OK ", 0), 0u) << stats;
+  EXPECT_NE(stats.find("cache_hits="), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ServiceSocket, ConcurrentClientsAgreeBitForBit) {
+  constexpr int kClients = 8;
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::SocketServer server(svc, path);
+  server.start();
+
+  std::mutex mu;
+  std::vector<std::string> payloads;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      const auto resp = service::tune_over_socket(path, small_key(2));
+      std::lock_guard<std::mutex> lock(mu);
+      ASSERT_TRUE(resp.ok) << resp.message;
+      payloads.push_back(resp.entry_payload);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(payloads.size(), static_cast<std::size_t>(kClients));
+  const std::string oracle = oracle_payload(small_key(2));
+  for (const std::string& p : payloads) EXPECT_EQ(p, oracle);
+  EXPECT_EQ(svc.counters().sweeps, 1u)
+      << "concurrent socket clients must dedup onto one sweep";
+  server.stop();
+}
+
+TEST(ServiceSocket, ShutdownRequestDrainsAndWaitReturns) {
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::SocketServer server(svc, path);
+  server.start();
+
+  service::Client client(path);
+  client.connect();
+  EXPECT_EQ(client.roundtrip("SHUTDOWN"), "OK bye");
+  server.wait();  // must return promptly once SHUTDOWN lands
+  EXPECT_FALSE(server.running());
+  EXPECT_TRUE(server.cancel_token().cancelled());
+}
+
+// -------------------------------------------------- distributed fan-out --
+
+TEST(ServiceFanOut, CacheMissSweepAcrossWorkerFleetIsBitIdentical) {
+  const PathGuard guard(temp_name("fanout"));
+  fs::create_directories(guard.path);
+
+  service::ServiceOptions opts;
+  opts.fan_out_workers = 2;
+  opts.fan_out_dir = guard.path;
+  opts.fan_out_worker_exe = INPLANE_SUPERVISOR_BIN;
+  TuningService svc(opts);
+
+  WisdomKey key;
+  key.method = "fullslice";
+  key.device = "gtx580";
+  key.order = 2;
+  key.extent = Extent3{64, 32, 8};
+  key.kind = "exhaustive";
+
+  TuneRequest req;
+  req.key = key;
+  const TuneOutcome out = svc.tune(req);
+  EXPECT_EQ(out.source, Source::Swept);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.entry_payload(), oracle_payload(key))
+      << "fan-out sweep must be bit-identical to the single-process tune";
+
+  // The fanned-out answer is cached like any other.
+  EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
+  EXPECT_EQ(svc.counters().sweeps, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,491 @@
+// Property and crash-safety tests for the tuner daemon's wisdom cache:
+// key-line round-trip/reject laws, LRU laws against a reference model,
+// capacity invariants under random operation streams, persistence and
+// reload ordering, eviction-driven compaction, and torn-tail / corrupt
+// CRC / foreign-header recovery.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#include "service/wisdom_cache.hpp"
+
+namespace fs = std::filesystem;
+using inplane::autotune::TuneEntry;
+using inplane::autotune::encode_tune_entry;
+using inplane::service::WisdomCache;
+using inplane::service::WisdomKey;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+WisdomKey make_key(int i) {
+  WisdomKey key;
+  key.method = "fullslice";
+  key.device = "gtx580";
+  key.device_fp = std::uint64_t{0xfeed} + static_cast<std::uint64_t>(i);
+  key.order = 4;
+  key.extent = inplane::Extent3{64 + 16 * i, 32, 8};
+  key.kind = "model";
+  key.beta = 0.05;
+  return key;
+}
+
+TuneEntry make_entry(int seed) {
+  TuneEntry e;
+  e.config.tx = 16 + seed;
+  e.config.ty = 8;
+  e.config.rx = 2;
+  e.config.ry = 2;
+  e.config.vec = 1;
+  e.executed = true;
+  e.attempts = 1;
+  e.timing.valid = true;
+  e.timing.seconds = 0.001 * (seed + 1);
+  e.timing.mpoints_per_s = 1000.0 + seed;
+  e.model_mpoints = 900.0 + seed;
+  return e;
+}
+
+void expect_same_entry(const TuneEntry& a, const TuneEntry& b) {
+  EXPECT_EQ(encode_tune_entry(a), encode_tune_entry(b));
+}
+
+std::string temp_path(const char* tag) {
+  static int n = 0;
+  return (fs::temp_directory_path() /
+          ("wisdom_test_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(n++) + ".bin"))
+      .string();
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(path + ".orphan", ec);
+    fs::remove(path + ".tmp", ec);
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------------ key laws --
+
+TEST(WisdomKey, LineRoundTripsThroughParse) {
+  const WisdomKey key = make_key(3);
+  const std::string line = key.to_line();
+  const auto parsed = WisdomKey::parse(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(*parsed, key.canonical());
+  EXPECT_EQ(parsed->to_line(), line);
+}
+
+TEST(WisdomKey, DevfpIsOptionalOnTheWire) {
+  const auto parsed = WisdomKey::parse(
+      "method=classical device=c2070 order=2 prec=dp nx=32 ny=32 nz=8 "
+      "kind=exhaustive beta=0");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->device_fp, 0u);
+  EXPECT_EQ(parsed->method, "classical");
+  EXPECT_TRUE(parsed->double_precision);
+}
+
+TEST(WisdomKey, ParseRejectsMalformedLinesLoudly) {
+  const char* kBad[] = {
+      "",
+      "garbage",
+      "method=fullslice",  // missing fields
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 kind=model",  // duplicate
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 color=red",  // unknown field
+      "method=fullslice device=gtx580 order=0 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05",  // order out of range
+      "method=fullslice device=gtx580 order=4 prec=hp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05",  // bad precision
+      "method=fullslice device=gtx580 order=4 prec=sp nx=0 ny=32 nz=8 "
+      "kind=model beta=0.05",  // zero extent
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=oracle beta=0.05",  // unknown kind
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=1.5",  // beta out of [0, 1]
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64  ny=32 nz=8 "
+      "kind=model beta=0.05",  // double space
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 devfp=12ab",  // devfp without 0x
+      "method=fullslice noequals order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05",  // token without '='
+  };
+  for (const char* line : kBad) {
+    std::string error;
+    EXPECT_FALSE(WisdomKey::parse(line, &error).has_value()) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(WisdomKey, ExhaustiveCanonicalisationPinsBeta) {
+  WisdomKey a = make_key(0);
+  a.kind = "exhaustive";
+  a.beta = 0.3;
+  WisdomKey b = a;
+  b.beta = 0.9;
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.to_line(), b.to_line());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // ... but model-guided sweeps keep beta as part of the identity.
+  a.kind = "model";
+  b.kind = "model";
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(WisdomKey, FingerprintIsSensitiveToEveryField) {
+  const WisdomKey base = make_key(0);
+  const std::uint64_t fp = base.fingerprint();
+  WisdomKey k = base;
+  k.method = "classical";
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.device = "c2070";
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.device_fp ^= 1;
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.order = 6;
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.double_precision = true;
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.extent.nz += 1;
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.kind = "exhaustive";
+  EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.beta = 0.25;
+  EXPECT_NE(k.fingerprint(), fp);
+}
+
+// ------------------------------------------------------------- LRU laws --
+
+TEST(WisdomCacheLru, FindAndPutRefreshRecency) {
+  WisdomCache cache(8);
+  cache.put(make_key(0), make_entry(0));
+  cache.put(make_key(1), make_entry(1));
+  cache.put(make_key(2), make_entry(2));
+  // Recency after three inserts: 0 (LRU), 1, 2 (MRU).
+  ASSERT_EQ(cache.lru_order().size(), 3u);
+  EXPECT_EQ(cache.lru_order().front(), make_key(0).canonical());
+
+  ASSERT_TRUE(cache.find(make_key(0)).has_value());  // bump 0 to MRU
+  EXPECT_EQ(cache.lru_order().front(), make_key(1).canonical());
+  EXPECT_EQ(cache.lru_order().back(), make_key(0).canonical());
+
+  cache.put(make_key(1), make_entry(9));  // update bumps too
+  EXPECT_EQ(cache.lru_order().back(), make_key(1).canonical());
+  expect_same_entry(*cache.find(make_key(1)), make_entry(9));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(WisdomCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  WisdomCache cache(3);
+  for (int i = 0; i < 3; ++i) cache.put(make_key(i), make_entry(i));
+  ASSERT_TRUE(cache.find(make_key(0)).has_value());  // protect 0
+  cache.put(make_key(3), make_entry(3));             // evicts 1, the LRU
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.find(make_key(1)).has_value());
+  EXPECT_TRUE(cache.find(make_key(0)).has_value());
+  EXPECT_TRUE(cache.find(make_key(2)).has_value());
+  EXPECT_TRUE(cache.find(make_key(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// Reference LRU model: a plain vector, least-recent first.
+struct ModelLru {
+  std::size_t capacity;
+  std::vector<std::pair<WisdomKey, int>> items;
+  std::size_t hits = 0, misses = 0, evictions = 0;
+
+  explicit ModelLru(std::size_t cap) : capacity(cap) {}
+
+  std::ptrdiff_t index_of(const WisdomKey& key) const {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].first == key) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  }
+  bool find(const WisdomKey& key) {
+    const auto i = index_of(key);
+    if (i < 0) {
+      ++misses;
+      return false;
+    }
+    auto item = items[static_cast<std::size_t>(i)];
+    items.erase(items.begin() + i);
+    items.push_back(item);
+    ++hits;
+    return true;
+  }
+  void put(const WisdomKey& key, int tag) {
+    const auto i = index_of(key);
+    if (i >= 0) {
+      items.erase(items.begin() + i);
+    } else if (items.size() >= capacity) {
+      items.erase(items.begin());
+      ++evictions;
+    }
+    items.emplace_back(key, tag);
+  }
+};
+
+TEST(WisdomCacheLru, RandomOpStreamMatchesReferenceModel) {
+  constexpr std::size_t kCapacity = 5;
+  constexpr int kKeys = 9;
+  constexpr int kOps = 4000;
+  WisdomCache cache(kCapacity);
+  ModelLru model(kCapacity);
+  std::uint64_t rng = 20260807;
+
+  for (int op = 0; op < kOps; ++op) {
+    const int k = static_cast<int>(splitmix64(rng) % kKeys);
+    const WisdomKey key = make_key(k).canonical();
+    if (splitmix64(rng) % 2 == 0) {
+      const int tag = static_cast<int>(splitmix64(rng) % 32);
+      cache.put(key, make_entry(tag));
+      model.put(key, tag);
+    } else {
+      const auto got = cache.find(key);
+      const bool expected = model.find(key);
+      ASSERT_EQ(got.has_value(), expected) << "op " << op;
+    }
+    // Capacity invariant holds after *every* operation.
+    ASSERT_LE(cache.size(), kCapacity);
+    ASSERT_EQ(cache.size(), model.items.size());
+  }
+
+  // Terminal state: identical recency order, identical values.
+  const std::vector<WisdomKey> order = cache.lru_order();
+  ASSERT_EQ(order.size(), model.items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], model.items[i].first) << "slot " << i;
+    expect_same_entry(*cache.find(model.items[i].first),
+                      make_entry(model.items[i].second));
+  }
+  const WisdomCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, model.hits + order.size());  // final sweep re-finds
+  EXPECT_EQ(stats.misses, model.misses);
+  EXPECT_EQ(stats.evictions, model.evictions);
+}
+
+// --------------------------------------------------------- persistence --
+
+TEST(WisdomCachePersistence, ReloadsEntriesInAppendOrder) {
+  const PathGuard guard(temp_path("reload"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    cache.put(make_key(0), make_entry(0));
+    cache.put(make_key(1), make_entry(1));
+    cache.put(make_key(2), make_entry(2));
+    // A find() bumps in-memory recency but appends nothing: the reload
+    // order is the *file append order*, documented and pinned here.
+    ASSERT_TRUE(cache.find(make_key(0)).has_value());
+  }
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded.stats().records_recovered, 3u);
+  EXPECT_EQ(reloaded.stats().torn_bytes, 0u);
+  const std::vector<WisdomKey> order = reloaded.lru_order();
+  ASSERT_EQ(order.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], make_key(i).canonical());
+    expect_same_entry(*reloaded.find(make_key(i)), make_entry(i));
+  }
+}
+
+TEST(WisdomCachePersistence, LastRecordPerKeyWinsAcrossRestarts) {
+  const PathGuard guard(temp_path("lastwins"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    cache.put(make_key(0), make_entry(1));
+    cache.put(make_key(0), make_entry(7));
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.stats().updates, 1u);
+  }
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 1u);
+  expect_same_entry(*reloaded.find(make_key(0)), make_entry(7));
+}
+
+TEST(WisdomCachePersistence, EvictionCompactsTheFileToLiveEntries) {
+  const PathGuard guard(temp_path("compact"));
+  std::uintmax_t size_before = 0;
+  {
+    WisdomCache cache(2);
+    cache.open(guard.path, 2);
+    cache.put(make_key(0), make_entry(0));
+    cache.put(make_key(1), make_entry(1));
+    size_before = fs::file_size(guard.path);
+    cache.put(make_key(2), make_entry(2));  // evicts key 0, compacts
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_GE(cache.stats().compactions, 1u);
+  }
+  // The compacted file holds exactly the two live entries — the victim's
+  // record is gone, so the file did not grow.
+  EXPECT_LE(fs::file_size(guard.path), size_before);
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_FALSE(reloaded.find(make_key(0)).has_value());
+  EXPECT_TRUE(reloaded.find(make_key(1)).has_value());
+  EXPECT_TRUE(reloaded.find(make_key(2)).has_value());
+}
+
+// --------------------------------------------------------- crash safety --
+
+TEST(WisdomCacheCrash, TornTailIsTruncatedAndValidPrefixRecovered) {
+  const PathGuard guard(temp_path("torn"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    cache.put(make_key(0), make_entry(0));
+    cache.put(make_key(1), make_entry(1));
+  }
+  // Tear the last record: drop 5 bytes from the tail.
+  const std::string bytes = read_file(guard.path);
+  ASSERT_GT(bytes.size(), 5u);
+  write_file(guard.path, bytes.substr(0, bytes.size() - 5));
+
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.stats().records_recovered, 1u);
+  EXPECT_GT(reloaded.stats().torn_bytes, 0u);
+  EXPECT_TRUE(reloaded.find(make_key(0)).has_value());
+  EXPECT_FALSE(reloaded.find(make_key(1)).has_value());
+
+  // The cache stays fully usable: re-put the lost key and reload again.
+  reloaded.put(make_key(1), make_entry(1));
+  WisdomCache again(8);
+  again.open(guard.path, 8);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.stats().torn_bytes, 0u);  // the tail is clean now
+}
+
+TEST(WisdomCacheCrash, CorruptCrcDropsTheRecordAndItsSuffix) {
+  const PathGuard guard(temp_path("crc"));
+  std::uintmax_t first_record_end = 0;
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    cache.put(make_key(0), make_entry(0));
+    first_record_end = fs::file_size(guard.path);
+    cache.put(make_key(1), make_entry(1));
+  }
+  // Flip one payload byte inside the second record.
+  std::string bytes = read_file(guard.path);
+  ASSERT_GT(bytes.size(), first_record_end + 10);
+  bytes[first_record_end + 9] ^= 0x40;
+  write_file(guard.path, bytes);
+
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.find(make_key(0)).has_value());
+  EXPECT_FALSE(reloaded.find(make_key(1)).has_value());
+  EXPECT_GT(reloaded.stats().torn_bytes, 0u);
+}
+
+TEST(WisdomCacheCrash, ForeignFileIsPreservedAsOrphanNotClobbered) {
+  const PathGuard guard(temp_path("foreign"));
+  write_file(guard.path, "this is not a wisdom file at all\n");
+
+  WisdomCache cache(8);
+  cache.open(guard.path, 8);
+  EXPECT_TRUE(cache.stats().rejected_file);
+  EXPECT_EQ(cache.size(), 0u);
+  // The unrecognised bytes survive, byte-for-byte, next to the fresh file.
+  EXPECT_EQ(read_file(guard.path + ".orphan"),
+            "this is not a wisdom file at all\n");
+
+  // And the fresh cache works.
+  cache.put(make_key(0), make_entry(0));
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_FALSE(reloaded.stats().rejected_file);
+  EXPECT_EQ(reloaded.size(), 1u);
+}
+
+TEST(WisdomCacheCrash, SimulatedTornWriteLeavesRecoverablePrefix) {
+  const PathGuard guard(temp_path("hook"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    // Arm: 1 more clean put, then the next one tears mid-record and
+    // drops the file handle (exit_code < 0 = no process exit, testable
+    // in-process).
+    cache.simulate_torn_write_after(1, -1);
+    cache.put(make_key(0), make_entry(0));
+    cache.put(make_key(1), make_entry(1));  // torn on disk, present in memory
+    EXPECT_TRUE(cache.find(make_key(1)).has_value());
+  }
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_GT(reloaded.stats().torn_bytes, 0u);
+  EXPECT_TRUE(reloaded.find(make_key(0)).has_value());
+  EXPECT_FALSE(reloaded.find(make_key(1)).has_value());
+}
+
+TEST(WisdomCacheCrash, CapacityAppliesOnReloadToo) {
+  const PathGuard guard(temp_path("shrinkcap"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    for (int i = 0; i < 6; ++i) cache.put(make_key(i), make_entry(i));
+  }
+  // Reopen with a smaller capacity: only the most recent records survive.
+  WisdomCache reloaded(3);
+  reloaded.open(guard.path, 3);
+  EXPECT_EQ(reloaded.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(reloaded.find(make_key(i)).has_value()) << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_TRUE(reloaded.find(make_key(i)).has_value()) << i;
+  }
+}
+
+}  // namespace

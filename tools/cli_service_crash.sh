@@ -1,0 +1,88 @@
+#!/bin/bash
+# Crash-recovery drill for the tuner daemon's wisdom cache.
+#
+#   cli_service_crash.sh <inplane_tuned-binary>
+#
+# 1. A daemon armed with --torn-kill-after 1 serves one tune (key A,
+#    journaled cleanly), then hard-exits 70 halfway through journaling
+#    key B — a kill -9 mid-write, deterministically.
+# 2. A second daemon on the same wisdom file must (a) warn about and
+#    truncate the torn tail, (b) answer key A from cache with *no* sweep,
+#    (c) re-sweep key B cleanly, and (d) exit 0 on SHUTDOWN.
+set -eu
+
+tuned=$1
+[ -x "$tuned" ] || { echo "cli_service_crash: $tuned not executable" >&2; exit 2; }
+
+dir=$(mktemp -d /tmp/tuned_crash.XXXXXX)
+trap 'kill $daemon_pid 2>/dev/null || true; rm -rf "$dir"' EXIT
+sock=$dir/s
+wisdom=$dir/wisdom.bin
+key_a="method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 kind=model beta=0.05"
+key_b="method=classical device=gtx580 order=2 prec=sp nx=64 ny=32 nz=8 kind=model beta=0.05"
+
+wait_for_daemon() {
+  for _ in $(seq 1 100); do
+    if "$tuned" ping --socket "$sock" >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "cli_service_crash: daemon never became reachable" >&2
+  return 1
+}
+
+# --- Phase 1: daemon that tears its second wisdom append and dies 70.
+"$tuned" serve --socket "$sock" --wisdom "$wisdom" --torn-kill-after 1 \
+  >"$dir/daemon1.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+"$tuned" tune --socket "$sock" --key "$key_a" >"$dir/a1.out"
+grep -q "source=swept" "$dir/a1.out" || {
+  echo "cli_service_crash: first tune of key A should sweep" >&2; exit 1; }
+
+# This request dies mid-journal-write; the client sees the connection drop.
+"$tuned" tune --socket "$sock" --key "$key_b" >"$dir/b1.out" 2>&1 && {
+  echo "cli_service_crash: tune of key B should have lost its daemon" >&2; exit 1; }
+
+rc=0
+wait $daemon_pid || rc=$?
+[ "$rc" -eq 70 ] || {
+  echo "cli_service_crash: daemon 1 exited $rc, expected the torn-write 70" >&2
+  exit 1
+}
+[ -s "$wisdom" ] || { echo "cli_service_crash: wisdom file missing" >&2; exit 1; }
+
+# --- Phase 2: recovery daemon on the same wisdom file.
+"$tuned" serve --socket "$sock" --wisdom "$wisdom" >"$dir/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+grep -q "torn byte" "$dir/daemon2.log" || {
+  echo "cli_service_crash: recovery daemon did not report the torn tail" >&2
+  cat "$dir/daemon2.log" >&2
+  exit 1
+}
+
+"$tuned" tune --socket "$sock" --key "$key_a" >"$dir/a2.out"
+grep -q "source=hit" "$dir/a2.out" || {
+  echo "cli_service_crash: key A should be served from the recovered cache" >&2
+  cat "$dir/a2.out" >&2
+  exit 1
+}
+"$tuned" tune --socket "$sock" --key "$key_b" >"$dir/b2.out"
+grep -q "source=swept" "$dir/b2.out" || {
+  echo "cli_service_crash: torn key B should re-sweep cleanly" >&2; exit 1; }
+
+# Both daemons must agree bit-for-bit on key A (hit == original sweep).
+entry1=$(grep -o "entry=[0-9a-f]*" "$dir/a1.out")
+entry2=$(grep -o "entry=[0-9a-f]*" "$dir/a2.out")
+[ -n "$entry1" ] && [ "$entry1" = "$entry2" ] || {
+  echo "cli_service_crash: recovered entry differs from the swept one" >&2; exit 1; }
+
+"$tuned" shutdown --socket "$sock" >/dev/null
+rc=0
+wait $daemon_pid || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "cli_service_crash: clean SHUTDOWN should exit 0, got $rc" >&2; exit 1; }
+
+echo "cli_service_crash: torn write recovered, cache hit bit-identical, clean exit"

@@ -1,0 +1,176 @@
+// Tuning-as-a-service daemon and client.
+//
+// Daemon:
+//   inplane_tuned serve --socket /tmp/tuned.sock [--wisdom wisdom.bin]
+//                 [--capacity N] [--threads N]
+//                 [--fan-out N --fan-out-dir DIR --worker-exe sweep_supervisor]
+//                 [--torn-kill-after N]
+//
+// The daemon accepts concurrent TUNE / RUN / PING / STATS / SHUTDOWN
+// requests (one line each — see src/service/protocol.hpp) on a local
+// AF_UNIX socket.  Cache hits answer without sweeping; concurrent
+// identical requests dedup onto one sweep; a SHUTDOWN request drains and
+// exits 0.  --torn-kill-after N arms the wisdom cache's crash hook: the
+// N-th wisdom append after startup is torn mid-record and the daemon
+// hard-exits 70 (tools/cli_service_crash.sh uses this to prove the next
+// daemon recovers the valid prefix).
+//
+// Client:
+//   inplane_tuned tune --socket S --key "method=... device=... order=..."
+//                 [--deadline-ms MS] [--mem-budget BYTES] [--no-cache]
+//   inplane_tuned ping|stats|shutdown --socket S
+//
+// Client exit codes follow the repo taxonomy: 0 on an OK response, the
+// daemon's ERR code (2 invalid config, 3 execution fault, 4 I/O,
+// 5 deadline/budget, 1 other) otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/status.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace inplane;
+
+int usage() {
+  std::fputs(
+      "usage: inplane_tuned serve --socket PATH [--wisdom FILE] [--capacity N]\n"
+      "                     [--threads N] [--fan-out N --fan-out-dir DIR\n"
+      "                     --worker-exe BIN] [--torn-kill-after N]\n"
+      "       inplane_tuned tune --socket PATH --key \"method=... device=...\"\n"
+      "                     [--deadline-ms MS] [--mem-budget BYTES] [--no-cache]\n"
+      "       inplane_tuned ping|stats|shutdown --socket PATH\n",
+      stderr);
+  return 2;
+}
+
+struct Args {
+  std::string verb;
+  std::string socket;
+  std::string wisdom;
+  std::string key_line;
+  std::string fan_out_dir;
+  std::string worker_exe;
+  std::size_t capacity = 256;
+  int threads = 0;
+  int fan_out = 0;
+  long torn_kill_after = -1;
+  double deadline_ms = 0.0;
+  std::uint64_t mem_budget = 0;
+  bool no_cache = false;
+};
+
+int serve(const Args& args) {
+  service::ServiceOptions opts;
+  opts.wisdom_path = args.wisdom;
+  opts.cache_capacity = args.capacity;
+  opts.sweep_policy = ExecPolicy{args.threads};
+  opts.fan_out_workers = args.fan_out;
+  opts.fan_out_dir = args.fan_out_dir;
+  opts.fan_out_worker_exe = args.worker_exe;
+  service::TuningService svc(opts);
+  if (args.torn_kill_after >= 0) {
+    svc.cache().simulate_torn_write_after(
+        static_cast<std::size_t>(args.torn_kill_after), 70);
+  }
+  service::SocketServer server(svc, args.socket);
+  server.start();
+  std::printf("inplane_tuned: listening on %s (wisdom: %s, capacity %zu)\n",
+              args.socket.c_str(), args.wisdom.empty() ? "in-memory" : args.wisdom.c_str(),
+              args.capacity);
+  std::fflush(stdout);
+  server.wait();
+  std::printf("inplane_tuned: shutdown requested, draining\n");
+  return 0;  // clean SHUTDOWN => exit 0 (see README exit-code table)
+}
+
+int client_request(const Args& args, const std::string& line) {
+  service::Client client(args.socket);
+  client.connect();
+  const std::string response = client.roundtrip(line);
+  std::printf("%s\n", response.c_str());
+  std::string error;
+  const auto parsed = service::parse_response(response, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "inplane_tuned: unparseable response: %s\n", error.c_str());
+    return 1;
+  }
+  return parsed->ok ? 0 : parsed->err_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.verb = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", key.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (key == "--socket") {
+      args.socket = value();
+    } else if (key == "--wisdom") {
+      args.wisdom = value();
+    } else if (key == "--capacity") {
+      args.capacity = static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    } else if (key == "--threads") {
+      args.threads = std::atoi(value());
+    } else if (key == "--fan-out") {
+      args.fan_out = std::atoi(value());
+    } else if (key == "--fan-out-dir") {
+      args.fan_out_dir = value();
+    } else if (key == "--worker-exe") {
+      args.worker_exe = value();
+    } else if (key == "--torn-kill-after") {
+      args.torn_kill_after = std::atol(value());
+    } else if (key == "--key") {
+      args.key_line = value();
+    } else if (key == "--deadline-ms") {
+      args.deadline_ms = std::atof(value());
+    } else if (key == "--mem-budget") {
+      args.mem_budget = std::strtoull(value(), nullptr, 0);
+    } else if (key == "--no-cache") {
+      args.no_cache = true;
+    } else {
+      return usage();
+    }
+  }
+  if (args.socket.empty()) return usage();
+
+  try {
+    if (args.verb == "serve") return serve(args);
+    if (args.verb == "ping") return client_request(args, "PING");
+    if (args.verb == "stats") return client_request(args, "STATS");
+    if (args.verb == "shutdown") return client_request(args, "SHUTDOWN");
+    if (args.verb == "tune") {
+      if (args.key_line.empty()) return usage();
+      std::string line = "TUNE " + args.key_line;
+      if (args.deadline_ms > 0.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " deadline_ms=%.17g", args.deadline_ms);
+        line += buf;
+      }
+      if (args.mem_budget > 0) line += " mem_budget=" + std::to_string(args.mem_budget);
+      if (args.no_cache) line += " no_cache=1";
+      return client_request(args, line);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    const Status st = status_of(e);
+    std::fprintf(stderr, "inplane_tuned: %s\n", st.context.c_str());
+    return exit_code(st);
+  }
+}

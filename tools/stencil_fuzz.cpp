@@ -1,8 +1,17 @@
-// Seeded shrinking configuration fuzzer for the stencil kernels.
+// Seeded shrinking configuration fuzzer for the stencil kernels and the
+// tuner daemon's wisdom-key line format.
 //
 //   stencil_fuzz --seed 42 --iters 200            # fuzz, exit 1 on failures
+//   stencil_fuzz --wisdom-iters 5000 --seed 42    # fuzz WisdomKey parse/serialize
 //   stencil_fuzz --replay "method=vertical order=6 nx=64 ..."
+//   stencil_fuzz --replay "wisdom method=fullslice device=gtx580 order=4 ..."
 //   stencil_fuzz --seed 1 --iters 20 --sabotage halo   # negative self-test
+//
+// Wisdom mode checks the parser law the daemon depends on (see
+// service::wisdom_roundtrip_check): every line is either loudly rejected
+// or parse -> to_line -> parse is a fixed point.  Failing lines are
+// shrunk by token/byte deletion and printed as `wisdom <line>` replay
+// lines for the corpus.
 //
 // Each iteration draws one (method x order x precision x grid shape x
 // launch config) sample — a pure function of (seed, iteration), so the
@@ -20,8 +29,11 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "core/thread_pool.hpp"
 #include "report/table.hpp"
+#include "service/protocol.hpp"
 #include "verify/fuzzer.hpp"
 
 namespace {
@@ -32,9 +44,189 @@ int usage() {
   std::fputs(
       "usage: stencil_fuzz [--seed N] [--iters N] [--threads N]\n"
       "                    [--sabotage none|halo] [--repro-out file]\n"
-      "       stencil_fuzz --replay \"method=... order=... ...\"\n",
+      "       stencil_fuzz --wisdom-iters N [--seed N] [--repro-out file]\n"
+      "       stencil_fuzz --replay \"method=... order=... ...\"\n"
+      "       stencil_fuzz --replay \"wisdom <key line>\"\n",
       stderr);
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Wisdom-key line fuzzing.
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// A syntactically plausible wisdom key line, as a pure function of rng
+/// state: sometimes a fully valid key, sometimes near-valid.
+std::string gen_wisdom_line(std::uint64_t& rng) {
+  static const char* kMethods[] = {"fullslice", "classical", "vertical",
+                                   "horizontal", "nvstencil", "forward", "warp9"};
+  static const char* kDevices[] = {"gtx580", "gtx680", "c2070", "c2050",
+                                   "./x.device"};
+  static const char* kKinds[] = {"exhaustive", "model", "oracle"};
+  static const char* kPrec[] = {"sp", "dp", "hp"};
+  static const double kBetas[] = {0.0, 0.05, 0.25, 0.5, 1.0, 1.5, -0.25};
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "method=%s device=%s order=%d prec=%s nx=%d ny=%d nz=%d "
+                "kind=%s beta=%.17g",
+                kMethods[splitmix64(rng) % 7], kDevices[splitmix64(rng) % 5],
+                static_cast<int>(splitmix64(rng) % 80) - 4,
+                kPrec[splitmix64(rng) % 3],
+                static_cast<int>(splitmix64(rng) % (1u << 25)) - 8,
+                static_cast<int>(splitmix64(rng) % 512),
+                static_cast<int>(splitmix64(rng) % 512), kKinds[splitmix64(rng) % 3],
+                kBetas[splitmix64(rng) % 7]);
+  std::string line = buf;
+  if (splitmix64(rng) % 3 == 0) {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), " devfp=0x%llx",
+                  static_cast<unsigned long long>(splitmix64(rng)));
+    line += fp;
+  }
+  return line;
+}
+
+/// Random structural mutations: byte edits, token duplication/deletion,
+/// truncation, separator damage.
+std::string mutate_line(std::string line, std::uint64_t& rng) {
+  const int edits = 1 + static_cast<int>(splitmix64(rng) % 4);
+  for (int e = 0; e < edits && !line.empty(); ++e) {
+    const std::uint64_t pos = splitmix64(rng) % line.size();
+    switch (splitmix64(rng) % 6) {
+      case 0:  // flip a byte to random printable-ish garbage
+        line[pos] = static_cast<char>(splitmix64(rng) % 256);
+        break;
+      case 1:  // delete a byte
+        line.erase(pos, 1);
+        break;
+      case 2:  // insert a byte
+        line.insert(pos, 1, static_cast<char>(' ' + splitmix64(rng) % 95));
+        break;
+      case 3:  // truncate
+        line.resize(pos);
+        break;
+      case 4: {  // duplicate a token
+        const std::size_t sp = line.rfind(' ', pos);
+        const std::size_t start = sp == std::string::npos ? 0 : sp + 1;
+        std::size_t end = line.find(' ', start);
+        if (end == std::string::npos) end = line.size();
+        line += " " + line.substr(start, end - start);
+        break;
+      }
+      default:  // damage a separator
+        if (const std::size_t eq = line.find('=', pos); eq != std::string::npos) {
+          line[eq] = static_cast<char>(splitmix64(rng) % 2 == 0 ? ' ' : ':');
+        }
+        break;
+    }
+  }
+  return line;
+}
+
+/// Greedy token- then byte-deletion shrink, preserving the failure.
+std::string shrink_wisdom_failure(std::string line) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Try dropping whole space-separated tokens first.
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+      std::size_t end = line.find(' ', pos);
+      if (end == std::string::npos) end = line.size();
+      tokens.push_back(line.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      std::string candidate;
+      for (std::size_t j = 0; j < tokens.size(); ++j) {
+        if (j == i) continue;
+        if (!candidate.empty()) candidate += " ";
+        candidate += tokens[j];
+      }
+      if (candidate != line && !service::wisdom_roundtrip_check(candidate)) {
+        line = candidate;
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      std::string candidate = line;
+      candidate.erase(i, 1);
+      if (!service::wisdom_roundtrip_check(candidate)) {
+        line = candidate;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return line;
+}
+
+int run_wisdom_fuzz(std::uint64_t seed, int iters, const std::string& repro_out) {
+  std::uint64_t rng = seed * 0x2545f4914f6cdd1dull + 1;
+  int rejected = 0;
+  std::vector<std::string> failures;
+  for (int i = 0; i < iters; ++i) {
+    std::string line = gen_wisdom_line(rng);
+    const std::uint64_t strategy = splitmix64(rng) % 4;
+    if (strategy == 1) {
+      line = mutate_line(line, rng);
+    } else if (strategy == 2) {
+      // Re-serialize whatever parses and mutate the canonical form.
+      if (const auto key = service::WisdomKey::parse(line)) line = key->to_line();
+      line = mutate_line(line, rng);
+    } else if (strategy == 3) {
+      // Pure garbage.
+      line.clear();
+      const std::uint64_t n = splitmix64(rng) % 80;
+      for (std::uint64_t b = 0; b < n; ++b) {
+        line.push_back(static_cast<char>(splitmix64(rng) % 256));
+      }
+    }
+    std::string why;
+    if (!service::wisdom_roundtrip_check(line, &why)) {
+      const std::string shrunk = shrink_wisdom_failure(line);
+      std::printf("WISDOM FAILURE: %s\n  original: %s\n  minimal:  %s\n"
+                  "  replay:   stencil_fuzz --replay \"wisdom %s\"\n",
+                  why.c_str(), line.c_str(), shrunk.c_str(), shrunk.c_str());
+      failures.push_back(shrunk);
+    } else if (!service::WisdomKey::parse(line)) {
+      ++rejected;
+    }
+  }
+  std::printf("wisdom fuzz: seed %llu, %d line(s), %d rejected, %zu failure(s)\n",
+              static_cast<unsigned long long>(seed), iters, rejected,
+              failures.size());
+  if (!repro_out.empty() && !failures.empty()) {
+    std::string lines;
+    for (const std::string& f : failures) lines += "wisdom " + f + "\n";
+    report::write_file(repro_out, lines);
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+int replay_wisdom(const std::string& line) {
+  std::string why;
+  if (!service::wisdom_roundtrip_check(line, &why)) {
+    std::printf("replay: wisdom FAILED\n  %s\n  %s\n", line.c_str(), why.c_str());
+    return 1;
+  }
+  std::string error;
+  if (service::WisdomKey::parse(line, &error)) {
+    std::printf("replay: wisdom ok (round-trips)\n");
+  } else {
+    std::printf("replay: wisdom rejected (loudly) — pass\n  %s\n", error.c_str());
+  }
+  return 0;
 }
 
 int replay(const std::string& line, const ExecPolicy& policy) {
@@ -65,6 +257,7 @@ int main(int argc, char** argv) {
   verify::FuzzOptions options;
   std::string replay_line;
   std::string repro_out;
+  int wisdom_iters = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     const auto value = [&]() -> const char* {
@@ -94,13 +287,21 @@ int main(int argc, char** argv) {
       }
     } else if (key == "--replay") {
       replay_line = value();
+    } else if (key == "--wisdom-iters") {
+      wisdom_iters = std::atoi(value());
     } else if (key == "--repro-out") {
       repro_out = value();
     } else {
       return usage();
     }
   }
-  if (!replay_line.empty()) return replay(replay_line, options.policy);
+  if (!replay_line.empty()) {
+    if (replay_line.rfind("wisdom ", 0) == 0) {
+      return replay_wisdom(replay_line.substr(7));
+    }
+    return replay(replay_line, options.policy);
+  }
+  if (wisdom_iters > 0) return run_wisdom_fuzz(options.seed, wisdom_iters, repro_out);
   if (options.iters < 1) return usage();
 
   const verify::FuzzResult result = verify::run_fuzz(options);
