@@ -47,7 +47,15 @@ int main(int argc, char** argv) {
     nv_spec.radius = order / 2;
     nv_spec.config = LaunchConfig::nvstencil_default();
 
-    for (const auto& spec : {inplane_spec, nv_spec}) {
+    // Degree-2 temporal blocking on a modest tile (the ring hierarchy
+    // grows with order, so the tile is kept small enough for every
+    // requested order's shared-memory budget).
+    codegen::CudaKernelSpec temporal_spec;
+    temporal_spec.method = Method::InPlaneFullSlice;
+    temporal_spec.radius = order / 2;
+    temporal_spec.config = LaunchConfig{32, 4, 1, 1, 1, 2};
+
+    for (const auto& spec : {inplane_spec, nv_spec, temporal_spec}) {
       const std::string path = "cuda_out/" + spec.name() + ".cu";
       report::write_file(path, codegen::generate_file(spec, grid));
       std::printf("wrote %s\n", path.c_str());

@@ -45,10 +45,12 @@ struct CkptMetrics {
   }
 };
 
-// Format history: "IPTJ1\n" had no sdc_events field; "IPTJ2\n" appends it
-// at the end of every payload.  Old journals fail the magic check and are
-// re-initialised as a fresh sweep — decode never sees a v1 payload.
-constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '2', '\n'};
+// Format history: "IPTJ1\n" had no sdc_events field; "IPTJ2\n" appended it
+// at the end of every payload; "IPTJ3\n" inserts the temporal-blocking
+// degree (config.tb) after config.vec.  Old journals fail the magic check
+// and are re-initialised as a fresh sweep — decode never sees an old
+// payload.
+constexpr char kMagic[6] = {'I', 'P', 'T', 'J', '3', '\n'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
 
 // --- payload serialization (little-endian, fixed widths) -----------------
@@ -127,6 +129,7 @@ std::string encode_tune_entry(const TuneEntry& e) {
   put_i32(p, e.config.rx);
   put_i32(p, e.config.ry);
   put_i32(p, e.config.vec);
+  put_i32(p, e.config.tb);
   const std::uint32_t flags = (e.executed ? 1u : 0u) | (e.failed ? 2u : 0u) |
                               (e.timing.valid ? 4u : 0u);
   put_u32(p, flags);
@@ -156,13 +159,16 @@ std::string encode_tune_entry(const TuneEntry& e) {
   return p;
 }
 
-bool decode_tune_entry(const std::string& payload, TuneEntry& e) {
+namespace {
+
+bool decode_entry_payload(const std::string& payload, TuneEntry& e, bool has_tb) {
   Reader r{payload};
   e.config.tx = r.i32();
   e.config.ty = r.i32();
   e.config.rx = r.i32();
   e.config.ry = r.i32();
   e.config.vec = r.i32();
+  e.config.tb = has_tb ? r.i32() : 1;
   const std::uint32_t flags = r.u32();
   e.executed = (flags & 1u) != 0;
   e.failed = (flags & 2u) != 0;
@@ -193,12 +199,22 @@ bool decode_tune_entry(const std::string& payload, TuneEntry& e) {
   return r.ok && r.pos == payload.size();
 }
 
+}  // namespace
+
+bool decode_tune_entry(const std::string& payload, TuneEntry& e) {
+  return decode_entry_payload(payload, e, true);
+}
+
+bool decode_tune_entry_pre_degree(const std::string& payload, TuneEntry& e) {
+  return decode_entry_payload(payload, e, false);
+}
+
 namespace {
 
 std::string config_key(const kernels::LaunchConfig& c) {
   return std::to_string(c.tx) + "," + std::to_string(c.ty) + "," +
          std::to_string(c.rx) + "," + std::to_string(c.ry) + "," +
-         std::to_string(c.vec);
+         std::to_string(c.vec) + "," + std::to_string(c.tb);
 }
 
 /// Shared read-only scanner behind read_journal() and open(): recovers
@@ -347,7 +363,7 @@ void CheckpointJournal::open(const std::string& path, const CheckpointKey& key) 
     // The stored journal belongs to a *different* sweep.  Silently
     // overwriting it would destroy someone else's resumable progress, so
     // preserve it alongside and warn loudly; the `.orphan` file is plain
-    // IPTJ2 and can be merged/inspected later.
+    // IPTJ3 and can be merged/inspected later.
     const std::string orphan = path + ".orphan";
     std::error_code ec;
     std::filesystem::rename(path, orphan, ec);

@@ -11,7 +11,7 @@
 
 namespace inplane::autotune {
 
-/// Serializes one TuneEntry into the little-endian IPTJ2 record payload
+/// Serializes one TuneEntry into the little-endian IPTJ3 record payload
 /// (the bytes a journal CRC-frames).  Public because payload equality is
 /// the repo's definition of "bit-identical results": the wisdom cache
 /// stores these payloads verbatim and the service tests compare them.
@@ -20,6 +20,15 @@ namespace inplane::autotune {
 /// Inverse of encode_tune_entry().  Returns false (leaving @p entry in an
 /// unspecified state) when the payload is short, long or malformed.
 [[nodiscard]] bool decode_tune_entry(const std::string& payload, TuneEntry& entry);
+
+/// Decodes the pre-degree entry layout (the IPTJ2-era payload, which had
+/// no temporal-blocking field after the vector width).  The decoded
+/// config gets tb = 1; a caller that knows what degree the record was
+/// measured at overrides it — the wisdom cache's legacy reload stamps 2,
+/// the degree the temporal kernel was hard-wired to before tb became a
+/// tuner dimension.
+[[nodiscard]] bool decode_tune_entry_pre_degree(const std::string& payload,
+                                                TuneEntry& entry);
 
 /// Identity of one tuning problem.  Journals are keyed by a fingerprint
 /// of these fields so a checkpoint written for one (method, device,
@@ -89,7 +98,7 @@ struct MergeStats {
 
 /// Crash-safe, append-only journal of measured tuning candidates.
 ///
-/// Layout: a fixed header (magic "IPTJ2\n" + the key fingerprint), then a
+/// Layout: a fixed header (magic "IPTJ3\n" + the key fingerprint), then a
 /// sequence of records, each `u32 payload_len | u32 crc32 | payload`.
 /// Records are appended and flushed one measurement at a time, so a
 /// process killed mid-sweep loses at most the record being written.  On

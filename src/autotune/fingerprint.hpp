@@ -34,7 +34,7 @@ inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
 
 /// The canonical identity hash of one tuning problem: (method name,
 /// device name, grid extent, element size, tuner kind).  This is the
-/// value CheckpointKey::fingerprint() stores in every IPTJ2 journal
+/// value CheckpointKey::fingerprint() stores in every IPTJ3 journal
 /// header; anything that must agree with a journal on disk must derive
 /// its fingerprint through this function.
 [[nodiscard]] std::uint64_t problem_fingerprint(const std::string& method,

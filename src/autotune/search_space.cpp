@@ -22,13 +22,24 @@ std::vector<kernels::LaunchConfig> SearchSpace::enumerate(
         if (extent.nx % (tx * rx) != 0) continue;  // constraint (iv), x
         for (int ry : ry_values) {
           if (extent.ny % (ty * ry) != 0) continue;  // constraint (iv), y
-          const kernels::LaunchConfig cfg{tx, ty, rx, ry, vec};
-          const gpusim::KernelResources res =
-              kernels::estimate_resources(method, cfg, radius, elem_size);
-          if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
-            continue;  // constraint (iii)
+          for (int tb : tb_values) {
+            if (tb < 1) continue;
+            // Temporal blocking builds on full-slice loading only, and the
+            // degree-TB pipeline needs nz planes to drain into.
+            if (tb > 1 && method != kernels::Method::InPlaneFullSlice) continue;
+            if (tb > 1 && extent.nz <= tb * radius) continue;  // constraint (v)
+            const kernels::LaunchConfig cfg{tx, ty, rx, ry, vec, tb};
+            const gpusim::KernelResources res =
+                kernels::estimate_resources(method, cfg, radius, elem_size);
+            if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+              continue;  // constraint (iii)
+            }
+            // The staged pipeline cannot spill its queue/history state; a
+            // config past the encoding limit would only waste a measure
+            // slot on a validate() rejection.
+            if (tb > 1 && res.regs_per_thread > 255) continue;  // constraint (v)
+            configs.push_back(cfg);
           }
-          configs.push_back(cfg);
         }
       }
     }

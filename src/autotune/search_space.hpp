@@ -9,25 +9,41 @@
 
 namespace inplane::autotune {
 
-/// The global (TX, TY, RX, RY) parameter space the auto-tuner of section
-/// IV-C searches, together with the paper's pruning constraints:
+/// The global (TX, TY, RX, RY[, TB]) parameter space the auto-tuner of
+/// section IV-C searches, together with the paper's pruning constraints:
 ///  (i)   TX is a multiple of a half-warp (16) for memory coalescing;
 ///  (ii)  TX*TY is within the device thread-per-block limit;
 ///  (iii) the shared tile fits the device's shared memory;
 ///  (iv)  TY*RY divides the vertical grid size (we also require TX*RX to
 ///        divide the horizontal size, which the paper's grids satisfy by
-///        construction).
+///        construction);
+///  (v)   temporally blocked points (TB > 1, full-slice only) additionally
+///        need the degree-TB pipeline to fit the grid depth
+///        (nz > TB * r), the slice + ring hierarchy to fit shared memory
+///        and the per-thread queue/history state to stay under the
+///        255-register encoding limit.
 struct SearchSpace {
   // Value ranges match the optima reported in Table IV (TX up to 256, TY
-  // up to 16, RX up to 2 there but we keep 4, RY up to 8).
+  // up to 16, RX up to 2 there but we keep 4, RY up to 8).  tb_values
+  // defaults to {1} — the paper's single-step space — so temporal blocking
+  // is an opt-in dimension.
   std::vector<int> tx_values = {16, 32, 64, 128, 256};
   std::vector<int> ty_values = {1, 2, 4, 8, 16};
   std::vector<int> rx_values = {1, 2, 4};
   std::vector<int> ry_values = {1, 2, 4, 8};
+  std::vector<int> tb_values = {1};
 
   /// Number of raw points before constraint pruning (M in section VI).
   [[nodiscard]] std::size_t raw_size() const {
-    return tx_values.size() * ty_values.size() * rx_values.size() * ry_values.size();
+    return tx_values.size() * ty_values.size() * rx_values.size() *
+           ry_values.size() * tb_values.size();
+  }
+
+  /// Convenience: widen the temporal dimension to degrees 1..max_degree.
+  void set_max_temporal_degree(int max_degree) {
+    tb_values.clear();
+    for (int tb = 1; tb <= max_degree; ++tb) tb_values.push_back(tb);
+    if (tb_values.empty()) tb_values.push_back(1);
   }
 
   /// Enumerates the configurations satisfying constraints (i)-(iv) for the

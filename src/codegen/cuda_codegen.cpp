@@ -37,12 +37,16 @@ std::string itos(long v) { return std::to_string(v); }
 
 /// Emits a cooperative load of the region x in [xa, xb), y in [ya, yb) of
 /// plane `k` (grid coordinates relative to the tile origin x0/y0) into the
-/// shared tile, flattened over all block threads, vectorised by `vec`
-/// where a full vector fits the row and falling back to scalars at the row
-/// tail.  Mirrors kernels::detail::load_rows_to_tile.
+/// shared array @p dst (row stride @p row_c, halo offset @p halo_c),
+/// flattened over all block threads, vectorised by `vec` where a full
+/// vector fits the row and falling back to scalars at the row tail.
+/// Mirrors kernels::detail::load_rows_to_tile.
 void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& tag,
                       const std::string& xa, const std::string& xb,
-                      const std::string& ya, const std::string& yb, int vec) {
+                      const std::string& ya, const std::string& yb, int vec,
+                      const std::string& dst = "tile",
+                      const std::string& row_c = "kTileRow",
+                      const std::string& halo_c = "R") {
   const std::string s = spec.scalar();
   const std::string vt = spec.vector_type();
   c.line("// " + tag);
@@ -58,17 +62,19 @@ void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& ta
   c.line("const int gx = x0 + rxa + col;");
   c.line("const int gy = y0 + rya + row;");
   c.line("const long src = idx3(gx, gy, k);");
-  c.line("const int toff = (rya + row + R) * kTileRow + (rxa + col + R);");
+  c.line("const int toff = (rya + row + " + halo_c + ") * " + row_c + " + (rxa + col + " +
+         halo_c + ");");
   if (vec > 1) {
     c.open("if (col + " + itos(vec) + " <= row_w)");
-    c.line("*reinterpret_cast<" + vt + "*>(&tile[toff]) =");
+    c.line("*reinterpret_cast<" + vt + "*>(&" + dst + "[toff]) =");
     c.line("    *reinterpret_cast<const " + vt + "*>(&in[src]);");
     c.close();
     c.open("else");
-    c.line("for (int t = col; t < row_w; ++t) tile[toff + t - col] = in[src + t - col];");
+    c.line("for (int t = col; t < row_w; ++t) " + dst +
+           "[toff + t - col] = in[src + t - col];");
     c.close();
   } else {
-    c.line("if (col < row_w) tile[toff] = in[src];");
+    c.line("if (col < row_w) " + dst + "[toff] = in[src];");
     (void)s;
   }
   c.close();  // for
@@ -228,6 +234,196 @@ void emit_inplane_body(Code& c, const CudaKernelSpec& spec) {
   c.close();  // k loop
 }
 
+/// Degree-N temporal blocking (full-slice only): the generated kernel
+/// mirrors temporal::TemporalInPlaneKernel stage for stage.  Stage 1 runs
+/// the in-plane queue update (Eqns. 3-5) over the ghost-extended region
+/// (W + 2(N-1)r)(H + 2(N-1)r) of the t=0 slice, stages 2..N-1 run
+/// forward-plane updates between (2R+1)-deep shared rings, and the final
+/// stage applies the full 3D stencil over the last ring and stores the
+/// t=N plane.  Ghost points outside the global domain freeze at their
+/// t=0 value, matching N applications of the CPU reference with a frozen
+/// halo.
+void emit_temporal_prelude(Code& c, const CudaKernelSpec& spec) {
+  const kernels::LaunchConfig& cfg = spec.config;
+  const std::string s = spec.scalar();
+  const int tb = cfg.tb;
+  c.line("constexpr int R = " + itos(spec.radius) + ";");
+  c.line("constexpr int TB = " + itos(tb) + ";  // temporal degree");
+  c.line("constexpr int kTx = " + itos(cfg.tx) + ", kTy = " + itos(cfg.ty) + ";");
+  c.line("constexpr int kRx = " + itos(cfg.rx) + ", kRy = " + itos(cfg.ry) + ";");
+  c.line("constexpr int kTileW = kTx * kRx, kTileH = kTy * kRy;");
+  c.line("constexpr int kThreads = kTx * kTy;");
+  c.line("constexpr int kH = TB * R;        // ghost-zone halo depth");
+  c.line("constexpr int kE1 = (TB - 1) * R; // stage-1 region extension");
+  c.line("constexpr int kExtW = kTileW + 2 * kE1, kExtH = kTileH + 2 * kE1;");
+  c.line("constexpr int kExtN = kExtW * kExtH;");
+  c.line("constexpr int kPpt = (kExtN + kThreads - 1) / kThreads;");
+  c.line("constexpr int kSliceRow = kTileW + 2 * kH;");
+  c.line("constexpr int kSliceH = kTileH + 2 * kH;");
+  c.line("constexpr int kDepth = 2 * R + 1;  // ring planes");
+  c.line("__shared__ " + s + " slice[kSliceH * kSliceRow];");
+  for (int st = 1; st < tb; ++st) {
+    const std::string n = itos(st);
+    c.line("constexpr int kRing" + n + "E = (TB - " + n + ") * R;");
+    c.line("constexpr int kRing" + n + "W = kTileW + 2 * kRing" + n + "E;");
+    c.line("constexpr int kRing" + n + "H = kTileH + 2 * kRing" + n + "E;");
+    c.line("__shared__ " + s + " ring" + n + "[kDepth * kRing" + n + "H * kRing" + n +
+           "W];");
+  }
+  c.line("const int tx = static_cast<int>(threadIdx.x);");
+  c.line("const int ty = static_cast<int>(threadIdx.y);");
+  c.line("const int tid = ty * kTx + tx;");
+  c.line("const int x0 = static_cast<int>(blockIdx.x) * kTileW;");
+  c.line("const int y0 = static_cast<int>(blockIdx.y) * kTileH;");
+  c.line("const auto idx3 = [&](int x, int y, int z) -> long {");
+  c.line("  return static_cast<long>(x) + static_cast<long>(y) * pitch +");
+  c.line("         static_cast<long>(z) * plane;");
+  c.line("};");
+  c.line("const auto slice_at = [&](int gx, int gy) -> " + s + "& {");
+  c.line("  return slice[(gy + kH) * kSliceRow + (gx + kH)];");
+  c.line("};");
+  for (int st = 1; st < tb; ++st) {
+    const std::string n = itos(st);
+    c.line("const auto ring" + n + "_at = [&](int gx, int gy, int z) -> " + s + "& {");
+    c.line("  const int slot = ((z % kDepth) + kDepth) % kDepth;");
+    c.line("  return ring" + n + "[(slot * kRing" + n + "H + (gy + kRing" + n +
+           "E)) * kRing" + n + "W + (gx + kRing" + n + "E)];");
+    c.line("};");
+  }
+  c.line("const auto interior = [&](int gx, int gy, int z) {");
+  c.line("  return gx >= 0 && gx < nx && gy >= 0 && gy < ny && z >= 0 && z < nz;");
+  c.line("};");
+}
+
+void emit_temporal_body(Code& c, const CudaKernelSpec& spec) {
+  const std::string s = spec.scalar();
+  const int tb = spec.config.tb;
+  const std::string last = itos(tb - 1);
+  c.line("// Stage-1 per-point state: thread tid owns extended points tid,");
+  c.line("// tid + kThreads, ... (index i); back holds the t=0 planes");
+  c.line("// k-1..k-R, q the R queued partial sums (Eqns. 3-5).");
+  c.line(s + " back[kPpt][R];");
+  c.line(s + " q[kPpt][R];");
+  c.open("for (int i = 0; i < kPpt; ++i)");
+  c.line("const int p = tid + i * kThreads;");
+  c.line("if (p >= kExtN) break;");
+  c.line("const int ex = p % kExtW - kE1;");
+  c.line("const int ey = p / kExtW - kE1;");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("back[i][m - 1] = in[idx3(x0 + ex, y0 + ey, -m)];");
+  c.line("q[i][m - 1] = " + s + "(0);");
+  c.close();
+  c.close();
+  c.line("// Preseed every ring's z in [-R, -1] planes with the frozen t=0");
+  c.line("// halo so each stage only ever emits planes >= 0.");
+  c.open("for (int z = -R; z < 0; ++z)");
+  for (int st = 1; st < tb; ++st) {
+    const std::string n = itos(st);
+    c.open("for (int e = tid; e < kRing" + n + "H * kRing" + n + "W; e += kThreads)");
+    c.line("const int gx = e % kRing" + n + "W - kRing" + n + "E;");
+    c.line("const int gy = e / kRing" + n + "W - kRing" + n + "E;");
+    c.line("ring" + n + "_at(gx, gy, z) = in[idx3(x0 + gx, y0 + gy, z)];");
+    c.close();
+  }
+  c.close();
+  c.line("__syncthreads();");
+  c.line();
+  c.open("for (int k = 0; k < nz + TB * R; ++k)");
+  emit_region_load(c, spec, "t=0 slice, full ghost zone", "-kH", "kTileW + kH", "-kH",
+                   "kTileH + kH", spec.config.vec, "slice", "kSliceRow", "kH");
+  c.line("__syncthreads();");
+  c.line();
+  c.line("// ---- Stage 1: in-plane queue over the extended region -> ring1 ----");
+  c.open("");
+  c.line("const int j1 = k - R;");
+  c.open("for (int i = 0; i < kPpt; ++i)");
+  c.line("const int p = tid + i * kThreads;");
+  c.line("if (p >= kExtN) break;");
+  c.line("const int ex = p % kExtW - kE1;");
+  c.line("const int ey = p / kExtW - kE1;");
+  c.line("const " + s + " cur = slice_at(ex, ey);");
+  c.line(s + " part = c[0] * cur;");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("part += c[m] * (slice_at(ex - m, ey) + slice_at(ex + m, ey) +");
+  c.line("                slice_at(ex, ey - m) + slice_at(ex, ey + m) +");
+  c.line("                back[i][m - 1]);");
+  c.close();
+  c.line("#pragma unroll");
+  c.line("for (int d = 0; d < R; ++d) q[i][d] += c[d + 1] * cur;");
+  c.line("// Ghost points outside the global domain freeze at their t=0");
+  c.line("// value (back[R-1] holds the t=0 plane j1).");
+  c.line("const " + s +
+         " emit = interior(x0 + ex, y0 + ey, j1) ? q[i][R - 1] : back[i][R - 1];");
+  c.line("#pragma unroll");
+  c.line("for (int d = R - 1; d >= 1; --d) q[i][d] = q[i][d - 1];");
+  c.line("q[i][0] = part;");
+  c.line("#pragma unroll");
+  c.line("for (int m = R - 1; m >= 1; --m) back[i][m] = back[i][m - 1];");
+  c.line("back[i][0] = cur;");
+  c.line("if (j1 >= 0) ring1_at(ex, ey, j1) = emit;");
+  c.close();
+  c.close();
+  c.line("__syncthreads();");
+  for (int st = 2; st < tb; ++st) {
+    const std::string n = itos(st);
+    const std::string pr = itos(st - 1);
+    c.line();
+    c.line("// ---- Stage " + n + ": forward-plane update ring" + pr + " -> ring" + n +
+           " ----");
+    c.open("");
+    c.line("const int js = k - " + n + " * R;");
+    c.open("if (js >= 0)");
+    c.open("for (int e = tid; e < kRing" + n + "H * kRing" + n + "W; e += kThreads)");
+    c.line("const int gx = e % kRing" + n + "W - kRing" + n + "E;");
+    c.line("const int gy = e / kRing" + n + "W - kRing" + n + "E;");
+    c.line("const " + s + " cur = ring" + pr + "_at(gx, gy, js);");
+    c.line(s + " acc = c[0] * cur;");
+    c.line("#pragma unroll");
+    c.open("for (int m = 1; m <= R; ++m)");
+    c.line("acc += c[m] * (ring" + pr + "_at(gx - m, gy, js) + ring" + pr +
+           "_at(gx + m, gy, js) +");
+    c.line("               ring" + pr + "_at(gx, gy - m, js) + ring" + pr +
+           "_at(gx, gy + m, js) +");
+    c.line("               ring" + pr + "_at(gx, gy, js - m) + ring" + pr +
+           "_at(gx, gy, js + m));");
+    c.close();
+    c.line("ring" + n + "_at(gx, gy, js) = interior(x0 + gx, y0 + gy, js) ? acc : cur;");
+    c.close();
+    c.close();
+    c.close();
+    c.line("__syncthreads();");
+  }
+  c.line();
+  c.line("// ---- Final stage: full 3D stencil over ring" + last +
+         ", store the t=TB plane ----");
+  c.open("");
+  c.line("const int j = k - TB * R;");
+  c.open("if (j >= 0)");
+  c.open("for (int u = 0; u < kRy; ++u)");
+  c.open("for (int sx = 0; sx < kRx; ++sx)");
+  c.line("const int cx = tx + sx * kTx;");
+  c.line("const int cy = ty + u * kTy;");
+  c.line(s + " acc = c[0] * ring" + last + "_at(cx, cy, j);");
+  c.line("#pragma unroll");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("acc += c[m] * (ring" + last + "_at(cx - m, cy, j) + ring" + last +
+         "_at(cx + m, cy, j) +");
+  c.line("               ring" + last + "_at(cx, cy - m, j) + ring" + last +
+         "_at(cx, cy + m, j) +");
+  c.line("               ring" + last + "_at(cx, cy, j - m) + ring" + last +
+         "_at(cx, cy, j + m));");
+  c.close();
+  c.line("out[idx3(x0 + cx, y0 + cy, j)] = acc;");
+  c.close();
+  c.close();
+  c.close();
+  c.close();
+  c.line("__syncthreads();");
+  c.close();  // k loop
+}
+
 void emit_forward_body(Code& c, const CudaKernelSpec& spec) {
   const std::string s = spec.scalar();
   c.line(s + " pipe[kCols][2 * R + 1];");
@@ -296,7 +492,8 @@ std::string CudaKernelSpec::name() const {
   }
   return m + "_r" + itos(radius) + "_t" + itos(config.tx) + "x" + itos(config.ty) +
          "_r" + itos(config.rx) + "x" + itos(config.ry) + "_v" + itos(config.vec) +
-         (is_double ? "_dp" : "_sp");
+         (is_double ? "_dp" : "_sp") +
+         (config.tb > 1 ? "_tb" + itos(config.tb) : "");
 }
 
 std::string CudaKernelSpec::vector_type() const {
@@ -316,27 +513,45 @@ void CudaKernelSpec::validate() const {
   if (static_cast<std::size_t>(config.vec) * elem > 16) {
     throw std::invalid_argument("CudaKernelSpec: vector load wider than 16 bytes");
   }
+  if (config.tb < 1) {
+    throw std::invalid_argument("CudaKernelSpec: temporal degree (tb) must be >= 1");
+  }
+  if (config.tb > 1 && method != kernels::Method::InPlaneFullSlice) {
+    throw std::invalid_argument(
+        "CudaKernelSpec: temporal blocking requires the full-slice method");
+  }
 }
 
 std::string generate_kernel(const CudaKernelSpec& spec) {
   spec.validate();
   const std::string s = spec.scalar();
   Code c;
+  const bool temporal = spec.config.tb > 1;
   c.line("// Auto-generated " + std::string(kernels::to_string(spec.method)) +
          " stencil kernel, radius " + itos(spec.radius) + ", config " +
-         spec.config.to_string() + ", " + (spec.is_double ? "DP" : "SP") + ".");
+         spec.config.to_string() + ", " + (spec.is_double ? "DP" : "SP") +
+         (temporal ? ", temporal degree " + itos(spec.config.tb) : "") + ".");
   c.line("// `in`/`out` point at the interior origin of grids padded with a");
-  c.line("// halo of at least `R` cells on every face; `pitch` and `plane` are");
+  c.line("// halo of at least `" + std::string(temporal ? "TB * R" : "R") +
+         "` cells on every face; `pitch` and `plane` are");
   c.line("// the row and plane strides in elements.");
   c.line("extern \"C\" __global__ void " + spec.name() + "(");
   c.line("    const " + s + "* __restrict__ in, " + s + "* __restrict__ out,");
-  c.open("    const " + s + "* __restrict__ c, int nz, long pitch, long plane)");
-  emit_prelude(c, spec);
-  c.line();
-  if (spec.method == kernels::Method::ForwardPlane) {
-    emit_forward_body(c, spec);
+  if (temporal) {
+    c.open("    const " + s +
+           "* __restrict__ c, int nz, long pitch, long plane, int nx, int ny)");
+    emit_temporal_prelude(c, spec);
+    c.line();
+    emit_temporal_body(c, spec);
   } else {
-    emit_inplane_body(c, spec);
+    c.open("    const " + s + "* __restrict__ c, int nz, long pitch, long plane)");
+    emit_prelude(c, spec);
+    c.line();
+    if (spec.method == kernels::Method::ForwardPlane) {
+      emit_forward_body(c, spec);
+    } else {
+      emit_inplane_body(c, spec);
+    }
   }
   c.close();
   return c.str();
@@ -366,15 +581,19 @@ std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& ext
   } while (0)
 
 )";
+  const bool temporal = spec.config.tb > 1;
   o << "int run_" << spec.name() << "() {\n";
   o << "  using scalar_t = " << s << ";\n";
   o << "  constexpr int R = " << spec.radius << ";\n";
+  o << "  constexpr int TB = " << (temporal ? spec.config.tb : 1)
+    << ";  // temporal degree\n";
+  o << "  constexpr int H = TB * R;  // halo depth\n";
   o << "  constexpr int NX = " << extent.nx << ", NY = " << extent.ny
     << ", NZ = " << extent.nz << ";\n";
   o << R"(  // Halo-padded, 128-byte-aligned layout (array padding, ref. [11]).
-  const long pitch = ((NX + 2 * R + 31) / 32) * 32;
-  const long plane = pitch * (NY + 2 * R);
-  const long total = plane * (NZ + 2 * R);
+  const long pitch = ((NX + 2 * H + 31) / 32) * 32;
+  const long plane = pitch * (NY + 2 * H);
+  const long total = plane * (NZ + 2 * H);
   std::vector<scalar_t> h_in(static_cast<size_t>(total));
   for (long i = 0; i < total; ++i) {
     h_in[static_cast<size_t>(i)] = static_cast<scalar_t>(std::sin(0.001 * i));
@@ -393,7 +612,7 @@ std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& ext
                         cudaMemcpyHostToDevice));
 
   // Interior-origin views: (0, 0, 0) is the first non-halo element.
-  const long origin = R + R * pitch + R * plane;
+  const long origin = H + H * pitch + H * plane;
 )";
   o << "  const dim3 block(" << spec.config.tx << ", " << spec.config.ty << ");\n";
   o << "  const dim3 grid(NX / " << spec.config.tile_w() << ", NY / "
@@ -404,8 +623,8 @@ std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& ext
   CUDA_CHECK(cudaEventCreate(&t1));
   CUDA_CHECK(cudaEventRecord(t0));
 )";
-  o << "  " << spec.name()
-    << "<<<grid, block>>>(d_in + origin, d_out + origin, d_c, NZ, pitch, plane);\n";
+  o << "  " << spec.name() << "<<<grid, block>>>(d_in + origin, d_out + origin, d_c, "
+    << (temporal ? "NZ, pitch, plane, NX, NY" : "NZ, pitch, plane") << ");\n";
   o << R"(  CUDA_CHECK(cudaEventRecord(t1));
   CUDA_CHECK(cudaEventSynchronize(t1));
   float ms = 0.0f;
@@ -419,7 +638,42 @@ std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& ext
     return g[static_cast<size_t>(origin + x + y * pitch + z * plane)];
   };
   double max_err = 0.0;
+)";
+  if (temporal) {
+    o << R"(  // TB chained reference steps with a frozen t=0 halo: non-interior
+  // points keep their initial value, matching the kernel's ghost-zone
+  // freeze.
+  std::vector<scalar_t> ref(h_in), nxt(h_in);
+  for (int step = 0; step < TB; ++step) {
+    for (int z = 0; z < NZ; ++z) {
+      for (int y = 0; y < NY; ++y) {
+        for (int x = 0; x < NX; ++x) {
+          double acc = coeff[0] * at(ref, x, y, z);
+          for (int m = 1; m <= R; ++m) {
+            acc += coeff[static_cast<size_t>(m)] *
+                   (at(ref, x - m, y, z) + at(ref, x + m, y, z) +
+                    at(ref, x, y - m, z) + at(ref, x, y + m, z) +
+                    at(ref, x, y, z - m) + at(ref, x, y, z + m));
+          }
+          nxt[static_cast<size_t>(origin + x + y * pitch + z * plane)] =
+              static_cast<scalar_t>(acc);
+        }
+      }
+    }
+    ref.swap(nxt);
+  }
   for (int z = 0; z < NZ; ++z) {
+    for (int y = 0; y < NY; ++y) {
+      for (int x = 0; x < NX; ++x) {
+        const double err = std::abs(static_cast<double>(at(ref, x, y, z)) -
+                                    static_cast<double>(at(h_out, x, y, z)));
+        if (err > max_err) max_err = err;
+      }
+    }
+  }
+)";
+  } else {
+    o << R"(  for (int z = 0; z < NZ; ++z) {
     for (int y = 0; y < NY; ++y) {
       for (int x = 0; x < NX; ++x) {
         double ref = coeff[0] * at(h_in, x, y, z);
@@ -434,7 +688,10 @@ std::string generate_host_harness(const CudaKernelSpec& spec, const Extent3& ext
       }
     }
   }
-  const double mpoints = double(NX) * NY * NZ / (ms * 1e-3) / 1e6;
+)";
+  }
+  o << R"(  // TB point updates per swept point (degree-1: one).
+  const double mpoints = double(NX) * NY * NZ * TB / (ms * 1e-3) / 1e6;
   std::printf("%-48s %8.1f MPoint/s  max_err %.3g\n", ")"
     << spec.name() << R"(", mpoints, max_err);
   CUDA_CHECK(cudaFree(d_in));

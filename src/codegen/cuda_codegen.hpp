@@ -16,6 +16,12 @@ namespace inplane::codegen {
 /// loading patterns (Fig. 6), same register queue recurrence (Eqns. 3-5),
 /// same strided register tiling (section III-C3) — so a configuration
 /// tuned on the simulator can be carried to real hardware unchanged.
+///
+/// config.tb > 1 selects degree-N temporal blocking (full-slice only):
+/// the emitted kernel advances N time steps per sweep through the staged
+/// ghost-zone/ring structure of temporal::TemporalInPlaneKernel, takes
+/// extra `int nx, int ny` parameters for the frozen-boundary test, and
+/// expects grids padded with a halo of TB * R cells per face.
 struct CudaKernelSpec {
   kernels::Method method = kernels::Method::InPlaneFullSlice;
   int radius = 1;

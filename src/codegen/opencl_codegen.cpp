@@ -41,7 +41,10 @@ std::string itos(long v) { return std::to_string(v); }
 /// scalar tail split is needed — vloadN requires only element alignment).
 void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& tag,
                       const std::string& xa, const std::string& xb,
-                      const std::string& ya, const std::string& yb, int vec) {
+                      const std::string& ya, const std::string& yb, int vec,
+                      const std::string& dst = "tile",
+                      const std::string& row_c = "K_TILE_ROW",
+                      const std::string& halo_c = "R") {
   const std::string s = spec.scalar();
   c.line("// " + tag);
   c.open("");
@@ -54,16 +57,19 @@ void emit_region_load(Code& c, const CudaKernelSpec& spec, const std::string& ta
   c.line("const int row = e / vecs_per_row;");
   c.line("const int col = (e % vecs_per_row) * " + itos(vec) + ";");
   c.line("const long src = idx3(x0 + rxa + col, y0 + rya + row, k);");
-  c.line("const int toff = (rya + row + R) * K_TILE_ROW + (rxa + col + R);");
+  c.line("const int toff = (rya + row + " + halo_c + ") * " + row_c + " + (rxa + col + " +
+         halo_c + ");");
   if (vec > 1) {
     c.open("if (col + " + itos(vec) + " <= row_w)");
-    c.line("vstore" + itos(vec) + "(vload" + itos(vec) + "(0, in + src), 0, tile + toff);");
+    c.line("vstore" + itos(vec) + "(vload" + itos(vec) + "(0, in + src), 0, " + dst +
+           " + toff);");
     c.close();
     c.open("else");
-    c.line("for (int t = col; t < row_w; ++t) tile[toff + t - col] = in[src + t - col];");
+    c.line("for (int t = col; t < row_w; ++t) " + dst +
+           "[toff + t - col] = in[src + t - col];");
     c.close();
   } else {
-    c.line("if (col < row_w) tile[toff] = in[src];");
+    c.line("if (col < row_w) " + dst + "[toff] = in[src];");
     (void)s;
   }
   c.close();
@@ -127,16 +133,138 @@ void emit_load_pattern(Code& c, const CudaKernelSpec& spec) {
   }
 }
 
+/// Degree-N temporal staging (full-slice only), mirroring the CUDA
+/// backend: stage 1 runs the in-plane queue over the ghost-extended
+/// region of the t=0 __local slice, stages 2..N-1 run forward-plane
+/// updates between (2R+1)-deep __local rings, the final stage stores the
+/// t=N plane.  Ghost points outside the global domain freeze at t=0.
+void emit_temporal_body(Code& c, const CudaKernelSpec& spec) {
+  const std::string s = spec.scalar();
+  const int tb = spec.config.tb;
+  const std::string last = itos(tb - 1);
+  c.line(s + " back[K_PPT][R];");
+  c.line(s + " q[K_PPT][R];");
+  c.open("for (int i = 0; i < K_PPT; ++i)");
+  c.line("const int p = tid + i * K_THREADS;");
+  c.line("if (p >= K_EXT_N) break;");
+  c.line("const int ex = p % K_EXT_W - K_E1;");
+  c.line("const int ey = p / K_EXT_W - K_E1;");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("back[i][m - 1] = in[idx3(x0 + ex, y0 + ey, -m)];");
+  c.line("q[i][m - 1] = (" + s + ")(0);");
+  c.close();
+  c.close();
+  c.line("// Preseed every ring's z in [-R, -1] planes with the frozen t=0 halo.");
+  c.open("for (int z = -R; z < 0; ++z)");
+  for (int st = 1; st < tb; ++st) {
+    const std::string n = itos(st);
+    c.open("for (int e = tid; e < K_RING" + n + "_H * K_RING" + n +
+           "_W; e += K_THREADS)");
+    c.line("const int gx = e % K_RING" + n + "_W - K_RING" + n + "_E;");
+    c.line("const int gy = e / K_RING" + n + "_W - K_RING" + n + "_E;");
+    c.line("RING" + n + "_AT(gx, gy, z) = in[idx3(x0 + gx, y0 + gy, z)];");
+    c.close();
+  }
+  c.close();
+  c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+  c.open("for (int k = 0; k < nz + TB * R; ++k)");
+  emit_region_load(c, spec, "t=0 slice, full ghost zone", "-K_H", "K_TILE_W + K_H",
+                   "-K_H", "K_TILE_H + K_H", spec.config.vec, "slice", "K_SLICE_ROW",
+                   "K_H");
+  c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+  c.line("// ---- Stage 1: in-plane queue over the extended region -> ring1 ----");
+  c.open("");
+  c.line("const int j1 = k - R;");
+  c.open("for (int i = 0; i < K_PPT; ++i)");
+  c.line("const int p = tid + i * K_THREADS;");
+  c.line("if (p >= K_EXT_N) break;");
+  c.line("const int ex = p % K_EXT_W - K_E1;");
+  c.line("const int ey = p / K_EXT_W - K_E1;");
+  c.line("const " + s + " cur = SLICE_AT(ex, ey);");
+  c.line(s + " part = c_w[0] * cur;");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("part += c_w[m] * (SLICE_AT(ex - m, ey) + SLICE_AT(ex + m, ey) +");
+  c.line("                  SLICE_AT(ex, ey - m) + SLICE_AT(ex, ey + m) +");
+  c.line("                  back[i][m - 1]);");
+  c.close();
+  c.line("for (int d = 0; d < R; ++d) q[i][d] += c_w[d + 1] * cur;");
+  c.line("const " + s +
+         " emit = INTERIOR(x0 + ex, y0 + ey, j1) ? q[i][R - 1] : back[i][R - 1];");
+  c.line("for (int d = R - 1; d >= 1; --d) q[i][d] = q[i][d - 1];");
+  c.line("q[i][0] = part;");
+  c.line("for (int m = R - 1; m >= 1; --m) back[i][m] = back[i][m - 1];");
+  c.line("back[i][0] = cur;");
+  c.line("if (j1 >= 0) RING1_AT(ex, ey, j1) = emit;");
+  c.close();
+  c.close();
+  c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+  for (int st = 2; st < tb; ++st) {
+    const std::string n = itos(st);
+    const std::string pr = itos(st - 1);
+    c.line("// ---- Stage " + n + ": forward-plane update ring" + pr + " -> ring" + n +
+           " ----");
+    c.open("");
+    c.line("const int js = k - " + n + " * R;");
+    c.open("if (js >= 0)");
+    c.open("for (int e = tid; e < K_RING" + n + "_H * K_RING" + n +
+           "_W; e += K_THREADS)");
+    c.line("const int gx = e % K_RING" + n + "_W - K_RING" + n + "_E;");
+    c.line("const int gy = e / K_RING" + n + "_W - K_RING" + n + "_E;");
+    c.line("const " + s + " cur = RING" + pr + "_AT(gx, gy, js);");
+    c.line(s + " acc = c_w[0] * cur;");
+    c.open("for (int m = 1; m <= R; ++m)");
+    c.line("acc += c_w[m] * (RING" + pr + "_AT(gx - m, gy, js) + RING" + pr +
+           "_AT(gx + m, gy, js) +");
+    c.line("                 RING" + pr + "_AT(gx, gy - m, js) + RING" + pr +
+           "_AT(gx, gy + m, js) +");
+    c.line("                 RING" + pr + "_AT(gx, gy, js - m) + RING" + pr +
+           "_AT(gx, gy, js + m));");
+    c.close();
+    c.line("RING" + n + "_AT(gx, gy, js) = INTERIOR(x0 + gx, y0 + gy, js) ? acc : cur;");
+    c.close();
+    c.close();
+    c.close();
+    c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+  }
+  c.line("// ---- Final stage: full 3D stencil over ring" + last +
+         ", store the t=TB plane ----");
+  c.open("");
+  c.line("const int j = k - TB * R;");
+  c.open("if (j >= 0)");
+  c.open("for (int u = 0; u < K_RY; ++u)");
+  c.open("for (int sx = 0; sx < K_RX; ++sx)");
+  c.line("const int cx = tx + sx * K_TX;");
+  c.line("const int cy = ty + u * K_TY;");
+  c.line(s + " acc = c_w[0] * RING" + last + "_AT(cx, cy, j);");
+  c.open("for (int m = 1; m <= R; ++m)");
+  c.line("acc += c_w[m] * (RING" + last + "_AT(cx - m, cy, j) + RING" + last +
+         "_AT(cx + m, cy, j) +");
+  c.line("                 RING" + last + "_AT(cx, cy - m, j) + RING" + last +
+         "_AT(cx, cy + m, j) +");
+  c.line("                 RING" + last + "_AT(cx, cy, j - m) + RING" + last +
+         "_AT(cx, cy, j + m));");
+  c.close();
+  c.line("out[idx3(x0 + cx, y0 + cy, j)] = acc;");
+  c.close();
+  c.close();
+  c.close();
+  c.close();
+  c.line("barrier(CLK_LOCAL_MEM_FENCE);");
+  c.close();  // k loop
+}
+
 }  // namespace
 
 std::string generate_opencl_kernel(const CudaKernelSpec& spec) {
   spec.validate();
   const std::string s = spec.scalar();
   const kernels::LaunchConfig& cfg = spec.config;
+  const bool temporal = cfg.tb > 1;
   Code c;
   c.line("// Auto-generated OpenCL " + std::string(kernels::to_string(spec.method)) +
          " stencil kernel, radius " + itos(spec.radius) + ", config " +
-         cfg.to_string() + ", " + (spec.is_double ? "DP" : "SP") + ".");
+         cfg.to_string() + ", " + (spec.is_double ? "DP" : "SP") +
+         (temporal ? ", temporal degree " + itos(cfg.tb) : "") + ".");
   if (spec.is_double) c.line("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
   c.line("#define R " + itos(spec.radius));
   c.line("#define K_TX " + itos(cfg.tx));
@@ -148,13 +276,55 @@ std::string generate_opencl_kernel(const CudaKernelSpec& spec) {
   c.line("#define K_THREADS (K_TX * K_TY)");
   c.line("#define K_TILE_ROW (K_TILE_W + 2 * R)");
   c.line("#define K_COLS (K_RX * K_RY)");
+  if (temporal) {
+    c.line("#define TB " + itos(cfg.tb) + "  /* temporal degree */");
+    c.line("#define K_H (TB * R)         /* ghost-zone halo depth */");
+    c.line("#define K_E1 ((TB - 1) * R)  /* stage-1 region extension */");
+    c.line("#define K_EXT_W (K_TILE_W + 2 * K_E1)");
+    c.line("#define K_EXT_H (K_TILE_H + 2 * K_E1)");
+    c.line("#define K_EXT_N (K_EXT_W * K_EXT_H)");
+    c.line("#define K_PPT ((K_EXT_N + K_THREADS - 1) / K_THREADS)");
+    c.line("#define K_SLICE_ROW (K_TILE_W + 2 * K_H)");
+    c.line("#define K_SLICE_H (K_TILE_H + 2 * K_H)");
+    c.line("#define K_DEPTH (2 * R + 1)  /* ring planes */");
+    for (int st = 1; st < cfg.tb; ++st) {
+      const std::string n = itos(st);
+      c.line("#define K_RING" + n + "_E ((TB - " + n + ") * R)");
+      c.line("#define K_RING" + n + "_W (K_TILE_W + 2 * K_RING" + n + "_E)");
+      c.line("#define K_RING" + n + "_H (K_TILE_H + 2 * K_RING" + n + "_E)");
+    }
+    c.line("#define SLOT(z) ((((z) % K_DEPTH) + K_DEPTH) % K_DEPTH)");
+    c.line("#define SLICE_AT(gx, gy) slice[((gy) + K_H) * K_SLICE_ROW + ((gx) + K_H)]");
+    for (int st = 1; st < cfg.tb; ++st) {
+      const std::string n = itos(st);
+      c.line("#define RING" + n + "_AT(gx, gy, z) \\");
+      c.line("  ring" + n + "[(SLOT(z) * K_RING" + n + "_H + ((gy) + K_RING" + n +
+             "_E)) * K_RING" + n + "_W + ((gx) + K_RING" + n + "_E)]");
+    }
+    c.line("#define INTERIOR(gx, gy, z) \\");
+    c.line(
+        "  ((gx) >= 0 && (gx) < nx && (gy) >= 0 && (gy) < ny && (z) >= 0 && (z) < nz)");
+  }
   c.line();
   c.line("__kernel __attribute__((reqd_work_group_size(K_TX, K_TY, 1)))");
   c.line("void " + spec.name() + "(__global const " + s + "* restrict in,");
   c.line("                         __global " + s + "* restrict out,");
   c.line("                         __constant " + s + "* c_w,");
-  c.open("                         int nz, long pitch, long plane)");
-  c.line("__local " + s + " tile[(K_TILE_H + 2 * R) * K_TILE_ROW];");
+  if (temporal) {
+    c.open("                         int nz, long pitch, long plane, int nx, int ny)");
+  } else {
+    c.open("                         int nz, long pitch, long plane)");
+  }
+  if (temporal) {
+    c.line("__local " + s + " slice[K_SLICE_H * K_SLICE_ROW];");
+    for (int st = 1; st < cfg.tb; ++st) {
+      const std::string n = itos(st);
+      c.line("__local " + s + " ring" + n + "[K_DEPTH * K_RING" + n + "_H * K_RING" +
+             n + "_W];");
+    }
+  } else {
+    c.line("__local " + s + " tile[(K_TILE_H + 2 * R) * K_TILE_ROW];");
+  }
   c.line("const int tx = (int)get_local_id(0);");
   c.line("const int ty = (int)get_local_id(1);");
   c.line("const int tid = ty * K_TX + tx;");
@@ -162,7 +332,9 @@ std::string generate_opencl_kernel(const CudaKernelSpec& spec) {
   c.line("const int y0 = (int)get_group_id(1) * K_TILE_H;");
   c.line("#define idx3(x, y, z) ((long)(x) + (long)(y) * pitch + (long)(z) * plane)");
   c.line();
-  if (spec.method == kernels::Method::ForwardPlane) {
+  if (temporal) {
+    emit_temporal_body(c, spec);
+  } else if (spec.method == kernels::Method::ForwardPlane) {
     c.line(s + " pipe[K_COLS][2 * R + 1];");
     c.open("for (int u = 0; u < K_RY; ++u)");
     c.open("for (int sx = 0; sx < K_RX; ++sx)");

@@ -14,7 +14,7 @@
 //                instead of re-measure;
 //  * resharding: a slot that exhausts its budget is declared dead and
 //                its unmeasured candidates are re-dealt onto survivors;
-//  * merging:    on completion the per-slot IPTJ2 journals are merged
+//  * merging:    on completion the per-slot IPTJ3 journals are merged
 //                (fingerprint-checked, CRC-framed, first-record-wins
 //                dedup) and assembled into the same TuneResult — same
 //                best config, bit for bit — as the single-process sweep;

@@ -5,7 +5,7 @@
 // the worker measures each candidate with the exact hardened-sweep
 // machinery (autotune::measure_single_candidate, keyed by the ordinal so
 // fault injection replays identically), appends every fresh measurement
-// to its own IPTJ2 shard journal, and republishes a heartbeat after each
+// to its own IPTJ3 shard journal, and republishes a heartbeat after each
 // candidate.  A respawned worker reopens the same journal and skips
 // everything already measured — crash recovery costs at most the one
 // candidate that was in flight.
@@ -24,7 +24,7 @@ struct WorkerArgs {
   int slot = 0;         ///< this worker's slot index
   int generation = 0;   ///< spawn count on this slot (0 = first spawn)
   std::string shard_path;      ///< candidate list to measure
-  std::string journal_path;    ///< this slot's IPTJ2 shard journal
+  std::string journal_path;    ///< this slot's IPTJ3 shard journal
   std::string heartbeat_path;  ///< liveness file republished per candidate
   std::string fault_spec;      ///< WorkerFaultPlan text (whole plan; the
                                ///< worker filters by slot + generation)

@@ -1,11 +1,26 @@
+#include "core/status.hpp"
 #include "kernels/kernel_base.hpp"
 #include "kernels/stencil_kernel.hpp"
+#include "temporal/temporal_kernel.hpp"
 
 namespace inplane::kernels {
 
 template <typename T>
 std::unique_ptr<IStencilKernel<T>> make_kernel(Method method, StencilCoeffs coeffs,
                                                LaunchConfig config) {
+  if (config.tb < 1) {
+    throw InvalidConfigError("make_kernel: temporal degree (tb) must be >= 1");
+  }
+  if (config.tb > 1) {
+    // Temporal blocking builds on the full-slice loading pattern (the only
+    // one that stages the whole extended region, section III-C2).
+    if (method != Method::InPlaneFullSlice) {
+      throw InvalidConfigError(
+          "make_kernel: temporal blocking (tb > 1) requires the full-slice method");
+    }
+    return std::make_unique<temporal::TemporalInPlaneKernel<T>>(std::move(coeffs),
+                                                                config);
+  }
   if (method == Method::ForwardPlane) {
     return detail::make_forward_plane<T>(std::move(coeffs), config);
   }

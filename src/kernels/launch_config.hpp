@@ -6,17 +6,21 @@
 
 namespace inplane::kernels {
 
-/// The four-dimensional blocking configuration the auto-tuner searches:
-/// (TX, TY) is the thread block shape, (RX, RY) the register-tiling factor
-/// (section III-C3).  A block of TX x TY threads computes a tile of
+/// The blocking configuration the auto-tuner searches: (TX, TY) is the
+/// thread block shape, (RX, RY) the register-tiling factor (section
+/// III-C3).  A block of TX x TY threads computes a tile of
 /// (TX*RX) x (TY*RY) output points per z-plane, each thread owning RX*RY
-/// strided output columns.
+/// strided output columns.  TB is the temporal-blocking degree (ROADMAP
+/// item 3): one sweep advances the tile by TB Jacobi steps; TB = 1 is the
+/// paper's single-step kernels, TB > 1 selects the staged temporal kernel
+/// (full-slice loading only).
 struct LaunchConfig {
   int tx = 32;  ///< threads along x (paper constrains to multiples of 16)
   int ty = 16;  ///< threads along y
   int rx = 1;   ///< register-tile factor along x
   int ry = 1;   ///< register-tile factor along y
   int vec = 1;  ///< vector load width in elements (1, 2 or 4; sec. III-C2)
+  int tb = 1;   ///< temporal-blocking degree (timesteps per sweep, >= 1)
 
   [[nodiscard]] int threads() const { return tx * ty; }
   [[nodiscard]] int tile_w() const { return tx * rx; }
@@ -26,10 +30,13 @@ struct LaunchConfig {
     return (threads() + dev.warp_size - 1) / dev.warp_size;
   }
 
-  /// "(TX, TY, RX, RY)" in the notation of Table IV.
+  /// "(TX, TY, RX, RY)" in the notation of Table IV; temporally blocked
+  /// configurations append their degree.
   [[nodiscard]] std::string to_string() const {
-    return "(" + std::to_string(tx) + ", " + std::to_string(ty) + ", " +
-           std::to_string(rx) + ", " + std::to_string(ry) + ")";
+    std::string s = "(" + std::to_string(tx) + ", " + std::to_string(ty) + ", " +
+                    std::to_string(rx) + ", " + std::to_string(ry) + ")";
+    if (tb != 1) s += " tb=" + std::to_string(tb);
+    return s;
   }
 
   [[nodiscard]] bool operator==(const LaunchConfig&) const = default;

@@ -23,8 +23,37 @@ gpusim::KernelResources estimate_resources(Method method, const LaunchConfig& co
   if (elem_size != 4 && elem_size != 8) {
     throw InvalidConfigError("estimate_resources: elem_size must be 4 or 8");
   }
+  if (config.tb < 1) {
+    throw InvalidConfigError("estimate_resources: temporal degree must be >= 1");
+  }
   gpusim::KernelResources res;
   res.threads = config.threads();
+
+  if (config.tb > 1) {
+    // Degree-N temporal blocking (full-slice only): the t=0 slice spans the
+    // stage-1 extended region plus its own halo, (W+2Nr) x (H+2Nr), and
+    // each intermediate stage s in [1, N) keeps a (2r+1)-plane ring of
+    // t=s values over its (W+2(N-s)r) x (H+2(N-s)r) region.  Registers
+    // hold the stage-1 queue + back history for every extended point a
+    // thread owns.
+    const int n = config.tb;
+    const auto row = [&](int e) {
+      return static_cast<std::size_t>(config.tile_w() + 2 * e) *
+             static_cast<std::size_t>(config.tile_h() + 2 * e);
+    };
+    std::size_t elems = row(n * radius);  // the t=0 slice
+    for (int s = 1; s < n; ++s) {
+      elems += static_cast<std::size_t>(2 * radius + 1) * row((n - s) * radius);
+    }
+    res.smem_bytes = elems * elem_size;
+
+    const int e1 = (n - 1) * radius;
+    const int n1 = (config.tile_w() + 2 * e1) * (config.tile_h() + 2 * e1);
+    const int per_thread = (n1 + config.threads() - 1) / config.threads();
+    const int regs_per_value = elem_size == 8 ? 2 : 1;
+    res.regs_per_thread = 12 + regs_per_value * (2 * radius * per_thread + 4);
+    return res;
+  }
 
   const int w = config.tile_w() + 2 * radius;
   const int h = config.tile_h() + 2 * radius;

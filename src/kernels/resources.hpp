@@ -27,6 +27,12 @@ enum class Method {
 /// III-C) — with 64-bit values costing two registers each.  The estimate's
 /// purpose is the occupancy trade-off of section IV-C, for which
 /// monotonicity in r * RX * RY is what matters.
+///
+/// With config.tb > 1 (degree-N temporal blocking) K_S adds the stage-1
+/// extended slice and the (N-1)-level shared ring hierarchy, and K_R the
+/// per-extended-point stage-1 queue/history state; this is the single
+/// source of truth the temporal kernel, the search-space pruning and the
+/// timing model all share.
 [[nodiscard]] gpusim::KernelResources estimate_resources(Method method,
                                                          const LaunchConfig& config,
                                                          int radius,

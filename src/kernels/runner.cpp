@@ -254,12 +254,16 @@ gpusim::TraceStats sweep_blocks(const IStencilKernel<T>& kernel, const Grid3<T>&
 /// this allows ~512x that before declaring the block hung.
 template <typename T>
 std::uint64_t auto_step_budget(const IStencilKernel<T>& kernel, const Extent3& extent) {
-  const std::uint64_t r = static_cast<std::uint64_t>(kernel.radius());
+  // required_halo() = time_steps * radius, so the bound also covers the
+  // temporal kernel's deeper pipeline and wider staged regions.
+  const std::uint64_t h = static_cast<std::uint64_t>(kernel.required_halo());
   const std::uint64_t tw = static_cast<std::uint64_t>(kernel.config().tile_w());
   const std::uint64_t th = static_cast<std::uint64_t>(kernel.config().tile_h());
-  const std::uint64_t planes = static_cast<std::uint64_t>(extent.nz) + 2 * r + 8;
-  const std::uint64_t tile_elems = (tw + 2 * r) * (th + 2 * r);
-  const std::uint64_t per_plane = tile_elems / 32 + tw + th + 64;
+  const std::uint64_t planes = static_cast<std::uint64_t>(extent.nz) + 2 * h + 8;
+  const std::uint64_t tile_elems = (tw + 2 * h) * (th + 2 * h);
+  const std::uint64_t per_plane =
+      static_cast<std::uint64_t>(kernel.time_steps()) * (tile_elems / 32) + tw + th +
+      64;
   return 512ull * planes * per_plane;
 }
 
@@ -273,8 +277,11 @@ template <typename T>
 Status verify_against_reference(const IStencilKernel<T>& kernel, const Grid3<T>& in,
                                 const Grid3<T>& out) {
   const StencilCoeffs& coeffs = kernel.coeffs();
-  return verify::reference_status(coeffs, in, out,
-                                  UlpBudget::for_radius(coeffs.radius(), sizeof(T)));
+  const int steps = kernel.time_steps();
+  return verify::reference_status_n(
+      coeffs, in, out, steps,
+      UlpBudget::for_radius(coeffs.radius(), sizeof(T))
+          .scaled(static_cast<double>(steps)));
 }
 
 }  // namespace
@@ -318,8 +325,11 @@ gpusim::TraceStats run_kernel(const IStencilKernel<T>& kernel, const Grid3<T>& i
   if (in.extent() != out.extent()) {
     throw InvalidConfigError("run_kernel: grids must share extent");
   }
-  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
-    throw InvalidConfigError("run_kernel: halo narrower than stencil radius");
+  if (in.halo() < kernel.required_halo() || out.halo() < kernel.required_halo()) {
+    throw InvalidConfigError(
+        "run_kernel: halo " + std::to_string(std::min(in.halo(), out.halo())) +
+        " narrower than the kernel's required halo " +
+        std::to_string(kernel.required_halo()));
   }
   if (auto err = kernel.validate(device, in.extent())) {
     throw InvalidConfigError("run_kernel: invalid configuration: " + *err);
@@ -336,9 +346,12 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
     report.status = {ErrorCode::InvalidConfig, "run_kernel: grids must share extent"};
     return report;
   }
-  if (in.halo() < kernel.radius() || out.halo() < kernel.radius()) {
+  if (in.halo() < kernel.required_halo() || out.halo() < kernel.required_halo()) {
     report.status = {ErrorCode::InvalidConfig,
-                     "run_kernel: halo narrower than stencil radius"};
+                     "run_kernel: halo " +
+                         std::to_string(std::min(in.halo(), out.halo())) +
+                         " narrower than the kernel's required halo " +
+                         std::to_string(kernel.required_halo())};
     return report;
   }
   if (auto err = kernel.validate(device, in.extent())) {
@@ -357,8 +370,12 @@ RunReport run_kernel_guarded(const IStencilKernel<T>& kernel, const Grid3<T>& in
   // blocks.  Requires functional data flow and bit-for-bit identical
   // grid layouts (the sink's store-decoded weights must mean the same
   // thing as the prediction's input-side weights).
-  const bool abft_active =
-      options.abft.enabled && options.mode != gpusim::ExecMode::Trace;
+  // ABFT checksums model a single Jacobi sweep; a degree-N temporal sweep
+  // stores t=N values whose per-plane sums are not a linear image of the
+  // t=0 input, so temporal kernels fall back to the CPU-reference pass.
+  const bool abft_active = options.abft.enabled &&
+                           options.mode != gpusim::ExecMode::Trace &&
+                           kernel.time_steps() == 1;
   if (abft_active && !layouts_identical(in.layout(), out.layout())) {
     report.status = {ErrorCode::InvalidConfig,
                      "run_kernel_guarded: ABFT requires identical in/out layouts "
@@ -469,7 +486,7 @@ gpusim::KernelTiming time_kernel(const IStencilKernel<T>& kernel,
   }
   gpusim::TimingInput input;
   input.grid = extent;
-  input.radius = kernel.radius();
+  input.radius = kernel.required_halo();  // pipeline fill depth: N * r
   input.tile_w = kernel.config().tile_w();
   input.tile_h = kernel.config().tile_h();
   input.resources = kernel.resources();
@@ -477,7 +494,12 @@ gpusim::KernelTiming time_kernel(const IStencilKernel<T>& kernel,
   input.is_double = sizeof(T) == 8;
   input.ilp = kernel.config().columns_per_thread();
   SimMetrics::get().timing_evaluations.add();
-  return gpusim::estimate_timing(device, input);
+  timing = gpusim::estimate_timing(device, input);
+  // A degree-N sweep advances every point N timesteps, so the throughput
+  // metric counts point-updates per second — directly comparable against
+  // single-step configurations in the tuner ranking.
+  timing.mpoints_per_s *= kernel.time_steps();
+  return timing;
 }
 
 template gpusim::TraceStats run_kernel<float>(const IStencilKernel<float>&,

@@ -14,10 +14,12 @@
 namespace inplane::kernels {
 
 /// Builds a grid whose layout matches what @p kernel's loading pattern
-/// wants (halo = radius, alignment offset per section III-C2).
+/// wants (halo = required_halo(), i.e. radius for single-step kernels and
+/// time_steps * radius for temporal blocking; alignment offset per section
+/// III-C2).
 template <typename T>
 [[nodiscard]] Grid3<T> make_grid_for(const IStencilKernel<T>& kernel, Extent3 extent) {
-  return Grid3<T>(extent, kernel.radius(), 32, kernel.preferred_align_offset());
+  return Grid3<T>(extent, kernel.required_halo(), 32, kernel.preferred_align_offset());
 }
 
 /// Process-wide kill switch for block-class trace memoization (see

@@ -40,6 +40,17 @@ class IStencilKernel {
   [[nodiscard]] virtual const StencilCoeffs& coeffs() const = 0;
   [[nodiscard]] virtual int radius() const = 0;
 
+  /// Timesteps one z-sweep advances the grid by (the temporal-blocking
+  /// degree): 1 for the paper's kernels, config().tb for the temporal
+  /// kernel.  A degree-N sweep equals N applications of the reference
+  /// stencil with the halo frozen between steps.
+  [[nodiscard]] virtual int time_steps() const { return 1; }
+
+  /// Halo depth the grids handed to run_block must carry: radius() for
+  /// single-step kernels, time_steps() * radius() for temporal blocking
+  /// (the pipeline streams that far into the z halo).
+  [[nodiscard]] virtual int required_halo() const { return radius(); }
+
   [[nodiscard]] std::string name() const { return to_string(method()); }
 
   /// Grid align_offset this kernel's loading pattern wants (section

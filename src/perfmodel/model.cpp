@@ -24,6 +24,18 @@ double bytes_per_plane_block(const ModelInput& input) {
   const int w = input.config.tile_w();
   const int h = input.config.tile_h();
   const double elem = input.is_double ? 8.0 : 4.0;
+  if (input.config.tb > 1) {
+    // Degree-N temporal blocking: each z iteration streams one plane of
+    // the t=0 slice — the stage-1 extended region plus its own halo,
+    // (W+2Nr) x (H+2Nr) — and stores one W x H output plane.  All the
+    // intermediate timesteps live in shared memory and never touch DRAM,
+    // which is the entire bandwidth case for the extension.
+    const int n = input.config.tb;
+    const double read_elems =
+        (static_cast<double>(w) + 2.0 * n * r) * (static_cast<double>(h) + 2.0 * n * r);
+    const double write_elems = static_cast<double>(w) * h;
+    return (read_elems + write_elems) * elem;
+  }
   // Reads: interior + the halo strips the method touches per plane.
   double read_elems = static_cast<double>(w) * h;
   switch (input.method) {
@@ -85,14 +97,30 @@ ModelResult evaluate(const gpusim::DeviceSpec& device, const ModelInput& input) 
 
   // Eqn. (11): the compute time of one block's plane — Ops flops for each
   // of the TX*RX x TY*RY elements through the SM's cores (DP at the
-  // device's DP issue ratio).
-  const int ops = input.method == kernels::Method::ForwardPlane
-                      ? 7 * input.radius + 1
-                      : 8 * input.radius + 1;
+  // device's DP issue ratio).  A degree-N temporal iteration runs every
+  // stage once: the in-plane stage 1 over its extended region (redundant
+  // ghost-zone compute included) plus a forward-style pass per later
+  // timestep — the compute-inflation term of the trade-off.
+  const int r = input.radius;
+  double total_ops;
+  if (cfg.tb > 1) {
+    const int n = cfg.tb;
+    const auto region = [&](int s) {
+      const double e = static_cast<double>((n - s) * r);
+      return (static_cast<double>(cfg.tile_w()) + 2.0 * e) *
+             (static_cast<double>(cfg.tile_h()) + 2.0 * e);
+    };
+    total_ops = static_cast<double>(8 * r + 1) * region(1);
+    for (int s = 2; s < n; ++s) total_ops += static_cast<double>(7 * r + 1) * region(s);
+    total_ops += static_cast<double>(7 * r + 1) * cfg.tile_w() * cfg.tile_h();
+  } else {
+    const int ops = input.method == kernels::Method::ForwardPlane ? 7 * r + 1
+                                                                  : 8 * r + 1;
+    total_ops = static_cast<double>(ops) * cfg.tx * cfg.ty * cfg.rx * cfg.ry;
+  }
   const double dp_scale = input.is_double ? 1.0 / device.dp_throughput_ratio : 1.0;
-  const double t_c_one_block = static_cast<double>(ops) * cfg.tx * cfg.ty * cfg.rx *
-                               cfg.ry * dp_scale /
-                               (device.cores_per_sm * 2.0) / clock_hz;
+  const double t_c_one_block =
+      total_ops * dp_scale / (device.cores_per_sm * 2.0) / clock_hz;
   res.t_c_cycles = t_c_one_block * clock_hz;
 
   // Eqns. (12), (13) with the linear f(.).  f models "latency hiding
@@ -114,10 +142,16 @@ ModelResult evaluate(const gpusim::DeviceSpec& device, const ModelInput& input) 
   res.t_s_cycles = t_s * clock_hz;
   res.t_l_cycles = t_l * clock_hz;
 
-  // Eqn. (14), scaled over all LZ planes.
+  // Eqn. (14), scaled over all LZ planes.  A degree-N sweep runs
+  // nz + N*r iterations (pipeline drain) and advances every point N
+  // timesteps, so throughput counts point-updates per second — the same
+  // unit time_kernel reports, directly comparable across degrees.
   const double per_plane_seconds = t_s * (res.stages - 1) + t_l;
-  const double total_seconds = per_plane_seconds * input.grid.nz;
-  res.mpoints_per_s = static_cast<double>(input.grid.volume()) / total_seconds / 1e6;
+  const double planes = static_cast<double>(input.grid.nz) +
+                        (cfg.tb > 1 ? static_cast<double>(cfg.tb * r) : 0.0);
+  const double total_seconds = per_plane_seconds * planes;
+  res.mpoints_per_s = static_cast<double>(input.grid.volume()) * cfg.tb /
+                      total_seconds / 1e6;
   res.valid = true;
   return res;
 }

@@ -23,7 +23,7 @@
 //   OK source=... tx=.. ty=.. rx=.. ry=.. vec=.. mpoints=<g>          (RUN)
 //   ERR code=<exit code taxonomy> <message>
 //
-// TUNE's entry=<hex> is the *byte-exact* IPTJ2 entry payload
+// TUNE's entry=<hex> is the *byte-exact* IPTJ3 entry payload
 // (autotune::encode_tune_entry), so a client can compare bit-identity
 // against a local sweep — the stress harness does exactly that.
 

@@ -52,6 +52,9 @@ void validate_key(const WisdomKey& key) {
   if (key.extent.nx < 1 || key.extent.ny < 1 || key.extent.nz < 1) {
     throw InvalidConfigError("service: grid extent must be positive");
   }
+  if (key.temporal_degree < 1 || key.temporal_degree > 8) {
+    throw InvalidConfigError("service: temporal degree out of range [1, 8]");
+  }
   (void)distributed::resolve_method(key.method);  // throws on unknown names
 }
 
@@ -62,7 +65,10 @@ autotune::TuneResult run_local_sweep(const WisdomKey& key,
   const kernels::Method method = distributed::resolve_method(key.method);
   const gpusim::DeviceSpec device = distributed::resolve_device(key.device);
   const StencilCoeffs coeffs = StencilCoeffs::diffusion(key.order / 2);
-  const autotune::SearchSpace space;
+  autotune::SearchSpace space;
+  // The key's degree widens the tb axis to {1..degree}; degree 1 is the
+  // paper's single-step space, so legacy keys sweep exactly what they did.
+  space.set_max_temporal_degree(key.temporal_degree);
   if (key.double_precision) {
     if (key.kind == "model") {
       return autotune::model_guided_tune<double>(method, coeffs, device, key.extent,

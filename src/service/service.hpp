@@ -68,7 +68,7 @@ struct TuneOutcome {
   /// The key the answer is stored under (device fingerprint stamped).
   WisdomKey key;
 
-  /// Canonical byte-for-byte form of the answer (the IPTJ2 entry
+  /// Canonical byte-for-byte form of the answer (the IPTJ3 entry
   /// payload) — the oracle the stress harness compares against a direct
   /// single-process tune() of the same key.
   [[nodiscard]] std::string entry_payload() const;

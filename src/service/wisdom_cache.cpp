@@ -29,6 +29,7 @@ struct WisdomMetrics {
   metrics::Counter& cache_misses;
   metrics::Counter& evictions;
   metrics::Counter& records_recovered;
+  metrics::Counter& legacy_upgrades;
   metrics::Counter& torn_tails;
   metrics::Counter& rejected_files;
   metrics::Counter& compactions;
@@ -40,6 +41,7 @@ struct WisdomMetrics {
         reg.counter("service.cache_misses"),
         reg.counter("service.evictions"),
         reg.counter("service.wisdom.records_recovered"),
+        reg.counter("service.wisdom.legacy_upgrades"),
         reg.counter("service.wisdom.torn_tails"),
         reg.counter("service.wisdom.rejected_files"),
         reg.counter("service.wisdom.compactions"),
@@ -145,7 +147,8 @@ std::uint64_t WisdomKey::fingerprint() const {
   const WisdomKey k = canonical();
   std::uint64_t h = autotune::problem_fingerprint(k.method, k.device, k.extent,
                                                   k.elem_size(), k.kind);
-  const std::int64_t ints[2] = {k.order, static_cast<std::int64_t>(k.device_fp)};
+  const std::int64_t ints[3] = {k.order, static_cast<std::int64_t>(k.device_fp),
+                                k.temporal_degree};
   h = autotune::fnv1a(h, ints, sizeof(ints));
   h = autotune::fnv1a(h, &k.beta, sizeof(k.beta));
   return h;
@@ -156,10 +159,10 @@ std::string WisdomKey::to_line() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "method=%s device=%s devfp=0x%016" PRIx64
-                " order=%d prec=%s nx=%d ny=%d nz=%d kind=%s beta=%.17g",
+                " order=%d prec=%s nx=%d ny=%d nz=%d kind=%s beta=%.17g tb=%d",
                 k.method.c_str(), k.device.c_str(), k.device_fp, k.order,
                 k.double_precision ? "dp" : "sp", k.extent.nx, k.extent.ny,
-                k.extent.nz, k.kind.c_str(), k.beta);
+                k.extent.nz, k.kind.c_str(), k.beta, k.temporal_degree);
   return buf;
 }
 
@@ -171,7 +174,7 @@ std::optional<WisdomKey> WisdomKey::parse(const std::string& line, std::string* 
   if (line.size() > 4096) return fail("line longer than 4096 bytes");
   WisdomKey key;
   key.extent = Extent3{0, 0, 0};
-  bool seen[10] = {};  // method device devfp order prec nx ny nz kind beta
+  bool seen[11] = {};  // method device devfp order prec nx ny nz kind beta tb
   std::size_t pos = 0;
   while (pos < line.size()) {
     std::size_t end = line.find(' ', pos);
@@ -237,16 +240,26 @@ std::optional<WisdomKey> WisdomKey::parse(const std::string& line, std::string* 
       key.beta = std::strtod(v.c_str(), &endp);
       if (errno != 0 || endp == nullptr || *endp != '\0') return fail("bad beta");
       if (!(key.beta >= 0.0 && key.beta <= 1.0)) return fail("beta out of [0, 1]");
+    } else if (k == "tb") {
+      if (!once(10)) return fail("duplicate tb");
+      if (!parse_int(v, 1, 8, n)) return fail("tb out of range [1, 8]");
+      key.temporal_degree = static_cast<int>(n);
     } else {
       return fail("unknown field '" + k + "'");
     }
   }
   // devfp (index 2) is optional: the daemon stamps it after resolving the
-  // device server-side; a wire request carries the name only.
-  static const char* kNames[10] = {"method", "device", "devfp", "order", "prec",
-                                   "nx",     "ny",     "nz",    "kind",  "beta"};
-  for (int i = 0; i < 10; ++i) {
-    if (i != 2 && !seen[i]) return fail(std::string("missing field '") + kNames[i] + "'");
+  // device server-side; a wire request carries the name only.  tb (index
+  // 10) is optional for wire compatibility with pre-degree clients and
+  // defaults to 1, a single-step sweep; *stored* key lines without tb are
+  // the pre-degree wisdom format and get the loud degree-2 upgrade in
+  // WisdomCache::open() instead.
+  static const char* kNames[11] = {"method", "device", "devfp", "order", "prec",
+                                   "nx",     "ny",     "nz",    "kind",  "beta",
+                                   "tb"};
+  for (int i = 0; i < 11; ++i) {
+    if (i == 2 || i == 10) continue;
+    if (!seen[i]) return fail(std::string("missing field '") + kNames[i] + "'");
   }
   return key.canonical();
 }
@@ -417,13 +430,35 @@ void WisdomCache::open(const std::string& path, std::size_t capacity) {
             !take_str(payload, pos, entry_payload) || pos != payload.size()) {
           break;
         }
-        const auto key = WisdomKey::parse(key_line);
+        auto key = WisdomKey::parse(key_line);
         autotune::TuneEntry entry;
-        if (!key || !autotune::decode_tune_entry(entry_payload, entry)) break;
+        if (!key) break;
+        // A stored key line without tb= is the pre-degree wisdom format;
+        // its entry payload is the shorter IPTJ2-era layout and the record
+        // was measured when the temporal kernel was hard-wired to two
+        // steps — adopt it as a degree-2 entry, loudly (warning printed
+        // once after the scan).
+        const bool legacy = key_line.find(" tb=") == std::string::npos;
+        if (legacy) {
+          if (!autotune::decode_tune_entry_pre_degree(entry_payload, entry)) break;
+          key->temporal_degree = 2;
+          entry.config.tb = 2;
+          im.stats.legacy_upgraded += 1;
+          WisdomMetrics::get().legacy_upgrades.add();
+        } else if (!autotune::decode_tune_entry(entry_payload, entry)) {
+          break;
+        }
         im.put_mem(*key, entry, key->to_line());
         im.stats.records_recovered += 1;
         WisdomMetrics::get().records_recovered.add();
         valid_end += sizeof(len) + sizeof(crc) + len;
+      }
+      if (im.stats.legacy_upgraded > 0) {
+        std::fprintf(stderr,
+                     "wisdom: WARNING: upgraded %zu pre-degree record(s) in %s to "
+                     "temporal degree 2 (the degree the fixed temporal kernel ran "
+                     "at); re-tune with an explicit tb= key to refresh them\n",
+                     im.stats.legacy_upgraded, path.c_str());
       }
     }
     std::fclose(f);

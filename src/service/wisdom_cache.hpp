@@ -3,14 +3,14 @@
 // The tuner daemon's persistent wisdom cache: best-known launch configs
 // memoized across runs, keyed by (device fingerprint, stencil spec, grid
 // shape).  Modeled on kernel_launcher's TuningCache wisdom files, but
-// persisted in the repo's own CRC-framed journal framing (the IPTJ2
+// persisted in the repo's own CRC-framed journal framing (the IPTJ3
 // record layout of autotune/checkpoint.cpp) so the same torn-tail /
 // loud-reject recovery rules apply:
 //
 //   header  "IPWZ1\n" + u64 schema fingerprint
 //   record* u32 payload_len | u32 crc32 | payload
 //   payload u32 key_len | key line (WisdomKey::to_line) |
-//           u32 entry_len | IPTJ2 TuneEntry payload (encode_tune_entry)
+//           u32 entry_len | IPTJ3 TuneEntry payload (encode_tune_entry)
 //
 // Recovery rules:
 //  * records are appended and flushed one put at a time — a daemon killed
@@ -20,7 +20,13 @@
 //    silently overwritten: it is preserved as <path>.orphan, a warning is
 //    printed, and a fresh cache starts (the re-tune is clean);
 //  * within the valid prefix the *last* record per key wins, so re-puts
-//    update in place across restarts.
+//    update in place across restarts;
+//  * a record whose key line predates the temporal-degree dimension (no
+//    tb= field; its entry payload is the shorter IPTJ2-era layout) is
+//    reloaded as a *degree-2* entry — the degree the temporal kernel was
+//    hard-wired to when the record was written — loudly: a stderr warning
+//    plus the legacy_upgraded stat / service.wisdom.legacy_upgrades
+//    counter, never a silent re-keying.
 //
 // Bounding: the cache holds at most `capacity` entries under LRU —
 // find() and put() both refresh recency.  An eviction compacts the file
@@ -60,6 +66,7 @@ struct WisdomKey {
   Extent3 extent{512, 512, 256};
   std::string kind = "exhaustive";   ///< "exhaustive" | "model"
   double beta = 0.0;                 ///< model-guided measured fraction
+  int temporal_degree = 1;           ///< max temporal-blocking degree swept (tb axis)
 
   [[nodiscard]] std::size_t elem_size() const {
     return double_precision ? sizeof(double) : sizeof(float);
@@ -75,17 +82,18 @@ struct WisdomKey {
 
   /// One-line key=value serialization, stable field order:
   ///   method=... device=... devfp=0x... order=... prec=sp|dp
-  ///   nx=... ny=... nz=... kind=... beta=...
+  ///   nx=... ny=... nz=... kind=... beta=... tb=...
   /// This line is both the cache-file key and the wire form the daemon's
   /// TUNE requests use, so the parser below is fuzzed (tools/stencil_fuzz
   /// --wisdom-iters) and its shrunk rejects pinned in the replay corpus.
   [[nodiscard]] std::string to_line() const;
 
   /// Strict inverse of to_line(): every field present exactly once
-  /// (devfp may be omitted — the daemon stamps it server-side), no
-  /// unknown keys, no trailing garbage, every number in range.  Returns
-  /// std::nullopt and fills @p error on any violation — a malformed key
-  /// is *loudly rejected*, never guessed at.
+  /// (devfp may be omitted — the daemon stamps it server-side; tb may be
+  /// omitted by a pre-degree client and defaults to 1, a single-step
+  /// sweep), no unknown keys, no trailing garbage, every number in range.
+  /// Returns std::nullopt and fills @p error on any violation — a
+  /// malformed key is *loudly rejected*, never guessed at.
   [[nodiscard]] static std::optional<WisdomKey> parse(const std::string& line,
                                                       std::string* error = nullptr);
 
@@ -105,6 +113,7 @@ class WisdomCache {
     std::size_t evictions = 0;    ///< LRU victims dropped at capacity
     std::size_t compactions = 0;  ///< atomic-rename rewrites of the file
     std::size_t records_recovered = 0;  ///< valid records adopted by open()
+    std::size_t legacy_upgraded = 0;  ///< pre-degree records reloaded as degree 2
     std::size_t torn_bytes = 0;   ///< bytes discarded after the valid prefix
     bool rejected_file = false;   ///< open() refused a foreign/corrupt header
   };

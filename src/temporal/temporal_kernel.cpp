@@ -1,9 +1,12 @@
 #include "temporal/temporal_kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/simd.hpp"
+#include "core/status.hpp"
 #include "kernels/kernel_common.hpp"
+#include "kernels/runner.hpp"
 
 namespace inplane::temporal {
 
@@ -75,6 +78,13 @@ void load_points(gpusim::BlockCtx& ctx, int n, AddrFn&& addr, DstFn&& dst) {
   }
 }
 
+/// Ring slot of plane @p z: the rings are (2r+1) deep, indexed mod depth
+/// (C++ % is toward-zero, so negative planes need the wrap-around).
+[[nodiscard]] int ring_slot(int z, int r) {
+  const int depth = 2 * r + 1;
+  return ((z % depth) + depth) % depth;
+}
+
 }  // namespace
 
 template <typename T>
@@ -104,18 +114,22 @@ struct TemporalInPlaneKernel<T>::Work {
 template <typename T>
 TemporalInPlaneKernel<T>::TemporalInPlaneKernel(StencilCoeffs coeffs,
                                                 LaunchConfig config)
-    : cs_(std::move(coeffs)), cfg_(config), r_(cs_.radius()) {
-  if (r_ < 1) throw std::invalid_argument("TemporalInPlaneKernel: radius must be >= 1");
+    : cs_(std::move(coeffs)), cfg_(config), r_(cs_.radius()), tb_(config.tb) {
+  if (r_ < 1) throw InvalidConfigError("TemporalInPlaneKernel: radius must be >= 1");
   if (cfg_.tx <= 0 || cfg_.ty <= 0 || cfg_.rx <= 0 || cfg_.ry <= 0) {
-    throw std::invalid_argument(
+    throw InvalidConfigError(
         "TemporalInPlaneKernel: blocking factors must be positive");
   }
   if (cfg_.vec != 1 && cfg_.vec != 2 && cfg_.vec != 4) {
-    throw std::invalid_argument("TemporalInPlaneKernel: vec must be 1, 2 or 4");
+    throw InvalidConfigError("TemporalInPlaneKernel: vec must be 1, 2 or 4");
   }
   if (static_cast<std::size_t>(cfg_.vec) * sizeof(T) > 16) {
-    throw std::invalid_argument(
+    throw InvalidConfigError(
         "TemporalInPlaneKernel: vector load wider than 16 bytes");
+  }
+  if (tb_ < 1) {
+    throw InvalidConfigError(
+        "TemporalInPlaneKernel: temporal degree (tb) must be >= 1");
   }
   c_.resize(static_cast<std::size_t>(r_) + 1);
   c_[0] = static_cast<T>(cs_.c0());
@@ -124,37 +138,74 @@ TemporalInPlaneKernel<T>::TemporalInPlaneKernel(StencilCoeffs coeffs,
 
 template <typename T>
 gpusim::KernelResources TemporalInPlaneKernel<T>::resources() const {
-  const int r = r_;
+  return kernels::estimate_resources(method(), cfg_, r_, sizeof(T));
+}
+
+template <typename T>
+std::uint32_t TemporalInPlaneKernel<T>::ring_base(int s) const {
   const int w = cfg_.tile_w();
   const int h = cfg_.tile_h();
-  const std::size_t slice =
-      static_cast<std::size_t>(w + 4 * r) * static_cast<std::size_t>(h + 4 * r);
-  const std::size_t ring = static_cast<std::size_t>(2 * r + 1) *
-                           static_cast<std::size_t>(w + 2 * r) *
-                           static_cast<std::size_t>(h + 2 * r);
-  gpusim::KernelResources res;
-  res.threads = cfg_.threads();
-  res.smem_bytes = (slice + ring) * sizeof(T);
-  const int n_points = (w + 2 * r) * (h + 2 * r);
-  const int per_thread = (n_points + cfg_.threads() - 1) / cfg_.threads();
-  const int regs_per_value = sizeof(T) == 8 ? 2 : 1;
-  res.regs_per_thread = 12 + regs_per_value * (2 * r * per_thread + 4);
-  return res;
+  // The t=0 slice spans the stage-1 region plus its own r halo.
+  std::size_t elems = static_cast<std::size_t>(w + 2 * tb_ * r_) *
+                      static_cast<std::size_t>(h + 2 * tb_ * r_);
+  for (int t = 1; t < s; ++t) {
+    elems += static_cast<std::size_t>(2 * r_ + 1) *
+             static_cast<std::size_t>(w + 2 * ext_of(t)) *
+             static_cast<std::size_t>(h + 2 * ext_of(t));
+  }
+  return static_cast<std::uint32_t>(elems * sizeof(T));
+}
+
+template <typename T>
+std::uint32_t TemporalInPlaneKernel<T>::ring_off(int s, int z, int gx, int gy) const {
+  const int es = ext_of(s);
+  const int rw = cfg_.tile_w() + 2 * es;
+  const int rh = cfg_.tile_h() + 2 * es;
+  const int slot = ring_slot(z, r_);
+  return ring_base(s) +
+         static_cast<std::uint32_t>(((slot * rh) + (gy + es)) * rw + (gx + es)) *
+             static_cast<std::uint32_t>(sizeof(T));
 }
 
 template <typename T>
 std::optional<std::string> TemporalInPlaneKernel<T>::validate(
     const gpusim::DeviceSpec& device, const Extent3& extent) const {
   extent.validate();
+  // Ordered so the FIRST violated resource is the one reported, with the
+  // exact numbers: threads, shared memory, registers, tiling, halo depth.
   if (cfg_.threads() > device.max_threads_per_block) {
-    return "threads per block over device limit";
+    return "threads per block (" + std::to_string(cfg_.threads()) +
+           ") over device limit (" + std::to_string(device.max_threads_per_block) +
+           ")";
   }
-  if (resources().smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
-    return "slice + t1 ring over per-SM shared memory";
+  const gpusim::KernelResources res = resources();
+  if (res.smem_bytes > static_cast<std::size_t>(device.smem_per_sm)) {
+    const std::size_t slice_bytes =
+        static_cast<std::size_t>(cfg_.tile_w() + 2 * tb_ * r_) *
+        static_cast<std::size_t>(cfg_.tile_h() + 2 * tb_ * r_) * sizeof(T);
+    return "shared memory: t0 slice " + std::to_string(slice_bytes) + " B + ring(s) " +
+           std::to_string(res.smem_bytes - slice_bytes) + " B = " +
+           std::to_string(res.smem_bytes) + " B over the per-SM shared memory (" +
+           std::to_string(device.smem_per_sm) + " B) at degree " +
+           std::to_string(tb_);
+  }
+  // Spilling degrades single-step kernels gracefully, but the stage-1
+  // queue/history state is addressed per extended point, so past the
+  // 255-register encoding limit the staged pipeline cannot be held in
+  // registers at all.
+  constexpr int kRegEncodingLimit = 255;
+  if (res.regs_per_thread > kRegEncodingLimit) {
+    return "registers: " + std::to_string(res.regs_per_thread) +
+           " per thread over the " + std::to_string(kRegEncodingLimit) +
+           "-register encoding limit at degree " + std::to_string(tb_);
   }
   if (extent.nx % cfg_.tile_w() != 0) return "TX*RX does not divide grid x extent";
   if (extent.ny % cfg_.tile_h() != 0) return "TY*RY does not divide grid y extent";
-  if (extent.nz <= 2 * r_) return "grid too shallow for the double-step pipeline";
+  if (extent.nz <= tb_ * r_) {
+    return "halo depth: grid too shallow for the degree-" + std::to_string(tb_) +
+           " pipeline (nz = " + std::to_string(extent.nz) +
+           " must exceed tb*r = " + std::to_string(tb_ * r_) + ")";
+  }
   return std::nullopt;
 }
 
@@ -163,39 +214,37 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
                                      GridAccess& out, int bx, int by, int k,
                                      Work& work) const {
   const int r = r_;
+  const int nsteps = tb_;
   const int w = cfg_.tile_w();
   const int h = cfg_.tile_h();
   const int x0 = bx * w;
   const int y0 = by * h;
-  const int ew = w + 2 * r;   // extended (stage-1) tile width
-  const int eh = h + 2 * r;
-  const int n = ew * eh;      // extended points, flattened p = (ey+r)*ew + (ex+r)
+  const int e1 = ext_of(1);  // stage-1 ghost-zone extension, (N-1)r
+  const int ew = w + 2 * e1;
+  const int eh = h + 2 * e1;
+  const int n = ew * eh;  // extended points, flattened p = (ey+e1)*ew + (ex+e1)
   const bool fn = ctx.functional();
   const auto elem = static_cast<std::uint32_t>(sizeof(T));
+  std::uint64_t ops = 0;
+  std::uint64_t flops = 0;
 
-  // Shared layout: t=0 slice (w+4r) x (h+4r), then the (2r+1)-plane t=1 ring.
-  const int slice_row = w + 4 * r;
-  const std::uint32_t ring_base =
-      static_cast<std::uint32_t>(slice_row) * static_cast<std::uint32_t>(h + 4 * r) *
-      elem;
-  const auto slice_off = [&](int gx, int gy) {  // gx in [-2r, w+2r)
-    return static_cast<std::uint32_t>((gy + 2 * r) * slice_row + (gx + 2 * r)) * elem;
+  // Shared layout: t=0 slice (w + 2Nr) x (h + 2Nr) at offset 0, then the
+  // (2r+1)-plane ring of each intermediate timestep (see ring_base).
+  const int slice_row = w + 2 * nsteps * r;
+  const auto slice_off = [&](int gx, int gy) {  // gx in [-Nr, w+Nr)
+    return static_cast<std::uint32_t>((gy + e1 + r) * slice_row + (gx + e1 + r)) *
+           elem;
   };
-  const auto ring_off = [&](int z, int gx, int gy) {  // gx in [-r, w+r)
-    const int slot = ((z % (2 * r + 1)) + (2 * r + 1)) % (2 * r + 1);
-    return ring_base +
-           static_cast<std::uint32_t>((slot * eh + gy + r) * ew + (gx + r)) * elem;
-  };
-  const auto ex_of = [&](int p) { return p % ew - r; };
-  const auto ey_of = [&](int p) { return p / ew - r; };
+  const auto ex_of = [&](int p) { return p % ew - e1; };
+  const auto ey_of = [&](int p) { return p / ew - e1; };
 
   // ---- Stage 1 load: stream the t=0 plane k into the slice --------------
   // (merged full-slice rows; the tile "origin" for the loader is the
-  // extended region's origin, so its own halo of width r covers 2r total).
+  // extended region's origin, so its own halo of width r covers Nr total).
   {
     const SmemTile slice{ew, eh, r, sizeof(T), 0};
-    load_rows_to_tile<T>(ctx, in, slice, x0 - r, y0 - r, x0 - 2 * r, x0 + w + 2 * r,
-                         y0 - 2 * r, y0 + h + 2 * r, k, cfg_.vec);
+    load_rows_to_tile<T>(ctx, in, slice, x0 - e1, y0 - e1, x0 - e1 - r,
+                         x0 + w + e1 + r, y0 - e1 - r, y0 + h + e1 + r, k, cfg_.vec);
   }
   ctx.sync();
 
@@ -231,9 +280,10 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
       }
     }
   }
-  // Queue updates (Eqn. 5), emission of the t=1 plane k-r into the ring,
-  // and the register shifts.  Non-interior points freeze at their t=0
-  // value (back[r] holds t0(k-r)) so boundaries match the CPU reference.
+  // Queue updates (Eqn. 5), emission of the t=1 plane k-r, and the
+  // register shifts.  Non-interior points freeze at their t=0 value
+  // (back[r] holds t0(k-r)) so boundaries match the CPU reference.
+  const int j1 = k - r;
   if (fn) {
     // Extended points are independent; only the slot walk within one
     // point's register state is sequential (core/simd.hpp contract).
@@ -243,7 +293,7 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
       for (int d = 0; d < r; ++d) {
         work.q(p, d, r) += c_[static_cast<std::size_t>(d + 1)] * cur;
       }
-      const bool interior = in.layout->is_interior(x0 + ex_of(p), y0 + ey_of(p), k - r);
+      const bool interior = in.layout->is_interior(x0 + ex_of(p), y0 + ey_of(p), j1);
       const T emit = interior ? work.q(p, r - 1, r) : work.back(p, r, r);
       for (int d = r - 1; d >= 1; --d) work.q(p, d, r) = work.q(p, d - 1, r);
       work.q(p, 0, r) = work.part[static_cast<std::size_t>(p)];
@@ -252,13 +302,109 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
       work.part[static_cast<std::size_t>(p)] = emit;  // reuse as emit buffer
     }
   }
-  smem_write_points<T>(
-      ctx, n, [&](int p) { return ring_off(k - r, ex_of(p), ey_of(p)); },
-      [&](int p) { return work.part[static_cast<std::size_t>(p)]; });
+  ops += static_cast<std::uint64_t>((n + kWarp - 1) / kWarp) *
+         (6 * static_cast<std::uint64_t>(r) + 1);
+  flops += static_cast<std::uint64_t>(n) * (8 * static_cast<std::uint64_t>(r) + 1);
+
+  if (nsteps == 1) {
+    // Degenerate single-step sweep: the queue emission IS the output.
+    if (j1 >= 0) {
+      store_columns<T>(ctx, out, cfg_, x0, y0, j1, [&](int tid, int col) {
+        const ThreadPos pos = thread_pos(cfg_, tid);
+        const int ex = pos.t_x + (col % cfg_.rx) * cfg_.tx;
+        const int ey = pos.t_y + (col / cfg_.rx) * cfg_.ty;
+        return work.part[static_cast<std::size_t>(ey * ew + ex)];
+      });
+    }
+    ctx.sync();
+    ctx.record_compute(ops, flops);
+    return;
+  }
+
+  if (j1 >= 0) {
+    smem_write_points<T>(
+        ctx, n, [&](int p) { return ring_off(1, j1, ex_of(p), ey_of(p)); },
+        [&](int p) { return work.part[static_cast<std::size_t>(p)]; });
+  }
   ctx.sync();
 
-  // ---- Stage 2: stencil over the t=1 ring, store the t=2 plane k-2r ------
-  const int j = k - 2 * r;
+  // ---- Intermediate stages: ring s-1 -> ring s (forward-plane style) -----
+  // Stage s emits the t=s plane k - s*r; its whole (2r+1)-plane read
+  // window exists in ring s-1 because stage s-1 emitted plane k-(s-1)r
+  // just above and planes [-r, -1] were preseeded by run_block.
+  for (int s = 2; s < nsteps; ++s) {
+    const int js = k - s * r;
+    if (js < 0) continue;
+    const int es = ext_of(s);
+    const int sw = w + 2 * es;
+    const int sh = h + 2 * es;
+    const int ns = sw * sh;
+    const auto sx_of = [&](int p) { return p % sw - es; };
+    const auto sy_of = [&](int p) { return p / sw - es; };
+    // Centre value doubles as the frozen fallback (ring s-1 holds t=0
+    // values at non-interior points by induction).
+    smem_read_points<T>(
+        ctx, ns, [&](int p) { return ring_off(s - 1, js, sx_of(p), sy_of(p)); },
+        [&](int p, T v) { work.cur[static_cast<std::size_t>(p)] = v; });
+    if (fn) {
+      const T c0 = c_[0];
+      INPLANE_SIMD_LOOP
+      for (int p = 0; p < ns; ++p) {
+        work.part[static_cast<std::size_t>(p)] =
+            c0 * work.cur[static_cast<std::size_t>(p)];
+      }
+    }
+    for (int m = 1; m <= r; ++m) {
+      if (fn) std::fill(work.nsum.begin(), work.nsum.begin() + ns, T{});
+      auto add = [&](int p, T v) { work.nsum[static_cast<std::size_t>(p)] += v; };
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js, sx_of(p) - m, sy_of(p)); },
+          add);
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js, sx_of(p) + m, sy_of(p)); },
+          add);
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js, sx_of(p), sy_of(p) - m); },
+          add);
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js, sx_of(p), sy_of(p) + m); },
+          add);
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js - m, sx_of(p), sy_of(p)); },
+          add);
+      smem_read_points<T>(
+          ctx, ns, [&](int p) { return ring_off(s - 1, js + m, sx_of(p), sy_of(p)); },
+          add);
+      if (fn) {
+        const T cm = c_[static_cast<std::size_t>(m)];
+        INPLANE_SIMD_LOOP
+        for (int p = 0; p < ns; ++p) {
+          work.part[static_cast<std::size_t>(p)] +=
+              cm * work.nsum[static_cast<std::size_t>(p)];
+        }
+      }
+    }
+    if (fn) {
+      for (int p = 0; p < ns; ++p) {
+        const bool interior =
+            in.layout->is_interior(x0 + sx_of(p), y0 + sy_of(p), js);
+        if (!interior) {
+          work.part[static_cast<std::size_t>(p)] =
+              work.cur[static_cast<std::size_t>(p)];
+        }
+      }
+    }
+    smem_write_points<T>(
+        ctx, ns, [&](int p) { return ring_off(s, js, sx_of(p), sy_of(p)); },
+        [&](int p) { return work.part[static_cast<std::size_t>(p)]; });
+    ctx.sync();
+    ops += static_cast<std::uint64_t>((ns + kWarp - 1) / kWarp) *
+           (6 * static_cast<std::uint64_t>(r) + 1);
+    flops += static_cast<std::uint64_t>(ns) * (7 * static_cast<std::uint64_t>(r) + 1);
+  }
+
+  // ---- Final stage: stencil over ring N-1, store the t=N plane k-Nr ------
+  const int j = k - nsteps * r;
   if (j >= 0) {
     const int threads = cfg_.threads();
     const int cols = cfg_.columns_per_thread();
@@ -278,8 +424,8 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
               const ThreadPos pos = thread_pos(cfg_, tid);
               const int cx = pos.t_x + s * cfg_.tx + dx;
               const int cy = pos.t_y + u * cfg_.ty + dy;
-              rd[lane] = {ring_off(j + dz, cx, cy), fn ? &vals[lane] : nullptr, elem,
-                          true};
+              rd[lane] = {ring_off(nsteps - 1, j + dz, cx, cy),
+                          fn ? &vals[lane] : nullptr, elem, true};
             } else {
               rd[lane] = {};
             }
@@ -310,21 +456,17 @@ void TemporalInPlaneKernel<T>::plane(gpusim::BlockCtx& ctx, const GridAccess& in
     }
     store_columns<T>(ctx, out, cfg_, x0, y0, j,
                      [&](int tid, int col) { return acc[aidx(tid, col)]; });
+    ops += static_cast<std::uint64_t>(cfg_.warps(ctx.device())) *
+           static_cast<std::uint64_t>(cols) * (6 * static_cast<std::uint64_t>(r) + 1);
+    flops += static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(cols) *
+             (7 * static_cast<std::uint64_t>(r) + 1);
   }
   ctx.sync();
 
-  // Compute accounting: stage 1 does (6r+1) FMA-class ops per extended
-  // point (in-plane counting, Table II); stage 2 does (6r+1) per output
-  // point (forward counting over the ring).
-  const auto warps = static_cast<std::uint64_t>(cfg_.warps(ctx.device()));
-  const auto ru = static_cast<std::uint64_t>(r);
-  const auto ext_chunks = static_cast<std::uint64_t>((n + kWarp - 1) / kWarp);
-  const auto colsu = static_cast<std::uint64_t>(cfg_.columns_per_thread());
-  const auto threadsu = static_cast<std::uint64_t>(cfg_.threads());
-  ctx.record_compute(
-      ext_chunks * (6 * ru + 1) + warps * colsu * (6 * ru + 1),
-      static_cast<std::uint64_t>(n) * (8 * ru + 1) +
-          threadsu * colsu * (7 * ru + 1));
+  // Compute accounting: (6r+1) warp FMA-class ops per point chunk per
+  // stage (in-plane counting for stage 1, forward counting over the rings
+  // for the rest, Table II).
+  ctx.record_compute(ops, flops);
 }
 
 template <typename T>
@@ -333,23 +475,40 @@ void TemporalInPlaneKernel<T>::run_block(gpusim::BlockCtx& ctx, const GridAccess
   const int r = r_;
   const int w = cfg_.tile_w();
   const int h = cfg_.tile_h();
-  const int ew = w + 2 * r;
-  const int eh = h + 2 * r;
+  const int e1 = ext_of(1);
+  const int ew = w + 2 * e1;
+  const int eh = h + 2 * e1;
   const int n = ew * eh;
   Work work(n, r);
-  // Prime the stage-1 back history from the z < 0 halo planes.
   const int x0 = bx * w;
   const int y0 = by * h;
+  // Prime the stage-1 back history from the z < 0 halo planes.
   for (int m = 1; m <= r; ++m) {
     load_points<T>(
         ctx, n,
         [&](int p) {
-          return in.vaddr(x0 + p % ew - r, y0 + p / ew - r, -m);
+          return in.vaddr(x0 + p % ew - e1, y0 + p / ew - e1, -m);
         },
         [&](int p) -> T& { return work.back(p, m, r); });
   }
+  // Preseed every ring's z in [-r, -1] planes with the frozen t=0 halo so
+  // each stage only ever emits planes >= 0 (see the class comment).
+  for (int s = 1; s < tb_; ++s) {
+    const int es = ext_of(s);
+    const int rh = cfg_.tile_h() + 2 * es;
+    const int rw = cfg_.tile_w() + 2 * es;
+    for (int z = -r; z < 0; ++z) {
+      const std::uint32_t base =
+          ring_base(s) + static_cast<std::uint32_t>(ring_slot(z, r) * rh * rw) *
+                             static_cast<std::uint32_t>(sizeof(T));
+      const SmemTile ring_plane{w, h, es, sizeof(T), base};
+      load_rows_to_tile<T>(ctx, in, ring_plane, x0, y0, x0 - es, x0 + w + es,
+                           y0 - es, y0 + h + es, z, cfg_.vec);
+    }
+  }
+  if (tb_ > 1) ctx.sync();
   const int nz = in.layout->nz();
-  for (int k = 0; k < nz + 2 * r; ++k) {
+  for (int k = 0; k < nz + tb_ * r; ++k) {
     plane(ctx, in, out, bx, by, k, work);
   }
 }
@@ -357,15 +516,18 @@ void TemporalInPlaneKernel<T>::run_block(gpusim::BlockCtx& ctx, const GridAccess
 template <typename T>
 gpusim::TraceStats TemporalInPlaneKernel<T>::trace_plane(
     const gpusim::DeviceSpec& device, const Extent3& extent) const {
-  const GridLayout layout(extent, 2 * r_, sizeof(T), 32, preferred_align_offset());
+  const GridLayout layout(extent, required_halo(), sizeof(T), 32,
+                          preferred_align_offset());
   gpusim::GlobalMemory gmem;
   gpusim::BlockCtx ctx(device, gmem, resources().smem_bytes, gpusim::ExecMode::Trace);
   GridAccess in{&layout, 0x10000};
   GridAccess out{&layout, 0x10000 + round_up(layout.allocated_bytes(), 512) + 512};
-  const int ew = cfg_.tile_w() + 2 * r_;
-  const int eh = cfg_.tile_h() + 2 * r_;
+  const int e1 = ext_of(1);
+  const int ew = cfg_.tile_w() + 2 * e1;
+  const int eh = cfg_.tile_h() + 2 * e1;
   Work work(ew * eh, r_);
-  const int k = std::min(extent.nz - 1, 2 * r_ + 1);
+  // Steady state: every stage active (k - tb*r >= 0) on an interior plane.
+  const int k = std::min(extent.nz - 1, tb_ * r_ + 1);
   plane(ctx, in, out, 0, 0, k, work);
   return ctx.stats();
 }
@@ -385,13 +547,17 @@ gpusim::TraceStats run_temporal_kernel(const TemporalInPlaneKernel<T>& kernel,
                                        const gpusim::DeviceSpec& device,
                                        gpusim::ExecMode mode) {
   if (in.extent() != out.extent()) {
-    throw std::invalid_argument("run_temporal_kernel: grids must share extent");
+    throw InvalidConfigError("run_temporal_kernel: grids must share extent");
   }
-  if (in.halo() < 2 * kernel.radius() || out.halo() < 2 * kernel.radius()) {
-    throw std::invalid_argument("run_temporal_kernel: halo narrower than 2r");
+  const int need = kernel.required_halo();
+  if (in.halo() < need || out.halo() < need) {
+    throw InvalidConfigError(
+        "run_temporal_kernel: halo " +
+        std::to_string(std::min(in.halo(), out.halo())) + " narrower than tb*r = " +
+        std::to_string(need));
   }
   if (auto err = kernel.validate(device, in.extent())) {
-    throw std::invalid_argument("run_temporal_kernel: invalid configuration: " + *err);
+    throw InvalidConfigError("run_temporal_kernel: invalid configuration: " + *err);
   }
   gpusim::GlobalMemory gmem;
   const auto in_id = gmem.map_readonly(const_bytes(in));
@@ -414,21 +580,7 @@ template <typename T>
 gpusim::KernelTiming time_temporal_kernel(const TemporalInPlaneKernel<T>& kernel,
                                           const gpusim::DeviceSpec& device,
                                           const Extent3& extent) {
-  gpusim::KernelTiming timing;
-  if (auto err = kernel.validate(device, extent)) {
-    timing.invalid_reason = *err;
-    return timing;
-  }
-  gpusim::TimingInput input;
-  input.grid = extent;
-  input.radius = 2 * kernel.radius();  // double-deep pipeline fill
-  input.tile_w = kernel.config().tile_w();
-  input.tile_h = kernel.config().tile_h();
-  input.resources = kernel.resources();
-  input.per_plane = kernel.trace_plane(device, extent);
-  input.is_double = sizeof(T) == 8;
-  input.ilp = kernel.config().columns_per_thread();
-  return gpusim::estimate_timing(device, input);
+  return kernels::time_kernel(kernel, device, extent);
 }
 
 template class TemporalInPlaneKernel<float>;

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/coefficients.hpp"
 #include "core/grid3.hpp"
@@ -11,67 +12,98 @@
 
 namespace inplane::temporal {
 
-/// Two-timestep temporal blocking on top of the in-plane method — the
-/// "3.5-D" extension the paper's related-work section points at (Nguyen et
-/// al. [14], Meng & Skadron [16]).
+/// Degree-N temporal blocking on top of the in-plane method — the "3.5-D"
+/// extension the paper's related-work section points at (Nguyen et al.
+/// [14], Meng & Skadron [16]), generalized to a runtime degree N =
+/// config().tb in the spirit of AN5D's deep temporal blocking.
 ///
-/// One sweep down z advances the whole tile by TWO Jacobi steps while
+/// One sweep down z advances the whole tile by N Jacobi steps while
 /// loading every input element once and storing every output element once:
 ///
 ///  * stage 1 applies the stencil to the streamed t=0 planes with the
 ///    in-plane full-slice machinery (merged vectorised loads, r-deep
-///    partial queue, Eqns. 3-5) — but over the *extended* tile
-///    (W+2r) x (H+2r), because stage 2 needs a ghost zone of t=1 values;
-///  * completed t=1 planes go to a (2r+1)-deep shared-memory ring instead
-///    of global memory;
-///  * stage 2 applies the stencil to the ring (pure shared-memory reads,
-///    forward-plane style) and stores the t=2 plane k-2r.
+///    partial queue, Eqns. 3-5) — over the *extended* tile
+///    (W+2(N-1)r) x (H+2(N-1)r), because every later stage consumes a
+///    ghost zone that shrinks by r per timestep;
+///  * each intermediate timestep s in [1, N) lives in its own
+///    (2r+1)-plane shared-memory ring of (W+2(N-s)r) x (H+2(N-s)r)
+///    planes; stage s+1 applies the stencil to ring s (pure shared reads,
+///    forward-plane style) and feeds ring s+1;
+///  * stage N stores the t=N plane k - N*r to global memory.
 ///
-/// Boundary semantics match two applications of the CPU reference with a
-/// frozen halo: t=1 values at non-interior points are the t=0 values.
+/// At iteration k of the z walk, stage s emits the t=s plane k - s*r; the
+/// rings are preseeded with the z in [-r, -1] halo planes before the walk
+/// so every stage only ever emits planes >= 0.  Boundary semantics match
+/// N applications of the CPU reference with a frozen halo: by induction,
+/// t=s values at non-interior points are the t=0 values (stage 1 freezes
+/// via its back history, later stages via the previous ring's centre).
+///
+/// N = 1 degenerates to the plain single-step in-plane full-slice sweep
+/// (no rings, the queue emission stores straight to global memory).
 ///
 /// The trade-off this extension explores (and bench_temporal_extension
-/// measures): global traffic per point per timestep drops towards half,
-/// in exchange for (1+2r/W)(1+2r/H) redundant stage-1 compute and a
-/// (2r+1)-plane shared-memory ring that crushes occupancy for large tiles
-/// or high orders.
+/// measures): global traffic per point per timestep drops towards 1/N, in
+/// exchange for prod_s (1+2(N-s)r/W)(1+2(N-s)r/H) redundant ghost-zone
+/// compute and a ring hierarchy that crushes occupancy for large tiles,
+/// high orders or deep degrees — which is exactly why the degree is a
+/// tuner dimension rather than a constant.
 template <typename T>
-class TemporalInPlaneKernel {
+class TemporalInPlaneKernel final : public kernels::IStencilKernel<T> {
  public:
   TemporalInPlaneKernel(StencilCoeffs coeffs, kernels::LaunchConfig config);
 
-  [[nodiscard]] const StencilCoeffs& coeffs() const { return cs_; }
-  [[nodiscard]] const kernels::LaunchConfig& config() const { return cfg_; }
-  [[nodiscard]] int radius() const { return r_; }
-  /// Timesteps advanced per sweep (fixed at 2 for this kernel).
-  [[nodiscard]] static constexpr int time_steps() { return 2; }
+  [[nodiscard]] kernels::Method method() const override {
+    return kernels::Method::InPlaneFullSlice;
+  }
+  [[nodiscard]] const StencilCoeffs& coeffs() const override { return cs_; }
+  [[nodiscard]] const kernels::LaunchConfig& config() const override { return cfg_; }
+  [[nodiscard]] int radius() const override { return r_; }
+  /// Timesteps advanced per sweep — the runtime degree N = config().tb.
+  [[nodiscard]] int time_steps() const override { return tb_; }
+  /// The pipeline streams N*r planes into the z halo.
+  [[nodiscard]] int required_halo() const override { return tb_ * r_; }
 
-  [[nodiscard]] int preferred_align_offset() const { return 2 * r_; }
-  [[nodiscard]] gpusim::KernelResources resources() const;
-  [[nodiscard]] std::optional<std::string> validate(const gpusim::DeviceSpec& device,
-                                                    const Extent3& extent) const;
+  [[nodiscard]] int preferred_align_offset() const override { return tb_ * r_; }
+  [[nodiscard]] gpusim::KernelResources resources() const override;
 
-  /// One block's full double-timestep z sweep.  Grids need halo >= 2r.
+  /// Ordered first-violation report with exact numbers: thread count,
+  /// shared memory (slice + rings), per-thread registers (the 255-register
+  /// encoding limit), tile divisibility, then pipeline depth vs nz.
+  [[nodiscard]] std::optional<std::string> validate(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const override;
+
+  /// One block's full N-timestep z sweep.  Grids need halo >= N*r.
   void run_block(gpusim::BlockCtx& ctx, const kernels::GridAccess& in,
-                 kernels::GridAccess& out, int bx, int by) const;
+                 kernels::GridAccess& out, int bx, int by) const override;
 
-  /// Steady-state one-plane trace (timing-model input).
-  [[nodiscard]] gpusim::TraceStats trace_plane(const gpusim::DeviceSpec& device,
-                                               const Extent3& extent) const;
+  /// Steady-state one-plane trace (timing-model input): one iteration of
+  /// the z walk with every stage active.
+  [[nodiscard]] gpusim::TraceStats trace_plane(
+      const gpusim::DeviceSpec& device, const Extent3& extent) const override;
 
  private:
   struct Work;
   void plane(gpusim::BlockCtx& ctx, const kernels::GridAccess& in,
              kernels::GridAccess& out, int bx, int by, int k, Work& work) const;
 
+  /// Ghost-zone extension of the t=s region: (N-s)*r.
+  [[nodiscard]] int ext_of(int s) const { return (tb_ - s) * r_; }
+  /// Byte offset of ring s (s in [1, N)) within the block's shared memory
+  /// (the t=0 slice sits at offset 0).
+  [[nodiscard]] std::uint32_t ring_base(int s) const;
+  /// Byte offset of element (gx, gy) of plane z's slot in ring s, with
+  /// gx in [-ext_of(s), W + ext_of(s)) and likewise gy.
+  [[nodiscard]] std::uint32_t ring_off(int s, int z, int gx, int gy) const;
+
   StencilCoeffs cs_;
   kernels::LaunchConfig cfg_;
   int r_;
+  int tb_;  ///< the temporal degree N (= cfg_.tb)
   std::vector<T> c_;
 };
 
-/// Functional execution over whole grids (halo >= 2 * radius required).
-/// The result equals TWO applications of the reference stencil with the
+/// Functional execution over whole grids (halo >= N * radius required).
+/// The result equals N applications of the reference stencil with the
 /// halo frozen between steps.
 template <typename T>
 gpusim::TraceStats run_temporal_kernel(
@@ -79,9 +111,9 @@ gpusim::TraceStats run_temporal_kernel(
     const gpusim::DeviceSpec& device,
     gpusim::ExecMode mode = gpusim::ExecMode::Functional);
 
-/// Timing estimate.  Note: mpoints_per_s counts *grid points per sweep*;
-/// multiply by time_steps() for point-updates per second when comparing
-/// against single-step kernels.
+/// Timing estimate via the shared kernels::time_kernel path.  Note:
+/// mpoints_per_s counts point-UPDATES per second (grid points x N), so it
+/// compares directly against single-step kernels in the tuner ranking.
 template <typename T>
 [[nodiscard]] gpusim::KernelTiming time_temporal_kernel(
     const TemporalInPlaneKernel<T>& kernel, const gpusim::DeviceSpec& device,

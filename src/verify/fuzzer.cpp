@@ -115,17 +115,25 @@ FuzzVerdict run_sample_impl(const FuzzSample& s, const gpusim::DeviceSpec& devic
       kernels::run_kernel(*kernel, in, out, device, gpusim::ExecMode::Functional,
                           policy);
     }
-    if (const Status ref = reference_status(coeffs, in, out, budget); !ref.ok()) {
+    // A degree-N temporal kernel advances N steps per sweep; the oracle
+    // applies the frozen-halo reference N times with a matching budget.
+    const int steps = std::max(1, kernel->time_steps());
+    if (const Status ref = reference_status_n(
+            coeffs, in, out, steps, budget.scaled(static_cast<double>(steps)));
+        !ref.ok()) {
       fail("reference", ref.context);
       return verdict;
     }
 
     // Pillar 2 — differential against the forward-plane baseline at the
     // same blocking (vector width dropped to 1 so the baseline is always
-    // constructible).
+    // constructible; temporal degree dropped to 1 and the baseline
+    // chained time_steps() times with the halo frozen at t=0, matching
+    // the degree-N boundary contract).
     if (s.method != kernels::Method::ForwardPlane) {
       kernels::LaunchConfig base_cfg = s.config;
       base_cfg.vec = 1;
+      base_cfg.tb = 1;
       const auto baseline = kernels::make_kernel<T>(kernels::Method::ForwardPlane,
                                                     coeffs, base_cfg);
       if (!baseline->validate(device, extent)) {
@@ -134,7 +142,19 @@ FuzzVerdict run_sample_impl(const FuzzSample& s, const gpusim::DeviceSpec& devic
         base_in.fill_with_halo(field);
         kernels::run_kernel(*baseline, base_in, base_out, device,
                             gpusim::ExecMode::Functional, policy);
-        const UlpGridDiff d = ulp_compare_grids(out, base_out, budget.scaled(2.0));
+        for (int t = 1; t < steps; ++t) {
+          const auto interior = [&](int i, int j, int k) {
+            return i >= 0 && i < extent.nx && j >= 0 && j < extent.ny && k >= 0 &&
+                   k < extent.nz;
+          };
+          base_in.fill_with_halo([&](int i, int j, int k) {
+            return interior(i, j, k) ? base_out.at(i, j, k) : field(i, j, k);
+          });
+          kernels::run_kernel(*baseline, base_in, base_out, device,
+                              gpusim::ExecMode::Functional, policy);
+        }
+        const UlpGridDiff d =
+            ulp_compare_grids(out, base_out, budget.scaled(2.0 * steps));
         if (!d.pass) {
           fail("differential-vs-forward", d.describe());
           return verdict;
@@ -178,6 +198,7 @@ std::string FuzzSample::to_line() const {
   os << "method=" << method_token(method) << " order=" << order << " nx=" << nx
      << " ny=" << ny << " nz=" << nz << " tx=" << config.tx << " ty=" << config.ty
      << " rx=" << config.rx << " ry=" << config.ry << " vec=" << config.vec
+     << " tb=" << config.tb
      << " prec=" << (double_precision ? "dp" : "sp") << " data=0x" << std::hex
      << data_seed << std::dec << " sabotage=" << to_string(sabotage);
   return os.str();
@@ -220,6 +241,11 @@ std::optional<FuzzSample> FuzzSample::parse(const std::string& line,
         s.config.ry = std::stoi(value);
       } else if (key == "vec") {
         s.config.vec = std::stoi(value);
+      } else if (key == "tb") {
+        // Optional for corpus compatibility: pre-degree lines parse as
+        // tb=1.  Out-of-range degrees reach the kernel factory, whose
+        // loud rejection is itself a fuzzed pillar.
+        s.config.tb = std::stoi(value);
       } else if (key == "prec") {
         if (value != "sp" && value != "dp") return bail("prec must be sp or dp");
         s.double_precision = value == "dp";
@@ -245,7 +271,8 @@ std::optional<FuzzSample> FuzzSample::parse(const std::string& line,
   return s;
 }
 
-FuzzSample draw_sample(std::uint64_t seed, int iteration, Sabotage sabotage) {
+FuzzSample draw_sample(std::uint64_t seed, int iteration, Sabotage sabotage,
+                       int max_temporal_degree) {
   constexpr std::uint64_t kIterMix = 0x632be59bd9b4e019ull;
   Stream rng{splitmix64(seed) ^ (kIterMix * static_cast<std::uint64_t>(iteration + 1))};
   FuzzSample s;
@@ -273,6 +300,18 @@ FuzzSample draw_sample(std::uint64_t seed, int iteration, Sabotage sabotage) {
   s.nz = rng.choose({1, 2, 4, 8});
   if (rng.pick(2) == 0) s.nz = 2 * r + rng.pick(3);
   s.nz = std::max(s.nz, 1);
+
+  // The temporal axis is opt-in and gated so the historical stream stays
+  // bit-identical at the default degree.  Only full-slice kernels accept
+  // tb > 1; half the deep draws get a grid that actually fits the
+  // degree-tb pipeline (nz > tb*r), the rest exercise the loud-reject
+  // paths (pipeline too shallow, ring over shared memory).
+  if (max_temporal_degree > 1 && s.method == kernels::Method::InPlaneFullSlice) {
+    s.config.tb = 1 + rng.pick(max_temporal_degree);
+    if (s.config.tb > 1 && rng.pick(2) == 0) {
+      s.nz = s.config.tb * r + 1 + rng.pick(4);
+    }
+  }
 
   s.data_seed = rng.next() | 1;
   s.sabotage = sabotage;
@@ -310,6 +349,8 @@ FuzzFailure shrink_failure(const FuzzSample& sample, const FuzzVerdict& verdict,
     };
     const FuzzSample& cur = failure.shrunk;
     const Axis axes[] = {
+        {lower_values(cur.config.tb, {1, 2, 4}),
+         [](FuzzSample& s, int v) { s.config.tb = v; }},
         {lower_values(cur.order, {2, 4, 6, 8, 10}),
          [](FuzzSample& s, int v) { s.order = v; }},
         {lower_values(cur.config.vec, {1, 2}),
@@ -363,7 +404,8 @@ FuzzFailure shrink_failure(const FuzzSample& sample, const FuzzVerdict& verdict,
 FuzzResult run_fuzz(const FuzzOptions& options) {
   FuzzResult result;
   for (int i = 0; i < options.iters; ++i) {
-    const FuzzSample sample = draw_sample(options.seed, i, options.sabotage);
+    const FuzzSample sample =
+        draw_sample(options.seed, i, options.sabotage, options.max_temporal_degree);
     const FuzzVerdict verdict = run_sample(sample, options.device, options.policy);
     ++result.iters;
     if (verdict.rejected) ++result.rejected;

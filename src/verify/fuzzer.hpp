@@ -27,7 +27,10 @@ enum class Sabotage {
 /// of repro reports:
 ///
 ///   method=vertical order=6 nx=64 ny=32 nz=9 tx=16 ty=8 rx=2 ry=1
-///       vec=2 prec=sp data=0x1 sabotage=none
+///       vec=2 tb=1 prec=sp data=0x1 sabotage=none
+///
+/// tb is the temporal-blocking degree (config.tb); lines without it
+/// parse as tb=1, so pre-degree corpus lines replay unchanged.
 struct FuzzSample {
   kernels::Method method = kernels::Method::ForwardPlane;
   int order = 2;
@@ -73,6 +76,10 @@ struct FuzzOptions {
   bool shrink = true;
   /// Injected into every drawn sample (replay lines carry their own).
   Sabotage sabotage = Sabotage::None;
+  /// > 1: full-slice samples also draw a temporal-blocking degree from
+  /// {1..max_temporal_degree}.  1 (the default) keeps the historical
+  /// sample stream bit-identical.
+  int max_temporal_degree = 1;
 };
 
 struct FuzzResult {
@@ -87,7 +94,8 @@ struct FuzzResult {
 /// function, so the stream is identical across hosts, thread counts and
 /// reruns.
 [[nodiscard]] FuzzSample draw_sample(std::uint64_t seed, int iteration,
-                                     Sabotage sabotage = Sabotage::None);
+                                     Sabotage sabotage = Sabotage::None,
+                                     int max_temporal_degree = 1);
 
 /// Runs every pillar on one sample: loud-rejection (invalid configs must
 /// throw, not execute), CPU-reference oracle, differential check against

@@ -58,10 +58,13 @@ VerifyReport metamorphic_checks(const kernels::IStencilKernel<T>& kernel,
     report.checks.push_back({"metamorphic skipped (invalid config)", true, *err});
     return report;
   }
-  const UlpBudget base = options.budget
-                             ? *options.budget
-                             : UlpBudget::for_radius(kernel.coeffs().radius(),
-                                                     sizeof(T));
+  // A degree-N temporal kernel advances N steps per sweep; its rounding
+  // error (and so the relation slack) grows with the step count.
+  const int steps = std::max(1, kernel.time_steps());
+  const UlpBudget base =
+      options.budget ? *options.budget
+                     : UlpBudget::for_radius(kernel.coeffs().radius(), sizeof(T))
+                           .scaled(static_cast<double>(steps));
   const std::uint64_t seed = options.data_seed;
 
   // Two independent deterministic fields a and b, as pure functions of
@@ -125,9 +128,17 @@ VerifyReport metamorphic_checks(const kernels::IStencilKernel<T>& kernel,
         });
     CheckResult check{name, true, ""};
     const UlpBudget budget = base.scaled(2.0);
+    // A multi-step kernel freezes the t=0 halo, so points whose N-step
+    // dependency cone touches a face along the shifted axis see frozen
+    // values in one run and computed values in the other; compare the
+    // translated core only.  Single-step kernels keep the full-range
+    // check.
+    const int guard = steps > 1 ? kernel.required_halo() : 0;
+    const int gi = di != 0 ? guard : 0;
+    const int gj = dj != 0 ? guard : 0;
     for (int k = 0; check.pass && k < extent.nz; ++k) {
-      for (int j = std::max(dj, 0); check.pass && j < extent.ny; ++j) {
-        for (int i = std::max(di, 0); check.pass && i < extent.nx; ++i) {
+      for (int j = std::max(dj, 0) + gj; check.pass && j < extent.ny - gj; ++j) {
+        for (int i = std::max(di, 0) + gi; check.pass && i < extent.nx - gi; ++i) {
           const T want = out_a.at(i - di, j - dj, k);
           const UlpCheck<T> c = ulp_check(out_shift.at(i, j, k), want, budget);
           if (!c.pass) {

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "core/coefficients.hpp"
 #include "core/grid3.hpp"
+#include "core/reference.hpp"
 #include "core/status.hpp"
 #include "core/ulp_compare.hpp"
 
@@ -56,6 +58,26 @@ template <typename T>
     }
   }
   return Status::okay();
+}
+
+/// N-step variant of reference_status for temporally blocked kernels: the
+/// first steps - 1 sweeps are materialized with apply_reference under the
+/// same frozen-halo semantics the degree-N kernels implement (halo cells
+/// are never rewritten, so every sweep reads the t=0 halo), and the final
+/// sweep is checked point-by-point through reference_status — the one
+/// comparator, whatever the degree.
+template <typename T>
+[[nodiscard]] Status reference_status_n(const StencilCoeffs& coeffs, const Grid3<T>& in,
+                                        const Grid3<T>& out, int steps,
+                                        const UlpBudget& budget) {
+  if (steps <= 1) return reference_status(coeffs, in, out, budget);
+  Grid3<T> a = in;
+  Grid3<T> b = in;  // full copies, so the frozen t=0 halo rides along
+  for (int s = 1; s < steps; ++s) {
+    apply_reference(a, b, coeffs);
+    std::swap(a, b);
+  }
+  return reference_status(coeffs, a, out, budget);
 }
 
 }  // namespace inplane::verify

@@ -41,43 +41,78 @@ AuditReport audit_plane_trace(kernels::Method method, int order,
   const auto w = static_cast<std::uint64_t>(config.tile_w());
   const auto h = static_cast<std::uint64_t>(config.tile_h());
   const std::uint64_t elems = w * h;
+  const auto tb = static_cast<std::uint64_t>(config.tb > 1 ? config.tb : 1);
 
-  // Flops per element: 7r+1 forward-plane (Table I), 8r+1 in-plane queue
-  // updates (Table II / Eqns. (3)-(5)).
-  const std::uint64_t flops_per_elem =
-      static_cast<std::uint64_t>(method == kernels::Method::ForwardPlane
-                                     ? spec.flops_forward()
-                                     : spec.flops_inplane());
-  if (plane.flops != flops_per_elem * elems) {
-    fail(method == kernels::Method::ForwardPlane ? "flops-forward-7r+1"
-                                                 : "flops-inplane-8r+1",
-         eq_detail("flops", plane.flops, flops_per_elem * elems));
-  }
+  if (tb > 1) {
+    // Degree-N temporal staging (full-slice only): stage 1 runs the
+    // in-plane update at 8r+1 flops/point over the ghost-extended region
+    // (W + 2(N-1)r)(H + 2(N-1)r), stages 2..N-1 run the forward-plane
+    // 7r+1 update over their shrinking rings, and the final stage emits
+    // the tile proper at 7r+1.
+    const auto region_of = [&](std::uint64_t s) {
+      const std::uint64_t e = (tb - s) * r;
+      return (w + 2 * e) * (h + 2 * e);
+    };
+    std::uint64_t staged_flops =
+        region_of(1) * static_cast<std::uint64_t>(spec.flops_inplane()) +
+        elems * static_cast<std::uint64_t>(spec.flops_forward());
+    for (std::uint64_t s = 2; s < tb; ++s) {
+      staged_flops += region_of(s) * static_cast<std::uint64_t>(spec.flops_forward());
+    }
+    if (plane.flops != staged_flops) {
+      fail("flops-temporal-staged", eq_detail("flops", plane.flops, staged_flops));
+    }
 
-  // Loaded region per plane: the star region for the merged-row variants,
-  // plus the 4r^2 corners (section III-C1) for the others.  Exactly once —
-  // any duplicate or missing element skews the Fig. 9 load-efficiency
-  // numbers silently.
-  const std::uint64_t star = elems + 2 * r * w + 2 * r * h;
-  const std::uint64_t full = star + static_cast<std::uint64_t>(
-                                        spec.fullslice_corner_elems());
-  const bool star_only = method == kernels::Method::InPlaneVertical ||
-                         method == kernels::Method::InPlaneHorizontal;
-  const std::uint64_t region = star_only ? star : full;
-  const std::uint64_t requested_elems = plane.bytes_requested_ld / elem_size;
-  if (requested_elems != region) {
-    fail("refs-region-exact", eq_detail("loaded elements", requested_elems, region));
-  }
+    // Global traffic per plane is one t=0 slice including the full ghost
+    // zone: (W + 2Nr)(H + 2Nr) elements, exactly once.  Redundant
+    // ghost-zone loads are the temporal trade (section on overlapped
+    // tiling); the per-plane naive-refs bound deliberately does not apply
+    // — the amortized comparison lives in the perf model and the
+    // crossover benchmark.
+    const std::uint64_t slice = (w + 2 * tb * r) * (h + 2 * tb * r);
+    const std::uint64_t requested_elems = plane.bytes_requested_ld / elem_size;
+    if (requested_elems != slice) {
+      fail("refs-region-exact", eq_detail("loaded elements", requested_elems, slice));
+    }
+  } else {
+    // Flops per element: 7r+1 forward-plane (Table I), 8r+1 in-plane queue
+    // updates (Table II / Eqns. (3)-(5)).
+    const std::uint64_t flops_per_elem =
+        static_cast<std::uint64_t>(method == kernels::Method::ForwardPlane
+                                       ? spec.flops_forward()
+                                       : spec.flops_inplane());
+    if (plane.flops != flops_per_elem * elems) {
+      fail(method == kernels::Method::ForwardPlane ? "flops-forward-7r+1"
+                                                   : "flops-inplane-8r+1",
+           eq_detail("flops", plane.flops, flops_per_elem * elems));
+    }
 
-  // Every tiled variant must beat the naive 6r+2 refs/element of Table I
-  // (6r+1 loads + 1 store); that reduction is the whole point of plane
-  // staging.
-  const std::uint64_t naive_refs = static_cast<std::uint64_t>(spec.memory_refs());
-  const std::uint64_t traced_refs_num = plane.bytes_requested_ld + plane.bytes_requested_st;
-  if (traced_refs_num >= naive_refs * elems * elem_size) {
-    fail("refs-beat-naive-6r+2",
-         "traced " + std::to_string(traced_refs_num / elem_size) +
-             " refs/plane >= naive " + std::to_string(naive_refs * elems));
+    // Loaded region per plane: the star region for the merged-row variants,
+    // plus the 4r^2 corners (section III-C1) for the others.  Exactly once —
+    // any duplicate or missing element skews the Fig. 9 load-efficiency
+    // numbers silently.
+    const std::uint64_t star = elems + 2 * r * w + 2 * r * h;
+    const std::uint64_t full = star + static_cast<std::uint64_t>(
+                                          spec.fullslice_corner_elems());
+    const bool star_only = method == kernels::Method::InPlaneVertical ||
+                           method == kernels::Method::InPlaneHorizontal;
+    const std::uint64_t region = star_only ? star : full;
+    const std::uint64_t requested_elems = plane.bytes_requested_ld / elem_size;
+    if (requested_elems != region) {
+      fail("refs-region-exact", eq_detail("loaded elements", requested_elems, region));
+    }
+
+    // Every tiled variant must beat the naive 6r+2 refs/element of Table I
+    // (6r+1 loads + 1 store); that reduction is the whole point of plane
+    // staging.
+    const std::uint64_t naive_refs = static_cast<std::uint64_t>(spec.memory_refs());
+    const std::uint64_t traced_refs_num =
+        plane.bytes_requested_ld + plane.bytes_requested_st;
+    if (traced_refs_num >= naive_refs * elems * elem_size) {
+      fail("refs-beat-naive-6r+2",
+           "traced " + std::to_string(traced_refs_num / elem_size) +
+               " refs/plane >= naive " + std::to_string(naive_refs * elems));
+    }
   }
 
   // Exactly one store per output point per plane.
@@ -124,9 +159,11 @@ AuditReport audit_plane_trace(kernels::Method method, int order,
          eq_detail("smem replays", plane.smem_replays, 31 * plane.smem_instrs));
   }
 
-  // Two barriers per plane: one after staging, one before re-staging.
-  if (plane.syncs != 2) {
-    fail("syncs-per-plane", eq_detail("barriers", plane.syncs, 2));
+  // Barriers per plane: one after staging, one before re-staging — plus,
+  // at temporal degree N, one after each of the N-1 ring handoffs.
+  const std::uint64_t want_syncs = tb > 1 ? tb + 1 : 2;
+  if (plane.syncs != want_syncs) {
+    fail("syncs-per-plane", eq_detail("barriers", plane.syncs, want_syncs));
   }
 
   return report;
@@ -136,11 +173,14 @@ template <typename T>
 AuditReport audit_kernel(const kernels::IStencilKernel<T>& kernel,
                          const gpusim::DeviceSpec& device, const Extent3& extent) {
   // The invariants describe a *steady-state* plane; trace_plane picks
-  // plane min(nz-1, r+1), which on a shallow grid is still filling the
+  // plane min(nz-1, tb*r+1), which on a shallow grid is still filling the
   // in-plane pipeline (nothing stored yet).  Deepen the traced extent so
   // a steady-state plane exists — per-plane counts do not depend on nz.
+  // A degree-N kernel's pipeline is N*r deep, so its steady state starts
+  // later.
   Extent3 traced = extent;
-  traced.nz = std::max(traced.nz, 2 * kernel.radius() + 2);
+  traced.nz = std::max({traced.nz, 2 * kernel.radius() + 2,
+                        kernel.time_steps() * kernel.radius() + 2});
   const gpusim::TraceStats plane = kernel.trace_plane(device, traced);
   return audit_plane_trace(kernel.method(), kernel.coeffs().order(), kernel.config(),
                            sizeof(T), plane, device);

@@ -39,6 +39,15 @@ struct AuditReport {
 ///  * shared memory: replays bounded by 31 per warp instruction;
 ///  * two barriers per plane (stage + compute).
 ///
+/// When config.tb > 1 (degree-N temporal blocking, full-slice only) the
+/// closed forms change shape and the auditor follows: stage 1 does 8r+1
+/// flops/point over the (W+2(N-1)r)(H+2(N-1)r) ghost-extended region and
+/// stages 2..N do 7r+1 over their shrinking rings; the plane loads the
+/// (W+2Nr)(H+2Nr) t=0 slice exactly once; barriers are N+1 per plane.
+/// The per-plane naive-refs bound is intentionally not enforced there —
+/// redundant ghost-zone traffic is the temporal trade, and the amortized
+/// comparison belongs to the perf model.
+///
 /// A kernel whose trace passes the functional tests but violates these
 /// counts is silently skewing every derived number in EXPERIMENTS.md —
 /// the auditor turns that into a named failure.

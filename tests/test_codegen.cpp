@@ -151,6 +151,75 @@ TEST(CudaCodegen, FullFileIsSelfContained) {
   EXPECT_EQ(count(file, "{"), count(file, "}"));
 }
 
+TEST(CudaCodegen, TemporalNameAndValidation) {
+  auto s = spec(Method::InPlaneFullSlice, 2, {64, 4, 2, 2, 4});
+  s.config.tb = 3;
+  EXPECT_EQ(s.name(), "inplane_fullslice_r2_t64x4_r2x2_v4_sp_tb3");
+  auto bad_method = spec(Method::ForwardPlane, 2, {32, 16, 1, 1, 1});
+  bad_method.config.tb = 2;
+  EXPECT_THROW(bad_method.validate(), std::invalid_argument);
+  auto bad_degree = spec(Method::InPlaneFullSlice, 2, {32, 4, 1, 1, 1});
+  bad_degree.config.tb = 0;
+  EXPECT_THROW(bad_degree.validate(), std::invalid_argument);
+}
+
+TEST(CudaCodegen, TemporalKernelHasStagedStructure) {
+  auto s = spec(Method::InPlaneFullSlice, 1, {16, 8, 2, 1, 1});
+  s.config.tb = 3;
+  const std::string src = generate_kernel(s);
+  // Degree and ring constants.
+  EXPECT_NE(src.find("constexpr int TB = 3;"), std::string::npos);
+  EXPECT_NE(src.find("__shared__ float slice[kSliceH * kSliceRow];"),
+            std::string::npos);
+  EXPECT_NE(src.find("__shared__ float ring1["), std::string::npos);
+  EXPECT_NE(src.find("__shared__ float ring2["), std::string::npos);
+  EXPECT_EQ(src.find("ring3"), std::string::npos);  // only TB-1 rings
+  // Extra parameters for the frozen-boundary test.
+  EXPECT_NE(src.find("int nx, int ny)"), std::string::npos);
+  // Stage 1 queue recurrence over the extended region, ring handoffs,
+  // final 3D stencil, and the deepened sweep.
+  EXPECT_NE(src.find("q[i][d] += c[d + 1] * cur;"), std::string::npos);
+  EXPECT_NE(src.find("interior(x0 + ex, y0 + ey, j1) ? q[i][R - 1] : back[i][R - 1]"),
+            std::string::npos);
+  EXPECT_NE(src.find("if (j1 >= 0) ring1_at(ex, ey, j1) = emit;"), std::string::npos);
+  EXPECT_NE(src.find("ring1_at(gx, gy, js - m) + ring1_at(gx, gy, js + m)"),
+            std::string::npos);
+  EXPECT_NE(src.find("ring2_at(cx, cy, j - m) + ring2_at(cx, cy, j + m)"),
+            std::string::npos);
+  EXPECT_NE(src.find("for (int k = 0; k < nz + TB * R; ++k)"), std::string::npos);
+  // TB + 1 barriers per plane (load, stage handoffs, store) plus one
+  // after the ring preseed.
+  EXPECT_EQ(count(src, "__syncthreads();"), 5);
+  EXPECT_EQ(count(src, "{"), count(src, "}"));
+}
+
+TEST(CudaCodegen, TemporalDegreeTwoHasNoIntermediateStage) {
+  auto s = spec(Method::InPlaneFullSlice, 2, {32, 4, 1, 1, 1}, true);
+  s.config.tb = 2;
+  const std::string src = generate_kernel(s);
+  EXPECT_NE(src.find("__shared__ double slice"), std::string::npos);
+  EXPECT_NE(src.find("__shared__ double ring1["), std::string::npos);
+  EXPECT_EQ(src.find("ring2"), std::string::npos);
+  EXPECT_EQ(src.find("forward-plane update"), std::string::npos);
+  EXPECT_EQ(count(src, "__syncthreads();"), 4);  // TB + 1 per plane + preseed
+  EXPECT_EQ(count(src, "{"), count(src, "}"));
+}
+
+TEST(CudaCodegen, TemporalHarnessChainsFrozenHaloReference) {
+  auto s = spec(Method::InPlaneFullSlice, 1, {32, 4, 1, 1, 1});
+  s.config.tb = 2;
+  const std::string harness = generate_host_harness(s, {64, 32, 16});
+  EXPECT_NE(harness.find("constexpr int TB = 2;"), std::string::npos);
+  EXPECT_NE(harness.find("constexpr int H = TB * R;"), std::string::npos);
+  EXPECT_NE(harness.find("const long origin = H + H * pitch + H * plane;"),
+            std::string::npos);
+  EXPECT_NE(harness.find("for (int step = 0; step < TB; ++step)"), std::string::npos);
+  EXPECT_NE(harness.find("ref.swap(nxt);"), std::string::npos);
+  EXPECT_NE(harness.find("NZ, pitch, plane, NX, NY);"), std::string::npos);
+  // Throughput counts TB point updates per swept point.
+  EXPECT_NE(harness.find("double(NX) * NY * NZ * TB"), std::string::npos);
+}
+
 TEST(CudaCodegen, BracesBalanceAcrossAllMethods) {
   for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
                    Method::InPlaneVertical, Method::InPlaneHorizontal,
@@ -159,6 +228,18 @@ TEST(CudaCodegen, BracesBalanceAcrossAllMethods) {
       const std::string src = generate_kernel(spec(m, r, {32, 4, 2, 2, 1}));
       EXPECT_EQ(count(src, "{"), count(src, "}"))
           << kernels::to_string(m) << " r" << r;
+    }
+  }
+}
+
+TEST(CudaCodegen, TemporalFilesBalanceAcrossDegrees) {
+  for (int tb : {2, 3, 4}) {
+    for (int r : {1, 2}) {
+      auto s = spec(Method::InPlaneFullSlice, r, {16, 4, 1, 1, 1});
+      s.config.tb = tb;
+      const std::string file = generate_file(s, {32, 16, 16});
+      EXPECT_EQ(count(file, "{"), count(file, "}")) << "tb" << tb << " r" << r;
+      EXPECT_EQ(count(file, "__syncthreads();"), tb + 2) << "tb" << tb;
     }
   }
 }

@@ -67,6 +67,29 @@ TEST(OpenClCodegen, DoubleEnablesFp64Extension) {
   EXPECT_NE(src.find("__local double tile"), std::string::npos);
 }
 
+TEST(OpenClCodegen, TemporalKernelMirrorsCudaStaging) {
+  auto s = spec(Method::InPlaneFullSlice, 1, {16, 8, 1, 1, 1});
+  s.config.tb = 3;
+  const std::string src = codegen::generate_opencl_kernel(s);
+  EXPECT_NE(src.find("_tb3"), std::string::npos);
+  EXPECT_NE(src.find("#define TB 3"), std::string::npos);
+  EXPECT_NE(src.find("__local float slice[K_SLICE_H * K_SLICE_ROW];"),
+            std::string::npos);
+  EXPECT_NE(src.find("__local float ring1["), std::string::npos);
+  EXPECT_NE(src.find("__local float ring2["), std::string::npos);
+  EXPECT_EQ(src.find("ring3"), std::string::npos);
+  EXPECT_NE(src.find("int nz, long pitch, long plane, int nx, int ny)"),
+            std::string::npos);
+  EXPECT_NE(src.find("INTERIOR(x0 + ex, y0 + ey, j1) ? q[i][R - 1] : back[i][R - 1]"),
+            std::string::npos);
+  EXPECT_NE(src.find("RING1_AT(gx, gy, js - m) + RING1_AT(gx, gy, js + m)"),
+            std::string::npos);
+  // TB + 1 barriers per plane, plus one after the preseed.
+  EXPECT_EQ(count(src, "barrier(CLK_LOCAL_MEM_FENCE);"), 5);
+  EXPECT_EQ(src.find("__syncthreads"), std::string::npos);  // no CUDA leakage
+  EXPECT_EQ(count(src, "{"), count(src, "}"));
+}
+
 TEST(OpenClCodegen, AllMethodsBalanced) {
   for (Method m : {Method::ForwardPlane, Method::InPlaneClassical,
                    Method::InPlaneVertical, Method::InPlaneHorizontal,

@@ -548,7 +548,7 @@ TEST(Checkpoint, FingerprintMismatchPreservesOrphanAndCountsDiscard) {
   EXPECT_EQ(discards() - before, 1.0);
   metrics::set_enabled(false);
 
-  // The orphan is a plain IPTJ2 journal, still resumable under its key.
+  // The orphan is a plain IPTJ3 journal, still resumable under its key.
   ASSERT_TRUE(std::filesystem::exists(orphan));
   const autotune::JournalContents contents = autotune::read_journal(orphan, key);
   EXPECT_TRUE(contents.fingerprint_match);

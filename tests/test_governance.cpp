@@ -349,7 +349,7 @@ TEST(TunerGovernance, AbftContainsMeasurementCorruption) {
   EXPECT_EQ(quarantined.sdc_events, 0u);
 }
 
-// ----------------------------------------- checkpoint journal (IPTJ2) --
+// ----------------------------------------- checkpoint journal (IPTJ3) --
 
 TEST(CheckpointJournal, SdcEventsRoundTripThroughATornTail) {
   const std::string path = temp_path("ipt_sdc_roundtrip.journal");

@@ -26,6 +26,7 @@
 #include "distributed/sweep_spec.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/resources.hpp"
+#include "kernels/stencil_kernel.hpp"
 #include "metrics/metrics.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
@@ -277,6 +278,45 @@ TEST(Service, WisdomPersistsAcrossServiceRestarts) {
   EXPECT_EQ(out.source, Source::CacheHit);
   EXPECT_EQ(out.entry_payload(), payload);
   EXPECT_EQ(svc.counters().sweeps, 0u);
+}
+
+// End-to-end temporal-degree key: a degree-2 request sweeps the widened
+// {tb=1, tb=2} axis, caches under its own identity (no aliasing with the
+// single-step key for the same problem), and never answers with a
+// resource-violating degree.
+TEST(Service, TemporalDegreeKeysSweepAndCacheSeparately) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);  // fullslice, order 2, nz = 8 > tb * r
+  req.key.temporal_degree = 2;
+
+  const TuneOutcome first = svc.tune(req);
+  EXPECT_EQ(first.source, Source::Swept);
+  EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
+  // The answer's config carries a degree inside the requested axis, and
+  // the kernel it names passes its own resource validation.
+  EXPECT_GE(first.best.config.tb, 1);
+  EXPECT_LE(first.best.config.tb, 2);
+  const auto kernel = kernels::make_kernel<float>(
+      kernels::Method::InPlaneFullSlice, StencilCoeffs::diffusion(1),
+      first.best.config);
+  EXPECT_FALSE(kernel->validate(gpusim::DeviceSpec::geforce_gtx580(),
+                                req.key.extent)
+                   .has_value());
+
+  // The single-step key for the same problem is a distinct cache slot.
+  TuneRequest single = req;
+  single.key.temporal_degree = 1;
+  EXPECT_EQ(svc.tune(single).source, Source::Swept);
+  EXPECT_EQ(svc.counters().sweeps, 2u);
+
+  // ... and it answers exactly what the pre-degree service answered.
+  EXPECT_EQ(svc.tune(single).entry_payload(), oracle_payload(single.key));
+
+  // Out-of-range degrees are loudly rejected, never swept.
+  TuneRequest bad = req;
+  bad.key.temporal_degree = 9;
+  EXPECT_THROW((void)svc.tune(bad), InvalidConfigError);
 }
 
 TEST(ServiceQos, DeadlineFiresAsResourceExhaustedAndIsNotCached) {

@@ -74,18 +74,18 @@ TEST_P(TemporalVsTwoSteps, DoubleMatches) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TemporalVsTwoSteps,
                          testing::ValuesIn(std::vector<TCase>{
-                             {1, {16, 4, 1, 1, 1}},
-                             {1, {32, 4, 1, 2, 4}},
-                             {1, {16, 2, 2, 4, 2}},
-                             {2, {16, 4, 1, 1, 1}},
-                             {2, {32, 2, 2, 2, 4}},
-                             {3, {16, 4, 2, 2, 2}},
+                             {1, {16, 4, 1, 1, 1, 2}},
+                             {1, {32, 4, 1, 2, 4, 2}},
+                             {1, {16, 2, 2, 4, 2, 2}},
+                             {2, {16, 4, 1, 1, 1, 2}},
+                             {2, {32, 2, 2, 2, 4, 2}},
+                             {3, {16, 4, 2, 2, 2, 2}},
                          }),
                          tcase_name);
 
 TEST(Temporal, RandomCoefficients) {
   const StencilCoeffs cs = StencilCoeffs::random(2, 77);
-  const TemporalInPlaneKernel<double> kernel(cs, LaunchConfig{16, 4, 2, 2, 2});
+  const TemporalInPlaneKernel<double> kernel(cs, LaunchConfig{16, 4, 2, 2, 2, 2});
   Grid3<double> in(kExtent, 4, 32, kernel.preferred_align_offset());
   in.fill_with_halo([](int i, int j, int k) {
     return std::cos(0.2 * i - 0.1 * j) + 0.01 * k * k;
@@ -110,14 +110,16 @@ TEST(Temporal, HalvesGlobalTrafficPerTimestep) {
   // roughly half the single-step kernel's bytes (it loads once and stores
   // once for two updates).
   const StencilCoeffs cs = StencilCoeffs::diffusion(1);
-  const LaunchConfig cfg{64, 8, 1, 2, 4};
+  const LaunchConfig cfg{64, 8, 1, 2, 4, 2};
   const Extent3 grid{512, 512, 256};
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
 
   const TemporalInPlaneKernel<float> temporal(cs, cfg);
   const auto t_trace = temporal.trace_plane(dev, grid);
+  LaunchConfig single_cfg = cfg;
+  single_cfg.tb = 1;
   const auto single = kernels::make_kernel<float>(kernels::Method::InPlaneFullSlice,
-                                                  cs, cfg);
+                                                  cs, single_cfg);
   const auto s_trace = single->trace_plane(dev, grid);
 
   const double temporal_bytes_per_step =
@@ -127,7 +129,7 @@ TEST(Temporal, HalvesGlobalTrafficPerTimestep) {
 }
 
 TEST(Temporal, RingCrushesSharedMemoryAtHighOrder) {
-  const LaunchConfig cfg{64, 8, 1, 2, 4};
+  const LaunchConfig cfg{64, 8, 1, 2, 4, 2};
   const auto smem = [&](int r) {
     return TemporalInPlaneKernel<float>(StencilCoeffs::diffusion(r), cfg)
         .resources()
@@ -144,7 +146,7 @@ TEST(Temporal, RingCrushesSharedMemoryAtHighOrder) {
 
 TEST(Temporal, ValidationErrors) {
   const StencilCoeffs cs = StencilCoeffs::diffusion(1);
-  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{32, 4, 1, 1, 4});
+  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{32, 4, 1, 1, 4, 2});
   const auto dev = gpusim::DeviceSpec::geforce_gtx580();
   EXPECT_TRUE(k.validate(dev, {500, 512, 256}).has_value());  // 500 % 32 != 0
   EXPECT_TRUE(k.validate(dev, {512, 512, 2}).has_value());    // too shallow
@@ -155,9 +157,59 @@ TEST(Temporal, ValidationErrors) {
   EXPECT_THROW(run_temporal_kernel(k, narrow, out, dev), std::invalid_argument);
 }
 
+// Each validate() branch reports the FIRST violated resource, with the
+// exact numbers a tuner log or bug report needs.
+TEST(Temporal, ValidateReportsThreadCountFirst) {
+  const TemporalInPlaneKernel<float> k(StencilCoeffs::diffusion(1),
+                                       LaunchConfig{64, 32, 1, 1, 1, 2});
+  const auto err = k.validate(gpusim::DeviceSpec::geforce_gtx580(), {512, 512, 256});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("threads per block (2048)"), std::string::npos) << *err;
+  EXPECT_NE(err->find("1024"), std::string::npos) << *err;
+}
+
+TEST(Temporal, ValidateReportsSharedMemoryWithExactBytes) {
+  // Radius 6 at degree 2: slice (64+24) x (128+24) and a 13-plane ring.
+  const TemporalInPlaneKernel<float> k(StencilCoeffs::diffusion(6),
+                                       LaunchConfig{64, 8, 1, 16, 1, 2});
+  const auto err = k.validate(gpusim::DeviceSpec::geforce_gtx580(), {512, 512, 256});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("shared memory"), std::string::npos) << *err;
+  const auto res = k.resources();
+  EXPECT_NE(err->find(std::to_string(res.smem_bytes)), std::string::npos) << *err;
+  EXPECT_NE(err->find("49152"), std::string::npos) << *err;
+}
+
+TEST(Temporal, ValidateReportsRegisterPressureBeyondEncodingLimit) {
+  // A 4 x 1 block at degree 4, radius 4: the shared rings still fit a
+  // 48 KB SM, but each thread would own 175 extended points of queue and
+  // history — far past the 255-register encoding limit.
+  const TemporalInPlaneKernel<float> k(StencilCoeffs::diffusion(4),
+                                       LaunchConfig{4, 1, 1, 1, 1, 4});
+  const auto dev = gpusim::DeviceSpec::geforce_gtx580();
+  ASSERT_LE(k.resources().smem_bytes, static_cast<std::size_t>(dev.smem_per_sm));
+  const auto err = k.validate(dev, {512, 512, 256});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("registers"), std::string::npos) << *err;
+  EXPECT_NE(err->find(std::to_string(k.resources().regs_per_thread)),
+            std::string::npos)
+      << *err;
+  EXPECT_NE(err->find("255"), std::string::npos) << *err;
+}
+
+TEST(Temporal, ValidateReportsPipelineDepthWithNumbers) {
+  const TemporalInPlaneKernel<float> k(StencilCoeffs::diffusion(2),
+                                       LaunchConfig{32, 4, 1, 1, 1, 3});
+  const auto err = k.validate(gpusim::DeviceSpec::geforce_gtx580(), {512, 512, 6});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("too shallow"), std::string::npos) << *err;
+  EXPECT_NE(err->find("nz = 6"), std::string::npos) << *err;
+  EXPECT_NE(err->find("tb*r = 6"), std::string::npos) << *err;
+}
+
 TEST(Temporal, TimingValidAndBandwidthBound) {
   const StencilCoeffs cs = StencilCoeffs::diffusion(1);
-  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{64, 8, 1, 2, 4});
+  const TemporalInPlaneKernel<float> k(cs, LaunchConfig{64, 8, 1, 2, 4, 2});
   const auto t = time_temporal_kernel(k, gpusim::DeviceSpec::geforce_gtx580(),
                                       {512, 512, 256});
   ASSERT_TRUE(t.valid) << t.invalid_reason;

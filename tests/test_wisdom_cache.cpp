@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "autotune/checkpoint.hpp"
+#include "core/crc32.hpp"
 #include "service/wisdom_cache.hpp"
 
 namespace fs = std::filesystem;
@@ -85,6 +86,41 @@ struct PathGuard {
   }
 };
 
+// Raw record framing (mirrors the wisdom file layout) for crafting
+// legacy-format files byte by byte.
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+std::string frame_wisdom_record(const std::string& key_line, const std::string& entry) {
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(key_line.size()));
+  payload.append(key_line);
+  put_u32(payload, static_cast<std::uint32_t>(entry.size()));
+  payload.append(entry);
+  std::string framed;
+  put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  put_u32(framed, inplane::crc32(payload.data(), payload.size()));
+  framed.append(payload);
+  return framed;
+}
+
+/// Drops the trailing " tb=N" field, producing a pre-degree key line.
+std::string strip_tb(std::string line) {
+  const auto pos = line.find(" tb=");
+  EXPECT_NE(pos, std::string::npos) << line;
+  line.erase(pos);
+  return line;
+}
+
+/// Drops the temporal-blocking i32 (the 6th config field, bytes 20..23),
+/// producing the pre-degree (IPTJ2-era) entry payload layout.
+std::string strip_tb_payload(std::string payload) {
+  EXPECT_GE(payload.size(), 24u);
+  payload.erase(20, 4);
+  return payload;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string(std::istreambuf_iterator<char>(in),
@@ -142,6 +178,14 @@ TEST(WisdomKey, ParseRejectsMalformedLinesLoudly) {
       "kind=model beta=0.05 devfp=12ab",  // devfp without 0x
       "method=fullslice noequals order=4 prec=sp nx=64 ny=32 nz=8 "
       "kind=model beta=0.05",  // token without '='
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 tb=0",  // temporal degree below 1
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 tb=9",  // temporal degree above 8
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 tb=two",  // non-numeric temporal degree
+      "method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 "
+      "kind=model beta=0.05 tb=2 tb=2",  // duplicate tb
   };
   for (const char* line : kBad) {
     std::string error;
@@ -193,6 +237,28 @@ TEST(WisdomKey, FingerprintIsSensitiveToEveryField) {
   k = base;
   k.beta = 0.25;
   EXPECT_NE(k.fingerprint(), fp);
+  k = base;
+  k.temporal_degree = 2;
+  EXPECT_NE(k.fingerprint(), fp);
+}
+
+TEST(WisdomKey, TemporalDegreeRoundTripsAndSeparatesIdentity) {
+  WisdomKey key = make_key(1);
+  key.temporal_degree = 3;
+  const std::string line = key.to_line();
+  EXPECT_NE(line.find(" tb=3"), std::string::npos) << line;
+  const auto parsed = WisdomKey::parse(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->temporal_degree, 3);
+  EXPECT_EQ(*parsed, key.canonical());
+  EXPECT_EQ(parsed->to_line(), line);
+  // A wire key without tb (a pre-degree client) defaults to a single-step
+  // sweep; the degree is part of the cache identity either way.
+  const auto wire = WisdomKey::parse(strip_tb(make_key(1).to_line()));
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->temporal_degree, 1);
+  EXPECT_NE(key.fingerprint(), make_key(1).fingerprint());
+  EXPECT_NE(key.to_line(), make_key(1).to_line());
 }
 
 // ------------------------------------------------------------- LRU laws --
@@ -331,6 +397,53 @@ TEST(WisdomCachePersistence, ReloadsEntriesInAppendOrder) {
     EXPECT_EQ(order[static_cast<std::size_t>(i)], make_key(i).canonical());
     expect_same_entry(*reloaded.find(make_key(i)), make_entry(i));
   }
+}
+
+// A wisdom file written before the temporal-degree dimension existed
+// (key lines without tb=, entry payloads in the shorter IPTJ2-era
+// layout) must reload as *degree-2* entries — the degree the temporal
+// kernel was hard-wired to when those records were measured — loudly:
+// a stderr warning plus the legacy_upgraded counter, never a silent
+// re-key and never a torn-tail truncation.
+TEST(WisdomCachePersistence, PreDegreeFileReloadsAsDegreeTwoLoudly) {
+  PathGuard guard(temp_path("legacy"));
+  {
+    WisdomCache cache;
+    cache.open(guard.path, 8);  // writes a fresh IPWZ1 header, no records
+  }
+  std::string bytes = read_file(guard.path);
+  ASSERT_EQ(bytes.size(), 14u);  // magic "IPWZ1\n" + u64 schema fingerprint
+  for (int i = 0; i < 2; ++i) {
+    bytes += frame_wisdom_record(strip_tb(make_key(i).to_line()),
+                                 strip_tb_payload(encode_tune_entry(make_entry(i))));
+  }
+  // A modern record after the legacy prefix must still be adopted.
+  bytes += frame_wisdom_record(make_key(2).to_line(),
+                               encode_tune_entry(make_entry(2)));
+  write_file(guard.path, bytes);
+
+  WisdomCache reloaded;
+  testing::internal::CaptureStderr();
+  reloaded.open(guard.path, 8);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("pre-degree"), std::string::npos) << warning;
+  EXPECT_EQ(reloaded.stats().legacy_upgraded, 2u);
+  EXPECT_EQ(reloaded.stats().records_recovered, 3u);
+  EXPECT_EQ(reloaded.stats().torn_bytes, 0u);
+  EXPECT_FALSE(reloaded.stats().rejected_file);
+
+  for (int i = 0; i < 2; ++i) {
+    WisdomKey degree2 = make_key(i);
+    degree2.temporal_degree = 2;
+    const auto hit = reloaded.find(degree2);
+    ASSERT_TRUE(hit.has_value()) << i;
+    TuneEntry want = make_entry(i);
+    want.config.tb = 2;  // the upgrade stamps the config too
+    expect_same_entry(*hit, want);
+    // The single-step slot stays empty — no silent aliasing.
+    EXPECT_FALSE(reloaded.find(make_key(i)).has_value()) << i;
+  }
+  expect_same_entry(*reloaded.find(make_key(2)), make_entry(2));
 }
 
 TEST(WisdomCachePersistence, LastRecordPerKeyWinsAcrossRestarts) {

@@ -152,6 +152,10 @@ LaunchConfig config_from(const Args& args, Method method, bool dp) {
   cfg.rx = args.geti("rx", 1);
   cfg.ry = args.geti("ry", 1);
   cfg.vec = args.geti("vec", autotune::default_vec(method, dp ? 8 : 4));
+  // Degree-N temporal blocking (full-slice only): run/model/codegen treat
+  // the degree as part of the launch configuration, exactly as the tuner
+  // does.
+  cfg.tb = args.geti("temporal-degree", 1);
   return cfg;
 }
 
@@ -188,6 +192,12 @@ void verify_config(Method method, int order, const LaunchConfig& cfg,
   sample.nx = cfg.tile_w() * 2;
   sample.ny = cfg.tile_h() * 2;
   sample.nz = order + 2 > 8 ? order + 2 : 8;
+  // The degree-N pipeline needs nz > N*r planes to drain into; keep the
+  // reduced grid deep enough that --verify exercises the kernel instead
+  // of tripping the loud depth rejection.
+  if (cfg.tb > 1 && sample.nz <= cfg.tb * (order / 2)) {
+    sample.nz = cfg.tb * (order / 2) + 2;
+  }
   if (args.get("sabotage", "none") == "halo") {
     sample.sabotage = verify::Sabotage::HaloOffByOne;
   }
@@ -294,14 +304,25 @@ int cmd_tune(const Args& args) {
     };
   }
 
+  // --temporal-degree N widens the search space with temporal-blocking
+  // degrees 1..N (full-slice only); the default space is the paper's
+  // single-step one.
+  autotune::SearchSpace space;
+  const int max_degree = args.geti("temporal-degree", 1);
+  if (max_degree < 1 || max_degree > 8) {
+    throw InvalidConfigError("--temporal-degree must be in [1, 8], got " +
+                             std::to_string(max_degree));
+  }
+  space.set_max_temporal_degree(max_degree);
+
   autotune::TuneResult result;
   if (args.has("beta")) {
     const double beta = std::atof(args.get("beta", "0.05").c_str());
-    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta, {}, topt);
+    result = autotune::model_guided_tune<T>(method, cs, dev, grid, beta, space, topt);
     std::printf("model-guided tuning (beta = %.0f%%): executed %zu of %zu candidates\n",
                 beta * 100.0, result.executed, result.candidates);
   } else {
-    result = autotune::exhaustive_tune<T>(method, cs, dev, grid, {}, topt);
+    result = autotune::exhaustive_tune<T>(method, cs, dev, grid, space, topt);
     std::printf("exhaustive tuning: executed %zu configurations\n", result.executed);
   }
   if (result.resumed != 0) {
@@ -392,6 +413,8 @@ int usage() {
       "  devices                      list the simulated GPUs\n"
       "  run      time one configuration   (--method --order --device --tx --ty\n"
       "                                     --rx --ry [--vec] [--dp] [--nx --ny --nz]\n"
+      "                                     [--temporal-degree N: advance N timesteps\n"
+      "                                      per sweep, fullslice only]\n"
       "                                     [--fault-plan spec for a guarded run]\n"
       "                                     [--abft: online checksum detection +\n"
       "                                      surgical repair, no reference pass]\n"
@@ -400,6 +423,8 @@ int usage() {
       "                                     [--verify: oracle + metamorphic +\n"
       "                                      trace-audit gate, exit 3 on mismatch])\n"
       "  tune     auto-tune a method       (--method --order --device [--dp]\n"
+      "                                     [--temporal-degree N: widen the search\n"
+      "                                      space with degrees 1..N, N in [1, 8]]\n"
       "                                     [--verify: gate the winner, exit 3]\n"
       "                                     [--beta 0.05 for model-guided]\n"
       "                                     [--threads N, 0 = all cores, 1 = serial]\n"

@@ -6,6 +6,7 @@
 //   stencil_fuzz --replay "method=vertical order=6 nx=64 ..."
 //   stencil_fuzz --replay "wisdom method=fullslice device=gtx580 order=4 ..."
 //   stencil_fuzz --seed 1 --iters 20 --sabotage halo   # negative self-test
+//   stencil_fuzz --seed 7 --iters 100 --temporal-degree 4  # widen the tb axis
 //
 // Wisdom mode checks the parser law the daemon depends on (see
 // service::wisdom_roundtrip_check): every line is either loudly rejected
@@ -43,7 +44,8 @@ using namespace inplane;
 int usage() {
   std::fputs(
       "usage: stencil_fuzz [--seed N] [--iters N] [--threads N]\n"
-      "                    [--sabotage none|halo] [--repro-out file]\n"
+      "                    [--sabotage none|halo] [--temporal-degree N]\n"
+      "                    [--repro-out file]\n"
       "       stencil_fuzz --wisdom-iters N [--seed N] [--repro-out file]\n"
       "       stencil_fuzz --replay \"method=... order=... ...\"\n"
       "       stencil_fuzz --replay \"wisdom <key line>\"\n",
@@ -275,6 +277,12 @@ int main(int argc, char** argv) {
       options.policy = ExecPolicy{std::atoi(value())};
     } else if (key == "--no-shrink") {
       options.shrink = false;
+    } else if (key == "--temporal-degree") {
+      options.max_temporal_degree = std::atoi(value());
+      if (options.max_temporal_degree < 1 || options.max_temporal_degree > 8) {
+        std::fprintf(stderr, "--temporal-degree must be in [1, 8]\n");
+        return 2;
+      }
     } else if (key == "--sabotage") {
       const std::string s = value();
       if (s == "none") {
