@@ -1,5 +1,9 @@
 #include "service/client.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "core/status.hpp"
 
 #ifndef _WIN32
@@ -105,11 +109,19 @@ std::string Client::roundtrip(const std::string&) {
 
 namespace inplane::service {
 
-ParsedResponse tune_over_socket(const std::string& socket_path, const WisdomKey& key,
-                                double deadline_ms, std::uint64_t mem_budget_bytes,
-                                bool no_cache) {
-  Client client(socket_path);
-  client.connect();
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string format_tune_request(const WisdomKey& key, double deadline_ms,
+                                std::uint64_t mem_budget_bytes, bool no_cache) {
   std::string line = "TUNE " + key.to_line();
   if (deadline_ms > 0.0) {
     char buf[48];
@@ -118,7 +130,66 @@ ParsedResponse tune_over_socket(const std::string& socket_path, const WisdomKey&
   }
   if (mem_budget_bytes > 0) line += " mem_budget=" + std::to_string(mem_budget_bytes);
   if (no_cache) line += " no_cache=1";
-  const std::string response = client.roundtrip(line);
+  return line;
+}
+
+ParsedResponse request_with_retry(const std::string& socket_path,
+                                  const std::string& request_line,
+                                  const RetryOptions& retry, int* attempts_out) {
+  std::uint64_t rng = retry.jitter_seed;
+  const auto sleep_ms = [&](double ms) {
+    if (retry.sleeper) {
+      retry.sleeper(ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+  };
+  // Local backoff for attempt k: base * 2^k, capped, jittered x[0.5, 1.5)
+  // so a thundering herd of shed clients does not return in lockstep.
+  const auto backoff_ms = [&](int attempt) {
+    double ms = retry.base_backoff_ms;
+    for (int i = 0; i < attempt && ms < retry.max_backoff_ms; ++i) ms *= 2.0;
+    if (ms > retry.max_backoff_ms) ms = retry.max_backoff_ms;
+    const double factor = 0.5 + static_cast<double>(splitmix64(rng) % 1024) / 1024.0;
+    ms *= factor;
+    return ms < 1.0 ? 1.0 : ms;
+  };
+
+  const int budget = retry.budget < 0 ? 0 : retry.budget;
+  for (int attempt = 0;; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    bool sent = false;
+    try {
+      Client client(socket_path);
+      client.connect();
+      sent = true;
+      const std::string response = client.roundtrip(request_line);
+      std::string error;
+      const auto parsed = parse_response(response, &error);
+      if (!parsed) {
+        throw InvalidConfigError("service: unparseable daemon response: " + error);
+      }
+      if (!parsed->overloaded() || attempt >= budget) return *parsed;
+      // Shed: the server's retry_after_ms hint wins over the local curve.
+      sleep_ms(parsed->retry_after_ms > 0.0 ? parsed->retry_after_ms
+                                            : backoff_ms(attempt));
+    } catch (const IoError&) {
+      // Only pre-send failures (the ECONNREFUSED class) are safe to
+      // retry; a connection that died mid-roundtrip may have a sweep
+      // running server-side.
+      if (sent || attempt >= budget) throw;
+      sleep_ms(backoff_ms(attempt));
+    }
+  }
+}
+
+ParsedResponse tune_over_socket(const std::string& socket_path, const WisdomKey& key,
+                                double deadline_ms, std::uint64_t mem_budget_bytes,
+                                bool no_cache) {
+  Client client(socket_path);
+  client.connect();
+  const std::string response =
+      client.roundtrip(format_tune_request(key, deadline_ms, mem_budget_bytes, no_cache));
   std::string error;
   const auto parsed = parse_response(response, &error);
   if (!parsed) {

@@ -4,6 +4,8 @@
 // connection, newline-delimited request/response lines.  POSIX only
 // (Windows entry points throw InternalError, matching core/process.hpp).
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "service/protocol.hpp"
@@ -35,12 +37,46 @@ class Client {
   std::string buffer_;  ///< bytes read past the last returned line
 };
 
+/// Retry policy for request_with_retry: jittered exponential backoff on
+/// connect failures (daemon not up yet / restarting, the ECONNREFUSED
+/// class) and on `overloaded` sheds, where a server-sent retry_after_ms
+/// overrides the local backoff.  `draining` is final — that daemon is
+/// going away; retrying it would just prolong its drain.  Mid-roundtrip
+/// transport failures (connection died *after* the request was sent) are
+/// never retried: the daemon may have started a sweep and a blind
+/// re-send would double the work.
+struct RetryOptions {
+  int budget = 2;                ///< retries after the first attempt
+  double base_backoff_ms = 50.0; ///< first local backoff; doubles per retry
+  double max_backoff_ms = 2000.0;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Test hook: called instead of sleeping; default sleeps for the given
+  /// milliseconds.
+  std::function<void(double)> sleeper;
+};
+
+/// One request line with retries per @p retry.  Returns the final parsed
+/// response (ok or ERR); throws IoError when every connect attempt
+/// failed and InvalidConfigError on an unparseable response.
+/// @p attempts_out (optional) receives the number of attempts made.
+[[nodiscard]] ParsedResponse request_with_retry(const std::string& socket_path,
+                                                const std::string& request_line,
+                                                const RetryOptions& retry = {},
+                                                int* attempts_out = nullptr);
+
 /// One-shot convenience: connect, TUNE @p key with the given QoS, parse
 /// the response.  Throws IoError on transport errors and
 /// InvalidConfigError when the daemon's response cannot be parsed; a
 /// daemon-side ERR is returned in ParsedResponse (ok == false).
 [[nodiscard]] ParsedResponse tune_over_socket(const std::string& socket_path,
                                               const WisdomKey& key,
+                                              double deadline_ms = 0.0,
+                                              std::uint64_t mem_budget_bytes = 0,
+                                              bool no_cache = false);
+
+/// Builds the TUNE request line tune_over_socket sends (shared with the
+/// retrying CLI path).
+[[nodiscard]] std::string format_tune_request(const WisdomKey& key,
                                               double deadline_ms = 0.0,
                                               std::uint64_t mem_budget_bytes = 0,
                                               bool no_cache = false);

@@ -116,6 +116,38 @@ std::optional<std::string> hex_decode(const std::string& hex) {
   return out;
 }
 
+bool LineFramer::feed(const char* data, std::size_t n) {
+  if (overflowed_) return false;
+  // The limit applies to the *unterminated tail*: a batch of short lines
+  // may legitimately arrive in one large read, so scan for the newline
+  // that would reset the frame before judging the size.
+  std::size_t pending = buffer_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] == '\n') {
+      pending = 0;
+    } else if (++pending > max_frame_bytes_) {
+      overflowed_ = true;
+      buffer_.clear();
+      buffer_.shrink_to_fit();
+      return false;
+    }
+  }
+  buffer_.append(data, n);
+  return true;
+}
+
+std::optional<std::string> LineFramer::next_line() {
+  while (!overflowed_) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) return line;
+  }
+  return std::nullopt;
+}
+
 std::string format_tune_response(const TuneOutcome& outcome) {
   char head[128];
   std::snprintf(head, sizeof(head), "OK source=%s degraded=%d mpoints=%.17g entry=",
@@ -137,18 +169,33 @@ std::string format_run_response(const TuneOutcome& outcome) {
 
 std::string format_stats_response(const ServiceCounters& counters,
                                   const WisdomCache::Stats& cache,
-                                  std::size_t cache_size) {
-  char buf[320];
+                                  std::size_t cache_size, const ServerStats& server,
+                                  const std::string& breaker_state) {
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "OK requests=%llu cache_hits=%llu dedup_joins=%llu sweeps=%llu "
                 "failures=%llu cache_size=%zu evictions=%zu compactions=%zu "
-                "records_recovered=%zu",
+                "records_recovered=%zu wisdom_write_errors=%zu wisdom_degraded=%d "
+                "shed_requests=%llu shed_connections=%llu frame_errors=%llu "
+                "deadline_drops=%llu draining=%d breaker_state=%s "
+                "breaker_failures=%llu breaker_trips=%llu "
+                "breaker_short_circuits=%llu breaker_probes=%llu",
                 static_cast<unsigned long long>(counters.requests),
                 static_cast<unsigned long long>(counters.cache_hits),
                 static_cast<unsigned long long>(counters.dedup_joins),
                 static_cast<unsigned long long>(counters.sweeps),
                 static_cast<unsigned long long>(counters.failures), cache_size,
-                cache.evictions, cache.compactions, cache.records_recovered);
+                cache.evictions, cache.compactions, cache.records_recovered,
+                cache.write_errors, cache.degraded_to_memory ? 1 : 0,
+                static_cast<unsigned long long>(server.shed_requests),
+                static_cast<unsigned long long>(server.shed_connections),
+                static_cast<unsigned long long>(server.frame_errors),
+                static_cast<unsigned long long>(server.deadline_drops),
+                server.draining ? 1 : 0, breaker_state.c_str(),
+                static_cast<unsigned long long>(counters.breaker_failures),
+                static_cast<unsigned long long>(counters.breaker_trips),
+                static_cast<unsigned long long>(counters.breaker_short_circuits),
+                static_cast<unsigned long long>(counters.breaker_probes));
   return buf;
 }
 
@@ -161,6 +208,17 @@ std::string format_error(const std::exception& e) {
   return "ERR code=" + std::to_string(exit_code(st)) + " " + msg;
 }
 
+std::string format_overloaded(double retry_after_ms, const std::string& what) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "ERR code=overloaded retry_after_ms=%.0f %s",
+                retry_after_ms < 0.0 ? 0.0 : retry_after_ms, what.c_str());
+  return buf;
+}
+
+std::string format_draining(const std::string& what) {
+  return "ERR code=draining " + what;
+}
+
 std::optional<ParsedResponse> parse_response(const std::string& line,
                                              std::string* error) {
   const auto bad = [&](const std::string& why) -> std::optional<ParsedResponse> {
@@ -171,14 +229,30 @@ std::optional<ParsedResponse> parse_response(const std::string& line,
   if (line.rfind("ERR ", 0) == 0) {
     const std::string rest = line.substr(4);
     if (rest.rfind("code=", 0) != 0) return bad("ERR without code=");
-    const std::size_t sp = rest.find(' ');
-    long code = 0;
-    char* end = nullptr;
-    code = std::strtol(rest.c_str() + 5, &end, 10);
-    if (end == nullptr || (*end != ' ' && *end != '\0')) return bad("bad ERR code");
+    std::size_t sp = rest.find(' ');
+    const std::string code_str = rest.substr(5, sp == std::string::npos ? sp : sp - 5);
     resp.ok = false;
-    resp.err_code = static_cast<int>(code);
-    resp.message = sp == std::string::npos ? "" : rest.substr(sp + 1);
+    if (code_str == "overloaded" || code_str == "draining") {
+      // Overload-control signals map to the ResourceExhausted exit code:
+      // the request was fine, the server just cannot take it right now.
+      resp.err_name = code_str;
+      resp.err_code = 5;
+    } else {
+      char* end = nullptr;
+      const long code = std::strtol(code_str.c_str(), &end, 10);
+      if (code_str.empty() || end == nullptr || *end != '\0') return bad("bad ERR code");
+      resp.err_code = static_cast<int>(code);
+    }
+    std::string message = sp == std::string::npos ? "" : rest.substr(sp + 1);
+    if (message.rfind("retry_after_ms=", 0) == 0) {
+      sp = message.find(' ');
+      const std::string v = message.substr(15, sp == std::string::npos ? sp : sp - 15);
+      if (!parse_double(v, resp.retry_after_ms) || resp.retry_after_ms < 0.0) {
+        return bad("bad retry_after_ms");
+      }
+      message = sp == std::string::npos ? "" : message.substr(sp + 1);
+    }
+    resp.message = message;
     return resp;
   }
   if (line.rfind("OK", 0) != 0) return bad("neither OK nor ERR");

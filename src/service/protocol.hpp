@@ -22,6 +22,13 @@
 //   OK source=hit|swept|joined degraded=0|1 mpoints=<g> entry=<hex>   (TUNE)
 //   OK source=... tx=.. ty=.. rx=.. ry=.. vec=.. mpoints=<g>          (RUN)
 //   ERR code=<exit code taxonomy> <message>
+//   ERR code=overloaded retry_after_ms=<ms> <message>   (admission shed)
+//   ERR code=draining <message>                         (server draining)
+//
+// The two symbolic codes are overload-control signals, not taxonomy
+// failures of the *request*: clients map them onto the ResourceExhausted
+// exit code (5) and `overloaded` carries a jittered retry_after_ms hint
+// the retrying client honours.
 //
 // TUNE's entry=<hex> is the *byte-exact* IPTJ3 entry payload
 // (autotune::encode_tune_entry), so a client can compare bit-identity
@@ -52,27 +59,82 @@ struct Request {
 [[nodiscard]] std::string hex_encode(const std::string& bytes);
 [[nodiscard]] std::optional<std::string> hex_decode(const std::string& hex);
 
+/// Incremental newline framer for the hardened server: feed() raw socket
+/// bytes as they arrive, pull complete lines with next_line().  A frame
+/// (the bytes since the last newline) that exceeds max_frame_bytes
+/// *poisons* the framer — overflowed() turns true, buffered bytes are
+/// discarded and further feeds are swallowed, so an attacker streaming an
+/// endless unterminated line costs O(1) memory, never an OOM.  Trailing
+/// '\r' is stripped, empty lines are skipped (matching the historical
+/// reader's behaviour).
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_frame_bytes = 65536)
+      : max_frame_bytes_(max_frame_bytes == 0 ? 1 : max_frame_bytes) {}
+
+  /// Buffers @p n bytes.  Returns false (and poisons) when the pending
+  /// partial frame would exceed the limit.
+  bool feed(const char* data, std::size_t n);
+
+  /// Next complete line (without '\n'/'\r'), or std::nullopt when no full
+  /// line is buffered.  Never returns empty lines.
+  [[nodiscard]] std::optional<std::string> next_line();
+
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool overflowed_ = false;
+};
+
+/// What the socket layer itself observed (next to the ServiceCounters,
+/// which count requests that *reached* the service).  Exposed via STATS
+/// and mirrored into service.shed.* metrics counters.
+struct ServerStats {
+  std::uint64_t shed_requests = 0;     ///< TUNE/RUN answered overloaded/draining
+  std::uint64_t shed_connections = 0;  ///< connections refused at max_connections
+  std::uint64_t frame_errors = 0;      ///< oversized frames dropped
+  std::uint64_t deadline_drops = 0;    ///< read/write-deadline closes (slow loris)
+  bool draining = false;
+};
+
 /// `OK ...` response lines.
 [[nodiscard]] std::string format_tune_response(const TuneOutcome& outcome);
 [[nodiscard]] std::string format_run_response(const TuneOutcome& outcome);
 [[nodiscard]] std::string format_stats_response(const ServiceCounters& counters,
                                                 const WisdomCache::Stats& cache,
-                                                std::size_t cache_size);
+                                                std::size_t cache_size,
+                                                const ServerStats& server = {},
+                                                const std::string& breaker_state = "off");
 
 /// `ERR code=<n> <message>` with the repo-wide exit-code taxonomy
 /// (core/status.hpp exit_code()).
 [[nodiscard]] std::string format_error(const std::exception& e);
 
+/// Overload-control error lines (symbolic codes; see the header comment).
+[[nodiscard]] std::string format_overloaded(double retry_after_ms,
+                                            const std::string& what);
+[[nodiscard]] std::string format_draining(const std::string& what);
+
 /// Parsed TUNE/RUN response, as clients and tests consume it.
 struct ParsedResponse {
   bool ok = false;
   int err_code = 0;         ///< taxonomy code when !ok
+  std::string err_name;     ///< symbolic code when the daemon sent one
+                            ///< ("overloaded" | "draining"); empty otherwise
+  double retry_after_ms = 0.0;  ///< shed responses: suggested client backoff
   std::string message;      ///< error text when !ok
   std::string source;       ///< hit | swept | joined
   bool degraded = false;
   double mpoints = 0.0;
   std::string entry_payload;  ///< decoded entry bytes (TUNE only)
   int tx = 0, ty = 0, rx = 0, ry = 0, vec = 0;  ///< RUN only
+
+  [[nodiscard]] bool overloaded() const { return !ok && err_name == "overloaded"; }
+  [[nodiscard]] bool draining() const { return !ok && err_name == "draining"; }
 };
 
 [[nodiscard]] std::optional<ParsedResponse> parse_response(const std::string& line,

@@ -1,15 +1,20 @@
 #include "service/server.hpp"
 
 #include "core/status.hpp"
+#include "metrics/metrics.hpp"
 #include "service/protocol.hpp"
 
 #ifndef _WIN32
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <csignal>
 #include <cstring>
@@ -22,6 +27,31 @@ namespace inplane::service {
 
 namespace {
 
+struct ServerMetrics {
+  metrics::Counter& shed_requests;
+  metrics::Counter& shed_connections;
+  metrics::Counter& frame_errors;
+  metrics::Counter& deadline_drops;
+
+  static ServerMetrics& get() {
+    auto& reg = metrics::Registry::global();
+    static ServerMetrics m{
+        reg.counter("service.shed.requests"),
+        reg.counter("service.shed.connections"),
+        reg.counter("service.shed.frame_errors"),
+        reg.counter("service.shed.deadline_drops"),
+    };
+    return m;
+  }
+};
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -32,7 +62,7 @@ bool send_all(int fd, const std::string& data) {
 #endif
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // includes EAGAIN from SO_SNDTIMEO: peer stopped draining
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -44,11 +74,13 @@ bool send_all(int fd, const std::string& data) {
 struct SocketServer::Impl {
   TuningService& service;
   std::string path;
+  ServerOptions opts;
   // Read lock-free by the accept loop, closed-and-cleared by
   // request_stop(): atomic so the teardown handshake is race-free.
   std::atomic<int> listen_fd{-1};
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
+  std::atomic<bool> draining{false};
   CancelToken cancel;
   std::thread accept_thread;
   std::mutex mu;
@@ -56,9 +88,88 @@ struct SocketServer::Impl {
   std::vector<std::thread> handlers;
   std::set<int> live_fds;
 
-  explicit Impl(TuningService& s, std::string p) : service(s), path(std::move(p)) {}
+  // Admission control + drain accounting.
+  std::atomic<int> inflight_sweeps{0};   ///< TUNE/RUN holding a sweep slot
+  std::atomic<int> active_requests{0};   ///< TUNE/RUN being handled at all
+  std::atomic<std::uint64_t> shed_requests{0};
+  std::atomic<std::uint64_t> shed_connections{0};
+  std::atomic<std::uint64_t> frame_errors{0};
+  std::atomic<std::uint64_t> deadline_drops{0};
+  std::mutex jitter_mu;
+  std::uint64_t jitter_rng;
 
-  std::string handle_line(const std::string& line) {
+  explicit Impl(TuningService& s, std::string p, ServerOptions o)
+      : service(s), path(std::move(p)), opts(o), jitter_rng(o.shed_jitter_seed) {}
+
+  double jittered_retry_ms() {
+    std::lock_guard<std::mutex> lock(jitter_mu);
+    const double factor =
+        0.5 + static_cast<double>(splitmix64(jitter_rng) % 1024) / 1024.0;
+    const double ms = opts.retry_after_base_ms * factor;
+    return ms < 1.0 ? 1.0 : ms;
+  }
+
+  ServerStats stats_snapshot() const {
+    ServerStats s;
+    s.shed_requests = shed_requests.load(std::memory_order_relaxed);
+    s.shed_connections = shed_connections.load(std::memory_order_relaxed);
+    s.frame_errors = frame_errors.load(std::memory_order_relaxed);
+    s.deadline_drops = deadline_drops.load(std::memory_order_relaxed);
+    s.draining = draining.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void count_shed_request() {
+    shed_requests.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().shed_requests.add();
+  }
+
+  std::string handle_tune_or_run(const Request& req) {
+    TuneRequest tune = req.tune;
+    tune.cancel = &cancel;  // daemon shutdown cancels in-flight sweeps
+
+    const auto answer = [&](const TuneOutcome& outcome) {
+      return req.verb == Verb::Tune ? format_tune_response(outcome)
+                                    : format_run_response(outcome);
+    };
+
+    // Drain: wisdom already in memory still answers ("cache hits are
+    // never shed"), anything needing a sweep is refused — the daemon is
+    // on its way out and must not start long work.
+    if (draining.load(std::memory_order_acquire)) {
+      if (const auto hit = service.peek(tune)) return answer(*hit);
+      count_shed_request();
+      return format_draining("server is draining; retry against the replacement");
+    }
+
+    // Admission: claim a sweep slot; over budget, serve a cache hit if
+    // one exists, otherwise shed with a jittered retry hint.  A slot is
+    // held for the whole service call — a hit inside tune() releases it
+    // in microseconds, so hits under budget are never refused.
+    struct SlotGuard {
+      std::atomic<int>& c;
+      bool held = false;
+      explicit SlotGuard(std::atomic<int>& counter) : c(counter) {}
+      ~SlotGuard() {
+        if (held) c.fetch_sub(1);
+      }
+    } slot(inflight_sweeps);
+    if (opts.max_inflight > 0) {
+      if (inflight_sweeps.fetch_add(1) + 1 > opts.max_inflight) {
+        inflight_sweeps.fetch_sub(1);
+        if (const auto hit = service.peek(tune)) return answer(*hit);
+        count_shed_request();
+        return format_overloaded(
+            jittered_retry_ms(),
+            "server at max in-flight sweeps (" +
+                std::to_string(opts.max_inflight) + ")");
+      }
+      slot.held = true;
+    }
+    return answer(service.tune(tune));
+  }
+
+  std::string handle_line(const std::string& line, bool& is_shutdown) {
     try {
       std::string error;
       const auto req = parse_request(line, &error);
@@ -68,17 +179,14 @@ struct SocketServer::Impl {
           return "OK pong";
         case Verb::Stats:
           return format_stats_response(service.counters(), service.cache().stats(),
-                                       service.cache().size());
+                                       service.cache().size(), stats_snapshot(),
+                                       service.breaker_state());
         case Verb::Shutdown:
+          is_shutdown = true;
           return "OK bye";  // caller initiates the actual stop
         case Verb::Tune:
-        case Verb::Run: {
-          TuneRequest tune = req->tune;
-          tune.cancel = &cancel;  // daemon shutdown cancels in-flight sweeps
-          const TuneOutcome outcome = service.tune(tune);
-          return req->verb == Verb::Tune ? format_tune_response(outcome)
-                                         : format_run_response(outcome);
-        }
+        case Verb::Run:
+          return handle_tune_or_run(*req);
       }
       throw InternalError("service: unreachable verb");
     } catch (const std::exception& e) {
@@ -87,22 +195,41 @@ struct SocketServer::Impl {
   }
 
   void serve_connection(int fd) {
-    std::string buffer;
-    char chunk[4096];
+    if (opts.write_deadline_ms > 0.0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(opts.write_deadline_ms / 1000.0);
+      tv.tv_usec = static_cast<suseconds_t>(
+          std::fmod(opts.write_deadline_ms, 1000.0) * 1000.0);
+      if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+
+    LineFramer framer(opts.max_frame_bytes);
     bool shutdown_requested = false;
-    while (!shutdown_requested) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t nl;
-      while ((nl = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.empty()) continue;
-        const bool is_shutdown = line == "SHUTDOWN";
-        if (!send_all(fd, handle_line(line) + "\n")) {
+    char chunk[4096];
+    auto last_line_at = std::chrono::steady_clock::now();
+    for (;;) {
+      // Drain every complete buffered line before reading again.
+      bool peer_gone = false;
+      while (const auto line = framer.next_line()) {
+        bool is_shutdown = false;
+        // Counted across handle *and* send so drain() only cuts the
+        // connections once every in-flight answer line is on the wire.
+        struct ActiveGuard {
+          std::atomic<int>& c;
+          explicit ActiveGuard(std::atomic<int>& counter) : c(counter) {
+            c.fetch_add(1);
+          }
+          ~ActiveGuard() { c.fetch_sub(1); }
+        } active(active_requests);
+        const std::string response = handle_line(*line, is_shutdown);
+        const bool sent = send_all(fd, response + "\n");
+        // The next request's read deadline starts *after* this response:
+        // a sweep longer than the deadline must not count against the
+        // client's next line.
+        last_line_at = std::chrono::steady_clock::now();
+        if (!sent) {
+          peer_gone = true;
           shutdown_requested = is_shutdown;
           break;
         }
@@ -111,6 +238,56 @@ struct SocketServer::Impl {
           break;
         }
       }
+      if (peer_gone || shutdown_requested) break;
+      if (framer.overflowed()) {
+        // Oversized frame: typed reject, then drop the connection — the
+        // framer already discarded the bytes, so a streamed endless line
+        // costs O(1) memory.
+        frame_errors.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::get().frame_errors.add();
+        (void)send_all(fd, format_error(InvalidConfigError(
+                               "service: request line exceeds " +
+                               std::to_string(framer.max_frame_bytes()) +
+                               " bytes")) +
+                               "\n");
+        break;
+      }
+
+      int timeout_ms = -1;
+      if (opts.read_deadline_ms > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - last_line_at)
+                .count();
+        const double remaining = opts.read_deadline_ms - elapsed;
+        if (remaining <= 0.0) {
+          // Read deadline: a half-sent request line is a slow loris and
+          // earns a typed error; a clean idle connection just closes.
+          deadline_drops.fetch_add(1, std::memory_order_relaxed);
+          ServerMetrics::get().deadline_drops.add();
+          if (framer.pending_bytes() > 0) {
+            (void)send_all(fd, format_error(ResourceExhaustedError(
+                                   "service: read deadline exceeded "
+                                   "mid-request")) +
+                                   "\n");
+          }
+          break;
+        }
+        timeout_ms = static_cast<int>(remaining) + 1;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (pr == 0) continue;  // re-evaluates the deadline at the loop top
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      (void)framer.feed(chunk, static_cast<std::size_t>(n));
     }
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -125,16 +302,63 @@ struct SocketServer::Impl {
       const int fd = ::accept(listen_fd.load(), nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
-        break;  // listen_fd closed (stop) or fatal accept error
+        break;  // listen_fd closed (stop/drain) or fatal accept error
       }
       if (stopping.load()) {
         ::close(fd);
         continue;
       }
       std::lock_guard<std::mutex> lock(mu);
+      if (opts.max_connections > 0 && live_fds.size() >= opts.max_connections) {
+        shed_connections.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::get().shed_connections.add();
+        (void)send_all(fd, format_overloaded(jittered_retry_ms(),
+                                             "server at max connections (" +
+                                                 std::to_string(opts.max_connections) +
+                                                 ")") +
+                               "\n");
+        ::close(fd);
+        continue;
+      }
       live_fds.insert(fd);
       handlers.emplace_back([this, fd] { serve_connection(fd); });
     }
+  }
+
+  /// Spin-waits until no TUNE/RUN is being handled, up to @p deadline_ms.
+  /// Returns true when the server went quiet in time.
+  bool wait_requests_done(double deadline_ms) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms < 0.0 ? 0.0 : deadline_ms));
+    while (active_requests.load() > 0) {
+      if (std::chrono::steady_clock::now() >= until) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  void request_drain() {
+    bool expected = false;
+    if (draining.compare_exchange_strong(expected, true)) {
+      // Stop accepting; existing connections keep their handlers, new
+      // sweep requests on them are shed by handle_tune_or_run.
+      const int lfd = listen_fd.exchange(-1);
+      if (lfd >= 0) {
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
+      }
+    }
+    // In-flight sweeps get the deadline, then the cancel token — every
+    // waiter unwinds through the service with ResourceExhausted and its
+    // handler still writes the typed `ERR code=5` line before we cut the
+    // connections in request_stop().
+    if (!wait_requests_done(opts.drain_deadline_ms)) {
+      cancel.cancel();
+      (void)wait_requests_done(2000.0);
+    }
+    request_stop();
   }
 
   void request_stop() {
@@ -142,7 +366,7 @@ struct SocketServer::Impl {
     if (!stopping.compare_exchange_strong(expected, true)) return;
     cancel.cancel();
     // Closing the listen socket unblocks accept(); shutting down live
-    // connections unblocks their recv() so handlers drain.
+    // connections unblocks their recv()/poll() so handlers drain.
     std::lock_guard<std::mutex> lock(mu);
     const int lfd = listen_fd.exchange(-1);
     if (lfd >= 0) {
@@ -154,8 +378,9 @@ struct SocketServer::Impl {
   }
 };
 
-SocketServer::SocketServer(TuningService& service, std::string socket_path)
-    : impl_(new Impl(service, std::move(socket_path))) {}
+SocketServer::SocketServer(TuningService& service, std::string socket_path,
+                           ServerOptions options)
+    : impl_(new Impl(service, std::move(socket_path), options)) {}
 
 SocketServer::~SocketServer() {
   stop();
@@ -212,9 +437,15 @@ void SocketServer::wait() {
 
 void SocketServer::stop() { impl_->request_stop(); }
 
+void SocketServer::drain() { impl_->request_drain(); }
+
 bool SocketServer::running() const {
   return impl_->started.load() && !impl_->stopping.load();
 }
+
+bool SocketServer::draining() const { return impl_->draining.load(); }
+
+ServerStats SocketServer::stats() const { return impl_->stats_snapshot(); }
 
 const CancelToken& SocketServer::cancel_token() const { return impl_->cancel; }
 
@@ -225,12 +456,13 @@ const CancelToken& SocketServer::cancel_token() const { return impl_->cancel; }
 namespace inplane::service {
 
 struct SocketServer::Impl {
-  explicit Impl(TuningService&, std::string) {}
+  explicit Impl(TuningService&, std::string, ServerOptions) {}
   CancelToken cancel;
 };
 
-SocketServer::SocketServer(TuningService& service, std::string socket_path)
-    : impl_(new Impl(service, std::move(socket_path))) {}
+SocketServer::SocketServer(TuningService& service, std::string socket_path,
+                           ServerOptions options)
+    : impl_(new Impl(service, std::move(socket_path), options)) {}
 SocketServer::~SocketServer() { delete impl_; }
 
 void SocketServer::start() {
@@ -240,7 +472,10 @@ void SocketServer::wait() {
   throw InternalError("service: AF_UNIX server is POSIX-only");
 }
 void SocketServer::stop() {}
+void SocketServer::drain() {}
 bool SocketServer::running() const { return false; }
+bool SocketServer::draining() const { return false; }
+ServerStats SocketServer::stats() const { return {}; }
 const CancelToken& SocketServer::cancel_token() const { return impl_->cancel; }
 
 }  // namespace inplane::service

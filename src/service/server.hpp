@@ -7,27 +7,72 @@
 // dedup/stress behaviour) is the TuningService's problem, which is
 // exactly what the harness wants to hammer.
 //
+// The connection layer is hardened against adversarial clients:
+//
+//  * admission control — at most max_connections concurrent connections
+//    and max_inflight concurrent sweep-capable requests; beyond either
+//    budget the server *sheds* with a typed
+//    `ERR code=overloaded retry_after_ms=<jittered>` instead of queuing
+//    unboundedly.  Cache hits and PING/STATS/SHUTDOWN are never shed.
+//  * read/write deadlines — a connection that does not complete a
+//    request line within read_deadline_ms of its last one (slow loris),
+//    or whose peer stops draining responses for write_deadline_ms, is
+//    answered with a typed error where possible and dropped.
+//  * max-frame-bytes — an unterminated request line larger than
+//    max_frame_bytes poisons the connection's framer (O(1) memory,
+//    LineFramer), earns `ERR code=2 ...` and a close, never an OOM.
+//
 // Lifecycle: start() binds/listens and returns; wait() blocks until a
 // SHUTDOWN request (or stop()) arrives; the destructor closes every
 // live connection and joins every thread.  A daemon that exits via
-// SHUTDOWN exits 0 — see the exit-code table in the README.
+// SHUTDOWN exits 0 — see the exit-code table in the README.  drain()
+// is the graceful path SIGTERM takes: stop accepting, answer new
+// sweep requests with `ERR code=draining`, give in-flight sweeps
+// drain_deadline_ms to finish, then cancel the stragglers (they answer
+// `ERR code=5`) and stop.
 //
 // POSIX only (like core/process.hpp): on Windows every entry point
 // throws InternalError.
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/cancel.hpp"
+#include "service/protocol.hpp"
 #include "service/service.hpp"
 
 namespace inplane::service {
+
+struct ServerOptions {
+  /// Max concurrent sweep-capable (cache-missing TUNE/RUN) requests
+  /// before shedding; 0 = unbounded (pre-hardening behaviour).
+  int max_inflight = 16;
+  /// Max concurrent connections before new ones are shed; 0 = unbounded.
+  std::size_t max_connections = 256;
+  /// A connection must complete each request line within this of the
+  /// previous one; idle connections past it are closed, half-written
+  /// lines earn `ERR code=5` first.  <= 0 disables.
+  double read_deadline_ms = 30000.0;
+  /// SO_SNDTIMEO per connection: a peer that stops draining responses
+  /// for this long gets dropped.  <= 0 disables.
+  double write_deadline_ms = 30000.0;
+  /// Unterminated request lines beyond this poison the connection.
+  std::size_t max_frame_bytes = 65536;
+  /// Shed responses suggest retrying after ~this (jittered x[0.5, 1.5)).
+  double retry_after_base_ms = 100.0;
+  std::uint64_t shed_jitter_seed = 0x5eed5eed5eed5eedull;
+  /// drain(): how long in-flight sweeps get before being cancelled.
+  double drain_deadline_ms = 5000.0;
+};
 
 class SocketServer {
  public:
   /// Serves @p service on @p socket_path.  The service must outlive the
   /// server.  An existing socket file at the path is removed first (a
   /// stale socket from a dead daemon would otherwise wedge bind()).
-  SocketServer(TuningService& service, std::string socket_path);
+  SocketServer(TuningService& service, std::string socket_path,
+               ServerOptions options = {});
   ~SocketServer();
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
@@ -44,7 +89,21 @@ class SocketServer {
   /// Idempotent.
   void stop();
 
+  /// Graceful drain (the SIGTERM path): stops accepting, sheds new
+  /// sweep-capable requests with `ERR code=draining` (PING/STATS and
+  /// cache hits still answer), waits up to options.drain_deadline_ms for
+  /// in-flight requests to finish, then cancels the stragglers — each
+  /// still receives a typed `ERR code=5` line — and stops.  Blocks until
+  /// the server is stopped.  Idempotent; safe after stop().
+  void drain();
+
   [[nodiscard]] bool running() const;
+
+  /// True from the start of drain() until destruction.
+  [[nodiscard]] bool draining() const;
+
+  /// Socket-layer shed/hardening counters (also folded into STATS).
+  [[nodiscard]] ServerStats stats() const;
 
   /// The token threaded into every request as its external cancel; fires
   /// on stop().  Exposed for tests.

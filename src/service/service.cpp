@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -26,6 +27,10 @@ struct ServiceMetrics {
   metrics::Counter& dedup_joins;
   metrics::Counter& sweeps;
   metrics::Counter& failures;
+  metrics::Counter& breaker_failures;
+  metrics::Counter& breaker_trips;
+  metrics::Counter& breaker_short_circuits;
+  metrics::Counter& breaker_probes;
 
   static ServiceMetrics& get() {
     auto& reg = metrics::Registry::global();
@@ -34,10 +39,21 @@ struct ServiceMetrics {
         reg.counter("service.dedup_joins"),
         reg.counter("service.sweeps"),
         reg.counter("service.failures"),
+        reg.counter("service.breaker.failures"),
+        reg.counter("service.breaker.trips"),
+        reg.counter("service.breaker.short_circuits"),
+        reg.counter("service.breaker.probes"),
     };
     return m;
   }
 };
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 /// Validates the parts of a programmatic key that WisdomKey::parse would
 /// have enforced on the wire (tune() accepts keys built in code too).
@@ -120,12 +136,27 @@ struct TuningService::Impl {
   std::atomic<std::uint64_t> dedup_joins{0};
   std::atomic<std::uint64_t> sweeps{0};
   std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> breaker_failures{0};
+  std::atomic<std::uint64_t> breaker_trips{0};
+  std::atomic<std::uint64_t> breaker_short_circuits{0};
+  std::atomic<std::uint64_t> breaker_probes{0};
+  std::atomic<std::uint64_t> wisdom_write_errors{0};
+
+  // Fan-out circuit breaker (guarded by breaker_mu).
+  enum class Breaker { Closed, Open, HalfOpen };
+  std::mutex breaker_mu;
+  Breaker breaker = Breaker::Closed;
+  int breaker_consecutive = 0;  ///< consecutive fleet failures while closed
+  std::chrono::steady_clock::time_point breaker_open_until{};
+  bool breaker_probe_inflight = false;
+  std::uint64_t breaker_rng;
 
   mutable std::mutex devfp_mu;
   mutable std::map<std::string, std::uint64_t> devfp_memo;
 
   explicit Impl(ServiceOptions o)
-      : opts(std::move(o)), cache(opts.cache_capacity) {
+      : opts(std::move(o)), cache(opts.cache_capacity),
+        breaker_rng(opts.breaker_jitter_seed) {
     if (!opts.wisdom_path.empty()) cache.open(opts.wisdom_path, opts.cache_capacity);
   }
 
@@ -143,36 +174,43 @@ struct TuningService::Impl {
     return fp;
   }
 
-  /// The sweep a leader runs for @p key: distributed fan-out when the
-  /// service is configured for it and the request carries no memory
-  /// budget (budgets are a single-process concept); in-process otherwise.
-  SweptAnswer lead_sweep(const WisdomKey& key, const CancelToken* cancel,
-                         MemBudget* budget) {
-    sweeps.fetch_add(1, std::memory_order_relaxed);
-    ServiceMetrics::get().sweeps.add();
+  /// Jittered open-state duration (~[0.5, 1.5) x breaker_probe_after_ms)
+  /// so a fleet of daemons never probes a recovering cluster in lockstep.
+  /// Caller holds breaker_mu (the rng is guarded by it).
+  std::chrono::steady_clock::duration jittered_open_duration() {
+    const double factor =
+        0.5 + static_cast<double>(splitmix64(breaker_rng) % 1024) / 1024.0;
+    const double ms = opts.breaker_probe_after_ms * factor;
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms < 1.0 ? 1.0 : ms));
+  }
 
-    if (opts.fan_out_workers > 0 && budget == nullptr) {
-      distributed::SupervisorOptions so;
-      so.spec.method = key.method;
-      so.spec.device = key.device;
-      so.spec.extent = key.extent;
-      so.spec.order = key.order;
-      so.spec.double_precision = key.double_precision;
-      so.spec.kind = key.kind;
-      so.spec.beta = key.beta;
-      so.workers = opts.fan_out_workers;
-      char sub[32];
-      std::snprintf(sub, sizeof(sub), "/k%016" PRIx64, key.fingerprint());
-      so.checkpoint_dir = opts.fan_out_dir + sub;
-      so.worker_exe = opts.fan_out_worker_exe;
-      so.cancel = cancel;
-      const distributed::SweepReport report = distributed::run_distributed_sweep(so);
-      if (!report.result.found()) {
-        throw InternalError("service: fan-out sweep produced no valid candidate");
-      }
-      return SweptAnswer{report.result.best, !report.complete};
+  SweptAnswer run_fan_out(const WisdomKey& key, const CancelToken* cancel) {
+    if (opts.on_fan_out) opts.on_fan_out(key);
+    distributed::SupervisorOptions so;
+    so.spec.method = key.method;
+    so.spec.device = key.device;
+    so.spec.extent = key.extent;
+    so.spec.order = key.order;
+    so.spec.double_precision = key.double_precision;
+    so.spec.kind = key.kind;
+    so.spec.beta = key.beta;
+    so.workers = opts.fan_out_workers;
+    char sub[32];
+    std::snprintf(sub, sizeof(sub), "/k%016" PRIx64, key.fingerprint());
+    so.checkpoint_dir = opts.fan_out_dir + sub;
+    so.worker_exe = opts.fan_out_worker_exe;
+    so.worker_fault_spec = opts.fan_out_fault_spec;
+    so.cancel = cancel;
+    const distributed::SweepReport report = distributed::run_distributed_sweep(so);
+    if (!report.result.found()) {
+      throw InternalError("service: fan-out sweep produced no valid candidate");
     }
+    return SweptAnswer{report.result.best, !report.complete};
+  }
 
+  SweptAnswer run_local(const WisdomKey& key, const CancelToken* cancel,
+                        MemBudget* budget) {
     autotune::TuneOptions topts;
     topts.policy = opts.sweep_policy;
     topts.policy.cancel = cancel;
@@ -183,6 +221,94 @@ struct TuningService::Impl {
     }
     const bool degraded = budget != nullptr && budget->denied() > 0;
     return SweptAnswer{result.best, degraded};
+  }
+
+  /// The sweep a leader runs for @p key: distributed fan-out when the
+  /// service is configured for it and the request carries no memory
+  /// budget (budgets are a single-process concept); in-process otherwise.
+  /// The fan-out path runs behind the circuit breaker: fleet failures
+  /// fall back to the bit-identical local sweep and, once consecutive
+  /// failures reach the threshold, trip the breaker open so later sweeps
+  /// skip the fleet entirely until a half-open probe succeeds.
+  SweptAnswer lead_sweep(const WisdomKey& key, const CancelToken* cancel,
+                         MemBudget* budget) {
+    sweeps.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::get().sweeps.add();
+
+    if (!(opts.fan_out_workers > 0 && budget == nullptr)) {
+      return run_local(key, cancel, budget);
+    }
+    if (!opts.fan_out_breaker) {
+      return run_fan_out(key, cancel);  // pre-breaker behaviour: failures propagate
+    }
+
+    bool probing = false;
+    bool attempt = false;
+    {
+      std::lock_guard<std::mutex> lock(breaker_mu);
+      if (breaker == Breaker::Closed) {
+        attempt = true;
+      } else if (!breaker_probe_inflight &&
+                 (breaker == Breaker::HalfOpen ||
+                  std::chrono::steady_clock::now() >= breaker_open_until)) {
+        breaker = Breaker::HalfOpen;
+        breaker_probe_inflight = true;
+        attempt = probing = true;
+        breaker_probes.fetch_add(1, std::memory_order_relaxed);
+        ServiceMetrics::get().breaker_probes.add();
+      }
+    }
+    if (!attempt) {
+      breaker_short_circuits.fetch_add(1, std::memory_order_relaxed);
+      ServiceMetrics::get().breaker_short_circuits.add();
+      return run_local(key, cancel, budget);
+    }
+    try {
+      const SweptAnswer ans = run_fan_out(key, cancel);
+      std::lock_guard<std::mutex> lock(breaker_mu);
+      breaker_consecutive = 0;
+      if (probing) breaker_probe_inflight = false;
+      if (breaker != Breaker::Closed) {
+        breaker = Breaker::Closed;
+        std::fprintf(stderr, "service: fan-out breaker closed (fleet recovered)\n");
+      }
+      return ans;
+    } catch (const ResourceExhaustedError&) {
+      // Cancellation/deadline says nothing about fleet health: release
+      // the probe slot (if held) without moving the state machine.
+      std::lock_guard<std::mutex> lock(breaker_mu);
+      if (probing) breaker_probe_inflight = false;
+      throw;
+    } catch (const std::exception& e) {
+      breaker_failures.fetch_add(1, std::memory_order_relaxed);
+      ServiceMetrics::get().breaker_failures.add();
+      bool tripped = false;
+      {
+        std::lock_guard<std::mutex> lock(breaker_mu);
+        if (probing) {
+          // A failed probe re-opens immediately (the fleet is still sick).
+          breaker_probe_inflight = false;
+          breaker = Breaker::Open;
+          breaker_open_until = std::chrono::steady_clock::now() + jittered_open_duration();
+          tripped = true;
+        } else if (breaker == Breaker::Closed &&
+                   ++breaker_consecutive >= std::max(1, opts.breaker_threshold)) {
+          breaker = Breaker::Open;
+          breaker_consecutive = 0;
+          breaker_open_until = std::chrono::steady_clock::now() + jittered_open_duration();
+          tripped = true;
+        }
+      }
+      if (tripped) {
+        breaker_trips.fetch_add(1, std::memory_order_relaxed);
+        ServiceMetrics::get().breaker_trips.add();
+        std::fprintf(stderr,
+                     "service: WARNING: fan-out breaker opened (%s); sweeps fall "
+                     "back to in-process until a probe succeeds\n",
+                     e.what());
+      }
+      return run_local(key, cancel, budget);
+    }
   }
 };
 
@@ -204,10 +330,41 @@ ServiceCounters TuningService::counters() const {
   c.dedup_joins = impl_->dedup_joins.load(std::memory_order_relaxed);
   c.sweeps = impl_->sweeps.load(std::memory_order_relaxed);
   c.failures = impl_->failures.load(std::memory_order_relaxed);
+  c.breaker_failures = impl_->breaker_failures.load(std::memory_order_relaxed);
+  c.breaker_trips = impl_->breaker_trips.load(std::memory_order_relaxed);
+  c.breaker_short_circuits =
+      impl_->breaker_short_circuits.load(std::memory_order_relaxed);
+  c.breaker_probes = impl_->breaker_probes.load(std::memory_order_relaxed);
+  c.wisdom_write_errors = impl_->wisdom_write_errors.load(std::memory_order_relaxed);
   return c;
 }
 
 WisdomCache& TuningService::cache() { return impl_->cache; }
+
+const char* TuningService::breaker_state() const {
+  Impl& im = *impl_;
+  if (im.opts.fan_out_workers <= 0 || !im.opts.fan_out_breaker) return "off";
+  std::lock_guard<std::mutex> lock(im.breaker_mu);
+  switch (im.breaker) {
+    case Impl::Breaker::Closed: return "closed";
+    case Impl::Breaker::Open: return "open";
+    case Impl::Breaker::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+std::optional<TuneOutcome> TuningService::peek(const TuneRequest& request) {
+  Impl& im = *impl_;
+  validate_key(request.key);
+  const WisdomKey key = stamp(request.key);
+  if (request.no_cache) return std::nullopt;
+  auto hit = im.cache.find(key);
+  if (!hit) return std::nullopt;
+  im.requests.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::get().requests.add();
+  im.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  return TuneOutcome{*hit, Source::CacheHit, false, key};
+}
 
 TuneOutcome TuningService::tune(const TuneRequest& request) {
   Impl& im = *impl_;
@@ -240,8 +397,10 @@ TuneOutcome TuningService::tune(const TuneRequest& request) {
     }
 
     // no_cache bypasses dedup too: the caller asked for a fresh sweep,
-    // so it neither joins nor publishes one.
+    // so it neither joins nor publishes one.  The sweep-start hook still
+    // fires — it observes every sweep, not every cache publish.
     if (request.no_cache) {
+      if (im.opts.on_sweep_start) im.opts.on_sweep_start(key);
       MemBudget budget(request.mem_budget_bytes);
       const Impl::SweptAnswer ans = im.lead_sweep(
           key, token, request.mem_budget_bytes > 0 ? &budget : nullptr);
@@ -292,8 +451,15 @@ TuneOutcome TuningService::tune(const TuneRequest& request) {
           key, token, request.mem_budget_bytes > 0 ? &budget : nullptr);
       // Publish to the cache *before* retiring the in-flight entry: a
       // request arriving in between sees either the future or the cached
-      // entry, never a window that starts a duplicate sweep.
-      if (!ans.degraded) im.cache.put(key, ans.best);
+      // entry, never a window that starts a duplicate sweep.  A wisdom
+      // *write* failure (disk full) is not a request failure: the entry
+      // serves from memory and the answer stays OK.
+      if (!ans.degraded) {
+        const Status put_status = im.cache.put(key, ans.best);
+        if (!put_status.ok()) {
+          im.wisdom_write_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(im.inflight_mu);
         im.inflight.erase(dedup_key);

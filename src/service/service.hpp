@@ -76,15 +76,21 @@ struct TuneOutcome {
 
 /// Monotonic service-level counters.  Mirrored into the metrics registry
 /// as service.requests / service.cache_hits / service.dedup_joins /
-/// service.sweeps / service.failures (service.evictions is owned by the
-/// wisdom cache); these struct copies exist so tests can assert exact
-/// values without enabling metrics.
+/// service.sweeps / service.failures / service.breaker.* /
+/// service.wisdom.write_errors (service.evictions is owned by the wisdom
+/// cache); these struct copies exist so tests can assert exact values
+/// without enabling metrics.
 struct ServiceCounters {
   std::uint64_t requests = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t dedup_joins = 0;
   std::uint64_t sweeps = 0;      ///< sweeps actually started (leaders only)
   std::uint64_t failures = 0;    ///< requests answered with an error
+  std::uint64_t breaker_failures = 0;  ///< fan-out attempts that failed
+  std::uint64_t breaker_trips = 0;     ///< transitions to the open state
+  std::uint64_t breaker_short_circuits = 0;  ///< sweeps kept local by an open breaker
+  std::uint64_t breaker_probes = 0;    ///< half-open probe sweeps sent to the fleet
+  std::uint64_t wisdom_write_errors = 0;  ///< cache puts the wisdom file rejected
 };
 
 struct ServiceOptions {
@@ -99,10 +105,30 @@ struct ServiceOptions {
   int fan_out_workers = 0;
   std::string fan_out_dir;         ///< shard/journal directory for fan-out
   std::string fan_out_worker_exe;  ///< inplane_distd binary for fan-out
+  /// Worker fault plan (distributed::SupervisorOptions::worker_fault_spec,
+  /// e.g. "kill@2:w0") forwarded verbatim into every fan-out sweep — the
+  /// overload chaos drill kills real workers mid-sweep through this.
+  std::string fan_out_fault_spec;
+
+  /// Circuit breaker over the worker fleet: `breaker_threshold`
+  /// *consecutive* fan-out failures trip it open; while open, sweeps
+  /// short-circuit to the bit-identical local path; after a jittered
+  /// ~breaker_probe_after_ms one half-open probe re-tries the fleet and
+  /// either closes the breaker or re-opens it.  Cancellation/deadline
+  /// (ResourceExhausted) never counts as a fleet failure.
+  bool fan_out_breaker = true;
+  int breaker_threshold = 3;
+  double breaker_probe_after_ms = 1000.0;
+  std::uint64_t breaker_jitter_seed = 0x1f2e3d4c5b6a7988ull;
+
   /// Test hook: called by every sweep *leader* after it has registered
   /// itself as in-flight (joiners can already join) and before the sweep
   /// starts.  Blocking in the hook holds the sweep open deterministically.
   std::function<void(const WisdomKey&)> on_sweep_start;
+  /// Test hook: called right before each fan-out attempt reaches the
+  /// fleet; throwing from it simulates a deterministic fleet failure
+  /// (the breaker tests trip/probe/recover through this).
+  std::function<void(const WisdomKey&)> on_fan_out;
 };
 
 class TuningService {
@@ -119,6 +145,14 @@ class TuningService {
   /// failures (joiners see the leader's failure).
   [[nodiscard]] TuneOutcome tune(const TuneRequest& request);
 
+  /// Non-blocking cache probe: the outcome when @p request is already
+  /// answerable from wisdom (counted as a request + cache hit), or
+  /// std::nullopt without touching any counter — no sweep is ever
+  /// started or joined.  The admission controller serves hits through
+  /// this even when the sweep budget is exhausted ("cache hits are never
+  /// shed").  Same key validation/stamping exceptions as tune().
+  [[nodiscard]] std::optional<TuneOutcome> peek(const TuneRequest& request);
+
   /// Stamps the device fingerprint onto @p key (resolving the device
   /// name), exactly as tune() does before touching the cache.  Throws
   /// InvalidConfigError for an unknown device.
@@ -126,6 +160,10 @@ class TuningService {
 
   [[nodiscard]] ServiceCounters counters() const;
   [[nodiscard]] WisdomCache& cache();
+
+  /// Current fan-out breaker state: "off" (no fan-out or breaker
+  /// disabled), "closed", "open" or "half_open".  STATS exposes this.
+  [[nodiscard]] const char* breaker_state() const;
 
  private:
   struct Impl;

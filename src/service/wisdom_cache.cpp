@@ -33,6 +33,7 @@ struct WisdomMetrics {
   metrics::Counter& torn_tails;
   metrics::Counter& rejected_files;
   metrics::Counter& compactions;
+  metrics::Counter& write_errors;
 
   static WisdomMetrics& get() {
     auto& reg = metrics::Registry::global();
@@ -45,6 +46,7 @@ struct WisdomMetrics {
         reg.counter("service.wisdom.torn_tails"),
         reg.counter("service.wisdom.rejected_files"),
         reg.counter("service.wisdom.compactions"),
+        reg.counter("service.wisdom.write_errors"),
     };
     return m;
   }
@@ -285,6 +287,10 @@ struct WisdomCache::Impl {
   std::size_t torn_countdown = 0;
   int torn_exit_code = -1;
 
+  // Disk-full injection (simulate_write_error_after).
+  bool write_fail_armed = false;
+  std::size_t write_fail_countdown = 0;
+
   ~Impl() {
     if (file != nullptr) std::fclose(file);
   }
@@ -315,15 +321,38 @@ struct WisdomCache::Impl {
     return evicted;
   }
 
-  void write_or_die(const void* data, std::size_t n) {
-    if (std::fwrite(data, 1, n, file) != n || std::fflush(file) != 0) {
-      throw IoError("wisdom: short write appending to " + path);
+  /// Drops the append handle after a failed write: live entries keep
+  /// serving from memory, nothing persists until the next open().  The
+  /// warning is printed once per degradation, not per put.
+  void degrade_locked(const std::string& why) {
+    if (file != nullptr) {
+      std::fclose(file);
+      file = nullptr;
+    }
+    stats.write_errors += 1;
+    WisdomMetrics::get().write_errors.add();
+    if (!stats.degraded_to_memory) {
+      stats.degraded_to_memory = true;
+      std::fprintf(stderr,
+                   "wisdom: WARNING: %s — cache degrades to serve-from-memory "
+                   "(live entries stay available; nothing persists until the "
+                   "next open)\n",
+                   why.c_str());
     }
   }
 
-  /// Appends one framed record, honouring the torn-write simulation.
-  void append_record(const std::string& key_line, const std::string& entry_payload) {
-    if (file == nullptr) return;
+  /// Appends one framed record, honouring the crash/disk-full simulations.
+  /// A failed append truncates the half-written record back so the file
+  /// never keeps a torn frame, then degrades the cache to memory-only.
+  Status append_record(const std::string& key_line, const std::string& entry_payload) {
+    if (file == nullptr) {
+      if (stats.degraded_to_memory) {
+        return Status(ErrorCode::IoError,
+                      "wisdom: cache is degraded to memory-only (earlier write "
+                      "failure); entry kept in memory");
+      }
+      return Status::okay();
+    }
     const std::string framed = frame_record(encode_record(key_line, entry_payload));
     if (torn_armed) {
       if (torn_countdown == 0) {
@@ -336,11 +365,44 @@ struct WisdomCache::Impl {
         std::fclose(file);
         file = nullptr;
         torn_armed = false;
-        return;
+        return Status::okay();
       }
       torn_countdown -= 1;
     }
-    write_or_die(framed.data(), framed.size());
+    // Every append is flushed, so the current size is the clean edge to
+    // roll back to if this write fails partway.
+    std::error_code size_ec;
+    const auto pre = std::filesystem::file_size(path, size_ec);
+    bool failed = false;
+    if (write_fail_armed) {
+      if (write_fail_countdown == 0) {
+        // ENOSPC simulation: half the frame lands, then the disk is full.
+        const std::size_t half = framed.size() / 2;
+        (void)std::fwrite(framed.data(), 1, half, file);
+        (void)std::fflush(file);
+        write_fail_armed = false;
+        failed = true;
+      } else {
+        write_fail_countdown -= 1;
+      }
+    }
+    if (!failed) {
+      failed = std::fwrite(framed.data(), 1, framed.size(), file) != framed.size() ||
+               std::fflush(file) != 0;
+    }
+    if (!failed) return Status::okay();
+    std::fclose(file);
+    file = nullptr;
+    if (!size_ec) {
+      // Best effort — if even the truncation fails, the next open()'s
+      // torn-tail scan discards the partial frame instead.
+      std::error_code ec;
+      std::filesystem::resize_file(path, pre, ec);
+    }
+    degrade_locked("append to " + path + " failed (disk full?)");
+    return Status(ErrorCode::IoError, "wisdom: append to " + path +
+                                          " failed; half-written record truncated "
+                                          "back, serving from memory");
   }
 
   /// Rewrites path to exactly the live set (LRU order) atomically.
@@ -519,6 +581,9 @@ void WisdomCache::open(const std::string& path, std::size_t capacity) {
   im.file = std::fopen(path.c_str(), "ab");
   if (im.file == nullptr) throw IoError("wisdom: cannot open " + path + " for appending");
   im.path = path;
+  // A fresh append handle ends any earlier memory-only degradation (the
+  // write_errors count stays, it is monotonic history).
+  im.stats.degraded_to_memory = false;
 }
 
 std::optional<autotune::TuneEntry> WisdomCache::find(const WisdomKey& key) {
@@ -535,7 +600,7 @@ std::optional<autotune::TuneEntry> WisdomCache::find(const WisdomKey& key) {
   return it->second->best;
 }
 
-void WisdomCache::put(const WisdomKey& key, const autotune::TuneEntry& best) {
+Status WisdomCache::put(const WisdomKey& key, const autotune::TuneEntry& best) {
   const WisdomKey canon = key.canonical();
   if (!is_token(canon.method) || !is_token(canon.device) || !is_token(canon.kind)) {
     throw InvalidConfigError("wisdom: key fields must be space-free tokens: " +
@@ -544,14 +609,29 @@ void WisdomCache::put(const WisdomKey& key, const autotune::TuneEntry& best) {
   const std::string line = canon.to_line();
   std::lock_guard<std::mutex> lock(impl_->mu);
   const bool evicted = impl_->put_mem(canon, best, line);
-  if (impl_->path.empty()) return;
+  if (impl_->path.empty()) return Status::okay();
+  if (impl_->stats.degraded_to_memory) {
+    // Every unpersisted put counts: the daemon's wisdom_write_errors
+    // counter keeps growing while the cache is degraded, so a drifting
+    // STATS line makes the condition impossible to miss.
+    impl_->stats.write_errors += 1;
+    WisdomMetrics::get().write_errors.add();
+    return Status(ErrorCode::IoError,
+                  "wisdom: cache is degraded to memory-only (earlier write "
+                  "failure); entry kept in memory");
+  }
   if (evicted) {
     // The file still carries the victim; rewrite it to the live set so
     // the on-disk size stays bounded by the capacity.
-    impl_->compact_locked();
-  } else {
-    impl_->append_record(line, autotune::encode_tune_entry(best));
+    try {
+      impl_->compact_locked();
+    } catch (const std::exception& e) {
+      impl_->degrade_locked("compaction of " + impl_->path + " failed (disk full?)");
+      return status_of(e);
+    }
+    return Status::okay();
   }
+  return impl_->append_record(line, autotune::encode_tune_entry(best));
 }
 
 std::size_t WisdomCache::size() const {
@@ -579,7 +659,18 @@ std::vector<WisdomKey> WisdomCache::lru_order() const {
 
 void WisdomCache::compact() {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  if (!impl_->path.empty()) impl_->compact_locked();
+  if (!impl_->path.empty() && !impl_->stats.degraded_to_memory) {
+    impl_->compact_locked();
+  }
+}
+
+void WisdomCache::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->file == nullptr) return;
+  (void)std::fflush(impl_->file);
+#ifndef _WIN32
+  (void)::fsync(::fileno(impl_->file));
+#endif
 }
 
 void WisdomCache::simulate_torn_write_after(std::size_t puts, int exit_code) {
@@ -588,6 +679,12 @@ void WisdomCache::simulate_torn_write_after(std::size_t puts, int exit_code) {
   impl_->torn_countdown = puts;
   impl_->torn_exit_code = exit_code;
   if (puts == 0 && exit_code == 0) impl_->torn_armed = false;  // disarm idiom
+}
+
+void WisdomCache::simulate_write_error_after(std::size_t puts) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->write_fail_armed = true;
+  impl_->write_fail_countdown = puts;
 }
 
 }  // namespace inplane::service

@@ -49,6 +49,7 @@
 
 #include "autotune/tuner.hpp"
 #include "core/extent.hpp"
+#include "core/status.hpp"
 
 namespace inplane::service {
 
@@ -116,6 +117,10 @@ class WisdomCache {
     std::size_t legacy_upgraded = 0;  ///< pre-degree records reloaded as degree 2
     std::size_t torn_bytes = 0;   ///< bytes discarded after the valid prefix
     bool rejected_file = false;   ///< open() refused a foreign/corrupt header
+    std::size_t write_errors = 0;  ///< failed appends/compactions (ENOSPC, EIO)
+    /// A write failure detached the file: entries keep serving from
+    /// memory, nothing else is persisted until the next open().
+    bool degraded_to_memory = false;
   };
 
   /// In-memory cache (no persistence) holding at most @p capacity entries.
@@ -139,7 +144,16 @@ class WisdomCache {
   /// appends the record to the wisdom file and flushes it.  At capacity
   /// the least-recently-used entry is evicted first and the file is
   /// compacted.
-  void put(const WisdomKey& key, const autotune::TuneEntry& best);
+  ///
+  /// A *write* failure (disk full, EIO) never loses the in-memory entry
+  /// and never leaves a torn frame on disk: the half-written record is
+  /// truncated back, the file handle is dropped (the cache degrades to
+  /// serve-from-memory — see Stats::degraded_to_memory) and the failure
+  /// is surfaced as a typed IoError Status.  Deliberately not
+  /// [[nodiscard]]: callers that only care about the in-memory insert
+  /// (tests, benches) may ignore it.  Still throws InvalidConfigError
+  /// for a malformed key — that is a caller bug, not an I/O condition.
+  Status put(const WisdomKey& key, const autotune::TuneEntry& best);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const;
@@ -153,6 +167,10 @@ class WisdomCache {
   /// for an in-memory cache.
   void compact();
 
+  /// Flushes (fflush + fsync) the append handle so a drain loses nothing
+  /// that was put.  No-op for an in-memory or degraded cache.
+  void flush();
+
   /// Crash-simulation hook for the torn-write tests and
   /// tools/cli_service_crash.sh: after @p puts further successful puts,
   /// the *next* append writes only half of its record's bytes and then
@@ -160,6 +178,14 @@ class WisdomCache {
   /// file handle mid-record (exit_code < 0), leaving a torn tail for the
   /// next open() to recover from.  0 disarms.
   void simulate_torn_write_after(std::size_t puts, int exit_code);
+
+  /// Disk-full injection hook for the degradation regression tests: after
+  /// @p puts further successful puts, the next append writes half of its
+  /// record and then fails as an ENOSPC-style short write would — put()
+  /// returns the typed IoError Status, the torn half-record is truncated
+  /// back and the cache degrades to memory-only.  Fires once, then
+  /// disarms.
+  void simulate_write_error_after(std::size_t puts);
 
  private:
   struct Impl;

@@ -7,14 +7,19 @@
 // ChildProcess edge cases the daemon's supervision depends on.
 
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -705,6 +710,540 @@ TEST(ServiceFanOut, CacheMissSweepAcrossWorkerFleetIsBitIdentical) {
   // The fanned-out answer is cached like any other.
   EXPECT_EQ(svc.tune(req).source, Source::CacheHit);
   EXPECT_EQ(svc.counters().sweeps, 1u);
+}
+
+// ------------------------------------------------ overload hardening --
+
+TEST(LineFramer, SplitsLinesStripsCrAndSkipsEmpties) {
+  service::LineFramer framer(64);
+  EXPECT_TRUE(framer.feed("PING\r\nSTA", 9));
+  const auto first = framer.next_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "PING");  // trailing '\r' stripped
+  EXPECT_FALSE(framer.next_line().has_value()) << "STA is not a complete line yet";
+  EXPECT_EQ(framer.pending_bytes(), 3u);
+  EXPECT_TRUE(framer.feed("TS\n\n\nX\n", 7));
+  EXPECT_EQ(framer.next_line().value(), "STATS");
+  EXPECT_EQ(framer.next_line().value(), "X") << "empty lines are skipped";
+  EXPECT_FALSE(framer.next_line().has_value());
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST(LineFramer, OversizedUnterminatedFramePoisonsInConstantMemory) {
+  service::LineFramer framer(16);
+  const std::string chunk(8, 'a');
+  EXPECT_TRUE(framer.feed(chunk.data(), chunk.size()));
+  EXPECT_TRUE(framer.feed(chunk.data(), chunk.size()));  // exactly at the limit
+  EXPECT_FALSE(framer.overflowed());
+  EXPECT_FALSE(framer.feed("b", 1));  // 17th pending byte: poison
+  EXPECT_TRUE(framer.overflowed());
+  EXPECT_EQ(framer.pending_bytes(), 0u) << "poison must discard the buffer";
+  EXPECT_FALSE(framer.next_line().has_value());
+  // Poison is sticky: even clean newline-terminated input is swallowed.
+  EXPECT_FALSE(framer.feed("PING\n", 5));
+  EXPECT_FALSE(framer.next_line().has_value());
+}
+
+TEST(LineFramer, NewlinesResetTheFrameBudget) {
+  service::LineFramer framer(8);
+  // Many short lines in one big feed must NOT trip the per-frame limit.
+  const std::string batch = "AAAA\nBBBB\nCCCC\nDDDD\n";
+  EXPECT_TRUE(framer.feed(batch.data(), batch.size()));
+  EXPECT_FALSE(framer.overflowed());
+  int lines = 0;
+  while (framer.next_line().has_value()) ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST(ProtocolOverload, OverloadedAndDrainingLinesRoundTrip) {
+  const auto shed = service::parse_response(
+      service::format_overloaded(123.4, "server at max in-flight sweeps (4)"));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_FALSE(shed->ok);
+  EXPECT_TRUE(shed->overloaded());
+  EXPECT_FALSE(shed->draining());
+  EXPECT_EQ(shed->err_name, "overloaded");
+  EXPECT_EQ(shed->err_code, 5) << "sheds map onto the ResourceExhausted exit code";
+  EXPECT_NEAR(shed->retry_after_ms, 123.0, 0.5);
+  EXPECT_EQ(shed->message, "server at max in-flight sweeps (4)");
+
+  const auto drain = service::parse_response(
+      service::format_draining("server is draining; retry against the replacement"));
+  ASSERT_TRUE(drain.has_value());
+  EXPECT_TRUE(drain->draining());
+  EXPECT_FALSE(drain->overloaded());
+  EXPECT_EQ(drain->err_code, 5);
+
+  // Plain numeric errors keep err_name empty; unknown symbolic codes are
+  // loudly rejected, never guessed at.
+  const auto plain = service::parse_response("ERR code=2 bad key");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->err_name.empty());
+  EXPECT_FALSE(plain->overloaded());
+  EXPECT_FALSE(service::parse_response("ERR code=banana nope").has_value());
+}
+
+// Blocking sweep gate: on_sweep_start parks every armed leader until
+// open() — the deterministic way to hold a sweep in flight.
+struct SweepGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool armed = false;
+  bool entered = false;
+  bool release = false;
+
+  void arm() {
+    std::lock_guard<std::mutex> lock(mu);
+    armed = true;
+    entered = false;
+    release = false;
+  }
+  void hook(const WisdomKey&) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!armed) return;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  }
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    armed = false;
+    cv.notify_all();
+  }
+};
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool raw_send(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+enum class RawRead { Line, Closed, Timeout };
+
+/// Reads until one full line, a close, or the timeout.
+RawRead raw_read_line(int fd, std::string* line, int timeout_ms) {
+  std::string buffer;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer.substr(0, nl);
+      return RawRead::Line;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) return RawRead::Timeout;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - now).count());
+    const int pr = ::poll(&pfd, 1, remaining);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return RawRead::Closed;
+    }
+    if (pr == 0) return RawRead::Timeout;
+    char chunk[512];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return RawRead::Closed;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(ServiceHardening, OversizedFrameGetsTypedErrorAndClose) {
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::ServerOptions opts;
+  opts.max_frame_bytes = 64;
+  service::SocketServer server(svc, path, opts);
+  server.start();
+
+  const int fd = raw_connect(path);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(raw_send(fd, std::string(200, 'A')));  // no newline, > limit
+  std::string line;
+  ASSERT_EQ(raw_read_line(fd, &line, 5000), RawRead::Line) << "typed reject expected";
+  EXPECT_EQ(line.rfind("ERR code=2", 0), 0u) << line;
+  // ... and the connection is closed right after the reject.
+  EXPECT_EQ(raw_read_line(fd, &line, 5000), RawRead::Closed);
+  ::close(fd);
+
+  EXPECT_GE(server.stats().frame_errors, 1u);
+  service::Client client(path);
+  client.connect();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong") << "server must survive the attack";
+  server.stop();
+}
+
+TEST(ServiceHardening, SlowLorisIsReapedAtTheReadDeadline) {
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::ServerOptions opts;
+  opts.read_deadline_ms = 150.0;
+  service::SocketServer server(svc, path, opts);
+  server.start();
+
+  // Half a request, then silence: the server must answer a typed
+  // deadline error and drop the connection — never wait forever.
+  const int half = raw_connect(path);
+  ASSERT_GE(half, 0);
+  EXPECT_TRUE(raw_send(half, "PI"));
+  std::string line;
+  ASSERT_EQ(raw_read_line(half, &line, 5000), RawRead::Line);
+  EXPECT_EQ(line.rfind("ERR code=5", 0), 0u) << line;
+  EXPECT_EQ(raw_read_line(half, &line, 5000), RawRead::Closed);
+  ::close(half);
+
+  // A fully idle connection is reaped silently (no half-request to answer).
+  const int idle = raw_connect(path);
+  ASSERT_GE(idle, 0);
+  EXPECT_EQ(raw_read_line(idle, &line, 5000), RawRead::Closed);
+  ::close(idle);
+
+  EXPECT_GE(server.stats().deadline_drops, 2u);
+  service::Client client(path);
+  client.connect();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+  server.stop();
+}
+
+TEST(ServiceHardening, GarbageBytesAnswerTypedErrorAndServerSurvives) {
+  TuningService svc(service::ServiceOptions{});
+  const std::string path = temp_socket();
+  service::SocketServer server(svc, path, service::ServerOptions{});
+  server.start();
+
+  const int fd = raw_connect(path);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(raw_send(fd, std::string("\x01\x7f\x02 garbage \xff\n", 14)));
+  std::string line;
+  ASSERT_EQ(raw_read_line(fd, &line, 5000), RawRead::Line);
+  EXPECT_EQ(line.rfind("ERR code=2", 0), 0u) << line;
+  // A garbage *line* is an answered request, not a framing violation:
+  // the connection stays usable.
+  EXPECT_TRUE(raw_send(fd, "PING\n"));
+  ASSERT_EQ(raw_read_line(fd, &line, 5000), RawRead::Line);
+  EXPECT_EQ(line, "OK pong");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceHardening, AdmissionShedsWithRetryAfterButServesHitsAndPing) {
+  auto gate = std::make_shared<SweepGate>();
+  service::ServiceOptions sopts;
+  sopts.on_sweep_start = [gate](const WisdomKey& key) { gate->hook(key); };
+  TuningService svc(sopts);
+
+  // Warm the cache with key 0 while the gate is disarmed.
+  TuneRequest warm;
+  warm.key = small_key(0);
+  const std::string warm_payload = svc.tune(warm).entry_payload();
+
+  const std::string path = temp_socket();
+  service::ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.retry_after_base_ms = 40.0;
+  service::SocketServer server(svc, path, opts);
+  server.start();
+
+  gate->arm();
+  std::thread leader([&] {
+    const auto resp = service::tune_over_socket(path, small_key(1));
+    EXPECT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.entry_payload, oracle_payload(small_key(1)));
+  });
+  gate->wait_entered();  // the only sweep slot is now held
+
+  // A second cache-missing request is shed with the typed overload line
+  // and a usable retry hint...
+  const auto shed = service::tune_over_socket(path, small_key(2));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_TRUE(shed.overloaded()) << shed.message;
+  EXPECT_EQ(shed.err_code, 5);
+  EXPECT_GT(shed.retry_after_ms, 0.0) << "sheds must carry retry_after_ms";
+
+  // ... while cache hits and PING/STATS are never shed.
+  const auto hit = service::tune_over_socket(path, small_key(0));
+  EXPECT_TRUE(hit.ok) << hit.message;
+  EXPECT_EQ(hit.source, "hit");
+  EXPECT_EQ(hit.entry_payload, warm_payload);
+  service::Client client(path);
+  client.connect();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+  const std::string stats = client.roundtrip("STATS");
+  EXPECT_NE(stats.find("shed_requests="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("breaker_state="), std::string::npos) << stats;
+  EXPECT_GE(server.stats().shed_requests, 1u);
+
+  gate->open();
+  leader.join();
+  server.stop();
+}
+
+TEST(ServiceHardening, ClientRetryBacksOffOnConnectRefusedAndOverloaded) {
+  // Connect-refused: retried up to the budget with jittered local
+  // backoff, then the IoError propagates.
+  std::vector<double> sleeps;
+  service::RetryOptions retry;
+  retry.budget = 2;
+  retry.sleeper = [&](double ms) { sleeps.push_back(ms); };
+  int attempts = 0;
+  EXPECT_THROW(
+      {
+        const auto r = service::request_with_retry("/tmp/svc_no_such_sock", "PING",
+                                                   retry, &attempts);
+        (void)r;
+      },
+      IoError);
+  EXPECT_EQ(attempts, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  for (const double ms : sleeps) EXPECT_GT(ms, 0.0);
+
+  // Overloaded: the shed response's retry_after_ms hint drives the sleep,
+  // and after the budget the final overloaded response is returned (the
+  // exit-code taxonomy stays 5, not a client-invented code).
+  auto gate = std::make_shared<SweepGate>();
+  service::ServiceOptions sopts;
+  sopts.on_sweep_start = [gate](const WisdomKey& key) { gate->hook(key); };
+  TuningService svc(sopts);
+  const std::string path = temp_socket();
+  service::ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.retry_after_base_ms = 25.0;
+  service::SocketServer server(svc, path, opts);
+  server.start();
+
+  gate->arm();
+  std::thread leader([&] {
+    const auto resp = service::tune_over_socket(path, small_key(1));
+    EXPECT_TRUE(resp.ok) << resp.message;
+  });
+  gate->wait_entered();
+
+  sleeps.clear();
+  attempts = 0;
+  const auto resp = service::request_with_retry(
+      path, service::format_tune_request(small_key(2)), retry, &attempts);
+  EXPECT_TRUE(resp.overloaded()) << resp.message;
+  EXPECT_EQ(resp.err_code, 5);
+  EXPECT_EQ(attempts, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  for (const double ms : sleeps) EXPECT_GT(ms, 0.0);
+
+  gate->open();
+  leader.join();
+  server.stop();
+}
+
+// Satellite: SHUTDOWN/drain arriving *during* a deduped in-flight sweep
+// must leave every waiter with a typed error or a result — never a hang,
+// never a silent close.
+TEST(ServiceHardening, DrainDuringDedupedSweepAnswersEveryWaiter) {
+  auto gate = std::make_shared<SweepGate>();
+  service::ServiceOptions sopts;
+  sopts.on_sweep_start = [gate](const WisdomKey& key) { gate->hook(key); };
+  TuningService svc(sopts);
+  const std::string path = temp_socket();
+  service::ServerOptions opts;
+  opts.drain_deadline_ms = 150.0;
+  service::SocketServer server(svc, path, opts);
+  server.start();
+
+  const WisdomKey key = small_key(4);
+  std::mutex mu;
+  std::vector<std::optional<service::ParsedResponse>> answers;
+  const auto request = [&] {
+    std::optional<service::ParsedResponse> got;
+    try {
+      got = service::tune_over_socket(path, key);
+    } catch (const std::exception&) {
+      got = std::nullopt;  // torn connection — the failure mode under test
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    answers.push_back(got);
+  };
+
+  gate->arm();
+  std::thread leader(request);
+  gate->wait_entered();
+  std::thread joiner_a(request);
+  std::thread joiner_b(request);
+  // Both must actually be joined onto the held sweep before the drain.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (svc.counters().dedup_joins < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(svc.counters().dedup_joins, 2u);
+
+  // A spectator connected *before* the drain: its post-drain sweep
+  // request must be shed with the typed draining line.
+  service::Client spectator(path);
+  spectator.connect();
+
+  std::thread drainer([&] { server.drain(); });
+  while (!server.draining()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  const auto spectated =
+      service::parse_response(spectator.roundtrip("TUNE " + small_key(5).to_line()));
+  ASSERT_TRUE(spectated.has_value());
+  EXPECT_FALSE(spectated->ok);
+  EXPECT_TRUE(spectated->draining()) << spectated->message;
+  EXPECT_EQ(spectated->err_code, 5);
+
+  gate->open();  // let the held sweep run (or get cancelled by the drain)
+  drainer.join();
+  leader.join();
+  joiner_a.join();
+  joiner_b.join();
+  EXPECT_FALSE(server.running());
+
+  ASSERT_EQ(answers.size(), 3u);
+  const std::string oracle = oracle_payload(key);
+  for (const auto& a : answers) {
+    ASSERT_TRUE(a.has_value())
+        << "every waiter must receive a response line, not a torn connection";
+    if (a->ok) {
+      EXPECT_EQ(a->entry_payload, oracle);
+    } else {
+      EXPECT_EQ(a->err_code, 5) << a->message;
+    }
+  }
+}
+
+TEST(ServicePeek, ServesHitsWithoutSweepingAndLeavesMissesUntouched) {
+  TuningService svc(service::ServiceOptions{});
+  TuneRequest req;
+  req.key = small_key(0);
+  EXPECT_FALSE(svc.peek(req).has_value());
+  EXPECT_EQ(svc.counters().requests, 0u) << "a peek miss leaves no counter trace";
+
+  const TuneOutcome swept = svc.tune(req);
+  const auto peeked = svc.peek(req);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->source, Source::CacheHit);
+  EXPECT_EQ(peeked->entry_payload(), swept.entry_payload());
+  const auto c = svc.counters();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.sweeps, 1u) << "peek must never sweep";
+}
+
+// ------------------------------------------------- fan-out breaker --
+
+TEST(ServiceBreaker, TripsShortCircuitsProbesAndRecovers) {
+  const PathGuard guard(temp_name("breaker"));
+  fs::create_directories(guard.path);
+
+  std::atomic<bool> fleet_down{true};
+  std::atomic<int> fleet_attempts{0};
+  service::ServiceOptions opts;
+  opts.fan_out_workers = 1;
+  opts.fan_out_dir = guard.path;
+  opts.fan_out_worker_exe = INPLANE_SUPERVISOR_BIN;
+  opts.breaker_threshold = 2;
+  opts.breaker_probe_after_ms = 1500.0;  // jittered open window: [750, 2250) ms
+  opts.on_fan_out = [&](const WisdomKey&) {
+    fleet_attempts.fetch_add(1);
+    if (fleet_down.load()) throw InternalError("test: fleet down");
+  };
+  TuningService svc(opts);
+  EXPECT_STREQ(svc.breaker_state(), "closed");
+
+  // Failure 1: under the threshold — breaker stays closed, the sweep
+  // falls back to the bit-identical local path.
+  TuneRequest r0;
+  r0.key = small_key(0);
+  EXPECT_EQ(svc.tune(r0).entry_payload(), oracle_payload(small_key(0)));
+  EXPECT_STREQ(svc.breaker_state(), "closed");
+  EXPECT_EQ(svc.counters().breaker_failures, 1u);
+  EXPECT_EQ(svc.counters().breaker_trips, 0u);
+
+  // Failure 2: consecutive threshold reached — the breaker trips open.
+  TuneRequest r1;
+  r1.key = small_key(1);
+  EXPECT_EQ(svc.tune(r1).entry_payload(), oracle_payload(small_key(1)));
+  EXPECT_STREQ(svc.breaker_state(), "open");
+  EXPECT_EQ(svc.counters().breaker_trips, 1u);
+
+  // While open: sweeps short-circuit straight to the local path without
+  // even touching the fleet.
+  const int attempts_before = fleet_attempts.load();
+  TuneRequest r2;
+  r2.key = small_key(2);
+  EXPECT_EQ(svc.tune(r2).entry_payload(), oracle_payload(small_key(2)));
+  EXPECT_EQ(fleet_attempts.load(), attempts_before)
+      << "an open breaker must not touch the fleet";
+  EXPECT_GE(svc.counters().breaker_short_circuits, 1u);
+
+  // Fleet recovers; past the jittered open window the next sweep runs as
+  // the half-open probe, succeeds and closes the breaker.
+  fleet_down.store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2400));
+  WisdomKey probe_key;
+  probe_key.method = "fullslice";
+  probe_key.device = "gtx580";
+  probe_key.order = 2;
+  probe_key.extent = Extent3{64, 32, 12};
+  probe_key.kind = "exhaustive";
+  TuneRequest r3;
+  r3.key = probe_key;
+  EXPECT_EQ(svc.tune(r3).entry_payload(), oracle_payload(probe_key));
+  EXPECT_STREQ(svc.breaker_state(), "closed");
+  EXPECT_GE(svc.counters().breaker_probes, 1u);
+}
+
+TEST(ServiceBreaker, DisabledBreakerPropagatesFleetFailures) {
+  const PathGuard guard(temp_name("nobreaker"));
+  fs::create_directories(guard.path);
+  service::ServiceOptions opts;
+  opts.fan_out_workers = 1;
+  opts.fan_out_dir = guard.path;
+  opts.fan_out_worker_exe = INPLANE_SUPERVISOR_BIN;
+  opts.fan_out_breaker = false;  // --no-fanout-breaker: pre-breaker behaviour
+  opts.on_fan_out = [](const WisdomKey&) {
+    throw InternalError("test: fleet down");
+  };
+  TuningService svc(opts);
+  EXPECT_STREQ(svc.breaker_state(), "off");
+  TuneRequest req;
+  req.key = small_key(0);
+  EXPECT_THROW({ (void)svc.tune(req); }, InternalError);
+  EXPECT_EQ(svc.counters().breaker_trips, 0u);
 }
 
 }  // namespace

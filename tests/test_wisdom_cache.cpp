@@ -582,6 +582,47 @@ TEST(WisdomCacheCrash, SimulatedTornWriteLeavesRecoverablePrefix) {
   EXPECT_FALSE(reloaded.find(make_key(1)).has_value());
 }
 
+TEST(WisdomCacheCrash, DiskFullDegradesToServeFromMemoryWithTypedStatus) {
+  const PathGuard guard(temp_path("diskfull"));
+  {
+    WisdomCache cache(8);
+    cache.open(guard.path, 8);
+    EXPECT_TRUE(cache.put(make_key(0), make_entry(0)).ok());
+
+    // The next append half-writes its record, then hits the simulated
+    // ENOSPC.  put() must surface a typed Status — never throw, never
+    // crash — keep serving the entry from memory, and truncate the torn
+    // half-record back off the file.
+    cache.simulate_write_error_after(0);
+    const inplane::Status st = cache.put(make_key(1), make_entry(1));
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code, inplane::ErrorCode::IoError);
+    ASSERT_TRUE(cache.find(make_key(1)).has_value());
+    expect_same_entry(*cache.find(make_key(1)), make_entry(1));
+    EXPECT_EQ(cache.stats().write_errors, 1u);
+    EXPECT_TRUE(cache.stats().degraded_to_memory);
+
+    // Degraded: every further put serves memory and reports the typed
+    // failure; nothing else reaches the disk.
+    const inplane::Status again = cache.put(make_key(2), make_entry(2));
+    EXPECT_FALSE(again.ok());
+    EXPECT_EQ(again.code, inplane::ErrorCode::IoError);
+    ASSERT_TRUE(cache.find(make_key(2)).has_value());
+    EXPECT_EQ(cache.stats().write_errors, 2u);
+  }
+  // The surviving file holds exactly the pre-failure record — no torn
+  // tail (torn_bytes == 0 pins that the truncate-back worked).
+  WisdomCache reloaded(8);
+  reloaded.open(guard.path, 8);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.stats().torn_bytes, 0u);
+  EXPECT_TRUE(reloaded.find(make_key(0)).has_value());
+  EXPECT_FALSE(reloaded.find(make_key(1)).has_value());
+  // open() re-arms persistence: the degraded flag is per-attachment.
+  EXPECT_FALSE(reloaded.stats().degraded_to_memory);
+  EXPECT_TRUE(reloaded.put(make_key(3), make_entry(3)).ok());
+}
+
 TEST(WisdomCacheCrash, CapacityAppliesOnReloadToo) {
   const PathGuard guard(temp_path("shrinkcap"));
   {

@@ -1,0 +1,190 @@
+#!/bin/bash
+# Overload / drain / fan-out-failure drill for the tuner daemon.
+#
+#   cli_service_overload.sh <inplane_tuned-binary> <sweep_supervisor-binary>
+#
+# 0. Admission control, deterministically: a --max-inflight 1 daemon
+#    whose sweeps are stretched by the --sweep-delay-ms drill hook.  A
+#    background "holder" tune occupies the only slot (confirmed via the
+#    STATS requests counter, not a sleep); a probe fired while it holds
+#    must be shed with a typed `ERR code=overloaded retry_after_ms=...`
+#    line, while a cache hit of the warm key is still served instantly.
+# 1. A daemon squeezed to --max-inflight 1, whose fan-out fleet is
+#    /bin/false, must trip the circuit breaker on the first fleet
+#    failure, still answer from the bit-identical local fallback, and
+#    survive the built-in chaos fleet (64 adversarial clients: garbage,
+#    oversized frames, slow writers, mid-sweep disconnects) with zero
+#    invariant violations.
+# 2. SIGTERM must drain: exit 0, log the drain, and leave a wisdom file
+#    a fresh daemon answers from bit-identically with no torn bytes.
+# 3. A daemon fanning out to the *real* supervisor with a worker-kill
+#    fault plan must still sweep cleanly (worker respawn covers the
+#    kill) and shut down with exit 0.
+set -eu
+
+tuned=$1
+supervisor=$2
+[ -x "$tuned" ] || { echo "cli_service_overload: $tuned not executable" >&2; exit 2; }
+[ -x "$supervisor" ] || { echo "cli_service_overload: $supervisor not executable" >&2; exit 2; }
+
+dir=$(mktemp -d /tmp/tuned_overload.XXXXXX)
+trap 'kill $daemon_pid 2>/dev/null || true; rm -rf "$dir"' EXIT
+sock=$dir/s
+wisdom=$dir/wisdom.bin
+key_a="method=fullslice device=gtx580 order=4 prec=sp nx=64 ny=32 nz=8 kind=model beta=0.05"
+
+wait_for_daemon() {
+  for _ in $(seq 1 100); do
+    if "$tuned" ping --socket "$sock" >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "cli_service_overload: daemon never became reachable" >&2
+  return 1
+}
+
+# --- Phase 0: deterministic shed on a slot held by a slow sweep ------------
+"$tuned" serve --socket "$sock" --max-inflight 1 --sweep-delay-ms 8000 \
+  >"$dir/daemon0.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+# Warm key A (one slow sweep; everything after hits it instantly).
+"$tuned" tune --socket "$sock" --key "$key_a" >"$dir/warm0.out"
+grep -q "source=swept" "$dir/warm0.out" || {
+  echo "cli_service_overload: warm-up tune of key A should sweep" >&2
+  cat "$dir/warm0.out" >&2; exit 1; }
+
+# The holder occupies the only sweep slot for 8 s.  Wait until STATS
+# shows its request *inside* the service (requests=2) rather than
+# sleeping — that makes the following probes deterministic, not racy.
+"$tuned" tune --socket "$sock" --retries 0 --no-cache \
+  --key "method=classical device=gtx580 order=2 prec=sp nx=64 ny=32 nz=8 kind=model beta=0.05" \
+  >"$dir/holder.out" 2>&1 &
+holder_pid=$!
+holder_seen=0
+for _ in $(seq 1 100); do
+  "$tuned" stats --socket "$sock" >"$dir/stats0.out" 2>&1 || true
+  if grep -q "requests=2 " "$dir/stats0.out"; then holder_seen=1; break; fi
+  sleep 0.05
+done
+[ "$holder_seen" -eq 1 ] || {
+  echo "cli_service_overload: holder tune never entered the service" >&2
+  cat "$dir/stats0.out" >&2; exit 1; }
+
+# A sweep probe must now be shed with the typed overloaded line...
+"$tuned" tune --socket "$sock" --retries 0 --no-cache \
+  --key "method=classical device=gtx580 order=4 prec=sp nx=64 ny=32 nz=12 kind=model beta=0.05" \
+  >"$dir/probe.out" 2>&1 && {
+  echo "cli_service_overload: probe should have been shed (exit 5)" >&2
+  cat "$dir/probe.out" >&2; exit 1; }
+grep -q "code=overloaded" "$dir/probe.out" || {
+  echo "cli_service_overload: shed probe lacks the typed overloaded code" >&2
+  cat "$dir/probe.out" >&2; exit 1; }
+grep -q "retry_after_ms=" "$dir/probe.out" || {
+  echo "cli_service_overload: overloaded shed carries no retry_after_ms hint" >&2
+  cat "$dir/probe.out" >&2; exit 1; }
+
+# ...while the warm key and PING dodge admission control entirely.
+"$tuned" tune --socket "$sock" --retries 0 --key "$key_a" >"$dir/hit_under_load.out"
+grep -q "source=hit" "$dir/hit_under_load.out" || {
+  echo "cli_service_overload: cache hit was not served during overload" >&2
+  cat "$dir/hit_under_load.out" >&2; exit 1; }
+"$tuned" ping --socket "$sock" >/dev/null || {
+  echo "cli_service_overload: PING was not served during overload" >&2; exit 1; }
+
+"$tuned" stats --socket "$sock" >"$dir/stats0.out"
+grep -Eq "shed_requests=[1-9]" "$dir/stats0.out" || {
+  echo "cli_service_overload: STATS shows no shed requests" >&2
+  cat "$dir/stats0.out" >&2; exit 1; }
+
+# This instance holds no wisdom file; a hard kill is fine.
+{ kill -9 $daemon_pid 2>/dev/null || true; wait $daemon_pid 2>/dev/null; } || true
+wait $holder_pid 2>/dev/null || true
+rm -f "$sock"
+
+# --- Phase 1: single-slot daemon with a dead fleet -------------------------
+"$tuned" serve --socket "$sock" --wisdom "$wisdom" \
+  --max-inflight 1 \
+  --fan-out 1 --fan-out-dir "$dir/fan" --worker-exe /bin/false \
+  --breaker-threshold 1 --breaker-probe-ms 600000 \
+  >"$dir/daemon1.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+# Fleet of /bin/false fails instantly; breaker threshold 1 trips it, and
+# the answer must come from the local fallback anyway.
+"$tuned" tune --socket "$sock" --key "$key_a" >"$dir/a1.out"
+grep -q "source=swept" "$dir/a1.out" || {
+  echo "cli_service_overload: first tune of key A should sweep locally" >&2
+  cat "$dir/a1.out" >&2; exit 1; }
+
+# Adversarial fleet: garbage, oversized frames, slow writers, mid-sweep
+# disconnects, plus honest clients checking answers bit-for-bit.
+"$tuned" chaos --socket "$sock" --clients 64 --ops 2 --seed 3 >"$dir/chaos.out" || {
+  echo "cli_service_overload: chaos drill reported invariant violations" >&2
+  cat "$dir/chaos.out" >&2; exit 1; }
+
+"$tuned" stats --socket "$sock" >"$dir/stats1.out"
+grep -q "breaker_state=open" "$dir/stats1.out" || {
+  echo "cli_service_overload: breaker should be open after fleet failures" >&2
+  cat "$dir/stats1.out" >&2; exit 1; }
+grep -Eq "breaker_trips=[1-9]" "$dir/stats1.out" || {
+  echo "cli_service_overload: breaker never recorded a trip" >&2
+  cat "$dir/stats1.out" >&2; exit 1; }
+
+# --- Phase 2: SIGTERM drains, wisdom survives ------------------------------
+kill -TERM $daemon_pid
+rc=0
+wait $daemon_pid || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "cli_service_overload: SIGTERM drain should exit 0, got $rc" >&2
+  cat "$dir/daemon1.log" >&2; exit 1; }
+grep -q "draining" "$dir/daemon1.log" || {
+  echo "cli_service_overload: daemon log never mentioned draining" >&2
+  cat "$dir/daemon1.log" >&2; exit 1; }
+[ -s "$wisdom" ] || { echo "cli_service_overload: wisdom file missing" >&2; exit 1; }
+
+"$tuned" serve --socket "$sock" --wisdom "$wisdom" >"$dir/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+grep -q "torn byte" "$dir/daemon2.log" && {
+  echo "cli_service_overload: drained wisdom file should have no torn tail" >&2
+  cat "$dir/daemon2.log" >&2; exit 1; }
+
+"$tuned" tune --socket "$sock" --key "$key_a" >"$dir/a2.out"
+grep -q "source=hit" "$dir/a2.out" || {
+  echo "cli_service_overload: key A should be a hit after drain+restart" >&2
+  cat "$dir/a2.out" >&2; exit 1; }
+entry1=$(grep -o "entry=[0-9a-f]*" "$dir/a1.out")
+entry2=$(grep -o "entry=[0-9a-f]*" "$dir/a2.out")
+[ -n "$entry1" ] && [ "$entry1" = "$entry2" ] || {
+  echo "cli_service_overload: post-drain entry differs from the original" >&2; exit 1; }
+
+"$tuned" shutdown --socket "$sock" >/dev/null
+rc=0
+wait $daemon_pid || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "cli_service_overload: clean SHUTDOWN should exit 0, got $rc" >&2; exit 1; }
+
+# --- Phase 3: real fleet with a worker-kill fault plan ---------------------
+"$tuned" serve --socket "$sock" --wisdom "$wisdom" \
+  --fan-out 2 --fan-out-dir "$dir/fan3" --worker-exe "$supervisor" \
+  --fan-out-fault-plan "kill@1:w0" \
+  >"$dir/daemon3.log" 2>&1 &
+daemon_pid=$!
+wait_for_daemon
+
+key_c="method=fullslice device=gtx580 order=2 prec=sp nx=96 ny=48 nz=16 kind=model beta=0.05"
+"$tuned" tune --socket "$sock" --key "$key_c" >"$dir/c1.out"
+grep -q "source=swept" "$dir/c1.out" || {
+  echo "cli_service_overload: fan-out sweep with worker kill should still succeed" >&2
+  cat "$dir/c1.out" >&2; exit 1; }
+
+"$tuned" shutdown --socket "$sock" >/dev/null
+rc=0
+wait $daemon_pid || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "cli_service_overload: fan-out daemon SHUTDOWN should exit 0, got $rc" >&2; exit 1; }
+
+echo "cli_service_overload: typed sheds, open breaker, clean drain, worker-kill survived"

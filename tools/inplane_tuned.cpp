@@ -4,36 +4,77 @@
 //   inplane_tuned serve --socket /tmp/tuned.sock [--wisdom wisdom.bin]
 //                 [--capacity N] [--threads N]
 //                 [--fan-out N --fan-out-dir DIR --worker-exe sweep_supervisor]
-//                 [--torn-kill-after N]
+//                 [--fan-out-fault-plan SPEC] [--no-fanout-breaker]
+//                 [--breaker-threshold N] [--breaker-probe-ms MS]
+//                 [--max-inflight N] [--max-connections N]
+//                 [--read-deadline-ms MS] [--write-deadline-ms MS]
+//                 [--max-frame-bytes N] [--drain-ms MS]
+//                 [--torn-kill-after N] [--disk-full-after N]
 //
 // The daemon accepts concurrent TUNE / RUN / PING / STATS / SHUTDOWN
 // requests (one line each — see src/service/protocol.hpp) on a local
 // AF_UNIX socket.  Cache hits answer without sweeping; concurrent
 // identical requests dedup onto one sweep; a SHUTDOWN request drains and
-// exits 0.  --torn-kill-after N arms the wisdom cache's crash hook: the
-// N-th wisdom append after startup is torn mid-record and the daemon
-// hard-exits 70 (tools/cli_service_crash.sh uses this to prove the next
-// daemon recovers the valid prefix).
+// exits 0.  SIGTERM/SIGINT drain gracefully: accepting stops, new sweep
+// requests are shed with `ERR code=draining`, in-flight sweeps get
+// --drain-ms to finish (then a typed cancel), the wisdom cache is
+// flushed, and the daemon exits 0 — a rolling restart loses no wisdom.
+// Past --max-inflight concurrent sweeps the daemon sheds with
+// `ERR code=overloaded retry_after_ms=<jittered>`; cache hits and
+// PING/STATS always answer.  --torn-kill-after N arms the wisdom cache's
+// crash hook: the N-th wisdom append after startup is torn mid-record
+// and the daemon hard-exits 70 (tools/cli_service_crash.sh uses this to
+// prove the next daemon recovers the valid prefix).  --disk-full-after N
+// arms the ENOSPC injection hook: the N-th append fails, the cache
+// degrades to serve-from-memory, the daemon keeps answering.
 //
 // Client:
 //   inplane_tuned tune --socket S --key "method=... device=... order=..."
 //                 [--deadline-ms MS] [--mem-budget BYTES] [--no-cache]
-//   inplane_tuned ping|stats|shutdown --socket S
+//                 [--retries N] [--retry-base-ms MS]
+//   inplane_tuned ping|stats|shutdown --socket S [--retries N]
 //
-// Client exit codes follow the repo taxonomy: 0 on an OK response, the
-// daemon's ERR code (2 invalid config, 3 execution fault, 4 I/O,
-// 5 deadline/budget, 1 other) otherwise.
+// tune/ping/stats retry with jittered exponential backoff on connection
+// refusal and on `overloaded` sheds (honouring the daemon's
+// retry_after_ms hint) up to --retries times.  Client exit codes follow
+// the repo taxonomy: 0 on an OK response, the daemon's ERR code
+// (2 invalid config, 3 execution fault, 4 I/O, 5 deadline/budget/
+// overloaded/draining, 1 other) otherwise.
+//
+// Chaos drill (tools/cli_service_overload.sh):
+//   inplane_tuned chaos --socket S [--clients N] [--ops N] [--seed X]
+//                 [--drill-timeout-ms MS]
+// spawns N concurrent adversarial clients mixing valid tunes (answers
+// checked bit-identical against an in-process direct_tune oracle),
+// garbage bytes, oversized frames, slow writers and mid-sweep
+// disconnects; exits 0 iff the daemon stayed live and no protocol
+// invariant was violated.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/status.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <vector>
+
+#include "autotune/checkpoint.hpp"
+#endif
 
 namespace {
 
@@ -43,10 +84,19 @@ int usage() {
   std::fputs(
       "usage: inplane_tuned serve --socket PATH [--wisdom FILE] [--capacity N]\n"
       "                     [--threads N] [--fan-out N --fan-out-dir DIR\n"
-      "                     --worker-exe BIN] [--torn-kill-after N]\n"
+      "                     --worker-exe BIN] [--fan-out-fault-plan SPEC]\n"
+      "                     [--no-fanout-breaker] [--breaker-threshold N]\n"
+      "                     [--breaker-probe-ms MS] [--max-inflight N]\n"
+      "                     [--max-connections N] [--read-deadline-ms MS]\n"
+      "                     [--write-deadline-ms MS] [--max-frame-bytes N]\n"
+      "                     [--drain-ms MS] [--torn-kill-after N]\n"
+      "                     [--disk-full-after N] [--sweep-delay-ms MS]\n"
       "       inplane_tuned tune --socket PATH --key \"method=... device=...\"\n"
       "                     [--deadline-ms MS] [--mem-budget BYTES] [--no-cache]\n"
-      "       inplane_tuned ping|stats|shutdown --socket PATH\n",
+      "                     [--retries N] [--retry-base-ms MS]\n"
+      "       inplane_tuned ping|stats|shutdown --socket PATH [--retries N]\n"
+      "       inplane_tuned chaos --socket PATH [--clients N] [--ops N]\n"
+      "                     [--seed X] [--drill-timeout-ms MS]\n",
       stderr);
   return 2;
 }
@@ -58,14 +108,35 @@ struct Args {
   std::string key_line;
   std::string fan_out_dir;
   std::string worker_exe;
+  std::string fan_out_fault_plan;
   std::size_t capacity = 256;
   int threads = 0;
   int fan_out = 0;
+  bool no_fanout_breaker = false;
+  int breaker_threshold = 3;
+  double breaker_probe_ms = 1000.0;
+  int max_inflight = 16;
+  std::size_t max_connections = 256;
+  double read_deadline_ms = 30000.0;
+  double write_deadline_ms = 30000.0;
+  std::size_t max_frame_bytes = 65536;
+  double drain_ms = 5000.0;
   long torn_kill_after = -1;
+  long disk_full_after = -1;
+  double sweep_delay_ms = 0.0;
   double deadline_ms = 0.0;
   std::uint64_t mem_budget = 0;
   bool no_cache = false;
+  int retries = 2;
+  double retry_base_ms = 50.0;
+  int clients = 64;
+  int ops = 3;
+  std::uint64_t seed = 1;
+  double drill_timeout_ms = 120000.0;
 };
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
 
 int serve(const Args& args) {
   service::ServiceOptions opts;
@@ -75,35 +146,467 @@ int serve(const Args& args) {
   opts.fan_out_workers = args.fan_out;
   opts.fan_out_dir = args.fan_out_dir;
   opts.fan_out_worker_exe = args.worker_exe;
+  opts.fan_out_fault_spec = args.fan_out_fault_plan;
+  opts.fan_out_breaker = !args.no_fanout_breaker;
+  opts.breaker_threshold = args.breaker_threshold;
+  opts.breaker_probe_after_ms = args.breaker_probe_ms;
+  if (args.sweep_delay_ms > 0.0) {
+    // Drill hook: stretch every sweep so a shell script can *hold* an
+    // admission slot deterministically (cli_service_overload.sh).  Cache
+    // hits never sweep, so they stay instant — exactly the asymmetry the
+    // overload drill asserts on.
+    const auto delay = std::chrono::duration<double, std::milli>(args.sweep_delay_ms);
+    opts.on_sweep_start = [delay](const service::WisdomKey&) {
+      std::this_thread::sleep_for(delay);
+    };
+  }
   service::TuningService svc(opts);
   if (args.torn_kill_after >= 0) {
     svc.cache().simulate_torn_write_after(
         static_cast<std::size_t>(args.torn_kill_after), 70);
   }
-  service::SocketServer server(svc, args.socket);
+  if (args.disk_full_after >= 0) {
+    svc.cache().simulate_write_error_after(
+        static_cast<std::size_t>(args.disk_full_after));
+  }
+  service::ServerOptions sopts;
+  sopts.max_inflight = args.max_inflight;
+  sopts.max_connections = args.max_connections;
+  sopts.read_deadline_ms = args.read_deadline_ms;
+  sopts.write_deadline_ms = args.write_deadline_ms;
+  sopts.max_frame_bytes = args.max_frame_bytes;
+  sopts.drain_deadline_ms = args.drain_ms;
+  service::SocketServer server(svc, args.socket, sopts);
   server.start();
-  std::printf("inplane_tuned: listening on %s (wisdom: %s, capacity %zu)\n",
+  std::printf("inplane_tuned: listening on %s (wisdom: %s, capacity %zu, "
+              "max-inflight %d)\n",
               args.socket.c_str(), args.wisdom.empty() ? "in-memory" : args.wisdom.c_str(),
-              args.capacity);
+              args.capacity, args.max_inflight);
   std::fflush(stdout);
-  server.wait();
-  std::printf("inplane_tuned: shutdown requested, draining\n");
-  return 0;  // clean SHUTDOWN => exit 0 (see README exit-code table)
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (server.running() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (g_signal != 0 && server.running()) {
+    std::printf("inplane_tuned: signal %d: draining (deadline %.0f ms)\n",
+                static_cast<int>(g_signal), args.drain_ms);
+    std::fflush(stdout);
+    server.drain();
+  }
+  // Whatever wisdom the drain preserved reaches the disk before exit 0 —
+  // a rolling restart's successor reloads it torn-tail-free.
+  svc.cache().flush();
+  std::printf("inplane_tuned: %s\n",
+              g_signal != 0 ? "drained, exiting" : "shutdown requested, draining");
+  return 0;  // clean SHUTDOWN/drain => exit 0 (see README exit-code table)
 }
 
-int client_request(const Args& args, const std::string& line) {
-  service::Client client(args.socket);
-  client.connect();
-  const std::string response = client.roundtrip(line);
-  std::printf("%s\n", response.c_str());
-  std::string error;
-  const auto parsed = service::parse_response(response, &error);
-  if (!parsed) {
-    std::fprintf(stderr, "inplane_tuned: unparseable response: %s\n", error.c_str());
-    return 1;
+int client_request_echo(const Args& args, const std::string& line) {
+  service::RetryOptions retry;
+  retry.budget = args.retries;
+  retry.base_backoff_ms = args.retry_base_ms;
+  service::ParsedResponse parsed;
+  {
+    // request_with_retry parses but does not keep the raw response line;
+    // do the roundtrip here so the raw line can be echoed, with the same
+    // retry policy.
+    std::uint64_t rng = retry.jitter_seed;
+    const auto backoff_ms = [&](int attempt) {
+      double ms = retry.base_backoff_ms;
+      for (int i = 0; i < attempt && ms < retry.max_backoff_ms; ++i) ms *= 2.0;
+      if (ms > retry.max_backoff_ms) ms = retry.max_backoff_ms;
+      std::uint64_t z = (rng += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      ms *= 0.5 + static_cast<double>(z % 1024) / 1024.0;
+      return ms < 1.0 ? 1.0 : ms;
+    };
+    const int budget = retry.budget < 0 ? 0 : retry.budget;
+    for (int attempt = 0;; ++attempt) {
+      bool sent = false;
+      try {
+        service::Client client(args.socket);
+        client.connect();
+        sent = true;
+        const std::string response = client.roundtrip(line);
+        std::string error;
+        const auto p = service::parse_response(response, &error);
+        if (!p) {
+          std::fprintf(stderr, "inplane_tuned: unparseable response: %s\n",
+                       error.c_str());
+          return 1;
+        }
+        if (!p->overloaded() || attempt >= budget) {
+          std::printf("%s\n", response.c_str());
+          parsed = *p;
+          break;
+        }
+        const double wait =
+            p->retry_after_ms > 0.0 ? p->retry_after_ms : backoff_ms(attempt);
+        std::fprintf(stderr,
+                     "inplane_tuned: overloaded, retrying in %.0f ms "
+                     "(attempt %d/%d)\n",
+                     wait, attempt + 1, budget + 1);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wait));
+      } catch (const IoError&) {
+        if (sent || attempt >= budget) throw;
+        const double wait = backoff_ms(attempt);
+        std::fprintf(stderr,
+                     "inplane_tuned: cannot connect, retrying in %.0f ms "
+                     "(attempt %d/%d)\n",
+                     wait, attempt + 1, budget + 1);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wait));
+      }
+    }
   }
-  return parsed->ok ? 0 : parsed->err_code;
+  return parsed.ok ? 0 : parsed.err_code;
 }
+
+#ifndef _WIN32
+
+// ---------------------------------------------------------------------------
+// chaos: in-process adversarial client swarm (the overload drill's engine).
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool raw_send(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t r = ::send(fd, data + sent, n - sent, 0);
+#endif
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Reads until the server closes the connection (or sends at least
+/// @p min_bytes) or @p timeout_ms passes.  Returns true when the server
+/// reacted (bytes or close) — false means it sat silent the whole time.
+bool raw_await_reaction(int fd, int timeout_ms, std::size_t min_bytes = 1) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t got = 0;
+  char buf[4096];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) return false;
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - now).count());
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, remaining > 50 ? 50 : remaining);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return true;  // error counts as a reaction (connection is dead)
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return true;  // close is a reaction
+    got += static_cast<std::size_t>(n);
+    if (got >= min_bytes) return true;
+  }
+}
+
+struct ChaosTally {
+  std::atomic<int> violations{0};
+  std::atomic<int> served{0};
+  std::atomic<int> hits_or_sweeps_checked{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> cancelled{0};
+  std::atomic<int> conn_errors{0};
+  std::atomic<int> garbage_sent{0};
+
+  void violation(const char* what, const std::string& detail) {
+    violations.fetch_add(1);
+    std::fprintf(stderr, "chaos: VIOLATION (%s): %s\n", what, detail.c_str());
+  }
+};
+
+int chaos(const Args& args) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Small-sweep key pool with in-process oracles: every served answer
+  // must be bit-identical to direct_tune of the same key.
+  std::vector<service::WisdomKey> pool;
+  for (int i = 0; i < 3; ++i) {
+    service::WisdomKey key;
+    key.method = i % 2 == 0 ? "fullslice" : "classical";
+    key.device = "gtx580";
+    key.order = i % 2 == 0 ? 2 : 4;
+    key.double_precision = false;
+    key.extent = Extent3{64, 32, 8 + 4 * i};
+    key.kind = "model";
+    key.beta = 0.05;
+    pool.push_back(key);
+  }
+  std::vector<std::string> oracle;
+  oracle.reserve(pool.size());
+  for (const auto& key : pool) {
+    oracle.push_back(autotune::encode_tune_entry(service::direct_tune(key)));
+  }
+
+  ChaosTally tally;
+  std::atomic<bool> done{false};
+  // Hang watchdog: a wedged daemon (or a client stuck on a dead socket)
+  // must fail the drill, not hang CI.
+  std::thread watchdog([&] {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               args.drill_timeout_ms));
+    while (!done.load()) {
+      if (std::chrono::steady_clock::now() >= until) {
+        std::fprintf(stderr,
+                     "chaos: TIMEOUT after %.0f ms — daemon or a client hung\n",
+                     args.drill_timeout_ms);
+        std::_Exit(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  const auto worker = [&](int client_idx) {
+    std::uint64_t rng =
+        (args.seed * 0x9e3779b97f4a7c15ull + 0xc0ffee) ^
+        (static_cast<std::uint64_t>(client_idx) * std::uint64_t{0x100000001b3ull});
+    for (int op = 0; op < args.ops; ++op) {
+      const std::uint64_t r = splitmix64(rng);
+      const int scenario = static_cast<int>(r % 10);
+      const std::size_t key_idx = static_cast<std::size_t>((r >> 8) % pool.size());
+      switch (scenario) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: {
+          // Valid tune (mix of cache hits, misses, no_cache re-sweeps)
+          // with the shed-aware retry client.
+          const bool no_cache = (r >> 16) % 8 == 0;
+          const std::string line =
+              service::format_tune_request(pool[key_idx], 0.0, 0, no_cache);
+          service::RetryOptions retry;
+          retry.budget = 2;
+          retry.base_backoff_ms = 20.0;
+          retry.jitter_seed = r | 1;
+          try {
+            const auto resp = service::request_with_retry(args.socket, line, retry);
+            if (resp.ok) {
+              tally.served.fetch_add(1);
+              if (resp.degraded) break;  // budgeted/incomplete: not oracle-comparable
+              if (resp.entry_payload != oracle[key_idx]) {
+                tally.violation("bit-identity",
+                                "served entry differs from direct_tune for key " +
+                                    pool[key_idx].to_line() + " (source=" +
+                                    resp.source + ")");
+              } else {
+                tally.hits_or_sweeps_checked.fetch_add(1);
+              }
+            } else if (resp.overloaded()) {
+              tally.shed.fetch_add(1);
+              if (!(resp.retry_after_ms > 0.0)) {
+                tally.violation("shed-without-retry-hint",
+                                "overloaded response carried no retry_after_ms");
+              }
+            } else if (resp.draining() || resp.err_code == 5) {
+              tally.cancelled.fetch_add(1);  // drain/cancel is a typed, legal answer
+            } else {
+              tally.violation("unexpected-error",
+                              "valid TUNE answered ERR code=" +
+                                  std::to_string(resp.err_code) + " " + resp.message);
+            }
+          } catch (const std::exception&) {
+            // Connection-level failure: legal while the daemon sheds
+            // connections or drains; the final liveness gate catches a
+            // dead daemon.
+            tally.conn_errors.fetch_add(1);
+          }
+          break;
+        }
+        case 4: {
+          // PING must always answer, even under full sweep load.
+          try {
+            service::Client client(args.socket);
+            client.connect();
+            if (client.roundtrip("PING") != "OK pong") {
+              tally.violation("ping", "PING did not answer OK pong");
+            }
+          } catch (const std::exception&) {
+            tally.conn_errors.fetch_add(1);
+          }
+          break;
+        }
+        case 5: {
+          // STATS must stay parseable.
+          try {
+            service::Client client(args.socket);
+            client.connect();
+            const std::string response = client.roundtrip("STATS");
+            std::string error;
+            if (!service::parse_response(response, &error)) {
+              tally.violation("stats", "unparseable STATS response: " + error);
+            }
+          } catch (const std::exception&) {
+            tally.conn_errors.fetch_add(1);
+          }
+          break;
+        }
+        case 6: {
+          // Garbage bytes (sometimes newline-terminated, sometimes
+          // binary): the server must answer a typed error or close —
+          // and must never crash.  Bounded wait; no response required
+          // for an unterminated frame (the read deadline reaps it).
+          const int fd = raw_connect(args.socket);
+          if (fd < 0) {
+            tally.conn_errors.fetch_add(1);
+            break;
+          }
+          std::uint64_t grng = r;
+          std::string junk;
+          const std::size_t len = 16 + splitmix64(grng) % 240;
+          for (std::size_t i = 0; i < len; ++i) {
+            junk.push_back(static_cast<char>(splitmix64(grng) & 0xff));
+          }
+          if (splitmix64(grng) % 2 == 0) junk.push_back('\n');
+          (void)raw_send(fd, junk.data(), junk.size());
+          tally.garbage_sent.fetch_add(1);
+          (void)raw_await_reaction(fd, 3000);
+          ::close(fd);
+          break;
+        }
+        case 7: {
+          // Oversized frame: stream well past any sane max-frame-bytes
+          // without a newline; the server must reject+close in bounded
+          // time, never buffer it forever.
+          const int fd = raw_connect(args.socket);
+          if (fd < 0) {
+            tally.conn_errors.fetch_add(1);
+            break;
+          }
+          const std::string block(8192, 'A');
+          bool alive = true;
+          for (int i = 0; i < 32 && alive; ++i) {
+            alive = raw_send(fd, block.data(), block.size());
+          }
+          if (alive && !raw_await_reaction(fd, 10000)) {
+            tally.violation("oversized-frame",
+                            "server neither answered nor closed after 256 KiB "
+                            "unterminated line");
+          }
+          ::close(fd);
+          break;
+        }
+        case 8: {
+          // Slow writer (slow loris): dribble a request one byte at a
+          // time; the server must either answer (fast enough write) or
+          // cut us off at its read deadline — never hang.
+          const int fd = raw_connect(args.socket);
+          if (fd < 0) {
+            tally.conn_errors.fetch_add(1);
+            break;
+          }
+          const std::string line = "PING\n";
+          bool alive = true;
+          for (const char c : line) {
+            if (!raw_send(fd, &c, 1)) {
+              alive = false;  // server already cut us off: legal
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<int>(20 + splitmix64(rng) % 60)));
+          }
+          if (alive) (void)raw_await_reaction(fd, 5000);
+          ::close(fd);
+          break;
+        }
+        case 9: {
+          // Mid-sweep disconnect: fire a fresh-sweep request and vanish.
+          // The daemon must absorb the orphaned sweep without wedging.
+          const int fd = raw_connect(args.socket);
+          if (fd < 0) {
+            tally.conn_errors.fetch_add(1);
+            break;
+          }
+          const std::string line =
+              service::format_tune_request(pool[key_idx], 0.0, 0, true) + "\n";
+          (void)raw_send(fd, line.data(), line.size());
+          ::close(fd);
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(args.clients));
+  for (int i = 0; i < args.clients; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+
+  // Final liveness gate: after the whole storm the daemon must still
+  // answer a fresh PING and serve a bit-identical cached answer.
+  try {
+    service::Client client(args.socket);
+    client.connect();
+    if (client.roundtrip("PING") != "OK pong") {
+      tally.violation("liveness", "daemon does not answer PING after the storm");
+    }
+    const auto resp = service::tune_over_socket(args.socket, pool[0]);
+    if (!resp.ok || resp.entry_payload != oracle[0]) {
+      tally.violation("liveness",
+                      "daemon does not serve a bit-identical answer after the storm");
+    }
+  } catch (const std::exception& e) {
+    tally.violation("liveness", std::string("daemon unreachable: ") + e.what());
+  }
+
+  done.store(true);
+  watchdog.join();
+  std::printf(
+      "chaos: clients=%d ops=%d served=%d checked=%d shed=%d cancelled=%d "
+      "conn_errors=%d garbage=%d violations=%d\n",
+      args.clients, args.ops, tally.served.load(),
+      tally.hits_or_sweeps_checked.load(), tally.shed.load(),
+      tally.cancelled.load(), tally.conn_errors.load(), tally.garbage_sent.load(),
+      tally.violations.load());
+  return tally.violations.load() == 0 ? 0 : 1;
+}
+
+#else
+
+int chaos(const Args&) {
+  std::fputs("inplane_tuned: chaos drill is POSIX-only\n", stderr);
+  return 1;
+}
+
+#endif
 
 }  // namespace
 
@@ -134,8 +637,32 @@ int main(int argc, char** argv) {
       args.fan_out_dir = value();
     } else if (key == "--worker-exe") {
       args.worker_exe = value();
+    } else if (key == "--fan-out-fault-plan") {
+      args.fan_out_fault_plan = value();
+    } else if (key == "--no-fanout-breaker") {
+      args.no_fanout_breaker = true;
+    } else if (key == "--breaker-threshold") {
+      args.breaker_threshold = std::atoi(value());
+    } else if (key == "--breaker-probe-ms") {
+      args.breaker_probe_ms = std::atof(value());
+    } else if (key == "--max-inflight") {
+      args.max_inflight = std::atoi(value());
+    } else if (key == "--max-connections") {
+      args.max_connections = static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    } else if (key == "--read-deadline-ms") {
+      args.read_deadline_ms = std::atof(value());
+    } else if (key == "--write-deadline-ms") {
+      args.write_deadline_ms = std::atof(value());
+    } else if (key == "--max-frame-bytes") {
+      args.max_frame_bytes = static_cast<std::size_t>(std::strtoull(value(), nullptr, 0));
+    } else if (key == "--drain-ms") {
+      args.drain_ms = std::atof(value());
     } else if (key == "--torn-kill-after") {
       args.torn_kill_after = std::atol(value());
+    } else if (key == "--disk-full-after") {
+      args.disk_full_after = std::atol(value());
+    } else if (key == "--sweep-delay-ms") {
+      args.sweep_delay_ms = std::atof(value());
     } else if (key == "--key") {
       args.key_line = value();
     } else if (key == "--deadline-ms") {
@@ -144,6 +671,18 @@ int main(int argc, char** argv) {
       args.mem_budget = std::strtoull(value(), nullptr, 0);
     } else if (key == "--no-cache") {
       args.no_cache = true;
+    } else if (key == "--retries") {
+      args.retries = std::atoi(value());
+    } else if (key == "--retry-base-ms") {
+      args.retry_base_ms = std::atof(value());
+    } else if (key == "--clients") {
+      args.clients = std::atoi(value());
+    } else if (key == "--ops") {
+      args.ops = std::atoi(value());
+    } else if (key == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 0);
+    } else if (key == "--drill-timeout-ms") {
+      args.drill_timeout_ms = std::atof(value());
     } else {
       return usage();
     }
@@ -152,9 +691,25 @@ int main(int argc, char** argv) {
 
   try {
     if (args.verb == "serve") return serve(args);
-    if (args.verb == "ping") return client_request(args, "PING");
-    if (args.verb == "stats") return client_request(args, "STATS");
-    if (args.verb == "shutdown") return client_request(args, "SHUTDOWN");
+    if (args.verb == "chaos") return chaos(args);
+    if (args.verb == "ping") return client_request_echo(args, "PING");
+    if (args.verb == "stats") return client_request_echo(args, "STATS");
+    if (args.verb == "shutdown") {
+      // SHUTDOWN is deliberately one-shot: retrying it against a daemon
+      // that is already exiting only produces noise.
+      service::Client client(args.socket);
+      client.connect();
+      const std::string response = client.roundtrip("SHUTDOWN");
+      std::printf("%s\n", response.c_str());
+      std::string error;
+      const auto parsed = service::parse_response(response, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "inplane_tuned: unparseable response: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      return parsed->ok ? 0 : parsed->err_code;
+    }
     if (args.verb == "tune") {
       if (args.key_line.empty()) return usage();
       std::string line = "TUNE " + args.key_line;
@@ -165,7 +720,7 @@ int main(int argc, char** argv) {
       }
       if (args.mem_budget > 0) line += " mem_budget=" + std::to_string(args.mem_budget);
       if (args.no_cache) line += " no_cache=1";
-      return client_request(args, line);
+      return client_request_echo(args, line);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -1,10 +1,12 @@
 // Seeded shrinking configuration fuzzer for the stencil kernels and the
-// tuner daemon's wisdom-key line format.
+// tuner daemon's wisdom-key line format and socket protocol.
 //
 //   stencil_fuzz --seed 42 --iters 200            # fuzz, exit 1 on failures
 //   stencil_fuzz --wisdom-iters 5000 --seed 42    # fuzz WisdomKey parse/serialize
+//   stencil_fuzz --proto-iters 10000 --seed 42    # fuzz the live daemon protocol
 //   stencil_fuzz --replay "method=vertical order=6 nx=64 ..."
 //   stencil_fuzz --replay "wisdom method=fullslice device=gtx580 order=4 ..."
+//   stencil_fuzz --replay "proto 50494e470a"
 //   stencil_fuzz --seed 1 --iters 20 --sabotage halo   # negative self-test
 //   stencil_fuzz --seed 7 --iters 100 --temporal-degree 4  # widen the tb axis
 //
@@ -13,6 +15,18 @@
 // or parse -> to_line -> parse is a fixed point.  Failing lines are
 // shrunk by token/byte deletion and printed as `wisdom <line>` replay
 // lines for the corpus.
+//
+// Proto mode (--proto-iters, POSIX only) runs a *live* hardened
+// SocketServer in-process with deliberately tight limits (2 in-flight
+// sweeps, 300 ms read deadline, 512-byte frames) and throws adversarial
+// byte blobs at it over real AF_UNIX connections: valid requests,
+// mutated requests, binary garbage, oversized frames, truncated lines,
+// pipelined bursts, CRLF framing.  The invariant per blob: the
+// connection dies or answers in bounded time (the read deadline reaps
+// anything else) and the daemon still answers PING afterwards — never a
+// hang, never a crash, never an OOM.  Failing blobs are confirmed
+// against a fresh server, shrunk by byte deletion (fresh server per
+// failing candidate) and printed as `proto <hex>` replay lines.
 //
 // Each iteration draws one (method x order x precision x grid shape x
 // launch config) sample — a pure function of (seed, iteration), so the
@@ -37,6 +51,21 @@
 #include "service/protocol.hpp"
 #include "verify/fuzzer.hpp"
 
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <memory>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#endif
+
 namespace {
 
 using namespace inplane;
@@ -47,8 +76,10 @@ int usage() {
       "                    [--sabotage none|halo] [--temporal-degree N]\n"
       "                    [--repro-out file]\n"
       "       stencil_fuzz --wisdom-iters N [--seed N] [--repro-out file]\n"
+      "       stencil_fuzz --proto-iters N [--seed N] [--repro-out file]\n"
       "       stencil_fuzz --replay \"method=... order=... ...\"\n"
-      "       stencil_fuzz --replay \"wisdom <key line>\"\n",
+      "       stencil_fuzz --replay \"wisdom <key line>\"\n"
+      "       stencil_fuzz --replay \"proto <hex bytes>\"\n",
       stderr);
   return 2;
 }
@@ -231,6 +262,334 @@ int replay_wisdom(const std::string& line) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Socket-protocol fuzzing: adversarial byte blobs against a live
+// hardened server.
+
+#ifndef _WIN32
+
+/// A fresh in-process daemon with deliberately tight hardening limits,
+/// restartable so a wedge-suspect server never contaminates the next
+/// probe (each generation gets its own socket path).
+struct ProtoHarness {
+  std::unique_ptr<inplane::service::TuningService> svc;
+  std::unique_ptr<inplane::service::SocketServer> server;
+  std::string path;
+  int generation = 0;
+
+  static constexpr double kReadDeadlineMs = 300.0;
+  static constexpr std::size_t kMaxFrameBytes = 512;
+
+  void start() {
+    stop();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "/tmp/inplane_pfz_%ld_%d.sock",
+                  static_cast<long>(::getpid()), generation++);
+    path = buf;
+    inplane::service::ServiceOptions sopts;
+    sopts.cache_capacity = 32;
+    sopts.sweep_policy = ExecPolicy{1};
+    svc = std::make_unique<inplane::service::TuningService>(sopts);
+    inplane::service::ServerOptions opts;
+    opts.max_inflight = 2;
+    opts.max_connections = 32;
+    opts.read_deadline_ms = kReadDeadlineMs;
+    opts.write_deadline_ms = 2000.0;
+    opts.max_frame_bytes = kMaxFrameBytes;
+    opts.retry_after_base_ms = 5.0;
+    opts.drain_deadline_ms = 500.0;
+    server = std::make_unique<inplane::service::SocketServer>(*svc, path, opts);
+    server->start();
+  }
+
+  void stop() {
+    server.reset();  // before svc: the service must outlive the server
+    svc.reset();
+    if (!path.empty()) ::unlink(path.c_str());
+    path.clear();
+  }
+
+  ~ProtoHarness() { stop(); }
+};
+
+int proto_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// The per-blob invariant: send the blob (chunked deterministically from
+/// its own hash, so replays and shrinks keep the same framing), observe
+/// the connection die or answer within a bounded time (the 300 ms read
+/// deadline reaps everything quieter), then check the daemon still
+/// answers PING.  Any hang, wedge or crash fails.
+bool proto_blob_ok(const ProtoHarness& harness, const std::string& blob) {
+  const int fd = proto_connect(harness.path);
+  if (fd < 0) return false;  // daemon no longer accepting
+  const std::size_t chunk = 1 + fnv1a(blob) % 97;
+  bool peer_alive = true;
+  for (std::size_t off = 0; off < blob.size() && peer_alive; off += chunk) {
+    const std::size_t n = std::min(chunk, blob.size() - off);
+    std::size_t sent = 0;
+    while (sent < n) {
+#ifdef MSG_NOSIGNAL
+      const ssize_t r = ::send(fd, blob.data() + off + sent, n - sent, MSG_NOSIGNAL);
+#else
+      const ssize_t r = ::send(fd, blob.data() + off + sent, n - sent, 0);
+#endif
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        peer_alive = false;  // server already cut us off: a legal reaction
+        break;
+      }
+      sent += static_cast<std::size_t>(r);
+    }
+  }
+  if (peer_alive) {
+    // Await *any* reaction — response bytes or a close — within a bound
+    // comfortably above the read deadline.  Silence past it is a hang.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
+    bool reacted = false;
+    char buf[4096];
+    while (!reacted) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= until) break;
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int remaining = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(until - now).count());
+      const int pr = ::poll(&pfd, 1, remaining);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        reacted = true;
+        break;
+      }
+      if (pr == 0) break;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      reacted = true;  // bytes or close, either way the server reacted
+      break;
+    }
+    if (!reacted) {
+      ::close(fd);
+      return false;
+    }
+  }
+  ::close(fd);
+  try {
+    inplane::service::Client client(harness.path);
+    client.connect();
+    return client.roundtrip("PING") == "OK pong";
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+inplane::service::WisdomKey proto_small_key(std::uint64_t pick) {
+  inplane::service::WisdomKey key;
+  key.method = pick % 2 == 0 ? "fullslice" : "classical";
+  key.device = "gtx580";
+  key.order = pick % 4 < 2 ? 2 : 4;
+  key.extent = Extent3{64, 32, 8 + 4 * static_cast<int>(pick % 3)};
+  key.kind = "model";
+  key.beta = 0.05;
+  return key;
+}
+
+/// A mutated line that *still parses* as a valid TUNE/RUN can carry an
+/// arbitrarily large extent — a sweep of it would dominate the fuzz run
+/// (and its memory).  Protocol fuzzing is about framing and admission,
+/// not sweep scaling, so break such lines instead of executing them.
+std::string proto_defang(std::string line) {
+  if (const auto req = service::parse_request(line)) {
+    if ((req->verb == service::Verb::Tune || req->verb == service::Verb::Run) &&
+        req->tune.key.extent.volume() > (1u << 16)) {
+      return "X" + line;
+    }
+    if (req->verb == service::Verb::Shutdown) return "X" + line;  // keep it up
+  }
+  return line;
+}
+
+std::string gen_proto_blob(std::uint64_t& rng) {
+  const auto valid_line = [&]() -> std::string {
+    const std::uint64_t pick = splitmix64(rng);
+    switch (pick % 8) {
+      case 0:
+        return "PING";
+      case 1:
+        return "STATS";
+      default: {
+        std::string line = inplane::service::format_tune_request(
+            proto_small_key(pick >> 8), 0.0, 0, (pick >> 4) % 8 == 0);
+        if (pick % 8 == 2) line = "RUN" + line.substr(4);
+        return line;
+      }
+    }
+  };
+  std::string blob;
+  switch (splitmix64(rng) % 8) {
+    case 0:  // clean valid request
+      blob = valid_line() + "\n";
+      break;
+    case 1:  // mutated request (parser pressure over a real socket)
+      blob = proto_defang(mutate_line(valid_line(), rng));
+      if (splitmix64(rng) % 2 == 0) blob += "\n";
+      break;
+    case 2: {  // garbage with sprinkled newlines
+      const std::uint64_t n = 1 + splitmix64(rng) % 256;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        blob.push_back(splitmix64(rng) % 17 == 0
+                           ? '\n'
+                           : static_cast<char>(splitmix64(rng) % 256));
+      }
+      break;
+    }
+    case 3: {  // oversized frame (past max_frame_bytes, poison path)
+      const std::size_t n =
+          ProtoHarness::kMaxFrameBytes + 1 + splitmix64(rng) % 1500;
+      blob.assign(n, 'A');
+      if (splitmix64(rng) % 2 == 0) blob += "\n";
+      break;
+    }
+    case 4: {  // truncated valid prefix, never terminated (read-deadline path)
+      const std::string line = valid_line();
+      blob = line.substr(0, 1 + splitmix64(rng) % line.size());
+      break;
+    }
+    case 5: {  // pipelined burst of requests in one blob
+      const int lines = 2 + static_cast<int>(splitmix64(rng) % 3);
+      for (int i = 0; i < lines; ++i) {
+        std::string line = valid_line();
+        if (splitmix64(rng) % 3 == 0) line = proto_defang(mutate_line(line, rng));
+        blob += line + "\n";
+      }
+      break;
+    }
+    case 6: {  // binary garbage, no newline at all
+      const std::uint64_t n = 1 + splitmix64(rng) % 300;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        char c = static_cast<char>(splitmix64(rng) % 256);
+        if (c == '\n') c = ' ';
+        blob.push_back(c);
+      }
+      break;
+    }
+    default:  // CRLF framing and empty lines around a valid request
+      blob = "\r\n\n" + valid_line() + "\r\n\n";
+      break;
+  }
+  return blob;
+}
+
+/// Greedy byte-deletion shrink.  Every failing candidate may have wedged
+/// the server, so the harness restarts after each confirmed step; passing
+/// candidates leave it healthy (the invariant includes a PING).
+std::string shrink_proto_failure(ProtoHarness& harness, std::string blob) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+      std::string candidate = blob;
+      candidate.erase(i, 1);
+      if (candidate.empty()) continue;
+      if (!proto_blob_ok(harness, candidate)) {
+        blob = candidate;
+        harness.start();
+        progress = true;
+        break;
+      }
+    }
+  }
+  return blob;
+}
+
+int run_proto_fuzz(std::uint64_t seed, int iters, const std::string& repro_out) {
+  std::uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 0x9042;
+  ProtoHarness harness;
+  harness.start();
+  std::vector<std::string> failures;
+  for (int i = 0; i < iters; ++i) {
+    const std::string blob = gen_proto_blob(rng);
+    if (proto_blob_ok(harness, blob)) continue;
+    // Confirm against a fresh server: residue from earlier blobs (shed
+    // budgets, orphaned sweeps) must not masquerade as a protocol bug.
+    harness.start();
+    if (proto_blob_ok(harness, blob)) continue;
+    harness.start();
+    const std::string shrunk = shrink_proto_failure(harness, blob);
+    const std::string hex = service::hex_encode(shrunk);
+    std::printf("PROTO FAILURE at iteration %d:\n  original: %zu byte(s)\n"
+                "  minimal:  %zu byte(s)\n"
+                "  replay:   stencil_fuzz --replay \"proto %s\"\n",
+                i, blob.size(), shrunk.size(), hex.c_str());
+    failures.push_back(hex);
+    harness.start();
+  }
+  harness.stop();
+  std::printf("proto fuzz: seed %llu, %d blob(s), %zu failure(s)\n",
+              static_cast<unsigned long long>(seed), iters, failures.size());
+  if (!repro_out.empty() && !failures.empty()) {
+    std::string lines;
+    for (const std::string& f : failures) lines += "proto " + f + "\n";
+    report::write_file(repro_out, lines);
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+int replay_proto(const std::string& hex) {
+  const auto bytes = service::hex_decode(hex);
+  if (!bytes) {
+    std::fprintf(stderr, "bad proto replay line: not hex\n");
+    return 2;
+  }
+  ProtoHarness harness;
+  harness.start();
+  const bool ok = proto_blob_ok(harness, *bytes);
+  harness.stop();
+  if (!ok) {
+    std::printf("replay: proto FAILED (%zu byte(s) wedged or killed the server)\n",
+                bytes->size());
+    return 1;
+  }
+  std::printf("replay: proto ok (%zu byte(s), server lived and answered PING)\n",
+              bytes->size());
+  return 0;
+}
+
+#else  // _WIN32
+
+int run_proto_fuzz(std::uint64_t, int, const std::string&) {
+  std::fputs("stencil_fuzz: --proto-iters is POSIX-only\n", stderr);
+  return 2;
+}
+
+int replay_proto(const std::string&) {
+  std::fputs("stencil_fuzz: proto replay is POSIX-only\n", stderr);
+  return 2;
+}
+
+#endif
+
 int replay(const std::string& line, const ExecPolicy& policy) {
   std::string error;
   const auto sample = verify::FuzzSample::parse(line, &error);
@@ -260,6 +619,7 @@ int main(int argc, char** argv) {
   std::string replay_line;
   std::string repro_out;
   int wisdom_iters = 0;
+  int proto_iters = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     const auto value = [&]() -> const char* {
@@ -297,6 +657,8 @@ int main(int argc, char** argv) {
       replay_line = value();
     } else if (key == "--wisdom-iters") {
       wisdom_iters = std::atoi(value());
+    } else if (key == "--proto-iters") {
+      proto_iters = std::atoi(value());
     } else if (key == "--repro-out") {
       repro_out = value();
     } else {
@@ -307,8 +669,12 @@ int main(int argc, char** argv) {
     if (replay_line.rfind("wisdom ", 0) == 0) {
       return replay_wisdom(replay_line.substr(7));
     }
+    if (replay_line.rfind("proto ", 0) == 0) {
+      return replay_proto(replay_line.substr(6));
+    }
     return replay(replay_line, options.policy);
   }
+  if (proto_iters > 0) return run_proto_fuzz(options.seed, proto_iters, repro_out);
   if (wisdom_iters > 0) return run_wisdom_fuzz(options.seed, wisdom_iters, repro_out);
   if (options.iters < 1) return usage();
 
